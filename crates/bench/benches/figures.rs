@@ -1,0 +1,77 @@
+//! Criterion benches for the figure-regeneration pipeline: one bench per
+//! paper artifact (Fig. 1, Fig. 2, Fig. 3 and the findings roll-up), at
+//! smoke scale so a full `cargo bench` stays in minutes. The `repro`
+//! binary regenerates the figures at paper scale.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use grel_core::campaign::{run_campaign, CampaignConfig};
+use grel_core::study::{evaluate_point, run_study, StudyConfig};
+use gpu_archs::{geforce_gtx_480, hd_radeon_7970, quadro_fx_5600};
+use gpu_workloads::{Histogram, Transpose, VectorAdd, Workload};
+use simt_sim::Structure;
+
+fn tiny_campaign(seed: u64) -> CampaignConfig {
+    CampaignConfig { injections: 8, seed, threads: 2, watchdog_factor: 10 }
+}
+
+fn tiny_study(seed: u64) -> StudyConfig {
+    StudyConfig {
+        campaign: tiny_campaign(seed),
+        workload_seed: seed,
+        fi_on_unused_lds: false,
+        ace_mode: Default::default(),
+    }
+}
+
+/// Fig. 1 pipeline: register-file FI campaign (golden run + replays).
+fn fig1_rf_avf(c: &mut Criterion) {
+    let arch = quadro_fx_5600();
+    let w = VectorAdd::new(512, 3);
+    c.bench_function("fig1_rf_avf_campaign", |b| {
+        b.iter(|| {
+            run_campaign(&arch, &w, Structure::VectorRegisterFile, tiny_campaign(3)).unwrap()
+        })
+    });
+}
+
+/// Fig. 2 pipeline: local-memory FI campaign on an LDS workload.
+fn fig2_lds_avf(c: &mut Criterion) {
+    let arch = geforce_gtx_480();
+    let w = Transpose::new(32, 3);
+    c.bench_function("fig2_lds_avf_campaign", |b| {
+        b.iter(|| run_campaign(&arch, &w, Structure::LocalMemory, tiny_campaign(3)).unwrap())
+    });
+}
+
+/// Fig. 3 pipeline: a full evaluation point (ACE + FI + EPF roll-up).
+fn fig3_epf(c: &mut Criterion) {
+    let arch = quadro_fx_5600();
+    let w = Histogram::new(1024, 64, 3);
+    let cfg = tiny_study(3);
+    c.bench_function("fig3_epf_point", |b| {
+        b.iter(|| evaluate_point(&arch, &w, &cfg).unwrap())
+    });
+}
+
+/// Findings roll-up: a 2-device × 2-workload mini study.
+fn findings_study(c: &mut Criterion) {
+    let archs = vec![quadro_fx_5600(), hd_radeon_7970()];
+    let cfg = tiny_study(5);
+    c.bench_function("findings_mini_study", |b| {
+        b.iter(|| {
+            let workloads: Vec<Box<dyn Workload>> = vec![
+                Box::new(VectorAdd::new(512, 5)),
+                Box::new(Transpose::new(32, 5)),
+            ];
+            let study = run_study(&archs, &workloads, &cfg).unwrap();
+            study.findings()
+        })
+    });
+}
+
+criterion_group! {
+    name = figures;
+    config = Criterion::default().sample_size(10);
+    targets = fig1_rf_avf, fig2_lds_avf, fig3_epf, findings_study
+}
+criterion_main!(figures);

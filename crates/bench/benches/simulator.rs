@@ -1,0 +1,126 @@
+//! Criterion benches for the simulator substrate itself: raw launch
+//! throughput per device generation, the cost of observation (ACE) versus
+//! a bare run, and the design-choice ablations called out in DESIGN.md
+//! (scheduler policy, coalescing, LDS bank conflicts).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use grel_core::ace::{AceAnalyzer, AceMode};
+use gpu_archs::{all_devices, geforce_gtx_480};
+use gpu_workloads::{MatrixMul, VectorAdd, Workload};
+use simt_isa::{lower, KernelBuilder, MemSpace};
+use simt_sim::{ArchConfig, Gpu, LaunchConfig, NoopObserver, SchedulerPolicy};
+
+/// Launch throughput of the same workload across all four device models.
+fn device_throughput(c: &mut Criterion) {
+    let w = VectorAdd::new(2048, 1);
+    let mut g = c.benchmark_group("device_throughput_vectoradd2k");
+    for arch in all_devices() {
+        g.bench_with_input(BenchmarkId::from_parameter(&arch.name), &arch, |b, arch| {
+            b.iter(|| {
+                let mut gpu = Gpu::new(arch.clone());
+                w.run(&mut gpu, &mut NoopObserver).unwrap()
+            })
+        });
+    }
+    g.finish();
+}
+
+/// Cost of full observation: bare run vs ACE-analyzed run (both modes).
+fn observation_overhead(c: &mut Criterion) {
+    let arch = geforce_gtx_480();
+    let w = MatrixMul::new(32, 1);
+    let mut g = c.benchmark_group("observation_overhead_matmul32");
+    g.bench_function("noop_observer", |b| {
+        b.iter(|| {
+            let mut gpu = Gpu::new(arch.clone());
+            w.run(&mut gpu, &mut NoopObserver).unwrap()
+        })
+    });
+    g.bench_function("ace_conservative", |b| {
+        b.iter(|| {
+            let mut gpu = Gpu::new(arch.clone());
+            let mut ace = AceAnalyzer::new(&arch);
+            w.run(&mut gpu, &mut ace).unwrap()
+        })
+    });
+    g.bench_function("ace_refined", |b| {
+        b.iter(|| {
+            let mut gpu = Gpu::new(arch.clone());
+            let mut ace = AceAnalyzer::with_mode(&arch, AceMode::WriteToLastRead);
+            w.run(&mut gpu, &mut ace).unwrap()
+        })
+    });
+    g.finish();
+}
+
+/// Ablation: LRR vs GTO warp scheduling on the same device.
+fn scheduler_ablation(c: &mut Criterion) {
+    let w = MatrixMul::new(32, 1);
+    let mut g = c.benchmark_group("scheduler_ablation_matmul32");
+    for policy in [SchedulerPolicy::Lrr, SchedulerPolicy::Gto] {
+        let mut arch = geforce_gtx_480();
+        arch.scheduler = policy;
+        g.bench_with_input(
+            BenchmarkId::from_parameter(format!("{policy:?}")),
+            &arch,
+            |b, arch| {
+                b.iter(|| {
+                    let mut gpu = Gpu::new(arch.clone());
+                    w.run(&mut gpu, &mut NoopObserver).unwrap()
+                })
+            },
+        );
+    }
+    g.finish();
+}
+
+fn strided_kernel(arch: &ArchConfig, stride: u32) -> (simt_isa::LoweredKernel, u32) {
+    // out[i] = in[(i * stride) % n] — stride 1 coalesces, large strides
+    // scatter across segments.
+    let n = 2048u32;
+    let mut kb = KernelBuilder::new("strided", 3);
+    let (pin, pout, pn) = (kb.param(0), kb.param(1), kb.param(2));
+    let gid = kb.vreg();
+    let idx = kb.vreg();
+    let v = kb.vreg();
+    let addr = kb.vreg();
+    kb.global_tid_x(gid);
+    kb.imul(idx, gid, stride);
+    kb.urem(idx, idx, pn);
+    kb.word_addr(addr, pin, idx);
+    kb.ld(MemSpace::Global, v, addr);
+    kb.word_addr(addr, pout, gid);
+    kb.st(MemSpace::Global, addr, v);
+    kb.exit();
+    (lower(&kb.build().unwrap(), arch.caps()).unwrap(), n)
+}
+
+/// Ablation: memory-coalescing sensitivity (stride sweep).
+fn coalescing_ablation(c: &mut Criterion) {
+    let arch = geforce_gtx_480();
+    let mut g = c.benchmark_group("coalescing_stride");
+    for stride in [1u32, 2, 8, 32] {
+        let (kernel, n) = strided_kernel(&arch, stride);
+        g.bench_with_input(BenchmarkId::from_parameter(stride), &stride, |b, _| {
+            b.iter(|| {
+                let mut gpu = Gpu::new(arch.clone());
+                let bin = gpu.alloc_words(n);
+                let bout = gpu.alloc_words(n);
+                gpu.launch(
+                    &kernel,
+                    LaunchConfig::linear(n / 128, 128),
+                    &[bin.addr(), bout.addr(), n],
+                )
+                .unwrap()
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group! {
+    name = simulator;
+    config = Criterion::default().sample_size(10);
+    targets = device_throughput, observation_overhead, scheduler_ablation, coalescing_ablation
+}
+criterion_main!(simulator);

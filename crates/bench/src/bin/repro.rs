@@ -1,0 +1,621 @@
+//! `repro` — regenerates every figure of the ISPASS 2017 paper.
+//!
+//! ```text
+//! repro [fig1|fig2|fig3|findings|stats|all] [options]
+//!
+//! Options:
+//!   --injections N      fault injections per structure (default 200)
+//!   --paper             paper configuration (2000 injections)
+//!   --seed S            campaign + input seed (default 2017)
+//!   --threads T         replay worker threads (default: all cores)
+//!   --smoke             tiny workload sizes (CI smoke run)
+//!   --device NAME       restrict to one device (substring match)
+//!   --workload NAME     restrict to one benchmark
+//!   --csv PATH          also write the raw study points as CSV
+//!   --experiments PATH  also write the EXPERIMENTS.md result body
+//! ```
+
+use grel_bench::{
+    render_avf_figure, render_epf_figure, render_experiments_markdown, render_findings, to_csv,
+    workload_set, Scale,
+};
+use grel_core::ace::{AceAnalyzer, AceMode};
+use grel_core::campaign::{run_campaign, CampaignConfig};
+use grel_core::epf::structure_fit;
+use grel_core::stats::{error_margin, required_sample_size, Z_99};
+use grel_core::study::{evaluate_point, run_study, StudyConfig};
+use gpu_archs::all_devices;
+use gpu_workloads::Workload;
+use simt_sim::{ArchConfig, Gpu, SchedulerPolicy, Structure};
+use std::process::ExitCode;
+
+struct Args {
+    command: String,
+    injections: u32,
+    seed: u64,
+    threads: usize,
+    scale: Scale,
+    device: Option<String>,
+    workload: Option<String>,
+    csv: Option<String>,
+    experiments: Option<String>,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        command: "all".into(),
+        injections: 200,
+        seed: 2017,
+        threads: std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4),
+        scale: Scale::Default,
+        device: None,
+        workload: None,
+        csv: None,
+        experiments: None,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "fig1" | "fig2" | "fig3" | "findings" | "stats" | "all" | "outcomes" | "perf"
+            | "bits" | "phases" | "mbu" | "protect" | "ablate-sched" | "ablate-rfsize"
+            | "ablate-ace" => args.command = a,
+            "--injections" => {
+                args.injections = it
+                    .next()
+                    .ok_or("--injections needs a value")?
+                    .parse()
+                    .map_err(|e| format!("bad --injections: {e}"))?;
+            }
+            "--paper" => args.injections = 2000,
+            "--seed" => {
+                args.seed = it
+                    .next()
+                    .ok_or("--seed needs a value")?
+                    .parse()
+                    .map_err(|e| format!("bad --seed: {e}"))?;
+            }
+            "--threads" => {
+                args.threads = it
+                    .next()
+                    .ok_or("--threads needs a value")?
+                    .parse()
+                    .map_err(|e| format!("bad --threads: {e}"))?;
+            }
+            "--smoke" => args.scale = Scale::Smoke,
+            "--device" => args.device = Some(it.next().ok_or("--device needs a value")?),
+            "--workload" => args.workload = Some(it.next().ok_or("--workload needs a value")?),
+            "--csv" => args.csv = Some(it.next().ok_or("--csv needs a value")?),
+            "--experiments" => {
+                args.experiments = Some(it.next().ok_or("--experiments needs a value")?)
+            }
+            "--help" | "-h" => {
+                println!("{HELP}");
+                std::process::exit(0);
+            }
+            other => return Err(format!("unknown argument: {other}")),
+        }
+    }
+    Ok(args)
+}
+
+const HELP: &str = "repro — regenerate the figures of \
+'Microarchitecture Level Reliability Comparison of Modern GPU Designs' (ISPASS 2017)
+
+usage: repro [COMMAND] [--injections N] [--paper] [--seed S] [--threads T]
+             [--smoke] [--device NAME] [--workload NAME]
+             [--csv PATH] [--experiments PATH]
+
+commands:
+  fig1          register-file AVF: FI vs ACE vs occupancy  (paper Fig. 1)
+  fig2          local-memory AVF                           (paper Fig. 2)
+  fig3          executions per failure                     (paper Fig. 3)
+  findings      the paper's F1..F4 claims, quantified
+  stats         footnote-4 sample-size calibration
+  all           everything above (default)
+  outcomes      masked/SDC/DUE breakdown per point
+  perf          performance profile (cycles, IPC, cache hit rates) per point
+  bits          extension: AVF by bit position within the 32-bit word
+  phases        extension: AVF by execution phase (early vs late flips)
+  mbu           extension: single vs adjacent double/quad bit upsets
+  protect       extension: EPF under none/parity/SECDED protection
+  ablate-sched  extension: warp scheduler (LRR vs GTO) vs AVF and cycles
+  ablate-rfsize extension: register-file size sweep vs AVF and FIT
+  ablate-ace    extension: conservative vs refined ACE vs FI";
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("error: {e}\n{HELP}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    if args.command == "stats" {
+        println!("== Statistical fault injection calibration (paper footnote 4) ==");
+        for n in [200u64, 500, 1000, 2000, 5000] {
+            println!(
+                "  {n:>5} injections -> +/-{:.2}% at 99% confidence",
+                error_margin(u64::MAX, n, Z_99) * 100.0
+            );
+        }
+        println!(
+            "  2.88% at 99% confidence needs {} injections (paper uses 2000)",
+            required_sample_size(u64::MAX, 0.0288, Z_99)
+        );
+        return ExitCode::SUCCESS;
+    }
+
+    let mut archs = all_devices();
+    if let Some(d) = &args.device {
+        let dl = d.to_ascii_lowercase();
+        archs.retain(|a| {
+            a.name.to_ascii_lowercase().contains(&dl)
+                || a.microarch.to_ascii_lowercase().contains(&dl)
+        });
+        if archs.is_empty() {
+            eprintln!("error: no device matches '{d}'");
+            return ExitCode::FAILURE;
+        }
+    }
+    let mut workloads = workload_set(args.scale, args.seed);
+    if let Some(w) = &args.workload {
+        let wl = w.to_ascii_lowercase();
+        workloads.retain(|x| x.name().to_ascii_lowercase().contains(&wl));
+        if workloads.is_empty() {
+            eprintln!("error: no workload matches '{w}'");
+            return ExitCode::FAILURE;
+        }
+    }
+
+    let cfg = StudyConfig {
+        campaign: CampaignConfig {
+            injections: args.injections,
+            seed: args.seed,
+            threads: args.threads,
+            watchdog_factor: 10,
+        },
+        workload_seed: args.seed,
+        fi_on_unused_lds: false,
+        ace_mode: Default::default(),
+    };
+
+    match args.command.as_str() {
+        "ablate-sched" => return ablate_scheduler(&archs, &workloads, &cfg),
+        "ablate-rfsize" => return ablate_rf_size(&archs, &workloads, &cfg),
+        "ablate-ace" => return ablate_ace(&archs, &workloads, &cfg),
+        "perf" => return perf_table(&archs, &workloads),
+        "bits" => return bit_sensitivity(&archs, &workloads, &cfg),
+        "phases" => return phase_sensitivity(&archs, &workloads, &cfg),
+        "mbu" => return mbu_table(&archs, &workloads, &cfg),
+        "protect" => return protect_table(&archs, &workloads, &cfg),
+        _ => {}
+    }
+
+    let margin = error_margin(u64::MAX, args.injections.max(1) as u64, Z_99);
+    eprintln!(
+        "running study: {} workloads x {} devices, {} injections/structure (+/-{:.2}% @ 99%), {} threads",
+        workloads.len(),
+        archs.len(),
+        args.injections,
+        margin * 100.0,
+        args.threads
+    );
+
+    let start = std::time::Instant::now();
+    let study = match run_study(&archs, &workloads, &cfg) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("error: study failed: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    eprintln!("study completed in {:.1?}", start.elapsed());
+
+    match args.command.as_str() {
+        "fig1" => print!("{}", render_avf_figure("Fig. 1: Register File AVF", &study.fig1_rows())),
+        "fig2" => print!("{}", render_avf_figure("Fig. 2: Local Memory AVF", &study.fig2_rows())),
+        "fig3" => print!("{}", render_epf_figure(&study.fig3_rows())),
+        "findings" => print!("{}", render_findings(&study.findings())),
+        "outcomes" => {
+            println!(
+                "{:<12} {:<16} {:>9} | {:>7} {:>7} {:>7} | {:>7} {:>7} {:>7}",
+                "workload", "device", "struct", "masked", "SDC", "DUE", "masked", "SDC", "DUE"
+            );
+            for p in &study.points {
+                println!(
+                    "{:<12} {:<16} {:>9} | {:>7} {:>7} {:>7} | {:>7} {:>7} {:>7}",
+                    p.workload,
+                    p.device,
+                    "RF | LDS",
+                    p.rf.tally.masked,
+                    p.rf.tally.sdc,
+                    p.rf.tally.due,
+                    p.lds.tally.masked,
+                    p.lds.tally.sdc,
+                    p.lds.tally.due
+                );
+            }
+        }
+        _ => {
+            print!("{}", render_avf_figure("Fig. 1: Register File AVF", &study.fig1_rows()));
+            println!();
+            print!("{}", render_avf_figure("Fig. 2: Local Memory AVF", &study.fig2_rows()));
+            println!();
+            print!("{}", render_epf_figure(&study.fig3_rows()));
+            println!();
+            print!("{}", render_findings(&study.findings()));
+        }
+    }
+
+    let config_desc = format!(
+        "{} injections/structure (+/-{:.2}% @ 99% confidence), seed {}, {} scale, devices: {}",
+        args.injections,
+        margin * 100.0,
+        args.seed,
+        if args.scale == Scale::Smoke { "smoke" } else { "default" },
+        archs.iter().map(|a| a.name.clone()).collect::<Vec<_>>().join(", ")
+    );
+    if let Some(path) = &args.csv {
+        if let Err(e) = std::fs::write(path, to_csv(&study)) {
+            eprintln!("error: writing {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+        eprintln!("wrote {path}");
+    }
+    if let Some(path) = &args.experiments {
+        let body = render_experiments_markdown(&study, &config_desc);
+        if let Err(e) = std::fs::write(path, body) {
+            eprintln!("error: writing {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+        eprintln!("wrote {path}");
+    }
+    ExitCode::SUCCESS
+}
+
+/// Extension: protection trade-off — the decision the paper says EPF is
+/// for ("different protection mechanisms can deliver different
+/// improvements in the FIT rates and ... different impact on
+/// performance").
+fn protect_table(
+    archs: &[ArchConfig],
+    workloads: &[Box<dyn Workload>],
+    cfg: &StudyConfig,
+) -> ExitCode {
+    println!("== Extension: EPF under storage protection schemes ==");
+    println!(
+        "{:<12} {:<16} {:>10} {:>12} {:>12} {:>9}",
+        "workload", "device", "scheme", "FIT_GPU", "EPF", "SDC share"
+    );
+    for w in workloads {
+        for arch in archs {
+            match evaluate_point(arch, w.as_ref(), cfg) {
+                Ok(p) => {
+                    let sdc_share = if p.rf.avf_fi > 0.0 { p.rf.avf_sdc / p.rf.avf_fi } else { 0.0 };
+                    for proj in grel_core::protection_sweep(&p.fit, p.eit, sdc_share) {
+                        println!(
+                            "{:<12} {:<16} {:>10} {:>12.3} {:>12} {:>8.1}%",
+                            p.workload,
+                            p.device,
+                            proj.scheme.to_string(),
+                            proj.fit_gpu,
+                            grel_bench::sci(proj.epf),
+                            proj.sdc_share * 100.0
+                        );
+                    }
+                    println!();
+                }
+                Err(e) => println!("{:<12} {:<16} {e}", w.name(), arch.name),
+            }
+        }
+    }
+    ExitCode::SUCCESS
+}
+
+/// Extension: AVF by bit position (nibble-grouped for sample density).
+fn bit_sensitivity(
+    archs: &[ArchConfig],
+    workloads: &[Box<dyn Workload>],
+    cfg: &StudyConfig,
+) -> ExitCode {
+    println!("== Extension: register-file AVF by bit position (nibbles) ==");
+    println!(
+        "{:<12} {:<16} {:>8} {:>8} {:>8} {:>8} {:>8} {:>8} {:>8} {:>8}",
+        "workload", "device", "b0-3", "b4-7", "b8-11", "b12-15", "b16-19", "b20-23", "b24-27", "b28-31"
+    );
+    for w in workloads {
+        for arch in archs {
+            match grel_core::detailed_campaign(
+                arch,
+                w.as_ref(),
+                Structure::VectorRegisterFile,
+                cfg.campaign,
+            ) {
+                Ok(detail) => {
+                    let by_bit = grel_core::avf_by_bit(&detail);
+                    let nib = |lo: usize| {
+                        let vals: Vec<f64> =
+                            (lo..lo + 4).map(|b| by_bit[b]).filter(|v| !v.is_nan()).collect();
+                        if vals.is_empty() {
+                            "-".to_string()
+                        } else {
+                            format!("{:.1}%", vals.iter().sum::<f64>() / vals.len() as f64 * 100.0)
+                        }
+                    };
+                    println!(
+                        "{:<12} {:<16} {:>8} {:>8} {:>8} {:>8} {:>8} {:>8} {:>8} {:>8}",
+                        w.name(),
+                        arch.name,
+                        nib(0),
+                        nib(4),
+                        nib(8),
+                        nib(12),
+                        nib(16),
+                        nib(20),
+                        nib(24),
+                        nib(28)
+                    );
+                }
+                Err(e) => println!("{:<12} {:<16} {e}", w.name(), arch.name),
+            }
+        }
+        println!();
+    }
+    ExitCode::SUCCESS
+}
+
+/// Extension: AVF by execution phase (quartiles of the run).
+fn phase_sensitivity(
+    archs: &[ArchConfig],
+    workloads: &[Box<dyn Workload>],
+    cfg: &StudyConfig,
+) -> ExitCode {
+    println!("== Extension: register-file AVF by execution phase ==");
+    println!(
+        "{:<12} {:<16} {:>9} {:>9} {:>9} {:>9} {:>9}",
+        "workload", "device", "Q1", "Q2", "Q3", "Q4", "DUE share"
+    );
+    for w in workloads {
+        for arch in archs {
+            let golden = match grel_core::golden_run(arch, w.as_ref()) {
+                Ok(g) => g,
+                Err(e) => {
+                    println!("{:<12} {:<16} {e}", w.name(), arch.name);
+                    continue;
+                }
+            };
+            match grel_core::detailed_campaign(
+                arch,
+                w.as_ref(),
+                Structure::VectorRegisterFile,
+                cfg.campaign,
+            ) {
+                Ok(detail) => {
+                    let phases = grel_core::avf_by_phase(&detail, golden.cycles, 4);
+                    let cell = |p: (f64, u64)| {
+                        if p.0.is_nan() {
+                            "-".to_string()
+                        } else {
+                            format!("{:.1}%", p.0 * 100.0)
+                        }
+                    };
+                    println!(
+                        "{:<12} {:<16} {:>9} {:>9} {:>9} {:>9} {:>8.1}%",
+                        w.name(),
+                        arch.name,
+                        cell(phases[0]),
+                        cell(phases[1]),
+                        cell(phases[2]),
+                        cell(phases[3]),
+                        grel_core::due_fraction(&detail) * 100.0
+                    );
+                }
+                Err(e) => println!("{:<12} {:<16} {e}", w.name(), arch.name),
+            }
+        }
+        println!();
+    }
+    ExitCode::SUCCESS
+}
+
+/// Extension: adjacent multi-bit upsets vs single-bit upsets.
+fn mbu_table(
+    archs: &[ArchConfig],
+    workloads: &[Box<dyn Workload>],
+    cfg: &StudyConfig,
+) -> ExitCode {
+    println!("== Extension: multi-bit upsets (adjacent bits, register file) ==");
+    println!(
+        "{:<12} {:<16} {:>9} {:>9} {:>9}",
+        "workload", "device", "1-bit", "2-bit", "4-bit"
+    );
+    for w in workloads {
+        for arch in archs {
+            let mut row = format!("{:<12} {:<16}", w.name(), arch.name);
+            for width in [1u8, 2, 4] {
+                match grel_core::mbu_campaign(
+                    arch,
+                    w.as_ref(),
+                    Structure::VectorRegisterFile,
+                    width,
+                    cfg.campaign,
+                ) {
+                    Ok(t) => {
+                        let avf = t.failures() as f64 / t.total().max(1) as f64;
+                        row.push_str(&format!(" {:>8.1}%", avf * 100.0));
+                    }
+                    Err(e) => row.push_str(&format!(" {e}")),
+                }
+            }
+            println!("{row}");
+        }
+        println!();
+    }
+    ExitCode::SUCCESS
+}
+
+/// Performance profile table: the throughput half of the paper's
+/// reliability-performance correlation.
+fn perf_table(archs: &[ArchConfig], workloads: &[Box<dyn Workload>]) -> ExitCode {
+    println!(
+        "{:<12} {:<16} {:>9} {:>10} {:>6} {:>7} {:>9} {:>7} {:>7} {:>6} {:>9}",
+        "workload", "device", "cycles", "warp-inst", "IPC", "lanes/i", "mem-trans", "L1 hit", "L2 hit", "util", "time (us)"
+    );
+    for w in workloads {
+        for arch in archs {
+            match grel_core::perf::profile(arch, w.as_ref()) {
+                Ok(p) => println!(
+                    "{:<12} {:<16} {:>9} {:>10} {:>6.2} {:>7.1} {:>9} {:>6.1}% {:>7} {:>5.0}% {:>9.1}",
+                    p.workload,
+                    p.device,
+                    p.cycles,
+                    p.warp_instructions,
+                    p.ipc(),
+                    p.lanes_per_instruction(),
+                    p.mem_transactions,
+                    p.l1_hit_rate * 100.0,
+                    p.l2_hit_rate
+                        .map(|r| format!("{:.1}%", r * 100.0))
+                        .unwrap_or_else(|| "-".into()),
+                    p.sm_utilization * 100.0,
+                    p.device_time_us
+                ),
+                Err(e) => println!("{:<12} {:<16} {e}", w.name(), arch.name),
+            }
+        }
+        println!();
+    }
+    ExitCode::SUCCESS
+}
+
+/// Extension experiment: does the warp scheduler change reliability?
+/// The paper's intro names "execution scheduling" as a studied factor.
+fn ablate_scheduler(
+    archs: &[ArchConfig],
+    workloads: &[Box<dyn Workload>],
+    cfg: &StudyConfig,
+) -> ExitCode {
+    println!("== Ablation: warp scheduler vs reliability ==");
+    println!(
+        "{:<12} {:<16} {:>5} {:>9} {:>8} {:>8}",
+        "workload", "device", "sched", "cycles", "RF AVF", "RF occ"
+    );
+    for w in workloads {
+        for base in archs {
+            for policy in [SchedulerPolicy::Lrr, SchedulerPolicy::Gto] {
+                let mut arch = base.clone();
+                arch.scheduler = policy;
+                match evaluate_point(&arch, w.as_ref(), cfg) {
+                    Ok(p) => println!(
+                        "{:<12} {:<16} {:>5} {:>9} {:>7.1}% {:>7.1}%",
+                        p.workload,
+                        p.device,
+                        format!("{policy:?}"),
+                        p.cycles,
+                        p.rf.avf_fi * 100.0,
+                        p.rf.occupancy * 100.0
+                    ),
+                    Err(e) => println!("{:<12} {:<16} {policy:?}: {e}", w.name(), base.name),
+                }
+            }
+        }
+        println!();
+    }
+    ExitCode::SUCCESS
+}
+
+/// Extension experiment: register-file size sweep ("resource sizes").
+/// Halving the file raises occupancy (and AVF); doubling dilutes it but
+/// adds bits, so FIT moves less than AVF — the designer's trade-off.
+fn ablate_rf_size(
+    archs: &[ArchConfig],
+    workloads: &[Box<dyn Workload>],
+    cfg: &StudyConfig,
+) -> ExitCode {
+    println!("== Ablation: register-file size vs AVF and FIT ==");
+    println!(
+        "{:<12} {:<16} {:>7} {:>9} {:>8} {:>8} {:>10}",
+        "workload", "device", "RF KiB", "cycles", "RF AVF", "RF occ", "RF FIT"
+    );
+    for w in workloads {
+        for base in archs {
+            for scale in [1u32, 2, 4] {
+                let mut arch = base.clone();
+                // scale = 2 is the stock size; 1 halves, 4 doubles.
+                arch.regfile_bytes_per_sm = base.regfile_bytes_per_sm / 2 * scale;
+                match evaluate_point(&arch, w.as_ref(), cfg) {
+                    Ok(p) => println!(
+                        "{:<12} {:<16} {:>7} {:>9} {:>7.1}% {:>7.1}% {:>10.2}",
+                        p.workload,
+                        p.device,
+                        arch.regfile_bytes_per_sm / 1024,
+                        p.cycles,
+                        p.rf.avf_fi * 100.0,
+                        p.rf.occupancy * 100.0,
+                        structure_fit(&arch, Structure::VectorRegisterFile, p.rf.avf_fi)
+                    ),
+                    Err(e) => println!(
+                        "{:<12} {:<16} {:>7}  launch fails: {e}",
+                        w.name(),
+                        base.name,
+                        arch.regfile_bytes_per_sm / 1024
+                    ),
+                }
+            }
+            println!();
+        }
+    }
+    ExitCode::SUCCESS
+}
+
+/// Extension experiment: ACE refinement level vs fault injection — the
+/// methodological trade-off behind the paper's finding F3.
+fn ablate_ace(
+    archs: &[ArchConfig],
+    workloads: &[Box<dyn Workload>],
+    cfg: &StudyConfig,
+) -> ExitCode {
+    println!("== Ablation: ACE refinement vs fault injection ==");
+    println!(
+        "{:<12} {:<16} {:>6} | {:>8} {:>9} {:>8}",
+        "workload", "device", "struct", "ACE-cons", "ACE-refnd", "FI"
+    );
+    for w in workloads {
+        for arch in archs {
+            let mut g1 = Gpu::new(arch.clone());
+            let mut cons = AceAnalyzer::new(arch);
+            if let Err(e) = w.run(&mut g1, &mut cons) {
+                println!("{:<12} {:<16} {e}", w.name(), arch.name);
+                continue;
+            }
+            let mut g2 = Gpu::new(arch.clone());
+            let mut refi = AceAnalyzer::with_mode(arch, AceMode::WriteToLastRead);
+            w.run(&mut g2, &mut refi).expect("second golden run");
+            let structures: &[Structure] = if w.uses_local_memory() {
+                &[Structure::VectorRegisterFile, Structure::LocalMemory]
+            } else {
+                &[Structure::VectorRegisterFile]
+            };
+            for &s in structures {
+                let fi = run_campaign(arch, w.as_ref(), s, cfg.campaign).expect("campaign");
+                let tag = match s {
+                    Structure::VectorRegisterFile => "RF",
+                    Structure::LocalMemory => "LDS",
+                    Structure::ScalarRegisterFile => "SRF",
+                };
+                println!(
+                    "{:<12} {:<16} {:>6} | {:>7.1}% {:>8.1}% {:>7.1}%",
+                    w.name(),
+                    arch.name,
+                    tag,
+                    cons.report(s).avf_ace * 100.0,
+                    refi.report(s).avf_ace * 100.0,
+                    fi.avf() * 100.0
+                );
+            }
+        }
+        println!();
+    }
+    ExitCode::SUCCESS
+}

@@ -1,0 +1,127 @@
+//! End-to-end tests of the `repro` binary (smoke scale, few injections).
+
+use std::process::Command;
+
+fn repro() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_repro"))
+}
+
+fn run_ok(args: &[&str]) -> String {
+    let out = repro().args(args).output().expect("repro runs");
+    assert!(
+        out.status.success(),
+        "repro {:?} failed:\n{}\n{}",
+        args,
+        String::from_utf8_lossy(&out.stdout),
+        String::from_utf8_lossy(&out.stderr)
+    );
+    String::from_utf8_lossy(&out.stdout).into_owned()
+}
+
+#[test]
+fn stats_prints_paper_calibration() {
+    let out = run_ok(&["stats"]);
+    assert!(out.contains("2000 injections -> +/-2.88%"), "{out}");
+    assert!(out.contains("paper uses 2000"));
+}
+
+#[test]
+fn fig1_smoke_renders_all_devices() {
+    let out = run_ok(&[
+        "fig1",
+        "--smoke",
+        "--injections",
+        "4",
+        "--workload",
+        "vectoradd",
+    ]);
+    assert!(out.contains("Fig. 1"));
+    for dev in ["HD Radeon 7970", "Quadro FX 5600", "Quadro FX 5800", "GeForce GTX 480"] {
+        assert!(out.contains(dev), "missing {dev} in:\n{out}");
+    }
+    assert!(out.contains("average"));
+}
+
+#[test]
+fn fig3_smoke_has_epf_bars() {
+    let out = run_ok(&[
+        "fig3",
+        "--smoke",
+        "--injections",
+        "4",
+        "--workload",
+        "transpose",
+        "--device",
+        "fermi",
+    ]);
+    assert!(out.contains("Executions per Failure"));
+    assert!(out.contains("transpose"));
+}
+
+#[test]
+fn findings_smoke_prints_all_four() {
+    let out = run_ok(&[
+        "findings",
+        "--smoke",
+        "--injections",
+        "4",
+        "--workload",
+        "histogram",
+        "--device",
+        "g80",
+    ]);
+    for f in ["F1", "F2", "F3", "F4"] {
+        assert!(out.contains(f), "missing {f} in:\n{out}");
+    }
+}
+
+#[test]
+fn csv_and_experiments_files_are_written() {
+    let dir = std::env::temp_dir().join("repro_cli_test");
+    let _ = std::fs::create_dir_all(&dir);
+    let csv = dir.join("s.csv");
+    let md = dir.join("e.md");
+    let _ = run_ok(&[
+        "all",
+        "--smoke",
+        "--injections",
+        "4",
+        "--workload",
+        "scan",
+        "--device",
+        "gt200",
+        "--csv",
+        csv.to_str().unwrap(),
+        "--experiments",
+        md.to_str().unwrap(),
+    ]);
+    let csv_text = std::fs::read_to_string(&csv).unwrap();
+    assert!(csv_text.starts_with("workload,device"));
+    assert_eq!(csv_text.lines().count(), 2, "header + 1 point");
+    let md_text = std::fs::read_to_string(&md).unwrap();
+    assert!(md_text.contains("### Fig. 1"));
+}
+
+#[test]
+fn unknown_arguments_fail_cleanly() {
+    let out = repro().arg("--bogus").output().unwrap();
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("unknown argument"));
+}
+
+#[test]
+fn unknown_workload_fails_cleanly() {
+    let out = repro().args(["fig1", "--workload", "nonesuch"]).output().unwrap();
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("no workload matches"));
+}
+
+#[test]
+fn help_lists_every_command() {
+    let out = run_ok(&["--help"]);
+    for cmd in ["fig1", "fig2", "fig3", "findings", "stats", "outcomes", "perf",
+                "bits", "phases", "mbu", "protect", "ablate-sched", "ablate-rfsize",
+                "ablate-ace"] {
+        assert!(out.contains(cmd), "help is missing {cmd}");
+    }
+}

@@ -1,0 +1,452 @@
+//! ACE analysis and occupancy tracking.
+//!
+//! ACE (Architecturally Correct Execution) analysis bounds the AVF of a
+//! storage structure by measuring, for every bit, the fraction of
+//! execution time during which its value could still influence the
+//! program output. Two refinement levels are provided, matching the
+//! methodological spread of real tools (and giving the repository its
+//! ACE-vs-FI ablation):
+//!
+//! * [`AceMode::LiveUntilOverwrite`] — **conservative** (the default, and
+//!   the behaviour the paper's figures exhibit): a word is vulnerable
+//!   from every write until it is overwritten or its block deallocates.
+//!   Without an oracle for *future* reads and downstream logical masking,
+//!   this is what a structure-level analysis must assume; it
+//!   systematically overestimates register-file AVF because values stay
+//!   resident long after their last use.
+//! * [`AceMode::WriteToLastRead`] — **refined** (trace post-processed):
+//!   the lifetime ends at the last read before the next write. Closer to
+//!   fault injection, but still blind to logical masking after the read.
+//!
+//! The analyzer is a [`SimObserver`]: attach it to one fault-free run and
+//! read per-structure AVF and time-weighted occupancy (the red line of
+//! the paper's Fig. 1/2).
+
+use simt_sim::observer::BlockRegions;
+use simt_sim::{ArchConfig, SimObserver, Structure};
+
+const NO_EVENT: u64 = u64::MAX;
+
+/// Refinement level of the lifetime analysis.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum AceMode {
+    /// Conservative: write → overwrite or deallocation (paper-default).
+    #[default]
+    LiveUntilOverwrite,
+    /// Refined: write → last read before the next write.
+    WriteToLastRead,
+}
+
+/// Lifetime state of one physical word.
+#[derive(Debug, Clone, Copy)]
+struct WordState {
+    wrote_at: u64,
+    last_read: u64,
+}
+
+const FRESH: WordState = WordState { wrote_at: NO_EVENT, last_read: NO_EVENT };
+
+/// Per-structure lifetime tracker.
+#[derive(Debug)]
+struct StructTracker {
+    words: Vec<WordState>,
+    mode: AceMode,
+    ace_word_cycles: u64,
+    allocated: u64,
+    occ_word_cycles: u64,
+    last_event_cycle: u64,
+    last_launch_start_for_reads: u64,
+    words_per_sm: u32,
+    total_words: u64,
+}
+
+impl StructTracker {
+    fn new(words_per_sm: u32, num_sms: u32, mode: AceMode) -> Self {
+        let total = words_per_sm as u64 * num_sms as u64;
+        StructTracker {
+            words: vec![FRESH; total as usize],
+            mode,
+            ace_word_cycles: 0,
+            allocated: 0,
+            occ_word_cycles: 0,
+            last_event_cycle: 0,
+            last_launch_start_for_reads: 0,
+            words_per_sm,
+            total_words: total,
+        }
+    }
+
+    fn idx(&self, sm: u32, word: u32) -> Option<usize> {
+        if word >= self.words_per_sm {
+            return None;
+        }
+        Some(sm as usize * self.words_per_sm as usize + word as usize)
+    }
+
+    fn close(&mut self, i: usize, cycle: u64) {
+        let st = &mut self.words[i];
+        if st.wrote_at == NO_EVENT {
+            st.last_read = NO_EVENT;
+            return;
+        }
+        let end = match self.mode {
+            AceMode::LiveUntilOverwrite => cycle,
+            AceMode::WriteToLastRead => {
+                if st.last_read == NO_EVENT {
+                    st.wrote_at // empty interval: dead value
+                } else {
+                    st.last_read
+                }
+            }
+        };
+        self.ace_word_cycles += end.saturating_sub(st.wrote_at);
+        st.wrote_at = NO_EVENT;
+        st.last_read = NO_EVENT;
+    }
+
+    fn on_write(&mut self, sm: u32, word: u32, cycle: u64) {
+        let Some(i) = self.idx(sm, word) else { return };
+        self.close(i, cycle);
+        self.words[i].wrote_at = cycle;
+    }
+
+    fn on_read(&mut self, sm: u32, word: u32, cycle: u64) {
+        let Some(i) = self.idx(sm, word) else { return };
+        let st = &mut self.words[i];
+        if st.wrote_at == NO_EVENT {
+            // Consuming the launch-zeroed contents: the value was
+            // architecturally live since the start of the launch.
+            st.wrote_at = self.last_launch_start_for_reads;
+        }
+        st.last_read = cycle;
+    }
+
+    fn free_region(&mut self, sm: u32, base: u32, len: u32, cycle: u64) {
+        for w in base..base.saturating_add(len).min(self.words_per_sm) {
+            if let Some(i) = self.idx(sm, w) {
+                self.close(i, cycle);
+            }
+        }
+    }
+
+    fn occupancy_tick(&mut self, cycle: u64) {
+        self.occ_word_cycles += self.allocated * cycle.saturating_sub(self.last_event_cycle);
+        self.last_event_cycle = cycle;
+    }
+
+    fn flush(&mut self, cycle: u64) {
+        for i in 0..self.words.len() {
+            self.close(i, cycle);
+        }
+    }
+}
+
+impl StructTracker {
+    fn set_launch_start(&mut self, cycle: u64) {
+        self.last_launch_start_for_reads = cycle;
+    }
+}
+
+/// One structure's ACE/occupancy summary.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct StructureReport {
+    /// ACE-derived AVF estimate in `[0, 1]`.
+    pub avf_ace: f64,
+    /// Time-weighted fraction of the structure allocated to resident
+    /// blocks.
+    pub occupancy: f64,
+    /// Raw ACE bit-cycles.
+    pub ace_bit_cycles: u64,
+    /// Structure capacity in bits (all SMs).
+    pub total_bits: u64,
+}
+
+/// ACE-analysis + occupancy observer.
+///
+/// Attach to a **fault-free** run via
+/// [`simt_sim::Gpu::launch_observed`] (or a
+/// [`gpu_workloads::Workload::run`]); read the per-structure results with
+/// [`AceAnalyzer::report`] once the workload completes.
+///
+/// # Example
+/// ```
+/// use grel_core::ace::{AceAnalyzer, AceMode};
+/// use gpu_workloads::{VectorAdd, Workload};
+/// use gpu_archs::quadro_fx_5600;
+/// use simt_sim::{Gpu, Structure};
+///
+/// let arch = quadro_fx_5600();
+/// let mut gpu = Gpu::new(arch.clone());
+/// let mut ace = AceAnalyzer::new(&arch); // conservative, paper-default
+/// VectorAdd::new(512, 1).run(&mut gpu, &mut ace)?;
+/// let rf = ace.report(Structure::VectorRegisterFile);
+/// assert!(rf.avf_ace > 0.0 && rf.avf_ace < 1.0);
+/// assert!(rf.occupancy > 0.0);
+///
+/// // Refined mode yields a smaller (or equal) estimate:
+/// let mut gpu2 = Gpu::new(arch.clone());
+/// let mut refined = AceAnalyzer::with_mode(&arch, AceMode::WriteToLastRead);
+/// VectorAdd::new(512, 1).run(&mut gpu2, &mut refined)?;
+/// let rf2 = refined.report(Structure::VectorRegisterFile);
+/// assert!(rf2.avf_ace <= rf.avf_ace + 1e-12);
+/// # Ok::<(), simt_sim::SimError>(())
+/// ```
+#[derive(Debug)]
+pub struct AceAnalyzer {
+    rf: StructTracker,
+    srf: StructTracker,
+    lds: StructTracker,
+    total_cycles: u64,
+    mode: AceMode,
+}
+
+impl AceAnalyzer {
+    /// A conservative (paper-default) analyzer sized for `arch`.
+    pub fn new(arch: &ArchConfig) -> Self {
+        Self::with_mode(arch, AceMode::LiveUntilOverwrite)
+    }
+
+    /// An analyzer with an explicit refinement mode.
+    pub fn with_mode(arch: &ArchConfig, mode: AceMode) -> Self {
+        AceAnalyzer {
+            rf: StructTracker::new(arch.rf_words_per_sm(), arch.num_sms, mode),
+            srf: StructTracker::new(arch.srf_words_per_sm(), arch.num_sms, mode),
+            lds: StructTracker::new(arch.lds_words_per_sm(), arch.num_sms, mode),
+            total_cycles: 0,
+            mode,
+        }
+    }
+
+    /// The refinement mode in use.
+    pub fn mode(&self) -> AceMode {
+        self.mode
+    }
+
+    fn tracker(&self, s: Structure) -> &StructTracker {
+        match s {
+            Structure::VectorRegisterFile => &self.rf,
+            Structure::ScalarRegisterFile => &self.srf,
+            Structure::LocalMemory => &self.lds,
+        }
+    }
+
+    /// The ACE/occupancy summary for one structure.
+    ///
+    /// Both ratios are over *all* executed cycles and the structure
+    /// capacity of all SMs — the same site space the fault-injection
+    /// campaign samples uniformly.
+    pub fn report(&self, s: Structure) -> StructureReport {
+        let t = self.tracker(s);
+        let total_bits = t.total_words * 32;
+        let denom = (total_bits as f64) * (self.total_cycles as f64);
+        let ace_bit_cycles = t.ace_word_cycles * 32;
+        let (avf, occ) = if denom > 0.0 {
+            (
+                ace_bit_cycles as f64 / denom,
+                t.occ_word_cycles as f64 / (t.total_words as f64 * self.total_cycles as f64),
+            )
+        } else {
+            (0.0, 0.0)
+        };
+        StructureReport { avf_ace: avf, occupancy: occ, ace_bit_cycles, total_bits }
+    }
+
+    /// Total application cycles observed so far.
+    pub fn total_cycles(&self) -> u64 {
+        self.total_cycles
+    }
+}
+
+impl SimObserver for AceAnalyzer {
+    fn on_rf_write(&mut self, sm: u32, word: u32, cycle: u64) {
+        self.rf.on_write(sm, word, cycle);
+    }
+    fn on_rf_read(&mut self, sm: u32, word: u32, cycle: u64) {
+        self.rf.on_read(sm, word, cycle);
+    }
+    fn on_srf_write(&mut self, sm: u32, word: u32, cycle: u64) {
+        self.srf.on_write(sm, word, cycle);
+    }
+    fn on_srf_read(&mut self, sm: u32, word: u32, cycle: u64) {
+        self.srf.on_read(sm, word, cycle);
+    }
+    fn on_lds_write(&mut self, sm: u32, word: u32, cycle: u64) {
+        self.lds.on_write(sm, word, cycle);
+    }
+    fn on_lds_read(&mut self, sm: u32, word: u32, cycle: u64) {
+        self.lds.on_read(sm, word, cycle);
+    }
+    fn on_block_dispatch(&mut self, _sm: u32, r: BlockRegions, cycle: u64) {
+        self.rf.occupancy_tick(cycle);
+        self.srf.occupancy_tick(cycle);
+        self.lds.occupancy_tick(cycle);
+        self.rf.allocated += r.rf_len as u64;
+        self.srf.allocated += r.srf_len as u64;
+        self.lds.allocated += r.lds_len as u64;
+    }
+    fn on_block_retire(&mut self, sm: u32, r: BlockRegions, cycle: u64) {
+        self.rf.occupancy_tick(cycle);
+        self.srf.occupancy_tick(cycle);
+        self.lds.occupancy_tick(cycle);
+        self.rf.allocated -= r.rf_len as u64;
+        self.srf.allocated -= r.srf_len as u64;
+        self.lds.allocated -= r.lds_len as u64;
+        self.rf.free_region(sm, r.rf_base, r.rf_len, cycle);
+        self.srf.free_region(sm, r.srf_base, r.srf_len, cycle);
+        self.lds.free_region(sm, r.lds_base, r.lds_len, cycle);
+    }
+    fn on_launch_begin(&mut self, _name: &str, cycle: u64) {
+        for t in [&mut self.rf, &mut self.srf, &mut self.lds] {
+            t.flush(cycle);
+            t.set_launch_start(cycle);
+            t.occupancy_tick(cycle);
+        }
+    }
+    fn on_launch_end(&mut self, cycle: u64) {
+        for t in [&mut self.rf, &mut self.srf, &mut self.lds] {
+            t.flush(cycle);
+            t.occupancy_tick(cycle);
+        }
+        self.total_cycles = cycle;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use simt_sim::ArchConfig;
+
+    fn refined() -> AceAnalyzer {
+        AceAnalyzer::with_mode(&ArchConfig::small_test_gpu(), AceMode::WriteToLastRead)
+    }
+
+    fn conservative() -> AceAnalyzer {
+        AceAnalyzer::new(&ArchConfig::small_test_gpu())
+    }
+
+    #[test]
+    fn refined_counts_write_to_last_read() {
+        let mut a = refined();
+        a.on_launch_begin("k", 0);
+        a.on_rf_write(0, 5, 10);
+        a.on_rf_read(0, 5, 20);
+        a.on_rf_read(0, 5, 50);
+        a.on_rf_write(0, 5, 60);
+        a.on_launch_end(100);
+        // [10, 50] closed by the overwrite, plus the dead tail value.
+        assert_eq!(a.report(Structure::VectorRegisterFile).ace_bit_cycles, 40 * 32);
+    }
+
+    #[test]
+    fn conservative_counts_write_to_overwrite() {
+        let mut a = conservative();
+        a.on_launch_begin("k", 0);
+        a.on_rf_write(0, 5, 10);
+        a.on_rf_read(0, 5, 20); // reads are irrelevant here
+        a.on_rf_write(0, 5, 60);
+        a.on_launch_end(100);
+        // [10, 60) + [60, 100) (flushed at launch end).
+        assert_eq!(
+            a.report(Structure::VectorRegisterFile).ace_bit_cycles,
+            (50 + 40) * 32
+        );
+    }
+
+    #[test]
+    fn conservative_closes_at_block_retire() {
+        let mut a = conservative();
+        a.on_launch_begin("k", 0);
+        a.on_block_dispatch(0, BlockRegions { rf_base: 0, rf_len: 8, ..Default::default() }, 0);
+        a.on_rf_write(0, 3, 10);
+        a.on_block_retire(0, BlockRegions { rf_base: 0, rf_len: 8, ..Default::default() }, 40);
+        a.on_launch_end(100);
+        // Live [10, 40): ends at deallocation, not at launch end.
+        assert_eq!(a.report(Structure::VectorRegisterFile).ace_bit_cycles, 30 * 32);
+    }
+
+    #[test]
+    fn refined_dead_write_is_unace_conservative_is_not() {
+        let mut r = refined();
+        r.on_launch_begin("k", 0);
+        r.on_rf_write(0, 1, 10);
+        r.on_launch_end(100);
+        assert_eq!(r.report(Structure::VectorRegisterFile).ace_bit_cycles, 0);
+
+        let mut c = conservative();
+        c.on_launch_begin("k", 0);
+        c.on_rf_write(0, 1, 10);
+        c.on_launch_end(100);
+        assert_eq!(
+            c.report(Structure::VectorRegisterFile).ace_bit_cycles,
+            90 * 32,
+            "conservative mode cannot prove the value dead"
+        );
+    }
+
+    #[test]
+    fn refined_read_of_initial_zero_counts_from_launch_start() {
+        let mut a = refined();
+        a.on_launch_begin("k", 5);
+        a.on_rf_read(0, 2, 25);
+        a.on_launch_end(100);
+        assert_eq!(a.report(Structure::VectorRegisterFile).ace_bit_cycles, 20 * 32);
+    }
+
+    #[test]
+    fn avf_normalizes_over_structure_and_time() {
+        let mut a = refined();
+        a.on_launch_begin("k", 0);
+        a.on_rf_write(0, 0, 0);
+        a.on_rf_read(0, 0, 100);
+        a.on_launch_end(100);
+        let r = a.report(Structure::VectorRegisterFile);
+        let expect = 1.0 / (4096.0 * 2.0);
+        assert!((r.avf_ace - expect).abs() < 1e-12, "{} vs {expect}", r.avf_ace);
+    }
+
+    #[test]
+    fn occupancy_integrates_block_residency() {
+        let mut a = conservative();
+        a.on_launch_begin("k", 0);
+        a.on_block_dispatch(0, BlockRegions { rf_base: 0, rf_len: 4096, ..Default::default() }, 0);
+        a.on_block_retire(0, BlockRegions { rf_base: 0, rf_len: 4096, ..Default::default() }, 50);
+        a.on_launch_end(100);
+        let r = a.report(Structure::VectorRegisterFile);
+        assert!((r.occupancy - 0.25).abs() < 1e-12, "{}", r.occupancy);
+    }
+
+    #[test]
+    fn multi_launch_accumulates() {
+        let mut a = refined();
+        a.on_launch_begin("k1", 0);
+        a.on_rf_write(0, 0, 0);
+        a.on_rf_read(0, 0, 10);
+        a.on_launch_end(50);
+        a.on_launch_begin("k2", 50);
+        a.on_rf_write(0, 0, 50);
+        a.on_rf_read(0, 0, 70);
+        a.on_launch_end(100);
+        let r = a.report(Structure::VectorRegisterFile);
+        assert_eq!(r.ace_bit_cycles, (10 + 20) * 32);
+        assert_eq!(a.total_cycles(), 100);
+    }
+
+    #[test]
+    fn out_of_range_events_are_ignored() {
+        let mut a = refined();
+        a.on_launch_begin("k", 0);
+        a.on_rf_write(0, u32::MAX, 1);
+        a.on_rf_read(0, u32::MAX, 2);
+        a.on_launch_end(10);
+        assert_eq!(a.report(Structure::VectorRegisterFile).ace_bit_cycles, 0);
+    }
+
+    #[test]
+    fn empty_run_reports_zero() {
+        let a = conservative();
+        let r = a.report(Structure::LocalMemory);
+        assert_eq!(r.avf_ace, 0.0);
+        assert_eq!(r.occupancy, 0.0);
+        assert_eq!(a.mode(), AceMode::LiveUntilOverwrite);
+    }
+}

@@ -1,0 +1,471 @@
+//! Statistical fault-injection campaigns.
+//!
+//! A campaign measures the AVF of one storage structure for one workload
+//! on one device, GUFI/SIFI style:
+//!
+//! 1. run the workload fault-free to capture the **golden** output and the
+//!    total cycle count;
+//! 2. draw `n` fault sites uniformly at random over
+//!    `(SM, word, bit, cycle)`;
+//! 3. replay the workload once per site with the single bit flip armed;
+//! 4. classify each run as **masked** (output identical), **SDC** (silent
+//!    data corruption: output differs) or **DUE** (detected unrecoverable
+//!    error: bad access, divergent barrier or watchdog timeout);
+//! 5. report `AVF = (SDC + DUE) / n` with its statistical margin.
+//!
+//! Replays are embarrassingly parallel; [`run_campaign`] fans them out
+//! over a configurable number of threads with fully deterministic results
+//! (the site list depends only on the seed, never on thread scheduling).
+
+use crate::ace::AceAnalyzer;
+use crate::stats::{error_margin, fault_population, Proportion, Z_99};
+use gpu_workloads::Workload;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+use simt_sim::{ArchConfig, FaultSite, Gpu, NoopObserver, SimError, Structure};
+
+/// Outcome of one fault-injection run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Outcome {
+    /// The flip did not affect the program output.
+    Masked,
+    /// Silent data corruption: the run completed with a wrong output.
+    Sdc,
+    /// Detected unrecoverable error: crash or hang.
+    Due,
+}
+
+/// Outcome counters of a campaign.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Tally {
+    /// Runs with unchanged output.
+    pub masked: u64,
+    /// Runs with corrupted output.
+    pub sdc: u64,
+    /// Crashed or hung runs.
+    pub due: u64,
+}
+
+impl Tally {
+    /// Total injections.
+    pub fn total(&self) -> u64 {
+        self.masked + self.sdc + self.due
+    }
+
+    /// Failures (SDC + DUE) — the AVF numerator.
+    pub fn failures(&self) -> u64 {
+        self.sdc + self.due
+    }
+
+    fn add(&mut self, o: Outcome) {
+        match o {
+            Outcome::Masked => self.masked += 1,
+            Outcome::Sdc => self.sdc += 1,
+            Outcome::Due => self.due += 1,
+        }
+    }
+
+    /// Combines two tallies (e.g. campaign shards run with disjoint
+    /// seeds on different machines).
+    pub fn merge(&self, other: &Tally) -> Tally {
+        Tally {
+            masked: self.masked + other.masked,
+            sdc: self.sdc + other.sdc,
+            due: self.due + other.due,
+        }
+    }
+}
+
+/// Campaign parameters.
+///
+/// # Example
+/// ```
+/// use grel_core::campaign::CampaignConfig;
+/// let quick = CampaignConfig::quick(42);
+/// let paper = CampaignConfig::paper(42);
+/// assert!(paper.injections > quick.injections);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CampaignConfig {
+    /// Number of injections (the paper uses 2,000 per structure).
+    pub injections: u32,
+    /// RNG seed for fault-site sampling.
+    pub seed: u64,
+    /// Worker threads for the replay fan-out.
+    pub threads: usize,
+    /// Watchdog budget as a multiple of the fault-free cycle count.
+    pub watchdog_factor: u64,
+}
+
+impl CampaignConfig {
+    /// The paper's configuration: 2,000 injections (±2.88 % @ 99 %).
+    pub fn paper(seed: u64) -> Self {
+        CampaignConfig { injections: 2000, seed, threads: default_threads(), watchdog_factor: 10 }
+    }
+
+    /// A quick-look configuration: 200 injections (±9.1 % @ 99 %).
+    pub fn quick(seed: u64) -> Self {
+        CampaignConfig { injections: 200, seed, threads: default_threads(), watchdog_factor: 10 }
+    }
+}
+
+fn default_threads() -> usize {
+    std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4)
+}
+
+/// Everything measured by a fault-free reference run.
+#[derive(Debug, Clone)]
+pub struct GoldenRun {
+    /// Output words of the fault-free execution.
+    pub outputs: Vec<u32>,
+    /// Total application cycles.
+    pub cycles: u64,
+}
+
+/// Runs the workload fault-free, capturing golden output and cycles.
+///
+/// # Errors
+///
+/// Propagates launch failures (a correct workload/device pairing never
+/// fails here).
+pub fn golden_run(arch: &ArchConfig, workload: &dyn Workload) -> Result<GoldenRun, SimError> {
+    let mut gpu = Gpu::new(arch.clone());
+    let outputs = workload.run(&mut gpu, &mut NoopObserver)?;
+    Ok(GoldenRun { outputs, cycles: gpu.app_cycle() })
+}
+
+/// Runs the workload fault-free under the [`AceAnalyzer`], returning the
+/// golden run and the analyzer (ACE AVF + occupancy for every structure).
+///
+/// # Errors
+///
+/// Propagates launch failures.
+pub fn golden_run_with_ace(
+    arch: &ArchConfig,
+    workload: &dyn Workload,
+) -> Result<(GoldenRun, AceAnalyzer), SimError> {
+    let mut gpu = Gpu::new(arch.clone());
+    let mut ace = AceAnalyzer::new(arch);
+    let outputs = workload.run(&mut gpu, &mut ace)?;
+    Ok((GoldenRun { outputs, cycles: gpu.app_cycle() }, ace))
+}
+
+/// Result of a fault-injection campaign on one structure.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct CampaignResult {
+    /// Structure injected.
+    pub structure: Structure,
+    /// Outcome counters.
+    pub tally: Tally,
+    /// Fault-free cycle count (the sampling window).
+    pub golden_cycles: u64,
+    /// Error margin of the AVF estimate at 99 % confidence.
+    pub margin_99: f64,
+}
+
+impl CampaignResult {
+    /// The fault-injection AVF: `(SDC + DUE) / injections`.
+    pub fn avf(&self) -> f64 {
+        if self.tally.total() == 0 {
+            0.0
+        } else {
+            self.tally.failures() as f64 / self.tally.total() as f64
+        }
+    }
+
+    /// SDC-only AVF (excludes detected errors).
+    pub fn avf_sdc(&self) -> f64 {
+        if self.tally.total() == 0 {
+            0.0
+        } else {
+            self.tally.sdc as f64 / self.tally.total() as f64
+        }
+    }
+
+    /// Merges a second campaign shard over the same `(arch, workload,
+    /// structure)` into a combined estimate with a tighter margin.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the shards disagree on structure or golden cycle count
+    /// (they would not be measuring the same population).
+    pub fn merge(&self, other: &CampaignResult) -> CampaignResult {
+        assert_eq!(self.structure, other.structure, "shards must share a structure");
+        assert_eq!(
+            self.golden_cycles, other.golden_cycles,
+            "shards must share the golden run"
+        );
+        let tally = self.tally.merge(&other.tally);
+        // Conservative infinite-population margin for the merged sample.
+        let margin_99 = error_margin(u64::MAX, tally.total().max(1), Z_99);
+        CampaignResult {
+            structure: self.structure,
+            tally,
+            golden_cycles: self.golden_cycles,
+            margin_99,
+        }
+    }
+
+    /// The AVF as a [`Proportion`] with its confidence interval.
+    pub fn proportion(&self, structure_bits: u64) -> Proportion {
+        Proportion::new(
+            self.tally.failures(),
+            self.tally.total().max(1),
+            fault_population(structure_bits, self.golden_cycles),
+        )
+    }
+}
+
+/// Draws the deterministic fault-site list for a campaign.
+///
+/// Exposed for reproducibility tooling: the sites depend only on the
+/// arguments, never on threading.
+pub fn sample_sites(
+    arch: &ArchConfig,
+    structure: Structure,
+    cycles: u64,
+    n: u32,
+    seed: u64,
+) -> Vec<FaultSite> {
+    let words = match structure {
+        Structure::VectorRegisterFile => arch.rf_words_per_sm(),
+        Structure::LocalMemory => arch.lds_words_per_sm(),
+        Structure::ScalarRegisterFile => arch.srf_words_per_sm(),
+    };
+    assert!(words > 0, "device has no {structure}");
+    assert!(cycles > 0, "cannot sample an empty execution");
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..n)
+        .map(|_| FaultSite {
+            structure,
+            sm: rng.gen_range(0..arch.num_sms),
+            word: rng.gen_range(0..words),
+            bit: rng.gen_range(0..32) as u8,
+            cycle: rng.gen_range(0..cycles),
+        })
+        .collect()
+}
+
+/// Classifies one injection replay.
+fn classify(
+    arch: &ArchConfig,
+    workload: &dyn Workload,
+    golden: &GoldenRun,
+    site: FaultSite,
+    watchdog_factor: u64,
+) -> Outcome {
+    let mut gpu = Gpu::new(arch.clone());
+    gpu.set_watchdog(golden.cycles * watchdog_factor + 10_000);
+    gpu.arm_fault(site);
+    match workload.run(&mut gpu, &mut NoopObserver) {
+        Ok(out) if out == golden.outputs => Outcome::Masked,
+        Ok(_) => Outcome::Sdc,
+        Err(SimError::Due(_)) => Outcome::Due,
+        Err(e) => unreachable!("non-DUE launch failure under injection: {e}"),
+    }
+}
+
+/// Runs a full statistical fault-injection campaign.
+///
+/// Deterministic for a given `(arch, workload, structure, cfg)`ensemble
+/// regardless of `cfg.threads`.
+///
+/// # Errors
+///
+/// Fails only if the fault-free golden run fails.
+///
+/// # Example
+/// ```
+/// use grel_core::campaign::{run_campaign, CampaignConfig};
+/// use gpu_workloads::VectorAdd;
+/// use gpu_archs::quadro_fx_5600;
+/// use simt_sim::Structure;
+///
+/// let mut cfg = CampaignConfig::quick(7);
+/// cfg.injections = 24;
+/// let r = run_campaign(
+///     &quadro_fx_5600(),
+///     &VectorAdd::new(256, 7),
+///     Structure::VectorRegisterFile,
+///     cfg,
+/// )?;
+/// assert_eq!(r.tally.total(), 24);
+/// # Ok::<(), simt_sim::SimError>(())
+/// ```
+pub fn run_campaign(
+    arch: &ArchConfig,
+    workload: &dyn Workload,
+    structure: Structure,
+    cfg: CampaignConfig,
+) -> Result<CampaignResult, SimError> {
+    let golden = golden_run(arch, workload)?;
+    Ok(run_campaign_with_golden(arch, workload, structure, cfg, &golden))
+}
+
+/// [`run_campaign`] against an already-captured golden run (saves the
+/// fault-free replay when several campaigns share one workload).
+pub fn run_campaign_with_golden(
+    arch: &ArchConfig,
+    workload: &dyn Workload,
+    structure: Structure,
+    cfg: CampaignConfig,
+    golden: &GoldenRun,
+) -> CampaignResult {
+    let sites = sample_sites(arch, structure, golden.cycles, cfg.injections, cfg.seed);
+    let outcomes = run_injections(arch, workload, golden, &sites, cfg);
+    let mut tally = Tally::default();
+    for o in outcomes {
+        tally.add(o);
+    }
+    let structure_bits = match structure {
+        Structure::VectorRegisterFile => arch.rf_words_per_sm(),
+        Structure::LocalMemory => arch.lds_words_per_sm(),
+        Structure::ScalarRegisterFile => arch.srf_words_per_sm(),
+    } as u64
+        * 32
+        * arch.num_sms as u64;
+    CampaignResult {
+        structure,
+        tally,
+        golden_cycles: golden.cycles,
+        margin_99: error_margin(
+            fault_population(structure_bits, golden.cycles),
+            cfg.injections.max(1) as u64,
+            Z_99,
+        ),
+    }
+}
+
+/// Replays every site, fanning out across threads; outcome order matches
+/// the site order.
+pub fn run_injections(
+    arch: &ArchConfig,
+    workload: &dyn Workload,
+    golden: &GoldenRun,
+    sites: &[FaultSite],
+    cfg: CampaignConfig,
+) -> Vec<Outcome> {
+    let threads = cfg.threads.max(1);
+    if threads == 1 || sites.len() < 2 {
+        return sites
+            .iter()
+            .map(|&s| classify(arch, workload, golden, s, cfg.watchdog_factor))
+            .collect();
+    }
+    let chunk = sites.len().div_ceil(threads);
+    let mut results: Vec<Vec<Outcome>> = Vec::new();
+    crossbeam::thread::scope(|scope| {
+        let handles: Vec<_> = sites
+            .chunks(chunk)
+            .map(|part| {
+                scope.spawn(move |_| {
+                    part.iter()
+                        .map(|&s| classify(arch, workload, golden, s, cfg.watchdog_factor))
+                        .collect::<Vec<_>>()
+                })
+            })
+            .collect();
+        results = handles.into_iter().map(|h| h.join().expect("injection worker")).collect();
+    })
+    .expect("campaign thread scope");
+    results.into_iter().flatten().collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gpu_archs::quadro_fx_5600;
+    use gpu_workloads::{Histogram, VectorAdd};
+
+    fn small_cfg(n: u32) -> CampaignConfig {
+        CampaignConfig { injections: n, seed: 99, threads: 2, watchdog_factor: 10 }
+    }
+
+    #[test]
+    fn golden_run_matches_reference() {
+        let arch = quadro_fx_5600();
+        let w = VectorAdd::new(256, 3);
+        let g = golden_run(&arch, &w).unwrap();
+        assert_eq!(g.outputs, w.reference());
+        assert!(g.cycles > 0);
+    }
+
+    #[test]
+    fn sites_are_deterministic_and_in_range() {
+        let arch = quadro_fx_5600();
+        let a = sample_sites(&arch, Structure::VectorRegisterFile, 1000, 50, 7);
+        let b = sample_sites(&arch, Structure::VectorRegisterFile, 1000, 50, 7);
+        assert_eq!(a, b);
+        for s in &a {
+            assert!(s.sm < arch.num_sms);
+            assert!(s.word < arch.rf_words_per_sm());
+            assert!(s.bit < 32);
+            assert!(s.cycle < 1000);
+        }
+        let c = sample_sites(&arch, Structure::VectorRegisterFile, 1000, 50, 8);
+        assert_ne!(a, c, "different seed, different sites");
+    }
+
+    #[test]
+    #[should_panic(expected = "no scalar register file")]
+    fn sampling_missing_structure_panics() {
+        let arch = quadro_fx_5600();
+        let _ = sample_sites(&arch, Structure::ScalarRegisterFile, 100, 1, 0);
+    }
+
+    #[test]
+    fn campaign_tally_sums_and_is_thread_invariant() {
+        let arch = quadro_fx_5600();
+        let w = VectorAdd::new(256, 3);
+        let mut cfg = small_cfg(16);
+        let r1 = run_campaign(&arch, &w, Structure::VectorRegisterFile, cfg).unwrap();
+        assert_eq!(r1.tally.total(), 16);
+        cfg.threads = 1;
+        let r2 = run_campaign(&arch, &w, Structure::VectorRegisterFile, cfg).unwrap();
+        assert_eq!(r1.tally, r2.tally, "threading must not change outcomes");
+        assert!(r1.avf() >= 0.0 && r1.avf() <= 1.0);
+        assert!(r1.margin_99 > 0.0);
+    }
+
+    #[test]
+    fn injections_into_lds_classify() {
+        let arch = quadro_fx_5600();
+        let w = Histogram::new(1024, 64, 5);
+        let r = run_campaign(&arch, &w, Structure::LocalMemory, small_cfg(12)).unwrap();
+        assert_eq!(r.tally.total(), 12);
+    }
+
+    #[test]
+    fn shard_merge_tightens_margin() {
+        let arch = quadro_fx_5600();
+        let w = VectorAdd::new(256, 3);
+        let a = run_campaign(&arch, &w, Structure::VectorRegisterFile, small_cfg(16)).unwrap();
+        let b = run_campaign(
+            &arch,
+            &w,
+            Structure::VectorRegisterFile,
+            CampaignConfig { seed: 123, ..small_cfg(16) },
+        )
+        .unwrap();
+        let m = a.merge(&b);
+        assert_eq!(m.tally.total(), 32);
+        assert!(m.margin_99 < a.margin_99);
+        assert_eq!(m.golden_cycles, a.golden_cycles);
+    }
+
+    #[test]
+    fn proportion_uses_population() {
+        let r = CampaignResult {
+            structure: Structure::VectorRegisterFile,
+            tally: Tally { masked: 90, sdc: 8, due: 2 },
+            golden_cycles: 1_000_000,
+            margin_99: 0.1,
+        };
+        assert!((r.avf() - 0.10).abs() < 1e-12);
+        assert!((r.avf_sdc() - 0.08).abs() < 1e-12);
+        let p = r.proportion(1 << 20);
+        assert_eq!(p.hits, 10);
+        assert_eq!(p.trials, 100);
+    }
+}

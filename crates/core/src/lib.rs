@@ -1,0 +1,67 @@
+//! # grel-core — GPU reliability evaluation framework
+//!
+//! The reproduction of the ISPASS 2017 paper's contribution: a unified
+//! GUFI/SIFI-style toolkit that measures the soft-error vulnerability of
+//! GPU storage structures with two methodologies and correlates it with
+//! performance:
+//!
+//! * [`campaign`] — statistical **fault injection**: golden run, uniform
+//!   `(SM, word, bit, cycle)` site sampling, parallel replays, and
+//!   masked/SDC/DUE classification;
+//! * [`ace`] — **ACE analysis**: single-pass write→last-read lifetime
+//!   tracking over the physical register files and local memory, plus
+//!   time-weighted occupancy (the red line of Fig. 1/2);
+//! * [`stats`] — the Leveugle sample-size model behind the paper's
+//!   "2,000 injections → ±2.88 % @ 99 %" footnote, plus Pearson
+//!   correlation for the AVF↔occupancy finding;
+//! * [`mod@epf`] — FIT/EIT/**EPF** (Executions Per Failure), the combined
+//!   reliability-performance metric of Fig. 3;
+//! * [`study`] — the full cross-product driver that regenerates the
+//!   series behind every figure of the paper.
+//!
+//! ## Example: one campaign
+//!
+//! ```
+//! use grel_core::campaign::{run_campaign, CampaignConfig};
+//! use gpu_workloads::VectorAdd;
+//! use gpu_archs::geforce_gtx_480;
+//! use simt_sim::Structure;
+//!
+//! let mut cfg = CampaignConfig::quick(1);
+//! cfg.injections = 16; // doc-test sized
+//! let result = run_campaign(
+//!     &geforce_gtx_480(),
+//!     &VectorAdd::new(512, 1),
+//!     Structure::VectorRegisterFile,
+//!     cfg,
+//! )?;
+//! assert_eq!(result.tally.total(), 16);
+//! println!("AVF = {:.2}% ± {:.2}%", result.avf() * 100.0, result.margin_99 * 100.0);
+//! # Ok::<(), simt_sim::SimError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod ace;
+pub mod breakdown;
+pub mod campaign;
+pub mod epf;
+pub mod perf;
+pub mod protection;
+pub mod stats;
+pub mod study;
+
+pub use ace::{AceAnalyzer, AceMode, StructureReport};
+pub use breakdown::{avf_by_bit, avf_by_phase, detailed_campaign, due_fraction, mbu_campaign, SiteOutcome};
+pub use campaign::{
+    golden_run, golden_run_with_ace, run_campaign, CampaignConfig, CampaignResult, GoldenRun,
+    Outcome, Tally,
+};
+pub use epf::{eit, epf, structure_bits, structure_fit, FitBreakdown};
+pub use perf::{profile, PerfProfile};
+pub use protection::{project, protection_sweep, ProtectedPoint, Protection};
+pub use study::{
+    evaluate_point, run_study, AvfRow, EpfRow, EvalPoint, Findings, StructureEval, StudyConfig,
+    StudyResult,
+};

@@ -1,0 +1,234 @@
+//! Statistical machinery for fault-injection campaigns.
+//!
+//! The paper's footnote 4 calibrates its campaigns with the standard
+//! statistical fault-injection sample-size model (Leveugle et al., DATE
+//! 2009): treating each injection as a Bernoulli trial with the
+//! conservative `p = 0.5`, a sample of `n` faults from a population of `N`
+//! possible (bit, cycle) pairs estimates the AVF within margin
+//!
+//! ```text
+//! e = z · sqrt( p(1-p)/n · (N-n)/(N-1) )
+//! ```
+//!
+//! With 2,000 injections and 99 % confidence this gives the paper's quoted
+//! **2.88 %** margin (the finite-population factor is ≈ 1 for any real
+//! structure).
+
+/// z-score for 90 % confidence.
+pub const Z_90: f64 = 1.645;
+/// z-score for 95 % confidence.
+pub const Z_95: f64 = 1.960;
+/// z-score for 99 % confidence (the paper's choice).
+pub const Z_99: f64 = 2.576;
+
+/// The error margin of an `n`-injection campaign over a population of
+/// `population` fault sites, at confidence `z`.
+///
+/// Uses the conservative `p = 0.5`. Returns 0 when `n >= population`
+/// (exhaustive injection is exact).
+///
+/// # Example
+/// ```
+/// use grel_core::stats::{error_margin, Z_99};
+/// // The paper's footnote: 2,000 injections -> 2.88% at 99% confidence.
+/// let e = error_margin(u64::MAX, 2000, Z_99);
+/// assert!((e - 0.0288).abs() < 0.0001);
+/// ```
+pub fn error_margin(population: u64, n: u64, z: f64) -> f64 {
+    assert!(n > 0, "campaign must have at least one injection");
+    if n >= population {
+        return 0.0;
+    }
+    let nn = n as f64;
+    let pop = population as f64;
+    let fpc = (pop - nn) / (pop - 1.0);
+    z * (0.25 / nn * fpc).sqrt()
+}
+
+/// The number of injections needed to reach margin `e` at confidence `z`
+/// over a population of `population` sites (Leveugle's formula).
+///
+/// # Example
+/// ```
+/// use grel_core::stats::{required_sample_size, Z_99};
+/// let n = required_sample_size(u64::MAX, 0.0288, Z_99);
+/// assert!((1990..=2010).contains(&n), "n = {n}");
+/// ```
+pub fn required_sample_size(population: u64, e: f64, z: f64) -> u64 {
+    assert!(e > 0.0, "margin must be positive");
+    let pop = population as f64;
+    let n = pop / (1.0 + e * e * (pop - 1.0) / (z * z * 0.25));
+    n.ceil() as u64
+}
+
+/// Size of the fault-site population for a structure of `bits` bits over
+/// an execution of `cycles` cycles (every bit in every cycle is a distinct
+/// candidate single-bit flip).
+///
+/// Saturates at `u64::MAX`.
+///
+/// # Example
+/// ```
+/// use grel_core::stats::fault_population;
+/// assert_eq!(fault_population(32, 100), 3200);
+/// ```
+pub fn fault_population(bits: u64, cycles: u64) -> u64 {
+    bits.saturating_mul(cycles)
+}
+
+/// A binomial proportion with its confidence interval: the AVF estimate a
+/// campaign produces.
+///
+/// # Example
+/// ```
+/// use grel_core::stats::Proportion;
+/// let p = Proportion::new(140, 2000, u64::MAX);
+/// assert!((p.value - 0.07).abs() < 1e-12);
+/// assert!(p.margin_99 > 0.0);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Proportion {
+    /// Point estimate (`hits / trials`).
+    pub value: f64,
+    /// Number of positive outcomes.
+    pub hits: u64,
+    /// Number of trials.
+    pub trials: u64,
+    /// Error margin at 99 % confidence (conservative `p = 0.5` model).
+    pub margin_99: f64,
+}
+
+impl Proportion {
+    /// Builds the estimate for `hits` out of `trials` samples drawn from
+    /// `population` sites.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `trials == 0`.
+    pub fn new(hits: u64, trials: u64, population: u64) -> Self {
+        assert!(trials > 0, "proportion needs at least one trial");
+        Proportion {
+            value: hits as f64 / trials as f64,
+            hits,
+            trials,
+            margin_99: error_margin(population, trials, Z_99),
+        }
+    }
+
+    /// The interval `[value - margin, value + margin]` clamped to `[0, 1]`.
+    pub fn interval_99(&self) -> (f64, f64) {
+        (
+            (self.value - self.margin_99).max(0.0),
+            (self.value + self.margin_99).min(1.0),
+        )
+    }
+}
+
+/// Pearson correlation coefficient of two equal-length samples (used for
+/// the paper's AVF ↔ occupancy observation).
+///
+/// Returns 0 for degenerate inputs (fewer than two points or zero
+/// variance).
+///
+/// # Example
+/// ```
+/// use grel_core::stats::pearson;
+/// let r = pearson(&[1.0, 2.0, 3.0], &[2.0, 4.0, 6.0]);
+/// assert!((r - 1.0).abs() < 1e-12);
+/// ```
+pub fn pearson(x: &[f64], y: &[f64]) -> f64 {
+    assert_eq!(x.len(), y.len(), "samples must pair up");
+    let n = x.len();
+    if n < 2 {
+        return 0.0;
+    }
+    let mx = x.iter().sum::<f64>() / n as f64;
+    let my = y.iter().sum::<f64>() / n as f64;
+    let mut sxy = 0.0;
+    let mut sxx = 0.0;
+    let mut syy = 0.0;
+    for i in 0..n {
+        let dx = x[i] - mx;
+        let dy = y[i] - my;
+        sxy += dx * dy;
+        sxx += dx * dx;
+        syy += dy * dy;
+    }
+    if sxx == 0.0 || syy == 0.0 {
+        return 0.0;
+    }
+    sxy / (sxx * syy).sqrt()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_footnote_margin() {
+        // "2,000 fault injections ... 2.88% error margin for 99%
+        // confidence level"
+        let e = error_margin(1u64 << 60, 2000, Z_99);
+        assert!((e - 0.0288).abs() < 1e-4, "e = {e}");
+    }
+
+    #[test]
+    fn margin_shrinks_with_samples() {
+        let pop = 1u64 << 40;
+        assert!(error_margin(pop, 100, Z_99) > error_margin(pop, 1000, Z_99));
+        assert!(error_margin(pop, 1000, Z_95) < error_margin(pop, 1000, Z_99));
+    }
+
+    #[test]
+    fn exhaustive_campaign_is_exact() {
+        assert_eq!(error_margin(500, 500, Z_99), 0.0);
+        assert_eq!(error_margin(500, 600, Z_99), 0.0);
+    }
+
+    #[test]
+    fn sample_size_round_trips_margin() {
+        let pop = 1u64 << 50;
+        for &target in &[0.05, 0.02, 0.01] {
+            let n = required_sample_size(pop, target, Z_95);
+            let e = error_margin(pop, n, Z_95);
+            assert!(e <= target + 1e-9, "margin {e} for requested {target}");
+        }
+    }
+
+    #[test]
+    fn finite_population_reduces_sample() {
+        // A small population needs fewer samples than an infinite one.
+        let small = required_sample_size(10_000, 0.01, Z_99);
+        let big = required_sample_size(1u64 << 60, 0.01, Z_99);
+        assert!(small < big);
+    }
+
+    #[test]
+    fn proportion_interval() {
+        let p = Proportion::new(0, 100, 1u64 << 40);
+        assert_eq!(p.value, 0.0);
+        assert_eq!(p.interval_99().0, 0.0, "clamped at zero");
+        let q = Proportion::new(100, 100, 1u64 << 40);
+        assert_eq!(q.interval_99().1, 1.0, "clamped at one");
+    }
+
+    #[test]
+    fn pearson_basics() {
+        assert!((pearson(&[1.0, 2.0, 3.0], &[6.0, 4.0, 2.0]) + 1.0).abs() < 1e-12);
+        assert_eq!(pearson(&[1.0, 1.0], &[2.0, 3.0]), 0.0, "zero variance");
+        assert_eq!(pearson(&[1.0], &[2.0]), 0.0, "single point");
+        let r = pearson(&[1.0, 2.0, 3.0, 4.0], &[1.1, 1.9, 3.2, 3.8]);
+        assert!(r > 0.99);
+    }
+
+    #[test]
+    fn population_saturates() {
+        assert_eq!(fault_population(u64::MAX, 2), u64::MAX);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one injection")]
+    fn zero_sample_rejected() {
+        let _ = error_margin(100, 0, Z_99);
+    }
+}

@@ -1,0 +1,482 @@
+//! The full cross-GPU study: evaluates every (device, workload) pair and
+//! assembles the series behind the paper's three figures.
+
+use crate::ace::{AceAnalyzer, AceMode};
+use crate::campaign::{run_campaign_with_golden, CampaignConfig, Tally};
+use crate::epf::{eit, epf, FitBreakdown};
+use crate::stats::pearson;
+use gpu_workloads::Workload;
+use serde::{Deserialize, Serialize};
+use simt_sim::{ArchConfig, SimError, Structure};
+
+/// Per-structure measurements of one (device, workload) pair.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct StructureEval {
+    /// Fault-injection AVF (`(SDC+DUE)/n`).
+    pub avf_fi: f64,
+    /// SDC-only component of the FI AVF.
+    pub avf_sdc: f64,
+    /// ACE-analysis AVF.
+    pub avf_ace: f64,
+    /// Time-weighted occupancy.
+    pub occupancy: f64,
+    /// 99 % error margin of `avf_fi`.
+    pub margin_99: f64,
+    /// Raw outcome counters.
+    pub tally: Tally,
+}
+
+/// One point of the study: one workload on one device.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct EvalPoint {
+    /// Device marketing name.
+    pub device: String,
+    /// Workload name.
+    pub workload: String,
+    /// Whether the workload uses local memory (Fig. 2 membership).
+    pub uses_local_memory: bool,
+    /// Fault-free application cycles.
+    pub cycles: u64,
+    /// Vector register file measurements.
+    pub rf: StructureEval,
+    /// Local memory measurements (FI only for Fig. 2 workloads; ACE and
+    /// occupancy always).
+    pub lds: StructureEval,
+    /// Scalar register file ACE AVF (devices with a scalar unit).
+    pub srf_avf_ace: Option<f64>,
+    /// FIT contributions derived from the measured AVFs.
+    pub fit: FitBreakdown,
+    /// Executions in 10⁹ hours.
+    pub eit: f64,
+    /// Executions per failure.
+    pub epf: f64,
+}
+
+/// Study-wide parameters.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct StudyConfig {
+    /// Fault-injection campaign parameters.
+    pub campaign: CampaignConfig,
+    /// Seed for workload input generation.
+    pub workload_seed: u64,
+    /// Whether to run FI on local memory for workloads that never touch
+    /// it (the paper does not; the result is ~0 by construction).
+    pub fi_on_unused_lds: bool,
+    /// ACE refinement level (the paper's figures correspond to the
+    /// conservative default).
+    #[serde(skip)]
+    pub ace_mode: AceMode,
+}
+
+impl StudyConfig {
+    /// Paper-scale configuration (2,000 injections per structure).
+    pub fn paper(seed: u64) -> Self {
+        StudyConfig {
+            campaign: CampaignConfig::paper(seed),
+            workload_seed: seed,
+            fi_on_unused_lds: false,
+            ace_mode: AceMode::default(),
+        }
+    }
+
+    /// Quick-look configuration (200 injections per structure).
+    pub fn quick(seed: u64) -> Self {
+        StudyConfig {
+            campaign: CampaignConfig::quick(seed),
+            workload_seed: seed,
+            fi_on_unused_lds: false,
+            ace_mode: AceMode::default(),
+        }
+    }
+}
+
+fn structure_eval(
+    fi: Option<&crate::campaign::CampaignResult>,
+    ace: &AceAnalyzer,
+    s: Structure,
+) -> StructureEval {
+    let rep = ace.report(s);
+    match fi {
+        Some(r) => StructureEval {
+            avf_fi: r.avf(),
+            avf_sdc: r.avf_sdc(),
+            avf_ace: rep.avf_ace,
+            occupancy: rep.occupancy,
+            margin_99: r.margin_99,
+            tally: r.tally,
+        },
+        None => StructureEval {
+            avf_fi: 0.0,
+            avf_sdc: 0.0,
+            avf_ace: rep.avf_ace,
+            occupancy: rep.occupancy,
+            margin_99: 0.0,
+            tally: Tally::default(),
+        },
+    }
+}
+
+/// Evaluates one workload on one device: golden run with ACE analysis,
+/// then fault-injection campaigns on the register file and (when used)
+/// the local memory, then the FIT/EIT/EPF roll-up.
+///
+/// # Errors
+///
+/// Propagates a fault-free launch failure (device/workload mismatch).
+pub fn evaluate_point(
+    arch: &ArchConfig,
+    workload: &dyn Workload,
+    cfg: &StudyConfig,
+) -> Result<EvalPoint, SimError> {
+    let mut gpu = simt_sim::Gpu::new(arch.clone());
+    let mut ace = AceAnalyzer::with_mode(arch, cfg.ace_mode);
+    let outputs = workload.run(&mut gpu, &mut ace)?;
+    let golden = crate::campaign::GoldenRun { outputs, cycles: gpu.app_cycle() };
+    let rf_fi = run_campaign_with_golden(
+        arch,
+        workload,
+        Structure::VectorRegisterFile,
+        cfg.campaign,
+        &golden,
+    );
+    let lds_fi = (workload.uses_local_memory() || cfg.fi_on_unused_lds).then(|| {
+        run_campaign_with_golden(arch, workload, Structure::LocalMemory, cfg.campaign, &golden)
+    });
+    let rf = structure_eval(Some(&rf_fi), &ace, Structure::VectorRegisterFile);
+    let lds = structure_eval(lds_fi.as_ref(), &ace, Structure::LocalMemory);
+    let srf_avf_ace = (arch.srf_words_per_sm() > 0)
+        .then(|| ace.report(Structure::ScalarRegisterFile).avf_ace);
+    // FIT: FI AVF for the injected structures, ACE for the scalar file
+    // (the paper's Fig. 3 folds the studied structures together).
+    let lds_avf_for_fit = lds_fi.as_ref().map(|r| r.avf()).unwrap_or(lds.avf_ace);
+    let fit = FitBreakdown::from_avf(arch, rf.avf_fi, lds_avf_for_fit, srf_avf_ace.unwrap_or(0.0));
+    let e = eit(arch, golden.cycles);
+    Ok(EvalPoint {
+        device: arch.name.clone(),
+        workload: workload.name().to_string(),
+        uses_local_memory: workload.uses_local_memory(),
+        cycles: golden.cycles,
+        rf,
+        lds,
+        srf_avf_ace,
+        fit,
+        eit: e,
+        epf: epf(e, fit.total()),
+    })
+}
+
+/// The assembled study: every (device, workload) point.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct StudyResult {
+    /// One entry per (device, workload) pair, workload-major.
+    pub points: Vec<EvalPoint>,
+}
+
+/// One bar group of Fig. 1 / Fig. 2.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct AvfRow {
+    /// Workload name (`average` for the trailing group).
+    pub workload: String,
+    /// Device name.
+    pub device: String,
+    /// Fault-injection AVF.
+    pub avf_fi: f64,
+    /// ACE-analysis AVF.
+    pub avf_ace: f64,
+    /// Occupancy (the red line).
+    pub occupancy: f64,
+}
+
+/// One bar of Fig. 3.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct EpfRow {
+    /// Workload name.
+    pub workload: String,
+    /// Device name.
+    pub device: String,
+    /// Executions in 10⁹ hours.
+    pub eit: f64,
+    /// Total FIT of the studied structures.
+    pub fit_gpu: f64,
+    /// Executions per failure.
+    pub epf: f64,
+}
+
+/// The paper's headline observations, quantified over the study.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Findings {
+    /// Mean of `AVF_ACE − AVF_FI` over the register file (expected
+    /// strongly positive: F3, ACE overestimates the RF).
+    pub rf_ace_gap: f64,
+    /// Mean of `AVF_ACE − AVF_FI` over the local memory (expected small:
+    /// F3, ACE is accurate for local memory).
+    pub lds_ace_gap: f64,
+    /// Pearson correlation of RF AVF (FI) with RF occupancy (F2).
+    pub rf_avf_occupancy_corr: f64,
+    /// Pearson correlation of LDS AVF (FI) with LDS occupancy (F2).
+    pub lds_avf_occupancy_corr: f64,
+    /// Min and max RF AVF across all points (F1: strong variation).
+    pub rf_avf_range: (f64, f64),
+    /// Min and max EPF across all points (F4: orders of magnitude).
+    pub epf_range: (f64, f64),
+}
+
+impl StudyResult {
+    /// Fig. 1 series: register-file AVF (FI + ACE) and occupancy per
+    /// (workload, device), plus the per-device `average` group.
+    pub fn fig1_rows(&self) -> Vec<AvfRow> {
+        let mut rows: Vec<AvfRow> = self
+            .points
+            .iter()
+            .map(|p| AvfRow {
+                workload: p.workload.clone(),
+                device: p.device.clone(),
+                avf_fi: p.rf.avf_fi,
+                avf_ace: p.rf.avf_ace,
+                occupancy: p.rf.occupancy,
+            })
+            .collect();
+        rows.extend(self.average_rows(|p| {
+            (p.rf.avf_fi, p.rf.avf_ace, p.rf.occupancy)
+        }));
+        rows
+    }
+
+    /// Fig. 2 series: local-memory AVF and occupancy for the workloads
+    /// that use it, plus per-device averages.
+    pub fn fig2_rows(&self) -> Vec<AvfRow> {
+        let mut rows: Vec<AvfRow> = self
+            .points
+            .iter()
+            .filter(|p| p.uses_local_memory)
+            .map(|p| AvfRow {
+                workload: p.workload.clone(),
+                device: p.device.clone(),
+                avf_fi: p.lds.avf_fi,
+                avf_ace: p.lds.avf_ace,
+                occupancy: p.lds.occupancy,
+            })
+            .collect();
+        let devices = self.device_order();
+        for dev in devices {
+            let pts: Vec<&EvalPoint> = self
+                .points
+                .iter()
+                .filter(|p| p.device == dev && p.uses_local_memory)
+                .collect();
+            if pts.is_empty() {
+                continue;
+            }
+            let n = pts.len() as f64;
+            rows.push(AvfRow {
+                workload: "average".into(),
+                device: dev,
+                avf_fi: pts.iter().map(|p| p.lds.avf_fi).sum::<f64>() / n,
+                avf_ace: pts.iter().map(|p| p.lds.avf_ace).sum::<f64>() / n,
+                occupancy: pts.iter().map(|p| p.lds.occupancy).sum::<f64>() / n,
+            });
+        }
+        rows
+    }
+
+    /// Fig. 3 series: EPF per (workload, device).
+    pub fn fig3_rows(&self) -> Vec<EpfRow> {
+        self.points
+            .iter()
+            .map(|p| EpfRow {
+                workload: p.workload.clone(),
+                device: p.device.clone(),
+                eit: p.eit,
+                fit_gpu: p.fit.total(),
+                epf: p.epf,
+            })
+            .collect()
+    }
+
+    fn device_order(&self) -> Vec<String> {
+        let mut devices = Vec::new();
+        for p in &self.points {
+            if !devices.contains(&p.device) {
+                devices.push(p.device.clone());
+            }
+        }
+        devices
+    }
+
+    fn average_rows(&self, f: impl Fn(&EvalPoint) -> (f64, f64, f64)) -> Vec<AvfRow> {
+        self.device_order()
+            .into_iter()
+            .filter_map(|dev| {
+                let pts: Vec<&EvalPoint> =
+                    self.points.iter().filter(|p| p.device == dev).collect();
+                if pts.is_empty() {
+                    return None;
+                }
+                let n = pts.len() as f64;
+                let (mut fi, mut ace, mut occ) = (0.0, 0.0, 0.0);
+                for p in &pts {
+                    let (a, b, c) = f(p);
+                    fi += a;
+                    ace += b;
+                    occ += c;
+                }
+                Some(AvfRow {
+                    workload: "average".into(),
+                    device: dev,
+                    avf_fi: fi / n,
+                    avf_ace: ace / n,
+                    occupancy: occ / n,
+                })
+            })
+            .collect()
+    }
+
+    /// Quantifies the paper's four findings over the collected points.
+    pub fn findings(&self) -> Findings {
+        let n = self.points.len().max(1) as f64;
+        let rf_ace_gap = self
+            .points
+            .iter()
+            .map(|p| p.rf.avf_ace - p.rf.avf_fi)
+            .sum::<f64>()
+            / n;
+        let lds_pts: Vec<&EvalPoint> =
+            self.points.iter().filter(|p| p.uses_local_memory).collect();
+        let lds_n = lds_pts.len().max(1) as f64;
+        let lds_ace_gap = lds_pts
+            .iter()
+            .map(|p| p.lds.avf_ace - p.lds.avf_fi)
+            .sum::<f64>()
+            / lds_n;
+        let rf_avf: Vec<f64> = self.points.iter().map(|p| p.rf.avf_fi).collect();
+        let rf_occ: Vec<f64> = self.points.iter().map(|p| p.rf.occupancy).collect();
+        let lds_avf: Vec<f64> = lds_pts.iter().map(|p| p.lds.avf_fi).collect();
+        let lds_occ: Vec<f64> = lds_pts.iter().map(|p| p.lds.occupancy).collect();
+        let epfs: Vec<f64> = self
+            .points
+            .iter()
+            .map(|p| p.epf)
+            .filter(|e| e.is_finite())
+            .collect();
+        Findings {
+            rf_ace_gap,
+            lds_ace_gap,
+            rf_avf_occupancy_corr: pearson(&rf_avf, &rf_occ),
+            lds_avf_occupancy_corr: pearson(&lds_avf, &lds_occ),
+            rf_avf_range: minmax(&rf_avf),
+            epf_range: minmax(&epfs),
+        }
+    }
+}
+
+fn minmax(v: &[f64]) -> (f64, f64) {
+    let mut lo = f64::INFINITY;
+    let mut hi = f64::NEG_INFINITY;
+    for &x in v {
+        lo = lo.min(x);
+        hi = hi.max(x);
+    }
+    if v.is_empty() {
+        (0.0, 0.0)
+    } else {
+        (lo, hi)
+    }
+}
+
+/// Runs the study over the given devices and workloads (workload-major
+/// order, matching the paper's figure layout).
+///
+/// # Errors
+///
+/// Propagates the first launch failure.
+pub fn run_study(
+    archs: &[ArchConfig],
+    workloads: &[Box<dyn Workload>],
+    cfg: &StudyConfig,
+) -> Result<StudyResult, SimError> {
+    let mut points = Vec::new();
+    for w in workloads {
+        for arch in archs {
+            points.push(evaluate_point(arch, w.as_ref(), cfg)?);
+        }
+    }
+    Ok(StudyResult { points })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::campaign::CampaignConfig;
+    use gpu_archs::{quadro_fx_5600, quadro_fx_5800};
+    use gpu_workloads::{Transpose, VectorAdd};
+
+    fn tiny_cfg() -> StudyConfig {
+        StudyConfig {
+            campaign: CampaignConfig { injections: 8, seed: 5, threads: 2, watchdog_factor: 10 },
+            workload_seed: 5,
+            fi_on_unused_lds: false,
+            ace_mode: AceMode::default(),
+        }
+    }
+
+    #[test]
+    fn evaluate_point_populates_everything() {
+        let arch = quadro_fx_5600();
+        let w = Transpose::new(32, 5);
+        let p = evaluate_point(&arch, &w, &tiny_cfg()).unwrap();
+        assert_eq!(p.device, "Quadro FX 5600");
+        assert_eq!(p.workload, "transpose");
+        assert!(p.uses_local_memory);
+        assert!(p.cycles > 0);
+        assert_eq!(p.rf.tally.total(), 8);
+        assert_eq!(p.lds.tally.total(), 8, "LDS workload gets LDS injections");
+        assert!(p.rf.occupancy > 0.0);
+        assert!(p.eit > 0.0);
+        assert!(p.epf > 0.0);
+        assert!(p.srf_avf_ace.is_none(), "no scalar file on G80");
+    }
+
+    #[test]
+    fn non_lds_workload_skips_lds_campaign() {
+        let arch = quadro_fx_5600();
+        let w = VectorAdd::new(256, 5);
+        let p = evaluate_point(&arch, &w, &tiny_cfg()).unwrap();
+        assert_eq!(p.lds.tally.total(), 0);
+        assert_eq!(p.lds.avf_fi, 0.0);
+        assert_eq!(p.lds.occupancy, 0.0, "vectoradd allocates no LDS");
+    }
+
+    #[test]
+    fn figures_assemble() {
+        let archs = vec![quadro_fx_5600(), quadro_fx_5800()];
+        let workloads: Vec<Box<dyn gpu_workloads::Workload>> = vec![
+            Box::new(VectorAdd::new(256, 5)),
+            Box::new(Transpose::new(32, 5)),
+        ];
+        let study = run_study(&archs, &workloads, &tiny_cfg()).unwrap();
+        assert_eq!(study.points.len(), 4);
+
+        let fig1 = study.fig1_rows();
+        // 2 workloads × 2 devices + 2 averages.
+        assert_eq!(fig1.len(), 6);
+        assert_eq!(fig1.iter().filter(|r| r.workload == "average").count(), 2);
+
+        let fig2 = study.fig2_rows();
+        // Only transpose uses LDS: 2 rows + 2 averages.
+        assert_eq!(fig2.len(), 4);
+
+        let fig3 = study.fig3_rows();
+        assert_eq!(fig3.len(), 4);
+        assert!(fig3.iter().all(|r| r.epf > 0.0));
+
+        let f = study.findings();
+        assert!(f.rf_avf_range.0 <= f.rf_avf_range.1);
+        assert!(f.epf_range.0 <= f.epf_range.1);
+    }
+
+    #[test]
+    fn minmax_handles_empty() {
+        assert_eq!(minmax(&[]), (0.0, 0.0));
+        assert_eq!(minmax(&[2.0, -1.0, 5.0]), (-1.0, 5.0));
+    }
+}

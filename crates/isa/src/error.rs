@@ -1,0 +1,121 @@
+//! Error type for kernel construction and lowering.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors raised while validating or lowering a kernel.
+///
+/// # Example
+/// ```
+/// use simt_isa::{KernelBuilder, IsaError};
+/// let mut b = KernelBuilder::new("bad", 0);
+/// b.if_end(); // unmatched
+/// match b.build() {
+///     Err(IsaError::UnmatchedControl { index, .. }) => assert_eq!(index, 0),
+///     other => panic!("expected UnmatchedControl, got {other:?}"),
+/// }
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum IsaError {
+    /// A structured-control instruction has no matching opener/closer.
+    UnmatchedControl {
+        /// Instruction index within the kernel body.
+        index: usize,
+        /// Human-readable description of what was expected.
+        what: &'static str,
+    },
+    /// A control region opened but never closed.
+    UnclosedControl {
+        /// Index of the opening instruction.
+        index: usize,
+        /// Description of the unclosed construct.
+        what: &'static str,
+    },
+    /// A register index is out of the declared range.
+    RegisterOutOfRange {
+        /// Instruction index.
+        index: usize,
+        /// Textual register name (e.g. `v17`).
+        reg: String,
+        /// Number of registers declared for that class.
+        declared: u32,
+    },
+    /// A scalar (per-warp) instruction reads a non-uniform source.
+    NonUniformScalarSource {
+        /// Instruction index.
+        index: usize,
+        /// Textual operand form.
+        operand: String,
+    },
+    /// The kernel declares more resources than the ISA permits.
+    ResourceLimit {
+        /// Which resource.
+        what: &'static str,
+        /// Requested amount.
+        requested: u64,
+        /// Maximum allowed.
+        limit: u64,
+    },
+    /// The kernel body is empty.
+    EmptyKernel,
+    /// `Break` appears outside any loop.
+    BreakOutsideLoop {
+        /// Instruction index.
+        index: usize,
+    },
+}
+
+impl fmt::Display for IsaError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            IsaError::UnmatchedControl { index, what } => {
+                write!(f, "instruction {index}: unmatched control flow ({what})")
+            }
+            IsaError::UnclosedControl { index, what } => {
+                write!(f, "instruction {index}: {what} is never closed")
+            }
+            IsaError::RegisterOutOfRange { index, reg, declared } => write!(
+                f,
+                "instruction {index}: register {reg} out of range (declared {declared})"
+            ),
+            IsaError::NonUniformScalarSource { index, operand } => write!(
+                f,
+                "instruction {index}: scalar instruction reads non-uniform source {operand}"
+            ),
+            IsaError::ResourceLimit { what, requested, limit } => {
+                write!(f, "{what}: requested {requested} exceeds limit {limit}")
+            }
+            IsaError::EmptyKernel => f.write_str("kernel body is empty"),
+            IsaError::BreakOutsideLoop { index } => {
+                write!(f, "instruction {index}: break outside of a loop")
+            }
+        }
+    }
+}
+
+impl Error for IsaError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages() {
+        let e = IsaError::RegisterOutOfRange {
+            index: 3,
+            reg: "v9".into(),
+            declared: 4,
+        };
+        assert_eq!(
+            e.to_string(),
+            "instruction 3: register v9 out of range (declared 4)"
+        );
+        assert!(IsaError::EmptyKernel.to_string().contains("empty"));
+    }
+
+    #[test]
+    fn is_std_error() {
+        fn assert_err<E: Error + Send + Sync + 'static>() {}
+        assert_err::<IsaError>();
+    }
+}

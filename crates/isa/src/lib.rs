@@ -1,0 +1,81 @@
+//! # MASS — a register-level SIMT instruction set
+//!
+//! `simt-isa` defines **MASS** (Microarchitectural Assembly for SIMT), the
+//! register-level instruction set consumed by the `simt-sim` GPU simulator.
+//! It plays the role that SASS plays for NVIDIA GPUs and the Southern Islands
+//! ISA plays for AMD GPUs in the ISPASS 2017 study this repository
+//! reproduces: reliability analysis is performed on the *architectural
+//! registers the lowered code actually uses*, not on a virtual IR such as
+//! PTX.
+//!
+//! The crate provides:
+//!
+//! * register classes ([`VReg`] per-lane vector registers, [`SReg`] per-warp
+//!   scalar registers, [`PReg`] per-lane predicates) — see [`reg`];
+//! * the instruction set ([`Instr`]) with integer/float ALU ops, memory ops
+//!   over global/shared spaces, atomics, barriers and **structured** SIMT
+//!   control flow (`IfBegin`/`Else`/`IfEnd`, `LoopBegin`/`Break`/`LoopEnd`)
+//!   — see [`instr`];
+//! * a validating [`KernelBuilder`] and the immutable [`Kernel`] it produces;
+//! * a control-flow map ([`ControlMap`]) that pre-resolves the matching
+//!   indices of every structured-control instruction so the simulator's SIMT
+//!   reconvergence stack never searches;
+//! * per-architecture lowering ([`lower::lower`]): on architectures with a
+//!   scalar unit (AMD Southern Islands) scalar instructions run once per
+//!   wavefront on the scalar register file, while on NVIDIA-style
+//!   architectures they are rewritten onto per-thread vector registers —
+//!   reproducing the ISA asymmetry between the two vendor families.
+//!
+//! ## Example
+//!
+//! ```
+//! use simt_isa::{KernelBuilder, Special, MemSpace};
+//!
+//! // c[i] = a[i] + b[i]  — params: s0 = &a, s1 = &b, s2 = &c, s3 = n
+//! let mut b = KernelBuilder::new("vectoradd", 4);
+//! let [a, bb, c, n] = [b.param(0), b.param(1), b.param(2), b.param(3)];
+//! let tid = b.vreg();
+//! let gid = b.vreg();
+//! let va = b.vreg();
+//! let vb = b.vreg();
+//! let addr = b.vreg();
+//! let in_range = b.preg();
+//! b.global_tid_x(gid); // gid = ctaid.x * ntid.x + tid.x
+//! let _ = tid;
+//! b.isetp_lt_u(in_range, gid, n);
+//! b.if_begin(in_range);
+//! b.shl_imm(addr, gid, 2);
+//! b.iadd(va, addr, a);
+//! b.ld(MemSpace::Global, va, va);
+//! b.iadd(vb, addr, bb);
+//! b.ld(MemSpace::Global, vb, vb);
+//! b.fadd(va, va, vb);
+//! b.iadd(addr, addr, c);
+//! b.st(MemSpace::Global, addr, va);
+//! b.if_end();
+//! let kernel = b.build().expect("valid kernel");
+//! assert_eq!(kernel.name(), "vectoradd");
+//! assert!(kernel.num_vregs() >= 5);
+//! # let _ = Special::TidX;
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod cfg;
+pub mod error;
+pub mod instr;
+pub mod kernel;
+pub mod lower;
+pub mod op;
+pub mod parse;
+pub mod reg;
+
+pub use cfg::ControlMap;
+pub use error::IsaError;
+pub use instr::Instr;
+pub use kernel::{Kernel, KernelBuilder};
+pub use lower::{lower, ArchCaps, LoweredKernel};
+pub use op::{AtomOp, BinOp, CmpOp, MemSpace, TerOp, UnOp};
+pub use parse::{parse_kernel, ParseError};
+pub use reg::{Operand, PReg, Reg, SReg, Special, VReg};

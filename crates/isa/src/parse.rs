@@ -1,0 +1,654 @@
+//! Textual MASS assembly parser.
+//!
+//! Parses the format produced by [`crate::Kernel::disassemble`] (plus
+//! `.kernel` / `.params` / `.shared` directives), so kernels can be
+//! stored, diffed and re-loaded as text — the way the original tools
+//! consume SASS / Southern Islands disassembly. Round-trip guarantee:
+//! `parse_kernel(k.disassemble())` reproduces `k`'s instruction stream.
+//!
+//! ```text
+//! .kernel saxpy
+//! .params 4
+//! .shared 64
+//!     imad v0, %ctaid.x, %ntid.x, %tid.x
+//!     setp.ult.s32 p0, v0, s2
+//!     if.begin p0
+//!         ld.global [v1] -> v2
+//!         st.shared [v3+4] <- v2
+//!     if.end
+//!     exit
+//! ```
+
+use crate::error::IsaError;
+use crate::instr::Instr;
+use crate::kernel::{Kernel, KernelBuilder};
+use crate::op::{AtomOp, BinOp, CmpOp, MemSpace, TerOp, UnOp};
+use crate::reg::{Operand, PReg, Reg, SReg, Special, VReg};
+use std::error::Error;
+use std::fmt;
+
+/// A parse failure with its 1-based line number.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ParseError {
+    /// 1-based source line.
+    pub line: usize,
+    /// What went wrong.
+    pub message: String,
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "line {}: {}", self.line, self.message)
+    }
+}
+
+impl Error for ParseError {}
+
+impl From<(usize, String)> for ParseError {
+    fn from((line, message): (usize, String)) -> Self {
+        ParseError { line, message }
+    }
+}
+
+fn err<T>(line: usize, msg: impl Into<String>) -> Result<T, ParseError> {
+    Err(ParseError { line, message: msg.into() })
+}
+
+/// Strips comments (`//` and `;`) and line-number prefixes like `  12:`.
+fn clean(line: &str) -> &str {
+    let line = line.split("//").next().unwrap_or("");
+    let line = line.split(';').next().unwrap_or("");
+    let line = line.trim();
+    // Disassembly prefixes every instruction with "NNN:".
+    if let Some(colon) = line.find(':') {
+        if line[..colon].trim().chars().all(|c| c.is_ascii_digit())
+            && !line[..colon].trim().is_empty()
+        {
+            return line[colon + 1..].trim();
+        }
+    }
+    line
+}
+
+fn parse_reg(tok: &str, line: usize) -> Result<Reg, ParseError> {
+    let tok = tok.trim();
+    if let Some(n) = tok.strip_prefix('v') {
+        if let Ok(i) = n.parse::<u16>() {
+            return Ok(Reg::V(VReg(i)));
+        }
+    }
+    if let Some(n) = tok.strip_prefix('s') {
+        if let Ok(i) = n.parse::<u16>() {
+            return Ok(Reg::S(SReg(i)));
+        }
+    }
+    err(line, format!("expected register, got '{tok}'"))
+}
+
+fn parse_pred(tok: &str, line: usize) -> Result<(PReg, bool), ParseError> {
+    let tok = tok.trim();
+    let (tok, neg) = match tok.strip_prefix('!') {
+        Some(rest) => (rest, true),
+        None => (tok, false),
+    };
+    if let Some(n) = tok.strip_prefix('p') {
+        if let Ok(i) = n.parse::<u8>() {
+            return Ok((PReg(i), neg));
+        }
+    }
+    err(line, format!("expected predicate, got '{tok}'"))
+}
+
+fn parse_special(tok: &str) -> Option<Special> {
+    Some(match tok {
+        "%tid.x" => Special::TidX,
+        "%tid.y" => Special::TidY,
+        "%ctaid.x" => Special::CtaIdX,
+        "%ctaid.y" => Special::CtaIdY,
+        "%ntid.x" => Special::NTidX,
+        "%ntid.y" => Special::NTidY,
+        "%nctaid.x" => Special::NCtaIdX,
+        "%nctaid.y" => Special::NCtaIdY,
+        "%laneid" => Special::LaneId,
+        "%warpid" => Special::WarpId,
+        _ => return None,
+    })
+}
+
+fn parse_operand(tok: &str, line: usize) -> Result<Operand, ParseError> {
+    let tok = tok.trim();
+    if let Some(s) = parse_special(tok) {
+        return Ok(Operand::Special(s));
+    }
+    if tok.starts_with('v') || tok.starts_with('s') {
+        if let Ok(r) = parse_reg(tok, line) {
+            return Ok(Operand::Reg(r));
+        }
+    }
+    if let Some(hex) = tok.strip_prefix("0x").or_else(|| tok.strip_prefix("0X")) {
+        if let Ok(v) = u32::from_str_radix(hex, 16) {
+            return Ok(Operand::Imm(v));
+        }
+    }
+    if let Some(f) = tok.strip_suffix('f') {
+        if let Ok(v) = f.parse::<f32>() {
+            return Ok(Operand::from_f32(v));
+        }
+    }
+    if let Ok(v) = tok.parse::<i64>() {
+        if (i32::MIN as i64..=u32::MAX as i64).contains(&v) {
+            return Ok(Operand::Imm(v as u32));
+        }
+    }
+    err(line, format!("cannot parse operand '{tok}'"))
+}
+
+/// Parses `[base]`, `[base+off]`, `[base-off]`.
+fn parse_addr(tok: &str, line: usize) -> Result<(Operand, i32), ParseError> {
+    let tok = tok.trim();
+    let inner = tok
+        .strip_prefix('[')
+        .and_then(|t| t.strip_suffix(']'))
+        .ok_or_else(|| ParseError {
+            line,
+            message: format!("expected [address], got '{tok}'"),
+        })?;
+    // Find a +/- separating base from offset (not a leading sign).
+    for (i, c) in inner.char_indices().skip(1) {
+        if c == '+' || c == '-' {
+            let base = parse_operand(&inner[..i], line)?;
+            let off: i32 = inner[i..]
+                .parse()
+                .map_err(|e| ParseError { line, message: format!("bad offset: {e}") })?;
+            return Ok((base, off));
+        }
+    }
+    Ok((parse_operand(inner, line)?, 0))
+}
+
+fn split_args(rest: &str) -> Vec<&str> {
+    rest.split(',').map(str::trim).filter(|s| !s.is_empty()).collect()
+}
+
+fn unop_of(m: &str) -> Option<UnOp> {
+    Some(match m {
+        "mov" => UnOp::Mov,
+        "ineg" => UnOp::INeg,
+        "iabs" => UnOp::IAbs,
+        "not" => UnOp::Not,
+        "fneg" => UnOp::FNeg,
+        "fabs" => UnOp::FAbs,
+        "fsqrt" => UnOp::FSqrt,
+        "frcp" => UnOp::FRcp,
+        "fexp2" => UnOp::FExp2,
+        "flog2" => UnOp::FLog2,
+        "i2f" => UnOp::I2F,
+        "u2f" => UnOp::U2F,
+        "f2i" => UnOp::F2I,
+        "f2u" => UnOp::F2U,
+        "clz" => UnOp::Clz,
+        "popc" => UnOp::Popc,
+        _ => return None,
+    })
+}
+
+fn binop_of(m: &str) -> Option<BinOp> {
+    Some(match m {
+        "iadd" => BinOp::IAdd,
+        "isub" => BinOp::ISub,
+        "imul" => BinOp::IMul,
+        "imulhi" => BinOp::IMulHi,
+        "idiv" => BinOp::IDiv,
+        "udiv" => BinOp::UDiv,
+        "irem" => BinOp::IRem,
+        "urem" => BinOp::URem,
+        "imin" => BinOp::IMin,
+        "imax" => BinOp::IMax,
+        "umin" => BinOp::UMin,
+        "umax" => BinOp::UMax,
+        "and" => BinOp::And,
+        "or" => BinOp::Or,
+        "xor" => BinOp::Xor,
+        "shl" => BinOp::Shl,
+        "shr" => BinOp::Shr,
+        "ashr" => BinOp::AShr,
+        "fadd" => BinOp::FAdd,
+        "fsub" => BinOp::FSub,
+        "fmul" => BinOp::FMul,
+        "fdiv" => BinOp::FDiv,
+        "fmin" => BinOp::FMin,
+        "fmax" => BinOp::FMax,
+        _ => return None,
+    })
+}
+
+fn cmp_of(m: &str) -> Option<CmpOp> {
+    Some(match m {
+        "eq" => CmpOp::Eq,
+        "ne" => CmpOp::Ne,
+        "slt" => CmpOp::SLt,
+        "sle" => CmpOp::SLe,
+        "sgt" => CmpOp::SGt,
+        "sge" => CmpOp::SGe,
+        "ult" => CmpOp::ULt,
+        "ule" => CmpOp::ULe,
+        "ugt" => CmpOp::UGt,
+        "uge" => CmpOp::UGe,
+        _ => return None,
+    })
+}
+
+fn atom_of(m: &str) -> Option<AtomOp> {
+    Some(match m {
+        "add" => AtomOp::Add,
+        "min" => AtomOp::Min,
+        "max" => AtomOp::Max,
+        "exch" => AtomOp::Exch,
+        _ => return None,
+    })
+}
+
+fn space_of(m: &str) -> Option<MemSpace> {
+    Some(match m {
+        "global" => MemSpace::Global,
+        "shared" => MemSpace::Shared,
+        _ => return None,
+    })
+}
+
+fn parse_instr(line_txt: &str, line: usize) -> Result<Instr, ParseError> {
+    let (mnemonic, rest) = match line_txt.find(char::is_whitespace) {
+        Some(i) => (&line_txt[..i], line_txt[i..].trim()),
+        None => (line_txt, ""),
+    };
+    // Control flow and simple forms first.
+    match mnemonic {
+        "bar.sync" | "bar" => return Ok(Instr::Bar),
+        "else" => return Ok(Instr::Else),
+        "if.end" => return Ok(Instr::IfEnd),
+        "loop.begin" => return Ok(Instr::LoopBegin),
+        "loop.end" => return Ok(Instr::LoopEnd),
+        "exit" => return Ok(Instr::Exit),
+        "nop" => return Ok(Instr::Nop),
+        "if.begin" => {
+            let (p, negate) = parse_pred(rest, line)?;
+            return Ok(Instr::IfBegin { p, negate });
+        }
+        "break" => {
+            let (p, negate) = parse_pred(rest, line)?;
+            return Ok(Instr::Break { p, negate });
+        }
+        _ => {}
+    }
+
+    let parts: Vec<&str> = mnemonic.split('.').collect();
+    match parts.as_slice() {
+        ["ld", space] => {
+            // ld.<space> [addr] -> dst
+            let space = space_of(space)
+                .ok_or_else(|| ParseError { line, message: format!("bad space '{space}'") })?;
+            let (addr_txt, dst_txt) = rest.split_once("->").ok_or_else(|| ParseError {
+                line,
+                message: "ld needs '[addr] -> dst'".into(),
+            })?;
+            let (addr, offset) = parse_addr(addr_txt, line)?;
+            let dst = parse_reg(dst_txt, line)?;
+            Ok(Instr::Ld { space, dst, addr, offset })
+        }
+        ["st", space] => {
+            let space = space_of(space)
+                .ok_or_else(|| ParseError { line, message: format!("bad space '{space}'") })?;
+            let (addr_txt, src_txt) = rest.split_once("<-").ok_or_else(|| ParseError {
+                line,
+                message: "st needs '[addr] <- src'".into(),
+            })?;
+            let (addr, offset) = parse_addr(addr_txt, line)?;
+            let src = parse_operand(src_txt, line)?;
+            Ok(Instr::St { space, addr, offset, src })
+        }
+        ["atom", op, space] => {
+            // atom.<op>.<space> dst, [addr], src
+            let op = atom_of(op)
+                .ok_or_else(|| ParseError { line, message: format!("bad atom op '{op}'") })?;
+            let space = space_of(space)
+                .ok_or_else(|| ParseError { line, message: format!("bad space '{space}'") })?;
+            let args = split_args(rest);
+            if args.len() != 3 {
+                return err(line, "atom needs dst, [addr], src");
+            }
+            let dst = parse_reg(args[0], line)?;
+            let (addr, offset) = parse_addr(args[1], line)?;
+            let src = parse_operand(args[2], line)?;
+            Ok(Instr::Atom { space, op, dst, addr, offset, src })
+        }
+        ["setp", cmp, ty] => {
+            let op = cmp_of(cmp)
+                .ok_or_else(|| ParseError { line, message: format!("bad compare '{cmp}'") })?;
+            let float = match *ty {
+                "f32" => true,
+                "s32" | "u32" => false,
+                other => return err(line, format!("bad setp type '{other}'")),
+            };
+            let args = split_args(rest);
+            if args.len() != 3 {
+                return err(line, "setp needs pd, a, b");
+            }
+            let (pd, neg) = parse_pred(args[0], line)?;
+            if neg {
+                return err(line, "setp destination cannot be negated");
+            }
+            Ok(Instr::SetP {
+                op,
+                float,
+                pd,
+                a: parse_operand(args[1], line)?,
+                b: parse_operand(args[2], line)?,
+            })
+        }
+        ["sel"] => {
+            // sel dst, a, b, p
+            let args = split_args(rest);
+            if args.len() != 4 {
+                return err(line, "sel needs dst, a, b, p");
+            }
+            let (p, neg) = parse_pred(args[3], line)?;
+            if neg {
+                return err(line, "sel predicate cannot be negated");
+            }
+            Ok(Instr::Sel {
+                p,
+                dst: parse_reg(args[0], line)?,
+                a: parse_operand(args[1], line)?,
+                b: parse_operand(args[2], line)?,
+            })
+        }
+        [m] => {
+            let args = split_args(rest);
+            if let Some(op) = unop_of(m) {
+                if args.len() != 2 {
+                    return err(line, format!("{m} needs dst, a"));
+                }
+                return Ok(Instr::Un {
+                    op,
+                    dst: parse_reg(args[0], line)?,
+                    a: parse_operand(args[1], line)?,
+                });
+            }
+            if let Some(op) = binop_of(m) {
+                if args.len() != 3 {
+                    return err(line, format!("{m} needs dst, a, b"));
+                }
+                return Ok(Instr::Bin {
+                    op,
+                    dst: parse_reg(args[0], line)?,
+                    a: parse_operand(args[1], line)?,
+                    b: parse_operand(args[2], line)?,
+                });
+            }
+            let ter = match *m {
+                "imad" => Some(TerOp::IMad),
+                "ffma" => Some(TerOp::FFma),
+                _ => None,
+            };
+            if let Some(op) = ter {
+                if args.len() != 4 {
+                    return err(line, format!("{m} needs dst, a, b, c"));
+                }
+                return Ok(Instr::Ter {
+                    op,
+                    dst: parse_reg(args[0], line)?,
+                    a: parse_operand(args[1], line)?,
+                    b: parse_operand(args[2], line)?,
+                    c: parse_operand(args[3], line)?,
+                });
+            }
+            err(line, format!("unknown mnemonic '{m}'"))
+        }
+        _ => err(line, format!("unknown mnemonic '{mnemonic}'")),
+    }
+}
+
+/// Parses a full kernel from MASS assembly text.
+///
+/// Register counts are inferred from the highest index used; `.params`
+/// and `.shared` directives declare the parameter count and static LDS
+/// size. The result passes the same validation as builder-built kernels.
+///
+/// # Errors
+///
+/// [`ParseError`] for syntax problems; validation failures are reported
+/// as a [`ParseError`] at line 0 wrapping the [`IsaError`].
+///
+/// # Example
+/// ```
+/// use simt_isa::parse::parse_kernel;
+/// let k = parse_kernel(r"
+///     .kernel iota
+///     .params 1
+///     imad v0, %ctaid.x, %ntid.x, %tid.x
+///     imad v1, v0, 4, s0
+///     st.global [v1] <- v0
+///     exit
+/// ").unwrap();
+/// assert_eq!(k.name(), "iota");
+/// assert_eq!(k.num_vregs(), 2);
+/// assert_eq!(k.len(), 4);
+/// ```
+pub fn parse_kernel(text: &str) -> Result<Kernel, ParseError> {
+    let mut name = String::from("anonymous");
+    let mut params: u16 = 0;
+    let mut shared: u32 = 0;
+    let mut instrs: Vec<Instr> = Vec::new();
+
+    for (i, raw) in text.lines().enumerate() {
+        let lineno = i + 1;
+        let line = clean(raw);
+        if line.is_empty() {
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix(".kernel") {
+            let n = rest.trim();
+            if n.is_empty() {
+                return err(lineno, ".kernel needs a name");
+            }
+            name = n.split_whitespace().next().unwrap_or("anonymous").to_string();
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix(".params") {
+            params = rest
+                .trim()
+                .parse()
+                .map_err(|e| ParseError { line: lineno, message: format!("bad .params: {e}") })?;
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix(".shared") {
+            shared = rest
+                .trim()
+                .parse()
+                .map_err(|e| ParseError { line: lineno, message: format!("bad .shared: {e}") })?;
+            continue;
+        }
+        if line.starts_with('.') {
+            return err(lineno, format!("unknown directive '{line}'"));
+        }
+        instrs.push(parse_instr(line, lineno)?);
+    }
+
+    // Infer register counts.
+    let mut max_v: i32 = -1;
+    let mut max_s: i32 = params as i32 - 1;
+    let mut max_p: i32 = -1;
+    let mut see_reg = |r: Reg| match r {
+        Reg::V(VReg(i)) => max_v = max_v.max(i as i32),
+        Reg::S(SReg(i)) => max_s = max_s.max(i as i32),
+    };
+    for ins in &instrs {
+        if let Some(d) = ins.dst_reg() {
+            see_reg(d);
+        }
+        for op in ins.src_operands() {
+            if let Some(r) = op.reg() {
+                see_reg(r);
+            }
+        }
+        for p in [ins.src_pred(), ins.dst_pred()].into_iter().flatten() {
+            max_p = max_p.max(p.0 as i32);
+        }
+    }
+
+    let mut kb = KernelBuilder::new(name, params);
+    kb.vregs((max_v + 1) as u16);
+    for _ in params..(max_s + 1) as u16 {
+        kb.sreg();
+    }
+    for _ in 0..(max_p + 1) as u8 {
+        kb.preg();
+    }
+    kb.shared(shared);
+    for ins in instrs {
+        kb.push(ins);
+    }
+    kb.build().map_err(|e: IsaError| ParseError { line: 0, message: e.to_string() })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::kernel::KernelBuilder;
+    use crate::op::MemSpace;
+    use crate::reg::Special;
+
+    #[test]
+    fn parses_minimal_kernel() {
+        let k = parse_kernel(".kernel k\nexit\n").unwrap();
+        assert_eq!(k.name(), "k");
+        assert_eq!(k.body(), &[Instr::Exit]);
+    }
+
+    #[test]
+    fn parses_all_operand_forms() {
+        let k = parse_kernel(
+            ".params 1\n\
+             mov v0, 0x10\n\
+             mov v1, 42\n\
+             mov v2, -1\n\
+             mov v3, 1.5f\n\
+             mov v4, %tid.x\n\
+             mov v5, s0\n\
+             exit",
+        )
+        .unwrap();
+        assert_eq!(
+            k.body()[0],
+            Instr::Un { op: UnOp::Mov, dst: Reg::V(VReg(0)), a: Operand::Imm(16) }
+        );
+        assert_eq!(k.body()[1].src_operands()[0], Operand::Imm(42));
+        assert_eq!(k.body()[2].src_operands()[0], Operand::Imm(u32::MAX));
+        assert_eq!(k.body()[3].src_operands()[0], Operand::from_f32(1.5));
+        assert_eq!(k.body()[4].src_operands()[0], Operand::Special(Special::TidX));
+        assert_eq!(k.num_vregs(), 6);
+        assert_eq!(k.num_sregs(), 1);
+    }
+
+    #[test]
+    fn parses_memory_and_atomics() {
+        let k = parse_kernel(
+            "ld.global [v0+8] -> v1\n\
+             st.shared [v1-4] <- 0x7\n\
+             atom.add.shared v2, [v1], 1\n\
+             exit",
+        )
+        .unwrap();
+        assert_eq!(
+            k.body()[0],
+            Instr::Ld {
+                space: MemSpace::Global,
+                dst: Reg::V(VReg(1)),
+                addr: Operand::Reg(Reg::V(VReg(0))),
+                offset: 8
+            }
+        );
+        assert!(matches!(k.body()[1], Instr::St { offset: -4, .. }));
+        assert!(matches!(k.body()[2], Instr::Atom { op: AtomOp::Add, .. }));
+    }
+
+    #[test]
+    fn parses_control_flow_with_negation() {
+        let k = parse_kernel(
+            "setp.ult.s32 p0, %tid.x, 0x10\n\
+             if.begin !p0\n\
+             nop\n\
+             else\n\
+             bar.sync\n\
+             if.end\n\
+             loop.begin\n\
+             break p0\n\
+             loop.end\n\
+             exit",
+        )
+        .unwrap();
+        assert_eq!(k.body()[1], Instr::IfBegin { p: PReg(0), negate: true });
+        assert_eq!(k.body()[7], Instr::Break { p: PReg(0), negate: false });
+        assert_eq!(k.control().num_loops(), 1);
+    }
+
+    #[test]
+    fn comments_and_line_numbers_are_ignored() {
+        let k = parse_kernel(
+            "// a comment\n\
+             .kernel c // trailing\n\
+             0: nop ; another comment style\n\
+             12:   exit\n",
+        )
+        .unwrap();
+        assert_eq!(k.len(), 2);
+        assert_eq!(k.name(), "c");
+    }
+
+    #[test]
+    fn error_reports_line_number() {
+        let e = parse_kernel("nop\nbogus v0\n").unwrap_err();
+        assert_eq!(e.line, 2);
+        assert!(e.to_string().contains("bogus"));
+    }
+
+    #[test]
+    fn validation_errors_surface() {
+        // if.end without opener is caught by kernel validation.
+        let e = parse_kernel("if.end\nexit").unwrap_err();
+        assert!(e.message.contains("unmatched"));
+    }
+
+    #[test]
+    fn roundtrip_disassemble_parse() {
+        let mut kb = KernelBuilder::new("round", 2);
+        let (a, n) = (kb.param(0), kb.param(1));
+        let s = kb.sreg();
+        let gid = kb.vreg();
+        let v = kb.vreg();
+        let addr = kb.vreg();
+        let p = kb.preg();
+        kb.iadd(s, n, 7u32);
+        kb.global_tid_x(gid);
+        kb.isetp_lt_u(p, gid, s);
+        kb.if_begin(p);
+        kb.word_addr(addr, a, gid);
+        kb.ld(MemSpace::Global, v, addr);
+        kb.ffma(v, v, Operand::from_f32(2.0), v);
+        kb.st(MemSpace::Global, addr, v);
+        kb.else_();
+        kb.loop_begin();
+        kb.brk_not(p);
+        kb.loop_end();
+        kb.if_end();
+        kb.bar();
+        kb.exit();
+        let k = kb.build().unwrap();
+        let text = format!(".params 2\n{}", k.disassemble());
+        let k2 = parse_kernel(&text).unwrap();
+        assert_eq!(k2.body(), k.body(), "instruction stream round-trips");
+        assert_eq!(k2.num_vregs(), k.num_vregs());
+        assert_eq!(k2.num_sregs(), k.num_sregs());
+        assert_eq!(k2.num_pregs(), k.num_pregs());
+    }
+}

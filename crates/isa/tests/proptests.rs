@@ -1,0 +1,288 @@
+//! Property tests for the MASS ISA: functional-semantics algebra,
+//! control-map invariants over randomly generated structured programs,
+//! and lowering invariants.
+
+use proptest::prelude::*;
+use simt_isa::op::{eval_binop, eval_cmp, eval_terop, eval_unop};
+use simt_isa::{
+    lower, ArchCaps, BinOp, CmpOp, ControlMap, Instr, KernelBuilder, PReg, TerOp, UnOp,
+};
+
+proptest! {
+    /// Integer add/sub/neg form the expected wrapping group.
+    #[test]
+    fn int_group_laws(a in any::<u32>(), b in any::<u32>()) {
+        let sum = eval_binop(BinOp::IAdd, a, b);
+        prop_assert_eq!(eval_binop(BinOp::ISub, sum, b), a);
+        prop_assert_eq!(eval_binop(BinOp::IAdd, a, eval_unop(UnOp::INeg, a)), 0);
+        prop_assert_eq!(eval_binop(BinOp::IAdd, a, b), eval_binop(BinOp::IAdd, b, a));
+    }
+
+    /// Bitwise identities.
+    #[test]
+    fn bitwise_identities(a in any::<u32>(), b in any::<u32>()) {
+        prop_assert_eq!(eval_binop(BinOp::Xor, a, a), 0);
+        prop_assert_eq!(eval_binop(BinOp::And, a, u32::MAX), a);
+        prop_assert_eq!(eval_binop(BinOp::Or, a, 0), a);
+        prop_assert_eq!(eval_unop(UnOp::Not, eval_unop(UnOp::Not, a)), a);
+        prop_assert_eq!(
+            eval_unop(UnOp::Popc, a) + eval_unop(UnOp::Popc, !a),
+            32
+        );
+        let _ = b;
+    }
+
+    /// IMad agrees with mul-then-add.
+    #[test]
+    fn imad_is_mul_add(a in any::<u32>(), b in any::<u32>(), c in any::<u32>()) {
+        prop_assert_eq!(
+            eval_terop(TerOp::IMad, a, b, c),
+            eval_binop(BinOp::IAdd, eval_binop(BinOp::IMul, a, b), c)
+        );
+    }
+
+    /// Signed/unsigned comparison trichotomy.
+    #[test]
+    fn comparison_trichotomy(a in any::<u32>(), b in any::<u32>()) {
+        let lt = eval_cmp(CmpOp::SLt, a, b, false);
+        let eq = eval_cmp(CmpOp::Eq, a, b, false);
+        let gt = eval_cmp(CmpOp::SGt, a, b, false);
+        prop_assert_eq!(lt as u8 + eq as u8 + gt as u8, 1);
+        prop_assert_eq!(eval_cmp(CmpOp::ULe, a, b, false), !eval_cmp(CmpOp::UGt, a, b, false));
+    }
+
+    /// Division identity where defined (unsigned).
+    #[test]
+    fn unsigned_divmod_identity(a in any::<u32>(), b in 1u32..) {
+        let q = eval_binop(BinOp::UDiv, a, b);
+        let r = eval_binop(BinOp::URem, a, b);
+        prop_assert!(r < b);
+        prop_assert_eq!(q.wrapping_mul(b).wrapping_add(r), a);
+    }
+
+    /// Float min/max are commutative on non-NaN inputs and pick an input.
+    #[test]
+    fn float_minmax(a in any::<f32>().prop_filter("finite", |v| v.is_finite()),
+                    b in any::<f32>().prop_filter("finite", |v| v.is_finite())) {
+        let (ab, bb) = (a.to_bits(), b.to_bits());
+        let mn = f32::from_bits(eval_binop(BinOp::FMin, ab, bb));
+        let mx = f32::from_bits(eval_binop(BinOp::FMax, ab, bb));
+        prop_assert!(mn <= mx);
+        prop_assert!(mn == a || mn == b);
+        prop_assert!(mx == a || mx == b);
+    }
+}
+
+/// A random well-nested structured program.
+fn structured_program() -> impl Strategy<Value = Vec<Instr>> {
+    // Encode as a tree: each node emits either a flat op or a region.
+    fn node() -> impl Strategy<Value = Vec<Instr>> {
+        let leaf = prop_oneof![
+            Just(vec![Instr::Nop]),
+            Just(vec![Instr::Bar]),
+        ];
+        leaf.prop_recursive(3, 24, 4, |inner| {
+            prop_oneof![
+                // if region (with or without else)
+                (inner.clone(), any::<bool>()).prop_map(|(body, with_else)| {
+                    let mut v = vec![Instr::IfBegin { p: PReg(0), negate: false }];
+                    v.extend(body.clone());
+                    if with_else {
+                        v.push(Instr::Else);
+                        v.extend(body);
+                    }
+                    v.push(Instr::IfEnd);
+                    v
+                }),
+                // loop region with a break inside
+                inner.prop_map(|body| {
+                    let mut v = vec![Instr::LoopBegin];
+                    v.push(Instr::Break { p: PReg(0), negate: false });
+                    v.extend(body);
+                    v.push(Instr::LoopEnd);
+                    v
+                }),
+            ]
+        })
+    }
+    proptest::collection::vec(node(), 1..5).prop_map(|parts| {
+        let mut v: Vec<Instr> = parts.into_iter().flatten().collect();
+        v.push(Instr::Exit);
+        v
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Every generated well-nested program builds a consistent control
+    /// map: closers point back at their openers and targets are ordered.
+    #[test]
+    fn control_map_is_consistent(body in structured_program()) {
+        let cm = ControlMap::build(&body).expect("well-nested by construction");
+        for (i, ins) in body.iter().enumerate() {
+            match ins {
+                Instr::IfBegin { .. } => {
+                    let info = cm.if_info(i).expect("opener registered");
+                    prop_assert!(info.end_idx > i);
+                    prop_assert!(matches!(body[info.end_idx], Instr::IfEnd));
+                    if let Some(e) = info.else_idx {
+                        prop_assert!(e > i && e < info.end_idx);
+                        prop_assert!(matches!(body[e], Instr::Else));
+                        prop_assert_eq!(cm.else_owner(e), Some(i));
+                    }
+                    prop_assert_eq!(cm.if_end_owner(info.end_idx), Some(i));
+                }
+                Instr::LoopBegin => {
+                    let info = cm.loop_info(i).expect("opener registered");
+                    prop_assert!(info.end_idx > i);
+                    prop_assert!(matches!(body[info.end_idx], Instr::LoopEnd));
+                    prop_assert_eq!(cm.loop_end_owner(info.end_idx), Some(i));
+                }
+                Instr::Break { .. } => {
+                    let owner = cm.break_owner(i).expect("break owner");
+                    prop_assert!(owner < i);
+                    prop_assert!(matches!(body[owner], Instr::LoopBegin));
+                    let end = cm.loop_info(owner).unwrap().end_idx;
+                    prop_assert!(i < end);
+                }
+                _ => {}
+            }
+        }
+    }
+
+    /// Truncating the program inside a region always fails validation.
+    #[test]
+    fn truncated_programs_are_rejected(body in structured_program()) {
+        // Find a prefix that ends strictly inside some region.
+        if let Some(open_idx) = body.iter().position(|i| {
+            matches!(i, Instr::IfBegin { .. } | Instr::LoopBegin)
+        }) {
+            let truncated = &body[..=open_idx];
+            prop_assert!(ControlMap::build(truncated).is_err());
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Lowering to a vector-only architecture removes every scalar
+    /// register and preserves instruction count and control structure.
+    #[test]
+    fn lowering_invariants(n_sregs in 0u16..8, n_vregs in 1u16..8) {
+        let mut kb = KernelBuilder::new("gen", 2);
+        let mut sregs = Vec::new();
+        for _ in 0..n_sregs {
+            sregs.push(kb.sreg());
+        }
+        let mut vregs = Vec::new();
+        for _ in 0..n_vregs {
+            vregs.push(kb.vreg());
+        }
+        for (i, s) in sregs.iter().enumerate() {
+            kb.iadd(*s, kb.param(0), i as u32);
+        }
+        for (i, v) in vregs.iter().enumerate() {
+            if let Some(s) = sregs.first() {
+                kb.iadd(*v, *s, i as u32);
+            } else {
+                kb.mov(*v, i as u32);
+            }
+        }
+        kb.exit();
+        let k = kb.build().unwrap();
+
+        let nv = lower(&k, ArchCaps { has_scalar_unit: false, warp_size: 32 }).unwrap();
+        let si = lower(&k, ArchCaps { has_scalar_unit: true, warp_size: 64 }).unwrap();
+
+        prop_assert_eq!(nv.body().len(), k.body().len());
+        prop_assert_eq!(si.body(), k.body());
+        prop_assert_eq!(nv.sregs_per_warp(), 0);
+        prop_assert_eq!(
+            nv.vregs_per_thread(),
+            k.num_vregs() + k.num_sregs()
+        );
+        for ins in nv.body() {
+            if let Some(d) = ins.dst_reg() {
+                prop_assert!(d.is_vector());
+            }
+            for op in ins.src_operands() {
+                if let Some(r) = op.reg() {
+                    prop_assert!(r.is_vector());
+                }
+            }
+        }
+        prop_assert_eq!(nv.control(), k.control());
+    }
+}
+
+/// A random flat data-instruction (registers confined to small indices).
+fn random_data_instr() -> impl Strategy<Value = Instr> {
+    use simt_isa::{MemSpace, Operand, Reg, SReg, VReg};
+    let operand = prop_oneof![
+        (0u16..4).prop_map(|i| Operand::Reg(Reg::V(VReg(i)))),
+        (0u16..3).prop_map(|i| Operand::Reg(Reg::S(SReg(i)))),
+        any::<u32>().prop_map(Operand::Imm),
+    ];
+    let vdst = (0u16..4).prop_map(|i| Reg::V(VReg(i)));
+    prop_oneof![
+        (vdst.clone(), operand.clone()).prop_map(|(dst, a)| Instr::Un {
+            op: UnOp::Mov,
+            dst,
+            a
+        }),
+        (vdst.clone(), operand.clone(), operand.clone()).prop_map(|(dst, a, b)| Instr::Bin {
+            op: BinOp::IAdd,
+            dst,
+            a,
+            b
+        }),
+        (vdst.clone(), operand.clone(), operand.clone(), operand.clone()).prop_map(
+            |(dst, a, b, c)| Instr::Ter { op: TerOp::FFma, dst, a, b, c }
+        ),
+        (vdst.clone(), operand.clone(), -16i32..16).prop_map(|(dst, a, off)| Instr::Ld {
+            space: MemSpace::Global,
+            dst,
+            addr: a,
+            offset: off * 4
+        }),
+        (operand.clone(), operand, -16i32..16).prop_map(|(a, s, off)| Instr::St {
+            space: MemSpace::Shared,
+            addr: a,
+            offset: off * 4,
+            src: s
+        }),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Disassembling any kernel and parsing the text reproduces the exact
+    /// instruction stream and register counts.
+    #[test]
+    fn disassembly_round_trips(instrs in proptest::collection::vec(random_data_instr(), 1..24)) {
+        let mut kb = KernelBuilder::new("rt", 2);
+        kb.vregs(4);
+        let _ = kb.sreg(); // s2
+        let p = kb.preg();
+        kb.shared(256);
+        for i in &instrs {
+            kb.push(*i);
+        }
+        // A little control flow for coverage.
+        kb.isetp(CmpOp::Eq, p, 0u32, 0u32);
+        kb.if_begin(p);
+        kb.bar();
+        kb.if_end();
+        kb.exit();
+        let k = kb.build().unwrap();
+        let text = format!(".params 2\n.shared 256\n{}", k.disassemble());
+        let k2 = simt_isa::parse_kernel(&text).expect("parse own disassembly");
+        prop_assert_eq!(k2.body(), k.body());
+        prop_assert_eq!(k2.shared_bytes(), k.shared_bytes());
+        prop_assert!(k2.num_vregs() <= k.num_vregs());
+        prop_assert_eq!(k2.num_pregs(), k.num_pregs());
+    }
+}

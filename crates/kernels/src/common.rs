@@ -1,0 +1,108 @@
+//! Shared helpers for workload input generation and host references.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Deterministic RNG for input generation: same seed, same inputs, on
+/// every platform (pinned `StdRng` algorithm via the locked `rand`
+/// version).
+///
+/// # Example
+/// ```
+/// use gpu_workloads::common::rng;
+/// let mut a = rng(5);
+/// let mut b = rng(5);
+/// use rand::Rng;
+/// assert_eq!(a.gen::<u32>(), b.gen::<u32>());
+/// ```
+pub fn rng(seed: u64) -> StdRng {
+    StdRng::seed_from_u64(seed)
+}
+
+/// `n` uniform floats in `[0, 1)`.
+///
+/// # Example
+/// ```
+/// use gpu_workloads::common::uniform_f32;
+/// let v = uniform_f32(8, 3);
+/// assert_eq!(v.len(), 8);
+/// assert!(v.iter().all(|x| (0.0..1.0).contains(x)));
+/// ```
+pub fn uniform_f32(n: usize, seed: u64) -> Vec<f32> {
+    let mut r = rng(seed);
+    (0..n).map(|_| r.gen::<f32>()).collect()
+}
+
+/// `n` uniform integers in `[0, bound)`.
+///
+/// # Example
+/// ```
+/// use gpu_workloads::common::uniform_u32;
+/// let v = uniform_u32(100, 16, 3);
+/// assert!(v.iter().all(|&x| x < 16));
+/// ```
+pub fn uniform_u32(n: usize, bound: u32, seed: u64) -> Vec<u32> {
+    let mut r = rng(seed);
+    (0..n).map(|_| r.gen_range(0..bound)).collect()
+}
+
+/// Reinterprets a float slice as its IEEE-754 words.
+///
+/// # Example
+/// ```
+/// use gpu_workloads::common::f32_words;
+/// assert_eq!(f32_words(&[1.0]), vec![0x3f80_0000]);
+/// ```
+pub fn f32_words(v: &[f32]) -> Vec<u32> {
+    v.iter().map(|x| x.to_bits()).collect()
+}
+
+/// Reinterprets a word slice as floats.
+///
+/// # Example
+/// ```
+/// use gpu_workloads::common::words_f32;
+/// assert_eq!(words_f32(&[0x3f80_0000]), vec![1.0]);
+/// ```
+pub fn words_f32(v: &[u32]) -> Vec<f32> {
+    v.iter().map(|&x| f32::from_bits(x)).collect()
+}
+
+/// The logistic sigmoid evaluated exactly as the GPU-adjacent host phases
+/// of `backprop` do (`1 / (1 + 2^(-x·log2 e))`, matching the `FExp2`-based
+/// kernel math).
+///
+/// # Example
+/// ```
+/// use gpu_workloads::common::sigmoid;
+/// assert_eq!(sigmoid(0.0), 0.5);
+/// assert!(sigmoid(10.0) > 0.99);
+/// ```
+pub fn sigmoid(x: f32) -> f32 {
+    const LOG2_E: f32 = std::f32::consts::LOG2_E;
+    1.0 / (1.0 + (-x * LOG2_E).exp2())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generators_are_seeded() {
+        assert_eq!(uniform_f32(16, 9), uniform_f32(16, 9));
+        assert_ne!(uniform_f32(16, 9), uniform_f32(16, 10));
+        assert_eq!(uniform_u32(16, 100, 9), uniform_u32(16, 100, 9));
+    }
+
+    #[test]
+    fn word_roundtrip() {
+        let v = vec![0.0f32, -1.5, f32::INFINITY];
+        assert_eq!(words_f32(&f32_words(&v)), v);
+    }
+
+    #[test]
+    fn sigmoid_properties() {
+        assert!(sigmoid(-10.0) < 0.01);
+        assert!((sigmoid(1.0) + sigmoid(-1.0) - 1.0).abs() < 1e-6);
+    }
+}

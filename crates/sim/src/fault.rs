@@ -1,0 +1,104 @@
+//! Fault sites: where and when a single-bit flip lands.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A fault-injectable storage structure of an SM.
+///
+/// The reproduced study targets the vector register file (Fig. 1) and the
+/// local/shared memory (Fig. 2); the scalar register file is an extension
+/// available on Southern-Islands-style devices.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Structure {
+    /// The per-SM vector register file.
+    VectorRegisterFile,
+    /// The per-SM local/shared memory (LDS).
+    LocalMemory,
+    /// The per-SM scalar register file (AMD-style architectures only).
+    ScalarRegisterFile,
+}
+
+impl fmt::Display for Structure {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            Structure::VectorRegisterFile => "register file",
+            Structure::LocalMemory => "local memory",
+            Structure::ScalarRegisterFile => "scalar register file",
+        })
+    }
+}
+
+/// A single-bit-flip fault site: structure, SM, physical bit and the device
+/// cycle at which the flip occurs.
+///
+/// Cycles count the *application* clock: monotonically increasing across
+/// all launches of a workload on one [`crate::Gpu`] instance, so a site
+/// drawn uniformly over the fault-free total exercises every kernel of a
+/// multi-launch workload proportionally to its duration.
+///
+/// # Example
+/// ```
+/// use simt_sim::{FaultSite, Structure};
+/// let s = FaultSite {
+///     structure: Structure::VectorRegisterFile,
+///     sm: 3,
+///     word: 128,
+///     bit: 17,
+///     cycle: 40_000,
+/// };
+/// assert_eq!(s.bit_index(), 128 * 32 + 17);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct FaultSite {
+    /// Target structure.
+    pub structure: Structure,
+    /// Target SM / compute unit index.
+    pub sm: u32,
+    /// Physical word index within the structure.
+    pub word: u32,
+    /// Bit within the word (0..32).
+    pub bit: u8,
+    /// Application cycle at which the bit flips.
+    pub cycle: u64,
+}
+
+impl FaultSite {
+    /// Flat bit index within the structure (`word * 32 + bit`).
+    pub fn bit_index(&self) -> u64 {
+        self.word as u64 * 32 + self.bit as u64
+    }
+}
+
+impl fmt::Display for FaultSite {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} sm{} word {} bit {} @ cycle {}",
+            self.structure, self.sm, self.word, self.bit, self.cycle
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display() {
+        let s = FaultSite {
+            structure: Structure::LocalMemory,
+            sm: 0,
+            word: 5,
+            bit: 31,
+            cycle: 7,
+        };
+        assert_eq!(s.to_string(), "local memory sm0 word 5 bit 31 @ cycle 7");
+        assert_eq!(s.bit_index(), 191);
+    }
+
+    #[test]
+    fn structure_names() {
+        assert_eq!(Structure::VectorRegisterFile.to_string(), "register file");
+        assert_eq!(Structure::ScalarRegisterFile.to_string(), "scalar register file");
+    }
+}

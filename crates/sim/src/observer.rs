@@ -1,0 +1,268 @@
+//! Observer hooks: the event stream consumed by reliability analyses.
+//!
+//! The simulator reports every architected-storage access and every
+//! allocation boundary through [`SimObserver`]. `grel-core`'s ACE analyzer
+//! and occupancy tracker are pure consumers of these events; fault
+//! injection needs none of them (campaign runs use [`NoopObserver`], which
+//! monomorphises to nothing).
+
+use crate::fault::FaultSite;
+
+/// The physical regions a block occupies on its SM, reported at dispatch
+/// and retire so analyses can reason about exact allocation extents.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct BlockRegions {
+    /// Vector-RF region start (words).
+    pub rf_base: u32,
+    /// Vector-RF region length (words).
+    pub rf_len: u32,
+    /// Scalar-RF region start (words).
+    pub srf_base: u32,
+    /// Scalar-RF region length (words).
+    pub srf_len: u32,
+    /// LDS region start (words).
+    pub lds_base: u32,
+    /// LDS region length (words).
+    pub lds_len: u32,
+}
+
+/// Receiver of simulation events.
+///
+/// All methods have empty default bodies so an observer implements only
+/// what it needs. Word indices are *physical* indices into the named
+/// per-SM structure — the same address space as [`FaultSite::word`].
+///
+/// # Example
+/// ```
+/// use simt_sim::SimObserver;
+///
+/// #[derive(Default)]
+/// struct CountWrites(u64);
+/// impl SimObserver for CountWrites {
+///     fn on_rf_write(&mut self, _sm: u32, _word: u32, _cycle: u64) {
+///         self.0 += 1;
+///     }
+/// }
+/// ```
+pub trait SimObserver {
+    /// A vector-register word was written.
+    fn on_rf_write(&mut self, sm: u32, word: u32, cycle: u64) {
+        let _ = (sm, word, cycle);
+    }
+
+    /// A vector-register word was read.
+    fn on_rf_read(&mut self, sm: u32, word: u32, cycle: u64) {
+        let _ = (sm, word, cycle);
+    }
+
+    /// A scalar-register word was written.
+    fn on_srf_write(&mut self, sm: u32, word: u32, cycle: u64) {
+        let _ = (sm, word, cycle);
+    }
+
+    /// A scalar-register word was read.
+    fn on_srf_read(&mut self, sm: u32, word: u32, cycle: u64) {
+        let _ = (sm, word, cycle);
+    }
+
+    /// An LDS word was written.
+    fn on_lds_write(&mut self, sm: u32, word: u32, cycle: u64) {
+        let _ = (sm, word, cycle);
+    }
+
+    /// An LDS word was read.
+    fn on_lds_read(&mut self, sm: u32, word: u32, cycle: u64) {
+        let _ = (sm, word, cycle);
+    }
+
+    /// A block was dispatched to `sm`, allocating the given regions.
+    fn on_block_dispatch(&mut self, sm: u32, regions: BlockRegions, cycle: u64) {
+        let _ = (sm, regions, cycle);
+    }
+
+    /// A block retired from `sm`, freeing the given regions.
+    fn on_block_retire(&mut self, sm: u32, regions: BlockRegions, cycle: u64) {
+        let _ = (sm, regions, cycle);
+    }
+
+    /// A kernel launch began at this application cycle.
+    fn on_launch_begin(&mut self, name: &str, cycle: u64) {
+        let _ = (name, cycle);
+    }
+
+    /// The current kernel launch completed at this application cycle.
+    fn on_launch_end(&mut self, cycle: u64) {
+        let _ = cycle;
+    }
+
+    /// An armed fault was injected.
+    fn on_fault_injected(&mut self, site: FaultSite) {
+        let _ = site;
+    }
+}
+
+impl<T: SimObserver + ?Sized> SimObserver for &mut T {
+    fn on_rf_write(&mut self, sm: u32, word: u32, cycle: u64) {
+        (**self).on_rf_write(sm, word, cycle);
+    }
+    fn on_rf_read(&mut self, sm: u32, word: u32, cycle: u64) {
+        (**self).on_rf_read(sm, word, cycle);
+    }
+    fn on_srf_write(&mut self, sm: u32, word: u32, cycle: u64) {
+        (**self).on_srf_write(sm, word, cycle);
+    }
+    fn on_srf_read(&mut self, sm: u32, word: u32, cycle: u64) {
+        (**self).on_srf_read(sm, word, cycle);
+    }
+    fn on_lds_write(&mut self, sm: u32, word: u32, cycle: u64) {
+        (**self).on_lds_write(sm, word, cycle);
+    }
+    fn on_lds_read(&mut self, sm: u32, word: u32, cycle: u64) {
+        (**self).on_lds_read(sm, word, cycle);
+    }
+    fn on_block_dispatch(&mut self, sm: u32, regions: BlockRegions, cycle: u64) {
+        (**self).on_block_dispatch(sm, regions, cycle);
+    }
+    fn on_block_retire(&mut self, sm: u32, regions: BlockRegions, cycle: u64) {
+        (**self).on_block_retire(sm, regions, cycle);
+    }
+    fn on_launch_begin(&mut self, name: &str, cycle: u64) {
+        (**self).on_launch_begin(name, cycle);
+    }
+    fn on_launch_end(&mut self, cycle: u64) {
+        (**self).on_launch_end(cycle);
+    }
+    fn on_fault_injected(&mut self, site: FaultSite) {
+        (**self).on_fault_injected(site);
+    }
+}
+
+/// The do-nothing observer used by fault-injection campaign runs.
+///
+/// # Example
+/// ```
+/// use simt_sim::{NoopObserver, SimObserver};
+/// let mut o = NoopObserver;
+/// o.on_rf_write(0, 0, 0); // compiles to nothing
+/// ```
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct NoopObserver;
+
+impl SimObserver for NoopObserver {}
+
+/// An observer that counts every event class — the cheapest way to
+/// characterise a workload's storage-access profile (and to sanity-check
+/// the event stream feeding heavier analyses like ACE).
+///
+/// # Example
+/// ```
+/// use simt_sim::{CountingObserver, SimObserver};
+/// let mut c = CountingObserver::default();
+/// c.on_rf_write(0, 1, 2);
+/// c.on_rf_read(0, 1, 3);
+/// c.on_lds_write(0, 0, 4);
+/// assert_eq!(c.rf_writes, 1);
+/// assert_eq!(c.rf_reads, 1);
+/// assert_eq!(c.lds_writes, 1);
+/// ```
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CountingObserver {
+    /// Vector-register words written.
+    pub rf_writes: u64,
+    /// Vector-register words read.
+    pub rf_reads: u64,
+    /// Scalar-register words written.
+    pub srf_writes: u64,
+    /// Scalar-register words read.
+    pub srf_reads: u64,
+    /// LDS words written.
+    pub lds_writes: u64,
+    /// LDS words read.
+    pub lds_reads: u64,
+    /// Blocks dispatched.
+    pub blocks: u64,
+    /// Kernel launches observed.
+    pub launches: u64,
+    /// Faults injected.
+    pub faults: u64,
+}
+
+impl SimObserver for CountingObserver {
+    fn on_rf_write(&mut self, _sm: u32, _word: u32, _cycle: u64) {
+        self.rf_writes += 1;
+    }
+    fn on_rf_read(&mut self, _sm: u32, _word: u32, _cycle: u64) {
+        self.rf_reads += 1;
+    }
+    fn on_srf_write(&mut self, _sm: u32, _word: u32, _cycle: u64) {
+        self.srf_writes += 1;
+    }
+    fn on_srf_read(&mut self, _sm: u32, _word: u32, _cycle: u64) {
+        self.srf_reads += 1;
+    }
+    fn on_lds_write(&mut self, _sm: u32, _word: u32, _cycle: u64) {
+        self.lds_writes += 1;
+    }
+    fn on_lds_read(&mut self, _sm: u32, _word: u32, _cycle: u64) {
+        self.lds_reads += 1;
+    }
+    fn on_block_dispatch(&mut self, _sm: u32, _regions: BlockRegions, _cycle: u64) {
+        self.blocks += 1;
+    }
+    fn on_launch_begin(&mut self, _name: &str, _cycle: u64) {
+        self.launches += 1;
+    }
+    fn on_fault_injected(&mut self, _site: FaultSite) {
+        self.faults += 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fault::Structure;
+
+    #[derive(Default)]
+    struct Recorder {
+        rf_writes: u64,
+        lds_reads: u64,
+        launches: u64,
+        faults: u64,
+    }
+
+    impl SimObserver for Recorder {
+        fn on_rf_write(&mut self, _sm: u32, _word: u32, _cycle: u64) {
+            self.rf_writes += 1;
+        }
+        fn on_lds_read(&mut self, _sm: u32, _word: u32, _cycle: u64) {
+            self.lds_reads += 1;
+        }
+        fn on_launch_begin(&mut self, _name: &str, _cycle: u64) {
+            self.launches += 1;
+        }
+        fn on_fault_injected(&mut self, _site: FaultSite) {
+            self.faults += 1;
+        }
+    }
+
+    #[test]
+    fn default_methods_are_noops_and_overrides_fire() {
+        let mut r = Recorder::default();
+        r.on_rf_write(0, 1, 2);
+        r.on_rf_read(0, 1, 2); // default: ignored
+        r.on_lds_read(1, 2, 3);
+        r.on_launch_begin("k", 0);
+        r.on_launch_end(10);
+        r.on_fault_injected(FaultSite {
+            structure: Structure::VectorRegisterFile,
+            sm: 0,
+            word: 0,
+            bit: 0,
+            cycle: 0,
+        });
+        assert_eq!(r.rf_writes, 1);
+        assert_eq!(r.lds_reads, 1);
+        assert_eq!(r.launches, 1);
+        assert_eq!(r.faults, 1);
+    }
+}

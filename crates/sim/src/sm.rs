@@ -1,0 +1,1090 @@
+//! The streaming multiprocessor (compute unit): block residency, warp
+//! scheduling and instruction execution.
+
+use crate::config::{ArchConfig, SchedulerPolicy};
+use crate::error::Due;
+use crate::launch::LaunchConfig;
+use crate::mem::{GlobalMemory, MemorySystem};
+use crate::observer::{BlockRegions, SimObserver};
+use crate::regfile::RegionAllocator;
+use crate::warp::{LaneMask, Warp};
+use simt_isa::op::{eval_atom, eval_binop, eval_cmp, eval_terop, eval_unop};
+use simt_isa::{Instr, LoweredKernel, MemSpace, Operand, Reg, SReg, Special, VReg};
+
+/// A block resident on an SM.
+#[derive(Debug, Clone)]
+pub struct ResidentBlock {
+    /// Block coordinates.
+    pub ctaid: (u32, u32),
+    /// Vector-RF region (words).
+    pub rf_base: u32,
+    /// Vector-RF region length (words).
+    pub rf_len: u32,
+    /// Scalar-RF region (words).
+    pub srf_base: u32,
+    /// Scalar-RF region length (words).
+    pub srf_len: u32,
+    /// LDS region (words).
+    pub lds_base: u32,
+    /// LDS region length (words).
+    pub lds_len: u32,
+    /// Warp slots owned by this block.
+    pub warp_slots: Vec<usize>,
+    /// Warps that have not finished.
+    pub running_warps: u32,
+    /// Warps currently parked at the barrier.
+    pub at_barrier: u32,
+}
+
+/// Per-SM execution counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SmStats {
+    /// Vector (warp-level) instructions issued.
+    pub warp_instructions: u64,
+    /// Scalar instructions issued.
+    pub scalar_instructions: u64,
+    /// Thread-level instructions (sum of active lanes).
+    pub thread_instructions: u64,
+    /// Blocks retired.
+    pub blocks_retired: u64,
+    /// Cycles in which this SM issued at least one instruction.
+    pub busy_cycles: u64,
+}
+
+/// One streaming multiprocessor with its physical storage structures.
+#[derive(Debug, Clone)]
+pub struct Sm {
+    /// SM index within the device.
+    pub id: u32,
+    pub(crate) rf: Vec<u32>,
+    pub(crate) srf: Vec<u32>,
+    pub(crate) lds: Vec<u32>,
+    rf_alloc: RegionAllocator,
+    srf_alloc: RegionAllocator,
+    lds_alloc: RegionAllocator,
+    warps: Vec<Option<Warp>>,
+    blocks: Vec<Option<ResidentBlock>>,
+    sched_ptr: usize,
+    gto_current: Option<usize>,
+    /// Set when a block retired since the device last redistributed work.
+    pub retired_flag: bool,
+    /// Execution counters.
+    pub stats: SmStats,
+}
+
+/// How an operand is resolved for a warp-wide execution.
+enum Resolved {
+    /// Same value for every lane (immediates, scalar regs, uniform specials).
+    Uniform(u32),
+    /// A per-lane vector register.
+    VReg(u16),
+    /// A per-lane special value.
+    Special(Special),
+}
+
+impl Sm {
+    /// Creates an idle SM with the architecture's storage sizes.
+    pub fn new(id: u32, arch: &ArchConfig) -> Self {
+        Sm {
+            id,
+            rf: vec![0; arch.rf_words_per_sm() as usize],
+            srf: vec![0; arch.srf_words_per_sm() as usize],
+            lds: vec![0; arch.lds_words_per_sm() as usize],
+            rf_alloc: RegionAllocator::new(arch.rf_words_per_sm()),
+            srf_alloc: RegionAllocator::new(arch.srf_words_per_sm()),
+            lds_alloc: RegionAllocator::new(arch.lds_words_per_sm()),
+            warps: (0..arch.max_warps_per_sm).map(|_| None).collect(),
+            blocks: (0..arch.max_blocks_per_sm).map(|_| None).collect(),
+            sched_ptr: 0,
+            gto_current: None,
+            retired_flag: false,
+            stats: SmStats::default(),
+        }
+    }
+
+    /// Clears all storage and residency state (start of a launch).
+    pub fn reset(&mut self) {
+        self.rf.fill(0);
+        self.srf.fill(0);
+        self.lds.fill(0);
+        self.rf_alloc.reset();
+        self.srf_alloc.reset();
+        self.lds_alloc.reset();
+        for w in &mut self.warps {
+            *w = None;
+        }
+        for b in &mut self.blocks {
+            *b = None;
+        }
+        self.sched_ptr = 0;
+        self.gto_current = None;
+        self.retired_flag = false;
+    }
+
+    /// Whether any block is resident.
+    pub fn busy(&self) -> bool {
+        self.blocks.iter().any(Option::is_some)
+    }
+
+    /// Vector-RF words currently allocated (occupancy numerator).
+    pub fn rf_allocated(&self) -> u32 {
+        self.rf_alloc.allocated()
+    }
+
+    /// LDS words currently allocated.
+    pub fn lds_allocated(&self) -> u32 {
+        self.lds_alloc.allocated()
+    }
+
+    /// Scalar-RF words currently allocated.
+    pub fn srf_allocated(&self) -> u32 {
+        self.srf_alloc.allocated()
+    }
+
+    /// Flips one bit of the vector register file.
+    pub fn flip_rf_bit(&mut self, word: u32, bit: u8) {
+        if let Some(w) = self.rf.get_mut(word as usize) {
+            *w ^= 1 << bit;
+        }
+    }
+
+    /// Flips one bit of the scalar register file.
+    pub fn flip_srf_bit(&mut self, word: u32, bit: u8) {
+        if let Some(w) = self.srf.get_mut(word as usize) {
+            *w ^= 1 << bit;
+        }
+    }
+
+    /// Flips one bit of the LDS.
+    pub fn flip_lds_bit(&mut self, word: u32, bit: u8) {
+        if let Some(w) = self.lds.get_mut(word as usize) {
+            *w ^= 1 << bit;
+        }
+    }
+
+    /// Attempts to make the block `ctaid` resident; returns `false` when a
+    /// resource (warp slots, block slot, RF, SRF, LDS) is exhausted.
+    #[allow(clippy::too_many_arguments)]
+    pub fn try_dispatch<O: SimObserver>(
+        &mut self,
+        kernel: &LoweredKernel,
+        cfg: &LaunchConfig,
+        ctaid: (u32, u32),
+        params: &[u32],
+        arch: &ArchConfig,
+        cycle: u64,
+        obs: &mut O,
+    ) -> bool {
+        let warp_size = arch.warp_size;
+        let threads = cfg.threads_per_block();
+        let warps_n = cfg.warps_per_block(warp_size);
+        let free_slots: Vec<usize> = self
+            .warps
+            .iter()
+            .enumerate()
+            .filter_map(|(i, w)| w.is_none().then_some(i))
+            .take(warps_n as usize)
+            .collect();
+        if free_slots.len() < warps_n as usize {
+            return false;
+        }
+        let Some(block_slot) = self.blocks.iter().position(Option::is_none) else {
+            return false;
+        };
+        let rf_len = warps_n * warp_size * kernel.vregs_per_thread() as u32;
+        let srf_len = warps_n * kernel.sregs_per_warp() as u32;
+        let lds_len = kernel.shared_bytes().div_ceil(4);
+        let Some(rf_base) = self.rf_alloc.alloc(rf_len) else {
+            return false;
+        };
+        let Some(srf_base) = self.srf_alloc.alloc(srf_len) else {
+            self.rf_alloc.free(rf_base, rf_len);
+            return false;
+        };
+        let Some(lds_base) = self.lds_alloc.alloc(lds_len) else {
+            self.rf_alloc.free(rf_base, rf_len);
+            self.srf_alloc.free(srf_base, srf_len);
+            return false;
+        };
+
+        let vregs = kernel.vregs_per_thread() as u32;
+        let sregs = kernel.sregs_per_warp() as u32;
+        let mut warp_slots = Vec::with_capacity(warps_n as usize);
+        for w in 0..warps_n {
+            let lanes = (threads - w * warp_size).min(warp_size);
+            let slot = free_slots[w as usize];
+            let warp = Warp::new(
+                w,
+                lanes,
+                kernel.vregs_per_thread(),
+                kernel.sregs_per_warp(),
+                kernel.num_pregs(),
+                rf_base + w * vregs * warp_size,
+                srf_base + w * sregs,
+                lds_base,
+                lds_len * 4,
+                ctaid,
+                block_slot,
+            );
+            // Preload kernel parameters into their lowered registers.
+            for (i, &value) in params.iter().enumerate() {
+                match kernel.param_reg(i as u16) {
+                    Reg::S(SReg(r)) => {
+                        let phys = warp.srf_base + r as u32;
+                        self.srf[phys as usize] = value;
+                        obs.on_srf_write(self.id, phys, cycle);
+                    }
+                    Reg::V(VReg(r)) => {
+                        for lane in 0..lanes {
+                            let phys = warp.rf_base + r as u32 * warp_size + lane;
+                            self.rf[phys as usize] = value;
+                            obs.on_rf_write(self.id, phys, cycle);
+                        }
+                    }
+                }
+            }
+            self.warps[slot] = Some(warp);
+            warp_slots.push(slot);
+        }
+        self.blocks[block_slot] = Some(ResidentBlock {
+            ctaid,
+            rf_base,
+            rf_len,
+            srf_base,
+            srf_len,
+            lds_base,
+            lds_len,
+            warp_slots,
+            running_warps: warps_n,
+            at_barrier: 0,
+        });
+        obs.on_block_dispatch(
+            self.id,
+            BlockRegions { rf_base, rf_len, srf_base, srf_len, lds_base, lds_len },
+            cycle,
+        );
+        true
+    }
+
+    /// Checks whether the warp's next instruction has all operands ready.
+    fn deps_ready(&self, warp: &Warp, instr: &Instr, cycle: u64) -> bool {
+        let mut ready = true;
+        if let Some(d) = instr.dst_reg() {
+            ready &= match d {
+                Reg::V(VReg(r)) => warp.vreg_ready[r as usize] <= cycle,
+                Reg::S(SReg(r)) => warp.sreg_ready[r as usize] <= cycle,
+            };
+        }
+        instr.for_each_src(|op| {
+            if let Operand::Reg(r) = op {
+                ready &= match r {
+                    Reg::V(VReg(i)) => warp.vreg_ready[i as usize] <= cycle,
+                    Reg::S(SReg(i)) => warp.sreg_ready[i as usize] <= cycle,
+                };
+            }
+        });
+        if let Some(p) = instr.src_pred() {
+            ready &= warp.pred_ready[p.0 as usize] <= cycle;
+        }
+        if let Some(p) = instr.dst_pred() {
+            ready &= warp.pred_ready[p.0 as usize] <= cycle;
+        }
+        ready
+    }
+
+    fn warp_issuable(&self, slot: usize, kernel: &LoweredKernel, cycle: u64) -> bool {
+        match &self.warps[slot] {
+            Some(w) if !w.finished && !w.at_barrier && w.next_issue <= cycle => {
+                self.deps_ready(w, &kernel.body()[w.pc], cycle)
+            }
+            _ => false,
+        }
+    }
+
+    /// Picks the next warp to issue from, per the scheduling policy.
+    fn pick_warp(&mut self, kernel: &LoweredKernel, cycle: u64, policy: SchedulerPolicy) -> Option<usize> {
+        let n = self.warps.len();
+        match policy {
+            SchedulerPolicy::Lrr => {
+                for off in 1..=n {
+                    let slot = (self.sched_ptr + off) % n;
+                    if self.warp_issuable(slot, kernel, cycle) {
+                        self.sched_ptr = slot;
+                        return Some(slot);
+                    }
+                }
+                None
+            }
+            SchedulerPolicy::Gto => {
+                if let Some(cur) = self.gto_current {
+                    if self.warp_issuable(cur, kernel, cycle) {
+                        return Some(cur);
+                    }
+                }
+                let pick = (0..n).find(|&s| self.warp_issuable(s, kernel, cycle));
+                self.gto_current = pick;
+                pick
+            }
+        }
+    }
+
+    /// Runs one SM cycle: issues up to `issue_width` instructions.
+    ///
+    /// # Errors
+    ///
+    /// Propagates any [`Due`] raised by the executed instructions.
+    #[allow(clippy::too_many_arguments)]
+    pub fn step<O: SimObserver>(
+        &mut self,
+        cycle: u64,
+        kernel: &LoweredKernel,
+        cfg: &LaunchConfig,
+        arch: &ArchConfig,
+        mem: &mut GlobalMemory,
+        mem_sys: &mut MemorySystem,
+        obs: &mut O,
+    ) -> Result<(), Due> {
+        let mut issued = false;
+        for _ in 0..arch.issue_width {
+            let Some(slot) = self.pick_warp(kernel, cycle, arch.scheduler) else {
+                break;
+            };
+            self.exec_instr(slot, cycle, kernel, cfg, arch, mem, mem_sys, obs)?;
+            issued = true;
+        }
+        if issued {
+            self.stats.busy_cycles += 1;
+        }
+        Ok(())
+    }
+
+    /// Executes the next instruction of the warp in `slot`.
+    #[allow(clippy::too_many_arguments)]
+    fn exec_instr<O: SimObserver>(
+        &mut self,
+        slot: usize,
+        cycle: u64,
+        kernel: &LoweredKernel,
+        cfg: &LaunchConfig,
+        arch: &ArchConfig,
+        mem: &mut GlobalMemory,
+        mem_sys: &mut MemorySystem,
+        obs: &mut O,
+    ) -> Result<(), Due> {
+        let mut warp = self.warps[slot].take().expect("picked warp exists");
+        let idx = warp.pc;
+        let instr = kernel.body()[idx];
+        let warp_size = arch.warp_size;
+        let ntid = (cfg.block.x, cfg.block.y);
+        let nctaid = (cfg.grid.x, cfg.grid.y);
+        let issue_cycles = arch.warp_issue_cycles() as u64;
+        let mut barrier_requested = false;
+
+        let result = (|| -> Result<(), Due> {
+            match instr {
+                Instr::Un { op, dst, a } => {
+                    let lat = un_latency(arch, op);
+                    self.exec_alu1(&mut warp, dst, a, |x| eval_unop(op, x), lat, cycle, warp_size, ntid, nctaid, obs);
+                    warp.next_issue = cycle + issue_cycles;
+                    warp.pc += 1;
+                }
+                Instr::Bin { op, dst, a, b } => {
+                    let lat = bin_latency(arch, op);
+                    self.exec_alu2(&mut warp, dst, a, b, |x, y| eval_binop(op, x, y), lat, cycle, warp_size, ntid, nctaid, obs);
+                    warp.next_issue = cycle + issue_cycles;
+                    warp.pc += 1;
+                }
+                Instr::Ter { op, dst, a, b, c } => {
+                    let lat = match op {
+                        simt_isa::TerOp::IMad => arch.lat.imul,
+                        simt_isa::TerOp::FFma => arch.lat.fp,
+                    };
+                    self.exec_alu3(&mut warp, dst, a, b, c, |x, y, z| eval_terop(op, x, y, z), lat, cycle, warp_size, ntid, nctaid, obs);
+                    warp.next_issue = cycle + issue_cycles;
+                    warp.pc += 1;
+                }
+                Instr::SetP { op, float, pd, a, b } => {
+                    let ra = self.resolve_cfg(&warp, a, ntid, nctaid, cycle, obs);
+                    let rb = self.resolve_cfg(&warp, b, ntid, nctaid, cycle, obs);
+                    let mut mask: LaneMask = 0;
+                    for lane in lanes(warp.active) {
+                        let x = self.lane_value(&warp, &ra, lane, warp_size, ntid, nctaid, cycle, obs);
+                        let y = self.lane_value(&warp, &rb, lane, warp_size, ntid, nctaid, cycle, obs);
+                        if eval_cmp(op, x, y, float) {
+                            mask |= 1 << lane;
+                        }
+                    }
+                    let old = warp.preds[pd.0 as usize];
+                    warp.preds[pd.0 as usize] = (old & !warp.active) | mask;
+                    warp.pred_ready[pd.0 as usize] = cycle + arch.lat.alu as u64;
+                    self.stats.warp_instructions += 1;
+                    self.stats.thread_instructions += warp.active.count_ones() as u64;
+                    warp.next_issue = cycle + issue_cycles;
+                    warp.pc += 1;
+                }
+                Instr::Sel { p, dst, a, b } => {
+                    let pmask = warp.preds[p.0 as usize];
+                    let ra = self.resolve_cfg(&warp, a, ntid, nctaid, cycle, obs);
+                    let rb = self.resolve_cfg(&warp, b, ntid, nctaid, cycle, obs);
+                    let d = vreg_of(dst);
+                    for lane in lanes(warp.active) {
+                        let x = self.lane_value(&warp, &ra, lane, warp_size, ntid, nctaid, cycle, obs);
+                        let y = self.lane_value(&warp, &rb, lane, warp_size, ntid, nctaid, cycle, obs);
+                        let v = if pmask >> lane & 1 == 1 { x } else { y };
+                        self.write_vreg(&warp, d, lane, v, warp_size, cycle, obs);
+                    }
+                    warp.vreg_ready[d as usize] = cycle + arch.lat.alu as u64;
+                    self.stats.warp_instructions += 1;
+                    self.stats.thread_instructions += warp.active.count_ones() as u64;
+                    warp.next_issue = cycle + issue_cycles;
+                    warp.pc += 1;
+                }
+                Instr::Ld { space, dst, addr, offset } => {
+                    self.exec_load(&mut warp, space, dst, addr, offset, cycle, arch, mem, mem_sys, ntid, nctaid, obs)?;
+                    warp.next_issue = cycle + issue_cycles;
+                    warp.pc += 1;
+                }
+                Instr::St { space, addr, offset, src } => {
+                    self.exec_store(&mut warp, space, addr, offset, src, cycle, arch, mem, mem_sys, ntid, nctaid, obs)?;
+                    warp.next_issue = cycle + issue_cycles;
+                    warp.pc += 1;
+                }
+                Instr::Atom { space, op, dst, addr, offset, src } => {
+                    self.exec_atomic(&mut warp, space, op, dst, addr, offset, src, cycle, arch, mem, mem_sys, ntid, nctaid, obs)?;
+                    warp.next_issue = cycle + issue_cycles;
+                    warp.pc += 1;
+                }
+                Instr::Bar => {
+                    if warp.active != warp.runnable_lanes() {
+                        return Err(Due::BarrierDivergence { sm: self.id, cycle });
+                    }
+                    barrier_requested = true;
+                    self.stats.warp_instructions += 1;
+                    warp.next_issue = cycle + issue_cycles;
+                    warp.pc += 1;
+                }
+                Instr::IfBegin { p, negate } => {
+                    let pm = warp.preds[p.0 as usize];
+                    let taken = if negate { !pm } else { pm };
+                    warp.exec_if_begin(idx, taken, kernel.control());
+                    self.stats.warp_instructions += 1;
+                    warp.next_issue = cycle + 1;
+                }
+                Instr::Else => {
+                    warp.exec_else();
+                    self.stats.warp_instructions += 1;
+                    warp.next_issue = cycle + 1;
+                }
+                Instr::IfEnd => {
+                    warp.exec_if_end();
+                    self.stats.warp_instructions += 1;
+                    warp.next_issue = cycle + 1;
+                }
+                Instr::LoopBegin => {
+                    warp.exec_loop_begin(idx, kernel.control());
+                    self.stats.warp_instructions += 1;
+                    warp.next_issue = cycle + 1;
+                }
+                Instr::Break { p, negate } => {
+                    let pm = warp.preds[p.0 as usize];
+                    let mask = if negate { !pm } else { pm };
+                    warp.exec_break(mask);
+                    self.stats.warp_instructions += 1;
+                    warp.next_issue = cycle + 1;
+                }
+                Instr::LoopEnd => {
+                    warp.exec_loop_end();
+                    self.stats.warp_instructions += 1;
+                    warp.next_issue = cycle + 1;
+                }
+                Instr::Exit => {
+                    warp.exec_exit();
+                    self.stats.warp_instructions += 1;
+                    warp.next_issue = cycle + 1;
+                }
+                Instr::Nop => {
+                    self.stats.warp_instructions += 1;
+                    warp.next_issue = cycle + issue_cycles;
+                    warp.pc += 1;
+                }
+            }
+            Ok(())
+        })();
+
+        // Running off the end of the body terminates the warp like `exit`.
+        if !warp.finished && warp.pc >= kernel.body().len() {
+            warp.exec_exit();
+        }
+        let finished = warp.finished;
+        let block_slot = warp.block_slot;
+        if barrier_requested {
+            warp.at_barrier = true;
+        }
+        self.warps[slot] = Some(warp);
+        result?;
+
+        if finished {
+            let block = self.blocks[block_slot].as_mut().expect("block resident");
+            block.running_warps -= 1;
+            if block.running_warps == 0 {
+                self.retire_block(block_slot, cycle, obs);
+            } else if block.at_barrier == block.running_warps {
+                self.release_barrier(block_slot);
+            }
+        } else if barrier_requested {
+            let block = self.blocks[block_slot].as_mut().expect("block resident");
+            block.at_barrier += 1;
+            if block.at_barrier == block.running_warps {
+                self.release_barrier(block_slot);
+            }
+        }
+        Ok(())
+    }
+
+    fn release_barrier(&mut self, block_slot: usize) {
+        let slots = self.blocks[block_slot]
+            .as_ref()
+            .expect("block resident")
+            .warp_slots
+            .clone();
+        for s in slots {
+            if let Some(w) = self.warps[s].as_mut() {
+                w.at_barrier = false;
+            }
+        }
+        if let Some(b) = self.blocks[block_slot].as_mut() {
+            b.at_barrier = 0;
+        }
+    }
+
+    fn retire_block<O: SimObserver>(&mut self, block_slot: usize, cycle: u64, obs: &mut O) {
+        let block = self.blocks[block_slot].take().expect("block resident");
+        for s in &block.warp_slots {
+            self.warps[*s] = None;
+        }
+        self.rf_alloc.free(block.rf_base, block.rf_len);
+        self.srf_alloc.free(block.srf_base, block.srf_len);
+        self.lds_alloc.free(block.lds_base, block.lds_len);
+        self.stats.blocks_retired += 1;
+        self.retired_flag = true;
+        obs.on_block_retire(
+            self.id,
+            BlockRegions {
+                rf_base: block.rf_base,
+                rf_len: block.rf_len,
+                srf_base: block.srf_base,
+                srf_len: block.srf_len,
+                lds_base: block.lds_base,
+                lds_len: block.lds_len,
+            },
+            cycle,
+        );
+    }
+
+    // ---- operand plumbing ----
+
+    /// Resolves uniform operands once per instruction; defers per-lane ones.
+    fn resolve<O: SimObserver>(&mut self, warp: &Warp, op: Operand, cycle: u64, obs: &mut O) -> Resolved {
+        match op {
+            Operand::Imm(v) => Resolved::Uniform(v),
+            Operand::Reg(Reg::S(SReg(r))) => {
+                let phys = warp.srf_base + r as u32;
+                obs.on_srf_read(self.id, phys, cycle);
+                Resolved::Uniform(self.srf[phys as usize])
+            }
+            Operand::Reg(Reg::V(VReg(r))) => Resolved::VReg(r),
+            Operand::Special(s) if !s.is_per_lane() => Resolved::Uniform(self.uniform_special(warp, s)),
+            Operand::Special(s) => Resolved::Special(s),
+        }
+    }
+
+    fn uniform_special(&self, warp: &Warp, s: Special) -> u32 {
+        match s {
+            Special::CtaIdX => warp.ctaid.0,
+            Special::CtaIdY => warp.ctaid.1,
+            Special::WarpId => warp.warp_in_block,
+            // NTid/NCta are substituted by lane_value (needs cfg); handled
+            // there — this arm is unreachable for them.
+            _ => unreachable!("per-launch specials resolved in lane_value"),
+        }
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn lane_value<O: SimObserver>(
+        &mut self,
+        warp: &Warp,
+        r: &Resolved,
+        lane: u32,
+        warp_size: u32,
+        ntid: (u32, u32),
+        _nctaid: (u32, u32),
+        cycle: u64,
+        obs: &mut O,
+    ) -> u32 {
+        match *r {
+            Resolved::Uniform(v) => v,
+            Resolved::VReg(reg) => {
+                let phys = warp.rf_base + reg as u32 * warp_size + lane;
+                obs.on_rf_read(self.id, phys, cycle);
+                self.rf[phys as usize]
+            }
+            Resolved::Special(s) => match s {
+                Special::TidX => warp.tid(lane, warp_size, ntid.0).0,
+                Special::TidY => warp.tid(lane, warp_size, ntid.0).1,
+                Special::LaneId => lane,
+                _ => unreachable!("uniform specials resolved earlier"),
+            },
+        }
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn write_vreg<O: SimObserver>(
+        &mut self,
+        warp: &Warp,
+        reg: u16,
+        lane: u32,
+        value: u32,
+        warp_size: u32,
+        cycle: u64,
+        obs: &mut O,
+    ) {
+        let phys = warp.rf_base + reg as u32 * warp_size + lane;
+        self.rf[phys as usize] = value;
+        obs.on_rf_write(self.id, phys, cycle);
+    }
+
+    /// `resolve` fix-up for NTid/NCta specials, which need launch config.
+    fn resolve_cfg<O: SimObserver>(
+        &mut self,
+        warp: &Warp,
+        op: Operand,
+        ntid: (u32, u32),
+        nctaid: (u32, u32),
+        cycle: u64,
+        obs: &mut O,
+    ) -> Resolved {
+        match op {
+            Operand::Special(Special::NTidX) => Resolved::Uniform(ntid.0),
+            Operand::Special(Special::NTidY) => Resolved::Uniform(ntid.1),
+            Operand::Special(Special::NCtaIdX) => Resolved::Uniform(nctaid.0),
+            Operand::Special(Special::NCtaIdY) => Resolved::Uniform(nctaid.1),
+            other => self.resolve(warp, other, cycle, obs),
+        }
+    }
+
+    // ---- ALU bodies ----
+
+    #[allow(clippy::too_many_arguments)]
+    fn exec_alu1<O: SimObserver>(
+        &mut self,
+        warp: &mut Warp,
+        dst: Reg,
+        a: Operand,
+        f: impl Fn(u32) -> u32,
+        lat: u32,
+        cycle: u64,
+        warp_size: u32,
+        ntid: (u32, u32),
+        nctaid: (u32, u32),
+        obs: &mut O,
+    ) {
+        let ra = self.resolve_cfg(warp, a, ntid, nctaid, cycle, obs);
+        match dst {
+            Reg::S(SReg(r)) => {
+                let x = match ra {
+                    Resolved::Uniform(v) => v,
+                    _ => unreachable!("validated scalar sources are uniform"),
+                };
+                let phys = warp.srf_base + r as u32;
+                self.srf[phys as usize] = f(x);
+                obs.on_srf_write(self.id, phys, cycle);
+                warp.sreg_ready[r as usize] = cycle + lat as u64;
+                self.stats.scalar_instructions += 1;
+            }
+            Reg::V(VReg(r)) => {
+                for lane in lanes(warp.active) {
+                    let x = self.lane_value(warp, &ra, lane, warp_size, ntid, nctaid, cycle, obs);
+                    self.write_vreg(warp, r, lane, f(x), warp_size, cycle, obs);
+                }
+                warp.vreg_ready[r as usize] = cycle + lat as u64;
+                self.stats.warp_instructions += 1;
+                self.stats.thread_instructions += warp.active.count_ones() as u64;
+            }
+        }
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn exec_alu2<O: SimObserver>(
+        &mut self,
+        warp: &mut Warp,
+        dst: Reg,
+        a: Operand,
+        b: Operand,
+        f: impl Fn(u32, u32) -> u32,
+        lat: u32,
+        cycle: u64,
+        warp_size: u32,
+        ntid: (u32, u32),
+        nctaid: (u32, u32),
+        obs: &mut O,
+    ) {
+        let ra = self.resolve_cfg(warp, a, ntid, nctaid, cycle, obs);
+        let rb = self.resolve_cfg(warp, b, ntid, nctaid, cycle, obs);
+        match dst {
+            Reg::S(SReg(r)) => {
+                let (x, y) = match (&ra, &rb) {
+                    (Resolved::Uniform(x), Resolved::Uniform(y)) => (*x, *y),
+                    _ => unreachable!("validated scalar sources are uniform"),
+                };
+                let phys = warp.srf_base + r as u32;
+                self.srf[phys as usize] = f(x, y);
+                obs.on_srf_write(self.id, phys, cycle);
+                warp.sreg_ready[r as usize] = cycle + lat as u64;
+                self.stats.scalar_instructions += 1;
+            }
+            Reg::V(VReg(r)) => {
+                for lane in lanes(warp.active) {
+                    let x = self.lane_value(warp, &ra, lane, warp_size, ntid, nctaid, cycle, obs);
+                    let y = self.lane_value(warp, &rb, lane, warp_size, ntid, nctaid, cycle, obs);
+                    self.write_vreg(warp, r, lane, f(x, y), warp_size, cycle, obs);
+                }
+                warp.vreg_ready[r as usize] = cycle + lat as u64;
+                self.stats.warp_instructions += 1;
+                self.stats.thread_instructions += warp.active.count_ones() as u64;
+            }
+        }
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn exec_alu3<O: SimObserver>(
+        &mut self,
+        warp: &mut Warp,
+        dst: Reg,
+        a: Operand,
+        b: Operand,
+        c: Operand,
+        f: impl Fn(u32, u32, u32) -> u32,
+        lat: u32,
+        cycle: u64,
+        warp_size: u32,
+        ntid: (u32, u32),
+        nctaid: (u32, u32),
+        obs: &mut O,
+    ) {
+        let ra = self.resolve_cfg(warp, a, ntid, nctaid, cycle, obs);
+        let rb = self.resolve_cfg(warp, b, ntid, nctaid, cycle, obs);
+        let rc = self.resolve_cfg(warp, c, ntid, nctaid, cycle, obs);
+        match dst {
+            Reg::S(SReg(r)) => {
+                let (x, y, z) = match (&ra, &rb, &rc) {
+                    (Resolved::Uniform(x), Resolved::Uniform(y), Resolved::Uniform(z)) => (*x, *y, *z),
+                    _ => unreachable!("validated scalar sources are uniform"),
+                };
+                let phys = warp.srf_base + r as u32;
+                self.srf[phys as usize] = f(x, y, z);
+                obs.on_srf_write(self.id, phys, cycle);
+                warp.sreg_ready[r as usize] = cycle + lat as u64;
+                self.stats.scalar_instructions += 1;
+            }
+            Reg::V(VReg(r)) => {
+                for lane in lanes(warp.active) {
+                    let x = self.lane_value(warp, &ra, lane, warp_size, ntid, nctaid, cycle, obs);
+                    let y = self.lane_value(warp, &rb, lane, warp_size, ntid, nctaid, cycle, obs);
+                    let z = self.lane_value(warp, &rc, lane, warp_size, ntid, nctaid, cycle, obs);
+                    self.write_vreg(warp, r, lane, f(x, y, z), warp_size, cycle, obs);
+                }
+                warp.vreg_ready[r as usize] = cycle + lat as u64;
+                self.stats.warp_instructions += 1;
+                self.stats.thread_instructions += warp.active.count_ones() as u64;
+            }
+        }
+    }
+
+    // ---- memory bodies ----
+
+    /// Checks a block-relative LDS byte address; returns the physical word.
+    fn lds_word(&self, warp: &Warp, addr: u32, cycle: u64) -> Result<u32, Due> {
+        if !addr.is_multiple_of(4) || addr.saturating_add(4) > warp.lds_bytes {
+            return Err(Due::SharedOutOfBounds { addr, sm: self.id, cycle });
+        }
+        Ok(warp.lds_base + addr / 4)
+    }
+
+    /// LDS bank-conflict degree of a set of physical words.
+    fn lds_conflict_degree(words: &[u32], banks: u32) -> u32 {
+        let mut per_bank: Vec<Vec<u32>> = vec![Vec::new(); banks as usize];
+        for &w in words {
+            let b = (w % banks) as usize;
+            if !per_bank[b].contains(&w) {
+                per_bank[b].push(w);
+            }
+        }
+        per_bank.iter().map(|v| v.len() as u32).max().unwrap_or(0).max(1)
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn exec_load<O: SimObserver>(
+        &mut self,
+        warp: &mut Warp,
+        space: MemSpace,
+        dst: Reg,
+        addr: Operand,
+        offset: i32,
+        cycle: u64,
+        arch: &ArchConfig,
+        mem: &mut GlobalMemory,
+        mem_sys: &mut MemorySystem,
+        ntid: (u32, u32),
+        nctaid: (u32, u32),
+        obs: &mut O,
+    ) -> Result<(), Due> {
+        let ra = self.resolve_cfg(warp, addr, ntid, nctaid, cycle, obs);
+        match dst {
+            Reg::S(SReg(r)) => {
+                // Scalar load: uniform address, global space only.
+                let base = match ra {
+                    Resolved::Uniform(v) => v,
+                    _ => unreachable!("validated scalar sources are uniform"),
+                };
+                let a = base.wrapping_add(offset as u32);
+                let v = mem.load(a, self.id, cycle)?;
+                let lat = mem_sys.access_latency(self.id, &[a]);
+                let phys = warp.srf_base + r as u32;
+                self.srf[phys as usize] = v;
+                obs.on_srf_write(self.id, phys, cycle);
+                warp.sreg_ready[r as usize] = cycle + lat as u64;
+                self.stats.scalar_instructions += 1;
+            }
+            Reg::V(VReg(r)) => {
+                let mut addrs: Vec<u32> = Vec::new();
+                match space {
+                    MemSpace::Global => {
+                        for lane in lanes(warp.active) {
+                            let base = self.lane_value(warp, &ra, lane, warp_size_of(arch), ntid, nctaid, cycle, obs);
+                            let a = base.wrapping_add(offset as u32);
+                            let v = mem.load(a, self.id, cycle)?;
+                            self.write_vreg(warp, r, lane, v, arch.warp_size, cycle, obs);
+                            addrs.push(a);
+                        }
+                        let lat = mem_sys.access_latency(self.id, &addrs);
+                        warp.vreg_ready[r as usize] = cycle + lat as u64;
+                    }
+                    MemSpace::Shared => {
+                        let mut words: Vec<u32> = Vec::new();
+                        for lane in lanes(warp.active) {
+                            let base = self.lane_value(warp, &ra, lane, arch.warp_size, ntid, nctaid, cycle, obs);
+                            let a = base.wrapping_add(offset as u32);
+                            let w = self.lds_word(warp, a, cycle)?;
+                            let v = self.lds[w as usize];
+                            obs.on_lds_read(self.id, w, cycle);
+                            self.write_vreg(warp, r, lane, v, arch.warp_size, cycle, obs);
+                            words.push(w);
+                        }
+                        let degree = Self::lds_conflict_degree(&words, arch.lds_banks);
+                        let lat = arch.lat.lds + (degree - 1) * arch.lds_bank_penalty;
+                        warp.vreg_ready[r as usize] = cycle + lat as u64;
+                    }
+                }
+                self.stats.warp_instructions += 1;
+                self.stats.thread_instructions += warp.active.count_ones() as u64;
+            }
+        }
+        Ok(())
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn exec_store<O: SimObserver>(
+        &mut self,
+        warp: &mut Warp,
+        space: MemSpace,
+        addr: Operand,
+        offset: i32,
+        src: Operand,
+        cycle: u64,
+        arch: &ArchConfig,
+        mem: &mut GlobalMemory,
+        mem_sys: &mut MemorySystem,
+        ntid: (u32, u32),
+        nctaid: (u32, u32),
+        obs: &mut O,
+    ) -> Result<(), Due> {
+        let ra = self.resolve_cfg(warp, addr, ntid, nctaid, cycle, obs);
+        let rs = self.resolve_cfg(warp, src, ntid, nctaid, cycle, obs);
+        match space {
+            MemSpace::Global => {
+                let mut addrs: Vec<u32> = Vec::new();
+                for lane in lanes(warp.active) {
+                    let base = self.lane_value(warp, &ra, lane, arch.warp_size, ntid, nctaid, cycle, obs);
+                    let v = self.lane_value(warp, &rs, lane, arch.warp_size, ntid, nctaid, cycle, obs);
+                    let a = base.wrapping_add(offset as u32);
+                    mem.store(a, v, self.id, cycle)?;
+                    addrs.push(a);
+                }
+                let _ = mem_sys.access_latency(self.id, &addrs);
+            }
+            MemSpace::Shared => {
+                for lane in lanes(warp.active) {
+                    let base = self.lane_value(warp, &ra, lane, arch.warp_size, ntid, nctaid, cycle, obs);
+                    let v = self.lane_value(warp, &rs, lane, arch.warp_size, ntid, nctaid, cycle, obs);
+                    let a = base.wrapping_add(offset as u32);
+                    let w = self.lds_word(warp, a, cycle)?;
+                    self.lds[w as usize] = v;
+                    obs.on_lds_write(self.id, w, cycle);
+                }
+            }
+        }
+        self.stats.warp_instructions += 1;
+        self.stats.thread_instructions += warp.active.count_ones() as u64;
+        Ok(())
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn exec_atomic<O: SimObserver>(
+        &mut self,
+        warp: &mut Warp,
+        space: MemSpace,
+        op: simt_isa::AtomOp,
+        dst: Reg,
+        addr: Operand,
+        offset: i32,
+        src: Operand,
+        cycle: u64,
+        arch: &ArchConfig,
+        mem: &mut GlobalMemory,
+        mem_sys: &mut MemorySystem,
+        ntid: (u32, u32),
+        nctaid: (u32, u32),
+        obs: &mut O,
+    ) -> Result<(), Due> {
+        let ra = self.resolve_cfg(warp, addr, ntid, nctaid, cycle, obs);
+        let rs = self.resolve_cfg(warp, src, ntid, nctaid, cycle, obs);
+        let d = vreg_of(dst);
+        let mut distinct: Vec<u32> = Vec::new();
+        for lane in lanes(warp.active) {
+            let base = self.lane_value(warp, &ra, lane, arch.warp_size, ntid, nctaid, cycle, obs);
+            let v = self.lane_value(warp, &rs, lane, arch.warp_size, ntid, nctaid, cycle, obs);
+            let a = base.wrapping_add(offset as u32);
+            let old = match space {
+                MemSpace::Global => {
+                    let old = mem.load(a, self.id, cycle)?;
+                    let (new, old) = eval_atom(op, old, v);
+                    mem.store(a, new, self.id, cycle)?;
+                    old
+                }
+                MemSpace::Shared => {
+                    let w = self.lds_word(warp, a, cycle)?;
+                    obs.on_lds_read(self.id, w, cycle);
+                    let (new, old) = eval_atom(op, self.lds[w as usize], v);
+                    self.lds[w as usize] = new;
+                    obs.on_lds_write(self.id, w, cycle);
+                    old
+                }
+            };
+            self.write_vreg(warp, d, lane, old, arch.warp_size, cycle, obs);
+            if !distinct.contains(&a) {
+                distinct.push(a);
+            }
+        }
+        let lat = match space {
+            MemSpace::Global => mem_sys.atomic_latency(distinct.len() as u32),
+            MemSpace::Shared => {
+                arch.lat.lds + (distinct.len() as u32).saturating_sub(1) * arch.lds_bank_penalty
+            }
+        };
+        warp.vreg_ready[d as usize] = cycle + lat as u64;
+        self.stats.warp_instructions += 1;
+        self.stats.thread_instructions += warp.active.count_ones() as u64;
+        Ok(())
+    }
+}
+
+/// Iterates the set lane indices of a mask.
+fn lanes(mask: LaneMask) -> impl Iterator<Item = u32> {
+    (0..64u32).filter(move |l| mask >> l & 1 == 1)
+}
+
+fn vreg_of(r: Reg) -> u16 {
+    match r {
+        Reg::V(VReg(i)) => i,
+        Reg::S(_) => unreachable!("validated: per-lane destination is a vector register"),
+    }
+}
+
+fn warp_size_of(arch: &ArchConfig) -> u32 {
+    arch.warp_size
+}
+
+fn un_latency(arch: &ArchConfig, op: simt_isa::UnOp) -> u32 {
+    if op.is_sfu() {
+        arch.lat.sfu
+    } else if op.is_float() {
+        arch.lat.fp
+    } else {
+        arch.lat.alu
+    }
+}
+
+fn bin_latency(arch: &ArchConfig, op: simt_isa::BinOp) -> u32 {
+    if op.is_sfu() {
+        arch.lat.sfu
+    } else if op.is_float() {
+        arch.lat.fp
+    } else if op.is_imul_class() {
+        arch.lat.imul
+    } else {
+        arch.lat.alu
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lane_iteration() {
+        let v: Vec<u32> = lanes(0b1010_0001).collect();
+        assert_eq!(v, vec![0, 5, 7]);
+        assert_eq!(lanes(0).count(), 0);
+    }
+
+    #[test]
+    fn conflict_degree() {
+        // 8 banks: words 0..8 hit distinct banks.
+        assert_eq!(Sm::lds_conflict_degree(&[0, 1, 2, 3], 8), 1);
+        // words 0 and 8 share bank 0.
+        assert_eq!(Sm::lds_conflict_degree(&[0, 8], 8), 2);
+        // Same word twice: broadcast, no conflict.
+        assert_eq!(Sm::lds_conflict_degree(&[0, 0, 0], 8), 1);
+        assert_eq!(Sm::lds_conflict_degree(&[], 8), 1);
+        assert_eq!(Sm::lds_conflict_degree(&[0, 8, 16, 24], 8), 4);
+    }
+
+    #[test]
+    fn sm_construction_and_flips() {
+        let arch = ArchConfig::small_test_gpu();
+        let mut sm = Sm::new(0, &arch);
+        assert!(!sm.busy());
+        assert_eq!(sm.rf_allocated(), 0);
+        sm.flip_rf_bit(10, 3);
+        assert_eq!(sm.rf[10], 8);
+        sm.flip_rf_bit(10, 3);
+        assert_eq!(sm.rf[10], 0);
+        sm.flip_lds_bit(0, 0);
+        assert_eq!(sm.lds[0], 1);
+        // Out-of-range flips are ignored (defensive).
+        sm.flip_rf_bit(u32::MAX, 0);
+        sm.flip_srf_bit(0, 5); // srf is empty on this config
+    }
+
+    #[test]
+    fn reset_clears_state() {
+        let arch = ArchConfig::small_test_gpu();
+        let mut sm = Sm::new(0, &arch);
+        sm.rf[0] = 77;
+        sm.lds[1] = 88;
+        sm.reset();
+        assert_eq!(sm.rf[0], 0);
+        assert_eq!(sm.lds[1], 0);
+        assert!(!sm.busy());
+    }
+}

@@ -1,0 +1,182 @@
+//! Property tests for the simulator substrate: allocator invariants,
+//! cache behaviour, coalescing and end-to-end execution determinism on
+//! randomly generated straight-line kernels.
+
+use proptest::prelude::*;
+use simt_isa::{lower, KernelBuilder, MemSpace};
+use simt_sim::mem::count_segments;
+use simt_sim::regfile::RegionAllocator;
+use simt_sim::{ArchConfig, Cache, CacheGeom, Gpu, LaunchConfig};
+
+#[derive(Debug, Clone)]
+enum AllocOp {
+    Alloc(u32),
+    FreeNth(usize),
+}
+
+fn alloc_ops() -> impl Strategy<Value = Vec<AllocOp>> {
+    proptest::collection::vec(
+        prop_oneof![
+            (1u32..64).prop_map(AllocOp::Alloc),
+            any::<usize>().prop_map(AllocOp::FreeNth),
+        ],
+        1..60,
+    )
+}
+
+proptest! {
+    /// The allocator never double-books words, keeps its byte accounting
+    /// exact, and recovers full capacity after everything is freed.
+    #[test]
+    fn region_allocator_invariants(ops in alloc_ops()) {
+        let capacity = 256u32;
+        let mut a = RegionAllocator::new(capacity);
+        let mut live: Vec<(u32, u32)> = Vec::new();
+        let mut expected = 0u32;
+        for op in ops {
+            match op {
+                AllocOp::Alloc(len) => {
+                    if let Some(start) = a.alloc(len) {
+                        // No overlap with any live region.
+                        for &(s, l) in &live {
+                            prop_assert!(start + len <= s || s + l <= start,
+                                "overlap: new ({start},{len}) vs ({s},{l})");
+                        }
+                        prop_assert!(start + len <= capacity);
+                        live.push((start, len));
+                        expected += len;
+                    }
+                }
+                AllocOp::FreeNth(i) => {
+                    if !live.is_empty() {
+                        let (s, l) = live.remove(i % live.len());
+                        a.free(s, l);
+                        expected -= l;
+                    }
+                }
+            }
+            prop_assert_eq!(a.allocated(), expected);
+        }
+        for (s, l) in live.drain(..) {
+            a.free(s, l);
+        }
+        prop_assert_eq!(a.allocated(), 0);
+        prop_assert_eq!(a.alloc(capacity), Some(0), "capacity recovered");
+    }
+
+    /// Cache hit+miss count equals accesses, and re-touching the same
+    /// address twice in a row always hits the second time.
+    #[test]
+    fn cache_accounting(addrs in proptest::collection::vec(any::<u32>(), 1..200)) {
+        let mut c = Cache::new(CacheGeom { bytes: 1024, line_bytes: 64, assoc: 2 });
+        for &a in &addrs {
+            let _ = c.access(a);
+            prop_assert!(c.access(a), "immediate re-access must hit");
+        }
+        let s = c.stats();
+        prop_assert_eq!(s.hits + s.misses, addrs.len() as u64 * 2);
+        prop_assert!(s.hits >= addrs.len() as u64);
+    }
+
+    /// Coalescing counts are bounded by lane count and by the address
+    /// span, and are permutation-invariant.
+    #[test]
+    fn coalescing_bounds(mut addrs in proptest::collection::vec(0u32..100_000, 1..64)) {
+        let segs = count_segments(&addrs, 128);
+        prop_assert!(segs >= 1);
+        prop_assert!(segs <= addrs.len() as u32);
+        let lo = addrs.iter().min().unwrap() / 128;
+        let hi = addrs.iter().max().unwrap() / 128;
+        prop_assert!(segs <= hi - lo + 1);
+        addrs.reverse();
+        prop_assert_eq!(count_segments(&addrs, 128), segs, "order-invariant");
+    }
+}
+
+/// Random arithmetic expression kernel: out[i] = f(i) for a random f
+/// composed of ALU ops; checks device-vs-host agreement and determinism.
+fn random_alu_program() -> impl Strategy<Value = Vec<(u8, u32)>> {
+    proptest::collection::vec((0u8..6, any::<u32>()), 1..20)
+}
+
+fn apply_host(ops: &[(u8, u32)], mut v: u32) -> u32 {
+    for &(op, imm) in ops {
+        v = match op {
+            0 => v.wrapping_add(imm),
+            1 => v.wrapping_sub(imm),
+            2 => v.wrapping_mul(imm | 1),
+            3 => v ^ imm,
+            4 => v | imm,
+            _ => v.wrapping_shl(imm & 7),
+        };
+    }
+    v
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// The simulator computes exactly what the host computes for any
+    /// random straight-line integer program, on both vendor styles.
+    #[test]
+    fn random_programs_agree_with_host(ops in random_alu_program()) {
+        let mut kb = KernelBuilder::new("rand_alu", 1);
+        let out = kb.param(0);
+        let gid = kb.vreg();
+        let v = kb.vreg();
+        let addr = kb.vreg();
+        kb.global_tid_x(gid);
+        kb.mov(v, gid);
+        for &(op, imm) in &ops {
+            match op {
+                0 => kb.iadd(v, v, imm),
+                1 => kb.isub(v, v, imm),
+                2 => kb.imul(v, v, imm | 1),
+                3 => kb.xor(v, v, imm),
+                4 => kb.or(v, v, imm),
+                _ => kb.shl(v, v, imm & 7),
+            };
+        }
+        kb.word_addr(addr, out, gid);
+        kb.st(MemSpace::Global, addr, v);
+        kb.exit();
+        let k = kb.build().unwrap();
+
+        for arch in [ArchConfig::small_test_gpu(), ArchConfig::small_test_gpu_scalar()] {
+            let lowered = lower(&k, arch.caps()).unwrap();
+            let mut gpu = Gpu::new(arch);
+            let buf = gpu.alloc_words(64);
+            gpu.launch(&lowered, LaunchConfig::linear(4, 16), &[buf.addr()])
+                .unwrap();
+            let words = gpu.read_words(buf, 64);
+            for (i, w) in words.iter().enumerate() {
+                prop_assert_eq!(*w, apply_host(&ops, i as u32), "thread {}", i);
+            }
+        }
+    }
+
+    /// Timing and instruction counts are identical across repeated runs.
+    #[test]
+    fn execution_is_deterministic(seed in any::<u32>()) {
+        let mut kb = KernelBuilder::new("det", 1);
+        let out = kb.param(0);
+        let gid = kb.vreg();
+        let addr = kb.vreg();
+        kb.global_tid_x(gid);
+        kb.xor(gid, gid, seed);
+        kb.word_addr(addr, out, gid);
+        kb.exit();
+        let k = kb.build().unwrap();
+        let arch = ArchConfig::small_test_gpu();
+        let lowered = lower(&k, arch.caps()).unwrap();
+        let run = |arch: &ArchConfig| {
+            let mut gpu = Gpu::new(arch.clone());
+            let buf = gpu.alloc_words(64);
+            let st = gpu
+                .launch(&lowered, LaunchConfig::linear(4, 16), &[buf.addr()])
+                .unwrap();
+            (st.cycles, st.warp_instructions, st.thread_instructions)
+        };
+        prop_assert_eq!(run(&arch), run(&arch));
+    }
+}

@@ -1,0 +1,28 @@
+//! Umbrella crate for the ISPASS 2017 GPU reliability reproduction.
+//!
+//! Re-exports the workspace crates so examples and integration tests can
+//! use a single dependency:
+//!
+//! * [`isa`] — the MASS SIMT instruction set ([`simt_isa`]);
+//! * [`sim`] — the cycle-level SIMT GPU simulator ([`simt_sim`]);
+//! * [`archs`] — the four modelled GPU devices ([`gpu_archs`]);
+//! * [`workloads`] — the ten benchmarks ([`gpu_workloads`]);
+//! * [`reliability`] — fault injection, ACE analysis, AVF/EPF
+//!   ([`grel_core`]).
+//!
+//! # Example
+//!
+//! ```
+//! use gpu_reliability_repro::archs::geforce_gtx_480;
+//! let arch = geforce_gtx_480();
+//! assert_eq!(arch.warp_size, 32);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use gpu_archs as archs;
+pub use gpu_workloads as workloads;
+pub use grel_core as reliability;
+pub use simt_isa as isa;
+pub use simt_sim as sim;

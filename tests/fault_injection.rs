@@ -1,0 +1,129 @@
+//! End-to-end fault-injection behaviour across crates: outcome
+//! classification, determinism, and the physical meaning of fault sites.
+
+use gpu_reliability_repro::archs::{geforce_gtx_480, hd_radeon_7970, quadro_fx_5600};
+use gpu_reliability_repro::reliability::campaign::{
+    golden_run, run_campaign, run_injections, sample_sites, CampaignConfig, Outcome,
+};
+use gpu_reliability_repro::sim::{FaultSite, Gpu, NoopObserver, Structure};
+use gpu_reliability_repro::workloads::{Histogram, Kmeans, Transpose, VectorAdd, Workload};
+
+fn cfg(n: u32, threads: usize) -> CampaignConfig {
+    CampaignConfig { injections: n, seed: 42, threads, watchdog_factor: 10 }
+}
+
+#[test]
+fn campaign_outcomes_are_seed_deterministic_and_thread_invariant() {
+    let arch = quadro_fx_5600();
+    let w = Transpose::new(32, 9);
+    let r1 = run_campaign(&arch, &w, Structure::VectorRegisterFile, cfg(24, 1)).unwrap();
+    let r4 = run_campaign(&arch, &w, Structure::VectorRegisterFile, cfg(24, 4)).unwrap();
+    assert_eq!(r1.tally, r4.tally);
+    let r_other_seed = run_campaign(
+        &arch,
+        &w,
+        Structure::VectorRegisterFile,
+        CampaignConfig { seed: 43, ..cfg(24, 4) },
+    )
+    .unwrap();
+    // Same totals, potentially different split.
+    assert_eq!(r_other_seed.tally.total(), 24);
+}
+
+#[test]
+fn flip_in_never_allocated_space_is_always_masked() {
+    // The GTX 480 register file is far larger than one tiny block uses;
+    // the top words are never allocated, so flips there must be masked.
+    let arch = geforce_gtx_480();
+    let w = VectorAdd::new(128, 3);
+    let golden = golden_run(&arch, &w).unwrap();
+    let sites: Vec<FaultSite> = (0..8)
+        .map(|i| FaultSite {
+            structure: Structure::VectorRegisterFile,
+            sm: 14,
+            word: arch.rf_words_per_sm() - 1 - i,
+            bit: (i % 32) as u8,
+            cycle: golden.cycles / 2,
+        })
+        .collect();
+    let outcomes = run_injections(&arch, &w, &golden, &sites, cfg(8, 2));
+    assert!(
+        outcomes.iter().all(|o| *o == Outcome::Masked),
+        "unallocated space must be invulnerable: {outcomes:?}"
+    );
+}
+
+#[test]
+fn flip_after_execution_finishes_is_masked() {
+    let arch = quadro_fx_5600();
+    let w = VectorAdd::new(256, 3);
+    let golden = golden_run(&arch, &w).unwrap();
+    let site = FaultSite {
+        structure: Structure::VectorRegisterFile,
+        sm: 0,
+        word: 0,
+        bit: 0,
+        cycle: golden.cycles.saturating_sub(1),
+    };
+    let outcomes = run_injections(&arch, &w, &golden, &[site], cfg(1, 1));
+    // The very last cycles are drain; a flip in the RF there is almost
+    // always dead. (Not a tautology: the site targets word 0, which IS
+    // used early in the launch.)
+    assert_eq!(outcomes[0], Outcome::Masked);
+}
+
+#[test]
+fn histogram_index_corruption_can_raise_due() {
+    // Histogram computes a shared-memory address from loaded data; a
+    // campaign over its register file should provoke at least one
+    // non-masked outcome with a decent sample.
+    let arch = quadro_fx_5600();
+    let w = Histogram::new(1024, 64, 5);
+    let r = run_campaign(&arch, &w, Structure::VectorRegisterFile, cfg(150, 8)).unwrap();
+    assert!(
+        r.tally.failures() > 0,
+        "150 injections into a busy RF produced no failure at all: {:?}",
+        r.tally
+    );
+}
+
+#[test]
+fn scalar_register_file_campaign_runs_on_si_only() {
+    let si = hd_radeon_7970();
+    let w = Kmeans::new(256, 4, 1, 5);
+    let r = run_campaign(&si, &w, Structure::ScalarRegisterFile, cfg(12, 2)).unwrap();
+    assert_eq!(r.tally.total(), 12);
+}
+
+#[test]
+fn sample_sites_cover_the_structure() {
+    let arch = geforce_gtx_480();
+    let sites = sample_sites(&arch, Structure::LocalMemory, 10_000, 500, 1);
+    assert!(sites.iter().any(|s| s.sm >= arch.num_sms / 2), "high SMs sampled");
+    assert!(sites.iter().any(|s| s.sm < arch.num_sms / 2), "low SMs sampled");
+    assert!(sites.iter().any(|s| s.bit >= 16) && sites.iter().any(|s| s.bit < 16));
+    let max_word = arch.lds_words_per_sm();
+    assert!(sites.iter().all(|s| s.word < max_word));
+}
+
+#[test]
+fn armed_fault_survives_only_one_run() {
+    // A Gpu consumes its armed fault at the injection cycle; a second
+    // launch must be clean.
+    let arch = quadro_fx_5600();
+    let w = VectorAdd::new(256, 3);
+    let golden = golden_run(&arch, &w).unwrap();
+    let mut gpu = Gpu::new(arch.clone());
+    gpu.arm_fault(FaultSite {
+        structure: Structure::VectorRegisterFile,
+        sm: 0,
+        word: 10,
+        bit: 5,
+        cycle: 10,
+    });
+    let _ = w.run(&mut gpu, &mut NoopObserver).unwrap();
+    // Fresh GPU, no fault: golden.
+    let mut gpu2 = Gpu::new(arch);
+    let out2 = w.run(&mut gpu2, &mut NoopObserver).unwrap();
+    assert_eq!(out2, golden.outputs);
+}

@@ -1,0 +1,83 @@
+//! Cross-crate validation: every benchmark, on every device, produces
+//! output bit-identical to its host golden reference — the property the
+//! whole fault-injection methodology rests on.
+
+use gpu_reliability_repro::archs::all_devices;
+use gpu_reliability_repro::sim::{Gpu, NoopObserver};
+use gpu_reliability_repro::workloads::*;
+
+fn smoke_workloads(seed: u64) -> Vec<Box<dyn Workload>> {
+    vec![
+        Box::new(Backprop::new(64, seed)),
+        Box::new(DwtHaar1D::new(256, seed)),
+        Box::new(Gaussian::new(12, seed)),
+        Box::new(Histogram::new(1024, 64, seed)),
+        Box::new(Kmeans::new(256, 4, 2, seed)),
+        Box::new(MatrixMul::new(32, seed)),
+        Box::new(Reduction::new(1024, 256, seed)),
+        Box::new(Scan::new(1024, 256, seed)),
+        Box::new(Transpose::new(32, seed)),
+        Box::new(VectorAdd::new(1024, seed)),
+    ]
+}
+
+#[test]
+fn every_workload_is_bit_exact_on_every_device() {
+    for w in smoke_workloads(11) {
+        let golden = w.reference();
+        for arch in all_devices() {
+            let mut gpu = Gpu::new(arch.clone());
+            let out = w
+                .run(&mut gpu, &mut NoopObserver)
+                .unwrap_or_else(|e| panic!("{} on {}: {e}", w.name(), arch.name));
+            assert_eq!(out, golden, "{} differs on {}", w.name(), arch.name);
+        }
+    }
+}
+
+#[test]
+fn different_seeds_produce_different_outputs() {
+    for (a, b) in smoke_workloads(1).into_iter().zip(smoke_workloads(2)) {
+        assert_eq!(a.name(), b.name());
+        assert_ne!(
+            a.reference(),
+            b.reference(),
+            "{} ignores its input seed",
+            a.name()
+        );
+    }
+}
+
+#[test]
+fn timing_is_deterministic_per_device() {
+    for w in smoke_workloads(3) {
+        for arch in all_devices().into_iter().take(2) {
+            let mut g1 = Gpu::new(arch.clone());
+            let mut g2 = Gpu::new(arch.clone());
+            w.run(&mut g1, &mut NoopObserver).unwrap();
+            w.run(&mut g2, &mut NoopObserver).unwrap();
+            assert_eq!(
+                g1.app_cycle(),
+                g2.app_cycle(),
+                "{} timing varies on {}",
+                w.name(),
+                arch.name
+            );
+        }
+    }
+}
+
+#[test]
+fn devices_disagree_on_timing() {
+    // Different microarchitectures must produce different cycle counts —
+    // otherwise the EPF comparison is vacuous.
+    let w = MatrixMul::new(32, 5);
+    let mut cycles = Vec::new();
+    for arch in all_devices() {
+        let mut gpu = Gpu::new(arch);
+        w.run(&mut gpu, &mut NoopObserver).unwrap();
+        cycles.push(gpu.app_cycle());
+    }
+    cycles.dedup();
+    assert!(cycles.len() >= 3, "suspiciously uniform timing: {cycles:?}");
+}
