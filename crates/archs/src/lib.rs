@@ -76,8 +76,16 @@ pub fn hd_radeon_7970() -> ArchConfig {
         },
         lds_banks: 32,
         lds_bank_penalty: 2,
-        l1: Some(CacheGeom { bytes: 16 * 1024, line_bytes: 64, assoc: 4 }),
-        l2: Some(CacheGeom { bytes: 768 * 1024, line_bytes: 64, assoc: 16 }),
+        l1: Some(CacheGeom {
+            bytes: 16 * 1024,
+            line_bytes: 64,
+            assoc: 4,
+        }),
+        l2: Some(CacheGeom {
+            bytes: 768 * 1024,
+            line_bytes: 64,
+            assoc: 16,
+        }),
         coalesce_bytes: 128,
         // 28 nm SRAM.
         raw_fit_per_mbit: 650.0,
@@ -232,8 +240,16 @@ pub fn geforce_gtx_480() -> ArchConfig {
         },
         lds_banks: 32,
         lds_bank_penalty: 2,
-        l1: Some(CacheGeom { bytes: 16 * 1024, line_bytes: 128, assoc: 4 }),
-        l2: Some(CacheGeom { bytes: 768 * 1024, line_bytes: 128, assoc: 16 }),
+        l1: Some(CacheGeom {
+            bytes: 16 * 1024,
+            line_bytes: 128,
+            assoc: 4,
+        }),
+        l2: Some(CacheGeom {
+            bytes: 768 * 1024,
+            line_bytes: 128,
+            assoc: 16,
+        }),
         coalesce_bytes: 128,
         // 40 nm SRAM.
         raw_fit_per_mbit: 800.0,
@@ -338,7 +354,10 @@ mod tests {
             device_by_name("southern islands").unwrap().name,
             "HD Radeon 7970"
         );
-        assert_eq!(device_by_name("GeForce GTX 480").unwrap().microarch, "Fermi");
+        assert_eq!(
+            device_by_name("GeForce GTX 480").unwrap().microarch,
+            "Fermi"
+        );
     }
 
     #[test]
@@ -471,7 +490,9 @@ mod builder_tests {
 
     #[test]
     fn built_devices_keep_derived_quantities_consistent() {
-        let half = DeviceBuilder::from(geforce_gtx_480()).regfile_kib(64).build();
+        let half = DeviceBuilder::from(geforce_gtx_480())
+            .regfile_kib(64)
+            .build();
         assert_eq!(half.rf_words_per_sm(), 16384);
         assert_eq!(half.caps(), geforce_gtx_480().caps(), "caps unchanged");
     }

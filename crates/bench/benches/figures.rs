@@ -4,14 +4,21 @@
 //! binary regenerates the figures at paper scale.
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use grel_core::campaign::{run_campaign, CampaignConfig};
-use grel_core::study::{evaluate_point, run_study, StudyConfig};
 use gpu_archs::{geforce_gtx_480, hd_radeon_7970, quadro_fx_5600};
 use gpu_workloads::{Histogram, Transpose, VectorAdd, Workload};
+use grel_core::campaign::{
+    golden_run, run_campaign, run_injections, run_injections_checkpointed, sample_sites,
+    CampaignConfig, CheckpointLadder,
+};
+use grel_core::study::{evaluate_point, run_study, StudyConfig};
 use simt_sim::Structure;
 
 fn tiny_campaign(seed: u64) -> CampaignConfig {
-    CampaignConfig { injections: 8, seed, threads: 2, watchdog_factor: 10 }
+    CampaignConfig {
+        injections: 8,
+        threads: 2,
+        ..CampaignConfig::quick(seed)
+    }
 }
 
 fn tiny_study(seed: u64) -> StudyConfig {
@@ -28,9 +35,7 @@ fn fig1_rf_avf(c: &mut Criterion) {
     let arch = quadro_fx_5600();
     let w = VectorAdd::new(512, 3);
     c.bench_function("fig1_rf_avf_campaign", |b| {
-        b.iter(|| {
-            run_campaign(&arch, &w, Structure::VectorRegisterFile, tiny_campaign(3)).unwrap()
-        })
+        b.iter(|| run_campaign(&arch, &w, Structure::VectorRegisterFile, tiny_campaign(3)).unwrap())
     });
 }
 
@@ -53,6 +58,30 @@ fn fig3_epf(c: &mut Criterion) {
     });
 }
 
+/// Replay accelerator: the same RF injection set from cycle zero vs
+/// resumed from the checkpoint ladder (ladder built once, as campaigns
+/// amortise it).
+fn replay_checkpointed_vs_zero(c: &mut Criterion) {
+    let arch = quadro_fx_5600();
+    let w = VectorAdd::new(512, 3);
+    let cfg = tiny_campaign(3);
+    let golden = golden_run(&arch, &w).unwrap();
+    let sites = sample_sites(
+        &arch,
+        Structure::VectorRegisterFile,
+        golden.cycles,
+        cfg.injections,
+        cfg.seed,
+    );
+    let ladder = CheckpointLadder::build(&arch, &w, &golden, &cfg).unwrap();
+    c.bench_function("replay_from_zero", |b| {
+        b.iter(|| run_injections(&arch, &w, &golden, &sites, cfg).unwrap())
+    });
+    c.bench_function("replay_from_checkpoints", |b| {
+        b.iter(|| run_injections_checkpointed(&arch, &w, &golden, &ladder, &sites, cfg).unwrap())
+    });
+}
+
 /// Findings roll-up: a 2-device × 2-workload mini study.
 fn findings_study(c: &mut Criterion) {
     let archs = vec![quadro_fx_5600(), hd_radeon_7970()];
@@ -72,6 +101,6 @@ fn findings_study(c: &mut Criterion) {
 criterion_group! {
     name = figures;
     config = Criterion::default().sample_size(10);
-    targets = fig1_rf_avf, fig2_lds_avf, fig3_epf, findings_study
+    targets = fig1_rf_avf, fig2_lds_avf, fig3_epf, replay_checkpointed_vs_zero, findings_study
 }
 criterion_main!(figures);

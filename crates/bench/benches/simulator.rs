@@ -4,9 +4,9 @@
 //! (scheduler policy, coalescing, LDS bank conflicts).
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use grel_core::ace::{AceAnalyzer, AceMode};
 use gpu_archs::{all_devices, geforce_gtx_480};
 use gpu_workloads::{MatrixMul, VectorAdd, Workload};
+use grel_core::ace::{AceAnalyzer, AceMode};
 use simt_isa::{lower, KernelBuilder, MemSpace};
 use simt_sim::{ArchConfig, Gpu, LaunchConfig, NoopObserver, SchedulerPolicy};
 

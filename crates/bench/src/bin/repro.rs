@@ -13,19 +13,24 @@
 //!   --workload NAME     restrict to one benchmark
 //!   --csv PATH          also write the raw study points as CSV
 //!   --experiments PATH  also write the EXPERIMENTS.md result body
+//!   --checkpoint-interval N  checkpoint ladder spacing in cycles (0 = auto)
+//!   --no-checkpoints    disable checkpointed replay (from-zero replays)
 //! ```
 
+use gpu_archs::all_devices;
+use gpu_workloads::Workload;
 use grel_bench::{
     render_avf_figure, render_epf_figure, render_experiments_markdown, render_findings, to_csv,
     workload_set, Scale,
 };
 use grel_core::ace::{AceAnalyzer, AceMode};
-use grel_core::campaign::{run_campaign, CampaignConfig};
+use grel_core::campaign::{
+    golden_run, run_campaign, run_injections, run_injections_checkpointed, sample_sites,
+    CampaignConfig, CheckpointLadder,
+};
 use grel_core::epf::structure_fit;
 use grel_core::stats::{error_margin, required_sample_size, Z_99};
 use grel_core::study::{evaluate_point, run_study, StudyConfig};
-use gpu_archs::all_devices;
-use gpu_workloads::Workload;
 use simt_sim::{ArchConfig, Gpu, SchedulerPolicy, Structure};
 use std::process::ExitCode;
 
@@ -39,6 +44,8 @@ struct Args {
     workload: Option<String>,
     csv: Option<String>,
     experiments: Option<String>,
+    checkpoint_interval: u64,
+    no_checkpoints: bool,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -46,19 +53,23 @@ fn parse_args() -> Result<Args, String> {
         command: "all".into(),
         injections: 200,
         seed: 2017,
-        threads: std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4),
+        threads: std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(4),
         scale: Scale::Default,
         device: None,
         workload: None,
         csv: None,
         experiments: None,
+        checkpoint_interval: 0,
+        no_checkpoints: false,
     };
     let mut it = std::env::args().skip(1);
     while let Some(a) = it.next() {
         match a.as_str() {
             "fig1" | "fig2" | "fig3" | "findings" | "stats" | "all" | "outcomes" | "perf"
             | "bits" | "phases" | "mbu" | "protect" | "ablate-sched" | "ablate-rfsize"
-            | "ablate-ace" => args.command = a,
+            | "ablate-ace" | "bench-campaign" => args.command = a,
             "--injections" => {
                 args.injections = it
                     .next()
@@ -84,6 +95,14 @@ fn parse_args() -> Result<Args, String> {
             "--smoke" => args.scale = Scale::Smoke,
             "--device" => args.device = Some(it.next().ok_or("--device needs a value")?),
             "--workload" => args.workload = Some(it.next().ok_or("--workload needs a value")?),
+            "--checkpoint-interval" => {
+                args.checkpoint_interval = it
+                    .next()
+                    .ok_or("--checkpoint-interval needs a value")?
+                    .parse()
+                    .map_err(|e| format!("bad --checkpoint-interval: {e}"))?;
+            }
+            "--no-checkpoints" => args.no_checkpoints = true,
             "--csv" => args.csv = Some(it.next().ok_or("--csv needs a value")?),
             "--experiments" => {
                 args.experiments = Some(it.next().ok_or("--experiments needs a value")?)
@@ -104,6 +123,7 @@ const HELP: &str = "repro — regenerate the figures of \
 usage: repro [COMMAND] [--injections N] [--paper] [--seed S] [--threads T]
              [--smoke] [--device NAME] [--workload NAME]
              [--csv PATH] [--experiments PATH]
+             [--checkpoint-interval N] [--no-checkpoints]
 
 commands:
   fig1          register-file AVF: FI vs ACE vs occupancy  (paper Fig. 1)
@@ -120,7 +140,8 @@ commands:
   protect       extension: EPF under none/parity/SECDED protection
   ablate-sched  extension: warp scheduler (LRR vs GTO) vs AVF and cycles
   ablate-rfsize extension: register-file size sweep vs AVF and FIT
-  ablate-ace    extension: conservative vs refined ACE vs FI";
+  ablate-ace    extension: conservative vs refined ACE vs FI
+  bench-campaign  measure checkpointed-replay speedup vs from-zero replay";
 
 fn main() -> ExitCode {
     let args = match parse_args() {
@@ -174,6 +195,11 @@ fn main() -> ExitCode {
             seed: args.seed,
             threads: args.threads,
             watchdog_factor: 10,
+            checkpoint_interval: args.checkpoint_interval,
+            // A one-byte budget holds no snapshot: every replay starts
+            // from cycle zero, which is exactly what --no-checkpoints
+            // promises.
+            checkpoint_budget_bytes: if args.no_checkpoints { 1 } else { 0 },
         },
         workload_seed: args.seed,
         fi_on_unused_lds: false,
@@ -181,6 +207,7 @@ fn main() -> ExitCode {
     };
 
     match args.command.as_str() {
+        "bench-campaign" => return bench_campaign(&archs, &workloads, &cfg),
         "ablate-sched" => return ablate_scheduler(&archs, &workloads, &cfg),
         "ablate-rfsize" => return ablate_rf_size(&archs, &workloads, &cfg),
         "ablate-ace" => return ablate_ace(&archs, &workloads, &cfg),
@@ -213,8 +240,14 @@ fn main() -> ExitCode {
     eprintln!("study completed in {:.1?}", start.elapsed());
 
     match args.command.as_str() {
-        "fig1" => print!("{}", render_avf_figure("Fig. 1: Register File AVF", &study.fig1_rows())),
-        "fig2" => print!("{}", render_avf_figure("Fig. 2: Local Memory AVF", &study.fig2_rows())),
+        "fig1" => print!(
+            "{}",
+            render_avf_figure("Fig. 1: Register File AVF", &study.fig1_rows())
+        ),
+        "fig2" => print!(
+            "{}",
+            render_avf_figure("Fig. 2: Local Memory AVF", &study.fig2_rows())
+        ),
         "fig3" => print!("{}", render_epf_figure(&study.fig3_rows())),
         "findings" => print!("{}", render_findings(&study.findings())),
         "outcomes" => {
@@ -238,9 +271,15 @@ fn main() -> ExitCode {
             }
         }
         _ => {
-            print!("{}", render_avf_figure("Fig. 1: Register File AVF", &study.fig1_rows()));
+            print!(
+                "{}",
+                render_avf_figure("Fig. 1: Register File AVF", &study.fig1_rows())
+            );
             println!();
-            print!("{}", render_avf_figure("Fig. 2: Local Memory AVF", &study.fig2_rows()));
+            print!(
+                "{}",
+                render_avf_figure("Fig. 2: Local Memory AVF", &study.fig2_rows())
+            );
             println!();
             print!("{}", render_epf_figure(&study.fig3_rows()));
             println!();
@@ -253,8 +292,16 @@ fn main() -> ExitCode {
         args.injections,
         margin * 100.0,
         args.seed,
-        if args.scale == Scale::Smoke { "smoke" } else { "default" },
-        archs.iter().map(|a| a.name.clone()).collect::<Vec<_>>().join(", ")
+        if args.scale == Scale::Smoke {
+            "smoke"
+        } else {
+            "default"
+        },
+        archs
+            .iter()
+            .map(|a| a.name.clone())
+            .collect::<Vec<_>>()
+            .join(", ")
     );
     if let Some(path) = &args.csv {
         if let Err(e) = std::fs::write(path, to_csv(&study)) {
@@ -292,7 +339,11 @@ fn protect_table(
         for arch in archs {
             match evaluate_point(arch, w.as_ref(), cfg) {
                 Ok(p) => {
-                    let sdc_share = if p.rf.avf_fi > 0.0 { p.rf.avf_sdc / p.rf.avf_fi } else { 0.0 };
+                    let sdc_share = if p.rf.avf_fi > 0.0 {
+                        p.rf.avf_sdc / p.rf.avf_fi
+                    } else {
+                        0.0
+                    };
                     for proj in grel_core::protection_sweep(&p.fit, p.eit, sdc_share) {
                         println!(
                             "{:<12} {:<16} {:>10} {:>12.3} {:>12} {:>8.1}%",
@@ -322,7 +373,16 @@ fn bit_sensitivity(
     println!("== Extension: register-file AVF by bit position (nibbles) ==");
     println!(
         "{:<12} {:<16} {:>8} {:>8} {:>8} {:>8} {:>8} {:>8} {:>8} {:>8}",
-        "workload", "device", "b0-3", "b4-7", "b8-11", "b12-15", "b16-19", "b20-23", "b24-27", "b28-31"
+        "workload",
+        "device",
+        "b0-3",
+        "b4-7",
+        "b8-11",
+        "b12-15",
+        "b16-19",
+        "b20-23",
+        "b24-27",
+        "b28-31"
     );
     for w in workloads {
         for arch in archs {
@@ -335,12 +395,17 @@ fn bit_sensitivity(
                 Ok(detail) => {
                     let by_bit = grel_core::avf_by_bit(&detail);
                     let nib = |lo: usize| {
-                        let vals: Vec<f64> =
-                            (lo..lo + 4).map(|b| by_bit[b]).filter(|v| !v.is_nan()).collect();
+                        let vals: Vec<f64> = (lo..lo + 4)
+                            .map(|b| by_bit[b])
+                            .filter(|v| !v.is_nan())
+                            .collect();
                         if vals.is_empty() {
                             "-".to_string()
                         } else {
-                            format!("{:.1}%", vals.iter().sum::<f64>() / vals.len() as f64 * 100.0)
+                            format!(
+                                "{:.1}%",
+                                vals.iter().sum::<f64>() / vals.len() as f64 * 100.0
+                            )
                         }
                     };
                     println!(
@@ -420,11 +485,7 @@ fn phase_sensitivity(
 }
 
 /// Extension: adjacent multi-bit upsets vs single-bit upsets.
-fn mbu_table(
-    archs: &[ArchConfig],
-    workloads: &[Box<dyn Workload>],
-    cfg: &StudyConfig,
-) -> ExitCode {
+fn mbu_table(archs: &[ArchConfig], workloads: &[Box<dyn Workload>], cfg: &StudyConfig) -> ExitCode {
     println!("== Extension: multi-bit upsets (adjacent bits, register file) ==");
     println!(
         "{:<12} {:<16} {:>9} {:>9} {:>9}",
@@ -460,7 +521,17 @@ fn mbu_table(
 fn perf_table(archs: &[ArchConfig], workloads: &[Box<dyn Workload>]) -> ExitCode {
     println!(
         "{:<12} {:<16} {:>9} {:>10} {:>6} {:>7} {:>9} {:>7} {:>7} {:>6} {:>9}",
-        "workload", "device", "cycles", "warp-inst", "IPC", "lanes/i", "mem-trans", "L1 hit", "L2 hit", "util", "time (us)"
+        "workload",
+        "device",
+        "cycles",
+        "warp-inst",
+        "IPC",
+        "lanes/i",
+        "mem-trans",
+        "L1 hit",
+        "L2 hit",
+        "util",
+        "time (us)"
     );
     for w in workloads {
         for arch in archs {
@@ -485,6 +556,74 @@ fn perf_table(archs: &[ArchConfig], workloads: &[Box<dyn Workload>]) -> ExitCode
             }
         }
         println!();
+    }
+    ExitCode::SUCCESS
+}
+
+/// Measures the wall-clock effect of checkpointed replay: runs the same
+/// register-file campaign (same sites, same golden run) once from cycle
+/// zero and once resuming from the checkpoint ladder, asserts outcome
+/// equality, and reports the speedup.
+fn bench_campaign(
+    archs: &[ArchConfig],
+    workloads: &[Box<dyn Workload>],
+    cfg: &StudyConfig,
+) -> ExitCode {
+    use std::time::Instant;
+    println!(
+        "== Checkpointed replay vs from-zero replay (RF campaign, {} injections) ==",
+        cfg.campaign.injections
+    );
+    println!(
+        "{:<16} {:<12} {:>5} {:>11} {:>13} {:>8}",
+        "device", "workload", "rungs", "from-zero", "checkpointed", "speedup"
+    );
+    for arch in archs {
+        for w in workloads {
+            let golden = match golden_run(arch, w.as_ref()) {
+                Ok(g) => g,
+                Err(e) => {
+                    eprintln!("error: golden run failed on {}: {e}", arch.name);
+                    return ExitCode::FAILURE;
+                }
+            };
+            let sites = sample_sites(
+                arch,
+                Structure::VectorRegisterFile,
+                golden.cycles,
+                cfg.campaign.injections,
+                cfg.campaign.seed,
+            );
+            let t0 = Instant::now();
+            let base = run_injections(arch, w.as_ref(), &golden, &sites, cfg.campaign)
+                .expect("from-zero replay");
+            let t_zero = t0.elapsed();
+            // The checkpointed side pays for building its own ladder, so
+            // the comparison is end-to-end, not best-case.
+            let t1 = Instant::now();
+            let ladder =
+                CheckpointLadder::build(arch, w.as_ref(), &golden, &cfg.campaign).expect("ladder");
+            let fast = run_injections_checkpointed(
+                arch,
+                w.as_ref(),
+                &golden,
+                &ladder,
+                &sites,
+                cfg.campaign,
+            )
+            .expect("checkpointed replay");
+            let t_ckpt = t1.elapsed();
+            assert_eq!(base, fast, "checkpointed outcomes must match from-zero");
+            println!(
+                "{:<16} {:<12} {:>5} {:>10.3}s {:>12.3}s {:>7.2}x",
+                arch.name,
+                w.name(),
+                ladder.len(),
+                t_zero.as_secs_f64(),
+                t_ckpt.as_secs_f64(),
+                t_zero.as_secs_f64() / t_ckpt.as_secs_f64().max(1e-9)
+            );
+        }
     }
     ExitCode::SUCCESS
 }

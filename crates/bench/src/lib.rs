@@ -14,11 +14,11 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
-use grel_core::study::{AvfRow, EpfRow, Findings, StudyResult};
 use gpu_workloads::{
     Backprop, DwtHaar1D, Gaussian, Histogram, Kmeans, MatrixMul, Reduction, Scan, Transpose,
     VectorAdd, Workload,
 };
+use grel_core::study::{AvfRow, EpfRow, Findings, StudyResult};
 use std::fmt::Write as _;
 
 /// Workload sizing for a study run.
@@ -119,7 +119,10 @@ pub fn render_avf_figure(title: &str, rows: &[AvfRow]) -> String {
 /// ```
 pub fn render_epf_figure(rows: &[EpfRow]) -> String {
     let mut out = String::new();
-    let _ = writeln!(out, "== Fig. 3: Executions per Failure (log scale 1e12..1e18) ==");
+    let _ = writeln!(
+        out,
+        "== Fig. 3: Executions per Failure (log scale 1e12..1e18) =="
+    );
     let _ = writeln!(
         out,
         "{:<12} {:<16} {:>9} {:>10} {:>9}",
@@ -284,7 +287,11 @@ pub fn render_experiments_markdown(study: &StudyResult, config_desc: &str) -> St
             sci(r.epf)
         );
     }
-    let _ = writeln!(out, "\n### Findings\n\n```text\n{}```", render_findings(&study.findings()));
+    let _ = writeln!(
+        out,
+        "\n### Findings\n\n```text\n{}```",
+        render_findings(&study.findings())
+    );
     out
 }
 
@@ -301,7 +308,11 @@ mod tests {
             avf_ace: 0.4,
             occupancy: 0.5,
             margin_99: 0.03,
-            tally: Tally { masked: 80, sdc: 15, due: 5 },
+            tally: Tally {
+                masked: 80,
+                sdc: 15,
+                due: 5,
+            },
         };
         EvalPoint {
             device: device.into(),
@@ -311,7 +322,11 @@ mod tests {
             rf: s,
             lds: s,
             srf_avf_ace: None,
-            fit: grel_core::FitBreakdown { rf: 10.0, lds: 2.0, srf: 0.0 },
+            fit: grel_core::FitBreakdown {
+                rf: 10.0,
+                lds: 2.0,
+                srf: 0.0,
+            },
             eit: 1e15,
             epf: 1e14 / 1.2,
         }
@@ -325,8 +340,10 @@ mod tests {
 
     #[test]
     fn smoke_set_has_all_ten() {
-        let names: Vec<String> =
-            workload_set(Scale::Smoke, 3).iter().map(|w| w.name().to_string()).collect();
+        let names: Vec<String> = workload_set(Scale::Smoke, 3)
+            .iter()
+            .map(|w| w.name().to_string())
+            .collect();
         assert_eq!(names.len(), 10);
         assert!(names.contains(&"gaussian".to_string()));
     }

@@ -36,7 +36,12 @@ fn fig1_smoke_renders_all_devices() {
         "vectoradd",
     ]);
     assert!(out.contains("Fig. 1"));
-    for dev in ["HD Radeon 7970", "Quadro FX 5600", "Quadro FX 5800", "GeForce GTX 480"] {
+    for dev in [
+        "HD Radeon 7970",
+        "Quadro FX 5600",
+        "Quadro FX 5800",
+        "GeForce GTX 480",
+    ] {
         assert!(out.contains(dev), "missing {dev} in:\n{out}");
     }
     assert!(out.contains("average"));
@@ -111,7 +116,10 @@ fn unknown_arguments_fail_cleanly() {
 
 #[test]
 fn unknown_workload_fails_cleanly() {
-    let out = repro().args(["fig1", "--workload", "nonesuch"]).output().unwrap();
+    let out = repro()
+        .args(["fig1", "--workload", "nonesuch"])
+        .output()
+        .unwrap();
     assert!(!out.status.success());
     assert!(String::from_utf8_lossy(&out.stderr).contains("no workload matches"));
 }
@@ -119,9 +127,22 @@ fn unknown_workload_fails_cleanly() {
 #[test]
 fn help_lists_every_command() {
     let out = run_ok(&["--help"]);
-    for cmd in ["fig1", "fig2", "fig3", "findings", "stats", "outcomes", "perf",
-                "bits", "phases", "mbu", "protect", "ablate-sched", "ablate-rfsize",
-                "ablate-ace"] {
+    for cmd in [
+        "fig1",
+        "fig2",
+        "fig3",
+        "findings",
+        "stats",
+        "outcomes",
+        "perf",
+        "bits",
+        "phases",
+        "mbu",
+        "protect",
+        "ablate-sched",
+        "ablate-rfsize",
+        "ablate-ace",
+    ] {
         assert!(out.contains(cmd), "help is missing {cmd}");
     }
 }

@@ -44,7 +44,10 @@ struct WordState {
     last_read: u64,
 }
 
-const FRESH: WordState = WordState { wrote_at: NO_EVENT, last_read: NO_EVENT };
+const FRESH: WordState = WordState {
+    wrote_at: NO_EVENT,
+    last_read: NO_EVENT,
+};
 
 /// Per-structure lifetime tracker.
 #[derive(Debug)]
@@ -248,7 +251,12 @@ impl AceAnalyzer {
         } else {
             (0.0, 0.0)
         };
-        StructureReport { avf_ace: avf, occupancy: occ, ace_bit_cycles, total_bits }
+        StructureReport {
+            avf_ace: avf,
+            occupancy: occ,
+            ace_bit_cycles,
+            total_bits,
+        }
     }
 
     /// Total application cycles observed so far.
@@ -334,7 +342,10 @@ mod tests {
         a.on_rf_write(0, 5, 60);
         a.on_launch_end(100);
         // [10, 50] closed by the overwrite, plus the dead tail value.
-        assert_eq!(a.report(Structure::VectorRegisterFile).ace_bit_cycles, 40 * 32);
+        assert_eq!(
+            a.report(Structure::VectorRegisterFile).ace_bit_cycles,
+            40 * 32
+        );
     }
 
     #[test]
@@ -356,12 +367,31 @@ mod tests {
     fn conservative_closes_at_block_retire() {
         let mut a = conservative();
         a.on_launch_begin("k", 0);
-        a.on_block_dispatch(0, BlockRegions { rf_base: 0, rf_len: 8, ..Default::default() }, 0);
+        a.on_block_dispatch(
+            0,
+            BlockRegions {
+                rf_base: 0,
+                rf_len: 8,
+                ..Default::default()
+            },
+            0,
+        );
         a.on_rf_write(0, 3, 10);
-        a.on_block_retire(0, BlockRegions { rf_base: 0, rf_len: 8, ..Default::default() }, 40);
+        a.on_block_retire(
+            0,
+            BlockRegions {
+                rf_base: 0,
+                rf_len: 8,
+                ..Default::default()
+            },
+            40,
+        );
         a.on_launch_end(100);
         // Live [10, 40): ends at deallocation, not at launch end.
-        assert_eq!(a.report(Structure::VectorRegisterFile).ace_bit_cycles, 30 * 32);
+        assert_eq!(
+            a.report(Structure::VectorRegisterFile).ace_bit_cycles,
+            30 * 32
+        );
     }
 
     #[test]
@@ -389,7 +419,10 @@ mod tests {
         a.on_launch_begin("k", 5);
         a.on_rf_read(0, 2, 25);
         a.on_launch_end(100);
-        assert_eq!(a.report(Structure::VectorRegisterFile).ace_bit_cycles, 20 * 32);
+        assert_eq!(
+            a.report(Structure::VectorRegisterFile).ace_bit_cycles,
+            20 * 32
+        );
     }
 
     #[test]
@@ -401,15 +434,35 @@ mod tests {
         a.on_launch_end(100);
         let r = a.report(Structure::VectorRegisterFile);
         let expect = 1.0 / (4096.0 * 2.0);
-        assert!((r.avf_ace - expect).abs() < 1e-12, "{} vs {expect}", r.avf_ace);
+        assert!(
+            (r.avf_ace - expect).abs() < 1e-12,
+            "{} vs {expect}",
+            r.avf_ace
+        );
     }
 
     #[test]
     fn occupancy_integrates_block_residency() {
         let mut a = conservative();
         a.on_launch_begin("k", 0);
-        a.on_block_dispatch(0, BlockRegions { rf_base: 0, rf_len: 4096, ..Default::default() }, 0);
-        a.on_block_retire(0, BlockRegions { rf_base: 0, rf_len: 4096, ..Default::default() }, 50);
+        a.on_block_dispatch(
+            0,
+            BlockRegions {
+                rf_base: 0,
+                rf_len: 4096,
+                ..Default::default()
+            },
+            0,
+        );
+        a.on_block_retire(
+            0,
+            BlockRegions {
+                rf_base: 0,
+                rf_len: 4096,
+                ..Default::default()
+            },
+            50,
+        );
         a.on_launch_end(100);
         let r = a.report(Structure::VectorRegisterFile);
         assert!((r.occupancy - 0.25).abs() < 1e-12, "{}", r.occupancy);

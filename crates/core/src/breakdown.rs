@@ -3,7 +3,10 @@
 //! deeper cuts the paper's "full scale of the study" paragraph promises
 //! for follow-up work.
 
-use crate::campaign::{golden_run, run_injections, sample_sites, CampaignConfig, Outcome};
+use crate::campaign::{
+    golden_run, run_injections_checkpointed, sample_sites, CampaignConfig, CheckpointLadder,
+    Outcome,
+};
 use gpu_workloads::Workload;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -49,7 +52,8 @@ pub fn detailed_campaign(
 ) -> Result<Vec<SiteOutcome>, SimError> {
     let golden = golden_run(arch, workload)?;
     let sites = sample_sites(arch, structure, golden.cycles, cfg.injections, cfg.seed);
-    let outcomes = run_injections(arch, workload, &golden, &sites, cfg);
+    let ladder = CheckpointLadder::build(arch, workload, &golden, &cfg)?;
+    let outcomes = run_injections_checkpointed(arch, workload, &golden, &ladder, &sites, cfg)?;
     Ok(sites
         .into_iter()
         .zip(outcomes)
@@ -97,7 +101,11 @@ pub fn avf_by_phase(detail: &[SiteOutcome], total_cycles: u64, phases: usize) ->
     }
     (0..phases)
         .map(|p| {
-            let avf = if total[p] == 0 { f64::NAN } else { fail[p] as f64 / total[p] as f64 };
+            let avf = if total[p] == 0 {
+                f64::NAN
+            } else {
+                fail[p] as f64 / total[p] as f64
+            };
             (avf, total[p])
         })
         .collect()
@@ -105,7 +113,10 @@ pub fn avf_by_phase(detail: &[SiteOutcome], total_cycles: u64, phases: usize) ->
 
 /// Fraction of failures that are DUEs (vs SDCs) in a detailed campaign.
 pub fn due_fraction(detail: &[SiteOutcome]) -> f64 {
-    let failures = detail.iter().filter(|d| d.outcome != Outcome::Masked).count();
+    let failures = detail
+        .iter()
+        .filter(|d| d.outcome != Outcome::Masked)
+        .count();
     if failures == 0 {
         return 0.0;
     }
@@ -160,7 +171,13 @@ pub fn mbu_campaign(
         let first_bit = rng.gen_range(0..=(32 - width as u32)) as u8;
         let cycle = rng.gen_range(0..golden.cycles);
         let sites: Vec<FaultSite> = (0..width)
-            .map(|i| FaultSite { structure, sm, word, bit: first_bit + i, cycle })
+            .map(|i| FaultSite {
+                structure,
+                sm,
+                word,
+                bit: first_bit + i,
+                cycle,
+            })
             .collect();
         let mut gpu = Gpu::new(arch.clone());
         gpu.set_watchdog(golden.cycles * cfg.watchdog_factor + 10_000);
@@ -188,7 +205,11 @@ mod tests {
     use simt_sim::Structure;
 
     fn cfg(n: u32) -> CampaignConfig {
-        CampaignConfig { injections: n, seed: 3, threads: 1, watchdog_factor: 10 }
+        CampaignConfig {
+            injections: n,
+            threads: 1,
+            ..CampaignConfig::quick(3)
+        }
     }
 
     fn fake_detail() -> Vec<SiteOutcome> {

@@ -16,6 +16,13 @@
 //! Replays are embarrassingly parallel; [`run_campaign`] fans them out
 //! over a configurable number of threads with fully deterministic results
 //! (the site list depends only on the seed, never on thread scheduling).
+//!
+//! Replays also do not start from cycle zero: the golden run leaves
+//! behind a ladder of mid-execution snapshots ([`CheckpointLadder`]) and
+//! each injection resumes from the nearest checkpoint at or before its
+//! fault cycle. The prefix it skips is fault-free and therefore
+//! bit-identical to the golden execution, so checkpointed replay produces
+//! exactly the same outcome sequence as from-zero replay — only faster.
 
 use crate::ace::AceAnalyzer;
 use crate::stats::{error_margin, fault_population, Proportion, Z_99};
@@ -23,7 +30,9 @@ use gpu_workloads::Workload;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use serde::{Deserialize, Serialize};
-use simt_sim::{ArchConfig, FaultSite, Gpu, NoopObserver, SimError, Structure};
+use simt_sim::{
+    ArchConfig, Checkpoint, FaultSite, Gpu, NoopObserver, Session, SimError, Structure,
+};
 
 /// Outcome of one fault-injection run.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
@@ -79,12 +88,25 @@ impl Tally {
 
 /// Campaign parameters.
 ///
+/// The two checkpoint fields tune the replay accelerator and change only
+/// wall-clock time, never outcomes:
+///
 /// # Example
 /// ```
 /// use grel_core::campaign::CampaignConfig;
 /// let quick = CampaignConfig::quick(42);
 /// let paper = CampaignConfig::paper(42);
 /// assert!(paper.injections > quick.injections);
+///
+/// // Checkpoints default to auto spacing under a 256 MiB budget…
+/// assert_eq!(paper.checkpoint_interval, 0);
+/// assert_eq!(paper.checkpoint_budget_bytes, 0);
+/// // …but both can be pinned, e.g. one snapshot every 500 cycles with at
+/// // most 64 MiB of retained simulator state:
+/// let mut tuned = quick;
+/// tuned.checkpoint_interval = 500;
+/// tuned.checkpoint_budget_bytes = 64 << 20;
+/// assert_ne!(tuned, quick);
 /// ```
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub struct CampaignConfig {
@@ -96,22 +118,43 @@ pub struct CampaignConfig {
     pub threads: usize,
     /// Watchdog budget as a multiple of the fault-free cycle count.
     pub watchdog_factor: u64,
+    /// Cycle spacing of the checkpoint ladder captured from the golden
+    /// run; `0` selects an automatic spacing (one sixteenth of the golden
+    /// cycle count).
+    pub checkpoint_interval: u64,
+    /// Upper bound in bytes on the simulator state retained by the
+    /// checkpoint ladder; `0` selects the 256 MiB default. Once the
+    /// budget is reached no further rungs are captured (late-cycle faults
+    /// then replay from the highest retained rung).
+    pub checkpoint_budget_bytes: u64,
 }
 
 impl CampaignConfig {
     /// The paper's configuration: 2,000 injections (±2.88 % @ 99 %).
     pub fn paper(seed: u64) -> Self {
-        CampaignConfig { injections: 2000, seed, threads: default_threads(), watchdog_factor: 10 }
+        CampaignConfig {
+            injections: 2000,
+            seed,
+            threads: default_threads(),
+            watchdog_factor: 10,
+            checkpoint_interval: 0,
+            checkpoint_budget_bytes: 0,
+        }
     }
 
     /// A quick-look configuration: 200 injections (±9.1 % @ 99 %).
     pub fn quick(seed: u64) -> Self {
-        CampaignConfig { injections: 200, seed, threads: default_threads(), watchdog_factor: 10 }
+        CampaignConfig {
+            injections: 200,
+            ..Self::paper(seed)
+        }
     }
 }
 
 fn default_threads() -> usize {
-    std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4)
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(4)
 }
 
 /// Everything measured by a fault-free reference run.
@@ -132,7 +175,10 @@ pub struct GoldenRun {
 pub fn golden_run(arch: &ArchConfig, workload: &dyn Workload) -> Result<GoldenRun, SimError> {
     let mut gpu = Gpu::new(arch.clone());
     let outputs = workload.run(&mut gpu, &mut NoopObserver)?;
-    Ok(GoldenRun { outputs, cycles: gpu.app_cycle() })
+    Ok(GoldenRun {
+        outputs,
+        cycles: gpu.app_cycle(),
+    })
 }
 
 /// Runs the workload fault-free under the [`AceAnalyzer`], returning the
@@ -148,7 +194,13 @@ pub fn golden_run_with_ace(
     let mut gpu = Gpu::new(arch.clone());
     let mut ace = AceAnalyzer::new(arch);
     let outputs = workload.run(&mut gpu, &mut ace)?;
-    Ok((GoldenRun { outputs, cycles: gpu.app_cycle() }, ace))
+    Ok((
+        GoldenRun {
+            outputs,
+            cycles: gpu.app_cycle(),
+        },
+        ace,
+    ))
 }
 
 /// Result of a fault-injection campaign on one structure.
@@ -191,7 +243,10 @@ impl CampaignResult {
     /// Panics if the shards disagree on structure or golden cycle count
     /// (they would not be measuring the same population).
     pub fn merge(&self, other: &CampaignResult) -> CampaignResult {
-        assert_eq!(self.structure, other.structure, "shards must share a structure");
+        assert_eq!(
+            self.structure, other.structure,
+            "shards must share a structure"
+        );
         assert_eq!(
             self.golden_cycles, other.golden_cycles,
             "shards must share the golden run"
@@ -247,33 +302,148 @@ pub fn sample_sites(
         .collect()
 }
 
-/// Classifies one injection replay.
+/// Default cap on the simulator state a [`CheckpointLadder`] may retain.
+const DEFAULT_CHECKPOINT_BUDGET: u64 = 256 << 20;
+
+/// A ladder of mid-execution snapshots captured from one fault-free run.
+///
+/// Rungs are spaced `cfg.checkpoint_interval` cycles apart (auto-spaced
+/// when `0`) and capped by `cfg.checkpoint_budget_bytes`. The ladder is
+/// immutable after construction and `Sync`, so the replay fan-out shares
+/// it across worker threads without copying.
+#[derive(Debug)]
+pub struct CheckpointLadder {
+    ckpts: Vec<Checkpoint>,
+}
+
+impl CheckpointLadder {
+    /// A ladder with no rungs: every replay starts from cycle zero.
+    pub fn empty() -> Self {
+        CheckpointLadder { ckpts: Vec::new() }
+    }
+
+    /// Re-runs the workload fault-free, snapshotting the full simulator
+    /// state every interval until the budget is exhausted or the run
+    /// finishes.
+    ///
+    /// # Errors
+    ///
+    /// Propagates launch failures from the fault-free run (a pairing that
+    /// produced `golden` never fails here).
+    pub fn build(
+        arch: &ArchConfig,
+        workload: &dyn Workload,
+        golden: &GoldenRun,
+        cfg: &CampaignConfig,
+    ) -> Result<Self, SimError> {
+        let interval = if cfg.checkpoint_interval > 0 {
+            cfg.checkpoint_interval
+        } else {
+            (golden.cycles / 16).max(1)
+        };
+        let budget = if cfg.checkpoint_budget_bytes > 0 {
+            cfg.checkpoint_budget_bytes
+        } else {
+            DEFAULT_CHECKPOINT_BUDGET
+        };
+        let mut gpu = Gpu::new(arch.clone());
+        let mut session = Session::new(&mut gpu, workload.plan());
+        let mut ckpts = Vec::new();
+        let mut total = 0u64;
+        let mut mark = interval;
+        while mark < golden.cycles {
+            session.run_until_cycle(mark, &mut NoopObserver)?;
+            if session.finished() {
+                break;
+            }
+            let ck = session.snapshot();
+            let sz = ck.size_bytes() as u64;
+            if total + sz > budget {
+                break;
+            }
+            total += sz;
+            ckpts.push(ck);
+            mark += interval;
+        }
+        Ok(CheckpointLadder { ckpts })
+    }
+
+    /// The highest rung at or before `cycle`, if any. A fault armed for
+    /// `cycle` still fires when replay resumes here: the checkpoint was
+    /// taken at an iteration boundary, before the fault-application step
+    /// of its own cycle.
+    pub fn nearest(&self, cycle: u64) -> Option<&Checkpoint> {
+        match self.ckpts.partition_point(|c| c.cycle() <= cycle) {
+            0 => None,
+            i => Some(&self.ckpts[i - 1]),
+        }
+    }
+
+    /// Number of rungs.
+    pub fn len(&self) -> usize {
+        self.ckpts.len()
+    }
+
+    /// Whether the ladder has no rungs.
+    pub fn is_empty(&self) -> bool {
+        self.ckpts.is_empty()
+    }
+
+    /// Estimated bytes of simulator state retained by all rungs.
+    pub fn total_bytes(&self) -> u64 {
+        self.ckpts.iter().map(|c| c.size_bytes() as u64).sum()
+    }
+}
+
+/// Classifies one injection replay, resuming from `ckpt` when given.
+///
+/// # Errors
+///
+/// A [`SimError::Due`] from the replay is a *classification* (the fault
+/// was detected), not an error; anything else — a launch that fails to
+/// validate, an exhausted allocator — means the harness itself broke and
+/// is propagated to the caller instead of being folded into the tally.
 fn classify(
     arch: &ArchConfig,
     workload: &dyn Workload,
     golden: &GoldenRun,
     site: FaultSite,
     watchdog_factor: u64,
-) -> Outcome {
+    ckpt: Option<&Checkpoint>,
+) -> Result<Outcome, SimError> {
+    let watchdog = golden.cycles * watchdog_factor + 10_000;
     let mut gpu = Gpu::new(arch.clone());
-    gpu.set_watchdog(golden.cycles * watchdog_factor + 10_000);
-    gpu.arm_fault(site);
-    match workload.run(&mut gpu, &mut NoopObserver) {
-        Ok(out) if out == golden.outputs => Outcome::Masked,
-        Ok(_) => Outcome::Sdc,
-        Err(SimError::Due(_)) => Outcome::Due,
-        Err(e) => unreachable!("non-DUE launch failure under injection: {e}"),
+    let result = match ckpt {
+        Some(ck) => {
+            let mut session = Session::resume(&mut gpu, ck);
+            session.gpu_mut().set_watchdog(watchdog);
+            session.gpu_mut().arm_fault(site);
+            session.run_to_completion(&mut NoopObserver)
+        }
+        None => {
+            gpu.set_watchdog(watchdog);
+            gpu.arm_fault(site);
+            workload.run(&mut gpu, &mut NoopObserver)
+        }
+    };
+    match result {
+        Ok(out) if out == golden.outputs => Ok(Outcome::Masked),
+        Ok(_) => Ok(Outcome::Sdc),
+        Err(SimError::Due(_)) => Ok(Outcome::Due),
+        Err(e) => Err(e),
     }
 }
 
 /// Runs a full statistical fault-injection campaign.
 ///
-/// Deterministic for a given `(arch, workload, structure, cfg)`ensemble
-/// regardless of `cfg.threads`.
+/// Deterministic for a given `(arch, workload, structure, cfg)` ensemble
+/// regardless of `cfg.threads` and of the checkpoint tuning.
 ///
 /// # Errors
 ///
-/// Fails only if the fault-free golden run fails.
+/// Fails if the fault-free golden run fails, or if a replay fails with a
+/// non-DUE simulator error (which indicates a harness bug, not a fault
+/// effect).
 ///
 /// # Example
 /// ```
@@ -300,20 +470,44 @@ pub fn run_campaign(
     cfg: CampaignConfig,
 ) -> Result<CampaignResult, SimError> {
     let golden = golden_run(arch, workload)?;
-    Ok(run_campaign_with_golden(arch, workload, structure, cfg, &golden))
+    run_campaign_with_golden(arch, workload, structure, cfg, &golden)
 }
 
 /// [`run_campaign`] against an already-captured golden run (saves the
-/// fault-free replay when several campaigns share one workload).
+/// fault-free replay when several campaigns share one workload). Builds
+/// its own [`CheckpointLadder`]; callers running several structures over
+/// one golden run should build the ladder once and use
+/// [`run_campaign_with_ladder`].
+///
+/// # Errors
+///
+/// Propagates replay failures that are not fault classifications.
 pub fn run_campaign_with_golden(
     arch: &ArchConfig,
     workload: &dyn Workload,
     structure: Structure,
     cfg: CampaignConfig,
     golden: &GoldenRun,
-) -> CampaignResult {
+) -> Result<CampaignResult, SimError> {
+    let ladder = CheckpointLadder::build(arch, workload, golden, &cfg)?;
+    run_campaign_with_ladder(arch, workload, structure, cfg, golden, &ladder)
+}
+
+/// [`run_campaign`] against a shared golden run and checkpoint ladder.
+///
+/// # Errors
+///
+/// Propagates replay failures that are not fault classifications.
+pub fn run_campaign_with_ladder(
+    arch: &ArchConfig,
+    workload: &dyn Workload,
+    structure: Structure,
+    cfg: CampaignConfig,
+    golden: &GoldenRun,
+    ladder: &CheckpointLadder,
+) -> Result<CampaignResult, SimError> {
     let sites = sample_sites(arch, structure, golden.cycles, cfg.injections, cfg.seed);
-    let outcomes = run_injections(arch, workload, golden, &sites, cfg);
+    let outcomes = run_injections_checkpointed(arch, workload, golden, ladder, &sites, cfg)?;
     let mut tally = Tally::default();
     for o in outcomes {
         tally.add(o);
@@ -325,7 +519,7 @@ pub fn run_campaign_with_golden(
     } as u64
         * 32
         * arch.num_sms as u64;
-    CampaignResult {
+    Ok(CampaignResult {
         structure,
         tally,
         golden_cycles: golden.cycles,
@@ -334,42 +528,99 @@ pub fn run_campaign_with_golden(
             cfg.injections.max(1) as u64,
             Z_99,
         ),
-    }
+    })
 }
 
-/// Replays every site, fanning out across threads; outcome order matches
-/// the site order.
+/// Replays every site from cycle zero, fanning out across threads;
+/// outcome order matches the site order.
+///
+/// # Errors
+///
+/// Propagates replay failures that are not fault classifications.
 pub fn run_injections(
     arch: &ArchConfig,
     workload: &dyn Workload,
     golden: &GoldenRun,
     sites: &[FaultSite],
     cfg: CampaignConfig,
-) -> Vec<Outcome> {
+) -> Result<Vec<Outcome>, SimError> {
+    replay_sites(
+        arch,
+        workload,
+        golden,
+        sites,
+        cfg,
+        &CheckpointLadder::empty(),
+    )
+}
+
+/// [`run_injections`] resuming each replay from the nearest ladder rung
+/// at or before its fault cycle. Outcomes are byte-identical to from-zero
+/// replay; only wall-clock time changes.
+///
+/// # Errors
+///
+/// Propagates replay failures that are not fault classifications.
+pub fn run_injections_checkpointed(
+    arch: &ArchConfig,
+    workload: &dyn Workload,
+    golden: &GoldenRun,
+    ladder: &CheckpointLadder,
+    sites: &[FaultSite],
+    cfg: CampaignConfig,
+) -> Result<Vec<Outcome>, SimError> {
+    replay_sites(arch, workload, golden, sites, cfg, ladder)
+}
+
+/// Shared replay core: sorts sites by fault cycle (so neighbouring
+/// replays resume from the same rung and late chunks skip long prefixes),
+/// fans the sorted order out across threads, and scatters the outcomes
+/// back into site order.
+fn replay_sites(
+    arch: &ArchConfig,
+    workload: &dyn Workload,
+    golden: &GoldenRun,
+    sites: &[FaultSite],
+    cfg: CampaignConfig,
+    ladder: &CheckpointLadder,
+) -> Result<Vec<Outcome>, SimError> {
     let threads = cfg.threads.max(1);
+    let mut order: Vec<usize> = (0..sites.len()).collect();
+    order.sort_by_key(|&i| (sites[i].cycle, i));
+    let run_one = |i: usize| -> Result<(usize, Outcome), SimError> {
+        let site = sites[i];
+        let ckpt = ladder.nearest(site.cycle);
+        Ok((
+            i,
+            classify(arch, workload, golden, site, cfg.watchdog_factor, ckpt)?,
+        ))
+    };
+    let mut outcomes = vec![Outcome::Masked; sites.len()];
     if threads == 1 || sites.len() < 2 {
-        return sites
-            .iter()
-            .map(|&s| classify(arch, workload, golden, s, cfg.watchdog_factor))
-            .collect();
+        for &i in &order {
+            let (i, o) = run_one(i)?;
+            outcomes[i] = o;
+        }
+        return Ok(outcomes);
     }
-    let chunk = sites.len().div_ceil(threads);
-    let mut results: Vec<Vec<Outcome>> = Vec::new();
-    crossbeam::thread::scope(|scope| {
-        let handles: Vec<_> = sites
+    let chunk = order.len().div_ceil(threads);
+    let results: Vec<Result<Vec<(usize, Outcome)>, SimError>> = std::thread::scope(|scope| {
+        let run_one = &run_one;
+        let handles: Vec<_> = order
             .chunks(chunk)
-            .map(|part| {
-                scope.spawn(move |_| {
-                    part.iter()
-                        .map(|&s| classify(arch, workload, golden, s, cfg.watchdog_factor))
-                        .collect::<Vec<_>>()
-                })
-            })
+            .map(|part| scope.spawn(move || part.iter().map(|&i| run_one(i)).collect()))
             .collect();
-        results = handles.into_iter().map(|h| h.join().expect("injection worker")).collect();
-    })
-    .expect("campaign thread scope");
-    results.into_iter().flatten().collect()
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("injection worker"))
+            .collect()
+    });
+    for r in results {
+        for (i, o) in r? {
+            outcomes[i] = o;
+        }
+    }
+    Ok(outcomes)
 }
 
 #[cfg(test)]
@@ -379,7 +630,14 @@ mod tests {
     use gpu_workloads::{Histogram, VectorAdd};
 
     fn small_cfg(n: u32) -> CampaignConfig {
-        CampaignConfig { injections: n, seed: 99, threads: 2, watchdog_factor: 10 }
+        CampaignConfig {
+            injections: n,
+            seed: 99,
+            threads: 2,
+            watchdog_factor: 10,
+            checkpoint_interval: 0,
+            checkpoint_budget_bytes: 0,
+        }
     }
 
     #[test]
@@ -445,7 +703,10 @@ mod tests {
             &arch,
             &w,
             Structure::VectorRegisterFile,
-            CampaignConfig { seed: 123, ..small_cfg(16) },
+            CampaignConfig {
+                seed: 123,
+                ..small_cfg(16)
+            },
         )
         .unwrap();
         let m = a.merge(&b);
@@ -455,10 +716,74 @@ mod tests {
     }
 
     #[test]
+    fn ladder_rungs_are_ordered_and_bounded() {
+        let arch = quadro_fx_5600();
+        let w = VectorAdd::new(256, 3);
+        let golden = golden_run(&arch, &w).unwrap();
+        let ladder = CheckpointLadder::build(&arch, &w, &golden, &small_cfg(4)).unwrap();
+        assert!(!ladder.is_empty(), "auto spacing must leave rungs");
+        let cycles: Vec<u64> = (0..golden.cycles)
+            .filter_map(|c| ladder.nearest(c).map(|ck| ck.cycle()))
+            .collect();
+        assert!(
+            cycles.windows(2).all(|w| w[0] <= w[1]),
+            "rungs sorted by cycle"
+        );
+        assert!(cycles.iter().all(|&c| c < golden.cycles));
+        assert!(ladder.total_bytes() > 0);
+        // nearest() never returns a rung past the requested cycle.
+        let first = ladder.nearest(u64::MAX).unwrap().cycle();
+        assert!(ladder.nearest(first).unwrap().cycle() <= first);
+        assert!(ladder.nearest(0).is_none(), "no rung at or before cycle 0");
+    }
+
+    #[test]
+    fn checkpointed_replay_matches_from_zero() {
+        let arch = quadro_fx_5600();
+        let w = Histogram::new(1024, 64, 5);
+        let golden = golden_run(&arch, &w).unwrap();
+        let cfg = small_cfg(16);
+        let sites = sample_sites(
+            &arch,
+            Structure::LocalMemory,
+            golden.cycles,
+            cfg.injections,
+            cfg.seed,
+        );
+        let ladder = CheckpointLadder::build(&arch, &w, &golden, &cfg).unwrap();
+        let from_zero = run_injections(&arch, &w, &golden, &sites, cfg).unwrap();
+        let from_ckpt =
+            run_injections_checkpointed(&arch, &w, &golden, &ladder, &sites, cfg).unwrap();
+        assert_eq!(
+            from_zero, from_ckpt,
+            "checkpoint resume must not change outcomes"
+        );
+    }
+
+    #[test]
+    fn tiny_budget_degrades_to_fewer_rungs_not_wrong_answers() {
+        let arch = quadro_fx_5600();
+        let w = VectorAdd::new(256, 3);
+        let golden = golden_run(&arch, &w).unwrap();
+        let mut cfg = small_cfg(8);
+        cfg.checkpoint_budget_bytes = 1; // no snapshot fits
+        let ladder = CheckpointLadder::build(&arch, &w, &golden, &cfg).unwrap();
+        assert!(ladder.is_empty(), "a one-byte budget holds no snapshot");
+        let r = run_campaign(&arch, &w, Structure::VectorRegisterFile, cfg).unwrap();
+        cfg.checkpoint_budget_bytes = 0;
+        let r2 = run_campaign(&arch, &w, Structure::VectorRegisterFile, cfg).unwrap();
+        assert_eq!(r.tally, r2.tally, "budget tuning must not change outcomes");
+    }
+
+    #[test]
     fn proportion_uses_population() {
         let r = CampaignResult {
             structure: Structure::VectorRegisterFile,
-            tally: Tally { masked: 90, sdc: 8, due: 2 },
+            tally: Tally {
+                masked: 90,
+                sdc: 8,
+                due: 2,
+            },
             golden_cycles: 1_000_000,
             margin_99: 0.1,
         };

@@ -131,7 +131,10 @@ mod tests {
             structure_bits(&si, Structure::VectorRegisterFile),
             65536 * 32 * 32
         );
-        assert_eq!(structure_bits(&si, Structure::ScalarRegisterFile), 2048 * 32 * 32);
+        assert_eq!(
+            structure_bits(&si, Structure::ScalarRegisterFile),
+            2048 * 32 * 32
+        );
         assert_eq!(
             structure_bits(&quadro_fx_5600(), Structure::ScalarRegisterFile),
             0

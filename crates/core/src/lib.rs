@@ -6,8 +6,8 @@
 //! performance:
 //!
 //! * [`campaign`] — statistical **fault injection**: golden run, uniform
-//!   `(SM, word, bit, cycle)` site sampling, parallel replays, and
-//!   masked/SDC/DUE classification;
+//!   `(SM, word, bit, cycle)` site sampling, parallel replays resumed
+//!   from a checkpoint ladder, and masked/SDC/DUE classification;
 //! * [`ace`] — **ACE analysis**: single-pass write→last-read lifetime
 //!   tracking over the physical register files and local memory, plus
 //!   time-weighted occupancy (the red line of Fig. 1/2);
@@ -53,10 +53,13 @@ pub mod stats;
 pub mod study;
 
 pub use ace::{AceAnalyzer, AceMode, StructureReport};
-pub use breakdown::{avf_by_bit, avf_by_phase, detailed_campaign, due_fraction, mbu_campaign, SiteOutcome};
+pub use breakdown::{
+    avf_by_bit, avf_by_phase, detailed_campaign, due_fraction, mbu_campaign, SiteOutcome,
+};
 pub use campaign::{
-    golden_run, golden_run_with_ace, run_campaign, CampaignConfig, CampaignResult, GoldenRun,
-    Outcome, Tally,
+    golden_run, golden_run_with_ace, run_campaign, run_campaign_with_golden,
+    run_campaign_with_ladder, run_injections, run_injections_checkpointed, CampaignConfig,
+    CampaignResult, CheckpointLadder, GoldenRun, Outcome, Tally,
 };
 pub use epf::{eit, epf, structure_bits, structure_fit, FitBreakdown};
 pub use perf::{profile, PerfProfile};

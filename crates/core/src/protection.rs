@@ -110,7 +110,11 @@ pub fn project(
     ProtectedPoint {
         scheme,
         fit_gpu,
-        sdc_share: if scheme.detects() { 0.0 } else { sdc_share_baseline },
+        sdc_share: if scheme.detects() {
+            0.0
+        } else {
+            sdc_share_baseline
+        },
         eit,
         epf: epf(eit, fit_gpu),
     }
@@ -133,7 +137,11 @@ mod tests {
     use super::*;
 
     fn fit() -> FitBreakdown {
-        FitBreakdown { rf: 100.0, lds: 50.0, srf: 10.0 }
+        FitBreakdown {
+            rf: 100.0,
+            lds: 50.0,
+            srf: 10.0,
+        }
     }
 
     #[test]

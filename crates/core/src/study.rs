@@ -2,7 +2,7 @@
 //! assembles the series behind the paper's three figures.
 
 use crate::ace::{AceAnalyzer, AceMode};
-use crate::campaign::{run_campaign_with_golden, CampaignConfig, Tally};
+use crate::campaign::{run_campaign_with_ladder, CampaignConfig, CheckpointLadder, Tally};
 use crate::epf::{eit, epf, FitBreakdown};
 use crate::stats::pearson;
 use gpu_workloads::Workload;
@@ -131,21 +131,36 @@ pub fn evaluate_point(
     let mut gpu = simt_sim::Gpu::new(arch.clone());
     let mut ace = AceAnalyzer::with_mode(arch, cfg.ace_mode);
     let outputs = workload.run(&mut gpu, &mut ace)?;
-    let golden = crate::campaign::GoldenRun { outputs, cycles: gpu.app_cycle() };
-    let rf_fi = run_campaign_with_golden(
+    let golden = crate::campaign::GoldenRun {
+        outputs,
+        cycles: gpu.app_cycle(),
+    };
+    // One ladder serves every structure's campaign over this golden run.
+    let ladder = CheckpointLadder::build(arch, workload, &golden, &cfg.campaign)?;
+    let rf_fi = run_campaign_with_ladder(
         arch,
         workload,
         Structure::VectorRegisterFile,
         cfg.campaign,
         &golden,
-    );
-    let lds_fi = (workload.uses_local_memory() || cfg.fi_on_unused_lds).then(|| {
-        run_campaign_with_golden(arch, workload, Structure::LocalMemory, cfg.campaign, &golden)
-    });
+        &ladder,
+    )?;
+    let lds_fi = (workload.uses_local_memory() || cfg.fi_on_unused_lds)
+        .then(|| {
+            run_campaign_with_ladder(
+                arch,
+                workload,
+                Structure::LocalMemory,
+                cfg.campaign,
+                &golden,
+                &ladder,
+            )
+        })
+        .transpose()?;
     let rf = structure_eval(Some(&rf_fi), &ace, Structure::VectorRegisterFile);
     let lds = structure_eval(lds_fi.as_ref(), &ace, Structure::LocalMemory);
-    let srf_avf_ace = (arch.srf_words_per_sm() > 0)
-        .then(|| ace.report(Structure::ScalarRegisterFile).avf_ace);
+    let srf_avf_ace =
+        (arch.srf_words_per_sm() > 0).then(|| ace.report(Structure::ScalarRegisterFile).avf_ace);
     // FIT: FI AVF for the injected structures, ACE for the scalar file
     // (the paper's Fig. 3 folds the studied structures together).
     let lds_avf_for_fit = lds_fi.as_ref().map(|r| r.avf()).unwrap_or(lds.avf_ace);
@@ -236,9 +251,7 @@ impl StudyResult {
                 occupancy: p.rf.occupancy,
             })
             .collect();
-        rows.extend(self.average_rows(|p| {
-            (p.rf.avf_fi, p.rf.avf_ace, p.rf.occupancy)
-        }));
+        rows.extend(self.average_rows(|p| (p.rf.avf_fi, p.rf.avf_ace, p.rf.occupancy)));
         rows
     }
 
@@ -307,8 +320,7 @@ impl StudyResult {
         self.device_order()
             .into_iter()
             .filter_map(|dev| {
-                let pts: Vec<&EvalPoint> =
-                    self.points.iter().filter(|p| p.device == dev).collect();
+                let pts: Vec<&EvalPoint> = self.points.iter().filter(|p| p.device == dev).collect();
                 if pts.is_empty() {
                     return None;
                 }
@@ -340,8 +352,7 @@ impl StudyResult {
             .map(|p| p.rf.avf_ace - p.rf.avf_fi)
             .sum::<f64>()
             / n;
-        let lds_pts: Vec<&EvalPoint> =
-            self.points.iter().filter(|p| p.uses_local_memory).collect();
+        let lds_pts: Vec<&EvalPoint> = self.points.iter().filter(|p| p.uses_local_memory).collect();
         let lds_n = lds_pts.len().max(1) as f64;
         let lds_ace_gap = lds_pts
             .iter()
@@ -412,7 +423,11 @@ mod tests {
 
     fn tiny_cfg() -> StudyConfig {
         StudyConfig {
-            campaign: CampaignConfig { injections: 8, seed: 5, threads: 2, watchdog_factor: 10 },
+            campaign: CampaignConfig {
+                injections: 8,
+                threads: 2,
+                ..CampaignConfig::quick(5)
+            },
             workload_seed: 5,
             fi_on_unused_lds: false,
             ace_mode: AceMode::default(),

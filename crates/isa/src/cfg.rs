@@ -60,8 +60,13 @@ pub struct ControlMap {
 
 #[derive(Debug)]
 enum Frame {
-    If { begin: usize, else_idx: Option<usize> },
-    Loop { begin: usize },
+    If {
+        begin: usize,
+        else_idx: Option<usize>,
+    },
+    Loop {
+        begin: usize,
+    },
 }
 
 impl ControlMap {
@@ -78,7 +83,10 @@ impl ControlMap {
         let mut stack: Vec<Frame> = Vec::new();
         for (i, ins) in body.iter().enumerate() {
             match ins {
-                Instr::IfBegin { .. } => stack.push(Frame::If { begin: i, else_idx: None }),
+                Instr::IfBegin { .. } => stack.push(Frame::If {
+                    begin: i,
+                    else_idx: None,
+                }),
                 Instr::Else => match stack.last_mut() {
                     Some(Frame::If { begin, else_idx }) if else_idx.is_none() => {
                         *else_idx = Some(i);
@@ -94,7 +102,13 @@ impl ControlMap {
                 },
                 Instr::IfEnd => match stack.pop() {
                     Some(Frame::If { begin, else_idx }) => {
-                        map.ifs.push((begin, IfInfo { else_idx, end_idx: i }));
+                        map.ifs.push((
+                            begin,
+                            IfInfo {
+                                else_idx,
+                                end_idx: i,
+                            },
+                        ));
                         map.if_ends.push((i, begin));
                     }
                     _ => {
@@ -211,7 +225,10 @@ mod tests {
     use crate::reg::PReg;
 
     fn p0() -> Instr {
-        Instr::IfBegin { p: PReg(0), negate: false }
+        Instr::IfBegin {
+            p: PReg(0),
+            negate: false,
+        }
     }
 
     #[test]
@@ -229,13 +246,16 @@ mod tests {
     #[test]
     fn nested_regions() {
         let body = vec![
-            Instr::LoopBegin,                            // 0
-            p0(),                                        // 1
-            Instr::Break { p: PReg(1), negate: false },  // 2
-            Instr::IfEnd,                                // 3
-            p0(),                                        // 4
-            Instr::IfEnd,                                // 5
-            Instr::LoopEnd,                              // 6
+            Instr::LoopBegin, // 0
+            p0(),             // 1
+            Instr::Break {
+                p: PReg(1),
+                negate: false,
+            }, // 2
+            Instr::IfEnd,     // 3
+            p0(),             // 4
+            Instr::IfEnd,     // 5
+            Instr::LoopEnd,   // 6
         ];
         let m = ControlMap::build(&body).unwrap();
         assert_eq!(m.loop_info(0).unwrap().end_idx, 6);
@@ -253,7 +273,10 @@ mod tests {
             Instr::LoopBegin,
             p0(),
             p0(),
-            Instr::Break { p: PReg(2), negate: true },
+            Instr::Break {
+                p: PReg(2),
+                negate: true,
+            },
             Instr::IfEnd,
             Instr::IfEnd,
             Instr::LoopEnd,
@@ -289,7 +312,14 @@ mod tests {
 
     #[test]
     fn rejects_break_outside_loop() {
-        let body = vec![p0(), Instr::Break { p: PReg(0), negate: false }, Instr::IfEnd];
+        let body = vec![
+            p0(),
+            Instr::Break {
+                p: PReg(0),
+                negate: false,
+            },
+            Instr::IfEnd,
+        ];
         let err = ControlMap::build(&body).unwrap_err();
         assert!(matches!(err, IsaError::BreakOutsideLoop { index: 1 }));
     }

@@ -74,7 +74,11 @@ impl fmt::Display for IsaError {
             IsaError::UnclosedControl { index, what } => {
                 write!(f, "instruction {index}: {what} is never closed")
             }
-            IsaError::RegisterOutOfRange { index, reg, declared } => write!(
+            IsaError::RegisterOutOfRange {
+                index,
+                reg,
+                declared,
+            } => write!(
                 f,
                 "instruction {index}: register {reg} out of range (declared {declared})"
             ),
@@ -82,7 +86,11 @@ impl fmt::Display for IsaError {
                 f,
                 "instruction {index}: scalar instruction reads non-uniform source {operand}"
             ),
-            IsaError::ResourceLimit { what, requested, limit } => {
+            IsaError::ResourceLimit {
+                what,
+                requested,
+                limit,
+            } => {
                 write!(f, "{what}: requested {requested} exceeds limit {limit}")
             }
             IsaError::EmptyKernel => f.write_str("kernel body is empty"),

@@ -286,20 +286,43 @@ impl fmt::Display for Instr {
             Instr::Un { op, dst, a } => write!(f, "{op} {dst}, {a}"),
             Instr::Bin { op, dst, a, b } => write!(f, "{op} {dst}, {a}, {b}"),
             Instr::Ter { op, dst, a, b, c } => write!(f, "{op} {dst}, {a}, {b}, {c}"),
-            Instr::SetP { op, float, pd, a, b } => {
+            Instr::SetP {
+                op,
+                float,
+                pd,
+                a,
+                b,
+            } => {
                 let ty = if *float { "f32" } else { "s32" };
                 write!(f, "setp.{op}.{ty} {pd}, {a}, {b}")
             }
             Instr::Sel { p, dst, a, b } => write!(f, "sel {dst}, {a}, {b}, {p}"),
-            Instr::Ld { space, dst, addr, offset } => {
+            Instr::Ld {
+                space,
+                dst,
+                addr,
+                offset,
+            } => {
                 fmt_mem(f, "ld", *space, addr, *offset)?;
                 write!(f, " -> {dst}")
             }
-            Instr::St { space, addr, offset, src } => {
+            Instr::St {
+                space,
+                addr,
+                offset,
+                src,
+            } => {
                 fmt_mem(f, "st", *space, addr, *offset)?;
                 write!(f, " <- {src}")
             }
-            Instr::Atom { space, op, dst, addr, offset, src } => {
+            Instr::Atom {
+                space,
+                op,
+                dst,
+                addr,
+                offset,
+                src,
+            } => {
                 write!(f, "atom.{op}.{space} {dst}, ")?;
                 if *offset == 0 {
                     write!(f, "[{addr}], {src}")
@@ -355,7 +378,11 @@ mod tests {
         assert_eq!(s.to_string(), "st.global [v0-4] <- 0x1");
         assert_eq!(Instr::Bar.to_string(), "bar.sync");
         assert_eq!(
-            Instr::IfBegin { p: PReg(0), negate: true }.to_string(),
+            Instr::IfBegin {
+                p: PReg(0),
+                negate: true
+            }
+            .to_string(),
             "if.begin !p0"
         );
         let sp = Instr::SetP {
@@ -413,7 +440,10 @@ mod tests {
         };
         assert_eq!(sp.dst_pred(), Some(PReg(2)));
         assert_eq!(sp.src_pred(), None);
-        let br = Instr::Break { p: PReg(1), negate: false };
+        let br = Instr::Break {
+            p: PReg(1),
+            negate: false,
+        };
         assert_eq!(br.src_pred(), Some(PReg(1)));
         assert!(br.is_control());
     }

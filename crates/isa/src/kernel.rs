@@ -129,10 +129,7 @@ impl Kernel {
                 indent = indent.saturating_sub(1);
             }
             let _ = writeln!(out, "{i:4}: {}{}", "  ".repeat(indent), ins);
-            if matches!(
-                ins,
-                Instr::IfBegin { .. } | Instr::Else | Instr::LoopBegin
-            ) {
+            if matches!(ins, Instr::IfBegin { .. } | Instr::Else | Instr::LoopBegin) {
                 indent += 1;
             }
         }
@@ -266,7 +263,11 @@ impl KernelBuilder {
     // ---- unary ----
 
     fn un(&mut self, op: UnOp, dst: impl Into<Reg>, a: impl Into<Operand>) -> &mut Self {
-        self.push(Instr::Un { op, dst: dst.into(), a: a.into() })
+        self.push(Instr::Un {
+            op,
+            dst: dst.into(),
+            a: a.into(),
+        })
     }
 
     /// `dst = a` (register/immediate/special copy).
@@ -353,76 +354,151 @@ impl KernelBuilder {
         a: impl Into<Operand>,
         b: impl Into<Operand>,
     ) -> &mut Self {
-        self.push(Instr::Bin { op, dst: dst.into(), a: a.into(), b: b.into() })
+        self.push(Instr::Bin {
+            op,
+            dst: dst.into(),
+            a: a.into(),
+            b: b.into(),
+        })
     }
 
     /// `dst = a + b` (wrapping).
-    pub fn iadd(&mut self, d: impl Into<Reg>, a: impl Into<Operand>, b: impl Into<Operand>) -> &mut Self {
+    pub fn iadd(
+        &mut self,
+        d: impl Into<Reg>,
+        a: impl Into<Operand>,
+        b: impl Into<Operand>,
+    ) -> &mut Self {
         self.bin(BinOp::IAdd, d, a, b)
     }
 
     /// `dst = a - b` (wrapping).
-    pub fn isub(&mut self, d: impl Into<Reg>, a: impl Into<Operand>, b: impl Into<Operand>) -> &mut Self {
+    pub fn isub(
+        &mut self,
+        d: impl Into<Reg>,
+        a: impl Into<Operand>,
+        b: impl Into<Operand>,
+    ) -> &mut Self {
         self.bin(BinOp::ISub, d, a, b)
     }
 
     /// `dst = a * b` (low 32 bits).
-    pub fn imul(&mut self, d: impl Into<Reg>, a: impl Into<Operand>, b: impl Into<Operand>) -> &mut Self {
+    pub fn imul(
+        &mut self,
+        d: impl Into<Reg>,
+        a: impl Into<Operand>,
+        b: impl Into<Operand>,
+    ) -> &mut Self {
         self.bin(BinOp::IMul, d, a, b)
     }
 
     /// `dst = a / b` (signed; 0 on b == 0).
-    pub fn idiv(&mut self, d: impl Into<Reg>, a: impl Into<Operand>, b: impl Into<Operand>) -> &mut Self {
+    pub fn idiv(
+        &mut self,
+        d: impl Into<Reg>,
+        a: impl Into<Operand>,
+        b: impl Into<Operand>,
+    ) -> &mut Self {
         self.bin(BinOp::IDiv, d, a, b)
     }
 
     /// `dst = a / b` (unsigned; 0 on b == 0).
-    pub fn udiv(&mut self, d: impl Into<Reg>, a: impl Into<Operand>, b: impl Into<Operand>) -> &mut Self {
+    pub fn udiv(
+        &mut self,
+        d: impl Into<Reg>,
+        a: impl Into<Operand>,
+        b: impl Into<Operand>,
+    ) -> &mut Self {
         self.bin(BinOp::UDiv, d, a, b)
     }
 
     /// `dst = a % b` (unsigned; 0 on b == 0).
-    pub fn urem(&mut self, d: impl Into<Reg>, a: impl Into<Operand>, b: impl Into<Operand>) -> &mut Self {
+    pub fn urem(
+        &mut self,
+        d: impl Into<Reg>,
+        a: impl Into<Operand>,
+        b: impl Into<Operand>,
+    ) -> &mut Self {
         self.bin(BinOp::URem, d, a, b)
     }
 
     /// `dst = min(a, b)` (signed).
-    pub fn imin(&mut self, d: impl Into<Reg>, a: impl Into<Operand>, b: impl Into<Operand>) -> &mut Self {
+    pub fn imin(
+        &mut self,
+        d: impl Into<Reg>,
+        a: impl Into<Operand>,
+        b: impl Into<Operand>,
+    ) -> &mut Self {
         self.bin(BinOp::IMin, d, a, b)
     }
 
     /// `dst = max(a, b)` (signed).
-    pub fn imax(&mut self, d: impl Into<Reg>, a: impl Into<Operand>, b: impl Into<Operand>) -> &mut Self {
+    pub fn imax(
+        &mut self,
+        d: impl Into<Reg>,
+        a: impl Into<Operand>,
+        b: impl Into<Operand>,
+    ) -> &mut Self {
         self.bin(BinOp::IMax, d, a, b)
     }
 
     /// `dst = a & b`.
-    pub fn and(&mut self, d: impl Into<Reg>, a: impl Into<Operand>, b: impl Into<Operand>) -> &mut Self {
+    pub fn and(
+        &mut self,
+        d: impl Into<Reg>,
+        a: impl Into<Operand>,
+        b: impl Into<Operand>,
+    ) -> &mut Self {
         self.bin(BinOp::And, d, a, b)
     }
 
     /// `dst = a | b`.
-    pub fn or(&mut self, d: impl Into<Reg>, a: impl Into<Operand>, b: impl Into<Operand>) -> &mut Self {
+    pub fn or(
+        &mut self,
+        d: impl Into<Reg>,
+        a: impl Into<Operand>,
+        b: impl Into<Operand>,
+    ) -> &mut Self {
         self.bin(BinOp::Or, d, a, b)
     }
 
     /// `dst = a ^ b`.
-    pub fn xor(&mut self, d: impl Into<Reg>, a: impl Into<Operand>, b: impl Into<Operand>) -> &mut Self {
+    pub fn xor(
+        &mut self,
+        d: impl Into<Reg>,
+        a: impl Into<Operand>,
+        b: impl Into<Operand>,
+    ) -> &mut Self {
         self.bin(BinOp::Xor, d, a, b)
     }
 
     /// `dst = a << b`.
-    pub fn shl(&mut self, d: impl Into<Reg>, a: impl Into<Operand>, b: impl Into<Operand>) -> &mut Self {
+    pub fn shl(
+        &mut self,
+        d: impl Into<Reg>,
+        a: impl Into<Operand>,
+        b: impl Into<Operand>,
+    ) -> &mut Self {
         self.bin(BinOp::Shl, d, a, b)
     }
 
     /// `dst = a >> b` (logical).
-    pub fn shr(&mut self, d: impl Into<Reg>, a: impl Into<Operand>, b: impl Into<Operand>) -> &mut Self {
+    pub fn shr(
+        &mut self,
+        d: impl Into<Reg>,
+        a: impl Into<Operand>,
+        b: impl Into<Operand>,
+    ) -> &mut Self {
         self.bin(BinOp::Shr, d, a, b)
     }
 
     /// `dst = a >> b` (arithmetic).
-    pub fn ashr(&mut self, d: impl Into<Reg>, a: impl Into<Operand>, b: impl Into<Operand>) -> &mut Self {
+    pub fn ashr(
+        &mut self,
+        d: impl Into<Reg>,
+        a: impl Into<Operand>,
+        b: impl Into<Operand>,
+    ) -> &mut Self {
         self.bin(BinOp::AShr, d, a, b)
     }
 
@@ -432,32 +508,62 @@ impl KernelBuilder {
     }
 
     /// `dst = a + b` (float).
-    pub fn fadd(&mut self, d: impl Into<Reg>, a: impl Into<Operand>, b: impl Into<Operand>) -> &mut Self {
+    pub fn fadd(
+        &mut self,
+        d: impl Into<Reg>,
+        a: impl Into<Operand>,
+        b: impl Into<Operand>,
+    ) -> &mut Self {
         self.bin(BinOp::FAdd, d, a, b)
     }
 
     /// `dst = a - b` (float).
-    pub fn fsub(&mut self, d: impl Into<Reg>, a: impl Into<Operand>, b: impl Into<Operand>) -> &mut Self {
+    pub fn fsub(
+        &mut self,
+        d: impl Into<Reg>,
+        a: impl Into<Operand>,
+        b: impl Into<Operand>,
+    ) -> &mut Self {
         self.bin(BinOp::FSub, d, a, b)
     }
 
     /// `dst = a * b` (float).
-    pub fn fmul(&mut self, d: impl Into<Reg>, a: impl Into<Operand>, b: impl Into<Operand>) -> &mut Self {
+    pub fn fmul(
+        &mut self,
+        d: impl Into<Reg>,
+        a: impl Into<Operand>,
+        b: impl Into<Operand>,
+    ) -> &mut Self {
         self.bin(BinOp::FMul, d, a, b)
     }
 
     /// `dst = a / b` (float).
-    pub fn fdiv(&mut self, d: impl Into<Reg>, a: impl Into<Operand>, b: impl Into<Operand>) -> &mut Self {
+    pub fn fdiv(
+        &mut self,
+        d: impl Into<Reg>,
+        a: impl Into<Operand>,
+        b: impl Into<Operand>,
+    ) -> &mut Self {
         self.bin(BinOp::FDiv, d, a, b)
     }
 
     /// `dst = min(a, b)` (float).
-    pub fn fmin(&mut self, d: impl Into<Reg>, a: impl Into<Operand>, b: impl Into<Operand>) -> &mut Self {
+    pub fn fmin(
+        &mut self,
+        d: impl Into<Reg>,
+        a: impl Into<Operand>,
+        b: impl Into<Operand>,
+    ) -> &mut Self {
         self.bin(BinOp::FMin, d, a, b)
     }
 
     /// `dst = max(a, b)` (float).
-    pub fn fmax(&mut self, d: impl Into<Reg>, a: impl Into<Operand>, b: impl Into<Operand>) -> &mut Self {
+    pub fn fmax(
+        &mut self,
+        d: impl Into<Reg>,
+        a: impl Into<Operand>,
+        b: impl Into<Operand>,
+    ) -> &mut Self {
         self.bin(BinOp::FMax, d, a, b)
     }
 
@@ -507,7 +613,13 @@ impl KernelBuilder {
         a: impl Into<Operand>,
         b: impl Into<Operand>,
     ) -> &mut Self {
-        self.push(Instr::SetP { op, float: false, pd, a: a.into(), b: b.into() })
+        self.push(Instr::SetP {
+            op,
+            float: false,
+            pd,
+            a: a.into(),
+            b: b.into(),
+        })
     }
 
     /// Float comparison into predicate `pd`.
@@ -518,11 +630,22 @@ impl KernelBuilder {
         a: impl Into<Operand>,
         b: impl Into<Operand>,
     ) -> &mut Self {
-        self.push(Instr::SetP { op, float: true, pd, a: a.into(), b: b.into() })
+        self.push(Instr::SetP {
+            op,
+            float: true,
+            pd,
+            a: a.into(),
+            b: b.into(),
+        })
     }
 
     /// `pd = (u32) a < (u32) b` — the ubiquitous bounds check.
-    pub fn isetp_lt_u(&mut self, pd: PReg, a: impl Into<Operand>, b: impl Into<Operand>) -> &mut Self {
+    pub fn isetp_lt_u(
+        &mut self,
+        pd: PReg,
+        a: impl Into<Operand>,
+        b: impl Into<Operand>,
+    ) -> &mut Self {
         self.isetp(CmpOp::ULt, pd, a, b)
     }
 
@@ -534,14 +657,29 @@ impl KernelBuilder {
         a: impl Into<Operand>,
         b: impl Into<Operand>,
     ) -> &mut Self {
-        self.push(Instr::Sel { p, dst: d.into(), a: a.into(), b: b.into() })
+        self.push(Instr::Sel {
+            p,
+            dst: d.into(),
+            a: a.into(),
+            b: b.into(),
+        })
     }
 
     // ---- memory ----
 
     /// `dst = space[addr]`.
-    pub fn ld(&mut self, space: MemSpace, dst: impl Into<Reg>, addr: impl Into<Operand>) -> &mut Self {
-        self.push(Instr::Ld { space, dst: dst.into(), addr: addr.into(), offset: 0 })
+    pub fn ld(
+        &mut self,
+        space: MemSpace,
+        dst: impl Into<Reg>,
+        addr: impl Into<Operand>,
+    ) -> &mut Self {
+        self.push(Instr::Ld {
+            space,
+            dst: dst.into(),
+            addr: addr.into(),
+            offset: 0,
+        })
     }
 
     /// `dst = space[addr + offset]`.
@@ -552,12 +690,27 @@ impl KernelBuilder {
         addr: impl Into<Operand>,
         offset: i32,
     ) -> &mut Self {
-        self.push(Instr::Ld { space, dst: dst.into(), addr: addr.into(), offset })
+        self.push(Instr::Ld {
+            space,
+            dst: dst.into(),
+            addr: addr.into(),
+            offset,
+        })
     }
 
     /// `space[addr] = src`.
-    pub fn st(&mut self, space: MemSpace, addr: impl Into<Operand>, src: impl Into<Operand>) -> &mut Self {
-        self.push(Instr::St { space, addr: addr.into(), offset: 0, src: src.into() })
+    pub fn st(
+        &mut self,
+        space: MemSpace,
+        addr: impl Into<Operand>,
+        src: impl Into<Operand>,
+    ) -> &mut Self {
+        self.push(Instr::St {
+            space,
+            addr: addr.into(),
+            offset: 0,
+            src: src.into(),
+        })
     }
 
     /// `space[addr + offset] = src`.
@@ -568,7 +721,12 @@ impl KernelBuilder {
         offset: i32,
         src: impl Into<Operand>,
     ) -> &mut Self {
-        self.push(Instr::St { space, addr: addr.into(), offset, src: src.into() })
+        self.push(Instr::St {
+            space,
+            addr: addr.into(),
+            offset,
+            src: src.into(),
+        })
     }
 
     /// Atomic `op` on `space[addr]`, old value into `dst`.
@@ -757,7 +915,11 @@ impl KernelBuilder {
                 Reg::V(_) => self.next_vreg as u32,
                 Reg::S(_) => self.next_sreg as u32,
             };
-            Err(IsaError::RegisterOutOfRange { index, reg: r.to_string(), declared })
+            Err(IsaError::RegisterOutOfRange {
+                index,
+                reg: r.to_string(),
+                declared,
+            })
         }
     }
 
@@ -842,7 +1004,10 @@ mod tests {
 
     #[test]
     fn empty_kernel_rejected() {
-        assert_eq!(KernelBuilder::new("e", 0).build(), Err(IsaError::EmptyKernel));
+        assert_eq!(
+            KernelBuilder::new("e", 0).build(),
+            Err(IsaError::EmptyKernel)
+        );
     }
 
     #[test]
@@ -872,7 +1037,10 @@ mod tests {
         b.mov(v, 0u32);
         b.iadd(s, v, 1u32);
         let err = b.build().unwrap_err();
-        assert!(matches!(err, IsaError::NonUniformScalarSource { index: 1, .. }));
+        assert!(matches!(
+            err,
+            IsaError::NonUniformScalarSource { index: 1, .. }
+        ));
     }
 
     #[test]
@@ -916,7 +1084,10 @@ mod tests {
         b.exit();
         assert!(matches!(
             b.build().unwrap_err(),
-            IsaError::ResourceLimit { what: "vector registers", .. }
+            IsaError::ResourceLimit {
+                what: "vector registers",
+                ..
+            }
         ));
     }
 

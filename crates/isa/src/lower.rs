@@ -199,7 +199,13 @@ pub fn lower(kernel: &Kernel, caps: ArchCaps) -> Result<LoweredKernel, IsaError>
                 b: map_operand(b, to_vector, vreg_base),
                 c: map_operand(c, to_vector, vreg_base),
             },
-            Instr::SetP { op, float, pd, a, b } => Instr::SetP {
+            Instr::SetP {
+                op,
+                float,
+                pd,
+                a,
+                b,
+            } => Instr::SetP {
                 op,
                 float,
                 pd,
@@ -212,19 +218,36 @@ pub fn lower(kernel: &Kernel, caps: ArchCaps) -> Result<LoweredKernel, IsaError>
                 a: map_operand(a, to_vector, vreg_base),
                 b: map_operand(b, to_vector, vreg_base),
             },
-            Instr::Ld { space, dst, addr, offset } => Instr::Ld {
+            Instr::Ld {
+                space,
+                dst,
+                addr,
+                offset,
+            } => Instr::Ld {
                 space,
                 dst: map_reg(dst, to_vector, vreg_base),
                 addr: map_operand(addr, to_vector, vreg_base),
                 offset,
             },
-            Instr::St { space, addr, offset, src } => Instr::St {
+            Instr::St {
+                space,
+                addr,
+                offset,
+                src,
+            } => Instr::St {
                 space,
                 addr: map_operand(addr, to_vector, vreg_base),
                 offset,
                 src: map_operand(src, to_vector, vreg_base),
             },
-            Instr::Atom { space, op, dst, addr, offset, src } => Instr::Atom {
+            Instr::Atom {
+                space,
+                op,
+                dst,
+                addr,
+                offset,
+                src,
+            } => Instr::Atom {
                 space,
                 op,
                 dst: map_reg(dst, to_vector, vreg_base),
@@ -260,8 +283,14 @@ mod tests {
     use crate::kernel::KernelBuilder;
     use crate::op::MemSpace;
 
-    const NV: ArchCaps = ArchCaps { has_scalar_unit: false, warp_size: 32 };
-    const SI: ArchCaps = ArchCaps { has_scalar_unit: true, warp_size: 64 };
+    const NV: ArchCaps = ArchCaps {
+        has_scalar_unit: false,
+        warp_size: 32,
+    };
+    const SI: ArchCaps = ArchCaps {
+        has_scalar_unit: true,
+        warp_size: 64,
+    };
 
     fn sample_kernel() -> Kernel {
         let mut b = KernelBuilder::new("sample", 2);

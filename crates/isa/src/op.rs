@@ -549,7 +549,11 @@ mod tests {
             (-1i32) as u32,
             "signed min"
         );
-        assert_eq!(eval_binop(BinOp::UMin, (-1i32) as u32, 1), 1, "unsigned min");
+        assert_eq!(
+            eval_binop(BinOp::UMin, (-1i32) as u32, 1),
+            1,
+            "unsigned min"
+        );
         assert_eq!(eval_binop(BinOp::IMax, (-1i32) as u32, 1), 1);
         assert_eq!(eval_binop(BinOp::UMax, (-1i32) as u32, 1), u32::MAX);
     }

@@ -51,7 +51,10 @@ impl From<(usize, String)> for ParseError {
 }
 
 fn err<T>(line: usize, msg: impl Into<String>) -> Result<T, ParseError> {
-    Err(ParseError { line, message: msg.into() })
+    Err(ParseError {
+        line,
+        message: msg.into(),
+    })
 }
 
 /// Strips comments (`//` and `;`) and line-number prefixes like `  12:`.
@@ -157,9 +160,10 @@ fn parse_addr(tok: &str, line: usize) -> Result<(Operand, i32), ParseError> {
     for (i, c) in inner.char_indices().skip(1) {
         if c == '+' || c == '-' {
             let base = parse_operand(&inner[..i], line)?;
-            let off: i32 = inner[i..]
-                .parse()
-                .map_err(|e| ParseError { line, message: format!("bad offset: {e}") })?;
+            let off: i32 = inner[i..].parse().map_err(|e| ParseError {
+                line,
+                message: format!("bad offset: {e}"),
+            })?;
             return Ok((base, off));
         }
     }
@@ -167,7 +171,10 @@ fn parse_addr(tok: &str, line: usize) -> Result<(Operand, i32), ParseError> {
 }
 
 fn split_args(rest: &str) -> Vec<&str> {
-    rest.split(',').map(str::trim).filter(|s| !s.is_empty()).collect()
+    rest.split(',')
+        .map(str::trim)
+        .filter(|s| !s.is_empty())
+        .collect()
 }
 
 fn unop_of(m: &str) -> Option<UnOp> {
@@ -285,33 +292,51 @@ fn parse_instr(line_txt: &str, line: usize) -> Result<Instr, ParseError> {
     match parts.as_slice() {
         ["ld", space] => {
             // ld.<space> [addr] -> dst
-            let space = space_of(space)
-                .ok_or_else(|| ParseError { line, message: format!("bad space '{space}'") })?;
+            let space = space_of(space).ok_or_else(|| ParseError {
+                line,
+                message: format!("bad space '{space}'"),
+            })?;
             let (addr_txt, dst_txt) = rest.split_once("->").ok_or_else(|| ParseError {
                 line,
                 message: "ld needs '[addr] -> dst'".into(),
             })?;
             let (addr, offset) = parse_addr(addr_txt, line)?;
             let dst = parse_reg(dst_txt, line)?;
-            Ok(Instr::Ld { space, dst, addr, offset })
+            Ok(Instr::Ld {
+                space,
+                dst,
+                addr,
+                offset,
+            })
         }
         ["st", space] => {
-            let space = space_of(space)
-                .ok_or_else(|| ParseError { line, message: format!("bad space '{space}'") })?;
+            let space = space_of(space).ok_or_else(|| ParseError {
+                line,
+                message: format!("bad space '{space}'"),
+            })?;
             let (addr_txt, src_txt) = rest.split_once("<-").ok_or_else(|| ParseError {
                 line,
                 message: "st needs '[addr] <- src'".into(),
             })?;
             let (addr, offset) = parse_addr(addr_txt, line)?;
             let src = parse_operand(src_txt, line)?;
-            Ok(Instr::St { space, addr, offset, src })
+            Ok(Instr::St {
+                space,
+                addr,
+                offset,
+                src,
+            })
         }
         ["atom", op, space] => {
             // atom.<op>.<space> dst, [addr], src
-            let op = atom_of(op)
-                .ok_or_else(|| ParseError { line, message: format!("bad atom op '{op}'") })?;
-            let space = space_of(space)
-                .ok_or_else(|| ParseError { line, message: format!("bad space '{space}'") })?;
+            let op = atom_of(op).ok_or_else(|| ParseError {
+                line,
+                message: format!("bad atom op '{op}'"),
+            })?;
+            let space = space_of(space).ok_or_else(|| ParseError {
+                line,
+                message: format!("bad space '{space}'"),
+            })?;
             let args = split_args(rest);
             if args.len() != 3 {
                 return err(line, "atom needs dst, [addr], src");
@@ -319,11 +344,20 @@ fn parse_instr(line_txt: &str, line: usize) -> Result<Instr, ParseError> {
             let dst = parse_reg(args[0], line)?;
             let (addr, offset) = parse_addr(args[1], line)?;
             let src = parse_operand(args[2], line)?;
-            Ok(Instr::Atom { space, op, dst, addr, offset, src })
+            Ok(Instr::Atom {
+                space,
+                op,
+                dst,
+                addr,
+                offset,
+                src,
+            })
         }
         ["setp", cmp, ty] => {
-            let op = cmp_of(cmp)
-                .ok_or_else(|| ParseError { line, message: format!("bad compare '{cmp}'") })?;
+            let op = cmp_of(cmp).ok_or_else(|| ParseError {
+                line,
+                message: format!("bad compare '{cmp}'"),
+            })?;
             let float = match *ty {
                 "f32" => true,
                 "s32" | "u32" => false,
@@ -451,21 +485,25 @@ pub fn parse_kernel(text: &str) -> Result<Kernel, ParseError> {
             if n.is_empty() {
                 return err(lineno, ".kernel needs a name");
             }
-            name = n.split_whitespace().next().unwrap_or("anonymous").to_string();
+            name = n
+                .split_whitespace()
+                .next()
+                .unwrap_or("anonymous")
+                .to_string();
             continue;
         }
         if let Some(rest) = line.strip_prefix(".params") {
-            params = rest
-                .trim()
-                .parse()
-                .map_err(|e| ParseError { line: lineno, message: format!("bad .params: {e}") })?;
+            params = rest.trim().parse().map_err(|e| ParseError {
+                line: lineno,
+                message: format!("bad .params: {e}"),
+            })?;
             continue;
         }
         if let Some(rest) = line.strip_prefix(".shared") {
-            shared = rest
-                .trim()
-                .parse()
-                .map_err(|e| ParseError { line: lineno, message: format!("bad .shared: {e}") })?;
+            shared = rest.trim().parse().map_err(|e| ParseError {
+                line: lineno,
+                message: format!("bad .shared: {e}"),
+            })?;
             continue;
         }
         if line.starts_with('.') {
@@ -508,7 +546,10 @@ pub fn parse_kernel(text: &str) -> Result<Kernel, ParseError> {
     for ins in instrs {
         kb.push(ins);
     }
-    kb.build().map_err(|e: IsaError| ParseError { line: 0, message: e.to_string() })
+    kb.build().map_err(|e: IsaError| ParseError {
+        line: 0,
+        message: e.to_string(),
+    })
 }
 
 #[cfg(test)]
@@ -540,12 +581,19 @@ mod tests {
         .unwrap();
         assert_eq!(
             k.body()[0],
-            Instr::Un { op: UnOp::Mov, dst: Reg::V(VReg(0)), a: Operand::Imm(16) }
+            Instr::Un {
+                op: UnOp::Mov,
+                dst: Reg::V(VReg(0)),
+                a: Operand::Imm(16)
+            }
         );
         assert_eq!(k.body()[1].src_operands()[0], Operand::Imm(42));
         assert_eq!(k.body()[2].src_operands()[0], Operand::Imm(u32::MAX));
         assert_eq!(k.body()[3].src_operands()[0], Operand::from_f32(1.5));
-        assert_eq!(k.body()[4].src_operands()[0], Operand::Special(Special::TidX));
+        assert_eq!(
+            k.body()[4].src_operands()[0],
+            Operand::Special(Special::TidX)
+        );
         assert_eq!(k.num_vregs(), 6);
         assert_eq!(k.num_sregs(), 1);
     }
@@ -569,7 +617,13 @@ mod tests {
             }
         );
         assert!(matches!(k.body()[1], Instr::St { offset: -4, .. }));
-        assert!(matches!(k.body()[2], Instr::Atom { op: AtomOp::Add, .. }));
+        assert!(matches!(
+            k.body()[2],
+            Instr::Atom {
+                op: AtomOp::Add,
+                ..
+            }
+        ));
     }
 
     #[test]
@@ -587,8 +641,20 @@ mod tests {
              exit",
         )
         .unwrap();
-        assert_eq!(k.body()[1], Instr::IfBegin { p: PReg(0), negate: true });
-        assert_eq!(k.body()[7], Instr::Break { p: PReg(0), negate: false });
+        assert_eq!(
+            k.body()[1],
+            Instr::IfBegin {
+                p: PReg(0),
+                negate: true
+            }
+        );
+        assert_eq!(
+            k.body()[7],
+            Instr::Break {
+                p: PReg(0),
+                negate: false
+            }
+        );
         assert_eq!(k.control().num_loops(), 1);
     }
 

@@ -77,15 +77,15 @@ proptest! {
 fn structured_program() -> impl Strategy<Value = Vec<Instr>> {
     // Encode as a tree: each node emits either a flat op or a region.
     fn node() -> impl Strategy<Value = Vec<Instr>> {
-        let leaf = prop_oneof![
-            Just(vec![Instr::Nop]),
-            Just(vec![Instr::Bar]),
-        ];
+        let leaf = prop_oneof![Just(vec![Instr::Nop]), Just(vec![Instr::Bar]),];
         leaf.prop_recursive(3, 24, 4, |inner| {
             prop_oneof![
                 // if region (with or without else)
                 (inner.clone(), any::<bool>()).prop_map(|(body, with_else)| {
-                    let mut v = vec![Instr::IfBegin { p: PReg(0), negate: false }];
+                    let mut v = vec![Instr::IfBegin {
+                        p: PReg(0),
+                        negate: false,
+                    }];
                     v.extend(body.clone());
                     if with_else {
                         v.push(Instr::Else);
@@ -97,7 +97,10 @@ fn structured_program() -> impl Strategy<Value = Vec<Instr>> {
                 // loop region with a break inside
                 inner.prop_map(|body| {
                     let mut v = vec![Instr::LoopBegin];
-                    v.push(Instr::Break { p: PReg(0), negate: false });
+                    v.push(Instr::Break {
+                        p: PReg(0),
+                        negate: false,
+                    });
                     v.extend(body);
                     v.push(Instr::LoopEnd);
                     v
@@ -238,9 +241,19 @@ fn random_data_instr() -> impl Strategy<Value = Instr> {
             a,
             b
         }),
-        (vdst.clone(), operand.clone(), operand.clone(), operand.clone()).prop_map(
-            |(dst, a, b, c)| Instr::Ter { op: TerOp::FFma, dst, a, b, c }
-        ),
+        (
+            vdst.clone(),
+            operand.clone(),
+            operand.clone(),
+            operand.clone()
+        )
+            .prop_map(|(dst, a, b, c)| Instr::Ter {
+                op: TerOp::FFma,
+                dst,
+                a,
+                b,
+                c
+            }),
         (vdst.clone(), operand.clone(), -16i32..16).prop_map(|(dst, a, off)| Instr::Ld {
             space: MemSpace::Global,
             dst,

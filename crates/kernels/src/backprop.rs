@@ -4,8 +4,8 @@
 
 use crate::common::{f32_words, sigmoid, uniform_f32};
 use crate::Workload;
-use simt_isa::{lower, CmpOp, Kernel, KernelBuilder, MemSpace, Special};
-use simt_sim::{Dim, Gpu, LaunchConfig, SimError, SimObserver};
+use simt_isa::{CmpOp, Kernel, KernelBuilder, MemSpace, Special};
+use simt_sim::{Buffer, Dim, Gpu, LaunchConfig, LaunchPlan, PlanStep, SimError};
 
 /// Hidden units (fixed at 16 as in Rodinia's `bpnn` GPU path).
 pub const HID: u32 = 16;
@@ -39,7 +39,10 @@ pub struct Backprop {
 impl Backprop {
     /// A network with `n_in` input units (must be a multiple of 16).
     pub fn new(n_in: u32, seed: u64) -> Self {
-        assert!(n_in.is_multiple_of(16) && n_in > 0, "n_in must be a positive multiple of 16");
+        assert!(
+            n_in.is_multiple_of(16) && n_in > 0,
+            "n_in must be a positive multiple of 16"
+        );
         Backprop {
             n_in,
             input: uniform_f32(n_in as usize, seed ^ 0xb9),
@@ -205,6 +208,77 @@ impl Backprop {
     }
 }
 
+/// Launch plan: layer-forward launch, host delta computation, weight
+/// adjustment launch, readback of partials/weights/deltas.
+#[derive(Clone)]
+struct BackpropPlan {
+    w: Backprop,
+    stage: u32,
+    bufs: Option<(Buffer, Buffer, Buffer, Buffer, Buffer)>,
+}
+
+impl BackpropPlan {
+    fn grid(&self) -> LaunchConfig {
+        LaunchConfig::new(Dim::new(1, self.w.n_in / 16), Dim::new(16, 16))
+    }
+}
+
+impl LaunchPlan for BackpropPlan {
+    fn next(&mut self, gpu: &mut Gpu) -> Result<PlanStep, SimError> {
+        self.stage += 1;
+        let blocks = self.w.n_in / 16;
+        match self.stage {
+            1 => {
+                let k1 = crate::lower_for(&self.w.layerforward(), gpu)?;
+                let binput = gpu.alloc_words(self.w.n_in);
+                let bw1 = gpu.alloc_words(self.w.n_in * HID);
+                let bpartial = gpu.alloc_words(blocks * HID);
+                let bdelta = gpu.alloc_words(HID);
+                let boldw = gpu.alloc_words(self.w.n_in * HID);
+                gpu.write_floats(binput, &self.w.input);
+                gpu.write_floats(bw1, &self.w.w1);
+                self.bufs = Some((binput, bw1, bpartial, bdelta, boldw));
+                Ok(PlanStep::Launch {
+                    kernel: k1,
+                    cfg: self.grid(),
+                    params: vec![binput.addr(), bw1.addr(), bpartial.addr()],
+                })
+            }
+            2 => {
+                // Host phase between the launches: hidden activations,
+                // output layer, deltas.
+                let (binput, bw1, bpartial, bdelta, boldw) = self.bufs.expect("allocated");
+                let partial = gpu.read_floats(bpartial, blocks * HID);
+                let delta = self.w.host_deltas(&partial);
+                gpu.write_floats(bdelta, &delta);
+                Ok(PlanStep::Launch {
+                    kernel: crate::lower_for(&self.w.adjust_weights(), gpu)?,
+                    cfg: self.grid(),
+                    params: vec![
+                        bdelta.addr(),
+                        binput.addr(),
+                        bw1.addr(),
+                        boldw.addr(),
+                        ETA.to_bits(),
+                        MOMENTUM.to_bits(),
+                    ],
+                })
+            }
+            _ => {
+                let (_, bw1, bpartial, _, boldw) = self.bufs.expect("allocated");
+                let mut out = gpu.read_words(bpartial, blocks * HID);
+                out.extend(gpu.read_words(bw1, self.w.n_in * HID));
+                out.extend(gpu.read_words(boldw, self.w.n_in * HID));
+                Ok(PlanStep::Done(out))
+            }
+        }
+    }
+
+    fn clone_plan(&self) -> Box<dyn LaunchPlan> {
+        Box::new(self.clone())
+    }
+}
+
 impl Workload for Backprop {
     fn name(&self) -> &str {
         "backprop"
@@ -214,47 +288,12 @@ impl Workload for Backprop {
         true
     }
 
-    fn run(&self, gpu: &mut Gpu, obs: &mut dyn SimObserver) -> Result<Vec<u32>, SimError> {
-        let caps = gpu.arch().caps();
-        let k1 = lower(&self.layerforward(), caps)
-            .map_err(|e| SimError::LaunchConfig { reason: e.to_string() })?;
-        let k2 = lower(&self.adjust_weights(), caps)
-            .map_err(|e| SimError::LaunchConfig { reason: e.to_string() })?;
-        let blocks = self.n_in / 16;
-        let binput = gpu.alloc_words(self.n_in);
-        let bw1 = gpu.alloc_words(self.n_in * HID);
-        let bpartial = gpu.alloc_words(blocks * HID);
-        let bdelta = gpu.alloc_words(HID);
-        let boldw = gpu.alloc_words(self.n_in * HID);
-        gpu.write_floats(binput, &self.input);
-        gpu.write_floats(bw1, &self.w1);
-        let grid = LaunchConfig::new(Dim::new(1, blocks), Dim::new(16, 16));
-        gpu.launch_observed(
-            &k1,
-            grid,
-            &[binput.addr(), bw1.addr(), bpartial.addr()],
-            &mut &mut *obs,
-        )?;
-        let partial = gpu.read_floats(bpartial, blocks * HID);
-        let delta = self.host_deltas(&partial);
-        gpu.write_floats(bdelta, &delta);
-        gpu.launch_observed(
-            &k2,
-            grid,
-            &[
-                bdelta.addr(),
-                binput.addr(),
-                bw1.addr(),
-                boldw.addr(),
-                ETA.to_bits(),
-                MOMENTUM.to_bits(),
-            ],
-            &mut &mut *obs,
-        )?;
-        let mut out = gpu.read_words(bpartial, blocks * HID);
-        out.extend(gpu.read_words(bw1, self.n_in * HID));
-        out.extend(gpu.read_words(boldw, self.n_in * HID));
-        Ok(out)
+    fn plan(&self) -> Box<dyn LaunchPlan> {
+        Box::new(BackpropPlan {
+            w: self.clone(),
+            stage: 0,
+            bufs: None,
+        })
     }
 
     fn reference(&self) -> Vec<u32> {

@@ -3,8 +3,8 @@
 
 use crate::common::{f32_words, uniform_f32};
 use crate::Workload;
-use simt_isa::{lower, Kernel, KernelBuilder, MemSpace, Special};
-use simt_sim::{Gpu, LaunchConfig, SimError, SimObserver};
+use simt_isa::{Kernel, KernelBuilder, MemSpace, Special};
+use simt_sim::{Buffer, Gpu, LaunchConfig, LaunchPlan, PlanStep, SimError};
 
 const INV_SQRT2: f32 = std::f32::consts::FRAC_1_SQRT_2;
 
@@ -38,8 +38,15 @@ impl DwtHaar1D {
     ///
     /// Panics unless `n` is a power of two ≥ 2.
     pub fn new(n: u32, seed: u64) -> Self {
-        assert!(n.is_power_of_two() && n >= 2, "n must be a power of two >= 2");
-        DwtHaar1D { n, block: 128, input: uniform_f32(n as usize, seed ^ 0xd7) }
+        assert!(
+            n.is_power_of_two() && n >= 2,
+            "n must be a power of two >= 2"
+        );
+        DwtHaar1D {
+            n,
+            block: 128,
+            input: uniform_f32(n as usize, seed ^ 0xd7),
+        }
     }
 
     /// Default size used by the figure harness (2048 samples).
@@ -50,8 +57,7 @@ impl DwtHaar1D {
     /// One decomposition level: `half` output pairs.
     fn kernel(&self) -> Kernel {
         let mut kb = KernelBuilder::new("dwtHaar1D", 4);
-        let (pin, papprox, pdetail, phalf) =
-            (kb.param(0), kb.param(1), kb.param(2), kb.param(3));
+        let (pin, papprox, pdetail, phalf) = (kb.param(0), kb.param(1), kb.param(2), kb.param(3));
         let gid = kb.vreg();
         let a = kb.vreg();
         let b = kb.vreg();
@@ -91,6 +97,54 @@ impl DwtHaar1D {
     }
 }
 
+/// Launch plan: one decomposition level per launch, ping-ponging the
+/// approximation buffers, then read the coefficient pyramid.
+#[derive(Clone)]
+struct DwtPlan {
+    w: DwtHaar1D,
+    kernel: Option<simt_isa::LoweredKernel>,
+    coef: Option<Buffer>,
+    bufs: Option<[Buffer; 2]>,
+    half: u32,
+}
+
+impl LaunchPlan for DwtPlan {
+    fn next(&mut self, gpu: &mut Gpu) -> Result<PlanStep, SimError> {
+        if self.coef.is_none() {
+            self.kernel = Some(crate::lower_for(&self.w.kernel(), gpu)?);
+            let coef = gpu.alloc_words(self.w.n);
+            let ping = gpu.alloc_words(self.w.n);
+            let pong = gpu.alloc_words(self.w.n / 2);
+            gpu.write_floats(ping, &self.w.input);
+            self.coef = Some(coef);
+            self.bufs = Some([ping, pong]);
+            self.half = self.w.n / 2;
+        }
+        let coef = self.coef.expect("initialised");
+        if self.half >= 1 {
+            let bufs = self.bufs.as_mut().expect("initialised");
+            let half = self.half;
+            let threads = half.min(self.w.block);
+            let grid = half.div_ceil(threads);
+            // The last level's approximation is the pyramid root coef[0].
+            let approx = if half == 1 { coef } else { bufs[1] };
+            let step = PlanStep::Launch {
+                kernel: self.kernel.clone().expect("initialised"),
+                cfg: LaunchConfig::linear(grid, threads),
+                params: vec![bufs[0].addr(), approx.addr(), coef.addr() + half * 4, half],
+            };
+            bufs.swap(0, 1);
+            self.half /= 2;
+            return Ok(step);
+        }
+        Ok(PlanStep::Done(gpu.read_words(coef, self.w.n)))
+    }
+
+    fn clone_plan(&self) -> Box<dyn LaunchPlan> {
+        Box::new(self.clone())
+    }
+}
+
 impl Workload for DwtHaar1D {
     fn name(&self) -> &str {
         "dwtHaar1D"
@@ -100,30 +154,14 @@ impl Workload for DwtHaar1D {
         true
     }
 
-    fn run(&self, gpu: &mut Gpu, obs: &mut dyn SimObserver) -> Result<Vec<u32>, SimError> {
-        let kernel = lower(&self.kernel(), gpu.arch().caps())
-            .map_err(|e| SimError::LaunchConfig { reason: e.to_string() })?;
-        let coef = gpu.alloc_words(self.n);
-        let ping = gpu.alloc_words(self.n);
-        let pong = gpu.alloc_words(self.n / 2);
-        gpu.write_floats(ping, &self.input);
-        let mut bufs = [ping, pong];
-        let mut half = self.n / 2;
-        while half >= 1 {
-            let threads = half.min(self.block);
-            let grid = half.div_ceil(threads);
-            // The last level's approximation is the pyramid root coef[0].
-            let approx = if half == 1 { coef } else { bufs[1] };
-            gpu.launch_observed(
-                &kernel,
-                LaunchConfig::linear(grid, threads),
-                &[bufs[0].addr(), approx.addr(), coef.addr() + half * 4, half],
-                &mut &mut *obs,
-            )?;
-            bufs.swap(0, 1);
-            half /= 2;
-        }
-        Ok(gpu.read_words(coef, self.n))
+    fn plan(&self) -> Box<dyn LaunchPlan> {
+        Box::new(DwtPlan {
+            w: self.clone(),
+            kernel: None,
+            coef: None,
+            bufs: None,
+            half: 0,
+        })
     }
 
     fn reference(&self) -> Vec<u32> {
@@ -184,7 +222,10 @@ mod tests {
         let out = crate::common::words_f32(&w.reference());
         let e_in: f32 = w.input.iter().map(|x| x * x).sum();
         let e_out: f32 = out.iter().map(|x| x * x).sum();
-        assert!((e_in - e_out).abs() / e_in < 1e-4, "Parseval: {e_in} vs {e_out}");
+        assert!(
+            (e_in - e_out).abs() / e_in < 1e-4,
+            "Parseval: {e_in} vs {e_out}"
+        );
     }
 
     #[test]

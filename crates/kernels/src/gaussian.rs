@@ -3,8 +3,8 @@
 
 use crate::common::{f32_words, uniform_f32};
 use crate::Workload;
-use simt_isa::{lower, CmpOp, Kernel, KernelBuilder, MemSpace};
-use simt_sim::{Dim, Gpu, LaunchConfig, SimError, SimObserver};
+use simt_isa::{CmpOp, Kernel, KernelBuilder, MemSpace};
+use simt_sim::{Buffer, Dim, Gpu, LaunchConfig, LaunchPlan, PlanStep, SimError};
 
 /// Forward elimination of an `n × n` system `A·x = b` with the Rodinia
 /// kernel pair: `Fan1` computes the column of multipliers, `Fan2` updates
@@ -85,8 +85,13 @@ impl Gaussian {
     /// `Fan2`: a[i][j] -= m[i][t] * a[t][j] (and b[i] -= m[i][t] * b[t]).
     fn fan2(&self) -> Kernel {
         let mut kb = KernelBuilder::new("gaussian_fan2", 5);
-        let (pm, pa, pb, pn, pt) =
-            (kb.param(0), kb.param(1), kb.param(2), kb.param(3), kb.param(4));
+        let (pm, pa, pb, pn, pt) = (
+            kb.param(0),
+            kb.param(1),
+            kb.param(2),
+            kb.param(3),
+            kb.param(4),
+        );
         let rows = kb.sreg(); // n - 1 - t
         let cols = kb.sreg(); // n - t
         let x = kb.vreg();
@@ -144,6 +149,65 @@ impl Gaussian {
     }
 }
 
+/// Launch plan: alternating `Fan1`/`Fan2` launches for each pivot column
+/// `t`, then read the eliminated matrix and right-hand side.
+#[derive(Clone)]
+struct GaussianPlan {
+    w: Gaussian,
+    fan1: Option<simt_isa::LoweredKernel>,
+    fan2: Option<simt_isa::LoweredKernel>,
+    bufs: Option<(Buffer, Buffer, Buffer)>,
+    t: u32,
+    next_is_fan2: bool,
+}
+
+impl LaunchPlan for GaussianPlan {
+    fn next(&mut self, gpu: &mut Gpu) -> Result<PlanStep, SimError> {
+        let n = self.w.n;
+        if self.bufs.is_none() {
+            self.fan1 = Some(crate::lower_for(&self.w.fan1(), gpu)?);
+            self.fan2 = Some(crate::lower_for(&self.w.fan2(), gpu)?);
+            let a = gpu.alloc_words(n * n);
+            let b = gpu.alloc_words(n);
+            let m = gpu.alloc_words(n * n);
+            gpu.write_floats(a, &self.w.a);
+            gpu.write_floats(b, &self.w.b);
+            self.bufs = Some((a, b, m));
+        }
+        let (a, b, m) = self.bufs.expect("initialised");
+        if self.t < n - 1 {
+            let t = self.t;
+            let rows = n - 1 - t;
+            if !self.next_is_fan2 {
+                self.next_is_fan2 = true;
+                return Ok(PlanStep::Launch {
+                    kernel: self.fan1.clone().expect("initialised"),
+                    cfg: LaunchConfig::linear(rows.div_ceil(64), 64),
+                    params: vec![m.addr(), a.addr(), n, t],
+                });
+            }
+            self.next_is_fan2 = false;
+            self.t += 1;
+            let cols = n - t;
+            return Ok(PlanStep::Launch {
+                kernel: self.fan2.clone().expect("initialised"),
+                cfg: LaunchConfig::new(
+                    Dim::new(rows.div_ceil(16), cols.div_ceil(16)),
+                    Dim::new(16, 16),
+                ),
+                params: vec![m.addr(), a.addr(), b.addr(), n, t],
+            });
+        }
+        let mut out = gpu.read_words(a, n * n);
+        out.extend(gpu.read_words(b, n));
+        Ok(PlanStep::Done(out))
+    }
+
+    fn clone_plan(&self) -> Box<dyn LaunchPlan> {
+        Box::new(self.clone())
+    }
+}
+
 impl Workload for Gaussian {
     fn name(&self) -> &str {
         "gaussian"
@@ -153,40 +217,15 @@ impl Workload for Gaussian {
         false
     }
 
-    fn run(&self, gpu: &mut Gpu, obs: &mut dyn SimObserver) -> Result<Vec<u32>, SimError> {
-        let caps = gpu.arch().caps();
-        let fan1 = lower(&self.fan1(), caps)
-            .map_err(|e| SimError::LaunchConfig { reason: e.to_string() })?;
-        let fan2 = lower(&self.fan2(), caps)
-            .map_err(|e| SimError::LaunchConfig { reason: e.to_string() })?;
-        let n = self.n;
-        let a = gpu.alloc_words(n * n);
-        let b = gpu.alloc_words(n);
-        let m = gpu.alloc_words(n * n);
-        gpu.write_floats(a, &self.a);
-        gpu.write_floats(b, &self.b);
-        for t in 0..n - 1 {
-            let rows = n - 1 - t;
-            gpu.launch_observed(
-                &fan1,
-                LaunchConfig::linear(rows.div_ceil(64), 64),
-                &[m.addr(), a.addr(), n, t],
-                &mut &mut *obs,
-            )?;
-            let cols = n - t;
-            gpu.launch_observed(
-                &fan2,
-                LaunchConfig::new(
-                    Dim::new(rows.div_ceil(16), cols.div_ceil(16)),
-                    Dim::new(16, 16),
-                ),
-                &[m.addr(), a.addr(), b.addr(), n, t],
-                &mut &mut *obs,
-            )?;
-        }
-        let mut out = gpu.read_words(a, n * n);
-        out.extend(gpu.read_words(b, n));
-        Ok(out)
+    fn plan(&self) -> Box<dyn LaunchPlan> {
+        Box::new(GaussianPlan {
+            w: self.clone(),
+            fan1: None,
+            fan2: None,
+            bufs: None,
+            t: 0,
+            next_is_fan2: false,
+        })
     }
 
     fn reference(&self) -> Vec<u32> {

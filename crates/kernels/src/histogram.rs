@@ -3,8 +3,8 @@
 
 use crate::common::uniform_u32;
 use crate::Workload;
-use simt_isa::{lower, AtomOp, CmpOp, Kernel, KernelBuilder, MemSpace, Special};
-use simt_sim::{Gpu, LaunchConfig, SimError, SimObserver};
+use simt_isa::{AtomOp, CmpOp, Kernel, KernelBuilder, MemSpace, Special};
+use simt_sim::{Buffer, Gpu, LaunchConfig, LaunchPlan, PlanStep, SimError};
 
 /// Histograms `n` integer samples into `bins` buckets: each block
 /// accumulates into shared-memory bins with LDS atomics, then merges into
@@ -94,6 +94,42 @@ impl Histogram {
     }
 }
 
+/// Launch plan: upload samples, one atomic-voting launch, read the bins.
+#[derive(Clone)]
+struct HistogramPlan {
+    w: Histogram,
+    stage: u32,
+    hist: Option<Buffer>,
+}
+
+impl LaunchPlan for HistogramPlan {
+    fn next(&mut self, gpu: &mut Gpu) -> Result<PlanStep, SimError> {
+        self.stage += 1;
+        match self.stage {
+            1 => {
+                let kernel = crate::lower_for(&self.w.kernel(), gpu)?;
+                let bin = gpu.alloc_words(self.w.n);
+                let hist = gpu.alloc_words(self.w.bins);
+                gpu.write_words(bin, &self.w.input);
+                self.hist = Some(hist);
+                let grid = self.w.n.div_ceil(self.w.block);
+                Ok(PlanStep::Launch {
+                    kernel,
+                    cfg: LaunchConfig::linear(grid, self.w.block),
+                    params: vec![bin.addr(), hist.addr(), self.w.n, self.w.bins],
+                })
+            }
+            _ => Ok(PlanStep::Done(
+                gpu.read_words(self.hist.expect("launched"), self.w.bins),
+            )),
+        }
+    }
+
+    fn clone_plan(&self) -> Box<dyn LaunchPlan> {
+        Box::new(self.clone())
+    }
+}
+
 impl Workload for Histogram {
     fn name(&self) -> &str {
         "histogram"
@@ -103,20 +139,12 @@ impl Workload for Histogram {
         true
     }
 
-    fn run(&self, gpu: &mut Gpu, obs: &mut dyn SimObserver) -> Result<Vec<u32>, SimError> {
-        let kernel = lower(&self.kernel(), gpu.arch().caps())
-            .map_err(|e| SimError::LaunchConfig { reason: e.to_string() })?;
-        let bin = gpu.alloc_words(self.n);
-        let hist = gpu.alloc_words(self.bins);
-        gpu.write_words(bin, &self.input);
-        let grid = self.n.div_ceil(self.block);
-        gpu.launch_observed(
-            &kernel,
-            LaunchConfig::linear(grid, self.block),
-            &[bin.addr(), hist.addr(), self.n, self.bins],
-            &mut &mut *obs,
-        )?;
-        Ok(gpu.read_words(hist, self.bins))
+    fn plan(&self) -> Box<dyn LaunchPlan> {
+        Box::new(HistogramPlan {
+            w: self.clone(),
+            stage: 0,
+            hist: None,
+        })
     }
 
     fn reference(&self) -> Vec<u32> {

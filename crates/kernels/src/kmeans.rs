@@ -3,8 +3,8 @@
 
 use crate::common::uniform_f32;
 use crate::Workload;
-use simt_isa::{lower, CmpOp, Kernel, KernelBuilder, MemSpace};
-use simt_sim::{Gpu, LaunchConfig, SimError, SimObserver};
+use simt_isa::{CmpOp, Kernel, KernelBuilder, MemSpace};
+use simt_sim::{Buffer, Gpu, LaunchConfig, LaunchPlan, PlanStep, SimError};
 
 /// `iters` rounds of k-means over `n` points with `FEATURES` features and
 /// `k` clusters: the assignment kernel runs on the GPU (distance loop over
@@ -52,8 +52,13 @@ impl Kmeans {
 
     fn kernel(&self) -> Kernel {
         let mut kb = KernelBuilder::new("kmeans", 5);
-        let (ppts, pcent, pmemb, pn, pk) =
-            (kb.param(0), kb.param(1), kb.param(2), kb.param(3), kb.param(4));
+        let (ppts, pcent, pmemb, pn, pk) = (
+            kb.param(0),
+            kb.param(1),
+            kb.param(2),
+            kb.param(3),
+            kb.param(4),
+        );
         let c = kb.sreg();
         let caddr = kb.sreg();
         let gid = kb.vreg();
@@ -159,6 +164,66 @@ impl Kmeans {
     }
 }
 
+/// Launch plan: one assignment launch per round with a host centroid
+/// update between rounds; the host state (current centroids, last
+/// membership) lives in the plan so checkpoints capture it.
+#[derive(Clone)]
+struct KmeansPlan {
+    w: Kmeans,
+    kernel: Option<simt_isa::LoweredKernel>,
+    bufs: Option<(Buffer, Buffer, Buffer)>,
+    centroids: Vec<f32>,
+    membership: Vec<u32>,
+    iter: u32,
+}
+
+impl KmeansPlan {
+    /// Uploads the current centroids and emits the assignment launch.
+    fn launch_round(&mut self, gpu: &mut Gpu) -> PlanStep {
+        let (pts, cent, memb) = self.bufs.expect("initialised");
+        gpu.write_floats(cent, &self.centroids);
+        PlanStep::Launch {
+            kernel: self.kernel.clone().expect("initialised"),
+            cfg: LaunchConfig::linear(self.w.n.div_ceil(128), 128),
+            params: vec![pts.addr(), cent.addr(), memb.addr(), self.w.n, self.w.k],
+        }
+    }
+}
+
+impl LaunchPlan for KmeansPlan {
+    fn next(&mut self, gpu: &mut Gpu) -> Result<PlanStep, SimError> {
+        if self.bufs.is_none() {
+            self.kernel = Some(crate::lower_for(&self.w.kernel(), gpu)?);
+            let pts = gpu.alloc_words(self.w.n * FEATURES);
+            let cent = gpu.alloc_words(self.w.k * FEATURES);
+            let memb = gpu.alloc_words(self.w.n);
+            gpu.write_floats(pts, &self.w.points);
+            self.bufs = Some((pts, cent, memb));
+            self.centroids = self.w.initial_centroids();
+            self.membership = vec![0u32; self.w.n as usize];
+            if self.w.iters == 0 {
+                return Ok(PlanStep::Done(self.membership.clone()));
+            }
+            return Ok(self.launch_round(gpu));
+        }
+        // A round's launch just completed: read the assignments and update
+        // the centroids on the host.
+        let (_, _, memb) = self.bufs.expect("initialised");
+        self.membership = gpu.read_words(memb, self.w.n);
+        self.centroids = self.w.update_centroids(&self.membership);
+        self.iter += 1;
+        if self.iter < self.w.iters {
+            Ok(self.launch_round(gpu))
+        } else {
+            Ok(PlanStep::Done(self.membership.clone()))
+        }
+    }
+
+    fn clone_plan(&self) -> Box<dyn LaunchPlan> {
+        Box::new(self.clone())
+    }
+}
+
 impl Workload for Kmeans {
     fn name(&self) -> &str {
         "kmeans"
@@ -168,28 +233,15 @@ impl Workload for Kmeans {
         false
     }
 
-    fn run(&self, gpu: &mut Gpu, obs: &mut dyn SimObserver) -> Result<Vec<u32>, SimError> {
-        let kernel = lower(&self.kernel(), gpu.arch().caps())
-            .map_err(|e| SimError::LaunchConfig { reason: e.to_string() })?;
-        let pts = gpu.alloc_words(self.n * FEATURES);
-        let cent = gpu.alloc_words(self.k * FEATURES);
-        let memb = gpu.alloc_words(self.n);
-        gpu.write_floats(pts, &self.points);
-        let mut centroids = self.initial_centroids();
-        let grid = self.n.div_ceil(128);
-        let mut membership = vec![0u32; self.n as usize];
-        for _ in 0..self.iters {
-            gpu.write_floats(cent, &centroids);
-            gpu.launch_observed(
-                &kernel,
-                LaunchConfig::linear(grid, 128),
-                &[pts.addr(), cent.addr(), memb.addr(), self.n, self.k],
-                &mut &mut *obs,
-            )?;
-            membership = gpu.read_words(memb, self.n);
-            centroids = self.update_centroids(&membership);
-        }
-        Ok(membership)
+    fn plan(&self) -> Box<dyn LaunchPlan> {
+        Box::new(KmeansPlan {
+            w: self.clone(),
+            kernel: None,
+            bufs: None,
+            centroids: Vec::new(),
+            membership: Vec::new(),
+            iter: 0,
+        })
     }
 
     fn reference(&self) -> Vec<u32> {

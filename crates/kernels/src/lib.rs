@@ -62,7 +62,18 @@ pub use scan::Scan;
 pub use transpose::Transpose;
 pub use vectoradd::VectorAdd;
 
-use simt_sim::{Gpu, SimError, SimObserver};
+use simt_sim::{Gpu, LaunchPlan, Session, SimError, SimObserver};
+
+/// Lowers a kernel for the device's capabilities, mapping ISA errors to a
+/// launch-configuration failure.
+pub(crate) fn lower_for(
+    kernel: &simt_isa::Kernel,
+    gpu: &Gpu,
+) -> Result<simt_isa::LoweredKernel, SimError> {
+    simt_isa::lower(kernel, gpu.arch().caps()).map_err(|e| SimError::LaunchConfig {
+        reason: e.to_string(),
+    })
+}
 
 /// A benchmark that can run on any modelled GPU and knows its own golden
 /// output.
@@ -70,6 +81,11 @@ use simt_sim::{Gpu, SimError, SimObserver};
 /// Implementations are deterministic: the same seed produces the same
 /// inputs, the same launch schedule and — on a fault-free device — an
 /// output bit-identical to [`Workload::reference`].
+///
+/// Execution is described by [`Workload::plan`] — an explicit, resumable
+/// schedule of kernel launches and host steps — which a
+/// [`simt_sim::Session`] drives cycle-by-cycle. [`Workload::run`] is a
+/// convenience wrapper that drives a fresh session to completion.
 pub trait Workload: Send + Sync {
     /// Benchmark name as used in the paper's figures (e.g. `matrixMul`).
     fn name(&self) -> &str;
@@ -77,14 +93,25 @@ pub trait Workload: Send + Sync {
     /// Whether the kernels use local/shared memory (Fig. 2 membership).
     fn uses_local_memory(&self) -> bool;
 
+    /// The workload's deterministic launch plan: the full schedule of
+    /// kernel launches and host-side steps, resumable and cloneable so a
+    /// [`simt_sim::Session`] can checkpoint and replay it mid-flight.
+    fn plan(&self) -> Box<dyn LaunchPlan>;
+
     /// Executes the full workload (all launches plus any host phases) on
     /// `gpu`, returning the concatenated output words.
+    ///
+    /// This is a thin shim over [`Workload::plan`]: it drives a
+    /// [`simt_sim::Session`] to completion and produces identical outputs
+    /// and cycle counts to stepping the plan by hand.
     ///
     /// # Errors
     ///
     /// Propagates launch failures, including [`simt_sim::Due`]s raised
     /// under fault injection.
-    fn run(&self, gpu: &mut Gpu, obs: &mut dyn SimObserver) -> Result<Vec<u32>, SimError>;
+    fn run(&self, gpu: &mut Gpu, mut obs: &mut dyn SimObserver) -> Result<Vec<u32>, SimError> {
+        Session::new(gpu, self.plan()).run_to_completion(&mut obs)
+    }
 
     /// The host-computed golden output (bit-exact against a fault-free
     /// [`Workload::run`]).
@@ -193,7 +220,13 @@ mod tests {
 
     #[test]
     fn lookup_is_case_insensitive() {
-        assert_eq!(workload_by_name("MATRIXMUL", 1).unwrap().name(), "matrixMul");
-        assert_eq!(workload_by_name("dwthaar1d", 1).unwrap().name(), "dwtHaar1D");
+        assert_eq!(
+            workload_by_name("MATRIXMUL", 1).unwrap().name(),
+            "matrixMul"
+        );
+        assert_eq!(
+            workload_by_name("dwthaar1d", 1).unwrap().name(),
+            "dwtHaar1D"
+        );
     }
 }

@@ -3,8 +3,8 @@
 
 use crate::common::{f32_words, uniform_f32};
 use crate::Workload;
-use simt_isa::{lower, CmpOp, Kernel, KernelBuilder, MemSpace, Special};
-use simt_sim::{Dim, Gpu, LaunchConfig, SimError, SimObserver};
+use simt_isa::{CmpOp, Kernel, KernelBuilder, MemSpace, Special};
+use simt_sim::{Buffer, Dim, Gpu, LaunchConfig, LaunchPlan, PlanStep, SimError};
 
 const TILE: u32 = 16;
 
@@ -35,7 +35,10 @@ impl MatrixMul {
     ///
     /// Panics if `n` is not a multiple of the 16-element tile.
     pub fn new(n: u32, seed: u64) -> Self {
-        assert!(n.is_multiple_of(TILE) && n > 0, "n must be a positive multiple of {TILE}");
+        assert!(
+            n.is_multiple_of(TILE) && n > 0,
+            "n must be a positive multiple of {TILE}"
+        );
         MatrixMul {
             n,
             a: uniform_f32((n * n) as usize, seed ^ 0x3a7a),
@@ -104,7 +107,12 @@ impl MatrixMul {
             let t1 = kb.vreg();
             for k in 0..TILE {
                 kb.ld_off(MemSpace::Shared, t0, as_base, (as_off + k * 4) as i32);
-                kb.ld_off(MemSpace::Shared, t1, bs_base, (bs_off + k * TILE * 4) as i32);
+                kb.ld_off(
+                    MemSpace::Shared,
+                    t1,
+                    bs_base,
+                    (bs_off + k * TILE * 4) as i32,
+                );
                 kb.ffma(acc, t0, t1, acc);
             }
             kb.bar();
@@ -120,6 +128,45 @@ impl MatrixMul {
     }
 }
 
+/// Launch plan: upload `A`/`B`, one tiled launch, read back `C`.
+#[derive(Clone)]
+struct MatrixMulPlan {
+    w: MatrixMul,
+    stage: u32,
+    out: Option<Buffer>,
+}
+
+impl LaunchPlan for MatrixMulPlan {
+    fn next(&mut self, gpu: &mut Gpu) -> Result<PlanStep, SimError> {
+        self.stage += 1;
+        let words = self.w.n * self.w.n;
+        match self.stage {
+            1 => {
+                let kernel = crate::lower_for(&self.w.kernel(), gpu)?;
+                let a = gpu.alloc_words(words);
+                let b = gpu.alloc_words(words);
+                let c = gpu.alloc_words(words);
+                gpu.write_floats(a, &self.w.a);
+                gpu.write_floats(b, &self.w.b);
+                self.out = Some(c);
+                let blocks = self.w.n / TILE;
+                Ok(PlanStep::Launch {
+                    kernel,
+                    cfg: LaunchConfig::new(Dim::new(blocks, blocks), Dim::new(TILE, TILE)),
+                    params: vec![a.addr(), b.addr(), c.addr(), self.w.n],
+                })
+            }
+            _ => Ok(PlanStep::Done(
+                gpu.read_words(self.out.expect("launched"), words),
+            )),
+        }
+    }
+
+    fn clone_plan(&self) -> Box<dyn LaunchPlan> {
+        Box::new(self.clone())
+    }
+}
+
 impl Workload for MatrixMul {
     fn name(&self) -> &str {
         "matrixMul"
@@ -129,23 +176,12 @@ impl Workload for MatrixMul {
         true
     }
 
-    fn run(&self, gpu: &mut Gpu, obs: &mut dyn SimObserver) -> Result<Vec<u32>, SimError> {
-        let kernel = lower(&self.kernel(), gpu.arch().caps())
-            .map_err(|e| SimError::LaunchConfig { reason: e.to_string() })?;
-        let words = self.n * self.n;
-        let a = gpu.alloc_words(words);
-        let b = gpu.alloc_words(words);
-        let c = gpu.alloc_words(words);
-        gpu.write_floats(a, &self.a);
-        gpu.write_floats(b, &self.b);
-        let blocks = self.n / TILE;
-        gpu.launch_observed(
-            &kernel,
-            LaunchConfig::new(Dim::new(blocks, blocks), Dim::new(TILE, TILE)),
-            &[a.addr(), b.addr(), c.addr(), self.n],
-            &mut &mut *obs,
-        )?;
-        Ok(gpu.read_words(c, words))
+    fn plan(&self) -> Box<dyn LaunchPlan> {
+        Box::new(MatrixMulPlan {
+            w: self.clone(),
+            stage: 0,
+            out: None,
+        })
     }
 
     fn reference(&self) -> Vec<u32> {
@@ -201,8 +237,11 @@ mod tests {
     fn scalar_loop_counter_stays_scalar_on_si() {
         // On Southern Islands the tile counter lowers to the scalar file.
         let w = MatrixMul::new(16, 2);
-        let k = lower(&w.kernel(), hd_radeon_7970().caps()).unwrap();
-        assert!(k.sregs_per_warp() >= 3, "ntiles, m, m16 in scalar registers");
+        let k = simt_isa::lower(&w.kernel(), hd_radeon_7970().caps()).unwrap();
+        assert!(
+            k.sregs_per_warp() >= 3,
+            "ntiles, m, m16 in scalar registers"
+        );
     }
 
     #[test]

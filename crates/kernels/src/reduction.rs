@@ -3,8 +3,8 @@
 
 use crate::common::{f32_words, uniform_f32};
 use crate::Workload;
-use simt_isa::{lower, CmpOp, Kernel, KernelBuilder, MemSpace, Special};
-use simt_sim::{Gpu, LaunchConfig, SimError, SimObserver};
+use simt_isa::{CmpOp, Kernel, KernelBuilder, MemSpace, Special};
+use simt_sim::{Buffer, Gpu, LaunchConfig, LaunchPlan, PlanStep, SimError};
 
 /// Sums `n` floats with the classic shared-memory tree: each block reduces
 /// `block` elements, a second launch reduces the per-block partials.
@@ -32,9 +32,19 @@ impl Reduction {
     /// and the block count a power of two (second-level tree requirement).
     pub fn new(n: u32, block: u32, seed: u64) -> Self {
         assert!(block.is_power_of_two(), "block must be a power of two");
-        assert!(n.is_multiple_of(block) && n > 0, "n must be a positive multiple of block");
-        assert!((n / block).is_power_of_two(), "block count must be a power of two");
-        Reduction { n, block, input: uniform_f32(n as usize, seed ^ 0x5ed) }
+        assert!(
+            n.is_multiple_of(block) && n > 0,
+            "n must be a positive multiple of block"
+        );
+        assert!(
+            (n / block).is_power_of_two(),
+            "block count must be a power of two"
+        );
+        Reduction {
+            n,
+            block,
+            input: uniform_f32(n as usize, seed ^ 0x5ed),
+        }
     }
 
     /// Default size used by the figure harness (16384 elements, block 256).
@@ -116,6 +126,57 @@ impl Reduction {
     }
 }
 
+/// Launch plan: first-level block reduction, second-level reduction of the
+/// partials (same kernel), read the scalar result.
+#[derive(Clone)]
+struct ReductionPlan {
+    w: Reduction,
+    stage: u32,
+    kernel: Option<simt_isa::LoweredKernel>,
+    partial: Option<Buffer>,
+    out: Option<Buffer>,
+}
+
+impl LaunchPlan for ReductionPlan {
+    fn next(&mut self, gpu: &mut Gpu) -> Result<PlanStep, SimError> {
+        self.stage += 1;
+        let blocks = self.w.n / self.w.block;
+        match self.stage {
+            1 => {
+                let kernel = crate::lower_for(&self.w.kernel(), gpu)?;
+                let bin = gpu.alloc_words(self.w.n);
+                let partial = gpu.alloc_words(blocks);
+                let out = gpu.alloc_words(1);
+                gpu.write_floats(bin, &self.w.input);
+                self.partial = Some(partial);
+                self.out = Some(out);
+                self.kernel = Some(kernel.clone());
+                Ok(PlanStep::Launch {
+                    kernel,
+                    cfg: LaunchConfig::linear(blocks, self.w.block),
+                    params: vec![bin.addr(), partial.addr(), self.w.n],
+                })
+            }
+            2 => Ok(PlanStep::Launch {
+                kernel: self.kernel.clone().expect("lowered in stage 1"),
+                cfg: LaunchConfig::linear(1, blocks),
+                params: vec![
+                    self.partial.expect("allocated").addr(),
+                    self.out.expect("allocated").addr(),
+                    blocks,
+                ],
+            }),
+            _ => Ok(PlanStep::Done(
+                gpu.read_words(self.out.expect("allocated"), 1),
+            )),
+        }
+    }
+
+    fn clone_plan(&self) -> Box<dyn LaunchPlan> {
+        Box::new(self.clone())
+    }
+}
+
 impl Workload for Reduction {
     fn name(&self) -> &str {
         "reduction"
@@ -125,27 +186,14 @@ impl Workload for Reduction {
         true
     }
 
-    fn run(&self, gpu: &mut Gpu, obs: &mut dyn SimObserver) -> Result<Vec<u32>, SimError> {
-        let kernel = lower(&self.kernel(), gpu.arch().caps())
-            .map_err(|e| SimError::LaunchConfig { reason: e.to_string() })?;
-        let blocks = self.n / self.block;
-        let bin = gpu.alloc_words(self.n);
-        let partial = gpu.alloc_words(blocks);
-        let out = gpu.alloc_words(1);
-        gpu.write_floats(bin, &self.input);
-        gpu.launch_observed(
-            &kernel,
-            LaunchConfig::linear(blocks, self.block),
-            &[bin.addr(), partial.addr(), self.n],
-            &mut &mut *obs,
-        )?;
-        gpu.launch_observed(
-            &kernel,
-            LaunchConfig::linear(1, blocks),
-            &[partial.addr(), out.addr(), blocks],
-            &mut &mut *obs,
-        )?;
-        Ok(gpu.read_words(out, 1))
+    fn plan(&self) -> Box<dyn LaunchPlan> {
+        Box::new(ReductionPlan {
+            w: self.clone(),
+            stage: 0,
+            kernel: None,
+            partial: None,
+            out: None,
+        })
     }
 
     fn reference(&self) -> Vec<u32> {

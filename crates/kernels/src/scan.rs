@@ -3,8 +3,8 @@
 
 use crate::common::{f32_words, uniform_f32};
 use crate::Workload;
-use simt_isa::{lower, CmpOp, Kernel, KernelBuilder, MemSpace, Special};
-use simt_sim::{Gpu, LaunchConfig, SimError, SimObserver};
+use simt_isa::{CmpOp, Kernel, KernelBuilder, MemSpace, Special};
+use simt_sim::{Buffer, Gpu, LaunchConfig, LaunchPlan, PlanStep, SimError};
 
 /// Inclusive prefix sum of `n` floats in three launches: per-block
 /// Hillis–Steele scan (collecting block sums), a scan of the block sums,
@@ -33,9 +33,19 @@ impl Scan {
     /// is a multiple of `block`.
     pub fn new(n: u32, block: u32, seed: u64) -> Self {
         assert!(block.is_power_of_two(), "block must be a power of two");
-        assert!(n.is_multiple_of(block) && n > 0, "n must be a positive multiple of block");
-        assert!((n / block).is_power_of_two(), "block count must be a power of two");
-        Scan { n, block, input: uniform_f32(n as usize, seed ^ 0x5ca) }
+        assert!(
+            n.is_multiple_of(block) && n > 0,
+            "n must be a positive multiple of block"
+        );
+        assert!(
+            (n / block).is_power_of_two(),
+            "block count must be a power of two"
+        );
+        Scan {
+            n,
+            block,
+            input: uniform_f32(n as usize, seed ^ 0x5ca),
+        }
     }
 
     /// Default size used by the figure harness (4096 elements, block 256).
@@ -147,6 +157,64 @@ impl Scan {
     }
 }
 
+/// Launch plan: per-block scan, block-sums scan, uniform fix-up, readback.
+#[derive(Clone)]
+struct ScanPlan {
+    w: Scan,
+    stage: u32,
+    scan_k: Option<simt_isa::LoweredKernel>,
+    bufs: Option<(Buffer, Buffer, Buffer, Buffer, Buffer)>,
+}
+
+impl LaunchPlan for ScanPlan {
+    fn next(&mut self, gpu: &mut Gpu) -> Result<PlanStep, SimError> {
+        self.stage += 1;
+        let blocks = self.w.n / self.w.block;
+        match self.stage {
+            1 => {
+                let scan_k = crate::lower_for(&self.w.scan_kernel(), gpu)?;
+                let bin = gpu.alloc_words(self.w.n);
+                let bout = gpu.alloc_words(self.w.n);
+                let sums = gpu.alloc_words(blocks);
+                let ssums = gpu.alloc_words(blocks);
+                let scratch = gpu.alloc_words(1);
+                gpu.write_floats(bin, &self.w.input);
+                self.bufs = Some((bin, bout, sums, ssums, scratch));
+                self.scan_k = Some(scan_k.clone());
+                Ok(PlanStep::Launch {
+                    kernel: scan_k,
+                    cfg: LaunchConfig::linear(blocks, self.w.block),
+                    params: vec![bin.addr(), bout.addr(), sums.addr()],
+                })
+            }
+            2 => {
+                let (_, _, sums, ssums, scratch) = self.bufs.expect("allocated");
+                Ok(PlanStep::Launch {
+                    kernel: self.scan_k.clone().expect("lowered in stage 1"),
+                    cfg: LaunchConfig::linear(1, blocks),
+                    params: vec![sums.addr(), ssums.addr(), scratch.addr()],
+                })
+            }
+            3 => {
+                let (_, bout, _, ssums, _) = self.bufs.expect("allocated");
+                Ok(PlanStep::Launch {
+                    kernel: crate::lower_for(&self.w.fixup_kernel(), gpu)?,
+                    cfg: LaunchConfig::linear(blocks, self.w.block),
+                    params: vec![bout.addr(), ssums.addr()],
+                })
+            }
+            _ => {
+                let (_, bout, _, _, _) = self.bufs.expect("allocated");
+                Ok(PlanStep::Done(gpu.read_words(bout, self.w.n)))
+            }
+        }
+    }
+
+    fn clone_plan(&self) -> Box<dyn LaunchPlan> {
+        Box::new(self.clone())
+    }
+}
+
 impl Workload for Scan {
     fn name(&self) -> &str {
         "scan"
@@ -156,38 +224,13 @@ impl Workload for Scan {
         true
     }
 
-    fn run(&self, gpu: &mut Gpu, obs: &mut dyn SimObserver) -> Result<Vec<u32>, SimError> {
-        let caps = gpu.arch().caps();
-        let scan_k = lower(&self.scan_kernel(), caps)
-            .map_err(|e| SimError::LaunchConfig { reason: e.to_string() })?;
-        let fixup_k = lower(&self.fixup_kernel(), caps)
-            .map_err(|e| SimError::LaunchConfig { reason: e.to_string() })?;
-        let blocks = self.n / self.block;
-        let bin = gpu.alloc_words(self.n);
-        let bout = gpu.alloc_words(self.n);
-        let sums = gpu.alloc_words(blocks);
-        let ssums = gpu.alloc_words(blocks);
-        let scratch = gpu.alloc_words(1);
-        gpu.write_floats(bin, &self.input);
-        gpu.launch_observed(
-            &scan_k,
-            LaunchConfig::linear(blocks, self.block),
-            &[bin.addr(), bout.addr(), sums.addr()],
-            &mut &mut *obs,
-        )?;
-        gpu.launch_observed(
-            &scan_k,
-            LaunchConfig::linear(1, blocks),
-            &[sums.addr(), ssums.addr(), scratch.addr()],
-            &mut &mut *obs,
-        )?;
-        gpu.launch_observed(
-            &fixup_k,
-            LaunchConfig::linear(blocks, self.block),
-            &[bout.addr(), ssums.addr()],
-            &mut &mut *obs,
-        )?;
-        Ok(gpu.read_words(bout, self.n))
+    fn plan(&self) -> Box<dyn LaunchPlan> {
+        Box::new(ScanPlan {
+            w: self.clone(),
+            stage: 0,
+            scan_k: None,
+            bufs: None,
+        })
     }
 
     fn reference(&self) -> Vec<u32> {

@@ -3,8 +3,8 @@
 
 use crate::common::{f32_words, uniform_f32};
 use crate::Workload;
-use simt_isa::{lower, Kernel, KernelBuilder, MemSpace, Special};
-use simt_sim::{Dim, Gpu, LaunchConfig, SimError, SimObserver};
+use simt_isa::{Kernel, KernelBuilder, MemSpace, Special};
+use simt_sim::{Buffer, Dim, Gpu, LaunchConfig, LaunchPlan, PlanStep, SimError};
 
 const TILE: u32 = 16;
 /// Tile rows are padded by one word to spread accesses across LDS banks.
@@ -36,8 +36,14 @@ impl Transpose {
     ///
     /// Panics if `n` is not a multiple of the 16-element tile.
     pub fn new(n: u32, seed: u64) -> Self {
-        assert!(n.is_multiple_of(TILE) && n > 0, "n must be a positive multiple of {TILE}");
-        Transpose { n, input: uniform_f32((n * n) as usize, seed ^ 0x7a05) }
+        assert!(
+            n.is_multiple_of(TILE) && n > 0,
+            "n must be a positive multiple of {TILE}"
+        );
+        Transpose {
+            n,
+            input: uniform_f32((n * n) as usize, seed ^ 0x7a05),
+        }
     }
 
     /// Default size used by the figure harness (128 × 128).
@@ -86,6 +92,43 @@ impl Transpose {
     }
 }
 
+/// Launch plan: upload the matrix, one tiled launch, read the transpose.
+#[derive(Clone)]
+struct TransposePlan {
+    w: Transpose,
+    stage: u32,
+    out: Option<Buffer>,
+}
+
+impl LaunchPlan for TransposePlan {
+    fn next(&mut self, gpu: &mut Gpu) -> Result<PlanStep, SimError> {
+        self.stage += 1;
+        let words = self.w.n * self.w.n;
+        match self.stage {
+            1 => {
+                let kernel = crate::lower_for(&self.w.kernel(), gpu)?;
+                let bin = gpu.alloc_words(words);
+                let bout = gpu.alloc_words(words);
+                gpu.write_floats(bin, &self.w.input);
+                self.out = Some(bout);
+                let blocks = self.w.n / TILE;
+                Ok(PlanStep::Launch {
+                    kernel,
+                    cfg: LaunchConfig::new(Dim::new(blocks, blocks), Dim::new(TILE, TILE)),
+                    params: vec![bin.addr(), bout.addr(), self.w.n],
+                })
+            }
+            _ => Ok(PlanStep::Done(
+                gpu.read_words(self.out.expect("launched"), words),
+            )),
+        }
+    }
+
+    fn clone_plan(&self) -> Box<dyn LaunchPlan> {
+        Box::new(self.clone())
+    }
+}
+
 impl Workload for Transpose {
     fn name(&self) -> &str {
         "transpose"
@@ -95,21 +138,12 @@ impl Workload for Transpose {
         true
     }
 
-    fn run(&self, gpu: &mut Gpu, obs: &mut dyn SimObserver) -> Result<Vec<u32>, SimError> {
-        let kernel = lower(&self.kernel(), gpu.arch().caps())
-            .map_err(|e| SimError::LaunchConfig { reason: e.to_string() })?;
-        let words = self.n * self.n;
-        let bin = gpu.alloc_words(words);
-        let bout = gpu.alloc_words(words);
-        gpu.write_floats(bin, &self.input);
-        let blocks = self.n / TILE;
-        gpu.launch_observed(
-            &kernel,
-            LaunchConfig::new(Dim::new(blocks, blocks), Dim::new(TILE, TILE)),
-            &[bin.addr(), bout.addr(), self.n],
-            &mut &mut *obs,
-        )?;
-        Ok(gpu.read_words(bout, words))
+    fn plan(&self) -> Box<dyn LaunchPlan> {
+        Box::new(TransposePlan {
+            w: self.clone(),
+            stage: 0,
+            out: None,
+        })
     }
 
     fn reference(&self) -> Vec<u32> {

@@ -2,8 +2,8 @@
 
 use crate::common::{f32_words, uniform_f32};
 use crate::Workload;
-use simt_isa::{lower, Kernel, KernelBuilder, MemSpace};
-use simt_sim::{Gpu, LaunchConfig, SimError, SimObserver};
+use simt_isa::{Kernel, KernelBuilder, MemSpace};
+use simt_sim::{Buffer, Gpu, LaunchConfig, LaunchPlan, PlanStep, SimError};
 
 /// `c[i] = a[i] + b[i]` over `n` floats, one thread per element.
 ///
@@ -79,6 +79,44 @@ impl VectorAdd {
     }
 }
 
+/// Launch plan: upload `a`/`b`, one kernel launch, read back `c`.
+#[derive(Clone)]
+struct VectorAddPlan {
+    w: VectorAdd,
+    stage: u32,
+    out: Option<Buffer>,
+}
+
+impl LaunchPlan for VectorAddPlan {
+    fn next(&mut self, gpu: &mut Gpu) -> Result<PlanStep, SimError> {
+        self.stage += 1;
+        match self.stage {
+            1 => {
+                let kernel = crate::lower_for(&self.w.kernel(), gpu)?;
+                let a = gpu.alloc_words(self.w.n);
+                let b = gpu.alloc_words(self.w.n);
+                let c = gpu.alloc_words(self.w.n);
+                gpu.write_floats(a, &self.w.a);
+                gpu.write_floats(b, &self.w.b);
+                self.out = Some(c);
+                let grid = self.w.n.div_ceil(self.w.block);
+                Ok(PlanStep::Launch {
+                    kernel,
+                    cfg: LaunchConfig::linear(grid, self.w.block),
+                    params: vec![a.addr(), b.addr(), c.addr(), self.w.n],
+                })
+            }
+            _ => Ok(PlanStep::Done(
+                gpu.read_words(self.out.expect("launched"), self.w.n),
+            )),
+        }
+    }
+
+    fn clone_plan(&self) -> Box<dyn LaunchPlan> {
+        Box::new(self.clone())
+    }
+}
+
 impl Workload for VectorAdd {
     fn name(&self) -> &str {
         "vectoradd"
@@ -88,22 +126,12 @@ impl Workload for VectorAdd {
         false
     }
 
-    fn run(&self, gpu: &mut Gpu, obs: &mut dyn SimObserver) -> Result<Vec<u32>, SimError> {
-        let kernel = lower(&self.kernel(), gpu.arch().caps())
-            .map_err(|e| SimError::LaunchConfig { reason: e.to_string() })?;
-        let a = gpu.alloc_words(self.n);
-        let b = gpu.alloc_words(self.n);
-        let c = gpu.alloc_words(self.n);
-        gpu.write_floats(a, &self.a);
-        gpu.write_floats(b, &self.b);
-        let grid = self.n.div_ceil(self.block);
-        gpu.launch_observed(
-            &kernel,
-            LaunchConfig::linear(grid, self.block),
-            &[a.addr(), b.addr(), c.addr(), self.n],
-            &mut &mut *obs,
-        )?;
-        Ok(gpu.read_words(c, self.n))
+    fn plan(&self) -> Box<dyn LaunchPlan> {
+        Box::new(VectorAddPlan {
+            w: self.clone(),
+            stage: 0,
+            out: None,
+        })
     }
 
     fn reference(&self) -> Vec<u32> {
@@ -145,6 +173,10 @@ mod tests {
         let o1 = w.run(&mut g1, &mut NoopObserver).unwrap();
         let o2 = w.run(&mut g2, &mut NoopObserver).unwrap();
         assert_eq!(o1, o2);
-        assert_eq!(g1.app_cycle(), g2.app_cycle(), "timing is deterministic too");
+        assert_eq!(
+            g1.app_cycle(),
+            g2.app_cycle(),
+            "timing is deterministic too"
+        );
     }
 }

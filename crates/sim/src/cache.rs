@@ -146,7 +146,11 @@ mod tests {
 
     fn tiny() -> Cache {
         // 2 sets, 2 ways, 64-byte lines.
-        Cache::new(CacheGeom { bytes: 256, line_bytes: 64, assoc: 2 })
+        Cache::new(CacheGeom {
+            bytes: 256,
+            line_bytes: 64,
+            assoc: 2,
+        })
     }
 
     #[test]
@@ -201,6 +205,10 @@ mod tests {
     #[test]
     #[should_panic(expected = "power of two")]
     fn rejects_bad_line_size() {
-        let _ = Cache::new(CacheGeom { bytes: 256, line_bytes: 48, assoc: 2 });
+        let _ = Cache::new(CacheGeom {
+            bytes: 256,
+            line_bytes: 48,
+            assoc: 2,
+        });
     }
 }

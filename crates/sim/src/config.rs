@@ -198,8 +198,16 @@ impl ArchConfig {
             },
             lds_banks: 8,
             lds_bank_penalty: 1,
-            l1: Some(CacheGeom { bytes: 1024, line_bytes: 64, assoc: 2 }),
-            l2: Some(CacheGeom { bytes: 8 * 1024, line_bytes: 64, assoc: 4 }),
+            l1: Some(CacheGeom {
+                bytes: 1024,
+                line_bytes: 64,
+                assoc: 2,
+            }),
+            l2: Some(CacheGeom {
+                bytes: 8 * 1024,
+                line_bytes: 64,
+                assoc: 4,
+            }),
             coalesce_bytes: 64,
             raw_fit_per_mbit: 1000.0,
             watchdog_factor: 20,

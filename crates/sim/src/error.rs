@@ -148,7 +148,9 @@ mod tests {
         let e: SimError = Due::BarrierDivergence { sm: 1, cycle: 9 }.into();
         assert!(e.to_string().contains("divergent barrier"));
         assert!(e.source().is_some());
-        let c = SimError::LaunchConfig { reason: "too many warps".into() };
+        let c = SimError::LaunchConfig {
+            reason: "too many warps".into(),
+        };
         assert!(c.to_string().contains("too many warps"));
         assert!(c.source().is_none());
         assert!(c.as_due().is_none());

@@ -99,6 +99,9 @@ mod tests {
     #[test]
     fn structure_names() {
         assert_eq!(Structure::VectorRegisterFile.to_string(), "register file");
-        assert_eq!(Structure::ScalarRegisterFile.to_string(), "scalar register file");
+        assert_eq!(
+            Structure::ScalarRegisterFile.to_string(),
+            "scalar register file"
+        );
     }
 }

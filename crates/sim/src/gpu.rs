@@ -43,9 +43,39 @@ impl Buffer {
     ///
     /// Panics if `i` is out of the buffer.
     pub fn word_addr(&self, i: u32) -> u32 {
-        assert!(i < self.words, "word {i} out of buffer of {} words", self.words);
+        assert!(
+            i < self.words,
+            "word {i} out of buffer of {} words",
+            self.words
+        );
         self.addr + i * 4
     }
+}
+
+/// State of a launch that has begun but not yet completed.
+///
+/// Kept on the [`Gpu`] itself so that cloning the device mid-kernel (the
+/// session snapshot path) captures everything needed to resume the launch
+/// loop cycle-exactly.
+#[derive(Debug, Clone)]
+struct InFlight {
+    kernel: LoweredKernel,
+    cfg: LaunchConfig,
+    params: Vec<u32>,
+    next_block: u32,
+    total_blocks: u32,
+    start_cycle: u64,
+    stats0: (u64, u64, u64, u64),
+    mem_trans0: u64,
+}
+
+/// Per-cycle progress of an in-flight launch (see [`Gpu::tick`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LaunchProgress {
+    /// The launch consumed one cycle and is still executing.
+    Running,
+    /// The launch completed this call; its statistics are final.
+    Finished(LaunchStats),
 }
 
 /// A simulated GPU device.
@@ -67,12 +97,19 @@ pub struct Gpu {
     armed_faults: Vec<FaultSite>,
     watchdog_limit: Option<u64>,
     launches: u32,
+    in_flight: Option<InFlight>,
 }
 
 impl Gpu {
     /// Creates an idle device.
     pub fn new(arch: ArchConfig) -> Self {
-        let mem_sys = MemorySystem::new(arch.num_sms, arch.l1, arch.l2, arch.lat, arch.coalesce_bytes);
+        let mem_sys = MemorySystem::new(
+            arch.num_sms,
+            arch.l1,
+            arch.l2,
+            arch.lat,
+            arch.coalesce_bytes,
+        );
         let sms = (0..arch.num_sms).map(|i| Sm::new(i, &arch)).collect();
         Gpu {
             arch,
@@ -83,6 +120,7 @@ impl Gpu {
             armed_faults: Vec::new(),
             watchdog_limit: None,
             launches: 0,
+            in_flight: None,
         }
     }
 
@@ -140,7 +178,10 @@ impl Gpu {
 
     /// Allocates `n` words of device memory.
     pub fn alloc_words(&mut self, n: u32) -> Buffer {
-        Buffer { addr: self.mem.alloc_words(n), words: n }
+        Buffer {
+            addr: self.mem.alloc_words(n),
+            words: n,
+        }
     }
 
     /// Copies words to the device.
@@ -185,7 +226,10 @@ impl Gpu {
 
     /// Reads `n` `f32` values back from the device.
     pub fn read_floats(&self, buf: Buffer, n: u32) -> Vec<f32> {
-        self.read_words(buf, n).into_iter().map(f32::from_bits).collect()
+        self.read_words(buf, n)
+            .into_iter()
+            .map(f32::from_bits)
+            .collect()
     }
 
     // ---- reliability API ----
@@ -248,6 +292,10 @@ impl Gpu {
 
     /// Launches a kernel, streaming events into `obs`.
     ///
+    /// Equivalent to [`Gpu::begin_launch`] followed by [`Gpu::tick`] until
+    /// completion; cycle counts and observer event streams are identical
+    /// between the two drive styles.
+    ///
     /// # Errors
     ///
     /// Same as [`Gpu::launch`].
@@ -258,6 +306,31 @@ impl Gpu {
         params: &[u32],
         obs: &mut O,
     ) -> Result<LaunchStats, SimError> {
+        self.begin_launch(kernel, cfg, params, obs)?;
+        loop {
+            if let LaunchProgress::Finished(stats) = self.tick(obs)? {
+                return Ok(stats);
+            }
+        }
+    }
+
+    /// Starts a launch without running any cycles: validates the
+    /// configuration, resets per-launch storage, dispatches the first wave
+    /// of blocks and records the in-flight state on the device so
+    /// [`Gpu::tick`] (and device clones) can carry it forward.
+    ///
+    /// # Errors
+    ///
+    /// [`SimError::LaunchConfig`] when the block does not fit the device;
+    /// never a [`Due`] (execution has not started yet).
+    pub fn begin_launch<O: SimObserver>(
+        &mut self,
+        kernel: &LoweredKernel,
+        cfg: LaunchConfig,
+        params: &[u32],
+        obs: &mut O,
+    ) -> Result<(), SimError> {
+        assert!(self.in_flight.is_none(), "launch already in flight");
         self.validate_launch(kernel, cfg, params)?;
         let start_cycle = self.app_cycle;
         obs.on_launch_begin(kernel.name(), start_cycle);
@@ -273,74 +346,112 @@ impl Gpu {
         let mut next_block = 0u32;
         self.fill_sms(kernel, cfg, params, &mut next_block, total_blocks, obs);
 
-        let stats0: (u64, u64, u64, u64) = self.counters();
-        let mem_trans0 = self.mem_sys.transactions;
-
-        let result = loop {
-            if self.sms.iter().all(|sm| !sm.busy()) && next_block >= total_blocks {
-                break Ok(());
-            }
-            if let Some(limit) = self.watchdog_limit {
-                if self.app_cycle >= limit {
-                    break Err(Due::WatchdogTimeout { limit });
-                }
-            }
-            if !self.armed_faults.is_empty() {
-                let due_now: Vec<FaultSite> = self
-                    .armed_faults
-                    .iter()
-                    .copied()
-                    .filter(|s| s.cycle == self.app_cycle)
-                    .collect();
-                if !due_now.is_empty() {
-                    self.armed_faults.retain(|s| s.cycle != self.app_cycle);
-                    for site in due_now {
-                        self.apply_fault(site, obs);
-                    }
-                }
-            }
-            let mut due = None;
-            for i in 0..self.sms.len() {
-                let sm = &mut self.sms[i];
-                if let Err(d) = sm.step(
-                    self.app_cycle,
-                    kernel,
-                    &cfg,
-                    &self.arch,
-                    &mut self.mem,
-                    &mut self.mem_sys,
-                    obs,
-                ) {
-                    due = Some(d);
-                    break;
-                }
-            }
-            if let Some(d) = due {
-                break Err(d);
-            }
-            if self.sms.iter().any(|sm| sm.retired_flag) {
-                for sm in &mut self.sms {
-                    sm.retired_flag = false;
-                }
-                self.fill_sms(kernel, cfg, params, &mut next_block, total_blocks, obs);
-            }
-            self.app_cycle += 1;
-        };
-
-        obs.on_launch_end(self.app_cycle);
-        result.map_err(SimError::Due)?;
-
-        self.launches += 1;
-        let stats1 = self.counters();
-        Ok(LaunchStats {
-            cycles: self.app_cycle - start_cycle,
-            warp_instructions: stats1.0 - stats0.0,
-            scalar_instructions: stats1.1 - stats0.1,
-            thread_instructions: stats1.2 - stats0.2,
-            mem_transactions: self.mem_sys.transactions - mem_trans0,
-            blocks: (stats1.3 - stats0.3) as u32,
+        self.in_flight = Some(InFlight {
+            kernel: kernel.clone(),
+            cfg,
+            params: params.to_vec(),
+            next_block,
+            total_blocks,
             start_cycle,
-        })
+            stats0: self.counters(),
+            mem_trans0: self.mem_sys.transactions,
+        });
+        Ok(())
+    }
+
+    /// Whether a launch begun with [`Gpu::begin_launch`] is still running.
+    pub fn launch_in_flight(&self) -> bool {
+        self.in_flight.is_some()
+    }
+
+    /// Advances the in-flight launch by exactly one application cycle
+    /// (completion check, watchdog, fault application, SM stepping, block
+    /// refill — in the same order as the monolithic launch loop).
+    ///
+    /// # Errors
+    ///
+    /// [`SimError::Due`] ends the launch exactly as [`Gpu::launch`] would;
+    /// the in-flight state is cleared either way.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no launch is in flight.
+    pub fn tick<O: SimObserver>(&mut self, obs: &mut O) -> Result<LaunchProgress, SimError> {
+        let mut fl = self.in_flight.take().expect("no launch in flight");
+
+        if self.sms.iter().all(|sm| !sm.busy()) && fl.next_block >= fl.total_blocks {
+            obs.on_launch_end(self.app_cycle);
+            self.launches += 1;
+            let stats1 = self.counters();
+            return Ok(LaunchProgress::Finished(LaunchStats {
+                cycles: self.app_cycle - fl.start_cycle,
+                warp_instructions: stats1.0 - fl.stats0.0,
+                scalar_instructions: stats1.1 - fl.stats0.1,
+                thread_instructions: stats1.2 - fl.stats0.2,
+                mem_transactions: self.mem_sys.transactions - fl.mem_trans0,
+                blocks: (stats1.3 - fl.stats0.3) as u32,
+                start_cycle: fl.start_cycle,
+            }));
+        }
+        if let Some(limit) = self.watchdog_limit {
+            if self.app_cycle >= limit {
+                obs.on_launch_end(self.app_cycle);
+                return Err(SimError::Due(Due::WatchdogTimeout { limit }));
+            }
+        }
+        if !self.armed_faults.is_empty() {
+            let due_now: Vec<FaultSite> = self
+                .armed_faults
+                .iter()
+                .copied()
+                .filter(|s| s.cycle == self.app_cycle)
+                .collect();
+            if !due_now.is_empty() {
+                self.armed_faults.retain(|s| s.cycle != self.app_cycle);
+                for site in due_now {
+                    self.apply_fault(site, obs);
+                }
+            }
+        }
+        for i in 0..self.sms.len() {
+            let sm = &mut self.sms[i];
+            if let Err(d) = sm.step(
+                self.app_cycle,
+                &fl.kernel,
+                &fl.cfg,
+                &self.arch,
+                &mut self.mem,
+                &mut self.mem_sys,
+                obs,
+            ) {
+                obs.on_launch_end(self.app_cycle);
+                return Err(SimError::Due(d));
+            }
+        }
+        if self.sms.iter().any(|sm| sm.retired_flag) {
+            for sm in &mut self.sms {
+                sm.retired_flag = false;
+            }
+            let (kernel, cfg, params) = (&fl.kernel, fl.cfg, &fl.params);
+            let mut next_block = fl.next_block;
+            self.fill_sms(kernel, cfg, params, &mut next_block, fl.total_blocks, obs);
+            fl.next_block = next_block;
+        }
+        self.app_cycle += 1;
+        self.in_flight = Some(fl);
+        Ok(LaunchProgress::Running)
+    }
+
+    /// Rough size in bytes of the device state a clone captures; used by
+    /// checkpoint memory budgeting.
+    pub fn state_bytes(&self) -> usize {
+        let per_sm = (self.arch.rf_words_per_sm()
+            + self.arch.srf_words_per_sm()
+            + self.arch.lds_words_per_sm()) as usize
+            * 4;
+        let sms = self.sms.len() * (per_sm + 4096);
+        let mem = self.mem.heap_top() as usize;
+        mem + sms + 4096
     }
 
     fn counters(&self) -> (u64, u64, u64, u64) {
@@ -372,7 +483,15 @@ impl Gpu {
                 }
                 let bid = *next_block;
                 let ctaid = (bid % cfg.grid.x, bid / cfg.grid.x);
-                if self.sms[i].try_dispatch(kernel, &cfg, ctaid, params, &self.arch, self.app_cycle, obs) {
+                if self.sms[i].try_dispatch(
+                    kernel,
+                    &cfg,
+                    ctaid,
+                    params,
+                    &self.arch,
+                    self.app_cycle,
+                    obs,
+                ) {
                     *next_block += 1;
                     placed = true;
                 }
@@ -410,7 +529,9 @@ impl Gpu {
             });
         }
         if cfg.grid.count() == 0 || cfg.block.count() == 0 {
-            return Err(SimError::LaunchConfig { reason: "empty grid or block".into() });
+            return Err(SimError::LaunchConfig {
+                reason: "empty grid or block".into(),
+            });
         }
         let warps = cfg.warps_per_block(self.arch.warp_size);
         if warps > self.arch.max_warps_per_sm {
@@ -514,11 +635,18 @@ mod tests {
         let k = iota_kernel(&a);
         let mut gpu = Gpu::new(a);
         let buf = gpu.alloc_words(16);
-        let s1 = gpu.launch(&k, LaunchConfig::linear(2, 8), &[buf.addr()]).unwrap();
-        let s2 = gpu.launch(&k, LaunchConfig::linear(2, 8), &[buf.addr()]).unwrap();
+        let s1 = gpu
+            .launch(&k, LaunchConfig::linear(2, 8), &[buf.addr()])
+            .unwrap();
+        let s2 = gpu
+            .launch(&k, LaunchConfig::linear(2, 8), &[buf.addr()])
+            .unwrap();
         assert_eq!(s2.start_cycle, s1.cycles);
         assert_eq!(gpu.app_cycle(), s1.cycles + s2.cycles);
-        assert_eq!(s1.cycles, s2.cycles, "identical launches take identical time");
+        assert_eq!(
+            s1.cycles, s2.cycles,
+            "identical launches take identical time"
+        );
     }
 
     #[test]
@@ -535,7 +663,11 @@ mod tests {
         let a = arch();
         let mut b = KernelBuilder::new("k", 0);
         b.exit();
-        let k = lower(&b.build().unwrap(), ArchConfig::small_test_gpu_scalar().caps()).unwrap();
+        let k = lower(
+            &b.build().unwrap(),
+            ArchConfig::small_test_gpu_scalar().caps(),
+        )
+        .unwrap();
         let mut gpu = Gpu::new(a);
         assert!(matches!(
             gpu.launch(&k, LaunchConfig::linear(1, 8), &[]),
@@ -566,7 +698,10 @@ mod tests {
         let err = gpu
             .launch(&k, LaunchConfig::linear(64, 8), &[buf.addr()])
             .unwrap_err();
-        assert!(matches!(err, SimError::Due(Due::WatchdogTimeout { limit: 3 })));
+        assert!(matches!(
+            err,
+            SimError::Due(Due::WatchdogTimeout { limit: 3 })
+        ));
     }
 
     #[test]
@@ -592,7 +727,8 @@ mod tests {
         let golden = {
             let mut g = Gpu::new(a);
             let gb = g.alloc_words(16);
-            g.launch(&k, LaunchConfig::linear(2, 8), &[gb.addr()]).unwrap();
+            g.launch(&k, LaunchConfig::linear(2, 8), &[gb.addr()])
+                .unwrap();
             g.read_words(gb, 16)
         };
         gpu.arm_fault(FaultSite {
@@ -602,8 +738,13 @@ mod tests {
             bit: 31,
             cycle: 1,
         });
-        gpu.launch(&k, LaunchConfig::linear(2, 8), &[buf.addr()]).unwrap();
-        assert_eq!(gpu.read_words(buf, 16), golden, "flip in unused word is masked");
+        gpu.launch(&k, LaunchConfig::linear(2, 8), &[buf.addr()])
+            .unwrap();
+        assert_eq!(
+            gpu.read_words(buf, 16),
+            golden,
+            "flip in unused word is masked"
+        );
     }
 
     #[test]

@@ -61,7 +61,10 @@ impl LaunchConfig {
 
     /// A 1-D launch: `blocks` blocks of `threads` threads.
     pub fn linear(blocks: u32, threads: u32) -> Self {
-        LaunchConfig { grid: Dim::linear(blocks), block: Dim::linear(threads) }
+        LaunchConfig {
+            grid: Dim::linear(blocks),
+            block: Dim::linear(threads),
+        }
     }
 
     /// Threads per block.
@@ -131,7 +134,11 @@ mod tests {
 
     #[test]
     fn ipc() {
-        let s = LaunchStats { cycles: 100, warp_instructions: 250, ..Default::default() };
+        let s = LaunchStats {
+            cycles: 100,
+            warp_instructions: 250,
+            ..Default::default()
+        };
         assert!((s.ipc() - 2.5).abs() < 1e-12);
         assert_eq!(LaunchStats::default().ipc(), 0.0);
     }

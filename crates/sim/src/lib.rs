@@ -61,6 +61,7 @@ pub mod launch;
 pub mod mem;
 pub mod observer;
 pub mod regfile;
+pub mod session;
 pub mod sm;
 pub mod warp;
 
@@ -68,6 +69,7 @@ pub use cache::{Cache, CacheGeom, CacheStats};
 pub use config::{ArchConfig, Latencies, SchedulerPolicy, Vendor};
 pub use error::{Due, SimError};
 pub use fault::{FaultSite, Structure};
-pub use gpu::{Buffer, Gpu};
+pub use gpu::{Buffer, Gpu, LaunchProgress};
 pub use launch::{Dim, LaunchConfig, LaunchStats};
 pub use observer::{BlockRegions, CountingObserver, NoopObserver, SimObserver};
+pub use session::{Checkpoint, LaunchPlan, PlanStep, Session, SessionStatus};

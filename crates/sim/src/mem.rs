@@ -36,7 +36,10 @@ impl Default for GlobalMemory {
 impl GlobalMemory {
     /// Creates an empty arena (only the null guard is reserved).
     pub fn new() -> Self {
-        GlobalMemory { words: Vec::new(), heap_top: NULL_GUARD_BYTES }
+        GlobalMemory {
+            words: Vec::new(),
+            heap_top: NULL_GUARD_BYTES,
+        }
     }
 
     /// Allocates `n` 32-bit words, 256-byte aligned; returns the byte
@@ -198,7 +201,11 @@ impl MemorySystem {
     /// bypass the L1 and serialize per address at the L2/DRAM.
     pub fn atomic_latency(&mut self, n_addrs: u32) -> u32 {
         self.transactions += n_addrs as u64;
-        let base = if self.l2.is_some() { self.lat.l2_hit } else { self.lat.dram };
+        let base = if self.l2.is_some() {
+            self.lat.l2_hit
+        } else {
+            self.lat.dram
+        };
         base + n_addrs.saturating_sub(1) * self.lat.mem_serialize
     }
 
@@ -249,9 +256,16 @@ mod tests {
         let _ = m.alloc_words(4);
         assert!(matches!(
             m.load(0, 1, 2),
-            Err(Due::GlobalOutOfBounds { addr: 0, sm: 1, cycle: 2 })
+            Err(Due::GlobalOutOfBounds {
+                addr: 0,
+                sm: 1,
+                cycle: 2
+            })
         ));
-        assert!(matches!(m.load(128, 0, 0), Err(Due::GlobalOutOfBounds { .. })));
+        assert!(matches!(
+            m.load(128, 0, 0),
+            Err(Due::GlobalOutOfBounds { .. })
+        ));
     }
 
     #[test]
@@ -260,8 +274,14 @@ mod tests {
         let a = m.alloc_words(2);
         assert!(m.load(a + 8, 0, 0).is_err() || m.heap_top() > a + 8);
         let top = m.heap_top();
-        assert!(matches!(m.load(top, 0, 0), Err(Due::GlobalOutOfBounds { .. })));
-        assert!(matches!(m.load(a + 1, 0, 0), Err(Due::MisalignedAccess { .. })));
+        assert!(matches!(
+            m.load(top, 0, 0),
+            Err(Due::GlobalOutOfBounds { .. })
+        ));
+        assert!(matches!(
+            m.load(a + 1, 0, 0),
+            Err(Due::MisalignedAccess { .. })
+        ));
         assert!(matches!(
             m.store(u32::MAX - 3, 0, 0, 0),
             Err(Due::GlobalOutOfBounds { .. })

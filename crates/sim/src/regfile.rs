@@ -34,8 +34,16 @@ pub struct RegionAllocator {
 impl RegionAllocator {
     /// An allocator over `capacity` words, all free.
     pub fn new(capacity: u32) -> Self {
-        let free = if capacity > 0 { vec![(0, capacity)] } else { Vec::new() };
-        RegionAllocator { capacity, free, allocated: 0 }
+        let free = if capacity > 0 {
+            vec![(0, capacity)]
+        } else {
+            Vec::new()
+        };
+        RegionAllocator {
+            capacity,
+            free,
+            allocated: 0,
+        }
     }
 
     /// Allocates `len` contiguous words; returns the start word or `None`.

@@ -260,7 +260,14 @@ impl Sm {
         });
         obs.on_block_dispatch(
             self.id,
-            BlockRegions { rf_base, rf_len, srf_base, srf_len, lds_base, lds_len },
+            BlockRegions {
+                rf_base,
+                rf_len,
+                srf_base,
+                srf_len,
+                lds_base,
+                lds_len,
+            },
             cycle,
         );
         true
@@ -302,7 +309,12 @@ impl Sm {
     }
 
     /// Picks the next warp to issue from, per the scheduling policy.
-    fn pick_warp(&mut self, kernel: &LoweredKernel, cycle: u64, policy: SchedulerPolicy) -> Option<usize> {
+    fn pick_warp(
+        &mut self,
+        kernel: &LoweredKernel,
+        cycle: u64,
+        policy: SchedulerPolicy,
+    ) -> Option<usize> {
         let n = self.warps.len();
         match policy {
             SchedulerPolicy::Lrr => {
@@ -384,13 +396,36 @@ impl Sm {
             match instr {
                 Instr::Un { op, dst, a } => {
                     let lat = un_latency(arch, op);
-                    self.exec_alu1(&mut warp, dst, a, |x| eval_unop(op, x), lat, cycle, warp_size, ntid, nctaid, obs);
+                    self.exec_alu1(
+                        &mut warp,
+                        dst,
+                        a,
+                        |x| eval_unop(op, x),
+                        lat,
+                        cycle,
+                        warp_size,
+                        ntid,
+                        nctaid,
+                        obs,
+                    );
                     warp.next_issue = cycle + issue_cycles;
                     warp.pc += 1;
                 }
                 Instr::Bin { op, dst, a, b } => {
                     let lat = bin_latency(arch, op);
-                    self.exec_alu2(&mut warp, dst, a, b, |x, y| eval_binop(op, x, y), lat, cycle, warp_size, ntid, nctaid, obs);
+                    self.exec_alu2(
+                        &mut warp,
+                        dst,
+                        a,
+                        b,
+                        |x, y| eval_binop(op, x, y),
+                        lat,
+                        cycle,
+                        warp_size,
+                        ntid,
+                        nctaid,
+                        obs,
+                    );
                     warp.next_issue = cycle + issue_cycles;
                     warp.pc += 1;
                 }
@@ -399,17 +434,38 @@ impl Sm {
                         simt_isa::TerOp::IMad => arch.lat.imul,
                         simt_isa::TerOp::FFma => arch.lat.fp,
                     };
-                    self.exec_alu3(&mut warp, dst, a, b, c, |x, y, z| eval_terop(op, x, y, z), lat, cycle, warp_size, ntid, nctaid, obs);
+                    self.exec_alu3(
+                        &mut warp,
+                        dst,
+                        a,
+                        b,
+                        c,
+                        |x, y, z| eval_terop(op, x, y, z),
+                        lat,
+                        cycle,
+                        warp_size,
+                        ntid,
+                        nctaid,
+                        obs,
+                    );
                     warp.next_issue = cycle + issue_cycles;
                     warp.pc += 1;
                 }
-                Instr::SetP { op, float, pd, a, b } => {
+                Instr::SetP {
+                    op,
+                    float,
+                    pd,
+                    a,
+                    b,
+                } => {
                     let ra = self.resolve_cfg(&warp, a, ntid, nctaid, cycle, obs);
                     let rb = self.resolve_cfg(&warp, b, ntid, nctaid, cycle, obs);
                     let mut mask: LaneMask = 0;
                     for lane in lanes(warp.active) {
-                        let x = self.lane_value(&warp, &ra, lane, warp_size, ntid, nctaid, cycle, obs);
-                        let y = self.lane_value(&warp, &rb, lane, warp_size, ntid, nctaid, cycle, obs);
+                        let x =
+                            self.lane_value(&warp, &ra, lane, warp_size, ntid, nctaid, cycle, obs);
+                        let y =
+                            self.lane_value(&warp, &rb, lane, warp_size, ntid, nctaid, cycle, obs);
                         if eval_cmp(op, x, y, float) {
                             mask |= 1 << lane;
                         }
@@ -428,8 +484,10 @@ impl Sm {
                     let rb = self.resolve_cfg(&warp, b, ntid, nctaid, cycle, obs);
                     let d = vreg_of(dst);
                     for lane in lanes(warp.active) {
-                        let x = self.lane_value(&warp, &ra, lane, warp_size, ntid, nctaid, cycle, obs);
-                        let y = self.lane_value(&warp, &rb, lane, warp_size, ntid, nctaid, cycle, obs);
+                        let x =
+                            self.lane_value(&warp, &ra, lane, warp_size, ntid, nctaid, cycle, obs);
+                        let y =
+                            self.lane_value(&warp, &rb, lane, warp_size, ntid, nctaid, cycle, obs);
                         let v = if pmask >> lane & 1 == 1 { x } else { y };
                         self.write_vreg(&warp, d, lane, v, warp_size, cycle, obs);
                     }
@@ -439,18 +497,44 @@ impl Sm {
                     warp.next_issue = cycle + issue_cycles;
                     warp.pc += 1;
                 }
-                Instr::Ld { space, dst, addr, offset } => {
-                    self.exec_load(&mut warp, space, dst, addr, offset, cycle, arch, mem, mem_sys, ntid, nctaid, obs)?;
+                Instr::Ld {
+                    space,
+                    dst,
+                    addr,
+                    offset,
+                } => {
+                    self.exec_load(
+                        &mut warp, space, dst, addr, offset, cycle, arch, mem, mem_sys, ntid,
+                        nctaid, obs,
+                    )?;
                     warp.next_issue = cycle + issue_cycles;
                     warp.pc += 1;
                 }
-                Instr::St { space, addr, offset, src } => {
-                    self.exec_store(&mut warp, space, addr, offset, src, cycle, arch, mem, mem_sys, ntid, nctaid, obs)?;
+                Instr::St {
+                    space,
+                    addr,
+                    offset,
+                    src,
+                } => {
+                    self.exec_store(
+                        &mut warp, space, addr, offset, src, cycle, arch, mem, mem_sys, ntid,
+                        nctaid, obs,
+                    )?;
                     warp.next_issue = cycle + issue_cycles;
                     warp.pc += 1;
                 }
-                Instr::Atom { space, op, dst, addr, offset, src } => {
-                    self.exec_atomic(&mut warp, space, op, dst, addr, offset, src, cycle, arch, mem, mem_sys, ntid, nctaid, obs)?;
+                Instr::Atom {
+                    space,
+                    op,
+                    dst,
+                    addr,
+                    offset,
+                    src,
+                } => {
+                    self.exec_atomic(
+                        &mut warp, space, op, dst, addr, offset, src, cycle, arch, mem, mem_sys,
+                        ntid, nctaid, obs,
+                    )?;
                     warp.next_issue = cycle + issue_cycles;
                     warp.pc += 1;
                 }
@@ -584,7 +668,13 @@ impl Sm {
     // ---- operand plumbing ----
 
     /// Resolves uniform operands once per instruction; defers per-lane ones.
-    fn resolve<O: SimObserver>(&mut self, warp: &Warp, op: Operand, cycle: u64, obs: &mut O) -> Resolved {
+    fn resolve<O: SimObserver>(
+        &mut self,
+        warp: &Warp,
+        op: Operand,
+        cycle: u64,
+        obs: &mut O,
+    ) -> Resolved {
         match op {
             Operand::Imm(v) => Resolved::Uniform(v),
             Operand::Reg(Reg::S(SReg(r))) => {
@@ -593,7 +683,9 @@ impl Sm {
                 Resolved::Uniform(self.srf[phys as usize])
             }
             Operand::Reg(Reg::V(VReg(r))) => Resolved::VReg(r),
-            Operand::Special(s) if !s.is_per_lane() => Resolved::Uniform(self.uniform_special(warp, s)),
+            Operand::Special(s) if !s.is_per_lane() => {
+                Resolved::Uniform(self.uniform_special(warp, s))
+            }
             Operand::Special(s) => Resolved::Special(s),
         }
     }
@@ -777,7 +869,9 @@ impl Sm {
         match dst {
             Reg::S(SReg(r)) => {
                 let (x, y, z) = match (&ra, &rb, &rc) {
-                    (Resolved::Uniform(x), Resolved::Uniform(y), Resolved::Uniform(z)) => (*x, *y, *z),
+                    (Resolved::Uniform(x), Resolved::Uniform(y), Resolved::Uniform(z)) => {
+                        (*x, *y, *z)
+                    }
                     _ => unreachable!("validated scalar sources are uniform"),
                 };
                 let phys = warp.srf_base + r as u32;
@@ -805,7 +899,11 @@ impl Sm {
     /// Checks a block-relative LDS byte address; returns the physical word.
     fn lds_word(&self, warp: &Warp, addr: u32, cycle: u64) -> Result<u32, Due> {
         if !addr.is_multiple_of(4) || addr.saturating_add(4) > warp.lds_bytes {
-            return Err(Due::SharedOutOfBounds { addr, sm: self.id, cycle });
+            return Err(Due::SharedOutOfBounds {
+                addr,
+                sm: self.id,
+                cycle,
+            });
         }
         Ok(warp.lds_base + addr / 4)
     }
@@ -819,7 +917,12 @@ impl Sm {
                 per_bank[b].push(w);
             }
         }
-        per_bank.iter().map(|v| v.len() as u32).max().unwrap_or(0).max(1)
+        per_bank
+            .iter()
+            .map(|v| v.len() as u32)
+            .max()
+            .unwrap_or(0)
+            .max(1)
     }
 
     #[allow(clippy::too_many_arguments)]
@@ -860,7 +963,16 @@ impl Sm {
                 match space {
                     MemSpace::Global => {
                         for lane in lanes(warp.active) {
-                            let base = self.lane_value(warp, &ra, lane, warp_size_of(arch), ntid, nctaid, cycle, obs);
+                            let base = self.lane_value(
+                                warp,
+                                &ra,
+                                lane,
+                                warp_size_of(arch),
+                                ntid,
+                                nctaid,
+                                cycle,
+                                obs,
+                            );
                             let a = base.wrapping_add(offset as u32);
                             let v = mem.load(a, self.id, cycle)?;
                             self.write_vreg(warp, r, lane, v, arch.warp_size, cycle, obs);
@@ -872,7 +984,16 @@ impl Sm {
                     MemSpace::Shared => {
                         let mut words: Vec<u32> = Vec::new();
                         for lane in lanes(warp.active) {
-                            let base = self.lane_value(warp, &ra, lane, arch.warp_size, ntid, nctaid, cycle, obs);
+                            let base = self.lane_value(
+                                warp,
+                                &ra,
+                                lane,
+                                arch.warp_size,
+                                ntid,
+                                nctaid,
+                                cycle,
+                                obs,
+                            );
                             let a = base.wrapping_add(offset as u32);
                             let w = self.lds_word(warp, a, cycle)?;
                             let v = self.lds[w as usize];
@@ -914,8 +1035,10 @@ impl Sm {
             MemSpace::Global => {
                 let mut addrs: Vec<u32> = Vec::new();
                 for lane in lanes(warp.active) {
-                    let base = self.lane_value(warp, &ra, lane, arch.warp_size, ntid, nctaid, cycle, obs);
-                    let v = self.lane_value(warp, &rs, lane, arch.warp_size, ntid, nctaid, cycle, obs);
+                    let base =
+                        self.lane_value(warp, &ra, lane, arch.warp_size, ntid, nctaid, cycle, obs);
+                    let v =
+                        self.lane_value(warp, &rs, lane, arch.warp_size, ntid, nctaid, cycle, obs);
                     let a = base.wrapping_add(offset as u32);
                     mem.store(a, v, self.id, cycle)?;
                     addrs.push(a);
@@ -924,8 +1047,10 @@ impl Sm {
             }
             MemSpace::Shared => {
                 for lane in lanes(warp.active) {
-                    let base = self.lane_value(warp, &ra, lane, arch.warp_size, ntid, nctaid, cycle, obs);
-                    let v = self.lane_value(warp, &rs, lane, arch.warp_size, ntid, nctaid, cycle, obs);
+                    let base =
+                        self.lane_value(warp, &ra, lane, arch.warp_size, ntid, nctaid, cycle, obs);
+                    let v =
+                        self.lane_value(warp, &rs, lane, arch.warp_size, ntid, nctaid, cycle, obs);
                     let a = base.wrapping_add(offset as u32);
                     let w = self.lds_word(warp, a, cycle)?;
                     self.lds[w as usize] = v;

@@ -155,7 +155,11 @@ impl Warp {
         let taken = taken & self.active;
         let not_taken = self.active & !taken;
         if taken != 0 {
-            let pending_else = if info.else_idx.is_some() { not_taken } else { 0 };
+            let pending_else = if info.else_idx.is_some() {
+                not_taken
+            } else {
+                0
+            };
             self.stack.push(StackEntry::If {
                 pending_else,
                 else_pc: info.else_idx,
@@ -182,7 +186,11 @@ impl Warp {
     /// Executes `else`: park the then-lanes, release the else-lanes.
     pub fn exec_else(&mut self) {
         match self.stack.last_mut() {
-            Some(StackEntry::If { pending_else, end_pc, .. }) => {
+            Some(StackEntry::If {
+                pending_else,
+                end_pc,
+                ..
+            }) => {
                 let p = *pending_else;
                 *pending_else = 0;
                 let end = *end_pc;
@@ -243,7 +251,12 @@ impl Warp {
             .rposition(|e| matches!(e, StackEntry::Loop { .. }))
             .expect("validated break is inside a loop");
         for e in &mut self.stack[loop_pos + 1..] {
-            if let StackEntry::If { pending_else, reconv, .. } = e {
+            if let StackEntry::If {
+                pending_else,
+                reconv,
+                ..
+            } = e
+            {
                 *pending_else &= !breaking;
                 *reconv &= !breaking;
             }
@@ -279,7 +292,11 @@ impl Warp {
         self.exited |= ex;
         for e in &mut self.stack {
             match e {
-                StackEntry::If { pending_else, reconv, .. } => {
+                StackEntry::If {
+                    pending_else,
+                    reconv,
+                    ..
+                } => {
                     *pending_else &= !ex;
                     *reconv &= !ex;
                 }
@@ -302,7 +319,11 @@ impl Warp {
                     self.finished = true;
                     return;
                 }
-                Some(StackEntry::If { pending_else, else_pc, .. }) if *pending_else != 0 => {
+                Some(StackEntry::If {
+                    pending_else,
+                    else_pc,
+                    ..
+                }) if *pending_else != 0 => {
                     let p = *pending_else;
                     *pending_else = 0;
                     let target = else_pc.expect("pending else lanes imply an else");
@@ -350,7 +371,10 @@ mod tests {
     }
 
     fn ifb() -> Instr {
-        Instr::IfBegin { p: PReg(0), negate: false }
+        Instr::IfBegin {
+            p: PReg(0),
+            negate: false,
+        }
     }
 
     #[test]
@@ -365,7 +389,14 @@ mod tests {
     #[test]
     fn if_then_else_reconverges() {
         // 0: if.begin  1: nop  2: else  3: nop  4: if.end  5: exit
-        let body = vec![ifb(), Instr::Nop, Instr::Else, Instr::Nop, Instr::IfEnd, Instr::Exit];
+        let body = vec![
+            ifb(),
+            Instr::Nop,
+            Instr::Else,
+            Instr::Nop,
+            Instr::IfEnd,
+            Instr::Exit,
+        ];
         let cm = ControlMap::build(&body).unwrap();
         let mut w = warp(4);
         w.exec_if_begin(0, 0b0011, &cm);
@@ -383,7 +414,14 @@ mod tests {
 
     #[test]
     fn if_nobody_taken_jumps_to_else_branch() {
-        let body = vec![ifb(), Instr::Nop, Instr::Else, Instr::Nop, Instr::IfEnd, Instr::Exit];
+        let body = vec![
+            ifb(),
+            Instr::Nop,
+            Instr::Else,
+            Instr::Nop,
+            Instr::IfEnd,
+            Instr::Exit,
+        ];
         let cm = ControlMap::build(&body).unwrap();
         let mut w = warp(4);
         w.exec_if_begin(0, 0, &cm);
@@ -408,7 +446,14 @@ mod tests {
 
     #[test]
     fn if_all_taken_with_else_skips_else_at_else() {
-        let body = vec![ifb(), Instr::Nop, Instr::Else, Instr::Nop, Instr::IfEnd, Instr::Exit];
+        let body = vec![
+            ifb(),
+            Instr::Nop,
+            Instr::Else,
+            Instr::Nop,
+            Instr::IfEnd,
+            Instr::Exit,
+        ];
         let cm = ControlMap::build(&body).unwrap();
         let mut w = warp(2);
         w.exec_if_begin(0, 0b11, &cm);
@@ -425,7 +470,10 @@ mod tests {
         // 0: loop.begin 1: break 2: nop 3: loop.end 4: exit
         let body = vec![
             Instr::LoopBegin,
-            Instr::Break { p: PReg(0), negate: false },
+            Instr::Break {
+                p: PReg(0),
+                negate: false,
+            },
             Instr::Nop,
             Instr::LoopEnd,
             Instr::Exit,
@@ -460,7 +508,10 @@ mod tests {
         let body = vec![
             Instr::LoopBegin,
             ifb(),
-            Instr::Break { p: PReg(0), negate: false },
+            Instr::Break {
+                p: PReg(0),
+                negate: false,
+            },
             Instr::IfEnd,
             Instr::LoopEnd,
             Instr::Exit,
@@ -472,8 +523,8 @@ mod tests {
         w.exec_if_begin(1, 0b0011, &cm); // lanes 0,1 enter the if
         assert_eq!(w.active, 0b0011);
         w.exec_break(0b0011); // both break out of the loop
-        // active empty inside the if; resume should unwind to the if's
-        // reconv (lanes 2,3) at pc 4 (after if.end).
+                              // active empty inside the if; resume should unwind to the if's
+                              // reconv (lanes 2,3) at pc 4 (after if.end).
         assert_eq!(w.active, 0b1100);
         assert_eq!(w.pc, 4);
         w.exec_loop_end();
@@ -488,7 +539,14 @@ mod tests {
     #[test]
     fn exit_divergent_resumes_else_lanes() {
         // 0: if.begin 1: exit 2: else 3: nop 4: if.end 5: exit
-        let body = vec![ifb(), Instr::Exit, Instr::Else, Instr::Nop, Instr::IfEnd, Instr::Exit];
+        let body = vec![
+            ifb(),
+            Instr::Exit,
+            Instr::Else,
+            Instr::Nop,
+            Instr::IfEnd,
+            Instr::Exit,
+        ];
         let cm = ControlMap::build(&body).unwrap();
         let mut w = warp(4);
         w.exec_if_begin(0, 0b0101, &cm);
@@ -518,9 +576,15 @@ mod tests {
         let body = vec![
             Instr::LoopBegin,
             Instr::LoopBegin,
-            Instr::Break { p: PReg(0), negate: false },
+            Instr::Break {
+                p: PReg(0),
+                negate: false,
+            },
             Instr::LoopEnd,
-            Instr::Break { p: PReg(1), negate: false },
+            Instr::Break {
+                p: PReg(1),
+                negate: false,
+            },
             Instr::LoopEnd,
             Instr::Exit,
         ];

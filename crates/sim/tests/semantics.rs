@@ -43,7 +43,8 @@ fn divergent_if_else_per_lane() {
         });
         let mut gpu = Gpu::new(arch.clone());
         let buf = gpu.alloc_words(32);
-        gpu.launch(&k, LaunchConfig::linear(2, 16), &[buf.addr()]).unwrap();
+        gpu.launch(&k, LaunchConfig::linear(2, 16), &[buf.addr()])
+            .unwrap();
         for (i, w) in gpu.read_words(buf, 32).into_iter().enumerate() {
             let expect = if i % 2 == 1 { 3 * i } else { 2 * i } as u32;
             assert_eq!(w, expect, "thread {i} on {}", arch.name);
@@ -78,10 +79,16 @@ fn data_dependent_loop_trip_counts() {
         });
         let mut gpu = Gpu::new(arch.clone());
         let buf = gpu.alloc_words(16);
-        gpu.launch(&k, LaunchConfig::linear(1, 16), &[buf.addr()]).unwrap();
+        gpu.launch(&k, LaunchConfig::linear(1, 16), &[buf.addr()])
+            .unwrap();
         for (t, w) in gpu.read_words(buf, 16).into_iter().enumerate() {
             // sum 0..t = t(t-1)/2
-            assert_eq!(w as usize, t * t.saturating_sub(1) / 2, "thread {t} on {}", arch.name);
+            assert_eq!(
+                w as usize,
+                t * t.saturating_sub(1) / 2,
+                "thread {t} on {}",
+                arch.name
+            );
         }
     }
 }
@@ -113,9 +120,15 @@ fn barrier_orders_shared_memory() {
         });
         let mut gpu = Gpu::new(arch.clone());
         let buf = gpu.alloc_words(32);
-        gpu.launch(&k, LaunchConfig::linear(1, 32), &[buf.addr()]).unwrap();
+        gpu.launch(&k, LaunchConfig::linear(1, 32), &[buf.addr()])
+            .unwrap();
         for (t, w) in gpu.read_words(buf, 32).into_iter().enumerate() {
-            assert_eq!(w as usize, ((t + 1) % 32) * 7, "thread {t} on {}", arch.name);
+            assert_eq!(
+                w as usize,
+                ((t + 1) % 32) * 7,
+                "thread {t} on {}",
+                arch.name
+            );
         }
     }
 }
@@ -132,7 +145,8 @@ fn global_atomics_are_exact() {
     });
     let mut gpu = Gpu::new(arch);
     let buf = gpu.alloc_words(1);
-    gpu.launch(&k, LaunchConfig::linear(8, 16), &[buf.addr()]).unwrap();
+    gpu.launch(&k, LaunchConfig::linear(8, 16), &[buf.addr()])
+        .unwrap();
     assert_eq!(gpu.read_words(buf, 1)[0], 128);
 }
 
@@ -160,7 +174,8 @@ fn shared_atomic_max() {
     });
     let mut gpu = Gpu::new(arch);
     let buf = gpu.alloc_words(1);
-    gpu.launch(&k, LaunchConfig::linear(1, 16), &[buf.addr()]).unwrap();
+    gpu.launch(&k, LaunchConfig::linear(1, 16), &[buf.addr()])
+        .unwrap();
     assert_eq!(gpu.read_words(buf, 1)[0], 15);
 }
 
@@ -180,7 +195,10 @@ fn shared_oob_is_due() {
     let err = gpu
         .launch(&k, LaunchConfig::linear(1, 8), &[buf.addr()])
         .unwrap_err();
-    assert!(matches!(err, SimError::Due(Due::SharedOutOfBounds { addr: 64, .. })), "{err}");
+    assert!(
+        matches!(err, SimError::Due(Due::SharedOutOfBounds { addr: 64, .. })),
+        "{err}"
+    );
 }
 
 /// Misaligned global access raises a DUE.
@@ -200,7 +218,10 @@ fn misaligned_global_is_due() {
     let err = gpu
         .launch(&k, LaunchConfig::linear(1, 8), &[buf.addr()])
         .unwrap_err();
-    assert!(matches!(err, SimError::Due(Due::MisalignedAccess { .. })), "{err}");
+    assert!(
+        matches!(err, SimError::Due(Due::MisalignedAccess { .. })),
+        "{err}"
+    );
 }
 
 /// An infinite loop trips the watchdog instead of hanging the host.
@@ -225,7 +246,10 @@ fn infinite_loop_hits_watchdog() {
     let err = gpu
         .launch(&k, LaunchConfig::linear(1, 8), &[buf.addr()])
         .unwrap_err();
-    assert!(matches!(err, SimError::Due(Due::WatchdogTimeout { limit: 5000 })), "{err}");
+    assert!(
+        matches!(err, SimError::Due(Due::WatchdogTimeout { limit: 5000 })),
+        "{err}"
+    );
 }
 
 /// A barrier reached under divergence (half the warp) is a DUE.
@@ -249,7 +273,10 @@ fn divergent_barrier_is_due() {
     let err = gpu
         .launch(&k, LaunchConfig::linear(1, 8), &[buf.addr()])
         .unwrap_err();
-    assert!(matches!(err, SimError::Due(Due::BarrierDivergence { .. })), "{err}");
+    assert!(
+        matches!(err, SimError::Due(Due::BarrierDivergence { .. })),
+        "{err}"
+    );
 }
 
 /// The scalar pipe really executes once per warp: a scalar atomic-like
@@ -288,7 +315,7 @@ fn scalar_ops_execute_once_per_warp() {
 #[test]
 fn cache_reduces_repeat_access_latency() {
     let arch = nv(); // has L1+L2
-    // Kernel loads the same word 4 times (dependent chain).
+                     // Kernel loads the same word 4 times (dependent chain).
     let k = build(&arch, |kb| {
         let out = kb.param(0);
         let v = kb.vreg();
@@ -301,7 +328,8 @@ fn cache_reduces_repeat_access_latency() {
     });
     let mut gpu = Gpu::new(arch.clone());
     let buf = gpu.alloc_words(1);
-    gpu.launch(&k, LaunchConfig::linear(1, 8), &[buf.addr()]).unwrap();
+    gpu.launch(&k, LaunchConfig::linear(1, 8), &[buf.addr()])
+        .unwrap();
     let stats = gpu.l1_stats();
     assert_eq!(stats.hits, 3, "three of four loads hit the L1");
 
@@ -321,8 +349,12 @@ fn cache_reduces_repeat_access_latency() {
     });
     let mut gpu2 = Gpu::new(uncached);
     let buf2 = gpu2.alloc_words(1);
-    gpu2.launch(&k2, LaunchConfig::linear(1, 8), &[buf2.addr()]).unwrap();
-    assert!(gpu2.app_cycle() > gpu.app_cycle(), "uncached repeats cost more");
+    gpu2.launch(&k2, LaunchConfig::linear(1, 8), &[buf2.addr()])
+        .unwrap();
+    assert!(
+        gpu2.app_cycle() > gpu.app_cycle(),
+        "uncached repeats cost more"
+    );
 }
 
 /// GTO and LRR schedules produce identical results but may differ in
@@ -348,7 +380,8 @@ fn schedulers_agree_on_results() {
         });
         let mut gpu = Gpu::new(arch);
         let buf = gpu.alloc_words(64);
-        gpu.launch(&k, LaunchConfig::linear(4, 16), &[buf.addr()]).unwrap();
+        gpu.launch(&k, LaunchConfig::linear(4, 16), &[buf.addr()])
+            .unwrap();
         (gpu.read_words(buf, 64), gpu.app_cycle())
     };
     let (out_lrr, _c1) = run(mk(SchedulerPolicy::Lrr));
@@ -372,7 +405,8 @@ fn partial_warps_store_only_live_lanes() {
     });
     let mut gpu = Gpu::new(arch);
     let buf = gpu.alloc_words(16);
-    gpu.launch(&k, LaunchConfig::linear(1, 13), &[buf.addr()]).unwrap();
+    gpu.launch(&k, LaunchConfig::linear(1, 13), &[buf.addr()])
+        .unwrap();
     let words = gpu.read_words(buf, 16);
     for (i, w) in words.iter().enumerate() {
         if i < 13 {
@@ -509,8 +543,10 @@ fn global_memory_persists_across_launches() {
     });
     let mut gpu = Gpu::new(arch);
     let buf = gpu.alloc_words(16);
-    gpu.launch(&writer, LaunchConfig::linear(2, 8), &[buf.addr()]).unwrap();
-    gpu.launch(&doubler, LaunchConfig::linear(2, 8), &[buf.addr()]).unwrap();
+    gpu.launch(&writer, LaunchConfig::linear(2, 8), &[buf.addr()])
+        .unwrap();
+    gpu.launch(&doubler, LaunchConfig::linear(2, 8), &[buf.addr()])
+        .unwrap();
     let words = gpu.read_words(buf, 16);
     for (i, w) in words.iter().enumerate() {
         assert_eq!(*w as usize, 2 * i);
@@ -539,8 +575,10 @@ fn registers_zeroed_between_launches() {
     });
     let mut gpu = Gpu::new(arch);
     let buf = gpu.alloc_words(1);
-    gpu.launch(&dirty, LaunchConfig::linear(1, 8), &[buf.addr()]).unwrap();
-    gpu.launch(&reader, LaunchConfig::linear(1, 8), &[buf.addr()]).unwrap();
+    gpu.launch(&dirty, LaunchConfig::linear(1, 8), &[buf.addr()])
+        .unwrap();
+    gpu.launch(&reader, LaunchConfig::linear(1, 8), &[buf.addr()])
+        .unwrap();
     assert_eq!(gpu.read_words(buf, 1)[0], 0);
 }
 
@@ -568,7 +606,11 @@ fn counting_observer_totals_are_consistent() {
         .unwrap();
     assert_eq!(counts.launches, 1);
     assert_eq!(counts.blocks as u32, stats.blocks);
-    assert_eq!(counts.lds_writes + counts.lds_reads, 0, "no LDS in this kernel");
+    assert_eq!(
+        counts.lds_writes + counts.lds_reads,
+        0,
+        "no LDS in this kernel"
+    );
     // Params fold to vector registers on the NV-style device: each of the
     // 32 threads gets a param write plus gid/addr writes.
     assert!(counts.rf_writes >= 3 * 32);

@@ -24,9 +24,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let cfg = StudyConfig {
         campaign: CampaignConfig {
             injections,
-            seed,
             threads: std::thread::available_parallelism()?.get(),
-            watchdog_factor: 10,
+            ..CampaignConfig::quick(seed)
         },
         workload_seed: seed,
         fi_on_unused_lds: false,

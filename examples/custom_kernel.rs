@@ -70,7 +70,11 @@ fn main() {
     let clean_si = run_on(hd_radeon_7970(), None);
     let clean_nv = run_on(quadro_fx_5800(), None);
     assert_eq!(clean_si, clean_nv, "both vendors compute the same saxpy");
-    println!("saxpy y[10] = {} (expected {})", clean_nv[10], 2.0 * 10.0 + 1.0);
+    println!(
+        "saxpy y[10] = {} (expected {})",
+        clean_nv[10],
+        2.0 * 10.0 + 1.0
+    );
 
     // Now flip a bit in GT200's register file early in the run and watch
     // the output corrupt (or stay masked, if the word was unallocated).
@@ -82,10 +86,9 @@ fn main() {
         cycle: 300,
     };
     let faulty = run_on(quadro_fx_5800(), Some(site));
-    let diffs = faulty
-        .iter()
-        .zip(&clean_nv)
-        .filter(|(a, b)| a != b)
-        .count();
-    println!("injected {site}: {diffs} of {} outputs corrupted", faulty.len());
+    let diffs = faulty.iter().zip(&clean_nv).filter(|(a, b)| a != b).count();
+    println!(
+        "injected {site}: {diffs} of {} outputs corrupted",
+        faulty.len()
+    );
 }

@@ -27,9 +27,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let cfg = StudyConfig {
         campaign: CampaignConfig {
             injections,
-            seed,
             threads: std::thread::available_parallelism()?.get(),
-            watchdog_factor: 10,
+            ..CampaignConfig::quick(seed)
         },
         workload_seed: seed,
         fi_on_unused_lds: false,
@@ -38,7 +37,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     let arch = quadro_fx_5800();
     let workload = MatrixMul::new(64, seed);
-    println!("measuring matrixMul on {} ({injections} injections/structure)...", arch.name);
+    println!(
+        "measuring matrixMul on {} ({injections} injections/structure)...",
+        arch.name
+    );
     let p = evaluate_point(&arch, &workload, &cfg)?;
     println!(
         "baseline: RF AVF {:.1}% (SDC {:.1}% / DUE {:.1}%), FIT_GPU {:.1}, EPF {:.2e}\n",
@@ -49,7 +51,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         p.epf
     );
 
-    let sdc_share = if p.rf.avf_fi > 0.0 { p.rf.avf_sdc / p.rf.avf_fi } else { 0.0 };
+    let sdc_share = if p.rf.avf_fi > 0.0 {
+        p.rf.avf_sdc / p.rf.avf_fi
+    } else {
+        0.0
+    };
     println!(
         "{:<8} {:>10} {:>12} {:>12} {:>10}",
         "scheme", "FIT_GPU", "EIT", "EPF", "SDC share"

@@ -23,7 +23,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     assert_eq!(output, workload.reference(), "fault-free run is bit-exact");
     let rf = ace.report(Structure::VectorRegisterFile);
     println!("device    : {}", arch.name);
-    println!("workload  : {} ({} cycles)", workload.name(), gpu.app_cycle());
+    println!(
+        "workload  : {} ({} cycles)",
+        workload.name(),
+        gpu.app_cycle()
+    );
     println!(
         "ACE       : register file AVF = {:.1}%  (occupancy {:.1}%)",
         rf.avf_ace * 100.0,
@@ -44,7 +48,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     );
     println!(
         "finding F3: ACE {} FI by {:.1} percentage points",
-        if rf.avf_ace >= fi.avf() { "overestimates" } else { "underestimates" },
+        if rf.avf_ace >= fi.avf() {
+            "overestimates"
+        } else {
+            "underestimates"
+        },
         (rf.avf_ace - fi.avf()).abs() * 100.0
     );
     Ok(())

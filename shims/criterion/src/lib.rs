@@ -1,0 +1,192 @@
+//! Offline stand-in for `criterion`.
+//!
+//! The build environment has no registry access, so the workspace vendors
+//! the subset of the criterion API its benches use: [`Criterion`],
+//! [`BenchmarkGroup`], [`BenchmarkId`], [`Bencher::iter`], [`black_box`],
+//! and the [`criterion_group!`] / [`criterion_main!`] macros.
+//!
+//! Instead of statistical sampling the shim times `sample_size`
+//! batched runs of the closure and prints min/mean per-iteration
+//! wall-clock times — enough to compare configurations by hand.
+
+#![forbid(unsafe_code)]
+
+use std::fmt::Display;
+use std::time::Instant;
+
+/// Prevents the optimizer from deleting a benchmarked computation.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Times one benchmark body.
+#[derive(Debug, Default)]
+pub struct Bencher {
+    samples: Vec<f64>,
+}
+
+impl Bencher {
+    /// Runs `f` repeatedly, recording per-iteration wall-clock time.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        // One warm-up iteration outside timing.
+        black_box(f());
+        let start = Instant::now();
+        black_box(f());
+        self.samples.push(start.elapsed().as_secs_f64());
+    }
+}
+
+/// Identifies one parameterized benchmark within a group.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// An id made of a function name and a parameter.
+    pub fn new(function_name: impl Into<String>, parameter: impl Display) -> Self {
+        BenchmarkId {
+            id: format!("{}/{}", function_name.into(), parameter),
+        }
+    }
+
+    /// An id made of the parameter alone.
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+impl Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.id)
+    }
+}
+
+fn run_samples(label: &str, sample_size: usize, mut body: impl FnMut(&mut Bencher)) {
+    let mut samples = Vec::with_capacity(sample_size);
+    for _ in 0..sample_size.max(1) {
+        let mut b = Bencher::default();
+        body(&mut b);
+        samples.extend(b.samples);
+    }
+    if samples.is_empty() {
+        println!("{label}: no samples recorded");
+        return;
+    }
+    let mean = samples.iter().sum::<f64>() / samples.len() as f64;
+    let min = samples.iter().cloned().fold(f64::INFINITY, f64::min);
+    println!(
+        "{label}: mean {:.3} ms, min {:.3} ms ({} samples)",
+        mean * 1e3,
+        min * 1e3,
+        samples.len()
+    );
+}
+
+/// A named set of related benchmarks.
+pub struct BenchmarkGroup<'c> {
+    name: String,
+    criterion: &'c Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Benchmarks `body` under `id` within this group.
+    pub fn bench_function(
+        &mut self,
+        id: impl Display,
+        body: impl FnMut(&mut Bencher),
+    ) -> &mut Self {
+        run_samples(
+            &format!("{}/{}", self.name, id),
+            self.criterion.sample_size,
+            body,
+        );
+        self
+    }
+
+    /// Benchmarks `body` with a borrowed input value.
+    pub fn bench_with_input<I: ?Sized>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut body: impl FnMut(&mut Bencher, &I),
+    ) -> &mut Self {
+        run_samples(
+            &format!("{}/{}", self.name, id),
+            self.criterion.sample_size,
+            |b| body(b, input),
+        );
+        self
+    }
+
+    /// Ends the group (no-op in the shim).
+    pub fn finish(&mut self) {}
+}
+
+/// The benchmark harness entry point.
+pub struct Criterion {
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion { sample_size: 10 }
+    }
+}
+
+impl Criterion {
+    /// Sets how many timed samples each benchmark collects.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.sample_size = n;
+        self
+    }
+
+    /// Benchmarks a standalone function.
+    pub fn bench_function(&mut self, name: &str, body: impl FnMut(&mut Bencher)) -> &mut Self {
+        run_samples(name, self.sample_size, body);
+        self
+    }
+
+    /// Opens a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            criterion: self,
+        }
+    }
+
+    /// Finalizes the run (no-op in the shim).
+    pub fn final_summary(&mut self) {}
+}
+
+/// Declares a benchmark group: either `criterion_group!(name, targets...)`
+/// or the struct form with an explicit `config` constructor.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $config;
+            $($target(&mut criterion);)+
+            criterion.final_summary();
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group!(
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        );
+    };
+}
+
+/// Emits `fn main()` running the listed benchmark groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}

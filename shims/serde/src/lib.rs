@@ -1,0 +1,24 @@
+//! Offline stand-in for `serde`.
+//!
+//! The build environment has no registry access, and the workspace only
+//! uses serde as derive-annotation surface (no serializer is ever
+//! invoked). The shim provides blanket-implemented marker traits so
+//! `T: Serialize` bounds hold for every type, and re-exports the no-op
+//! derive macros under the conventional names.
+
+#![forbid(unsafe_code)]
+
+#[cfg(feature = "derive")]
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker stand-in for `serde::Serialize`; blanket-implemented.
+pub trait Serialize {}
+impl<T: ?Sized> Serialize for T {}
+
+/// Marker stand-in for `serde::Deserialize`; blanket-implemented.
+pub trait Deserialize<'de>: Sized {}
+impl<'de, T> Deserialize<'de> for T {}
+
+/// Marker stand-in for `serde::de::DeserializeOwned`; blanket-implemented.
+pub trait DeserializeOwned {}
+impl<T> DeserializeOwned for T {}

@@ -1,0 +1,21 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! The workspace uses `#[derive(Serialize, Deserialize)]` purely as
+//! forward-looking API surface — nothing serializes at runtime — so the
+//! shim accepts the derive syntax (including `#[serde(...)]` helper
+//! attributes) and expands to nothing. The matching marker traits come
+//! from the sibling `serde` shim's blanket impls.
+
+use proc_macro::TokenStream;
+
+/// Accepts `#[derive(Serialize)]` and emits no code.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// Accepts `#[derive(Deserialize)]` and emits no code.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}

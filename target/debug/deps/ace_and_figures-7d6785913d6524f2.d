@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ace_and_figures-7d6785913d6524f2.d: tests/ace_and_figures.rs Cargo.toml
+
+/root/repo/target/debug/deps/libace_and_figures-7d6785913d6524f2.rmeta: tests/ace_and_figures.rs Cargo.toml
+
+tests/ace_and_figures.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ace_and_figures-7f7f96ac658b0b9a.d: tests/ace_and_figures.rs
+
+/root/repo/target/debug/deps/ace_and_figures-7f7f96ac658b0b9a: tests/ace_and_figures.rs
+
+tests/ace_and_figures.rs:

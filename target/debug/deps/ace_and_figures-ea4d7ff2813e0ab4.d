@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ace_and_figures-ea4d7ff2813e0ab4.d: tests/ace_and_figures.rs
+
+/root/repo/target/debug/deps/ace_and_figures-ea4d7ff2813e0ab4: tests/ace_and_figures.rs
+
+tests/ace_and_figures.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/cli-87329dbcdf09785a.d: crates/bench/tests/cli.rs
+
+/root/repo/target/debug/deps/cli-87329dbcdf09785a: crates/bench/tests/cli.rs
+
+crates/bench/tests/cli.rs:
+
+# env-dep:CARGO_BIN_EXE_repro=/root/repo/target/debug/repro

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/cli-a38a080a461f3353.d: crates/bench/tests/cli.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcli-a38a080a461f3353.rmeta: crates/bench/tests/cli.rs Cargo.toml
+
+crates/bench/tests/cli.rs:
+Cargo.toml:
+
+# env-dep:CARGO_BIN_EXE_repro=placeholder:repro
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/cli-cd78a8aa0e365802.d: crates/bench/tests/cli.rs
+
+/root/repo/target/debug/deps/cli-cd78a8aa0e365802: crates/bench/tests/cli.rs
+
+crates/bench/tests/cli.rs:
+
+# env-dep:CARGO_BIN_EXE_repro=/root/repo/target/debug/repro

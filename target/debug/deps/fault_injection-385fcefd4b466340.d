@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fault_injection-385fcefd4b466340.d: tests/fault_injection.rs
+
+/root/repo/target/debug/deps/fault_injection-385fcefd4b466340: tests/fault_injection.rs
+
+tests/fault_injection.rs:

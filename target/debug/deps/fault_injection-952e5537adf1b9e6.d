@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fault_injection-952e5537adf1b9e6.d: tests/fault_injection.rs
+
+/root/repo/target/debug/deps/fault_injection-952e5537adf1b9e6: tests/fault_injection.rs
+
+tests/fault_injection.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/figures-054df55829e58087.d: crates/bench/benches/figures.rs
+
+/root/repo/target/debug/deps/figures-054df55829e58087: crates/bench/benches/figures.rs
+
+crates/bench/benches/figures.rs:

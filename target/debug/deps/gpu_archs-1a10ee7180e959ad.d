@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/gpu_archs-1a10ee7180e959ad.d: crates/archs/src/lib.rs
+
+/root/repo/target/debug/deps/libgpu_archs-1a10ee7180e959ad.rlib: crates/archs/src/lib.rs
+
+/root/repo/target/debug/deps/libgpu_archs-1a10ee7180e959ad.rmeta: crates/archs/src/lib.rs
+
+crates/archs/src/lib.rs:

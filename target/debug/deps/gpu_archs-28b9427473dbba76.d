@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/gpu_archs-28b9427473dbba76.d: crates/archs/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libgpu_archs-28b9427473dbba76.rmeta: crates/archs/src/lib.rs Cargo.toml
+
+crates/archs/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

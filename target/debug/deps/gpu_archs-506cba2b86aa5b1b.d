@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/gpu_archs-506cba2b86aa5b1b.d: crates/archs/src/lib.rs
+
+/root/repo/target/debug/deps/gpu_archs-506cba2b86aa5b1b: crates/archs/src/lib.rs
+
+crates/archs/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/gpu_archs-a050a5eec3d3e514.d: crates/archs/src/lib.rs
+
+/root/repo/target/debug/deps/libgpu_archs-a050a5eec3d3e514.rlib: crates/archs/src/lib.rs
+
+/root/repo/target/debug/deps/libgpu_archs-a050a5eec3d3e514.rmeta: crates/archs/src/lib.rs
+
+crates/archs/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/gpu_archs-a79b05142dd6ea9d.d: crates/archs/src/lib.rs
+
+/root/repo/target/debug/deps/gpu_archs-a79b05142dd6ea9d: crates/archs/src/lib.rs
+
+crates/archs/src/lib.rs:

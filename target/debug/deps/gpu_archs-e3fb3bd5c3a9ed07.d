@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/gpu_archs-e3fb3bd5c3a9ed07.d: crates/archs/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libgpu_archs-e3fb3bd5c3a9ed07.rmeta: crates/archs/src/lib.rs Cargo.toml
+
+crates/archs/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

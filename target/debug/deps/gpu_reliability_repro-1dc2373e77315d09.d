@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/gpu_reliability_repro-1dc2373e77315d09.d: src/lib.rs
+
+/root/repo/target/debug/deps/libgpu_reliability_repro-1dc2373e77315d09.rlib: src/lib.rs
+
+/root/repo/target/debug/deps/libgpu_reliability_repro-1dc2373e77315d09.rmeta: src/lib.rs
+
+src/lib.rs:

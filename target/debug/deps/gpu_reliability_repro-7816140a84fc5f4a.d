@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/gpu_reliability_repro-7816140a84fc5f4a.d: src/lib.rs
+
+/root/repo/target/debug/deps/gpu_reliability_repro-7816140a84fc5f4a: src/lib.rs
+
+src/lib.rs:

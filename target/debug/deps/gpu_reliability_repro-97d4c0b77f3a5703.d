@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/gpu_reliability_repro-97d4c0b77f3a5703.d: src/lib.rs
+
+/root/repo/target/debug/deps/gpu_reliability_repro-97d4c0b77f3a5703: src/lib.rs
+
+src/lib.rs:

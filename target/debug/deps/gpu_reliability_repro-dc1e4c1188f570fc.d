@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/gpu_reliability_repro-dc1e4c1188f570fc.d: src/lib.rs
+
+/root/repo/target/debug/deps/libgpu_reliability_repro-dc1e4c1188f570fc.rlib: src/lib.rs
+
+/root/repo/target/debug/deps/libgpu_reliability_repro-dc1e4c1188f570fc.rmeta: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/gpu_reliability_repro-fe500842d14b4aea.d: src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libgpu_reliability_repro-fe500842d14b4aea.rmeta: src/lib.rs Cargo.toml
+
+src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

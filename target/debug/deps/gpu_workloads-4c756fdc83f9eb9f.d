@@ -1,0 +1,20 @@
+/root/repo/target/debug/deps/gpu_workloads-4c756fdc83f9eb9f.d: crates/kernels/src/lib.rs crates/kernels/src/backprop.rs crates/kernels/src/common.rs crates/kernels/src/dwt.rs crates/kernels/src/gaussian.rs crates/kernels/src/histogram.rs crates/kernels/src/kmeans.rs crates/kernels/src/matmul.rs crates/kernels/src/reduction.rs crates/kernels/src/scan.rs crates/kernels/src/transpose.rs crates/kernels/src/vectoradd.rs Cargo.toml
+
+/root/repo/target/debug/deps/libgpu_workloads-4c756fdc83f9eb9f.rmeta: crates/kernels/src/lib.rs crates/kernels/src/backprop.rs crates/kernels/src/common.rs crates/kernels/src/dwt.rs crates/kernels/src/gaussian.rs crates/kernels/src/histogram.rs crates/kernels/src/kmeans.rs crates/kernels/src/matmul.rs crates/kernels/src/reduction.rs crates/kernels/src/scan.rs crates/kernels/src/transpose.rs crates/kernels/src/vectoradd.rs Cargo.toml
+
+crates/kernels/src/lib.rs:
+crates/kernels/src/backprop.rs:
+crates/kernels/src/common.rs:
+crates/kernels/src/dwt.rs:
+crates/kernels/src/gaussian.rs:
+crates/kernels/src/histogram.rs:
+crates/kernels/src/kmeans.rs:
+crates/kernels/src/matmul.rs:
+crates/kernels/src/reduction.rs:
+crates/kernels/src/scan.rs:
+crates/kernels/src/transpose.rs:
+crates/kernels/src/vectoradd.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,18 @@
+/root/repo/target/debug/deps/gpu_workloads-554672708b3d553d.d: crates/kernels/src/lib.rs crates/kernels/src/backprop.rs crates/kernels/src/common.rs crates/kernels/src/dwt.rs crates/kernels/src/gaussian.rs crates/kernels/src/histogram.rs crates/kernels/src/kmeans.rs crates/kernels/src/matmul.rs crates/kernels/src/reduction.rs crates/kernels/src/scan.rs crates/kernels/src/transpose.rs crates/kernels/src/vectoradd.rs
+
+/root/repo/target/debug/deps/libgpu_workloads-554672708b3d553d.rlib: crates/kernels/src/lib.rs crates/kernels/src/backprop.rs crates/kernels/src/common.rs crates/kernels/src/dwt.rs crates/kernels/src/gaussian.rs crates/kernels/src/histogram.rs crates/kernels/src/kmeans.rs crates/kernels/src/matmul.rs crates/kernels/src/reduction.rs crates/kernels/src/scan.rs crates/kernels/src/transpose.rs crates/kernels/src/vectoradd.rs
+
+/root/repo/target/debug/deps/libgpu_workloads-554672708b3d553d.rmeta: crates/kernels/src/lib.rs crates/kernels/src/backprop.rs crates/kernels/src/common.rs crates/kernels/src/dwt.rs crates/kernels/src/gaussian.rs crates/kernels/src/histogram.rs crates/kernels/src/kmeans.rs crates/kernels/src/matmul.rs crates/kernels/src/reduction.rs crates/kernels/src/scan.rs crates/kernels/src/transpose.rs crates/kernels/src/vectoradd.rs
+
+crates/kernels/src/lib.rs:
+crates/kernels/src/backprop.rs:
+crates/kernels/src/common.rs:
+crates/kernels/src/dwt.rs:
+crates/kernels/src/gaussian.rs:
+crates/kernels/src/histogram.rs:
+crates/kernels/src/kmeans.rs:
+crates/kernels/src/matmul.rs:
+crates/kernels/src/reduction.rs:
+crates/kernels/src/scan.rs:
+crates/kernels/src/transpose.rs:
+crates/kernels/src/vectoradd.rs:

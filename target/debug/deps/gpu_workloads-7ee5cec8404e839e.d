@@ -1,0 +1,18 @@
+/root/repo/target/debug/deps/gpu_workloads-7ee5cec8404e839e.d: crates/kernels/src/lib.rs crates/kernels/src/backprop.rs crates/kernels/src/common.rs crates/kernels/src/dwt.rs crates/kernels/src/gaussian.rs crates/kernels/src/histogram.rs crates/kernels/src/kmeans.rs crates/kernels/src/matmul.rs crates/kernels/src/reduction.rs crates/kernels/src/scan.rs crates/kernels/src/transpose.rs crates/kernels/src/vectoradd.rs
+
+/root/repo/target/debug/deps/libgpu_workloads-7ee5cec8404e839e.rlib: crates/kernels/src/lib.rs crates/kernels/src/backprop.rs crates/kernels/src/common.rs crates/kernels/src/dwt.rs crates/kernels/src/gaussian.rs crates/kernels/src/histogram.rs crates/kernels/src/kmeans.rs crates/kernels/src/matmul.rs crates/kernels/src/reduction.rs crates/kernels/src/scan.rs crates/kernels/src/transpose.rs crates/kernels/src/vectoradd.rs
+
+/root/repo/target/debug/deps/libgpu_workloads-7ee5cec8404e839e.rmeta: crates/kernels/src/lib.rs crates/kernels/src/backprop.rs crates/kernels/src/common.rs crates/kernels/src/dwt.rs crates/kernels/src/gaussian.rs crates/kernels/src/histogram.rs crates/kernels/src/kmeans.rs crates/kernels/src/matmul.rs crates/kernels/src/reduction.rs crates/kernels/src/scan.rs crates/kernels/src/transpose.rs crates/kernels/src/vectoradd.rs
+
+crates/kernels/src/lib.rs:
+crates/kernels/src/backprop.rs:
+crates/kernels/src/common.rs:
+crates/kernels/src/dwt.rs:
+crates/kernels/src/gaussian.rs:
+crates/kernels/src/histogram.rs:
+crates/kernels/src/kmeans.rs:
+crates/kernels/src/matmul.rs:
+crates/kernels/src/reduction.rs:
+crates/kernels/src/scan.rs:
+crates/kernels/src/transpose.rs:
+crates/kernels/src/vectoradd.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/grel_bench-10e888fff8a66b11.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libgrel_bench-10e888fff8a66b11.rlib: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libgrel_bench-10e888fff8a66b11.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/grel_bench-b4a089d86fad18af.d: crates/bench/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libgrel_bench-b4a089d86fad18af.rmeta: crates/bench/src/lib.rs Cargo.toml
+
+crates/bench/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/grel_bench-ca1e6686a0ada89f.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libgrel_bench-ca1e6686a0ada89f.rlib: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libgrel_bench-ca1e6686a0ada89f.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/grel_bench-ca268c0aef9720ca.d: crates/bench/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libgrel_bench-ca268c0aef9720ca.rmeta: crates/bench/src/lib.rs Cargo.toml
+
+crates/bench/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

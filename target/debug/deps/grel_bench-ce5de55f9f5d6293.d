@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/grel_bench-ce5de55f9f5d6293.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/grel_bench-ce5de55f9f5d6293: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

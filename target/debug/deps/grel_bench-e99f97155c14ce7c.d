@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/grel_bench-e99f97155c14ce7c.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/grel_bench-e99f97155c14ce7c: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

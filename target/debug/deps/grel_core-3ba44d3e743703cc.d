@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/grel_core-3ba44d3e743703cc.d: crates/core/src/lib.rs crates/core/src/ace.rs crates/core/src/breakdown.rs crates/core/src/campaign.rs crates/core/src/epf.rs crates/core/src/perf.rs crates/core/src/protection.rs crates/core/src/stats.rs crates/core/src/study.rs
+
+/root/repo/target/debug/deps/grel_core-3ba44d3e743703cc: crates/core/src/lib.rs crates/core/src/ace.rs crates/core/src/breakdown.rs crates/core/src/campaign.rs crates/core/src/epf.rs crates/core/src/perf.rs crates/core/src/protection.rs crates/core/src/stats.rs crates/core/src/study.rs
+
+crates/core/src/lib.rs:
+crates/core/src/ace.rs:
+crates/core/src/breakdown.rs:
+crates/core/src/campaign.rs:
+crates/core/src/epf.rs:
+crates/core/src/perf.rs:
+crates/core/src/protection.rs:
+crates/core/src/stats.rs:
+crates/core/src/study.rs:

@@ -1,0 +1,17 @@
+/root/repo/target/debug/deps/grel_core-ed4687cbff50d9dc.d: crates/core/src/lib.rs crates/core/src/ace.rs crates/core/src/breakdown.rs crates/core/src/campaign.rs crates/core/src/epf.rs crates/core/src/perf.rs crates/core/src/protection.rs crates/core/src/stats.rs crates/core/src/study.rs Cargo.toml
+
+/root/repo/target/debug/deps/libgrel_core-ed4687cbff50d9dc.rmeta: crates/core/src/lib.rs crates/core/src/ace.rs crates/core/src/breakdown.rs crates/core/src/campaign.rs crates/core/src/epf.rs crates/core/src/perf.rs crates/core/src/protection.rs crates/core/src/stats.rs crates/core/src/study.rs Cargo.toml
+
+crates/core/src/lib.rs:
+crates/core/src/ace.rs:
+crates/core/src/breakdown.rs:
+crates/core/src/campaign.rs:
+crates/core/src/epf.rs:
+crates/core/src/perf.rs:
+crates/core/src/protection.rs:
+crates/core/src/stats.rs:
+crates/core/src/study.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

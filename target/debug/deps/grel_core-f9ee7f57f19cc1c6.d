@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/grel_core-f9ee7f57f19cc1c6.d: crates/core/src/lib.rs crates/core/src/ace.rs crates/core/src/breakdown.rs crates/core/src/campaign.rs crates/core/src/epf.rs crates/core/src/perf.rs crates/core/src/protection.rs crates/core/src/stats.rs crates/core/src/study.rs
+
+/root/repo/target/debug/deps/libgrel_core-f9ee7f57f19cc1c6.rlib: crates/core/src/lib.rs crates/core/src/ace.rs crates/core/src/breakdown.rs crates/core/src/campaign.rs crates/core/src/epf.rs crates/core/src/perf.rs crates/core/src/protection.rs crates/core/src/stats.rs crates/core/src/study.rs
+
+/root/repo/target/debug/deps/libgrel_core-f9ee7f57f19cc1c6.rmeta: crates/core/src/lib.rs crates/core/src/ace.rs crates/core/src/breakdown.rs crates/core/src/campaign.rs crates/core/src/epf.rs crates/core/src/perf.rs crates/core/src/protection.rs crates/core/src/stats.rs crates/core/src/study.rs
+
+crates/core/src/lib.rs:
+crates/core/src/ace.rs:
+crates/core/src/breakdown.rs:
+crates/core/src/campaign.rs:
+crates/core/src/epf.rs:
+crates/core/src/perf.rs:
+crates/core/src/protection.rs:
+crates/core/src/stats.rs:
+crates/core/src/study.rs:

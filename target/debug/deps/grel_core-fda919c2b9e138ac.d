@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/grel_core-fda919c2b9e138ac.d: crates/core/src/lib.rs crates/core/src/ace.rs crates/core/src/breakdown.rs crates/core/src/campaign.rs crates/core/src/epf.rs crates/core/src/perf.rs crates/core/src/protection.rs crates/core/src/stats.rs crates/core/src/study.rs
+
+/root/repo/target/debug/deps/libgrel_core-fda919c2b9e138ac.rlib: crates/core/src/lib.rs crates/core/src/ace.rs crates/core/src/breakdown.rs crates/core/src/campaign.rs crates/core/src/epf.rs crates/core/src/perf.rs crates/core/src/protection.rs crates/core/src/stats.rs crates/core/src/study.rs
+
+/root/repo/target/debug/deps/libgrel_core-fda919c2b9e138ac.rmeta: crates/core/src/lib.rs crates/core/src/ace.rs crates/core/src/breakdown.rs crates/core/src/campaign.rs crates/core/src/epf.rs crates/core/src/perf.rs crates/core/src/protection.rs crates/core/src/stats.rs crates/core/src/study.rs
+
+crates/core/src/lib.rs:
+crates/core/src/ace.rs:
+crates/core/src/breakdown.rs:
+crates/core/src/campaign.rs:
+crates/core/src/epf.rs:
+crates/core/src/perf.rs:
+crates/core/src/protection.rs:
+crates/core/src/stats.rs:
+crates/core/src/study.rs:

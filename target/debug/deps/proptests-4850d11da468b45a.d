@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptests-4850d11da468b45a.d: crates/isa/tests/proptests.rs
+
+/root/repo/target/debug/deps/proptests-4850d11da468b45a: crates/isa/tests/proptests.rs
+
+crates/isa/tests/proptests.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptests-584f30e28388febe.d: crates/sim/tests/proptests.rs
+
+/root/repo/target/debug/deps/proptests-584f30e28388febe: crates/sim/tests/proptests.rs
+
+crates/sim/tests/proptests.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptests-6db069be3522640d.d: crates/sim/tests/proptests.rs
+
+/root/repo/target/debug/deps/proptests-6db069be3522640d: crates/sim/tests/proptests.rs
+
+crates/sim/tests/proptests.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptests-7efe3fe299c4e17e.d: crates/isa/tests/proptests.rs
+
+/root/repo/target/debug/deps/proptests-7efe3fe299c4e17e: crates/isa/tests/proptests.rs
+
+crates/isa/tests/proptests.rs:

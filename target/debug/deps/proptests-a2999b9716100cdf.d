@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/proptests-a2999b9716100cdf.d: crates/isa/tests/proptests.rs Cargo.toml
+
+/root/repo/target/debug/deps/libproptests-a2999b9716100cdf.rmeta: crates/isa/tests/proptests.rs Cargo.toml
+
+crates/isa/tests/proptests.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptests-c868e8b44ed4a6b4.d: tests/proptests.rs
+
+/root/repo/target/debug/deps/proptests-c868e8b44ed4a6b4: tests/proptests.rs
+
+tests/proptests.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptests-d46dce7a93425aa5.d: tests/proptests.rs
+
+/root/repo/target/debug/deps/proptests-d46dce7a93425aa5: tests/proptests.rs
+
+tests/proptests.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/repro-05357658efb57271.d: crates/bench/src/bin/repro.rs
+
+/root/repo/target/debug/deps/repro-05357658efb57271: crates/bench/src/bin/repro.rs
+
+crates/bench/src/bin/repro.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/repro-1ad29f5086eedb2a.d: crates/bench/src/bin/repro.rs
+
+/root/repo/target/debug/deps/repro-1ad29f5086eedb2a: crates/bench/src/bin/repro.rs
+
+crates/bench/src/bin/repro.rs:

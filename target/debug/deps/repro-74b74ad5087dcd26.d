@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/repro-74b74ad5087dcd26.d: crates/bench/src/bin/repro.rs
+
+/root/repo/target/debug/deps/repro-74b74ad5087dcd26: crates/bench/src/bin/repro.rs
+
+crates/bench/src/bin/repro.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/repro-e7a183952b73a3e7.d: crates/bench/src/bin/repro.rs
+
+/root/repo/target/debug/deps/repro-e7a183952b73a3e7: crates/bench/src/bin/repro.rs
+
+crates/bench/src/bin/repro.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/semantics-58e61971de070796.d: crates/sim/tests/semantics.rs
+
+/root/repo/target/debug/deps/semantics-58e61971de070796: crates/sim/tests/semantics.rs
+
+crates/sim/tests/semantics.rs:

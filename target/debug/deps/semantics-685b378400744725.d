@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/semantics-685b378400744725.d: crates/sim/tests/semantics.rs
+
+/root/repo/target/debug/deps/semantics-685b378400744725: crates/sim/tests/semantics.rs
+
+crates/sim/tests/semantics.rs:

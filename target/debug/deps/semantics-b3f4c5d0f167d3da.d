@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/semantics-b3f4c5d0f167d3da.d: crates/sim/tests/semantics.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsemantics-b3f4c5d0f167d3da.rmeta: crates/sim/tests/semantics.rs Cargo.toml
+
+crates/sim/tests/semantics.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/serde-415a0bccd30510c7.d: shims/serde/src/lib.rs
+
+/root/repo/target/debug/deps/serde-415a0bccd30510c7: shims/serde/src/lib.rs
+
+shims/serde/src/lib.rs:

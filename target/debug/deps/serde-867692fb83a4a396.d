@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/serde-867692fb83a4a396.d: shims/serde/src/lib.rs
+
+/root/repo/target/debug/deps/libserde-867692fb83a4a396.rlib: shims/serde/src/lib.rs
+
+/root/repo/target/debug/deps/libserde-867692fb83a4a396.rmeta: shims/serde/src/lib.rs
+
+shims/serde/src/lib.rs:

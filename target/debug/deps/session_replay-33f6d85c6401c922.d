@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/session_replay-33f6d85c6401c922.d: tests/session_replay.rs
+
+/root/repo/target/debug/deps/session_replay-33f6d85c6401c922: tests/session_replay.rs
+
+tests/session_replay.rs:

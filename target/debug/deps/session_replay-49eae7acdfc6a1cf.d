@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/session_replay-49eae7acdfc6a1cf.d: tests/session_replay.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsession_replay-49eae7acdfc6a1cf.rmeta: tests/session_replay.rs Cargo.toml
+
+tests/session_replay.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

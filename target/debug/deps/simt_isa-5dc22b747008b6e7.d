@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/simt_isa-5dc22b747008b6e7.d: crates/isa/src/lib.rs crates/isa/src/cfg.rs crates/isa/src/error.rs crates/isa/src/instr.rs crates/isa/src/kernel.rs crates/isa/src/lower.rs crates/isa/src/op.rs crates/isa/src/parse.rs crates/isa/src/reg.rs
+
+/root/repo/target/debug/deps/simt_isa-5dc22b747008b6e7: crates/isa/src/lib.rs crates/isa/src/cfg.rs crates/isa/src/error.rs crates/isa/src/instr.rs crates/isa/src/kernel.rs crates/isa/src/lower.rs crates/isa/src/op.rs crates/isa/src/parse.rs crates/isa/src/reg.rs
+
+crates/isa/src/lib.rs:
+crates/isa/src/cfg.rs:
+crates/isa/src/error.rs:
+crates/isa/src/instr.rs:
+crates/isa/src/kernel.rs:
+crates/isa/src/lower.rs:
+crates/isa/src/op.rs:
+crates/isa/src/parse.rs:
+crates/isa/src/reg.rs:

@@ -1,0 +1,17 @@
+/root/repo/target/debug/deps/simt_isa-75933ae722a4eebe.d: crates/isa/src/lib.rs crates/isa/src/cfg.rs crates/isa/src/error.rs crates/isa/src/instr.rs crates/isa/src/kernel.rs crates/isa/src/lower.rs crates/isa/src/op.rs crates/isa/src/parse.rs crates/isa/src/reg.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsimt_isa-75933ae722a4eebe.rmeta: crates/isa/src/lib.rs crates/isa/src/cfg.rs crates/isa/src/error.rs crates/isa/src/instr.rs crates/isa/src/kernel.rs crates/isa/src/lower.rs crates/isa/src/op.rs crates/isa/src/parse.rs crates/isa/src/reg.rs Cargo.toml
+
+crates/isa/src/lib.rs:
+crates/isa/src/cfg.rs:
+crates/isa/src/error.rs:
+crates/isa/src/instr.rs:
+crates/isa/src/kernel.rs:
+crates/isa/src/lower.rs:
+crates/isa/src/op.rs:
+crates/isa/src/parse.rs:
+crates/isa/src/reg.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

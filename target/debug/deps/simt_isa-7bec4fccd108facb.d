@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/simt_isa-7bec4fccd108facb.d: crates/isa/src/lib.rs crates/isa/src/cfg.rs crates/isa/src/error.rs crates/isa/src/instr.rs crates/isa/src/kernel.rs crates/isa/src/lower.rs crates/isa/src/op.rs crates/isa/src/parse.rs crates/isa/src/reg.rs
+
+/root/repo/target/debug/deps/libsimt_isa-7bec4fccd108facb.rlib: crates/isa/src/lib.rs crates/isa/src/cfg.rs crates/isa/src/error.rs crates/isa/src/instr.rs crates/isa/src/kernel.rs crates/isa/src/lower.rs crates/isa/src/op.rs crates/isa/src/parse.rs crates/isa/src/reg.rs
+
+/root/repo/target/debug/deps/libsimt_isa-7bec4fccd108facb.rmeta: crates/isa/src/lib.rs crates/isa/src/cfg.rs crates/isa/src/error.rs crates/isa/src/instr.rs crates/isa/src/kernel.rs crates/isa/src/lower.rs crates/isa/src/op.rs crates/isa/src/parse.rs crates/isa/src/reg.rs
+
+crates/isa/src/lib.rs:
+crates/isa/src/cfg.rs:
+crates/isa/src/error.rs:
+crates/isa/src/instr.rs:
+crates/isa/src/kernel.rs:
+crates/isa/src/lower.rs:
+crates/isa/src/op.rs:
+crates/isa/src/parse.rs:
+crates/isa/src/reg.rs:

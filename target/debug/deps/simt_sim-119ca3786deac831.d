@@ -1,0 +1,17 @@
+/root/repo/target/debug/deps/simt_sim-119ca3786deac831.d: crates/sim/src/lib.rs crates/sim/src/cache.rs crates/sim/src/config.rs crates/sim/src/error.rs crates/sim/src/fault.rs crates/sim/src/gpu.rs crates/sim/src/launch.rs crates/sim/src/mem.rs crates/sim/src/observer.rs crates/sim/src/regfile.rs crates/sim/src/session.rs crates/sim/src/sm.rs crates/sim/src/warp.rs
+
+/root/repo/target/debug/deps/simt_sim-119ca3786deac831: crates/sim/src/lib.rs crates/sim/src/cache.rs crates/sim/src/config.rs crates/sim/src/error.rs crates/sim/src/fault.rs crates/sim/src/gpu.rs crates/sim/src/launch.rs crates/sim/src/mem.rs crates/sim/src/observer.rs crates/sim/src/regfile.rs crates/sim/src/session.rs crates/sim/src/sm.rs crates/sim/src/warp.rs
+
+crates/sim/src/lib.rs:
+crates/sim/src/cache.rs:
+crates/sim/src/config.rs:
+crates/sim/src/error.rs:
+crates/sim/src/fault.rs:
+crates/sim/src/gpu.rs:
+crates/sim/src/launch.rs:
+crates/sim/src/mem.rs:
+crates/sim/src/observer.rs:
+crates/sim/src/regfile.rs:
+crates/sim/src/session.rs:
+crates/sim/src/sm.rs:
+crates/sim/src/warp.rs:

@@ -1,0 +1,21 @@
+/root/repo/target/debug/deps/simt_sim-b825cdf73a7b7389.d: crates/sim/src/lib.rs crates/sim/src/cache.rs crates/sim/src/config.rs crates/sim/src/error.rs crates/sim/src/fault.rs crates/sim/src/gpu.rs crates/sim/src/launch.rs crates/sim/src/mem.rs crates/sim/src/observer.rs crates/sim/src/regfile.rs crates/sim/src/session.rs crates/sim/src/sm.rs crates/sim/src/warp.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsimt_sim-b825cdf73a7b7389.rmeta: crates/sim/src/lib.rs crates/sim/src/cache.rs crates/sim/src/config.rs crates/sim/src/error.rs crates/sim/src/fault.rs crates/sim/src/gpu.rs crates/sim/src/launch.rs crates/sim/src/mem.rs crates/sim/src/observer.rs crates/sim/src/regfile.rs crates/sim/src/session.rs crates/sim/src/sm.rs crates/sim/src/warp.rs Cargo.toml
+
+crates/sim/src/lib.rs:
+crates/sim/src/cache.rs:
+crates/sim/src/config.rs:
+crates/sim/src/error.rs:
+crates/sim/src/fault.rs:
+crates/sim/src/gpu.rs:
+crates/sim/src/launch.rs:
+crates/sim/src/mem.rs:
+crates/sim/src/observer.rs:
+crates/sim/src/regfile.rs:
+crates/sim/src/session.rs:
+crates/sim/src/sm.rs:
+crates/sim/src/warp.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

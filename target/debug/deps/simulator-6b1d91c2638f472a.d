@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/simulator-6b1d91c2638f472a.d: crates/bench/benches/simulator.rs
+
+/root/repo/target/debug/deps/simulator-6b1d91c2638f472a: crates/bench/benches/simulator.rs
+
+crates/bench/benches/simulator.rs:

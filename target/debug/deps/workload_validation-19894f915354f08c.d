@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/workload_validation-19894f915354f08c.d: tests/workload_validation.rs Cargo.toml
+
+/root/repo/target/debug/deps/libworkload_validation-19894f915354f08c.rmeta: tests/workload_validation.rs Cargo.toml
+
+tests/workload_validation.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

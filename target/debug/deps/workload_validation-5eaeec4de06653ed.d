@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/workload_validation-5eaeec4de06653ed.d: tests/workload_validation.rs
+
+/root/repo/target/debug/deps/workload_validation-5eaeec4de06653ed: tests/workload_validation.rs
+
+tests/workload_validation.rs:

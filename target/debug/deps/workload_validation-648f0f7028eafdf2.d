@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/workload_validation-648f0f7028eafdf2.d: tests/workload_validation.rs
+
+/root/repo/target/debug/deps/workload_validation-648f0f7028eafdf2: tests/workload_validation.rs
+
+tests/workload_validation.rs:

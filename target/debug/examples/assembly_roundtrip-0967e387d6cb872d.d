@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/assembly_roundtrip-0967e387d6cb872d.d: examples/assembly_roundtrip.rs
+
+/root/repo/target/debug/examples/assembly_roundtrip-0967e387d6cb872d: examples/assembly_roundtrip.rs
+
+examples/assembly_roundtrip.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/assembly_roundtrip-3dcf3414f8b2a242.d: examples/assembly_roundtrip.rs
+
+/root/repo/target/debug/examples/assembly_roundtrip-3dcf3414f8b2a242: examples/assembly_roundtrip.rs
+
+examples/assembly_roundtrip.rs:

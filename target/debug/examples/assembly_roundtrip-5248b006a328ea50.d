@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/assembly_roundtrip-5248b006a328ea50.d: examples/assembly_roundtrip.rs Cargo.toml
+
+/root/repo/target/debug/examples/libassembly_roundtrip-5248b006a328ea50.rmeta: examples/assembly_roundtrip.rs Cargo.toml
+
+examples/assembly_roundtrip.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/avf_study-1db1a86980374b0a.d: examples/avf_study.rs Cargo.toml
+
+/root/repo/target/debug/examples/libavf_study-1db1a86980374b0a.rmeta: examples/avf_study.rs Cargo.toml
+
+examples/avf_study.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/avf_study-4285c25824a50e19.d: examples/avf_study.rs
+
+/root/repo/target/debug/examples/avf_study-4285c25824a50e19: examples/avf_study.rs
+
+examples/avf_study.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/avf_study-de00adbe5bbda6d4.d: examples/avf_study.rs
+
+/root/repo/target/debug/examples/avf_study-de00adbe5bbda6d4: examples/avf_study.rs
+
+examples/avf_study.rs:

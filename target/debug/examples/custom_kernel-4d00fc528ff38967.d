@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/custom_kernel-4d00fc528ff38967.d: examples/custom_kernel.rs
+
+/root/repo/target/debug/examples/custom_kernel-4d00fc528ff38967: examples/custom_kernel.rs
+
+examples/custom_kernel.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/custom_kernel-70931de737a8410c.d: examples/custom_kernel.rs
+
+/root/repo/target/debug/examples/custom_kernel-70931de737a8410c: examples/custom_kernel.rs
+
+examples/custom_kernel.rs:

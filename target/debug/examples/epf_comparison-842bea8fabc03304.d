@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/epf_comparison-842bea8fabc03304.d: examples/epf_comparison.rs
+
+/root/repo/target/debug/examples/epf_comparison-842bea8fabc03304: examples/epf_comparison.rs
+
+examples/epf_comparison.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/epf_comparison-baf101b55a0fc694.d: examples/epf_comparison.rs
+
+/root/repo/target/debug/examples/epf_comparison-baf101b55a0fc694: examples/epf_comparison.rs
+
+examples/epf_comparison.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/epf_comparison-c836b8aa41c97889.d: examples/epf_comparison.rs Cargo.toml
+
+/root/repo/target/debug/examples/libepf_comparison-c836b8aa41c97889.rmeta: examples/epf_comparison.rs Cargo.toml
+
+examples/epf_comparison.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

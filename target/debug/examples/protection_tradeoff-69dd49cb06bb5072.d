@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/protection_tradeoff-69dd49cb06bb5072.d: examples/protection_tradeoff.rs
+
+/root/repo/target/debug/examples/protection_tradeoff-69dd49cb06bb5072: examples/protection_tradeoff.rs
+
+examples/protection_tradeoff.rs:

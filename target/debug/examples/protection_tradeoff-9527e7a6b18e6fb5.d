@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/protection_tradeoff-9527e7a6b18e6fb5.d: examples/protection_tradeoff.rs
+
+/root/repo/target/debug/examples/protection_tradeoff-9527e7a6b18e6fb5: examples/protection_tradeoff.rs
+
+examples/protection_tradeoff.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/protection_tradeoff-d4ff14887cdc0f9d.d: examples/protection_tradeoff.rs Cargo.toml
+
+/root/repo/target/debug/examples/libprotection_tradeoff-d4ff14887cdc0f9d.rmeta: examples/protection_tradeoff.rs Cargo.toml
+
+examples/protection_tradeoff.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-00b6282cd783bd28.d: examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-00b6282cd783bd28: examples/quickstart.rs
+
+examples/quickstart.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-86fd6715b747731a.d: examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-86fd6715b747731a: examples/quickstart.rs
+
+examples/quickstart.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/gpu_archs-39ea6a2c204ccc78.d: crates/archs/src/lib.rs
+
+/root/repo/target/release/deps/libgpu_archs-39ea6a2c204ccc78.rlib: crates/archs/src/lib.rs
+
+/root/repo/target/release/deps/libgpu_archs-39ea6a2c204ccc78.rmeta: crates/archs/src/lib.rs
+
+crates/archs/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/gpu_reliability_repro-ca9eabeca5586a03.d: src/lib.rs
+
+/root/repo/target/release/deps/libgpu_reliability_repro-ca9eabeca5586a03.rlib: src/lib.rs
+
+/root/repo/target/release/deps/libgpu_reliability_repro-ca9eabeca5586a03.rmeta: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/grel_bench-729627cd99fc0b55.d: crates/bench/src/lib.rs
+
+/root/repo/target/release/deps/libgrel_bench-729627cd99fc0b55.rlib: crates/bench/src/lib.rs
+
+/root/repo/target/release/deps/libgrel_bench-729627cd99fc0b55.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

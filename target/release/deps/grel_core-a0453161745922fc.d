@@ -1,0 +1,15 @@
+/root/repo/target/release/deps/grel_core-a0453161745922fc.d: crates/core/src/lib.rs crates/core/src/ace.rs crates/core/src/breakdown.rs crates/core/src/campaign.rs crates/core/src/epf.rs crates/core/src/perf.rs crates/core/src/protection.rs crates/core/src/stats.rs crates/core/src/study.rs
+
+/root/repo/target/release/deps/libgrel_core-a0453161745922fc.rlib: crates/core/src/lib.rs crates/core/src/ace.rs crates/core/src/breakdown.rs crates/core/src/campaign.rs crates/core/src/epf.rs crates/core/src/perf.rs crates/core/src/protection.rs crates/core/src/stats.rs crates/core/src/study.rs
+
+/root/repo/target/release/deps/libgrel_core-a0453161745922fc.rmeta: crates/core/src/lib.rs crates/core/src/ace.rs crates/core/src/breakdown.rs crates/core/src/campaign.rs crates/core/src/epf.rs crates/core/src/perf.rs crates/core/src/protection.rs crates/core/src/stats.rs crates/core/src/study.rs
+
+crates/core/src/lib.rs:
+crates/core/src/ace.rs:
+crates/core/src/breakdown.rs:
+crates/core/src/campaign.rs:
+crates/core/src/epf.rs:
+crates/core/src/perf.rs:
+crates/core/src/protection.rs:
+crates/core/src/stats.rs:
+crates/core/src/study.rs:

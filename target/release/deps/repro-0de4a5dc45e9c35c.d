@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/repro-0de4a5dc45e9c35c.d: crates/bench/src/bin/repro.rs
+
+/root/repo/target/release/deps/repro-0de4a5dc45e9c35c: crates/bench/src/bin/repro.rs
+
+crates/bench/src/bin/repro.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/serde_derive-1632c72d5cf9fb72.d: shims/serde_derive/src/lib.rs
+
+/root/repo/target/release/deps/libserde_derive-1632c72d5cf9fb72.so: shims/serde_derive/src/lib.rs
+
+shims/serde_derive/src/lib.rs:

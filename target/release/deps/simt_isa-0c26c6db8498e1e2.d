@@ -1,0 +1,15 @@
+/root/repo/target/release/deps/simt_isa-0c26c6db8498e1e2.d: crates/isa/src/lib.rs crates/isa/src/cfg.rs crates/isa/src/error.rs crates/isa/src/instr.rs crates/isa/src/kernel.rs crates/isa/src/lower.rs crates/isa/src/op.rs crates/isa/src/parse.rs crates/isa/src/reg.rs
+
+/root/repo/target/release/deps/libsimt_isa-0c26c6db8498e1e2.rlib: crates/isa/src/lib.rs crates/isa/src/cfg.rs crates/isa/src/error.rs crates/isa/src/instr.rs crates/isa/src/kernel.rs crates/isa/src/lower.rs crates/isa/src/op.rs crates/isa/src/parse.rs crates/isa/src/reg.rs
+
+/root/repo/target/release/deps/libsimt_isa-0c26c6db8498e1e2.rmeta: crates/isa/src/lib.rs crates/isa/src/cfg.rs crates/isa/src/error.rs crates/isa/src/instr.rs crates/isa/src/kernel.rs crates/isa/src/lower.rs crates/isa/src/op.rs crates/isa/src/parse.rs crates/isa/src/reg.rs
+
+crates/isa/src/lib.rs:
+crates/isa/src/cfg.rs:
+crates/isa/src/error.rs:
+crates/isa/src/instr.rs:
+crates/isa/src/kernel.rs:
+crates/isa/src/lower.rs:
+crates/isa/src/op.rs:
+crates/isa/src/parse.rs:
+crates/isa/src/reg.rs:

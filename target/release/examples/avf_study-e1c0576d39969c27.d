@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/avf_study-e1c0576d39969c27.d: examples/avf_study.rs
+
+/root/repo/target/release/examples/avf_study-e1c0576d39969c27: examples/avf_study.rs
+
+examples/avf_study.rs:

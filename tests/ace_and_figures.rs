@@ -10,7 +10,11 @@ use gpu_reliability_repro::workloads::{MatrixMul, Transpose, VectorAdd, Workload
 
 fn smoke_cfg(injections: u32) -> StudyConfig {
     StudyConfig {
-        campaign: CampaignConfig { injections, seed: 2017, threads: 4, watchdog_factor: 10 },
+        campaign: CampaignConfig {
+            injections,
+            threads: 4,
+            ..CampaignConfig::quick(2017)
+        },
         workload_seed: 2017,
         fi_on_unused_lds: false,
         ace_mode: AceMode::LiveUntilOverwrite,
@@ -119,5 +123,9 @@ fn study_reproduces_figure_shapes_at_smoke_scale() {
         f.lds_ace_gap
     );
     // And F2: occupancy correlation is positive.
-    assert!(f.rf_avf_occupancy_corr > 0.0, "r = {}", f.rf_avf_occupancy_corr);
+    assert!(
+        f.rf_avf_occupancy_corr > 0.0,
+        "r = {}",
+        f.rf_avf_occupancy_corr
+    );
 }

@@ -9,7 +9,11 @@ use gpu_reliability_repro::sim::{FaultSite, Gpu, NoopObserver, Structure};
 use gpu_reliability_repro::workloads::{Histogram, Kmeans, Transpose, VectorAdd, Workload};
 
 fn cfg(n: u32, threads: usize) -> CampaignConfig {
-    CampaignConfig { injections: n, seed: 42, threads, watchdog_factor: 10 }
+    CampaignConfig {
+        injections: n,
+        threads,
+        ..CampaignConfig::quick(42)
+    }
 }
 
 #[test]
@@ -23,7 +27,10 @@ fn campaign_outcomes_are_seed_deterministic_and_thread_invariant() {
         &arch,
         &w,
         Structure::VectorRegisterFile,
-        CampaignConfig { seed: 43, ..cfg(24, 4) },
+        CampaignConfig {
+            seed: 43,
+            ..cfg(24, 4)
+        },
     )
     .unwrap();
     // Same totals, potentially different split.
@@ -46,7 +53,7 @@ fn flip_in_never_allocated_space_is_always_masked() {
             cycle: golden.cycles / 2,
         })
         .collect();
-    let outcomes = run_injections(&arch, &w, &golden, &sites, cfg(8, 2));
+    let outcomes = run_injections(&arch, &w, &golden, &sites, cfg(8, 2)).unwrap();
     assert!(
         outcomes.iter().all(|o| *o == Outcome::Masked),
         "unallocated space must be invulnerable: {outcomes:?}"
@@ -65,7 +72,7 @@ fn flip_after_execution_finishes_is_masked() {
         bit: 0,
         cycle: golden.cycles.saturating_sub(1),
     };
-    let outcomes = run_injections(&arch, &w, &golden, &[site], cfg(1, 1));
+    let outcomes = run_injections(&arch, &w, &golden, &[site], cfg(1, 1)).unwrap();
     // The very last cycles are drain; a flip in the RF there is almost
     // always dead. (Not a tautology: the site targets word 0, which IS
     // used early in the launch.)
@@ -99,8 +106,14 @@ fn scalar_register_file_campaign_runs_on_si_only() {
 fn sample_sites_cover_the_structure() {
     let arch = geforce_gtx_480();
     let sites = sample_sites(&arch, Structure::LocalMemory, 10_000, 500, 1);
-    assert!(sites.iter().any(|s| s.sm >= arch.num_sms / 2), "high SMs sampled");
-    assert!(sites.iter().any(|s| s.sm < arch.num_sms / 2), "low SMs sampled");
+    assert!(
+        sites.iter().any(|s| s.sm >= arch.num_sms / 2),
+        "high SMs sampled"
+    );
+    assert!(
+        sites.iter().any(|s| s.sm < arch.num_sms / 2),
+        "low SMs sampled"
+    );
     assert!(sites.iter().any(|s| s.bit >= 16) && sites.iter().any(|s| s.bit < 16));
     let max_word = arch.lds_words_per_sm();
     assert!(sites.iter().all(|s| s.word < max_word));

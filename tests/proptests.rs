@@ -46,9 +46,9 @@ proptest! {
         let w = VectorAdd::new(256, 3);
         let golden = golden_run(&arch, &w).unwrap();
         let sites = sample_sites(&arch, Structure::VectorRegisterFile, golden.cycles, 4, seed);
-        let cfg = CampaignConfig { injections: 4, seed, threads: 1, watchdog_factor: 10 };
-        let o1 = run_injections(&arch, &w, &golden, &sites, cfg);
-        let o2 = run_injections(&arch, &w, &golden, &sites, cfg);
+        let cfg = CampaignConfig { injections: 4, threads: 1, ..CampaignConfig::quick(seed) };
+        let o1 = run_injections(&arch, &w, &golden, &sites, cfg).unwrap();
+        let o2 = run_injections(&arch, &w, &golden, &sites, cfg).unwrap();
         prop_assert_eq!(o1, o2);
     }
 }
