@@ -1,0 +1,66 @@
+//! Criterion bench guarding the telemetry overhead contract: a campaign
+//! run through the hooked entry points with [`NoopHook`] must stay
+//! within noise of the pre-telemetry code path (the hooks monomorphise
+//! away), and a live [`RegistryHook`] must cost only a few percent.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use gpu_archs::geforce_gtx_480;
+use gpu_workloads::VectorAdd;
+use grel_core::campaign::{run_campaign, run_campaign_hooked, CampaignConfig};
+use grel_telemetry::{MetricsRegistry, NoopHook, RegistryHook};
+use simt_sim::Structure;
+
+fn campaign_cfg() -> CampaignConfig {
+    let mut cfg = CampaignConfig::quick(11);
+    cfg.injections = 24;
+    cfg.threads = 1;
+    cfg
+}
+
+/// The same register-file campaign three ways: the plain entry point
+/// (what pre-telemetry callers compiled), the hooked entry point with
+/// the no-op hook (must be the same machine code modulo inlining), and
+/// a live metrics registry (the real-world instrumented cost).
+fn campaign_telemetry_overhead(c: &mut Criterion) {
+    let arch = geforce_gtx_480();
+    let w = VectorAdd::new(1024, 11);
+    let cfg = campaign_cfg();
+    let mut g = c.benchmark_group("campaign_telemetry_overhead");
+    g.bench_function("plain", |b| {
+        b.iter(|| run_campaign(&arch, &w, Structure::VectorRegisterFile, cfg).unwrap())
+    });
+    g.bench_function("noop_hook", |b| {
+        b.iter(|| {
+            run_campaign_hooked(&arch, &w, Structure::VectorRegisterFile, cfg, &NoopHook).unwrap()
+        })
+    });
+    g.bench_function("registry_hook", |b| {
+        let registry = MetricsRegistry::new();
+        let hook = RegistryHook::new(&registry);
+        b.iter(|| {
+            run_campaign_hooked(&arch, &w, Structure::VectorRegisterFile, cfg, &hook).unwrap()
+        })
+    });
+    g.finish();
+}
+
+/// The raw record path: one counter bump and one histogram observation
+/// against an uncontended thread-local shard.
+fn registry_record_cost(c: &mut Criterion) {
+    let registry = MetricsRegistry::new();
+    let mut g = c.benchmark_group("registry_record");
+    g.bench_function("counter", |b| {
+        b.iter(|| registry.counter("bench_counter_total", 1))
+    });
+    g.bench_function("observe", |b| {
+        b.iter(|| registry.observe("bench_seconds", 0.0125))
+    });
+    g.finish();
+}
+
+criterion_group! {
+    name = telemetry;
+    config = Criterion::default().sample_size(10);
+    targets = campaign_telemetry_overhead, registry_record_cost
+}
+criterion_main!(telemetry);

@@ -1,7 +1,7 @@
 //! `repro` — regenerates every figure of the ISPASS 2017 paper.
 //!
 //! ```text
-//! repro [fig1|fig2|fig3|findings|stats|all] [options]
+//! repro [fig1|fig2|fig3|findings|stats|all|report] [options]
 //!
 //! Options:
 //!   --injections N      fault injections per structure (default 200)
@@ -15,7 +15,14 @@
 //!   --experiments PATH  also write the EXPERIMENTS.md result body
 //!   --checkpoint-interval N  checkpoint ladder spacing in cycles (0 = auto)
 //!   --no-checkpoints    disable checkpointed replay (from-zero replays)
+//!   --metrics PATH      write telemetry (events + final metrics) as JSONL
+//!   --progress          live progress line on stderr (done/total, inj/s, ETA)
+//!   --quiet, -q         suppress status lines on stderr (errors still print)
+//!   -v, --verbose       also print debug-level status lines
 //! ```
+//!
+//! `repro report <metrics.jsonl>` renders a markdown run report from a
+//! JSONL file produced by `--metrics`.
 
 use gpu_archs::all_devices;
 use gpu_workloads::Workload;
@@ -30,9 +37,15 @@ use grel_core::campaign::{
 };
 use grel_core::epf::structure_fit;
 use grel_core::stats::{error_margin, required_sample_size, Z_99};
-use grel_core::study::{evaluate_point, run_study, StudyConfig};
+use grel_core::study::{evaluate_point, run_study, run_study_hooked, StudyConfig};
+use grel_telemetry::{
+    Event, EventSink, JsonlSink, LogLevel, Logger, MetricsRegistry, NullSink, ProgressHook,
+    RegistryHook,
+};
 use simt_sim::{ArchConfig, Gpu, SchedulerPolicy, Structure};
+use std::path::Path;
 use std::process::ExitCode;
+use std::sync::Arc;
 
 struct Args {
     command: String,
@@ -46,6 +59,10 @@ struct Args {
     experiments: Option<String>,
     checkpoint_interval: u64,
     no_checkpoints: bool,
+    metrics: Option<String>,
+    progress: bool,
+    log_level: LogLevel,
+    report_path: Option<String>,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -63,13 +80,17 @@ fn parse_args() -> Result<Args, String> {
         experiments: None,
         checkpoint_interval: 0,
         no_checkpoints: false,
+        metrics: None,
+        progress: false,
+        log_level: LogLevel::Info,
+        report_path: None,
     };
     let mut it = std::env::args().skip(1);
     while let Some(a) = it.next() {
         match a.as_str() {
             "fig1" | "fig2" | "fig3" | "findings" | "stats" | "all" | "outcomes" | "perf"
             | "bits" | "phases" | "mbu" | "protect" | "ablate-sched" | "ablate-rfsize"
-            | "ablate-ace" | "bench-campaign" => args.command = a,
+            | "ablate-ace" | "bench-campaign" | "report" => args.command = a,
             "--injections" => {
                 args.injections = it
                     .next()
@@ -103,6 +124,10 @@ fn parse_args() -> Result<Args, String> {
                     .map_err(|e| format!("bad --checkpoint-interval: {e}"))?;
             }
             "--no-checkpoints" => args.no_checkpoints = true,
+            "--metrics" => args.metrics = Some(it.next().ok_or("--metrics needs a value")?),
+            "--progress" => args.progress = true,
+            "--quiet" | "-q" => args.log_level = LogLevel::Quiet,
+            "-v" | "--verbose" => args.log_level = LogLevel::Debug,
             "--csv" => args.csv = Some(it.next().ok_or("--csv needs a value")?),
             "--experiments" => {
                 args.experiments = Some(it.next().ok_or("--experiments needs a value")?)
@@ -110,6 +135,9 @@ fn parse_args() -> Result<Args, String> {
             "--help" | "-h" => {
                 println!("{HELP}");
                 std::process::exit(0);
+            }
+            other if args.command == "report" && args.report_path.is_none() => {
+                args.report_path = Some(other.to_string())
             }
             other => return Err(format!("unknown argument: {other}")),
         }
@@ -124,6 +152,8 @@ usage: repro [COMMAND] [--injections N] [--paper] [--seed S] [--threads T]
              [--smoke] [--device NAME] [--workload NAME]
              [--csv PATH] [--experiments PATH]
              [--checkpoint-interval N] [--no-checkpoints]
+             [--metrics PATH] [--progress] [--quiet] [-v]
+       repro report <metrics.jsonl>
 
 commands:
   fig1          register-file AVF: FI vs ACE vs occupancy  (paper Fig. 1)
@@ -141,7 +171,15 @@ commands:
   ablate-sched  extension: warp scheduler (LRR vs GTO) vs AVF and cycles
   ablate-rfsize extension: register-file size sweep vs AVF and FIT
   ablate-ace    extension: conservative vs refined ACE vs FI
-  bench-campaign  measure checkpointed-replay speedup vs from-zero replay";
+  bench-campaign  measure checkpointed-replay speedup vs from-zero replay
+  report        render a markdown run report from a --metrics JSONL file
+
+telemetry:
+  --metrics PATH writes one JSON object per line: structured events
+  (golden.done, ladder.done, campaign.done, study.point, log) while the
+  study runs, then the final counter/gauge/histogram values. --progress
+  draws a live done/total + inj/s + ETA line on stderr. Neither flag
+  changes campaign results.";
 
 fn main() -> ExitCode {
     let args = match parse_args() {
@@ -151,6 +189,30 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
+
+    if args.command == "report" {
+        let Some(path) = &args.report_path else {
+            eprintln!("error: report needs the path of a --metrics JSONL file\n{HELP}");
+            return ExitCode::FAILURE;
+        };
+        let text = match std::fs::read_to_string(path) {
+            Ok(t) => t,
+            Err(e) => {
+                eprintln!("error: reading {path}: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        return match grel_bench::report::render_run_report(&text) {
+            Ok(md) => {
+                print!("{md}");
+                ExitCode::SUCCESS
+            }
+            Err(e) => {
+                eprintln!("error: {path}: {e}");
+                ExitCode::FAILURE
+            }
+        };
+    }
 
     if args.command == "stats" {
         println!("== Statistical fault injection calibration (paper footnote 4) ==");
@@ -167,6 +229,21 @@ fn main() -> ExitCode {
         return ExitCode::SUCCESS;
     }
 
+    // Every status line goes through the level-gated logger; with
+    // --metrics the sink also receives each line as a `log` event, so
+    // stdout stays purely machine-parseable figure output.
+    let sink: Arc<dyn EventSink> = match &args.metrics {
+        Some(path) => match JsonlSink::to_file(Path::new(path)) {
+            Ok(s) => Arc::new(s),
+            Err(e) => {
+                eprintln!("error: cannot open metrics file {path}: {e}");
+                return ExitCode::FAILURE;
+            }
+        },
+        None => Arc::new(NullSink),
+    };
+    let log = Logger::with_sink(args.log_level, Arc::clone(&sink));
+
     let mut archs = all_devices();
     if let Some(d) = &args.device {
         let dl = d.to_ascii_lowercase();
@@ -175,7 +252,7 @@ fn main() -> ExitCode {
                 || a.microarch.to_ascii_lowercase().contains(&dl)
         });
         if archs.is_empty() {
-            eprintln!("error: no device matches '{d}'");
+            log.error(&format!("no device matches '{d}'"));
             return ExitCode::FAILURE;
         }
     }
@@ -184,7 +261,7 @@ fn main() -> ExitCode {
         let wl = w.to_ascii_lowercase();
         workloads.retain(|x| x.name().to_ascii_lowercase().contains(&wl));
         if workloads.is_empty() {
-            eprintln!("error: no workload matches '{w}'");
+            log.error(&format!("no workload matches '{w}'"));
             return ExitCode::FAILURE;
         }
     }
@@ -207,7 +284,7 @@ fn main() -> ExitCode {
     };
 
     match args.command.as_str() {
-        "bench-campaign" => return bench_campaign(&archs, &workloads, &cfg),
+        "bench-campaign" => return bench_campaign(&archs, &workloads, &cfg, &log),
         "ablate-sched" => return ablate_scheduler(&archs, &workloads, &cfg),
         "ablate-rfsize" => return ablate_rf_size(&archs, &workloads, &cfg),
         "ablate-ace" => return ablate_ace(&archs, &workloads, &cfg),
@@ -220,24 +297,108 @@ fn main() -> ExitCode {
     }
 
     let margin = error_margin(u64::MAX, args.injections.max(1) as u64, Z_99);
-    eprintln!(
+    log.info(&format!(
         "running study: {} workloads x {} devices, {} injections/structure (+/-{:.2}% @ 99%), {} threads",
         workloads.len(),
         archs.len(),
         args.injections,
         margin * 100.0,
         args.threads
-    );
+    ));
+    log.debug(&format!(
+        "checkpoints: interval {} cycles (0 = auto), budget {}",
+        cfg.campaign.checkpoint_interval,
+        if args.no_checkpoints {
+            "disabled"
+        } else {
+            "auto"
+        }
+    ));
 
+    let registry = MetricsRegistry::new();
+    if args.metrics.is_some() {
+        sink.emit(
+            &Event::new("run.meta")
+                .field("command", args.command.as_str())
+                .field("injections", args.injections as u64)
+                .field("seed", args.seed)
+                .field("threads", args.threads as u64)
+                .field("devices", archs.len() as u64)
+                .field("workloads", workloads.len() as u64)
+                .field(
+                    "scale",
+                    if args.scale == Scale::Smoke {
+                        "smoke"
+                    } else {
+                        "default"
+                    },
+                ),
+        );
+    }
+    let telemetry_on = args.metrics.is_some() || args.progress;
     let start = std::time::Instant::now();
-    let study = match run_study(&archs, &workloads, &cfg) {
+    let outcome = if telemetry_on {
+        let reg_hook = RegistryHook::with_sink(&registry, &*sink);
+        if args.progress {
+            // One campaign per structure: RF always, LDS when the
+            // workload touches local memory (mirrors evaluate_point).
+            let per_point: u64 = workloads
+                .iter()
+                .map(|w| 1 + u64::from(w.uses_local_memory() || cfg.fi_on_unused_lds))
+                .sum();
+            let total = per_point * archs.len() as u64 * args.injections as u64;
+            let prog = ProgressHook::new(total);
+            let study = run_study_hooked(&archs, &workloads, &cfg, &(reg_hook, &prog));
+            prog.finish();
+            study
+        } else {
+            run_study_hooked(&archs, &workloads, &cfg, &reg_hook)
+        }
+    } else {
+        run_study(&archs, &workloads, &cfg)
+    };
+    let study = match outcome {
         Ok(s) => s,
         Err(e) => {
-            eprintln!("error: study failed: {e}");
+            log.error(&format!("study failed: {e}"));
             return ExitCode::FAILURE;
         }
     };
-    eprintln!("study completed in {:.1?}", start.elapsed());
+    log.info(&format!("study completed in {:.1?}", start.elapsed()));
+
+    if let Some(path) = &args.metrics {
+        let snap = registry.snapshot();
+        for (name, value) in snap.counters() {
+            sink.emit(
+                &Event::new("counter")
+                    .field("name", name)
+                    .field("value", value),
+            );
+        }
+        for (name, value) in snap.gauges() {
+            sink.emit(
+                &Event::new("gauge")
+                    .field("name", name)
+                    .field("value", value),
+            );
+        }
+        for (name, h) in snap.histograms() {
+            sink.emit(
+                &Event::new("histogram")
+                    .field("name", name)
+                    .field("count", h.count())
+                    .field("sum", h.sum())
+                    .field("mean", h.mean())
+                    .field("min", h.min())
+                    .field("max", h.max())
+                    .field("p50", h.quantile(0.5))
+                    .field("p90", h.quantile(0.9))
+                    .field("p99", h.quantile(0.99)),
+            );
+        }
+        sink.flush();
+        log.info(&format!("wrote metrics to {path}"));
+    }
 
     match args.command.as_str() {
         "fig1" => print!(
@@ -305,19 +466,20 @@ fn main() -> ExitCode {
     );
     if let Some(path) = &args.csv {
         if let Err(e) = std::fs::write(path, to_csv(&study)) {
-            eprintln!("error: writing {path}: {e}");
+            log.error(&format!("writing {path}: {e}"));
             return ExitCode::FAILURE;
         }
-        eprintln!("wrote {path}");
+        log.info(&format!("wrote {path}"));
     }
     if let Some(path) = &args.experiments {
         let body = render_experiments_markdown(&study, &config_desc);
         if let Err(e) = std::fs::write(path, body) {
-            eprintln!("error: writing {path}: {e}");
+            log.error(&format!("writing {path}: {e}"));
             return ExitCode::FAILURE;
         }
-        eprintln!("wrote {path}");
+        log.info(&format!("wrote {path}"));
     }
+    sink.flush();
     ExitCode::SUCCESS
 }
 
@@ -568,6 +730,7 @@ fn bench_campaign(
     archs: &[ArchConfig],
     workloads: &[Box<dyn Workload>],
     cfg: &StudyConfig,
+    log: &Logger,
 ) -> ExitCode {
     use std::time::Instant;
     println!(
@@ -583,7 +746,7 @@ fn bench_campaign(
             let golden = match golden_run(arch, w.as_ref()) {
                 Ok(g) => g,
                 Err(e) => {
-                    eprintln!("error: golden run failed on {}: {e}", arch.name);
+                    log.error(&format!("golden run failed on {}: {e}", arch.name));
                     return ExitCode::FAILURE;
                 }
             };
@@ -595,23 +758,50 @@ fn bench_campaign(
                 cfg.campaign.seed,
             );
             let t0 = Instant::now();
-            let base = run_injections(arch, w.as_ref(), &golden, &sites, cfg.campaign)
-                .expect("from-zero replay");
+            let base = match run_injections(arch, w.as_ref(), &golden, &sites, cfg.campaign) {
+                Ok(t) => t,
+                Err(e) => {
+                    log.error(&format!(
+                        "from-zero replay failed on {} / {}: {e}",
+                        arch.name,
+                        w.name()
+                    ));
+                    return ExitCode::FAILURE;
+                }
+            };
             let t_zero = t0.elapsed();
             // The checkpointed side pays for building its own ladder, so
             // the comparison is end-to-end, not best-case.
             let t1 = Instant::now();
-            let ladder =
-                CheckpointLadder::build(arch, w.as_ref(), &golden, &cfg.campaign).expect("ladder");
-            let fast = run_injections_checkpointed(
+            let ladder = match CheckpointLadder::build(arch, w.as_ref(), &golden, &cfg.campaign) {
+                Ok(l) => l,
+                Err(e) => {
+                    log.error(&format!(
+                        "checkpoint ladder failed on {} / {}: {e}",
+                        arch.name,
+                        w.name()
+                    ));
+                    return ExitCode::FAILURE;
+                }
+            };
+            let fast = match run_injections_checkpointed(
                 arch,
                 w.as_ref(),
                 &golden,
                 &ladder,
                 &sites,
                 cfg.campaign,
-            )
-            .expect("checkpointed replay");
+            ) {
+                Ok(t) => t,
+                Err(e) => {
+                    log.error(&format!(
+                        "checkpointed replay failed on {} / {}: {e}",
+                        arch.name,
+                        w.name()
+                    ));
+                    return ExitCode::FAILURE;
+                }
+            };
             let t_ckpt = t1.elapsed();
             assert_eq!(base, fast, "checkpointed outcomes must match from-zero");
             println!(

@@ -1,0 +1,431 @@
+//! Markdown run reports from `--metrics` JSONL files.
+//!
+//! `repro --metrics run.jsonl …` leaves behind one JSON object per line:
+//! structured events (`run.meta`, `golden.done`, `ladder.done`,
+//! `campaign.done`, `study.point`, `log`) emitted while the study runs,
+//! followed by the final `counter` / `gauge` / `histogram` values of the
+//! metrics registry. [`render_run_report`] digests that file into a
+//! human-readable markdown report: run metadata, outcome tallies,
+//! throughput, checkpoint-replay savings and the top time sinks.
+
+use grel_telemetry::Json;
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+/// Everything the report needs, pulled out of the JSONL lines.
+#[derive(Debug, Default)]
+struct RunData {
+    meta: Option<Json>,
+    campaigns: Vec<Json>,
+    points: Vec<Json>,
+    counters: BTreeMap<String, u64>,
+    gauges: BTreeMap<String, f64>,
+    histograms: BTreeMap<String, Json>,
+}
+
+/// Splits `base{key="value"}` into the base name and the label value.
+fn split_label(name: &str) -> (&str, Option<&str>) {
+    let Some(brace) = name.find('{') else {
+        return (name, None);
+    };
+    let base = &name[..brace];
+    let label = name[brace..].split('"').nth(1).filter(|v| !v.is_empty());
+    (base, label)
+}
+
+fn parse_lines(text: &str) -> Result<RunData, String> {
+    let mut data = RunData::default();
+    for (idx, line) in text.lines().enumerate() {
+        if line.trim().is_empty() {
+            continue;
+        }
+        let obj = Json::parse(line).map_err(|e| format!("line {}: {e}", idx + 1))?;
+        let Some(event) = obj.get("event").and_then(Json::as_str) else {
+            return Err(format!("line {}: object has no \"event\" field", idx + 1));
+        };
+        match event {
+            "run.meta" => data.meta = Some(obj),
+            "campaign.done" => data.campaigns.push(obj),
+            "study.point" => data.points.push(obj),
+            "counter" => {
+                if let (Some(name), Some(value)) = (
+                    obj.get("name").and_then(Json::as_str),
+                    obj.get("value").and_then(Json::as_u64),
+                ) {
+                    data.counters.insert(name.to_string(), value);
+                }
+            }
+            "gauge" => {
+                if let (Some(name), Some(value)) = (
+                    obj.get("name").and_then(Json::as_str),
+                    obj.get("value").and_then(Json::as_f64),
+                ) {
+                    data.gauges.insert(name.to_string(), value);
+                }
+            }
+            "histogram" => {
+                if let Some(name) = obj.get("name").and_then(Json::as_str) {
+                    data.histograms.insert(name.to_string(), obj.clone());
+                }
+            }
+            // golden.done / ladder.done / log lines carry detail the
+            // report summarises from the aggregate metrics instead.
+            _ => {}
+        }
+    }
+    Ok(data)
+}
+
+/// Sums all counters whose base name (before any `{label}`) matches.
+fn counter_sum(data: &RunData, base: &str) -> u64 {
+    data.counters
+        .iter()
+        .filter(|(k, _)| split_label(k).0 == base)
+        .map(|(_, v)| *v)
+        .sum()
+}
+
+/// The labelled buckets of one counter family, in label order.
+fn counter_labels(data: &RunData, base: &str) -> Vec<(String, u64)> {
+    data.counters
+        .iter()
+        .filter_map(|(k, v)| {
+            let (b, label) = split_label(k);
+            (b == base).then(|| (label.unwrap_or("-").to_string(), *v))
+        })
+        .collect()
+}
+
+fn hist_field(data: &RunData, name: &str, field: &str) -> Option<f64> {
+    data.histograms
+        .get(name)
+        .and_then(|h| h.get(field))
+        .and_then(Json::as_f64)
+}
+
+fn fmt_secs(s: f64) -> String {
+    if s >= 1.0 {
+        format!("{s:.2} s")
+    } else if s >= 1e-3 {
+        format!("{:.2} ms", s * 1e3)
+    } else {
+        format!("{:.0} us", s * 1e6)
+    }
+}
+
+fn fmt_count(n: u64) -> String {
+    if n >= 10_000_000 {
+        format!("{:.1}M", n as f64 / 1e6)
+    } else if n >= 10_000 {
+        format!("{:.1}k", n as f64 / 1e3)
+    } else {
+        n.to_string()
+    }
+}
+
+/// Renders the markdown run report for a `--metrics` JSONL file.
+///
+/// Fails with a line-numbered message if any line is not valid JSON or
+/// is not an event object, so a truncated or corrupted file is reported
+/// instead of silently summarised.
+///
+/// # Example
+/// ```
+/// let jsonl = r#"{"event":"run.meta","command":"all","injections":50}
+/// {"event":"counter","name":"campaign_injections_total{outcome=\"masked\"}","value":40}"#;
+/// let md = grel_bench::report::render_run_report(jsonl).unwrap();
+/// assert!(md.starts_with("# Run report"));
+/// ```
+pub fn render_run_report(text: &str) -> Result<String, String> {
+    let data = parse_lines(text)?;
+    if data.meta.is_none()
+        && data.campaigns.is_empty()
+        && data.counters.is_empty()
+        && data.histograms.is_empty()
+    {
+        return Err("no telemetry events found (is this a --metrics JSONL file?)".into());
+    }
+    let mut out = String::new();
+    let w = &mut out;
+    writeln!(w, "# Run report").unwrap();
+    writeln!(w).unwrap();
+
+    if let Some(meta) = &data.meta {
+        let get_u = |k: &str| meta.get(k).and_then(Json::as_u64);
+        let get_s = |k: &str| meta.get(k).and_then(Json::as_str).unwrap_or("?");
+        writeln!(
+            w,
+            "`repro {}` — {} injections/structure, seed {}, {} threads, \
+             {} device(s) x {} workload(s), {} scale",
+            get_s("command"),
+            get_u("injections").unwrap_or(0),
+            get_u("seed").unwrap_or(0),
+            get_u("threads").unwrap_or(0),
+            get_u("devices").unwrap_or(0),
+            get_u("workloads").unwrap_or(0),
+            get_s("scale"),
+        )
+        .unwrap();
+        writeln!(w).unwrap();
+    }
+
+    // -- Outcome totals ------------------------------------------------
+    let outcomes = counter_labels(&data, "campaign_injections_total");
+    let total_inj = counter_sum(&data, "campaign_injections_total");
+    if !outcomes.is_empty() {
+        writeln!(w, "## Outcomes").unwrap();
+        writeln!(w).unwrap();
+        writeln!(w, "| outcome | injections | share |").unwrap();
+        writeln!(w, "|---|---:|---:|").unwrap();
+        for (label, count) in &outcomes {
+            writeln!(
+                w,
+                "| {label} | {count} | {:.1}% |",
+                *count as f64 / total_inj.max(1) as f64 * 100.0
+            )
+            .unwrap();
+        }
+        writeln!(w, "| **total** | **{total_inj}** | 100.0% |").unwrap();
+        writeln!(w).unwrap();
+    }
+    if !data.campaigns.is_empty() {
+        writeln!(w, "### Per campaign").unwrap();
+        writeln!(w).unwrap();
+        writeln!(
+            w,
+            "| workload | device | structure | masked | SDC | DUE | AVF | inj/s |"
+        )
+        .unwrap();
+        writeln!(w, "|---|---|---|---:|---:|---:|---:|---:|").unwrap();
+        for c in &data.campaigns {
+            let s = |k: &str| c.get(k).and_then(Json::as_str).unwrap_or("?").to_string();
+            let u = |k: &str| c.get(k).and_then(Json::as_u64).unwrap_or(0);
+            let f = |k: &str| c.get(k).and_then(Json::as_f64).unwrap_or(0.0);
+            writeln!(
+                w,
+                "| {} | {} | {} | {} | {} | {} | {:.1}% | {:.0} |",
+                s("workload"),
+                s("device"),
+                s("structure"),
+                u("masked"),
+                u("sdc"),
+                u("due"),
+                f("avf") * 100.0,
+                f("injections_per_second"),
+            )
+            .unwrap();
+        }
+        writeln!(w).unwrap();
+    }
+
+    // -- Throughput ----------------------------------------------------
+    writeln!(w, "## Throughput").unwrap();
+    writeln!(w).unwrap();
+    let campaign_secs = hist_field(&data, "campaign_seconds", "sum").unwrap_or(0.0);
+    if campaign_secs > 0.0 {
+        writeln!(
+            w,
+            "- {} injections across {} campaign(s) in {} of campaign time \
+             ({:.0} injections/sec overall)",
+            fmt_count(total_inj),
+            hist_field(&data, "campaign_seconds", "count").unwrap_or(0.0) as u64,
+            fmt_secs(campaign_secs),
+            total_inj as f64 / campaign_secs,
+        )
+        .unwrap();
+    }
+    if let Some(golden) = hist_field(&data, "campaign_golden_seconds", "sum") {
+        writeln!(
+            w,
+            "- golden runs: {} in {}",
+            hist_field(&data, "campaign_golden_seconds", "count").unwrap_or(0.0) as u64,
+            fmt_secs(golden)
+        )
+        .unwrap();
+    }
+    if let Some(ladder) = hist_field(&data, "ladder_build_seconds", "sum") {
+        writeln!(
+            w,
+            "- checkpoint ladders: {} built in {}",
+            hist_field(&data, "ladder_build_seconds", "count").unwrap_or(0.0) as u64,
+            fmt_secs(ladder)
+        )
+        .unwrap();
+    }
+    let instructions = counter_sum(&data, "sim_instructions_total");
+    if instructions > 0 {
+        writeln!(
+            w,
+            "- {} warp instructions simulated",
+            fmt_count(instructions)
+        )
+        .unwrap();
+    }
+    writeln!(w).unwrap();
+
+    // -- Checkpoint savings --------------------------------------------
+    let replayed = counter_sum(&data, "campaign_cycles_replayed_total");
+    let saved = counter_sum(&data, "campaign_cycles_saved_total");
+    if replayed + saved > 0 {
+        writeln!(w, "## Checkpoint savings").unwrap();
+        writeln!(w).unwrap();
+        writeln!(
+            w,
+            "- {} of {} replay cycles skipped by resuming from checkpoints ({:.1}%)",
+            fmt_count(saved),
+            fmt_count(replayed + saved),
+            saved as f64 / (replayed + saved) as f64 * 100.0
+        )
+        .unwrap();
+        let snapshots = counter_sum(&data, "sim_snapshots_total");
+        let bytes = counter_sum(&data, "sim_snapshot_bytes_total");
+        if snapshots > 0 {
+            writeln!(
+                w,
+                "- {snapshots} snapshots taken ({:.1} MiB), {} restores",
+                bytes as f64 / (1024.0 * 1024.0),
+                fmt_count(counter_sum(&data, "sim_restores_total")),
+            )
+            .unwrap();
+        }
+        let rungs = counter_labels(&data, "campaign_rung_hits_total");
+        if !rungs.is_empty() {
+            writeln!(w).unwrap();
+            writeln!(w, "| rung | hits |").unwrap();
+            writeln!(w, "|---|---:|").unwrap();
+            let mut sorted = rungs;
+            sorted.sort_by_key(|(label, _)| label.parse::<u64>().unwrap_or(u64::MAX));
+            for (label, hits) in sorted {
+                writeln!(w, "| {label} | {hits} |").unwrap();
+            }
+        }
+        writeln!(w).unwrap();
+    }
+
+    // -- Top time sinks ------------------------------------------------
+    if !data.points.is_empty() {
+        writeln!(w, "## Top time sinks").unwrap();
+        writeln!(w).unwrap();
+        let total: f64 = data
+            .points
+            .iter()
+            .filter_map(|p| p.get("seconds").and_then(Json::as_f64))
+            .sum();
+        let mut points: Vec<&Json> = data.points.iter().collect();
+        points.sort_by(|a, b| {
+            let sa = a.get("seconds").and_then(Json::as_f64).unwrap_or(0.0);
+            let sb = b.get("seconds").and_then(Json::as_f64).unwrap_or(0.0);
+            sb.partial_cmp(&sa).unwrap_or(std::cmp::Ordering::Equal)
+        });
+        writeln!(w, "| workload | device | time | share |").unwrap();
+        writeln!(w, "|---|---|---:|---:|").unwrap();
+        for p in points.iter().take(10) {
+            let secs = p.get("seconds").and_then(Json::as_f64).unwrap_or(0.0);
+            writeln!(
+                w,
+                "| {} | {} | {} | {:.1}% |",
+                p.get("workload").and_then(Json::as_str).unwrap_or("?"),
+                p.get("device").and_then(Json::as_str).unwrap_or("?"),
+                fmt_secs(secs),
+                secs / total.max(1e-12) * 100.0
+            )
+            .unwrap();
+        }
+        if points.len() > 10 {
+            writeln!(w, "| … {} more | | | |", points.len() - 10).unwrap();
+        }
+        writeln!(w).unwrap();
+    }
+
+    // -- Injection latency ---------------------------------------------
+    if data.histograms.contains_key("campaign_injection_seconds") {
+        let f = |field: &str| hist_field(&data, "campaign_injection_seconds", field);
+        writeln!(w, "## Injection latency").unwrap();
+        writeln!(w).unwrap();
+        writeln!(w, "| count | mean | p50 | p90 | p99 | max |").unwrap();
+        writeln!(w, "|---:|---:|---:|---:|---:|---:|").unwrap();
+        writeln!(
+            w,
+            "| {} | {} | {} | {} | {} | {} |",
+            f("count").unwrap_or(0.0) as u64,
+            fmt_secs(f("mean").unwrap_or(0.0)),
+            fmt_secs(f("p50").unwrap_or(0.0)),
+            fmt_secs(f("p90").unwrap_or(0.0)),
+            fmt_secs(f("p99").unwrap_or(0.0)),
+            fmt_secs(f("max").unwrap_or(0.0)),
+        )
+        .unwrap();
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> String {
+        [
+            r#"{"event":"run.meta","t_ms":0,"command":"all","injections":12,"seed":7,"threads":2,"devices":1,"workloads":1,"scale":"smoke"}"#,
+            r#"{"event":"campaign.done","t_ms":5,"workload":"vectoradd","device":"GTX 480","structure":"RF","injections":12,"masked":9,"sdc":2,"due":1,"avf":0.25,"golden_cycles":900,"ladder_rungs":3,"seconds":0.5,"injections_per_second":24.0}"#,
+            r#"{"event":"study.point","t_ms":6,"workload":"vectoradd","device":"GTX 480","cycles":900,"rf_avf":0.25,"lds_avf":0.0,"epf":1000.0,"seconds":0.6}"#,
+            r#"{"event":"counter","name":"campaign_injections_total{outcome=\"masked\"}","value":9}"#,
+            r#"{"event":"counter","name":"campaign_injections_total{outcome=\"sdc\"}","value":2}"#,
+            r#"{"event":"counter","name":"campaign_injections_total{outcome=\"due\"}","value":1}"#,
+            r#"{"event":"counter","name":"campaign_rung_hits_total{rung=\"0\"}","value":8}"#,
+            r#"{"event":"counter","name":"campaign_rung_hits_total{rung=\"none\"}","value":4}"#,
+            r#"{"event":"counter","name":"campaign_cycles_replayed_total","value":400}"#,
+            r#"{"event":"counter","name":"campaign_cycles_saved_total","value":600}"#,
+            r#"{"event":"counter","name":"sim_snapshots_total","value":3}"#,
+            r#"{"event":"counter","name":"sim_snapshot_bytes_total","value":1048576}"#,
+            r#"{"event":"histogram","name":"campaign_seconds","count":1,"sum":0.5,"mean":0.5,"min":0.5,"max":0.5,"p50":0.5,"p90":0.5,"p99":0.5}"#,
+            r#"{"event":"histogram","name":"campaign_injection_seconds","count":12,"sum":0.36,"mean":0.03,"min":0.01,"max":0.09,"p50":0.03,"p90":0.07,"p99":0.09}"#,
+        ]
+        .join("\n")
+    }
+
+    #[test]
+    fn renders_every_section() {
+        let md = render_run_report(&sample()).unwrap();
+        assert!(md.starts_with("# Run report"));
+        for section in [
+            "## Outcomes",
+            "### Per campaign",
+            "## Throughput",
+            "## Checkpoint savings",
+            "## Top time sinks",
+            "## Injection latency",
+        ] {
+            assert!(md.contains(section), "missing {section} in:\n{md}");
+        }
+        assert!(md.contains("| masked | 9 | 75.0% |"), "{md}");
+        assert!(md.contains("600 of 1000 replay cycles skipped"), "{md}");
+        assert!(md.contains("| vectoradd | GTX 480 |"), "{md}");
+    }
+
+    #[test]
+    fn rejects_invalid_json_with_line_number() {
+        let bad = format!("{}\nnot json\n", sample().lines().next().unwrap());
+        let err = render_run_report(&bad).unwrap_err();
+        assert!(err.starts_with("line 2:"), "{err}");
+    }
+
+    #[test]
+    fn rejects_non_event_objects() {
+        let err = render_run_report(r#"{"foo": 1}"#).unwrap_err();
+        assert!(err.contains("no \"event\" field"), "{err}");
+    }
+
+    #[test]
+    fn rejects_empty_input() {
+        assert!(render_run_report("").is_err());
+    }
+
+    #[test]
+    fn split_label_handles_plain_and_labelled_names() {
+        assert_eq!(split_label("x_total"), ("x_total", None));
+        assert_eq!(
+            split_label("x_total{outcome=\"sdc\"}"),
+            ("x_total", Some("sdc"))
+        );
+    }
+}

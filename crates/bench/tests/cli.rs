@@ -142,7 +142,160 @@ fn help_lists_every_command() {
         "ablate-sched",
         "ablate-rfsize",
         "ablate-ace",
+        "report",
+        "--metrics",
+        "--progress",
     ] {
         assert!(out.contains(cmd), "help is missing {cmd}");
     }
+}
+
+#[test]
+fn metrics_jsonl_and_report_end_to_end() {
+    let dir = std::env::temp_dir().join("repro_cli_metrics");
+    let _ = std::fs::create_dir_all(&dir);
+    let jsonl = dir.join("m.jsonl");
+    let _ = run_ok(&[
+        "fig1",
+        "--smoke",
+        "--injections",
+        "6",
+        "--workload",
+        "vectoradd",
+        "--device",
+        "480",
+        "--metrics",
+        jsonl.to_str().unwrap(),
+        "--progress",
+    ]);
+    let text = std::fs::read_to_string(&jsonl).unwrap();
+    let mut events = Vec::new();
+    for (i, line) in text.lines().enumerate() {
+        let obj = grel_telemetry::Json::parse(line)
+            .unwrap_or_else(|e| panic!("line {} is not valid JSON ({e}): {line}", i + 1));
+        events.push(
+            obj.get("event")
+                .and_then(grel_telemetry::Json::as_str)
+                .unwrap_or_else(|| panic!("line {} has no event field", i + 1))
+                .to_string(),
+        );
+    }
+    for expected in [
+        "run.meta",
+        "golden.done",
+        "ladder.done",
+        "campaign.done",
+        "study.point",
+        "log",
+        "counter",
+        "gauge",
+        "histogram",
+    ] {
+        assert!(
+            events.iter().any(|e| e == expected),
+            "no {expected} event in:\n{text}"
+        );
+    }
+    // Outcome tallies, rung hits and throughput must be present.
+    assert!(
+        text.contains("campaign_injections_total{outcome="),
+        "{text}"
+    );
+    assert!(text.contains("campaign_rung_hits_total{rung="), "{text}");
+    assert!(text.contains("campaign_injections_per_second"), "{text}");
+
+    let report = run_ok(&["report", jsonl.to_str().unwrap()]);
+    assert!(report.starts_with("# Run report"), "{report}");
+    for section in ["## Outcomes", "## Throughput", "## Top time sinks"] {
+        assert!(report.contains(section), "missing {section} in:\n{report}");
+    }
+}
+
+#[test]
+fn quiet_suppresses_status_but_sink_still_logs() {
+    let dir = std::env::temp_dir().join("repro_cli_quiet");
+    let _ = std::fs::create_dir_all(&dir);
+    let jsonl = dir.join("q.jsonl");
+    let out = repro()
+        .args([
+            "fig1",
+            "--smoke",
+            "--injections",
+            "4",
+            "--workload",
+            "vectoradd",
+            "--device",
+            "480",
+            "--quiet",
+            "--metrics",
+            jsonl.to_str().unwrap(),
+        ])
+        .output()
+        .unwrap();
+    assert!(out.status.success());
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(
+        !stderr.contains("running study"),
+        "--quiet leaked status: {stderr}"
+    );
+    // The sink receives every status line regardless of the level gate.
+    let text = std::fs::read_to_string(&jsonl).unwrap();
+    assert!(
+        text.contains("\"event\":\"log\"") && text.contains("running study"),
+        "{text}"
+    );
+}
+
+#[test]
+fn telemetry_flags_leave_stdout_identical() {
+    let args = [
+        "fig1",
+        "--smoke",
+        "--injections",
+        "4",
+        "--workload",
+        "transpose",
+        "--device",
+        "480",
+    ];
+    let plain = run_ok(&args);
+    let dir = std::env::temp_dir().join("repro_cli_identical");
+    let _ = std::fs::create_dir_all(&dir);
+    let jsonl = dir.join("i.jsonl");
+    let mut with_flags: Vec<&str> = args.to_vec();
+    with_flags.extend(["--metrics", jsonl.to_str().unwrap(), "--progress"]);
+    let instrumented = run_ok(&with_flags);
+    assert_eq!(plain, instrumented, "telemetry changed figure output");
+}
+
+#[test]
+fn report_on_missing_file_fails_cleanly() {
+    let out = repro()
+        .args(["report", "/nonexistent/metrics.jsonl"])
+        .output()
+        .unwrap();
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("error: reading"));
+}
+
+#[test]
+fn report_on_invalid_file_fails_cleanly() {
+    let dir = std::env::temp_dir().join("repro_cli_badreport");
+    let _ = std::fs::create_dir_all(&dir);
+    let bad = dir.join("bad.jsonl");
+    std::fs::write(&bad, "{\"event\":\"run.meta\"}\nnot json at all\n").unwrap();
+    let out = repro()
+        .args(["report", bad.to_str().unwrap()])
+        .output()
+        .unwrap();
+    assert!(!out.status.success());
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("line 2"), "{stderr}");
+}
+
+#[test]
+fn report_without_path_fails_cleanly() {
+    let out = repro().arg("report").output().unwrap();
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("report needs"));
 }

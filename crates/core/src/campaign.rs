@@ -27,12 +27,14 @@
 use crate::ace::AceAnalyzer;
 use crate::stats::{error_margin, fault_population, Proportion, Z_99};
 use gpu_workloads::Workload;
+use grel_telemetry::{Event, NoopHook, TelemetryHook};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use serde::{Deserialize, Serialize};
 use simt_sim::{
     ArchConfig, Checkpoint, FaultSite, Gpu, NoopObserver, Session, SimError, Structure,
 };
+use std::time::Instant;
 
 /// Outcome of one fault-injection run.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
@@ -173,12 +175,45 @@ pub struct GoldenRun {
 /// Propagates launch failures (a correct workload/device pairing never
 /// fails here).
 pub fn golden_run(arch: &ArchConfig, workload: &dyn Workload) -> Result<GoldenRun, SimError> {
+    golden_run_hooked(arch, workload, &NoopHook)
+}
+
+/// [`golden_run`] reporting wall time, cycle count and instructions
+/// retired through a [`TelemetryHook`]. With [`NoopHook`] this *is*
+/// `golden_run`: the instrumentation monomorphises away.
+///
+/// # Errors
+///
+/// Same as [`golden_run`].
+pub fn golden_run_hooked<H: TelemetryHook>(
+    arch: &ArchConfig,
+    workload: &dyn Workload,
+    hook: &H,
+) -> Result<GoldenRun, SimError> {
+    let started = H::ENABLED.then(Instant::now);
     let mut gpu = Gpu::new(arch.clone());
     let outputs = workload.run(&mut gpu, &mut NoopObserver)?;
-    Ok(GoldenRun {
+    let golden = GoldenRun {
         outputs,
         cycles: gpu.app_cycle(),
-    })
+    };
+    if let Some(started) = started {
+        let seconds = started.elapsed().as_secs_f64();
+        hook.observe("campaign_golden_seconds", seconds);
+        hook.gauge("campaign_golden_cycles", golden.cycles as f64);
+        hook.count(
+            "sim_instructions_total",
+            gpu.exec_totals().warp_instructions,
+        );
+        hook.event(
+            &Event::new("golden.done")
+                .field("workload", workload.name())
+                .field("device", arch.name.as_str())
+                .field("cycles", golden.cycles)
+                .field("seconds", seconds),
+        );
+    }
+    Ok(golden)
 }
 
 /// Runs the workload fault-free under the [`AceAnalyzer`], returning the
@@ -336,6 +371,23 @@ impl CheckpointLadder {
         golden: &GoldenRun,
         cfg: &CampaignConfig,
     ) -> Result<Self, SimError> {
+        Self::build_hooked(arch, workload, golden, cfg, &NoopHook)
+    }
+
+    /// [`CheckpointLadder::build`] reporting rung count, retained bytes,
+    /// snapshot cost and build wall time through a [`TelemetryHook`].
+    ///
+    /// # Errors
+    ///
+    /// Same as [`CheckpointLadder::build`].
+    pub fn build_hooked<H: TelemetryHook>(
+        arch: &ArchConfig,
+        workload: &dyn Workload,
+        golden: &GoldenRun,
+        cfg: &CampaignConfig,
+        hook: &H,
+    ) -> Result<Self, SimError> {
+        let started = H::ENABLED.then(Instant::now);
         let interval = if cfg.checkpoint_interval > 0 {
             cfg.checkpoint_interval
         } else {
@@ -365,7 +417,29 @@ impl CheckpointLadder {
             ckpts.push(ck);
             mark += interval;
         }
-        Ok(CheckpointLadder { ckpts })
+        let session_tel = *session.telemetry();
+        let ladder = CheckpointLadder { ckpts };
+        if let Some(started) = started {
+            let seconds = started.elapsed().as_secs_f64();
+            hook.observe("ladder_build_seconds", seconds);
+            hook.count("sim_snapshots_total", session_tel.snapshots);
+            hook.count("sim_snapshot_bytes_total", session_tel.snapshot_bytes);
+            hook.observe(
+                "sim_snapshot_seconds",
+                session_tel.snapshot_nanos as f64 * 1e-9,
+            );
+            hook.gauge("ladder_rungs", ladder.len() as f64);
+            hook.gauge("ladder_bytes", ladder.total_bytes() as f64);
+            hook.event(
+                &Event::new("ladder.done")
+                    .field("workload", workload.name())
+                    .field("device", arch.name.as_str())
+                    .field("rungs", ladder.len())
+                    .field("bytes", ladder.total_bytes())
+                    .field("seconds", seconds),
+            );
+        }
+        Ok(ladder)
     }
 
     /// The highest rung at or before `cycle`, if any. A fault armed for
@@ -373,9 +447,15 @@ impl CheckpointLadder {
     /// taken at an iteration boundary, before the fault-application step
     /// of its own cycle.
     pub fn nearest(&self, cycle: u64) -> Option<&Checkpoint> {
+        self.nearest_indexed(cycle).map(|(_, ck)| ck)
+    }
+
+    /// [`CheckpointLadder::nearest`] with the rung's ladder index, for
+    /// rung-hit accounting.
+    pub fn nearest_indexed(&self, cycle: u64) -> Option<(usize, &Checkpoint)> {
         match self.ckpts.partition_point(|c| c.cycle() <= cycle) {
             0 => None,
-            i => Some(&self.ckpts[i - 1]),
+            i => Some((i - 1, &self.ckpts[i - 1])),
         }
     }
 
@@ -403,29 +483,60 @@ impl CheckpointLadder {
 /// was detected), not an error; anything else — a launch that fails to
 /// validate, an exhausted allocator — means the harness itself broke and
 /// is propagated to the caller instead of being folded into the tally.
-fn classify(
+fn classify<H: TelemetryHook>(
     arch: &ArchConfig,
     workload: &dyn Workload,
     golden: &GoldenRun,
     site: FaultSite,
     watchdog_factor: u64,
     ckpt: Option<&Checkpoint>,
+    hook: &H,
 ) -> Result<Outcome, SimError> {
     let watchdog = golden.cycles * watchdog_factor + 10_000;
     let mut gpu = Gpu::new(arch.clone());
-    let result = match ckpt {
+    // (replay result, cycles skipped, instructions inherited from the
+    // checkpoint prefix, session restore counters).
+    let (result, start_cycle, base_instructions, session_tel) = match ckpt {
         Some(ck) => {
             let mut session = Session::resume(&mut gpu, ck);
+            let base = if H::ENABLED {
+                session.gpu().exec_totals().warp_instructions
+            } else {
+                0
+            };
             session.gpu_mut().set_watchdog(watchdog);
             session.gpu_mut().arm_fault(site);
-            session.run_to_completion(&mut NoopObserver)
+            let r = session.run_to_completion(&mut NoopObserver);
+            let tel = *session.telemetry();
+            (r, ck.cycle(), base, tel)
         }
         None => {
             gpu.set_watchdog(watchdog);
             gpu.arm_fault(site);
-            workload.run(&mut gpu, &mut NoopObserver)
+            let r = workload.run(&mut gpu, &mut NoopObserver);
+            (r, 0, 0, simt_sim::SessionTelemetry::default())
         }
     };
+    if H::ENABLED {
+        hook.count(
+            "campaign_cycles_replayed_total",
+            gpu.app_cycle().saturating_sub(start_cycle),
+        );
+        hook.count("campaign_cycles_saved_total", start_cycle);
+        hook.count(
+            "sim_instructions_total",
+            gpu.exec_totals()
+                .warp_instructions
+                .saturating_sub(base_instructions),
+        );
+        if session_tel.restores > 0 {
+            hook.count("sim_restores_total", session_tel.restores);
+            hook.observe(
+                "sim_restore_seconds",
+                session_tel.restore_nanos as f64 * 1e-9,
+            );
+        }
+    }
     match result {
         Ok(out) if out == golden.outputs => Ok(Outcome::Masked),
         Ok(_) => Ok(Outcome::Sdc),
@@ -469,8 +580,24 @@ pub fn run_campaign(
     structure: Structure,
     cfg: CampaignConfig,
 ) -> Result<CampaignResult, SimError> {
-    let golden = golden_run(arch, workload)?;
-    run_campaign_with_golden(arch, workload, structure, cfg, &golden)
+    run_campaign_hooked(arch, workload, structure, cfg, &NoopHook)
+}
+
+/// [`run_campaign`] with full telemetry through `hook`. Outcomes are
+/// identical to the unhooked call — the hook only observes.
+///
+/// # Errors
+///
+/// Same as [`run_campaign`].
+pub fn run_campaign_hooked<H: TelemetryHook>(
+    arch: &ArchConfig,
+    workload: &dyn Workload,
+    structure: Structure,
+    cfg: CampaignConfig,
+    hook: &H,
+) -> Result<CampaignResult, SimError> {
+    let golden = golden_run_hooked(arch, workload, hook)?;
+    run_campaign_with_golden_hooked(arch, workload, structure, cfg, &golden, hook)
 }
 
 /// [`run_campaign`] against an already-captured golden run (saves the
@@ -489,8 +616,24 @@ pub fn run_campaign_with_golden(
     cfg: CampaignConfig,
     golden: &GoldenRun,
 ) -> Result<CampaignResult, SimError> {
-    let ladder = CheckpointLadder::build(arch, workload, golden, &cfg)?;
-    run_campaign_with_ladder(arch, workload, structure, cfg, golden, &ladder)
+    run_campaign_with_golden_hooked(arch, workload, structure, cfg, golden, &NoopHook)
+}
+
+/// [`run_campaign_with_golden`] with full telemetry through `hook`.
+///
+/// # Errors
+///
+/// Same as [`run_campaign_with_golden`].
+pub fn run_campaign_with_golden_hooked<H: TelemetryHook>(
+    arch: &ArchConfig,
+    workload: &dyn Workload,
+    structure: Structure,
+    cfg: CampaignConfig,
+    golden: &GoldenRun,
+    hook: &H,
+) -> Result<CampaignResult, SimError> {
+    let ladder = CheckpointLadder::build_hooked(arch, workload, golden, &cfg, hook)?;
+    run_campaign_with_ladder_hooked(arch, workload, structure, cfg, golden, &ladder, hook)
 }
 
 /// [`run_campaign`] against a shared golden run and checkpoint ladder.
@@ -506,8 +649,30 @@ pub fn run_campaign_with_ladder(
     golden: &GoldenRun,
     ladder: &CheckpointLadder,
 ) -> Result<CampaignResult, SimError> {
+    run_campaign_with_ladder_hooked(arch, workload, structure, cfg, golden, ladder, &NoopHook)
+}
+
+/// [`run_campaign_with_ladder`] with full telemetry through `hook`:
+/// per-outcome counters, per-injection latency, rung-hit distribution,
+/// replay cycles saved vs from-zero, throughput and a `campaign.done`
+/// event.
+///
+/// # Errors
+///
+/// Same as [`run_campaign_with_ladder`].
+#[allow(clippy::too_many_arguments)]
+pub fn run_campaign_with_ladder_hooked<H: TelemetryHook>(
+    arch: &ArchConfig,
+    workload: &dyn Workload,
+    structure: Structure,
+    cfg: CampaignConfig,
+    golden: &GoldenRun,
+    ladder: &CheckpointLadder,
+    hook: &H,
+) -> Result<CampaignResult, SimError> {
+    let started = H::ENABLED.then(Instant::now);
     let sites = sample_sites(arch, structure, golden.cycles, cfg.injections, cfg.seed);
-    let outcomes = run_injections_checkpointed(arch, workload, golden, ladder, &sites, cfg)?;
+    let outcomes = replay_sites(arch, workload, golden, &sites, cfg, ladder, hook)?;
     let mut tally = Tally::default();
     for o in outcomes {
         tally.add(o);
@@ -519,7 +684,7 @@ pub fn run_campaign_with_ladder(
     } as u64
         * 32
         * arch.num_sms as u64;
-    Ok(CampaignResult {
+    let result = CampaignResult {
         structure,
         tally,
         golden_cycles: golden.cycles,
@@ -528,7 +693,33 @@ pub fn run_campaign_with_ladder(
             cfg.injections.max(1) as u64,
             Z_99,
         ),
-    })
+    };
+    if let Some(started) = started {
+        let seconds = started.elapsed().as_secs_f64();
+        let per_second = if seconds > 0.0 {
+            tally.total() as f64 / seconds
+        } else {
+            0.0
+        };
+        hook.observe("campaign_seconds", seconds);
+        hook.gauge("campaign_injections_per_second", per_second);
+        hook.event(
+            &Event::new("campaign.done")
+                .field("workload", workload.name())
+                .field("device", arch.name.as_str())
+                .field("structure", structure.to_string())
+                .field("injections", tally.total())
+                .field("masked", tally.masked)
+                .field("sdc", tally.sdc)
+                .field("due", tally.due)
+                .field("avf", result.avf())
+                .field("golden_cycles", golden.cycles)
+                .field("ladder_rungs", ladder.len())
+                .field("seconds", seconds)
+                .field("injections_per_second", per_second),
+        );
+    }
+    Ok(result)
 }
 
 /// Replays every site from cycle zero, fanning out across threads;
@@ -551,6 +742,7 @@ pub fn run_injections(
         sites,
         cfg,
         &CheckpointLadder::empty(),
+        &NoopHook,
     )
 }
 
@@ -569,31 +761,62 @@ pub fn run_injections_checkpointed(
     sites: &[FaultSite],
     cfg: CampaignConfig,
 ) -> Result<Vec<Outcome>, SimError> {
-    replay_sites(arch, workload, golden, sites, cfg, ladder)
+    replay_sites(arch, workload, golden, sites, cfg, ladder, &NoopHook)
 }
 
 /// Shared replay core: sorts sites by fault cycle (so neighbouring
 /// replays resume from the same rung and late chunks skip long prefixes),
 /// fans the sorted order out across threads, and scatters the outcomes
 /// back into site order.
-fn replay_sites(
+fn replay_sites<H: TelemetryHook>(
     arch: &ArchConfig,
     workload: &dyn Workload,
     golden: &GoldenRun,
     sites: &[FaultSite],
     cfg: CampaignConfig,
     ladder: &CheckpointLadder,
+    hook: &H,
 ) -> Result<Vec<Outcome>, SimError> {
     let threads = cfg.threads.max(1);
     let mut order: Vec<usize> = (0..sites.len()).collect();
     order.sort_by_key(|&i| (sites[i].cycle, i));
     let run_one = |i: usize| -> Result<(usize, Outcome), SimError> {
         let site = sites[i];
-        let ckpt = ladder.nearest(site.cycle);
-        Ok((
-            i,
-            classify(arch, workload, golden, site, cfg.watchdog_factor, ckpt)?,
-        ))
+        let rung = ladder.nearest_indexed(site.cycle);
+        let started = H::ENABLED.then(Instant::now);
+        let outcome = classify(
+            arch,
+            workload,
+            golden,
+            site,
+            cfg.watchdog_factor,
+            rung.map(|(_, ck)| ck),
+            hook,
+        )?;
+        if let Some(started) = started {
+            hook.observe(
+                "campaign_injection_seconds",
+                started.elapsed().as_secs_f64(),
+            );
+            let outcome_label = match outcome {
+                Outcome::Masked => "masked",
+                Outcome::Sdc => "sdc",
+                Outcome::Due => "due",
+            };
+            hook.count(
+                &format!("campaign_injections_total{{outcome=\"{outcome_label}\"}}"),
+                1,
+            );
+            let rung_label = match rung {
+                Some((idx, _)) => idx.to_string(),
+                None => "none".to_string(),
+            };
+            hook.count(
+                &format!("campaign_rung_hits_total{{rung=\"{rung_label}\"}}"),
+                1,
+            );
+        }
+        Ok((i, outcome))
     };
     let mut outcomes = vec![Outcome::Masked; sites.len()];
     if threads == 1 || sites.len() < 2 {
@@ -773,6 +996,47 @@ mod tests {
         cfg.checkpoint_budget_bytes = 0;
         let r2 = run_campaign(&arch, &w, Structure::VectorRegisterFile, cfg).unwrap();
         assert_eq!(r.tally, r2.tally, "budget tuning must not change outcomes");
+    }
+
+    #[test]
+    fn hooked_campaign_matches_noop_and_accounts_for_every_injection() {
+        use grel_telemetry::{MetricsRegistry, RegistryHook};
+        let arch = quadro_fx_5600();
+        let w = VectorAdd::new(256, 3);
+        let cfg = small_cfg(12);
+        let plain = run_campaign(&arch, &w, Structure::VectorRegisterFile, cfg).unwrap();
+
+        let reg = MetricsRegistry::new();
+        let hook = RegistryHook::new(&reg);
+        let hooked =
+            run_campaign_hooked(&arch, &w, Structure::VectorRegisterFile, cfg, &hook).unwrap();
+        assert_eq!(plain.tally, hooked.tally, "the hook must only observe");
+        assert_eq!(plain.golden_cycles, hooked.golden_cycles);
+
+        let snap = reg.snapshot();
+        let by_outcome: u64 = ["masked", "sdc", "due"]
+            .iter()
+            .filter_map(|o| snap.counter(&format!("campaign_injections_total{{outcome=\"{o}\"}}")))
+            .sum();
+        assert_eq!(by_outcome, 12, "every injection lands in one outcome");
+        let by_rung: u64 = snap
+            .counters()
+            .filter(|(n, _)| n.starts_with("campaign_rung_hits_total"))
+            .map(|(_, v)| v)
+            .sum();
+        assert_eq!(by_rung, 12, "every injection hits exactly one rung bin");
+        assert_eq!(
+            snap.histogram("campaign_injection_seconds")
+                .unwrap()
+                .count(),
+            12
+        );
+        assert!(
+            snap.counter("campaign_cycles_saved_total").unwrap_or(0) > 0,
+            "checkpoint resume must save cycles on this workload"
+        );
+        assert!(snap.gauge("ladder_rungs").unwrap_or(0.0) > 0.0);
+        assert!(snap.histogram("campaign_seconds").unwrap().count() == 1);
     }
 
     #[test]

@@ -57,14 +57,15 @@ pub use breakdown::{
     avf_by_bit, avf_by_phase, detailed_campaign, due_fraction, mbu_campaign, SiteOutcome,
 };
 pub use campaign::{
-    golden_run, golden_run_with_ace, run_campaign, run_campaign_with_golden,
-    run_campaign_with_ladder, run_injections, run_injections_checkpointed, CampaignConfig,
+    golden_run, golden_run_hooked, golden_run_with_ace, run_campaign, run_campaign_hooked,
+    run_campaign_with_golden, run_campaign_with_golden_hooked, run_campaign_with_ladder,
+    run_campaign_with_ladder_hooked, run_injections, run_injections_checkpointed, CampaignConfig,
     CampaignResult, CheckpointLadder, GoldenRun, Outcome, Tally,
 };
 pub use epf::{eit, epf, structure_bits, structure_fit, FitBreakdown};
 pub use perf::{profile, PerfProfile};
 pub use protection::{project, protection_sweep, ProtectedPoint, Protection};
 pub use study::{
-    evaluate_point, run_study, AvfRow, EpfRow, EvalPoint, Findings, StructureEval, StudyConfig,
-    StudyResult,
+    evaluate_point, evaluate_point_hooked, run_study, run_study_hooked, AvfRow, EpfRow, EvalPoint,
+    Findings, StructureEval, StudyConfig, StudyResult,
 };

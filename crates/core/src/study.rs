@@ -2,12 +2,14 @@
 //! assembles the series behind the paper's three figures.
 
 use crate::ace::{AceAnalyzer, AceMode};
-use crate::campaign::{run_campaign_with_ladder, CampaignConfig, CheckpointLadder, Tally};
+use crate::campaign::{run_campaign_with_ladder_hooked, CampaignConfig, CheckpointLadder, Tally};
 use crate::epf::{eit, epf, FitBreakdown};
 use crate::stats::pearson;
 use gpu_workloads::Workload;
+use grel_telemetry::{Event, NoopHook, TelemetryHook};
 use serde::{Deserialize, Serialize};
 use simt_sim::{ArchConfig, SimError, Structure};
+use std::time::Instant;
 
 /// Per-structure measurements of one (device, workload) pair.
 #[derive(Debug, Clone, Copy, Serialize, Deserialize)]
@@ -128,6 +130,24 @@ pub fn evaluate_point(
     workload: &dyn Workload,
     cfg: &StudyConfig,
 ) -> Result<EvalPoint, SimError> {
+    evaluate_point_hooked(arch, workload, cfg, &NoopHook)
+}
+
+/// [`evaluate_point`] with full telemetry through `hook`: golden/ACE
+/// wall time, per-campaign metrics and a `study.point` event closing the
+/// point with its total duration.
+///
+/// # Errors
+///
+/// Same as [`evaluate_point`].
+pub fn evaluate_point_hooked<H: TelemetryHook>(
+    arch: &ArchConfig,
+    workload: &dyn Workload,
+    cfg: &StudyConfig,
+    hook: &H,
+) -> Result<EvalPoint, SimError> {
+    let started = H::ENABLED.then(Instant::now);
+    let golden_started = H::ENABLED.then(Instant::now);
     let mut gpu = simt_sim::Gpu::new(arch.clone());
     let mut ace = AceAnalyzer::with_mode(arch, cfg.ace_mode);
     let outputs = workload.run(&mut gpu, &mut ace)?;
@@ -135,25 +155,39 @@ pub fn evaluate_point(
         outputs,
         cycles: gpu.app_cycle(),
     };
+    if let Some(golden_started) = golden_started {
+        let seconds = golden_started.elapsed().as_secs_f64();
+        hook.observe("campaign_golden_seconds", seconds);
+        hook.gauge("campaign_golden_cycles", golden.cycles as f64);
+        hook.event(
+            &Event::new("golden.done")
+                .field("workload", workload.name())
+                .field("device", arch.name.as_str())
+                .field("cycles", golden.cycles)
+                .field("seconds", seconds),
+        );
+    }
     // One ladder serves every structure's campaign over this golden run.
-    let ladder = CheckpointLadder::build(arch, workload, &golden, &cfg.campaign)?;
-    let rf_fi = run_campaign_with_ladder(
+    let ladder = CheckpointLadder::build_hooked(arch, workload, &golden, &cfg.campaign, hook)?;
+    let rf_fi = run_campaign_with_ladder_hooked(
         arch,
         workload,
         Structure::VectorRegisterFile,
         cfg.campaign,
         &golden,
         &ladder,
+        hook,
     )?;
     let lds_fi = (workload.uses_local_memory() || cfg.fi_on_unused_lds)
         .then(|| {
-            run_campaign_with_ladder(
+            run_campaign_with_ladder_hooked(
                 arch,
                 workload,
                 Structure::LocalMemory,
                 cfg.campaign,
                 &golden,
                 &ladder,
+                hook,
             )
         })
         .transpose()?;
@@ -166,7 +200,7 @@ pub fn evaluate_point(
     let lds_avf_for_fit = lds_fi.as_ref().map(|r| r.avf()).unwrap_or(lds.avf_ace);
     let fit = FitBreakdown::from_avf(arch, rf.avf_fi, lds_avf_for_fit, srf_avf_ace.unwrap_or(0.0));
     let e = eit(arch, golden.cycles);
-    Ok(EvalPoint {
+    let point = EvalPoint {
         device: arch.name.clone(),
         workload: workload.name().to_string(),
         uses_local_memory: workload.uses_local_memory(),
@@ -177,7 +211,22 @@ pub fn evaluate_point(
         fit,
         eit: e,
         epf: epf(e, fit.total()),
-    })
+    };
+    if let Some(started) = started {
+        let seconds = started.elapsed().as_secs_f64();
+        hook.observe("study_point_seconds", seconds);
+        hook.event(
+            &Event::new("study.point")
+                .field("workload", point.workload.as_str())
+                .field("device", point.device.as_str())
+                .field("cycles", point.cycles)
+                .field("rf_avf", point.rf.avf_fi)
+                .field("lds_avf", point.lds.avf_fi)
+                .field("epf", point.epf)
+                .field("seconds", seconds),
+        );
+    }
+    Ok(point)
 }
 
 /// The assembled study: every (device, workload) point.
@@ -405,10 +454,26 @@ pub fn run_study(
     workloads: &[Box<dyn Workload>],
     cfg: &StudyConfig,
 ) -> Result<StudyResult, SimError> {
+    run_study_hooked(archs, workloads, cfg, &NoopHook)
+}
+
+/// [`run_study`] with full telemetry through `hook` — every golden run,
+/// ladder build, campaign and study point reports its metrics and
+/// events. With [`NoopHook`] this *is* `run_study`.
+///
+/// # Errors
+///
+/// Same as [`run_study`].
+pub fn run_study_hooked<H: TelemetryHook>(
+    archs: &[ArchConfig],
+    workloads: &[Box<dyn Workload>],
+    cfg: &StudyConfig,
+    hook: &H,
+) -> Result<StudyResult, SimError> {
     let mut points = Vec::new();
     for w in workloads {
         for arch in archs {
-            points.push(evaluate_point(arch, w.as_ref(), cfg)?);
+            points.push(evaluate_point_hooked(arch, w.as_ref(), cfg, hook)?);
         }
     }
     Ok(StudyResult { points })

@@ -72,4 +72,4 @@ pub use fault::{FaultSite, Structure};
 pub use gpu::{Buffer, Gpu, LaunchProgress};
 pub use launch::{Dim, LaunchConfig, LaunchStats};
 pub use observer::{BlockRegions, CountingObserver, NoopObserver, SimObserver};
-pub use session::{Checkpoint, LaunchPlan, PlanStep, Session, SessionStatus};
+pub use session::{Checkpoint, LaunchPlan, PlanStep, Session, SessionStatus, SessionTelemetry};

@@ -76,6 +76,7 @@ use crate::gpu::{Gpu, LaunchProgress};
 use crate::launch::{LaunchConfig, LaunchStats};
 use crate::observer::SimObserver;
 use simt_isa::LoweredKernel;
+use std::time::Instant;
 
 /// One step of a workload's deterministic launch schedule.
 ///
@@ -172,6 +173,38 @@ impl std::fmt::Debug for Checkpoint {
     }
 }
 
+/// Plain counters for a session's snapshot/restore activity.
+///
+/// The simulator crate stays dependency-free, so these are raw `u64`s
+/// rather than registry metrics; `grel-core` bridges them into its
+/// telemetry hook after each replay. Costs are attributed to the session
+/// that *performed* the work: a [`Session::resume`] counts as one
+/// restore on the new session.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SessionTelemetry {
+    /// Checkpoints captured by [`Session::snapshot`].
+    pub snapshots: u64,
+    /// Total bytes across all captured checkpoints.
+    pub snapshot_bytes: u64,
+    /// Wall time spent capturing checkpoints, in nanoseconds.
+    pub snapshot_nanos: u64,
+    /// Restores performed ([`Session::restore`] + [`Session::resume`]).
+    pub restores: u64,
+    /// Wall time spent restoring state, in nanoseconds.
+    pub restore_nanos: u64,
+}
+
+impl SessionTelemetry {
+    /// Folds another session's counters into this one.
+    pub fn merge(&mut self, other: &SessionTelemetry) {
+        self.snapshots += other.snapshots;
+        self.snapshot_bytes += other.snapshot_bytes;
+        self.snapshot_nanos += other.snapshot_nanos;
+        self.restores += other.restores;
+        self.restore_nanos += other.restore_nanos;
+    }
+}
+
 /// Result of advancing a session by one step.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum SessionStatus {
@@ -191,6 +224,7 @@ pub struct Session<'g> {
     plan: Box<dyn LaunchPlan>,
     outputs: Option<Vec<u32>>,
     launch_stats: Vec<LaunchStats>,
+    telemetry: SessionTelemetry,
 }
 
 impl<'g> Session<'g> {
@@ -201,19 +235,34 @@ impl<'g> Session<'g> {
             plan,
             outputs: None,
             launch_stats: Vec::new(),
+            telemetry: SessionTelemetry::default(),
         }
     }
 
     /// Resumes a session from a checkpoint, overwriting `gpu` with the
-    /// captured device state.
+    /// captured device state. Counts as one restore in the new session's
+    /// [`SessionTelemetry`].
     pub fn resume(gpu: &'g mut Gpu, ckpt: &Checkpoint) -> Self {
+        let started = Instant::now();
         *gpu = ckpt.gpu.clone();
+        let plan = ckpt.plan.clone_plan();
+        let telemetry = SessionTelemetry {
+            restores: 1,
+            restore_nanos: started.elapsed().as_nanos() as u64,
+            ..SessionTelemetry::default()
+        };
         Session {
             gpu,
-            plan: ckpt.plan.clone_plan(),
+            plan,
             outputs: ckpt.outputs.clone(),
             launch_stats: Vec::new(),
+            telemetry,
         }
+    }
+
+    /// Snapshot/restore counters accumulated by this session.
+    pub fn telemetry(&self) -> &SessionTelemetry {
+        &self.telemetry
     }
 
     /// The device being driven.
@@ -309,19 +358,27 @@ impl<'g> Session<'g> {
     }
 
     /// Captures the complete session state (device + plan position).
-    pub fn snapshot(&self) -> Checkpoint {
-        Checkpoint {
+    pub fn snapshot(&mut self) -> Checkpoint {
+        let started = Instant::now();
+        let ckpt = Checkpoint {
             gpu: self.gpu.clone(),
             plan: self.plan.clone_plan(),
             outputs: self.outputs.clone(),
-        }
+        };
+        self.telemetry.snapshots += 1;
+        self.telemetry.snapshot_bytes += ckpt.size_bytes() as u64;
+        self.telemetry.snapshot_nanos += started.elapsed().as_nanos() as u64;
+        ckpt
     }
 
     /// Rewinds the session (and the borrowed device) to `ckpt`.
     pub fn restore(&mut self, ckpt: &Checkpoint) {
+        let started = Instant::now();
         *self.gpu = ckpt.gpu.clone();
         self.plan = ckpt.plan.clone_plan();
         self.outputs = ckpt.outputs.clone();
+        self.telemetry.restores += 1;
+        self.telemetry.restore_nanos += started.elapsed().as_nanos() as u64;
     }
 }
 
@@ -473,6 +530,31 @@ mod tests {
         assert_eq!(s.step(&mut NoopObserver).unwrap(), SessionStatus::Finished);
         assert!(s.finished());
         assert!(s.outputs().is_some());
+    }
+
+    #[test]
+    fn telemetry_counts_snapshots_and_restores() {
+        let mut gpu = Gpu::new(ArchConfig::small_test_gpu());
+        let mut s = Session::new(&mut gpu, plan());
+        assert_eq!(*s.telemetry(), SessionTelemetry::default());
+        s.run_until_cycle(5, &mut NoopObserver).unwrap();
+        let ckpt = s.snapshot();
+        let after_snap = *s.telemetry();
+        assert_eq!(after_snap.snapshots, 1);
+        assert_eq!(after_snap.snapshot_bytes, ckpt.size_bytes() as u64);
+        assert_eq!(after_snap.restores, 0);
+        s.restore(&ckpt);
+        assert_eq!(s.telemetry().restores, 1);
+
+        let mut gpu2 = Gpu::new(ArchConfig::small_test_gpu());
+        let resumed = Session::resume(&mut gpu2, &ckpt);
+        assert_eq!(resumed.telemetry().restores, 1);
+        assert_eq!(resumed.telemetry().snapshots, 0);
+
+        let mut merged = after_snap;
+        merged.merge(resumed.telemetry());
+        assert_eq!(merged.snapshots, 1);
+        assert_eq!(merged.restores, 1);
     }
 
     #[test]

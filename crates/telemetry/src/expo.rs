@@ -1,0 +1,103 @@
+//! Prometheus-style text exposition of a [`MetricsSnapshot`].
+//!
+//! Metric names may carry inline labels in the usual form
+//! (`campaign_injections_total{outcome="sdc"}`); the base name before
+//! the `{` groups series under one `# TYPE` header. Histograms are
+//! exposed as `_count`, `_sum` and quantile-labelled summary lines —
+//! enough for eyeballing and for scraping with any Prometheus-
+//! compatible collector.
+
+use std::collections::BTreeSet;
+use std::fmt::Write as _;
+
+use crate::metrics::MetricsSnapshot;
+
+fn base_name(name: &str) -> &str {
+    name.split('{').next().unwrap_or(name)
+}
+
+fn fmt_value(v: f64) -> String {
+    if v.fract() == 0.0 && v.abs() < 9_007_199_254_740_992.0 {
+        format!("{}", v as i64)
+    } else {
+        format!("{v}")
+    }
+}
+
+/// Renders the snapshot in the Prometheus text exposition format.
+///
+/// ```
+/// use grel_telemetry::{to_prometheus, MetricsRegistry};
+/// let reg = MetricsRegistry::new();
+/// reg.counter(r#"campaign_injections_total{outcome="masked"}"#, 7);
+/// let text = to_prometheus(&reg.snapshot());
+/// assert!(text.contains("# TYPE campaign_injections_total counter"));
+/// assert!(text.contains(r#"campaign_injections_total{outcome="masked"} 7"#));
+/// ```
+pub fn to_prometheus(snapshot: &MetricsSnapshot) -> String {
+    let mut out = String::new();
+    let mut typed: BTreeSet<&str> = BTreeSet::new();
+
+    for (name, value) in snapshot.counters() {
+        if typed.insert(base_name(name)) {
+            let _ = writeln!(out, "# TYPE {} counter", base_name(name));
+        }
+        let _ = writeln!(out, "{name} {value}");
+    }
+    for (name, value) in snapshot.gauges() {
+        if typed.insert(base_name(name)) {
+            let _ = writeln!(out, "# TYPE {} gauge", base_name(name));
+        }
+        let _ = writeln!(out, "{name} {}", fmt_value(value));
+    }
+    for (name, hist) in snapshot.histograms() {
+        let base = base_name(name);
+        if typed.insert(base) {
+            let _ = writeln!(out, "# TYPE {base} summary");
+        }
+        for q in [0.5, 0.9, 0.99] {
+            let _ = writeln!(
+                out,
+                "{base}{{quantile=\"{q}\"}} {}",
+                fmt_value(hist.quantile(q))
+            );
+        }
+        let _ = writeln!(out, "{base}_sum {}", fmt_value(hist.sum()));
+        let _ = writeln!(out, "{base}_count {}", hist.count());
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::MetricsRegistry;
+
+    #[test]
+    fn renders_all_metric_kinds() {
+        let reg = MetricsRegistry::new();
+        reg.counter("hits_total", 3);
+        reg.gauge("rungs", 16.0);
+        reg.observe("lat_seconds", 0.5);
+        reg.observe("lat_seconds", 0.5);
+        let text = to_prometheus(&reg.snapshot());
+        assert!(text.contains("# TYPE hits_total counter"));
+        assert!(text.contains("hits_total 3"));
+        assert!(text.contains("# TYPE rungs gauge"));
+        assert!(text.contains("rungs 16"));
+        assert!(text.contains("# TYPE lat_seconds summary"));
+        assert!(text.contains("lat_seconds_count 2"));
+        assert!(text.contains("lat_seconds_sum 1"));
+    }
+
+    #[test]
+    fn labelled_series_share_one_type_header() {
+        let reg = MetricsRegistry::new();
+        reg.counter(r#"out_total{k="a"}"#, 1);
+        reg.counter(r#"out_total{k="b"}"#, 2);
+        let text = to_prometheus(&reg.snapshot());
+        assert_eq!(text.matches("# TYPE out_total counter").count(), 1);
+        assert!(text.contains(r#"out_total{k="a"} 1"#));
+        assert!(text.contains(r#"out_total{k="b"} 2"#));
+    }
+}

@@ -1,0 +1,201 @@
+//! Zero-cost instrumentation hooks.
+//!
+//! Hot paths (the injection replay loop, the session stepper) are
+//! generic over [`TelemetryHook`]. When instantiated with [`NoopHook`]
+//! the associated `ENABLED` constant is `false`, every call site is
+//! guarded by `if H::ENABLED`, and the optimiser removes the
+//! instrumentation entirely — the same monomorphisation pattern as
+//! `simt_sim::NoopObserver`.
+
+use crate::events::{Event, EventSink};
+use crate::metrics::MetricsRegistry;
+
+/// Receiver for metrics and structured events from instrumented code.
+///
+/// All methods default to no-ops so implementors opt into just the
+/// signals they care about. `ENABLED` lets call sites skip argument
+/// construction (timestamps, formatted label strings) entirely when the
+/// hook is a no-op.
+pub trait TelemetryHook: Sync {
+    /// Whether this hook observes anything. Call sites should guard
+    /// non-trivial argument construction with `if H::ENABLED`.
+    const ENABLED: bool = true;
+
+    /// Adds `delta` to a monotonic counter.
+    fn count(&self, name: &str, delta: u64) {
+        let _ = (name, delta);
+    }
+
+    /// Sets a gauge to `value`.
+    fn gauge(&self, name: &str, value: f64) {
+        let _ = (name, value);
+    }
+
+    /// Records one histogram sample.
+    fn observe(&self, name: &str, value: f64) {
+        let _ = (name, value);
+    }
+
+    /// Emits a structured event.
+    fn event(&self, event: &Event) {
+        let _ = event;
+    }
+}
+
+/// The hook that observes nothing; instrumented code monomorphised with
+/// it compiles to the uninstrumented code.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct NoopHook;
+
+impl TelemetryHook for NoopHook {
+    const ENABLED: bool = false;
+}
+
+impl<H: TelemetryHook> TelemetryHook for &H {
+    const ENABLED: bool = H::ENABLED;
+
+    fn count(&self, name: &str, delta: u64) {
+        (**self).count(name, delta);
+    }
+
+    fn gauge(&self, name: &str, value: f64) {
+        (**self).gauge(name, value);
+    }
+
+    fn observe(&self, name: &str, value: f64) {
+        (**self).observe(name, value);
+    }
+
+    fn event(&self, event: &Event) {
+        (**self).event(event);
+    }
+}
+
+/// Fans every signal out to both halves; enabled if either half is.
+impl<A: TelemetryHook, B: TelemetryHook> TelemetryHook for (A, B) {
+    const ENABLED: bool = A::ENABLED || B::ENABLED;
+
+    fn count(&self, name: &str, delta: u64) {
+        self.0.count(name, delta);
+        self.1.count(name, delta);
+    }
+
+    fn gauge(&self, name: &str, value: f64) {
+        self.0.gauge(name, value);
+        self.1.gauge(name, value);
+    }
+
+    fn observe(&self, name: &str, value: f64) {
+        self.0.observe(name, value);
+        self.1.observe(name, value);
+    }
+
+    fn event(&self, event: &Event) {
+        self.0.event(event);
+        self.1.event(event);
+    }
+}
+
+/// The production hook: metrics land in a [`MetricsRegistry`], events
+/// (if a sink is attached) in an [`EventSink`].
+pub struct RegistryHook<'a> {
+    registry: &'a MetricsRegistry,
+    sink: Option<&'a dyn EventSink>,
+}
+
+impl std::fmt::Debug for RegistryHook<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("RegistryHook")
+            .field("registry", self.registry)
+            .field("has_sink", &self.sink.is_some())
+            .finish()
+    }
+}
+
+impl<'a> RegistryHook<'a> {
+    /// A hook recording into `registry` only.
+    pub fn new(registry: &'a MetricsRegistry) -> Self {
+        RegistryHook {
+            registry,
+            sink: None,
+        }
+    }
+
+    /// A hook recording into `registry` and emitting events to `sink`.
+    pub fn with_sink(registry: &'a MetricsRegistry, sink: &'a dyn EventSink) -> Self {
+        RegistryHook {
+            registry,
+            sink: Some(sink),
+        }
+    }
+}
+
+impl TelemetryHook for RegistryHook<'_> {
+    fn count(&self, name: &str, delta: u64) {
+        self.registry.counter(name, delta);
+    }
+
+    fn gauge(&self, name: &str, value: f64) {
+        self.registry.gauge(name, value);
+    }
+
+    fn observe(&self, name: &str, value: f64) {
+        self.registry.observe(name, value);
+    }
+
+    fn event(&self, event: &Event) {
+        if let Some(sink) = self.sink {
+            sink.emit(event);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::events::MemorySink;
+
+    fn exercise<H: TelemetryHook>(hook: &H) {
+        if H::ENABLED {
+            hook.count("c", 1);
+            hook.gauge("g", 2.0);
+            hook.observe("h", 3.0);
+            hook.event(&Event::new("e"));
+        }
+    }
+
+    #[test]
+    // The constant-ness of ENABLED is exactly the property under test.
+    #[allow(clippy::assertions_on_constants)]
+    fn noop_hook_is_disabled() {
+        assert!(!NoopHook::ENABLED);
+        assert!(!<&NoopHook as TelemetryHook>::ENABLED);
+        assert!(!<(NoopHook, NoopHook) as TelemetryHook>::ENABLED);
+        exercise(&NoopHook);
+    }
+
+    #[test]
+    fn registry_hook_records_everything() {
+        let reg = MetricsRegistry::new();
+        let sink = MemorySink::new();
+        let hook = RegistryHook::with_sink(&reg, &sink);
+        exercise(&hook);
+        let snap = reg.snapshot();
+        assert_eq!(snap.counter("c"), Some(1));
+        assert_eq!(snap.gauge("g"), Some(2.0));
+        assert_eq!(snap.histogram("h").unwrap().count(), 1);
+        assert_eq!(sink.events().len(), 1);
+    }
+
+    #[test]
+    #[allow(clippy::assertions_on_constants)]
+    fn pair_hook_fans_out_and_is_enabled_if_either_is() {
+        assert!(<(NoopHook, RegistryHook<'_>) as TelemetryHook>::ENABLED);
+        let a = MetricsRegistry::new();
+        let b = MetricsRegistry::new();
+        let pair = (RegistryHook::new(&a), RegistryHook::new(&b));
+        exercise(&pair);
+        assert_eq!(a.snapshot().counter("c"), Some(1));
+        assert_eq!(b.snapshot().counter("c"), Some(1));
+    }
+}

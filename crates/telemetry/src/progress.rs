@@ -1,0 +1,136 @@
+//! Live campaign progress on stderr.
+//!
+//! [`ProgressHook`] implements [`TelemetryHook`] and counts completed
+//! injections as they stream past (any counter whose name starts with
+//! `campaign_injections_total` — the per-outcome labelled series). It
+//! redraws a single `\r`-rewritten stderr line, throttled so the hot
+//! loop never blocks on the terminal.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+use crate::hook::TelemetryHook;
+
+/// Counter-name prefix that marks one finished injection.
+const INJECTION_COUNTER_PREFIX: &str = "campaign_injections_total";
+
+/// Minimum interval between stderr redraws.
+const REDRAW_EVERY: Duration = Duration::from_millis(100);
+
+/// A hook that renders `done/total, inj/s, ETA` as a live stderr line.
+#[derive(Debug)]
+pub struct ProgressHook {
+    total: u64,
+    done: AtomicU64,
+    started: Instant,
+    last_draw: Mutex<Instant>,
+}
+
+impl ProgressHook {
+    /// A progress bar expecting `total` injections in this run.
+    pub fn new(total: u64) -> Self {
+        let now = Instant::now();
+        ProgressHook {
+            total,
+            done: AtomicU64::new(0),
+            started: now,
+            // Backdate so the very first injection draws immediately.
+            last_draw: Mutex::new(now - REDRAW_EVERY),
+        }
+    }
+
+    /// Injections counted so far.
+    pub fn done(&self) -> u64 {
+        self.done.load(Ordering::Relaxed)
+    }
+
+    /// Renders the line: `done/total | rate inj/s | ETA`.
+    fn render(&self, done: u64) -> String {
+        let elapsed = self.started.elapsed().as_secs_f64();
+        let rate = if elapsed > 0.0 {
+            done as f64 / elapsed
+        } else {
+            0.0
+        };
+        let eta = if rate > 0.0 && done < self.total {
+            let secs = (self.total - done) as f64 / rate;
+            format_duration(secs)
+        } else {
+            "--".to_string()
+        };
+        format!(
+            "  {done}/{total} injections | {rate:.1} inj/s | ETA {eta}",
+            total = self.total
+        )
+    }
+
+    fn draw(&self, done: u64, force: bool) {
+        let now = Instant::now();
+        {
+            let mut last = self.last_draw.lock().expect("progress poisoned");
+            if !force && now.duration_since(*last) < REDRAW_EVERY {
+                return;
+            }
+            *last = now;
+        }
+        eprint!("\r{:<60}", self.render(done));
+    }
+
+    /// Draws the final state and moves stderr to a fresh line.
+    pub fn finish(&self) {
+        self.draw(self.done(), true);
+        eprintln!();
+    }
+}
+
+impl TelemetryHook for ProgressHook {
+    fn count(&self, name: &str, delta: u64) {
+        if name.starts_with(INJECTION_COUNTER_PREFIX) {
+            let done = self.done.fetch_add(delta, Ordering::Relaxed) + delta;
+            self.draw(done, false);
+        }
+    }
+}
+
+fn format_duration(secs: f64) -> String {
+    let s = secs.round() as u64;
+    if s >= 3600 {
+        format!("{}h{:02}m", s / 3600, (s % 3600) / 60)
+    } else if s >= 60 {
+        format!("{}m{:02}s", s / 60, s % 60)
+    } else {
+        format!("{s}s")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counts_only_injection_counters() {
+        let p = ProgressHook::new(10);
+        p.count(r#"campaign_injections_total{outcome="masked"}"#, 3);
+        p.count("sim_snapshots_total", 5);
+        p.count(r#"campaign_injections_total{outcome="sdc"}"#, 1);
+        assert_eq!(p.done(), 4);
+    }
+
+    #[test]
+    fn render_shows_done_total_rate_and_eta() {
+        let p = ProgressHook::new(100);
+        p.count(r#"campaign_injections_total{outcome="masked"}"#, 50);
+        let line = p.render(50);
+        assert!(line.contains("50/100"), "line = {line}");
+        assert!(line.contains("inj/s"), "line = {line}");
+        assert!(line.contains("ETA"), "line = {line}");
+    }
+
+    #[test]
+    fn duration_formatting() {
+        assert_eq!(format_duration(5.0), "5s");
+        assert_eq!(format_duration(65.0), "1m05s");
+        assert_eq!(format_duration(3700.0), "1h01m");
+    }
+}

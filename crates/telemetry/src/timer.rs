@@ -1,0 +1,129 @@
+//! Span-style scoped timers.
+//!
+//! [`SpanTimer`] measures from construction to drop and records the
+//! elapsed seconds into a hook's histogram; with a disabled hook
+//! (`H::ENABLED == false`) it never reads the clock at all.
+
+use std::time::Instant;
+
+use crate::hook::TelemetryHook;
+
+/// Records wall time from creation to drop as one histogram sample.
+///
+/// ```
+/// use grel_telemetry::{MetricsRegistry, RegistryHook, SpanTimer};
+/// let reg = MetricsRegistry::new();
+/// let hook = RegistryHook::new(&reg);
+/// {
+///     let _span = SpanTimer::new(&hook, "phase_seconds");
+///     // ... timed work ...
+/// }
+/// assert_eq!(reg.snapshot().histogram("phase_seconds").unwrap().count(), 1);
+/// ```
+#[derive(Debug)]
+pub struct SpanTimer<'h, H: TelemetryHook> {
+    hook: &'h H,
+    name: &'static str,
+    // None exactly when the hook is disabled: no clock read, no record.
+    started: Option<Instant>,
+}
+
+impl<'h, H: TelemetryHook> SpanTimer<'h, H> {
+    /// Starts timing into `hook`'s histogram `name`.
+    pub fn new(hook: &'h H, name: &'static str) -> Self {
+        SpanTimer {
+            hook,
+            name,
+            started: H::ENABLED.then(Instant::now),
+        }
+    }
+
+    /// Stops early and returns the elapsed seconds (0 when disabled).
+    pub fn finish(mut self) -> f64 {
+        self.stop()
+    }
+
+    fn stop(&mut self) -> f64 {
+        match self.started.take() {
+            Some(started) => {
+                let secs = started.elapsed().as_secs_f64();
+                self.hook.observe(self.name, secs);
+                secs
+            }
+            None => 0.0,
+        }
+    }
+}
+
+impl<H: TelemetryHook> Drop for SpanTimer<'_, H> {
+    fn drop(&mut self) {
+        self.stop();
+    }
+}
+
+/// A plain restartable wall-clock stopwatch (no hook involved).
+#[derive(Debug, Clone, Copy)]
+pub struct Stopwatch {
+    started: Instant,
+}
+
+impl Default for Stopwatch {
+    fn default() -> Self {
+        Self::start()
+    }
+}
+
+impl Stopwatch {
+    /// Starts (or restarts) at now.
+    pub fn start() -> Self {
+        Stopwatch {
+            started: Instant::now(),
+        }
+    }
+
+    /// Seconds since start.
+    pub fn elapsed_secs(&self) -> f64 {
+        self.started.elapsed().as_secs_f64()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::hook::NoopHook;
+    use crate::metrics::MetricsRegistry;
+    use crate::RegistryHook;
+
+    #[test]
+    fn span_records_once_on_drop() {
+        let reg = MetricsRegistry::new();
+        let hook = RegistryHook::new(&reg);
+        {
+            let _span = SpanTimer::new(&hook, "t");
+        }
+        assert_eq!(reg.snapshot().histogram("t").unwrap().count(), 1);
+    }
+
+    #[test]
+    fn finish_returns_elapsed_and_prevents_double_record() {
+        let reg = MetricsRegistry::new();
+        let hook = RegistryHook::new(&reg);
+        let span = SpanTimer::new(&hook, "t");
+        let secs = span.finish();
+        assert!(secs >= 0.0);
+        assert_eq!(reg.snapshot().histogram("t").unwrap().count(), 1);
+    }
+
+    #[test]
+    fn disabled_hook_records_nothing() {
+        let span = SpanTimer::new(&NoopHook, "t");
+        assert!(span.started.is_none());
+        assert_eq!(span.finish(), 0.0);
+    }
+
+    #[test]
+    fn stopwatch_advances() {
+        let sw = Stopwatch::start();
+        assert!(sw.elapsed_secs() >= 0.0);
+    }
+}

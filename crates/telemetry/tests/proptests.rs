@@ -1,0 +1,197 @@
+//! Property tests for the metrics merge laws.
+//!
+//! The whole sharding design rests on snapshot merging being a pure
+//! function of the recorded-event multiset: associative,
+//! order-independent, and with deterministic derived statistics. These
+//! properties are what make a harvest reproducible regardless of how
+//! the scoped-thread campaign scheduler interleaved the workers.
+
+use grel_telemetry::{Histogram, MetricsRegistry, MetricsSnapshot};
+use proptest::collection::vec;
+use proptest::prelude::*;
+
+/// One abstract recording op, replayable onto any shard.
+#[derive(Debug, Clone)]
+enum Op {
+    Count(u8, u64),
+    /// Gauge writes carry an explicit global order (index into the op
+    /// stream) so "last write wins" is well-defined for the model.
+    Observe(u8, u32),
+}
+
+fn op() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        (0u8..4, 0u64..1000).prop_map(|(k, v)| Op::Count(k, v)),
+        (0u8..4, 0u32..5_000_000).prop_map(|(k, v)| Op::Observe(k, v)),
+    ]
+}
+
+fn name(k: u8) -> String {
+    format!("metric_{k}")
+}
+
+/// Replays ops into per-shard snapshots via a registry on dedicated
+/// threads (one thread == one shard), splitting the stream at `cuts`.
+fn record_sharded(ops: &[Op], shards: usize) -> MetricsSnapshot {
+    let reg = MetricsRegistry::new();
+    std::thread::scope(|scope| {
+        for chunk in ops.chunks(ops.len().div_ceil(shards).max(1)) {
+            let reg = &reg;
+            scope.spawn(move || {
+                for op in chunk {
+                    match op {
+                        Op::Count(k, v) => reg.counter(&name(*k), *v),
+                        Op::Observe(k, v) => reg.observe(&name(*k), *v as f64 * 1e-3),
+                    }
+                }
+            });
+        }
+    });
+    reg.snapshot()
+}
+
+proptest! {
+    /// Recording the same op stream through 1, 2 or 5 thread shards
+    /// yields identical snapshots: the shard/merge model is invisible.
+    #[test]
+    fn merge_is_shard_count_independent(ops in vec(op(), 0..120)) {
+        let one = record_sharded(&ops, 1);
+        let two = record_sharded(&ops, 2);
+        let five = record_sharded(&ops, 5);
+        prop_assert_eq!(&one, &two);
+        prop_assert_eq!(&one, &five);
+    }
+
+    /// Merging a permutation of shard snapshots in any order gives the
+    /// same result (associativity + commutativity of the fold).
+    #[test]
+    fn merge_is_order_independent(
+        ops in vec(op(), 0..120),
+        rot in 0usize..7,
+    ) {
+        // Build per-shard snapshots directly, one registry per shard.
+        let chunks: Vec<&[Op]> = ops.chunks(ops.len().div_ceil(4).max(1)).collect();
+        let shards: Vec<MetricsSnapshot> = chunks
+            .iter()
+            .map(|chunk| record_sharded(chunk, 1))
+            .collect();
+
+        let mut forward = MetricsSnapshot::default();
+        for s in &shards {
+            forward.merge(s);
+        }
+
+        let mut rotated = MetricsSnapshot::default();
+        let n = shards.len().max(1);
+        for i in 0..shards.len() {
+            rotated.merge(&shards[(i + rot) % n]);
+        }
+
+        let mut reversed = MetricsSnapshot::default();
+        for s in shards.iter().rev() {
+            reversed.merge(s);
+        }
+
+        prop_assert_eq!(&forward, &rotated);
+        prop_assert_eq!(&forward, &reversed);
+    }
+
+    /// Counter totals equal the plain sum of all deltas, however the
+    /// stream was sharded.
+    #[test]
+    fn counters_sum_exactly(ops in vec(op(), 0..120)) {
+        let snap = record_sharded(&ops, 3);
+        for k in 0u8..4 {
+            let expected: u64 = ops
+                .iter()
+                .filter_map(|op| match op {
+                    Op::Count(key, v) if *key == k => Some(*v),
+                    _ => None,
+                })
+                .sum();
+            let got = snap.counter(&name(k)).unwrap_or(0);
+            prop_assert_eq!(got, expected);
+        }
+    }
+
+    /// Histogram count/sum are exact and quantiles are a deterministic
+    /// pure function of the sample multiset: shuffling the sample order
+    /// or re-recording produces bit-identical statistics.
+    #[test]
+    fn histogram_quantiles_deterministic(
+        samples in vec(0u32..5_000_000, 1..80),
+        rot in 1usize..17,
+    ) {
+        let record_all = |vals: &[u32]| {
+            let mut h = Histogram::default();
+            for v in vals {
+                h.record(*v as f64 * 1e-3);
+            }
+            h
+        };
+        let a = record_all(&samples);
+        let mut shuffled = samples.clone();
+        shuffled.rotate_left(rot % samples.len());
+        let b = record_all(&shuffled);
+
+        prop_assert_eq!(&a, &b);
+        prop_assert_eq!(a.count(), samples.len() as u64);
+        for q in [0.0, 0.25, 0.5, 0.9, 0.99, 1.0] {
+            let qa = a.quantile(q);
+            let qb = b.quantile(q);
+            prop_assert_eq!(qa.to_bits(), qb.to_bits());
+            // Quantiles always land inside the observed range.
+            prop_assert!(qa >= a.min() && qa <= a.max());
+        }
+    }
+
+    /// Splitting a sample stream arbitrarily and merging the two halves
+    /// equals recording the whole stream into one histogram.
+    #[test]
+    fn histogram_merge_matches_single_recording(
+        samples in vec(0u32..5_000_000, 0..80),
+        cut_seed in any::<u64>(),
+    ) {
+        let cut = if samples.is_empty() {
+            0
+        } else {
+            (cut_seed % (samples.len() as u64 + 1)) as usize
+        };
+        let mut whole = Histogram::default();
+        for v in &samples {
+            whole.record(*v as f64 * 1e-3);
+        }
+        let mut left = Histogram::default();
+        for v in &samples[..cut] {
+            left.record(*v as f64 * 1e-3);
+        }
+        let mut right = Histogram::default();
+        for v in &samples[cut..] {
+            right.record(*v as f64 * 1e-3);
+        }
+        left.merge(&right);
+        prop_assert_eq!(&left, &whole);
+    }
+}
+
+/// Gauge semantics need real registry sequencing (the proptest model
+/// above can't express cross-shard "latest write"), so pin them with a
+/// deterministic single-threaded check: the registry-global sequence
+/// makes the final write win no matter which shard it landed in.
+#[test]
+fn gauge_latest_write_wins_across_threads() {
+    let reg = MetricsRegistry::new();
+    reg.gauge("g", 1.0);
+    std::thread::scope(|scope| {
+        let reg = &reg;
+        scope
+            .spawn(move || {
+                reg.gauge("g", 2.0);
+            })
+            .join()
+            .expect("writer thread");
+    });
+    // The spawned thread's write sequenced after ours: it must win even
+    // though it lives in a different shard.
+    assert_eq!(reg.snapshot().gauge("g"), Some(2.0));
+}
