@@ -7,11 +7,14 @@
 //!   --injections N      fault injections per structure (default 200)
 //!   --paper             paper configuration (2000 injections)
 //!   --seed S            campaign + input seed (default 2017)
-//!   --threads T         replay worker threads (default: all cores)
+//!   --jobs N, -j N      replay worker threads (default: all cores);
+//!                       results are bit-identical at any N
+//!   --threads T         alias for --jobs (kept for compatibility)
 //!   --smoke             tiny workload sizes (CI smoke run)
 //!   --device NAME       restrict to one device (substring match)
 //!   --workload NAME     restrict to one benchmark
 //!   --csv PATH          also write the raw study points as CSV
+//!   --json PATH         also write the raw study points as JSON
 //!   --experiments PATH  also write the EXPERIMENTS.md result body
 //!   --checkpoint-interval N  checkpoint ladder spacing in cycles (0 = auto)
 //!   --no-checkpoints    disable checkpointed replay (from-zero replays)
@@ -56,6 +59,7 @@ struct Args {
     device: Option<String>,
     workload: Option<String>,
     csv: Option<String>,
+    json: Option<String>,
     experiments: Option<String>,
     checkpoint_interval: u64,
     no_checkpoints: bool,
@@ -77,6 +81,7 @@ fn parse_args() -> Result<Args, String> {
         device: None,
         workload: None,
         csv: None,
+        json: None,
         experiments: None,
         checkpoint_interval: 0,
         no_checkpoints: false,
@@ -106,12 +111,15 @@ fn parse_args() -> Result<Args, String> {
                     .parse()
                     .map_err(|e| format!("bad --seed: {e}"))?;
             }
-            "--threads" => {
+            "--jobs" | "-j" | "--threads" => {
                 args.threads = it
                     .next()
-                    .ok_or("--threads needs a value")?
+                    .ok_or_else(|| format!("{a} needs a value"))?
                     .parse()
-                    .map_err(|e| format!("bad --threads: {e}"))?;
+                    .map_err(|e| format!("bad {a}: {e}"))?;
+                if args.threads == 0 {
+                    return Err(format!("{a} must be at least 1"));
+                }
             }
             "--smoke" => args.scale = Scale::Smoke,
             "--device" => args.device = Some(it.next().ok_or("--device needs a value")?),
@@ -129,6 +137,7 @@ fn parse_args() -> Result<Args, String> {
             "--quiet" | "-q" => args.log_level = LogLevel::Quiet,
             "-v" | "--verbose" => args.log_level = LogLevel::Debug,
             "--csv" => args.csv = Some(it.next().ok_or("--csv needs a value")?),
+            "--json" => args.json = Some(it.next().ok_or("--json needs a value")?),
             "--experiments" => {
                 args.experiments = Some(it.next().ok_or("--experiments needs a value")?)
             }
@@ -148,9 +157,9 @@ fn parse_args() -> Result<Args, String> {
 const HELP: &str = "repro — regenerate the figures of \
 'Microarchitecture Level Reliability Comparison of Modern GPU Designs' (ISPASS 2017)
 
-usage: repro [COMMAND] [--injections N] [--paper] [--seed S] [--threads T]
+usage: repro [COMMAND] [--injections N] [--paper] [--seed S] [--jobs N]
              [--smoke] [--device NAME] [--workload NAME]
-             [--csv PATH] [--experiments PATH]
+             [--csv PATH] [--json PATH] [--experiments PATH]
              [--checkpoint-interval N] [--no-checkpoints]
              [--metrics PATH] [--progress] [--quiet] [-v]
        repro report <metrics.jsonl>
@@ -171,8 +180,13 @@ commands:
   ablate-sched  extension: warp scheduler (LRR vs GTO) vs AVF and cycles
   ablate-rfsize extension: register-file size sweep vs AVF and FIT
   ablate-ace    extension: conservative vs refined ACE vs FI
-  bench-campaign  measure checkpointed-replay speedup vs from-zero replay
+  bench-campaign  measure checkpointed-replay speedup and --jobs scaling
   report        render a markdown run report from a --metrics JSONL file
+
+parallelism:
+  --jobs N (-j N, alias --threads) sets the replay worker-thread count.
+  The runner's determinism contract guarantees bit-identical campaign
+  and study results at any job count: only wall-clock time changes.
 
 telemetry:
   --metrics PATH writes one JSON object per line: structured events
@@ -298,7 +312,7 @@ fn main() -> ExitCode {
 
     let margin = error_margin(u64::MAX, args.injections.max(1) as u64, Z_99);
     log.info(&format!(
-        "running study: {} workloads x {} devices, {} injections/structure (+/-{:.2}% @ 99%), {} threads",
+        "running study: {} workloads x {} devices, {} injections/structure (+/-{:.2}% @ 99%), {} jobs",
         workloads.len(),
         archs.len(),
         args.injections,
@@ -323,6 +337,7 @@ fn main() -> ExitCode {
                 .field("injections", args.injections as u64)
                 .field("seed", args.seed)
                 .field("threads", args.threads as u64)
+                .field("jobs", args.threads as u64)
                 .field("devices", archs.len() as u64)
                 .field("workloads", workloads.len() as u64)
                 .field(
@@ -466,6 +481,13 @@ fn main() -> ExitCode {
     );
     if let Some(path) = &args.csv {
         if let Err(e) = std::fs::write(path, to_csv(&study)) {
+            log.error(&format!("writing {path}: {e}"));
+            return ExitCode::FAILURE;
+        }
+        log.info(&format!("wrote {path}"));
+    }
+    if let Some(path) = &args.json {
+        if let Err(e) = std::fs::write(path, grel_bench::to_json(&study)) {
             log.error(&format!("writing {path}: {e}"));
             return ExitCode::FAILURE;
         }
@@ -725,7 +747,9 @@ fn perf_table(archs: &[ArchConfig], workloads: &[Box<dyn Workload>]) -> ExitCode
 /// Measures the wall-clock effect of checkpointed replay: runs the same
 /// register-file campaign (same sites, same golden run) once from cycle
 /// zero and once resuming from the checkpoint ladder, asserts outcome
-/// equality, and reports the speedup.
+/// equality, and reports the speedup. A second table then re-runs the
+/// checkpointed campaign at 1, 2, 4 … `--jobs` worker threads, asserting
+/// the tally never changes, and reports the parallel scaling.
 fn bench_campaign(
     archs: &[ArchConfig],
     workloads: &[Box<dyn Workload>],
@@ -737,6 +761,19 @@ fn bench_campaign(
         "== Checkpointed replay vs from-zero replay (RF campaign, {} injections) ==",
         cfg.campaign.injections
     );
+    // jobs = 1, 2, 4, … up to the requested worker count (always
+    // including both endpoints), for the scaling table below.
+    let max_jobs = cfg.campaign.threads.max(1);
+    let mut jobs_ladder = vec![1usize];
+    let mut j = 2;
+    while j < max_jobs {
+        jobs_ladder.push(j);
+        j *= 2;
+    }
+    if max_jobs > 1 {
+        jobs_ladder.push(max_jobs);
+    }
+    let mut scaling: Vec<(String, String, usize, f64)> = Vec::new();
     println!(
         "{:<16} {:<12} {:>5} {:>11} {:>13} {:>8}",
         "device", "workload", "rungs", "from-zero", "checkpointed", "speedup"
@@ -812,6 +849,59 @@ fn bench_campaign(
                 t_zero.as_secs_f64(),
                 t_ckpt.as_secs_f64(),
                 t_zero.as_secs_f64() / t_ckpt.as_secs_f64().max(1e-9)
+            );
+            // Parallel scaling: same ladder, same sites, varying jobs.
+            // The tally must be identical at every job count — that is
+            // the runner's determinism contract, enforced right here.
+            for &jobs in &jobs_ladder {
+                let mut c = cfg.campaign;
+                c.threads = jobs;
+                let t = Instant::now();
+                match run_injections_checkpointed(arch, w.as_ref(), &golden, &ladder, &sites, c) {
+                    Ok(tally) => {
+                        assert_eq!(
+                            tally, fast,
+                            "tally must be job-count invariant (jobs = {jobs})"
+                        );
+                        scaling.push((
+                            arch.name.clone(),
+                            w.name().to_string(),
+                            jobs,
+                            t.elapsed().as_secs_f64(),
+                        ));
+                    }
+                    Err(e) => {
+                        log.error(&format!(
+                            "parallel replay failed on {} / {} with {jobs} jobs: {e}",
+                            arch.name,
+                            w.name()
+                        ));
+                        return ExitCode::FAILURE;
+                    }
+                }
+            }
+        }
+    }
+    if jobs_ladder.len() > 1 {
+        println!();
+        println!("== Parallel scaling (checkpointed replay, identical tallies asserted) ==");
+        println!(
+            "{:<16} {:<12} {:>5} {:>10} {:>8} {:>6}",
+            "device", "workload", "jobs", "wall", "inj/s", "vs -j1"
+        );
+        let mut base_secs = 0.0;
+        for (device, workload, jobs, secs) in &scaling {
+            if *jobs == 1 {
+                base_secs = *secs;
+            }
+            println!(
+                "{:<16} {:<12} {:>5} {:>9.3}s {:>8.0} {:>5.2}x",
+                device,
+                workload,
+                jobs,
+                secs,
+                cfg.campaign.injections as f64 / secs.max(1e-9),
+                base_secs / secs.max(1e-9)
             );
         }
     }

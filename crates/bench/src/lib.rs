@@ -242,6 +242,70 @@ pub fn to_csv(study: &StudyResult) -> String {
     out
 }
 
+/// Serialises the whole study as a JSON array (one object per point).
+///
+/// Field order, float formatting and point order are all deterministic,
+/// so two runs of the same study — at any `--jobs` count — produce
+/// byte-identical files; CI diffs this output to enforce the parallel
+/// runner's determinism contract.
+///
+/// # Example
+/// ```
+/// use grel_core::study::StudyResult;
+/// let json = grel_bench::to_json(&StudyResult { points: vec![] });
+/// assert_eq!(json, "[\n]\n");
+/// ```
+pub fn to_json(study: &StudyResult) -> String {
+    fn esc(s: &str) -> String {
+        s.replace('\\', "\\\\").replace('"', "\\\"")
+    }
+    // `{}` on f64 is the shortest round-trip form: deterministic for a
+    // given bit pattern, so any drift in the underlying numbers shows
+    // up in a byte diff.
+    fn num(v: f64) -> String {
+        if v.is_finite() {
+            format!("{v}")
+        } else {
+            "null".into()
+        }
+    }
+    let mut out = String::from("[\n");
+    for (i, p) in study.points.iter().enumerate() {
+        let _ = write!(
+            out,
+            "  {{\"workload\":\"{}\",\"device\":\"{}\",\"uses_lds\":{},\"cycles\":{},\
+             \"rf_avf_fi\":{},\"rf_avf_sdc\":{},\"rf_avf_ace\":{},\"rf_occ\":{},\"rf_margin99\":{},\
+             \"lds_avf_fi\":{},\"lds_avf_ace\":{},\"lds_occ\":{},\"srf_avf_ace\":{},\
+             \"fit_rf\":{},\"fit_lds\":{},\"fit_srf\":{},\"eit\":{},\"epf\":{}}}",
+            esc(&p.workload),
+            esc(&p.device),
+            p.uses_local_memory,
+            p.cycles,
+            num(p.rf.avf_fi),
+            num(p.rf.avf_sdc),
+            num(p.rf.avf_ace),
+            num(p.rf.occupancy),
+            num(p.rf.margin_99),
+            num(p.lds.avf_fi),
+            num(p.lds.avf_ace),
+            num(p.lds.occupancy),
+            p.srf_avf_ace.map(num).unwrap_or_else(|| "null".into()),
+            num(p.fit.rf),
+            num(p.fit.lds),
+            num(p.fit.srf),
+            num(p.eit),
+            num(p.epf)
+        );
+        out.push_str(if i + 1 < study.points.len() {
+            ",\n"
+        } else {
+            "\n"
+        });
+    }
+    out.push_str("]\n");
+    out
+}
+
 /// Renders the whole study as the EXPERIMENTS.md body: one markdown table
 /// per figure plus the findings block.
 pub fn render_experiments_markdown(study: &StudyResult, config_desc: &str) -> String {
@@ -375,6 +439,10 @@ mod tests {
         assert_eq!(f3.matches("scan").count(), 2);
         let csv = to_csv(&study);
         assert_eq!(csv.lines().count(), 3, "header + 2 points");
+        let json = to_json(&study);
+        assert_eq!(json.lines().count(), 4, "brackets + 2 points");
+        assert!(json.contains("\"device\":\"Fermi\""), "{json}");
+        assert_eq!(json, to_json(&study), "serialisation is deterministic");
         let md = render_experiments_markdown(&study, "test");
         assert!(md.contains("### Fig. 1"));
         assert!(md.contains("### Fig. 3"));

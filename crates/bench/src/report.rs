@@ -96,6 +96,17 @@ fn counter_labels(data: &RunData, base: &str) -> Vec<(String, u64)> {
         .collect()
 }
 
+/// The labelled buckets of one gauge family, in label order.
+fn gauge_labels(data: &RunData, base: &str) -> Vec<(String, f64)> {
+    data.gauges
+        .iter()
+        .filter_map(|(k, v)| {
+            let (b, label) = split_label(k);
+            (b == base).then(|| (label.unwrap_or("-").to_string(), *v))
+        })
+        .collect()
+}
+
 fn hist_field(data: &RunData, name: &str, field: &str) -> Option<f64> {
     data.histograms
         .get(name)
@@ -263,6 +274,37 @@ pub fn render_run_report(text: &str) -> Result<String, String> {
     }
     writeln!(w).unwrap();
 
+    // -- Parallel workers ----------------------------------------------
+    let worker_inj = counter_labels(&data, "campaign_worker_injections_total");
+    if !worker_inj.is_empty() {
+        writeln!(w, "## Parallel workers").unwrap();
+        writeln!(w).unwrap();
+        if let Some(jobs) = data.gauges.get("campaign_workers") {
+            writeln!(
+                w,
+                "- {} replay worker(s) per campaign (`--jobs`); outcomes \
+                 are bit-identical at any job count",
+                *jobs as u64
+            )
+            .unwrap();
+            writeln!(w).unwrap();
+        }
+        let rates = gauge_labels(&data, "campaign_worker_injections_per_second");
+        writeln!(w, "| worker | injections | inj/s |").unwrap();
+        writeln!(w, "|---|---:|---:|").unwrap();
+        let mut sorted = worker_inj;
+        sorted.sort_by_key(|(label, _)| label.parse::<u64>().unwrap_or(u64::MAX));
+        for (label, count) in sorted {
+            let rate = rates
+                .iter()
+                .find(|(l, _)| *l == label)
+                .map(|(_, r)| format!("{r:.0}"))
+                .unwrap_or_else(|| "-".into());
+            writeln!(w, "| {label} | {count} | {rate} |").unwrap();
+        }
+        writeln!(w).unwrap();
+    }
+
     // -- Checkpoint savings --------------------------------------------
     let replayed = counter_sum(&data, "campaign_cycles_replayed_total");
     let saved = counter_sum(&data, "campaign_cycles_saved_total");
@@ -373,6 +415,11 @@ mod tests {
             r#"{"event":"counter","name":"campaign_injections_total{outcome=\"due\"}","value":1}"#,
             r#"{"event":"counter","name":"campaign_rung_hits_total{rung=\"0\"}","value":8}"#,
             r#"{"event":"counter","name":"campaign_rung_hits_total{rung=\"none\"}","value":4}"#,
+            r#"{"event":"counter","name":"campaign_worker_injections_total{worker=\"0\"}","value":7}"#,
+            r#"{"event":"counter","name":"campaign_worker_injections_total{worker=\"1\"}","value":5}"#,
+            r#"{"event":"gauge","name":"campaign_workers","value":2.0}"#,
+            r#"{"event":"gauge","name":"campaign_worker_injections_per_second{worker=\"0\"}","value":14.0}"#,
+            r#"{"event":"gauge","name":"campaign_worker_injections_per_second{worker=\"1\"}","value":10.0}"#,
             r#"{"event":"counter","name":"campaign_cycles_replayed_total","value":400}"#,
             r#"{"event":"counter","name":"campaign_cycles_saved_total","value":600}"#,
             r#"{"event":"counter","name":"sim_snapshots_total","value":3}"#,
@@ -391,6 +438,7 @@ mod tests {
             "## Outcomes",
             "### Per campaign",
             "## Throughput",
+            "## Parallel workers",
             "## Checkpoint savings",
             "## Top time sinks",
             "## Injection latency",
@@ -398,6 +446,8 @@ mod tests {
             assert!(md.contains(section), "missing {section} in:\n{md}");
         }
         assert!(md.contains("| masked | 9 | 75.0% |"), "{md}");
+        assert!(md.contains("| 0 | 7 | 14 |"), "{md}");
+        assert!(md.contains("2 replay worker(s)"), "{md}");
         assert!(md.contains("600 of 1000 replay cycles skipped"), "{md}");
         assert!(md.contains("| vectoradd | GTX 480 |"), "{md}");
     }

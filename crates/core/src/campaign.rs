@@ -14,8 +14,11 @@
 //! 5. report `AVF = (SDC + DUE) / n` with its statistical margin.
 //!
 //! Replays are embarrassingly parallel; [`run_campaign`] fans them out
-//! over a configurable number of threads with fully deterministic results
-//! (the site list depends only on the seed, never on thread scheduling).
+//! over a scoped worker pool (`cfg.threads` wide, or
+//! [`run_campaign_parallel`] for an explicit `--jobs` count) with fully
+//! deterministic results: outcomes are merged back in site order, so the
+//! campaign is bit-identical to a sequential run at any job count. The
+//! pool lives in [`crate::runner`], which documents the contract.
 //!
 //! Replays also do not start from cycle zero: the golden run leaves
 //! behind a ladder of mid-execution snapshots ([`CheckpointLadder`]) and
@@ -25,6 +28,7 @@
 //! exactly the same outcome sequence as from-zero replay — only faster.
 
 use crate::ace::AceAnalyzer;
+use crate::runner::replay_sites;
 use crate::stats::{error_margin, fault_population, Proportion, Z_99};
 use gpu_workloads::Workload;
 use grel_telemetry::{Event, NoopHook, TelemetryHook};
@@ -247,7 +251,12 @@ pub struct CampaignResult {
     pub tally: Tally,
     /// Fault-free cycle count (the sampling window).
     pub golden_cycles: u64,
-    /// Error margin of the AVF estimate at 99 % confidence.
+    /// Size of the sampled fault-site population: every `(SM, word, bit,
+    /// cycle)` candidate of the injected structure over the golden run.
+    pub population: u64,
+    /// Error margin of the AVF estimate at 99 % confidence, with the
+    /// finite-population correction over [`CampaignResult::population`].
+    /// Zero for an empty campaign.
     pub margin_99: f64,
 }
 
@@ -273,10 +282,15 @@ impl CampaignResult {
     /// Merges a second campaign shard over the same `(arch, workload,
     /// structure)` into a combined estimate with a tighter margin.
     ///
+    /// The merged margin uses the same finite-population correction as
+    /// each shard's own margin (the shards sample the identical site
+    /// population, so the correction carries over unchanged).
+    ///
     /// # Panics
     ///
-    /// Panics if the shards disagree on structure or golden cycle count
-    /// (they would not be measuring the same population).
+    /// Panics if the shards disagree on structure, golden cycle count or
+    /// population size (they would not be measuring the same
+    /// population).
     pub fn merge(&self, other: &CampaignResult) -> CampaignResult {
         assert_eq!(
             self.structure, other.structure,
@@ -286,31 +300,59 @@ impl CampaignResult {
             self.golden_cycles, other.golden_cycles,
             "shards must share the golden run"
         );
+        assert_eq!(
+            self.population, other.population,
+            "shards must sample the same fault-site population"
+        );
         let tally = self.tally.merge(&other.tally);
-        // Conservative infinite-population margin for the merged sample.
-        let margin_99 = error_margin(u64::MAX, tally.total().max(1), Z_99);
         CampaignResult {
             structure: self.structure,
             tally,
             golden_cycles: self.golden_cycles,
-            margin_99,
+            population: self.population,
+            margin_99: campaign_margin(self.population, tally.total()),
         }
     }
 
-    /// The AVF as a [`Proportion`] with its confidence interval.
-    pub fn proportion(&self, structure_bits: u64) -> Proportion {
-        Proportion::new(
-            self.tally.failures(),
-            self.tally.total().max(1),
-            fault_population(structure_bits, self.golden_cycles),
-        )
+    /// The AVF as a [`Proportion`] with its confidence interval over the
+    /// campaign's own fault-site population, or `None` for a campaign
+    /// that ran no injections (an empty tally is reported as the absence
+    /// of an estimate, never as a fabricated one-trial proportion).
+    pub fn proportion(&self) -> Option<Proportion> {
+        (self.tally.total() > 0)
+            .then(|| Proportion::new(self.tally.failures(), self.tally.total(), self.population))
     }
 }
 
-/// Draws the deterministic fault-site list for a campaign.
+/// The 99 % error margin for `trials` injections over a finite site
+/// population; zero for an empty campaign (no trials, no estimate — the
+/// caller reports the empty tally explicitly instead of masking it).
+fn campaign_margin(population: u64, trials: u64) -> f64 {
+    if trials == 0 {
+        0.0
+    } else {
+        error_margin(population, trials, Z_99)
+    }
+}
+
+/// Draws the deterministic fault-site list for a campaign: `n`
+/// **distinct** `(SM, word, bit, cycle)` sites, uniform over the
+/// structure's fault population.
+///
+/// Sampling is *without* replacement — the finite-population correction
+/// in [`error_margin`] models a sample of distinct sites, so a duplicate
+/// draw would silently widen the true interval. Duplicates are rejected
+/// and redrawn; the population dwarfs `n` for every real configuration
+/// (the paper's smallest is ≈10⁹ sites for n = 2,000), so retries are
+/// vanishingly rare and the loop stays O(n) in expectation.
 ///
 /// Exposed for reproducibility tooling: the sites depend only on the
 /// arguments, never on threading.
+///
+/// # Panics
+///
+/// Panics if the device lacks the structure, if `cycles` is zero, or if
+/// `n` exceeds the population (no set of `n` distinct sites exists).
 pub fn sample_sites(
     arch: &ArchConfig,
     structure: Structure,
@@ -325,16 +367,27 @@ pub fn sample_sites(
     };
     assert!(words > 0, "device has no {structure}");
     assert!(cycles > 0, "cannot sample an empty execution");
+    let population = arch.num_sms as u128 * words as u128 * 32 * cycles as u128;
+    assert!(
+        n as u128 <= population,
+        "cannot draw {n} distinct sites from a population of {population}"
+    );
     let mut rng = StdRng::seed_from_u64(seed);
-    (0..n)
-        .map(|_| FaultSite {
+    let mut seen = std::collections::HashSet::with_capacity(n as usize);
+    let mut sites = Vec::with_capacity(n as usize);
+    while sites.len() < n as usize {
+        let site = FaultSite {
             structure,
             sm: rng.gen_range(0..arch.num_sms),
             word: rng.gen_range(0..words),
             bit: rng.gen_range(0..32) as u8,
             cycle: rng.gen_range(0..cycles),
-        })
-        .collect()
+        };
+        if seen.insert(site) {
+            sites.push(site);
+        }
+    }
+    sites
 }
 
 /// Default cap on the simulator state a [`CheckpointLadder`] may retain.
@@ -475,7 +528,14 @@ impl CheckpointLadder {
     }
 }
 
-/// Classifies one injection replay, resuming from `ckpt` when given.
+/// Classifies one injection replay on a caller-owned device, resuming
+/// from `ckpt` when given.
+///
+/// `gpu` is a scratch device owned by the replaying worker: a checkpoint
+/// resume overwrites it in place (so the worker pays for the device
+/// allocation once, not per replay), and a from-zero replay resets it to
+/// a fresh device first. Either way the replay never observes state left
+/// behind by a previous injection.
 ///
 /// # Errors
 ///
@@ -483,7 +543,9 @@ impl CheckpointLadder {
 /// was detected), not an error; anything else — a launch that fails to
 /// validate, an exhausted allocator — means the harness itself broke and
 /// is propagated to the caller instead of being folded into the tally.
-fn classify<H: TelemetryHook>(
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn classify_on<H: TelemetryHook>(
+    gpu: &mut Gpu,
     arch: &ArchConfig,
     workload: &dyn Workload,
     golden: &GoldenRun,
@@ -493,12 +555,11 @@ fn classify<H: TelemetryHook>(
     hook: &H,
 ) -> Result<Outcome, SimError> {
     let watchdog = golden.cycles * watchdog_factor + 10_000;
-    let mut gpu = Gpu::new(arch.clone());
     // (replay result, cycles skipped, instructions inherited from the
     // checkpoint prefix, session restore counters).
     let (result, start_cycle, base_instructions, session_tel) = match ckpt {
         Some(ck) => {
-            let mut session = Session::resume(&mut gpu, ck);
+            let mut session = Session::resume(&mut *gpu, ck);
             let base = if H::ENABLED {
                 session.gpu().exec_totals().warp_instructions
             } else {
@@ -511,9 +572,10 @@ fn classify<H: TelemetryHook>(
             (r, ck.cycle(), base, tel)
         }
         None => {
+            *gpu = Gpu::new(arch.clone());
             gpu.set_watchdog(watchdog);
             gpu.arm_fault(site);
-            let r = workload.run(&mut gpu, &mut NoopObserver);
+            let r = workload.run(gpu, &mut NoopObserver);
             (r, 0, 0, simt_sim::SessionTelemetry::default())
         }
     };
@@ -684,15 +746,13 @@ pub fn run_campaign_with_ladder_hooked<H: TelemetryHook>(
     } as u64
         * 32
         * arch.num_sms as u64;
+    let population = fault_population(structure_bits, golden.cycles);
     let result = CampaignResult {
         structure,
         tally,
         golden_cycles: golden.cycles,
-        margin_99: error_margin(
-            fault_population(structure_bits, golden.cycles),
-            cfg.injections.max(1) as u64,
-            Z_99,
-        ),
+        population,
+        margin_99: campaign_margin(population, tally.total()),
     };
     if let Some(started) = started {
         let seconds = started.elapsed().as_secs_f64();
@@ -764,86 +824,42 @@ pub fn run_injections_checkpointed(
     replay_sites(arch, workload, golden, sites, cfg, ladder, &NoopHook)
 }
 
-/// Shared replay core: sorts sites by fault cycle (so neighbouring
-/// replays resume from the same rung and late chunks skip long prefixes),
-/// fans the sorted order out across threads, and scatters the outcomes
-/// back into site order.
-fn replay_sites<H: TelemetryHook>(
+/// [`run_campaign`] with an explicit worker count, overriding
+/// `cfg.threads`: the injection replays fan out over a scoped pool of
+/// `jobs` workers (see [`crate::runner`] for the determinism contract).
+/// Results are bit-identical at any job count.
+///
+/// # Errors
+///
+/// Same as [`run_campaign`].
+pub fn run_campaign_parallel(
     arch: &ArchConfig,
     workload: &dyn Workload,
-    golden: &GoldenRun,
-    sites: &[FaultSite],
-    cfg: CampaignConfig,
-    ladder: &CheckpointLadder,
+    structure: Structure,
+    mut cfg: CampaignConfig,
+    jobs: usize,
+) -> Result<CampaignResult, SimError> {
+    cfg.threads = jobs.max(1);
+    run_campaign(arch, workload, structure, cfg)
+}
+
+/// [`run_campaign_parallel`] with full telemetry through `hook`,
+/// including the `campaign_workers` gauge and per-worker throughput
+/// series.
+///
+/// # Errors
+///
+/// Same as [`run_campaign`].
+pub fn run_campaign_parallel_hooked<H: TelemetryHook>(
+    arch: &ArchConfig,
+    workload: &dyn Workload,
+    structure: Structure,
+    mut cfg: CampaignConfig,
+    jobs: usize,
     hook: &H,
-) -> Result<Vec<Outcome>, SimError> {
-    let threads = cfg.threads.max(1);
-    let mut order: Vec<usize> = (0..sites.len()).collect();
-    order.sort_by_key(|&i| (sites[i].cycle, i));
-    let run_one = |i: usize| -> Result<(usize, Outcome), SimError> {
-        let site = sites[i];
-        let rung = ladder.nearest_indexed(site.cycle);
-        let started = H::ENABLED.then(Instant::now);
-        let outcome = classify(
-            arch,
-            workload,
-            golden,
-            site,
-            cfg.watchdog_factor,
-            rung.map(|(_, ck)| ck),
-            hook,
-        )?;
-        if let Some(started) = started {
-            hook.observe(
-                "campaign_injection_seconds",
-                started.elapsed().as_secs_f64(),
-            );
-            let outcome_label = match outcome {
-                Outcome::Masked => "masked",
-                Outcome::Sdc => "sdc",
-                Outcome::Due => "due",
-            };
-            hook.count(
-                &format!("campaign_injections_total{{outcome=\"{outcome_label}\"}}"),
-                1,
-            );
-            let rung_label = match rung {
-                Some((idx, _)) => idx.to_string(),
-                None => "none".to_string(),
-            };
-            hook.count(
-                &format!("campaign_rung_hits_total{{rung=\"{rung_label}\"}}"),
-                1,
-            );
-        }
-        Ok((i, outcome))
-    };
-    let mut outcomes = vec![Outcome::Masked; sites.len()];
-    if threads == 1 || sites.len() < 2 {
-        for &i in &order {
-            let (i, o) = run_one(i)?;
-            outcomes[i] = o;
-        }
-        return Ok(outcomes);
-    }
-    let chunk = order.len().div_ceil(threads);
-    let results: Vec<Result<Vec<(usize, Outcome)>, SimError>> = std::thread::scope(|scope| {
-        let run_one = &run_one;
-        let handles: Vec<_> = order
-            .chunks(chunk)
-            .map(|part| scope.spawn(move || part.iter().map(|&i| run_one(i)).collect()))
-            .collect();
-        handles
-            .into_iter()
-            .map(|h| h.join().expect("injection worker"))
-            .collect()
-    });
-    for r in results {
-        for (i, o) in r? {
-            outcomes[i] = o;
-        }
-    }
-    Ok(outcomes)
+) -> Result<CampaignResult, SimError> {
+    cfg.threads = jobs.max(1);
+    run_campaign_hooked(arch, workload, structure, cfg, hook)
 }
 
 #[cfg(test)]
@@ -1049,12 +1065,77 @@ mod tests {
                 due: 2,
             },
             golden_cycles: 1_000_000,
+            population: 1 << 40,
             margin_99: 0.1,
         };
         assert!((r.avf() - 0.10).abs() < 1e-12);
         assert!((r.avf_sdc() - 0.08).abs() < 1e-12);
-        let p = r.proportion(1 << 20);
+        let p = r.proportion().unwrap();
         assert_eq!(p.hits, 10);
         assert_eq!(p.trials, 100);
+        assert_eq!(
+            p.margin_99.to_bits(),
+            error_margin(1 << 40, 100, Z_99).to_bits(),
+            "proportion margin uses the campaign's finite population"
+        );
+    }
+
+    #[test]
+    fn empty_campaign_reports_no_estimate() {
+        let r = CampaignResult {
+            structure: Structure::VectorRegisterFile,
+            tally: Tally::default(),
+            golden_cycles: 1000,
+            population: 1 << 30,
+            margin_99: 0.0,
+        };
+        assert_eq!(r.avf(), 0.0);
+        assert!(r.proportion().is_none(), "zero trials is not an estimate");
+        let m = r.merge(&r);
+        assert_eq!(m.tally.total(), 0);
+        assert_eq!(m.margin_99, 0.0, "merged empty shards stay estimate-free");
+    }
+
+    #[test]
+    fn merged_margin_uses_the_finite_population() {
+        let arch = quadro_fx_5600();
+        let w = VectorAdd::new(256, 3);
+        let a = run_campaign(&arch, &w, Structure::VectorRegisterFile, small_cfg(16)).unwrap();
+        let b = run_campaign(
+            &arch,
+            &w,
+            Structure::VectorRegisterFile,
+            CampaignConfig {
+                seed: 321,
+                ..small_cfg(16)
+            },
+        )
+        .unwrap();
+        let m = a.merge(&b);
+        assert_eq!(m.population, a.population);
+        assert_eq!(
+            m.margin_99.to_bits(),
+            error_margin(a.population, 32, Z_99).to_bits(),
+            "merged margin must use the shards' shared population, not u64::MAX"
+        );
+    }
+
+    #[test]
+    fn sampled_sites_are_distinct() {
+        let arch = quadro_fx_5600();
+        // A deliberately tiny window so with-replacement sampling would
+        // collide with near-certainty (population = num_sms·words·32·2).
+        let sites = sample_sites(&arch, Structure::VectorRegisterFile, 2, 500, 13);
+        let unique: std::collections::HashSet<_> = sites.iter().copied().collect();
+        assert_eq!(unique.len(), sites.len(), "sites must be distinct");
+    }
+
+    #[test]
+    #[should_panic(expected = "distinct sites")]
+    fn sampling_more_than_the_population_panics() {
+        let mut arch = quadro_fx_5600();
+        arch.num_sms = 1;
+        arch.regfile_bytes_per_sm = 4; // one word: population = 32 * cycles
+        let _ = sample_sites(&arch, Structure::VectorRegisterFile, 1, 33, 0);
     }
 }

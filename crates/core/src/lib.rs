@@ -49,6 +49,7 @@ pub mod campaign;
 pub mod epf;
 pub mod perf;
 pub mod protection;
+pub mod runner;
 pub mod stats;
 pub mod study;
 
@@ -58,14 +59,16 @@ pub use breakdown::{
 };
 pub use campaign::{
     golden_run, golden_run_hooked, golden_run_with_ace, run_campaign, run_campaign_hooked,
-    run_campaign_with_golden, run_campaign_with_golden_hooked, run_campaign_with_ladder,
-    run_campaign_with_ladder_hooked, run_injections, run_injections_checkpointed, CampaignConfig,
-    CampaignResult, CheckpointLadder, GoldenRun, Outcome, Tally,
+    run_campaign_parallel, run_campaign_parallel_hooked, run_campaign_with_golden,
+    run_campaign_with_golden_hooked, run_campaign_with_ladder, run_campaign_with_ladder_hooked,
+    run_injections, run_injections_checkpointed, CampaignConfig, CampaignResult, CheckpointLadder,
+    GoldenRun, Outcome, Tally,
 };
 pub use epf::{eit, epf, structure_bits, structure_fit, FitBreakdown};
 pub use perf::{profile, PerfProfile};
 pub use protection::{project, protection_sweep, ProtectedPoint, Protection};
 pub use study::{
-    evaluate_point, evaluate_point_hooked, run_study, run_study_hooked, AvfRow, EpfRow, EvalPoint,
-    Findings, StructureEval, StudyConfig, StudyResult,
+    evaluate_point, evaluate_point_hooked, run_study, run_study_hooked, run_study_parallel,
+    run_study_parallel_hooked, AvfRow, EpfRow, EvalPoint, Findings, StructureEval, StudyConfig,
+    StudyResult,
 };

@@ -1,0 +1,281 @@
+//! Deterministic parallel replay runner: the scoped worker pool behind
+//! every fault-injection campaign.
+//!
+//! A campaign's injections are embarrassingly parallel — each one replays
+//! the workload from the nearest checkpoint with a single bit flip armed
+//! and classifies the outcome independently of every other injection.
+//! The runner exploits that while keeping a hard determinism contract:
+//!
+//! **Campaign results are a pure function of `(arch, workload, sites,
+//! cfg)` — never of the worker count or of thread scheduling.**
+//!
+//! The contract holds by construction:
+//!
+//! 1. the fault-site list is sampled up front from the seed (the runner
+//!    never draws randomness);
+//! 2. sites are sorted by `(fault cycle, site index)` — a deterministic
+//!    total order — so neighbouring replays resume from the same ladder
+//!    rung;
+//! 3. the sorted order is dealt round-robin across `jobs` workers
+//!    (worker `w` takes positions `w, w + jobs, w + 2·jobs, …`), which
+//!    balances the expensive early-cycle replays and the cheap
+//!    late-cycle ones evenly without any work-stealing;
+//! 4. each worker owns its own device ([`Gpu`]) and drives its own
+//!    replay [`Session`](simt_sim::Session) per injection, while the
+//!    golden [`CheckpointLadder`] is shared read-only (`&` — it is
+//!    immutable and `Sync`);
+//! 5. every outcome is scattered back into its site's original index, so
+//!    the returned vector is in **site order** regardless of which worker
+//!    finished first.
+//!
+//! Telemetry shards per worker thread inside the
+//! [`MetricsRegistry`](grel_telemetry::MetricsRegistry) and merges
+//! associatively at harvest, so hooked runs observe the same totals at
+//! any job count (per-worker series are labelled `worker="N"` by stripe
+//! index, not by OS thread, and are therefore deterministic too).
+
+use crate::campaign::{classify_on, CampaignConfig, CheckpointLadder, GoldenRun, Outcome};
+use gpu_workloads::Workload;
+use grel_telemetry::TelemetryHook;
+use simt_sim::{ArchConfig, FaultSite, Gpu, SimError};
+use std::time::Instant;
+
+/// Everything a worker needs, shared read-only across the pool.
+struct ReplayShared<'a, H> {
+    arch: &'a ArchConfig,
+    workload: &'a dyn Workload,
+    golden: &'a GoldenRun,
+    sites: &'a [FaultSite],
+    /// Site indices sorted by `(fault cycle, index)`.
+    order: &'a [usize],
+    cfg: CampaignConfig,
+    ladder: &'a CheckpointLadder,
+    hook: &'a H,
+}
+
+/// One worker's replay loop: stripe `worker` of `jobs` over the sorted
+/// order, on a single device reused across all of its replays.
+///
+/// Returns `(site index, outcome)` pairs; the caller scatters them back
+/// into site order.
+fn worker_loop<H: TelemetryHook>(
+    shared: &ReplayShared<'_, H>,
+    worker: usize,
+    jobs: usize,
+) -> Result<Vec<(usize, Outcome)>, SimError> {
+    let hook = shared.hook;
+    let started = H::ENABLED.then(Instant::now);
+    // The worker's private device: checkpoint resumes overwrite it in
+    // place, so the allocation is paid once per worker, not per replay.
+    let mut gpu = Gpu::new(shared.arch.clone());
+    let mut done = Vec::with_capacity(shared.order.len().div_ceil(jobs));
+    for &i in shared.order.iter().skip(worker).step_by(jobs) {
+        let site = shared.sites[i];
+        let rung = shared.ladder.nearest_indexed(site.cycle);
+        let injection_started = H::ENABLED.then(Instant::now);
+        let outcome = classify_on(
+            &mut gpu,
+            shared.arch,
+            shared.workload,
+            shared.golden,
+            site,
+            shared.cfg.watchdog_factor,
+            rung.map(|(_, ck)| ck),
+            hook,
+        )?;
+        if let Some(injection_started) = injection_started {
+            hook.observe(
+                "campaign_injection_seconds",
+                injection_started.elapsed().as_secs_f64(),
+            );
+            let outcome_label = match outcome {
+                Outcome::Masked => "masked",
+                Outcome::Sdc => "sdc",
+                Outcome::Due => "due",
+            };
+            hook.count(
+                &format!("campaign_injections_total{{outcome=\"{outcome_label}\"}}"),
+                1,
+            );
+            let rung_label = match rung {
+                Some((idx, _)) => idx.to_string(),
+                None => "none".to_string(),
+            };
+            hook.count(
+                &format!("campaign_rung_hits_total{{rung=\"{rung_label}\"}}"),
+                1,
+            );
+        }
+        done.push((i, outcome));
+    }
+    if let Some(started) = started {
+        let seconds = started.elapsed().as_secs_f64();
+        let per_second = if seconds > 0.0 {
+            done.len() as f64 / seconds
+        } else {
+            0.0
+        };
+        hook.observe("campaign_worker_seconds", seconds);
+        hook.count(
+            &format!("campaign_worker_injections_total{{worker=\"{worker}\"}}"),
+            done.len() as u64,
+        );
+        hook.gauge(
+            &format!("campaign_worker_injections_per_second{{worker=\"{worker}\"}}"),
+            per_second,
+        );
+    }
+    Ok(done)
+}
+
+/// Replays every site, fanning the work out over `cfg.threads` scoped
+/// workers, and returns the outcomes **in site order** — bit-identical
+/// to a sequential run at any job count.
+///
+/// # Errors
+///
+/// Propagates replay failures that are not fault classifications. When
+/// several workers fail, the error of the lowest-numbered worker wins,
+/// keeping even the failure mode deterministic.
+pub(crate) fn replay_sites<H: TelemetryHook>(
+    arch: &ArchConfig,
+    workload: &dyn Workload,
+    golden: &GoldenRun,
+    sites: &[FaultSite],
+    cfg: CampaignConfig,
+    ladder: &CheckpointLadder,
+    hook: &H,
+) -> Result<Vec<Outcome>, SimError> {
+    let jobs = cfg.threads.max(1).min(sites.len().max(1));
+    let mut order: Vec<usize> = (0..sites.len()).collect();
+    order.sort_by_key(|&i| (sites[i].cycle, i));
+    if H::ENABLED {
+        hook.gauge("campaign_workers", jobs as f64);
+    }
+    let shared = ReplayShared {
+        arch,
+        workload,
+        golden,
+        sites,
+        order: &order,
+        cfg,
+        ladder,
+        hook,
+    };
+    let mut outcomes = vec![Outcome::Masked; sites.len()];
+    if jobs == 1 {
+        for (i, o) in worker_loop(&shared, 0, 1)? {
+            outcomes[i] = o;
+        }
+        return Ok(outcomes);
+    }
+    let results: Vec<Result<Vec<(usize, Outcome)>, SimError>> = std::thread::scope(|scope| {
+        let shared = &shared;
+        let handles: Vec<_> = (0..jobs)
+            .map(|w| scope.spawn(move || worker_loop(shared, w, jobs)))
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("injection worker panicked"))
+            .collect()
+    });
+    for r in results {
+        for (i, o) in r? {
+            outcomes[i] = o;
+        }
+    }
+    Ok(outcomes)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::campaign::{golden_run, sample_sites};
+    use gpu_archs::quadro_fx_5600;
+    use gpu_workloads::VectorAdd;
+    use grel_telemetry::{MetricsRegistry, NoopHook, RegistryHook};
+    use simt_sim::Structure;
+
+    fn cfg(n: u32, threads: usize) -> CampaignConfig {
+        CampaignConfig {
+            injections: n,
+            threads,
+            ..CampaignConfig::quick(11)
+        }
+    }
+
+    fn outcomes_at(jobs: usize) -> Vec<Outcome> {
+        let arch = quadro_fx_5600();
+        let w = VectorAdd::new(256, 11);
+        let golden = golden_run(&arch, &w).unwrap();
+        let c = cfg(24, jobs);
+        let sites = sample_sites(
+            &arch,
+            Structure::VectorRegisterFile,
+            golden.cycles,
+            c.injections,
+            c.seed,
+        );
+        let ladder = CheckpointLadder::build(&arch, &w, &golden, &c).unwrap();
+        replay_sites(&arch, &w, &golden, &sites, c, &ladder, &NoopHook).unwrap()
+    }
+
+    #[test]
+    fn outcome_order_is_job_count_invariant() {
+        let one = outcomes_at(1);
+        for jobs in [2, 3, 5, 8] {
+            assert_eq!(one, outcomes_at(jobs), "jobs = {jobs}");
+        }
+    }
+
+    #[test]
+    fn oversubscribed_pool_clamps_to_site_count() {
+        // 64 workers over 6 sites must not panic or drop outcomes.
+        let arch = quadro_fx_5600();
+        let w = VectorAdd::new(256, 11);
+        let golden = golden_run(&arch, &w).unwrap();
+        let c = cfg(6, 64);
+        let sites = sample_sites(
+            &arch,
+            Structure::VectorRegisterFile,
+            golden.cycles,
+            c.injections,
+            c.seed,
+        );
+        let ladder = CheckpointLadder::build(&arch, &w, &golden, &c).unwrap();
+        let out = replay_sites(&arch, &w, &golden, &sites, c, &ladder, &NoopHook).unwrap();
+        assert_eq!(out.len(), 6);
+    }
+
+    #[test]
+    fn per_worker_metrics_cover_every_injection() {
+        let arch = quadro_fx_5600();
+        let w = VectorAdd::new(256, 11);
+        let golden = golden_run(&arch, &w).unwrap();
+        let c = cfg(12, 3);
+        let sites = sample_sites(
+            &arch,
+            Structure::VectorRegisterFile,
+            golden.cycles,
+            c.injections,
+            c.seed,
+        );
+        let ladder = CheckpointLadder::build(&arch, &w, &golden, &c).unwrap();
+        let reg = MetricsRegistry::new();
+        let hook = RegistryHook::new(&reg);
+        replay_sites(&arch, &w, &golden, &sites, c, &ladder, &hook).unwrap();
+        let snap = reg.snapshot();
+        assert_eq!(snap.gauge("campaign_workers"), Some(3.0));
+        let per_worker: u64 = snap
+            .counters()
+            .filter(|(n, _)| n.starts_with("campaign_worker_injections_total"))
+            .map(|(_, v)| v)
+            .sum();
+        assert_eq!(per_worker, 12, "every injection belongs to one worker");
+        assert_eq!(
+            snap.histogram("campaign_worker_seconds").unwrap().count(),
+            3,
+            "one wall-time sample per worker"
+        );
+    }
+}

@@ -104,9 +104,16 @@ impl Proportion {
     ///
     /// # Panics
     ///
-    /// Panics if `trials == 0`.
+    /// Panics if `trials == 0`, or if `hits > trials` — a proportion
+    /// above 1 is not an estimate but an accounting bug (e.g. merging
+    /// tallies from different campaigns), and silently producing
+    /// `AVF > 1` would poison every downstream FIT/EPF figure.
     pub fn new(hits: u64, trials: u64, population: u64) -> Self {
         assert!(trials > 0, "proportion needs at least one trial");
+        assert!(
+            hits <= trials,
+            "proportion needs hits <= trials (got {hits}/{trials})"
+        );
         Proportion {
             value: hits as f64 / trials as f64,
             hits,
@@ -230,5 +237,17 @@ mod tests {
     #[should_panic(expected = "at least one injection")]
     fn zero_sample_rejected() {
         let _ = error_margin(100, 0, Z_99);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one trial")]
+    fn zero_trial_proportion_rejected() {
+        let _ = Proportion::new(0, 0, 1 << 20);
+    }
+
+    #[test]
+    #[should_panic(expected = "hits <= trials")]
+    fn overfull_proportion_rejected() {
+        let _ = Proportion::new(101, 100, 1 << 20);
     }
 }

@@ -479,6 +479,89 @@ pub fn run_study_hooked<H: TelemetryHook>(
     Ok(StudyResult { points })
 }
 
+/// [`run_study`] with the (device, workload) points sharded across a
+/// scoped pool of `jobs` workers instead of parallelising inside each
+/// campaign.
+///
+/// Point-level parallelism beats replay-level parallelism once the study
+/// has at least as many points as cores: the golden run, the ACE pass
+/// and the ladder build — all serial within one point — then overlap
+/// across points too. Each worker evaluates its points with
+/// single-threaded campaigns so total parallelism stays at `jobs`, and
+/// the assembled result keeps the same workload-major point order as
+/// [`run_study`]. Campaign results are thread-count invariant, so the
+/// study result is bit-identical to the sequential one.
+///
+/// # Errors
+///
+/// Propagates the failure of the lowest-index failing point, matching
+/// the error [`run_study`] would report.
+pub fn run_study_parallel(
+    archs: &[ArchConfig],
+    workloads: &[Box<dyn Workload>],
+    cfg: &StudyConfig,
+    jobs: usize,
+) -> Result<StudyResult, SimError> {
+    run_study_parallel_hooked(archs, workloads, cfg, jobs, &NoopHook)
+}
+
+/// [`run_study_parallel`] with full telemetry through `hook`. The hook
+/// is shared across point workers; the metrics registry shards per
+/// thread and merges associatively, so harvested totals match the
+/// sequential run.
+///
+/// # Errors
+///
+/// Same as [`run_study_parallel`].
+pub fn run_study_parallel_hooked<H: TelemetryHook>(
+    archs: &[ArchConfig],
+    workloads: &[Box<dyn Workload>],
+    cfg: &StudyConfig,
+    jobs: usize,
+    hook: &H,
+) -> Result<StudyResult, SimError> {
+    let n = workloads.len() * archs.len();
+    let jobs = jobs.max(1).min(n.max(1));
+    if jobs == 1 {
+        return run_study_hooked(archs, workloads, cfg, hook);
+    }
+    // Within a point the campaigns run single-threaded: the pool is
+    // already `jobs` wide, and campaign results do not depend on their
+    // internal thread count.
+    let mut point_cfg = *cfg;
+    point_cfg.campaign.threads = 1;
+    let point_cfg = &point_cfg;
+    let per_worker: Vec<Vec<(usize, Result<EvalPoint, SimError>)>> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..jobs)
+            .map(|w| {
+                scope.spawn(move || {
+                    (w..n)
+                        .step_by(jobs)
+                        .map(|idx| {
+                            let workload = workloads[idx / archs.len()].as_ref();
+                            let arch = &archs[idx % archs.len()];
+                            (idx, evaluate_point_hooked(arch, workload, point_cfg, hook))
+                        })
+                        .collect()
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("study worker panicked"))
+            .collect()
+    });
+    let mut slots: Vec<Option<Result<EvalPoint, SimError>>> = (0..n).map(|_| None).collect();
+    for (idx, r) in per_worker.into_iter().flatten() {
+        slots[idx] = Some(r);
+    }
+    let mut points = Vec::with_capacity(n);
+    for slot in slots {
+        points.push(slot.expect("every point index was assigned to a worker")?);
+    }
+    Ok(StudyResult { points })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -552,6 +635,29 @@ mod tests {
         let f = study.findings();
         assert!(f.rf_avf_range.0 <= f.rf_avf_range.1);
         assert!(f.epf_range.0 <= f.epf_range.1);
+    }
+
+    #[test]
+    fn parallel_study_is_bit_identical_to_sequential() {
+        let archs = vec![quadro_fx_5600(), quadro_fx_5800()];
+        let workloads: Vec<Box<dyn gpu_workloads::Workload>> = vec![
+            Box::new(VectorAdd::new(256, 5)),
+            Box::new(Transpose::new(32, 5)),
+        ];
+        let cfg = tiny_cfg();
+        let seq = run_study(&archs, &workloads, &cfg).unwrap();
+        for jobs in [1, 2, 8] {
+            let par = run_study_parallel(&archs, &workloads, &cfg, jobs).unwrap();
+            assert_eq!(par.points.len(), seq.points.len());
+            for (a, b) in seq.points.iter().zip(&par.points) {
+                assert_eq!(a.device, b.device, "jobs = {jobs}: point order");
+                assert_eq!(a.workload, b.workload, "jobs = {jobs}: point order");
+                assert_eq!(a.rf.tally, b.rf.tally, "jobs = {jobs}");
+                assert_eq!(a.lds.tally, b.lds.tally, "jobs = {jobs}");
+                assert_eq!(a.rf.avf_fi.to_bits(), b.rf.avf_fi.to_bits());
+                assert_eq!(a.epf.to_bits(), b.epf.to_bits());
+            }
+        }
     }
 
     #[test]

@@ -205,6 +205,24 @@ impl SessionTelemetry {
     }
 }
 
+// Compile-time audit of the thread-safety bounds the parallel campaign
+// runner relies on. `grel-core` shares one immutable checkpoint ladder
+// by reference across its injection workers and hands each worker its
+// own device and session, so these bounds are load-bearing: losing one
+// (say, by storing an `Rc` inside `Gpu`) must fail the build here, at
+// the layer that owns the types, not at some distant spawn site.
+const _: () = {
+    const fn requires_send_sync<T: Send + Sync>() {}
+    const fn requires_send<T: Send>() {}
+    // Shared read-only across workers (the ladder rungs).
+    requires_send_sync::<Checkpoint>();
+    // Plans are cloned out of checkpoints on worker threads.
+    requires_send_sync::<Box<dyn LaunchPlan>>();
+    // Each worker owns a device and drives sessions over it.
+    requires_send_sync::<Gpu>();
+    requires_send::<Session<'static>>();
+};
+
 /// Result of advancing a session by one step.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum SessionStatus {

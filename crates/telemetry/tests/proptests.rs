@@ -174,6 +174,52 @@ proptest! {
     }
 }
 
+proptest! {
+    /// The campaign runner's per-worker shard pattern: every worker
+    /// records into both a shared counter and a worker-labelled counter
+    /// (`…{worker="w"}`). However many workers the site list is striped
+    /// across, the shared counter must equal the injection count and the
+    /// labelled counters must partition it exactly — merging per-thread
+    /// shards never loses or double-counts a worker's contribution.
+    #[test]
+    fn worker_labelled_shards_partition_the_total(
+        injections in 1usize..200,
+        jobs in 1usize..9,
+    ) {
+        let reg = MetricsRegistry::new();
+        std::thread::scope(|scope| {
+            for w in 0..jobs {
+                let reg = &reg;
+                scope.spawn(move || {
+                    // Striped sharding, exactly as the runner assigns sites.
+                    let mine = (w..injections).step_by(jobs).count() as u64;
+                    for _ in 0..mine {
+                        reg.counter("campaign_injections_total", 1);
+                    }
+                    reg.counter(
+                        &format!("campaign_worker_injections_total{{worker=\"{w}\"}}"),
+                        mine,
+                    );
+                });
+            }
+        });
+        let snap = reg.snapshot();
+        prop_assert_eq!(
+            snap.counter("campaign_injections_total").unwrap_or(0),
+            injections as u64
+        );
+        let labelled: u64 = (0..jobs)
+            .map(|w| {
+                snap.counter(&format!(
+                    "campaign_worker_injections_total{{worker=\"{w}\"}}"
+                ))
+                .unwrap_or(0)
+            })
+            .sum();
+        prop_assert_eq!(labelled, injections as u64);
+    }
+}
+
 /// Gauge semantics need real registry sequencing (the proptest model
 /// above can't express cross-shard "latest write"), so pin them with a
 /// deterministic single-threaded check: the registry-global sequence

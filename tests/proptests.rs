@@ -24,6 +24,25 @@ proptest! {
         }
     }
 
+    /// Site sampling is rejection-based and seeded: the same seed always
+    /// reproduces the same list, and the list never contains the same
+    /// `(sm, word, bit, cycle)` site twice — each drawn fault is a
+    /// distinct member of the population, as the Leveugle margin assumes.
+    #[test]
+    fn sampling_is_deterministic_and_without_replacement(
+        seed in any::<u64>(),
+        cycles in 1u64..100_000,
+    ) {
+        let arch = geforce_gtx_480();
+        let a = sample_sites(&arch, Structure::VectorRegisterFile, cycles, 128, seed);
+        let b = sample_sites(&arch, Structure::VectorRegisterFile, cycles, 128, seed);
+        prop_assert_eq!(&a, &b);
+        let mut seen = std::collections::HashSet::new();
+        for s in &a {
+            prop_assert!(seen.insert(*s), "duplicate site {s:?}");
+        }
+    }
+
     /// Golden runs are a pure function of (arch, workload): any two
     /// evaluations agree in output and cycle count.
     #[test]
