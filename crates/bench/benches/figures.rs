@@ -26,6 +26,7 @@ fn tiny_study(seed: u64) -> StudyConfig {
         campaign: tiny_campaign(seed),
         workload_seed: seed,
         fi_on_unused_lds: false,
+        provenance: false,
         ace_mode: Default::default(),
     }
 }

@@ -18,6 +18,9 @@
 //!   --experiments PATH  also write the EXPERIMENTS.md result body
 //!   --checkpoint-interval N  checkpoint ladder spacing in cycles (0 = auto)
 //!   --no-checkpoints    disable checkpointed replay (from-zero replays)
+//!   --provenance        record fault-propagation provenance per injection
+//!                       (injection.trace events + provenance_* metrics)
+//!   --site SPEC         fault site for `trace` (sm:struct:word:bit:cycle)
 //!   --metrics PATH      write telemetry (events + final metrics) as JSONL
 //!   --progress          live progress line on stderr (done/total, inj/s, ETA)
 //!   --quiet, -q         suppress status lines on stderr (errors still print)
@@ -25,7 +28,9 @@
 //! ```
 //!
 //! `repro report <metrics.jsonl>` renders a markdown run report from a
-//! JSONL file produced by `--metrics`.
+//! JSONL file produced by `--metrics`. `repro trace --site ...` replays
+//! one injection with the flight recorder on and prints its propagation
+//! narrative.
 
 use gpu_archs::all_devices;
 use gpu_workloads::Workload;
@@ -67,6 +72,8 @@ struct Args {
     progress: bool,
     log_level: LogLevel,
     report_path: Option<String>,
+    provenance: bool,
+    site: Option<String>,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -89,13 +96,15 @@ fn parse_args() -> Result<Args, String> {
         progress: false,
         log_level: LogLevel::Info,
         report_path: None,
+        provenance: false,
+        site: None,
     };
     let mut it = std::env::args().skip(1);
     while let Some(a) = it.next() {
         match a.as_str() {
             "fig1" | "fig2" | "fig3" | "findings" | "stats" | "all" | "outcomes" | "perf"
             | "bits" | "phases" | "mbu" | "protect" | "ablate-sched" | "ablate-rfsize"
-            | "ablate-ace" | "bench-campaign" | "report" => args.command = a,
+            | "ablate-ace" | "bench-campaign" | "report" | "trace" => args.command = a,
             "--injections" => {
                 args.injections = it
                     .next()
@@ -132,6 +141,8 @@ fn parse_args() -> Result<Args, String> {
                     .map_err(|e| format!("bad --checkpoint-interval: {e}"))?;
             }
             "--no-checkpoints" => args.no_checkpoints = true,
+            "--provenance" => args.provenance = true,
+            "--site" => args.site = Some(it.next().ok_or("--site needs a value")?),
             "--metrics" => args.metrics = Some(it.next().ok_or("--metrics needs a value")?),
             "--progress" => args.progress = true,
             "--quiet" | "-q" => args.log_level = LogLevel::Quiet,
@@ -160,9 +171,10 @@ const HELP: &str = "repro — regenerate the figures of \
 usage: repro [COMMAND] [--injections N] [--paper] [--seed S] [--jobs N]
              [--smoke] [--device NAME] [--workload NAME]
              [--csv PATH] [--json PATH] [--experiments PATH]
-             [--checkpoint-interval N] [--no-checkpoints]
+             [--checkpoint-interval N] [--no-checkpoints] [--provenance]
              [--metrics PATH] [--progress] [--quiet] [-v]
        repro report <metrics.jsonl>
+       repro trace --site sm:struct:word:bit:cycle [--device D] [--workload W]
 
 commands:
   fig1          register-file AVF: FI vs ACE vs occupancy  (paper Fig. 1)
@@ -182,6 +194,10 @@ commands:
   ablate-ace    extension: conservative vs refined ACE vs FI
   bench-campaign  measure checkpointed-replay speedup and --jobs scaling
   report        render a markdown run report from a --metrics JSONL file
+  trace         explain one injection: flip -> first read/overwrite ->
+                divergence or masking reason (--site sm:struct:word:bit:cycle,
+                struct one of rf|lds|srf; one device + workload selected
+                with --device/--workload, first match wins)
 
 parallelism:
   --jobs N (-j N, alias --threads) sets the replay worker-thread count.
@@ -193,7 +209,15 @@ telemetry:
   (golden.done, ladder.done, campaign.done, study.point, log) while the
   study runs, then the final counter/gauge/histogram values. --progress
   draws a live done/total + inj/s + ETA line on stderr. Neither flag
-  changes campaign results.";
+  changes campaign results.
+
+provenance:
+  --provenance turns the fault-propagation flight recorder on for every
+  campaign injection: each replay additionally emits an injection.trace
+  event (first-read latency, taint breadth, cycles to divergence,
+  masking reason) and the campaign publishes provenance_* attribution
+  metrics (SDC rate per RF word region / LDS bank). Tallies and study
+  results are identical with or without it.";
 
 fn main() -> ExitCode {
     let args = match parse_args() {
@@ -294,10 +318,12 @@ fn main() -> ExitCode {
         },
         workload_seed: args.seed,
         fi_on_unused_lds: false,
+        provenance: args.provenance,
         ace_mode: Default::default(),
     };
 
     match args.command.as_str() {
+        "trace" => return trace_site(&archs, &workloads, &args, &log),
         "bench-campaign" => return bench_campaign(&archs, &workloads, &cfg, &log),
         "ablate-sched" => return ablate_scheduler(&archs, &workloads, &cfg),
         "ablate-rfsize" => return ablate_rf_size(&archs, &workloads, &cfg),
@@ -503,6 +529,69 @@ fn main() -> ExitCode {
     }
     sink.flush();
     ExitCode::SUCCESS
+}
+
+/// `repro trace --site sm:struct:word:bit:cycle`: replays one injection
+/// with the flight recorder on and prints the propagation narrative
+/// (flip -> first read/overwrite -> divergence or masking reason). The
+/// first device/workload surviving the `--device`/`--workload` filters
+/// is traced.
+fn trace_site(
+    archs: &[ArchConfig],
+    workloads: &[Box<dyn Workload>],
+    args: &Args,
+    log: &Logger,
+) -> ExitCode {
+    let Some(spec) = &args.site else {
+        log.error("trace needs --site sm:struct:word:bit:cycle (struct: rf, lds or srf)");
+        return ExitCode::FAILURE;
+    };
+    let site = match grel_core::provenance::parse_site(spec) {
+        Ok(s) => s,
+        Err(e) => {
+            log.error(&format!("bad --site: {e}"));
+            return ExitCode::FAILURE;
+        }
+    };
+    let arch = &archs[0];
+    let workload = workloads[0].as_ref();
+    let words = match site.structure {
+        Structure::VectorRegisterFile => arch.rf_words_per_sm(),
+        Structure::LocalMemory => arch.lds_words_per_sm(),
+        Structure::ScalarRegisterFile => arch.srf_words_per_sm(),
+    };
+    if words == 0 {
+        log.error(&format!("{} has no {}", arch.name, site.structure));
+        return ExitCode::FAILURE;
+    }
+    if site.word >= words {
+        log.error(&format!(
+            "word {} out of range: {} has {} {} words per SM",
+            site.word, arch.name, words, site.structure
+        ));
+        return ExitCode::FAILURE;
+    }
+    log.info(&format!(
+        "tracing {} on {} / {}",
+        site,
+        arch.name,
+        workload.name()
+    ));
+    match grel_core::provenance::trace_one(arch, workload, site, 10) {
+        Ok(t) => {
+            println!(
+                "== Injection trace ({} / {}) ==",
+                arch.name,
+                workload.name()
+            );
+            print!("{}", t.narrative());
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            log.error(&format!("trace failed: {e}"));
+            ExitCode::FAILURE
+        }
+    }
 }
 
 /// Extension: protection trade-off — the decision the paper says EPF is

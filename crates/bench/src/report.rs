@@ -2,15 +2,36 @@
 //!
 //! `repro --metrics run.jsonl …` leaves behind one JSON object per line:
 //! structured events (`run.meta`, `golden.done`, `ladder.done`,
-//! `campaign.done`, `study.point`, `log`) emitted while the study runs,
-//! followed by the final `counter` / `gauge` / `histogram` values of the
-//! metrics registry. [`render_run_report`] digests that file into a
-//! human-readable markdown report: run metadata, outcome tallies,
-//! throughput, checkpoint-replay savings and the top time sinks.
+//! `campaign.done`, `study.point`, `injection.trace`, `log`) emitted
+//! while the study runs, followed by the final `counter` / `gauge` /
+//! `histogram` values of the metrics registry. [`render_run_report`]
+//! digests that file into a human-readable markdown report: run
+//! metadata, outcome tallies, throughput, checkpoint-replay savings,
+//! fault-propagation provenance (when the run used `--provenance`) and
+//! the top time sinks.
 
+use grel_core::campaign::Outcome;
+use grel_core::provenance::MaskingReason;
 use grel_telemetry::Json;
 use std::collections::BTreeMap;
-use std::fmt::Write as _;
+use std::fmt::{self, Write};
+
+/// Event names the report understands. Lines whose `event` field is not
+/// in this set parse fine but carry no reportable signal; a file with
+/// *zero* recognized events is rejected so silence never looks like
+/// success.
+const KNOWN_EVENTS: [&str; 10] = [
+    "run.meta",
+    "golden.done",
+    "ladder.done",
+    "campaign.done",
+    "study.point",
+    "injection.trace",
+    "log",
+    "counter",
+    "gauge",
+    "histogram",
+];
 
 /// Everything the report needs, pulled out of the JSONL lines.
 #[derive(Debug, Default)]
@@ -21,6 +42,8 @@ struct RunData {
     counters: BTreeMap<String, u64>,
     gauges: BTreeMap<String, f64>,
     histograms: BTreeMap<String, Json>,
+    /// Lines whose event name is in [`KNOWN_EVENTS`].
+    recognized: usize,
 }
 
 /// Splits `base{key="value"}` into the base name and the label value.
@@ -43,6 +66,9 @@ fn parse_lines(text: &str) -> Result<RunData, String> {
         let Some(event) = obj.get("event").and_then(Json::as_str) else {
             return Err(format!("line {}: object has no \"event\" field", idx + 1));
         };
+        if KNOWN_EVENTS.contains(&event) {
+            data.recognized += 1;
+        }
         match event {
             "run.meta" => data.meta = Some(obj),
             "campaign.done" => data.campaigns.push(obj),
@@ -68,8 +94,9 @@ fn parse_lines(text: &str) -> Result<RunData, String> {
                     data.histograms.insert(name.to_string(), obj.clone());
                 }
             }
-            // golden.done / ladder.done / log lines carry detail the
-            // report summarises from the aggregate metrics instead.
+            // golden.done / ladder.done / injection.trace / log lines
+            // carry detail the report summarises from the aggregate
+            // metrics instead.
             _ => {}
         }
     }
@@ -94,6 +121,14 @@ fn counter_labels(data: &RunData, base: &str) -> Vec<(String, u64)> {
             (b == base).then(|| (label.unwrap_or("-").to_string(), *v))
         })
         .collect()
+}
+
+/// One labelled counter value, by exact label.
+fn counter_at(data: &RunData, base: &str, key: &str, label: &str) -> u64 {
+    data.counters
+        .get(&format!("{base}{{{key}=\"{label}\"}}"))
+        .copied()
+        .unwrap_or(0)
 }
 
 /// The labelled buckets of one gauge family, in label order.
@@ -134,11 +169,76 @@ fn fmt_count(n: u64) -> String {
     }
 }
 
+/// Human label of a log2 latency bucket: bucket `b` covers
+/// `[2^(b-1), 2^b)` cycles (bucket 0 is exactly 0 cycles).
+fn bucket_label(b: u32) -> String {
+    match b {
+        0 => "0".into(),
+        1 => "1".into(),
+        _ => format!("{}..{}", 1u128 << (b - 1), (1u128 << b) - 1),
+    }
+}
+
+/// Renders one log2-bucket histogram as a markdown table with `#` bars.
+fn log2_hist_table(w: &mut impl Write, caption: &str, rows: &[(String, u64)]) -> fmt::Result {
+    let peak = rows.iter().map(|(_, n)| *n).max().unwrap_or(0).max(1);
+    writeln!(w, "| {caption} (cycles) | injections | |")?;
+    writeln!(w, "|---|---:|:---|")?;
+    for (label, n) in rows {
+        let b: u32 = label.parse().unwrap_or(0);
+        writeln!(
+            w,
+            "| {} | {} | `{}` |",
+            bucket_label(b),
+            n,
+            crate::bar(*n as f64 / peak as f64, 20)
+        )?;
+    }
+    writeln!(w)
+}
+
+/// Renders one attribution heatmap (RF word regions or LDS banks): SDC
+/// rate per cell with a `#` heat bar scaled to the hottest cell.
+fn heatmap_table(
+    w: &mut impl Write,
+    data: &RunData,
+    cell: &str,
+    inj_base: &str,
+    sdc_base: &str,
+    key: &str,
+) -> fmt::Result {
+    let cells = counter_labels(data, inj_base);
+    let rates: Vec<(String, u64, u64, f64)> = cells
+        .into_iter()
+        .map(|(label, inj)| {
+            let sdc = counter_at(data, sdc_base, key, &label);
+            let rate = sdc as f64 / inj.max(1) as f64;
+            (label, inj, sdc, rate)
+        })
+        .collect();
+    let peak = rates.iter().map(|r| r.3).fold(0.0f64, f64::max).max(1e-12);
+    writeln!(w, "| {cell} | injections | SDC | SDC rate | |")?;
+    writeln!(w, "|---|---:|---:|---:|:---|")?;
+    for (label, inj, sdc, rate) in rates {
+        writeln!(
+            w,
+            "| {} | {} | {} | {:.1}% | `{}` |",
+            label.trim_start_matches('0').parse::<u64>().unwrap_or(0),
+            inj,
+            sdc,
+            rate * 100.0,
+            crate::bar(rate / peak, 20)
+        )?;
+    }
+    writeln!(w)
+}
+
 /// Renders the markdown run report for a `--metrics` JSONL file.
 ///
 /// Fails with a line-numbered message if any line is not valid JSON or
-/// is not an event object, so a truncated or corrupted file is reported
-/// instead of silently summarised.
+/// is not an event object, and with a clear error if no line carries a
+/// recognized telemetry event — so a truncated, corrupted or wrong file
+/// is reported instead of silently summarised as an empty report.
 ///
 /// # Example
 /// ```
@@ -149,17 +249,24 @@ fn fmt_count(n: u64) -> String {
 /// ```
 pub fn render_run_report(text: &str) -> Result<String, String> {
     let data = parse_lines(text)?;
-    if data.meta.is_none()
-        && data.campaigns.is_empty()
-        && data.counters.is_empty()
-        && data.histograms.is_empty()
-    {
-        return Err("no telemetry events found (is this a --metrics JSONL file?)".into());
+    if data.recognized == 0 {
+        return Err(
+            "no recognized telemetry events in input (expected run.meta, campaign.done, \
+             counter, … — is this a --metrics JSONL file?)"
+                .into(),
+        );
     }
     let mut out = String::new();
-    let w = &mut out;
-    writeln!(w, "# Run report").unwrap();
-    writeln!(w).unwrap();
+    render_body(&data, &mut out).map_err(|e| format!("formatting report: {e}"))?;
+    Ok(out)
+}
+
+/// Writes the report body to any [`fmt::Write`] sink, propagating write
+/// failures instead of unwrapping (a `String` sink cannot fail, but a
+/// bounded or instrumented sink can).
+fn render_body(data: &RunData, w: &mut impl Write) -> fmt::Result {
+    writeln!(w, "# Run report")?;
+    writeln!(w)?;
 
     if let Some(meta) = &data.meta {
         let get_u = |k: &str| meta.get(k).and_then(Json::as_u64);
@@ -175,39 +282,44 @@ pub fn render_run_report(text: &str) -> Result<String, String> {
             get_u("devices").unwrap_or(0),
             get_u("workloads").unwrap_or(0),
             get_s("scale"),
-        )
-        .unwrap();
-        writeln!(w).unwrap();
+        )?;
+        writeln!(w)?;
     }
 
     // -- Outcome totals ------------------------------------------------
-    let outcomes = counter_labels(&data, "campaign_injections_total");
-    let total_inj = counter_sum(&data, "campaign_injections_total");
+    let mut outcomes = counter_labels(data, "campaign_injections_total");
+    // Tally order (masked, sdc, due), not BTreeMap alphabetical order.
+    outcomes.sort_by_key(|(label, _)| {
+        label
+            .parse::<Outcome>()
+            .ok()
+            .and_then(|o| Outcome::ALL.iter().position(|x| *x == o))
+            .unwrap_or(usize::MAX)
+    });
+    let total_inj = counter_sum(data, "campaign_injections_total");
     if !outcomes.is_empty() {
-        writeln!(w, "## Outcomes").unwrap();
-        writeln!(w).unwrap();
-        writeln!(w, "| outcome | injections | share |").unwrap();
-        writeln!(w, "|---|---:|---:|").unwrap();
+        writeln!(w, "## Outcomes")?;
+        writeln!(w)?;
+        writeln!(w, "| outcome | injections | share |")?;
+        writeln!(w, "|---|---:|---:|")?;
         for (label, count) in &outcomes {
             writeln!(
                 w,
                 "| {label} | {count} | {:.1}% |",
                 *count as f64 / total_inj.max(1) as f64 * 100.0
-            )
-            .unwrap();
+            )?;
         }
-        writeln!(w, "| **total** | **{total_inj}** | 100.0% |").unwrap();
-        writeln!(w).unwrap();
+        writeln!(w, "| **total** | **{total_inj}** | 100.0% |")?;
+        writeln!(w)?;
     }
     if !data.campaigns.is_empty() {
-        writeln!(w, "### Per campaign").unwrap();
-        writeln!(w).unwrap();
+        writeln!(w, "### Per campaign")?;
+        writeln!(w)?;
         writeln!(
             w,
             "| workload | device | structure | masked | SDC | DUE | AVF | inj/s |"
-        )
-        .unwrap();
-        writeln!(w, "|---|---|---|---:|---:|---:|---:|---:|").unwrap();
+        )?;
+        writeln!(w, "|---|---|---|---:|---:|---:|---:|---:|")?;
         for c in &data.campaigns {
             let s = |k: &str| c.get(k).and_then(Json::as_str).unwrap_or("?").to_string();
             let u = |k: &str| c.get(k).and_then(Json::as_u64).unwrap_or(0);
@@ -218,80 +330,74 @@ pub fn render_run_report(text: &str) -> Result<String, String> {
                 s("workload"),
                 s("device"),
                 s("structure"),
-                u("masked"),
-                u("sdc"),
-                u("due"),
+                u(Outcome::Masked.as_str()),
+                u(Outcome::Sdc.as_str()),
+                u(Outcome::Due.as_str()),
                 f("avf") * 100.0,
                 f("injections_per_second"),
-            )
-            .unwrap();
+            )?;
         }
-        writeln!(w).unwrap();
+        writeln!(w)?;
     }
 
     // -- Throughput ----------------------------------------------------
-    writeln!(w, "## Throughput").unwrap();
-    writeln!(w).unwrap();
-    let campaign_secs = hist_field(&data, "campaign_seconds", "sum").unwrap_or(0.0);
+    writeln!(w, "## Throughput")?;
+    writeln!(w)?;
+    let campaign_secs = hist_field(data, "campaign_seconds", "sum").unwrap_or(0.0);
     if campaign_secs > 0.0 {
         writeln!(
             w,
             "- {} injections across {} campaign(s) in {} of campaign time \
              ({:.0} injections/sec overall)",
             fmt_count(total_inj),
-            hist_field(&data, "campaign_seconds", "count").unwrap_or(0.0) as u64,
+            hist_field(data, "campaign_seconds", "count").unwrap_or(0.0) as u64,
             fmt_secs(campaign_secs),
             total_inj as f64 / campaign_secs,
-        )
-        .unwrap();
+        )?;
     }
-    if let Some(golden) = hist_field(&data, "campaign_golden_seconds", "sum") {
+    if let Some(golden) = hist_field(data, "campaign_golden_seconds", "sum") {
         writeln!(
             w,
             "- golden runs: {} in {}",
-            hist_field(&data, "campaign_golden_seconds", "count").unwrap_or(0.0) as u64,
+            hist_field(data, "campaign_golden_seconds", "count").unwrap_or(0.0) as u64,
             fmt_secs(golden)
-        )
-        .unwrap();
+        )?;
     }
-    if let Some(ladder) = hist_field(&data, "ladder_build_seconds", "sum") {
+    if let Some(ladder) = hist_field(data, "ladder_build_seconds", "sum") {
         writeln!(
             w,
             "- checkpoint ladders: {} built in {}",
-            hist_field(&data, "ladder_build_seconds", "count").unwrap_or(0.0) as u64,
+            hist_field(data, "ladder_build_seconds", "count").unwrap_or(0.0) as u64,
             fmt_secs(ladder)
-        )
-        .unwrap();
+        )?;
     }
-    let instructions = counter_sum(&data, "sim_instructions_total");
+    let instructions = counter_sum(data, "sim_instructions_total");
     if instructions > 0 {
         writeln!(
             w,
             "- {} warp instructions simulated",
             fmt_count(instructions)
-        )
-        .unwrap();
+        )?;
     }
-    writeln!(w).unwrap();
+    writeln!(w)?;
 
     // -- Parallel workers ----------------------------------------------
-    let worker_inj = counter_labels(&data, "campaign_worker_injections_total");
+    let worker_inj = counter_labels(data, "campaign_worker_injections_total");
     if !worker_inj.is_empty() {
-        writeln!(w, "## Parallel workers").unwrap();
-        writeln!(w).unwrap();
+        writeln!(w, "## Parallel workers")?;
+        writeln!(w)?;
         if let Some(jobs) = data.gauges.get("campaign_workers") {
             writeln!(
                 w,
                 "- {} replay worker(s) per campaign (`--jobs`); outcomes \
                  are bit-identical at any job count",
                 *jobs as u64
-            )
-            .unwrap();
-            writeln!(w).unwrap();
+            )?;
+            writeln!(w)?;
         }
-        let rates = gauge_labels(&data, "campaign_worker_injections_per_second");
-        writeln!(w, "| worker | injections | inj/s |").unwrap();
-        writeln!(w, "|---|---:|---:|").unwrap();
+        let rates = gauge_labels(data, "campaign_worker_injections_per_second");
+        writeln!(w, "| worker | injections | inj/s |")?;
+        writeln!(w, "|---|---:|---:|")?;
         let mut sorted = worker_inj;
         sorted.sort_by_key(|(label, _)| label.parse::<u64>().unwrap_or(u64::MAX));
         for (label, count) in sorted {
@@ -300,54 +406,131 @@ pub fn render_run_report(text: &str) -> Result<String, String> {
                 .find(|(l, _)| *l == label)
                 .map(|(_, r)| format!("{r:.0}"))
                 .unwrap_or_else(|| "-".into());
-            writeln!(w, "| {label} | {count} | {rate} |").unwrap();
+            writeln!(w, "| {label} | {count} | {rate} |")?;
         }
-        writeln!(w).unwrap();
+        writeln!(w)?;
     }
 
     // -- Checkpoint savings --------------------------------------------
-    let replayed = counter_sum(&data, "campaign_cycles_replayed_total");
-    let saved = counter_sum(&data, "campaign_cycles_saved_total");
+    let replayed = counter_sum(data, "campaign_cycles_replayed_total");
+    let saved = counter_sum(data, "campaign_cycles_saved_total");
     if replayed + saved > 0 {
-        writeln!(w, "## Checkpoint savings").unwrap();
-        writeln!(w).unwrap();
+        writeln!(w, "## Checkpoint savings")?;
+        writeln!(w)?;
         writeln!(
             w,
             "- {} of {} replay cycles skipped by resuming from checkpoints ({:.1}%)",
             fmt_count(saved),
             fmt_count(replayed + saved),
             saved as f64 / (replayed + saved) as f64 * 100.0
-        )
-        .unwrap();
-        let snapshots = counter_sum(&data, "sim_snapshots_total");
-        let bytes = counter_sum(&data, "sim_snapshot_bytes_total");
+        )?;
+        let snapshots = counter_sum(data, "sim_snapshots_total");
+        let bytes = counter_sum(data, "sim_snapshot_bytes_total");
         if snapshots > 0 {
             writeln!(
                 w,
                 "- {snapshots} snapshots taken ({:.1} MiB), {} restores",
                 bytes as f64 / (1024.0 * 1024.0),
-                fmt_count(counter_sum(&data, "sim_restores_total")),
-            )
-            .unwrap();
+                fmt_count(counter_sum(data, "sim_restores_total")),
+            )?;
         }
-        let rungs = counter_labels(&data, "campaign_rung_hits_total");
+        let rungs = counter_labels(data, "campaign_rung_hits_total");
         if !rungs.is_empty() {
-            writeln!(w).unwrap();
-            writeln!(w, "| rung | hits |").unwrap();
-            writeln!(w, "|---|---:|").unwrap();
+            writeln!(w)?;
+            writeln!(w, "| rung | hits |")?;
+            writeln!(w, "|---|---:|")?;
             let mut sorted = rungs;
             sorted.sort_by_key(|(label, _)| label.parse::<u64>().unwrap_or(u64::MAX));
             for (label, hits) in sorted {
-                writeln!(w, "| {label} | {hits} |").unwrap();
+                writeln!(w, "| {label} | {hits} |")?;
             }
         }
-        writeln!(w).unwrap();
+        writeln!(w)?;
+    }
+
+    // -- Propagation (provenance) --------------------------------------
+    let mut masking = counter_labels(data, "provenance_masking_total");
+    let div_hist = counter_labels(data, "provenance_divergence_cycles_total");
+    let read_hist = counter_labels(data, "provenance_first_read_cycles_total");
+    if !masking.is_empty() || !div_hist.is_empty() || !read_hist.is_empty() {
+        writeln!(w, "## Propagation")?;
+        writeln!(w)?;
+        let taint = counter_sum(data, "provenance_taint_words_total");
+        if taint > 0 && total_inj > 0 {
+            writeln!(
+                w,
+                "- mean taint breadth {:.1} word(s) per injection",
+                taint as f64 / total_inj as f64
+            )?;
+        }
+        let saturated = counter_sum(data, "provenance_taint_saturated_total");
+        if saturated > 0 {
+            writeln!(w, "- {saturated} injection(s) saturated the taint cap")?;
+        }
+        if !masking.is_empty() {
+            masking.sort_by_key(|(label, _)| {
+                MaskingReason::ALL
+                    .iter()
+                    .position(|m| m.as_str() == label)
+                    .unwrap_or(usize::MAX)
+            });
+            let masked_total: u64 = masking.iter().map(|(_, n)| *n).sum();
+            writeln!(w)?;
+            writeln!(w, "| masking reason | masked runs | share |")?;
+            writeln!(w, "|---|---:|---:|")?;
+            for (label, n) in &masking {
+                writeln!(
+                    w,
+                    "| {label} | {n} | {:.1}% |",
+                    *n as f64 / masked_total.max(1) as f64 * 100.0
+                )?;
+            }
+            writeln!(w)?;
+        }
+        if !read_hist.is_empty() {
+            log2_hist_table(w, "first-read latency", &read_hist)?;
+        }
+        if !div_hist.is_empty() {
+            log2_hist_table(w, "cycles to divergence", &div_hist)?;
+        }
+    }
+
+    // -- Attribution heatmap -------------------------------------------
+    let rf_cells = counter_labels(data, "provenance_rf_region_injections_total");
+    let lds_cells = counter_labels(data, "provenance_lds_bank_injections_total");
+    if !rf_cells.is_empty() || !lds_cells.is_empty() {
+        writeln!(w, "## Attribution heatmap")?;
+        writeln!(w)?;
+        if !rf_cells.is_empty() {
+            writeln!(w, "SDC rate per register-file word region:")?;
+            writeln!(w)?;
+            heatmap_table(
+                w,
+                data,
+                "RF region",
+                "provenance_rf_region_injections_total",
+                "provenance_rf_region_sdc_total",
+                "region",
+            )?;
+        }
+        if !lds_cells.is_empty() {
+            writeln!(w, "SDC rate per LDS bank:")?;
+            writeln!(w)?;
+            heatmap_table(
+                w,
+                data,
+                "LDS bank",
+                "provenance_lds_bank_injections_total",
+                "provenance_lds_bank_sdc_total",
+                "bank",
+            )?;
+        }
     }
 
     // -- Top time sinks ------------------------------------------------
     if !data.points.is_empty() {
-        writeln!(w, "## Top time sinks").unwrap();
-        writeln!(w).unwrap();
+        writeln!(w, "## Top time sinks")?;
+        writeln!(w)?;
         let total: f64 = data
             .points
             .iter()
@@ -359,8 +542,8 @@ pub fn render_run_report(text: &str) -> Result<String, String> {
             let sb = b.get("seconds").and_then(Json::as_f64).unwrap_or(0.0);
             sb.partial_cmp(&sa).unwrap_or(std::cmp::Ordering::Equal)
         });
-        writeln!(w, "| workload | device | time | share |").unwrap();
-        writeln!(w, "|---|---|---:|---:|").unwrap();
+        writeln!(w, "| workload | device | time | share |")?;
+        writeln!(w, "|---|---|---:|---:|")?;
         for p in points.iter().take(10) {
             let secs = p.get("seconds").and_then(Json::as_f64).unwrap_or(0.0);
             writeln!(
@@ -370,22 +553,21 @@ pub fn render_run_report(text: &str) -> Result<String, String> {
                 p.get("device").and_then(Json::as_str).unwrap_or("?"),
                 fmt_secs(secs),
                 secs / total.max(1e-12) * 100.0
-            )
-            .unwrap();
+            )?;
         }
         if points.len() > 10 {
-            writeln!(w, "| … {} more | | | |", points.len() - 10).unwrap();
+            writeln!(w, "| … {} more | | | |", points.len() - 10)?;
         }
-        writeln!(w).unwrap();
+        writeln!(w)?;
     }
 
     // -- Injection latency ---------------------------------------------
     if data.histograms.contains_key("campaign_injection_seconds") {
-        let f = |field: &str| hist_field(&data, "campaign_injection_seconds", field);
-        writeln!(w, "## Injection latency").unwrap();
-        writeln!(w).unwrap();
-        writeln!(w, "| count | mean | p50 | p90 | p99 | max |").unwrap();
-        writeln!(w, "|---:|---:|---:|---:|---:|---:|").unwrap();
+        let f = |field: &str| hist_field(data, "campaign_injection_seconds", field);
+        writeln!(w, "## Injection latency")?;
+        writeln!(w)?;
+        writeln!(w, "| count | mean | p50 | p90 | p99 | max |")?;
+        writeln!(w, "|---:|---:|---:|---:|---:|---:|")?;
         writeln!(
             w,
             "| {} | {} | {} | {} | {} | {} |",
@@ -395,10 +577,9 @@ pub fn render_run_report(text: &str) -> Result<String, String> {
             fmt_secs(f("p90").unwrap_or(0.0)),
             fmt_secs(f("p99").unwrap_or(0.0)),
             fmt_secs(f("max").unwrap_or(0.0)),
-        )
-        .unwrap();
+        )?;
     }
-    Ok(out)
+    Ok(())
 }
 
 #[cfg(test)]
@@ -430,6 +611,24 @@ mod tests {
         .join("\n")
     }
 
+    fn provenance_sample() -> String {
+        [
+            sample().as_str(),
+            r#"{"event":"injection.trace","t_ms":4,"workload":"vectoradd","device":"GTX 480","structure":"register file","sm":0,"word":3,"bit":7,"cycle":120,"outcome":"sdc","first_read_latency":9,"cycles_to_divergence":40,"taint_words":3,"taint_saturated":false,"lds_banks":0}"#,
+            r#"{"event":"counter","name":"provenance_masking_total{reason=\"never-read\"}","value":6}"#,
+            r#"{"event":"counter","name":"provenance_masking_total{reason=\"overwritten\"}","value":3}"#,
+            r#"{"event":"counter","name":"provenance_divergence_cycles_total{bucket=\"06\"}","value":2}"#,
+            r#"{"event":"counter","name":"provenance_first_read_cycles_total{bucket=\"04\"}","value":3}"#,
+            r#"{"event":"counter","name":"provenance_rf_region_injections_total{region=\"00\"}","value":8}"#,
+            r#"{"event":"counter","name":"provenance_rf_region_sdc_total{region=\"00\"}","value":2}"#,
+            r#"{"event":"counter","name":"provenance_rf_region_injections_total{region=\"15\"}","value":4}"#,
+            r#"{"event":"counter","name":"provenance_lds_bank_injections_total{bank=\"05\"}","value":4}"#,
+            r#"{"event":"counter","name":"provenance_lds_bank_sdc_total{bank=\"05\"}","value":4}"#,
+            r#"{"event":"counter","name":"provenance_taint_words_total","value":36}"#,
+        ]
+        .join("\n")
+    }
+
     #[test]
     fn renders_every_section() {
         let md = render_run_report(&sample()).unwrap();
@@ -450,6 +649,42 @@ mod tests {
         assert!(md.contains("2 replay worker(s)"), "{md}");
         assert!(md.contains("600 of 1000 replay cycles skipped"), "{md}");
         assert!(md.contains("| vectoradd | GTX 480 |"), "{md}");
+        assert!(
+            !md.contains("## Propagation"),
+            "no provenance metrics, no Propagation section:\n{md}"
+        );
+    }
+
+    #[test]
+    fn outcome_rows_follow_tally_order() {
+        let md = render_run_report(&sample()).unwrap();
+        let masked = md.find("| masked | 9").unwrap();
+        let sdc = md.find("| sdc | 2").unwrap();
+        let due = md.find("| due | 1").unwrap();
+        assert!(masked < sdc && sdc < due, "{md}");
+    }
+
+    #[test]
+    fn renders_propagation_and_heatmap_sections() {
+        let md = render_run_report(&provenance_sample()).unwrap();
+        assert!(md.contains("## Propagation"), "{md}");
+        assert!(md.contains("## Attribution heatmap"), "{md}");
+        assert!(md.contains("| never-read | 6 |"), "{md}");
+        // Masking reasons keep their reporting order: overwritten first.
+        let over = md.find("| overwritten | 3").unwrap();
+        let never = md.find("| never-read | 6").unwrap();
+        assert!(over < never, "{md}");
+        // Bucket 6 covers 32..63 cycles; bucket 4 covers 8..15.
+        assert!(md.contains("| 32..63 | 2 |"), "{md}");
+        assert!(md.contains("| 8..15 | 3 |"), "{md}");
+        // RF region 0: 2/8 SDC; the LDS bank runs 4/4 and owns the
+        // full-scale heat bar.
+        assert!(md.contains("| 0 | 8 | 2 | 25.0% |"), "{md}");
+        assert!(
+            md.contains("| 5 | 4 | 4 | 100.0% | `####################` |"),
+            "{md}"
+        );
+        assert!(md.contains("mean taint breadth 3.0 word(s)"), "{md}");
     }
 
     #[test]
@@ -471,11 +706,27 @@ mod tests {
     }
 
     #[test]
+    fn rejects_input_with_zero_recognized_events() {
+        // Valid JSONL, but nothing the report knows how to summarise —
+        // silence must be an error, not an empty report.
+        let err = render_run_report(r#"{"event":"something.else","value":1}"#).unwrap_err();
+        assert!(err.contains("no recognized telemetry events"), "{err}");
+    }
+
+    #[test]
     fn split_label_handles_plain_and_labelled_names() {
         assert_eq!(split_label("x_total"), ("x_total", None));
         assert_eq!(
             split_label("x_total{outcome=\"sdc\"}"),
             ("x_total", Some("sdc"))
         );
+    }
+
+    #[test]
+    fn bucket_labels_cover_edges() {
+        assert_eq!(bucket_label(0), "0");
+        assert_eq!(bucket_label(1), "1");
+        assert_eq!(bucket_label(2), "2..3");
+        assert_eq!(bucket_label(11), "1024..2047");
     }
 }

@@ -36,8 +36,10 @@ use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use serde::{Deserialize, Serialize};
 use simt_sim::{
-    ArchConfig, Checkpoint, FaultSite, Gpu, NoopObserver, Session, SimError, Structure,
+    ArchConfig, Checkpoint, FaultSite, GlobalWrite, Gpu, NoopObserver, Session, SimError,
+    Structure, TraceObserver, TraceRecord,
 };
+use std::fmt;
 use std::time::Instant;
 
 /// Outcome of one fault-injection run.
@@ -49,6 +51,46 @@ pub enum Outcome {
     Sdc,
     /// Detected unrecoverable error: crash or hang.
     Due,
+}
+
+impl Outcome {
+    /// All outcomes, in tally order (`masked`, `sdc`, `due`).
+    pub const ALL: [Outcome; 3] = [Outcome::Masked, Outcome::Sdc, Outcome::Due];
+
+    /// The canonical lower-case label used in telemetry, JSON and CSV
+    /// output. Round-trips through the [`std::str::FromStr`] impl.
+    ///
+    /// # Example
+    /// ```
+    /// use grel_core::campaign::Outcome;
+    /// assert_eq!(Outcome::Sdc.as_str(), "sdc");
+    /// assert_eq!("sdc".parse::<Outcome>(), Ok(Outcome::Sdc));
+    /// assert!("SDC!".parse::<Outcome>().is_err());
+    /// ```
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            Outcome::Masked => "masked",
+            Outcome::Sdc => "sdc",
+            Outcome::Due => "due",
+        }
+    }
+}
+
+impl fmt::Display for Outcome {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+impl std::str::FromStr for Outcome {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        Outcome::ALL
+            .into_iter()
+            .find(|o| o.as_str() == s)
+            .ok_or_else(|| format!("unknown outcome {s:?} (expected masked, sdc or due)"))
+    }
 }
 
 /// Outcome counters of a campaign.
@@ -73,7 +115,7 @@ impl Tally {
         self.sdc + self.due
     }
 
-    fn add(&mut self, o: Outcome) {
+    pub(crate) fn add(&mut self, o: Outcome) {
         match o {
             Outcome::Masked => self.masked += 1,
             Outcome::Sdc => self.sdc += 1,
@@ -327,7 +369,7 @@ impl CampaignResult {
 /// The 99 % error margin for `trials` injections over a finite site
 /// population; zero for an empty campaign (no trials, no estimate — the
 /// caller reports the empty tally explicitly instead of masking it).
-fn campaign_margin(population: u64, trials: u64) -> f64 {
+pub(crate) fn campaign_margin(population: u64, trials: u64) -> f64 {
     if trials == 0 {
         0.0
     } else {
@@ -605,6 +647,81 @@ pub(crate) fn classify_on<H: TelemetryHook>(
         Err(SimError::Due(_)) => Ok(Outcome::Due),
         Err(e) => Err(e),
     }
+}
+
+/// [`classify_on`] with a [`TraceObserver`] riding along: identical
+/// classification (the observer is passive), plus a per-injection
+/// [`TraceRecord`] of how the corruption propagated. `golden_writes` is
+/// the golden run's global-store stream captured by
+/// [`simt_sim::GlobalWriteLog`].
+///
+/// # Errors
+///
+/// Same as [`classify_on`].
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn classify_traced_on<H: TelemetryHook>(
+    gpu: &mut Gpu,
+    arch: &ArchConfig,
+    workload: &dyn Workload,
+    golden: &GoldenRun,
+    golden_writes: &[GlobalWrite],
+    site: FaultSite,
+    watchdog_factor: u64,
+    ckpt: Option<&Checkpoint>,
+    hook: &H,
+) -> Result<(Outcome, TraceRecord), SimError> {
+    let watchdog = golden.cycles * watchdog_factor + 10_000;
+    let resume_cycle = ckpt.map_or(0, |ck| ck.cycle());
+    let mut tracer = TraceObserver::new(site, arch.num_sms as usize, golden_writes, resume_cycle);
+    let (result, start_cycle, base_instructions, session_tel) = match ckpt {
+        Some(ck) => {
+            let mut session = Session::resume(&mut *gpu, ck);
+            let base = if H::ENABLED {
+                session.gpu().exec_totals().warp_instructions
+            } else {
+                0
+            };
+            session.gpu_mut().set_watchdog(watchdog);
+            session.gpu_mut().arm_fault(site);
+            let r = session.run_to_completion(&mut tracer);
+            let tel = *session.telemetry();
+            (r, ck.cycle(), base, tel)
+        }
+        None => {
+            *gpu = Gpu::new(arch.clone());
+            gpu.set_watchdog(watchdog);
+            gpu.arm_fault(site);
+            let r = workload.run(gpu, &mut tracer);
+            (r, 0, 0, simt_sim::SessionTelemetry::default())
+        }
+    };
+    if H::ENABLED {
+        hook.count(
+            "campaign_cycles_replayed_total",
+            gpu.app_cycle().saturating_sub(start_cycle),
+        );
+        hook.count("campaign_cycles_saved_total", start_cycle);
+        hook.count(
+            "sim_instructions_total",
+            gpu.exec_totals()
+                .warp_instructions
+                .saturating_sub(base_instructions),
+        );
+        if session_tel.restores > 0 {
+            hook.count("sim_restores_total", session_tel.restores);
+            hook.observe(
+                "sim_restore_seconds",
+                session_tel.restore_nanos as f64 * 1e-9,
+            );
+        }
+    }
+    let outcome = match result {
+        Ok(out) if out == golden.outputs => Outcome::Masked,
+        Ok(_) => Outcome::Sdc,
+        Err(SimError::Due(_)) => Outcome::Due,
+        Err(e) => return Err(e),
+    };
+    Ok((outcome, tracer.into_record(arch.lds_banks)))
 }
 
 /// Runs a full statistical fault-injection campaign.
@@ -1030,8 +1147,9 @@ mod tests {
         assert_eq!(plain.golden_cycles, hooked.golden_cycles);
 
         let snap = reg.snapshot();
-        let by_outcome: u64 = ["masked", "sdc", "due"]
+        let by_outcome: u64 = Outcome::ALL
             .iter()
+            .map(Outcome::as_str)
             .filter_map(|o| snap.counter(&format!("campaign_injections_total{{outcome=\"{o}\"}}")))
             .sum();
         assert_eq!(by_outcome, 12, "every injection lands in one outcome");

@@ -17,7 +17,11 @@
 //! * [`mod@epf`] — FIT/EIT/**EPF** (Executions Per Failure), the combined
 //!   reliability-performance metric of Fig. 3;
 //! * [`study`] — the full cross-product driver that regenerates the
-//!   series behind every figure of the paper.
+//!   series behind every figure of the paper;
+//! * [`provenance`] — the **fault-propagation flight recorder**: per-
+//!   injection first-read/overwrite/divergence timelines, bounded taint
+//!   sets, masking reasons and AVF attribution heatmaps that explain why
+//!   a structure's AVF is high or low.
 //!
 //! ## Example: one campaign
 //!
@@ -49,6 +53,7 @@ pub mod campaign;
 pub mod epf;
 pub mod perf;
 pub mod protection;
+pub mod provenance;
 pub mod runner;
 pub mod stats;
 pub mod study;
@@ -67,6 +72,10 @@ pub use campaign::{
 pub use epf::{eit, epf, structure_bits, structure_fit, FitBreakdown};
 pub use perf::{profile, PerfProfile};
 pub use protection::{project, protection_sweep, ProtectedPoint, Protection};
+pub use provenance::{
+    golden_write_log, parse_site, run_campaign_with_provenance_hooked, trace_one, CellStat,
+    MaskingReason, Provenance, ProvenanceAggregate, SingleTrace, RF_REGIONS,
+};
 pub use study::{
     evaluate_point, evaluate_point_hooked, run_study, run_study_hooked, run_study_parallel,
     run_study_parallel_hooked, AvfRow, EpfRow, EvalPoint, Findings, StructureEval, StudyConfig,

@@ -1,0 +1,787 @@
+//! Fault-propagation provenance: the analysis layer over the simulator's
+//! flight recorder ([`simt_sim::TraceObserver`]).
+//!
+//! A campaign tally says *what* happened (Masked/SDC/DUE rates); this
+//! module says *why*. For every injection it distills a [`Provenance`]
+//! record — how long the corrupted word survived before its first
+//! architected read (or the overwrite that masked it), how far the
+//! corruption spread, and how many cycles passed before the output
+//! stream first diverged from the golden run — and aggregates the
+//! records into AVF **attribution heatmaps** (SDC rate per register-file
+//! word region and per LDS bank) plus log2-bucketed latency histograms.
+//!
+//! Recording is strictly observational: outcomes and tallies are
+//! bit-identical with and without it, and the aggregates inherit the
+//! runner's determinism contract (site-order merge, invariant under the
+//! worker count).
+
+use crate::campaign::{
+    campaign_margin, golden_run, sample_sites, CampaignConfig, CampaignResult, CheckpointLadder,
+    GoldenRun, Outcome, Tally,
+};
+use crate::runner::replay_sites_traced;
+use crate::stats::fault_population;
+use gpu_workloads::Workload;
+use grel_telemetry::{Event, TelemetryHook};
+use serde::{Deserialize, Serialize};
+use simt_sim::{
+    ArchConfig, FaultSite, GlobalWrite, GlobalWriteLog, Gpu, SimError, Structure, TraceRecord,
+};
+use std::fmt::Write as _;
+use std::time::Instant;
+
+/// Number of equal word regions the register file is folded into for the
+/// attribution heatmap.
+pub const RF_REGIONS: usize = 16;
+
+/// Why a masked injection was masked.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum MaskingReason {
+    /// The corrupted word was cleanly overwritten before any read.
+    Overwritten,
+    /// The corrupted word was never read (dead or unallocated state).
+    NeverRead,
+    /// The corruption was read but the program output still matched the
+    /// golden run (logical masking downstream of the read).
+    LogicallyMasked,
+}
+
+impl MaskingReason {
+    /// Canonical label used in telemetry and reports.
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            MaskingReason::Overwritten => "overwritten",
+            MaskingReason::NeverRead => "never-read",
+            MaskingReason::LogicallyMasked => "logically-masked",
+        }
+    }
+
+    /// All reasons, in reporting order.
+    pub const ALL: [MaskingReason; 3] = [
+        MaskingReason::Overwritten,
+        MaskingReason::NeverRead,
+        MaskingReason::LogicallyMasked,
+    ];
+}
+
+impl std::fmt::Display for MaskingReason {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// The distilled provenance of one injection: outcome plus propagation
+/// timeline.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Provenance {
+    /// The injected fault site.
+    pub site: FaultSite,
+    /// The campaign classification of this injection.
+    pub outcome: Outcome,
+    /// Cycles from the flip to the first architected read of the
+    /// corrupted word (`None` if it was overwritten or never read).
+    pub first_read_latency: Option<u64>,
+    /// Cycles from the flip to the first global store that diverged from
+    /// the golden stream (`None` when the stream never diverged — masked
+    /// runs, DUEs that die before storing, or SDCs visible only in the
+    /// final read-back).
+    pub cycles_to_divergence: Option<u64>,
+    /// Distinct words the corruption reached (including the flip target).
+    pub taint_words: u32,
+    /// Whether taint tracking hit [`simt_sim::TAINT_CAP`].
+    pub taint_saturated: bool,
+    /// Distinct LDS banks among the tainted local-memory words.
+    pub lds_banks: u32,
+    /// Why a masked run was masked (`None` for SDC/DUE).
+    pub masking: Option<MaskingReason>,
+}
+
+impl Provenance {
+    /// Builds the provenance of one injection from its classification
+    /// and flight-recorder output.
+    pub fn from_trace(outcome: Outcome, rec: &TraceRecord) -> Self {
+        let latency = |end: Option<u64>| match (rec.injected_at, end) {
+            (Some(t0), Some(t1)) => Some(t1.saturating_sub(t0)),
+            _ => None,
+        };
+        let masking = (outcome == Outcome::Masked).then(|| {
+            if rec.first_read.is_some() {
+                MaskingReason::LogicallyMasked
+            } else if rec.overwrite.is_some() {
+                MaskingReason::Overwritten
+            } else {
+                MaskingReason::NeverRead
+            }
+        });
+        Provenance {
+            site: rec.site,
+            outcome,
+            first_read_latency: latency(rec.first_read),
+            cycles_to_divergence: latency(rec.divergence),
+            taint_words: rec.taint_words,
+            taint_saturated: rec.taint_saturated,
+            lds_banks: rec.lds_banks,
+            masking,
+        }
+    }
+}
+
+/// Outcome counters of one spatial cell (RF word region or LDS bank).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CellStat {
+    /// Injections landing in the cell.
+    pub injections: u64,
+    /// SDC outcomes among them.
+    pub sdc: u64,
+    /// DUE outcomes among them.
+    pub due: u64,
+}
+
+impl CellStat {
+    /// SDC rate of the cell (0 when empty).
+    pub fn sdc_rate(&self) -> f64 {
+        if self.injections == 0 {
+            0.0
+        } else {
+            self.sdc as f64 / self.injections as f64
+        }
+    }
+}
+
+/// Campaign-wide roll-up of [`Provenance`] records: the data behind the
+/// attribution heatmap and the propagation histograms.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ProvenanceAggregate {
+    /// Per-region stats over the structure's word space ([`RF_REGIONS`]
+    /// equal slices; populated for register-file campaigns).
+    pub rf_regions: Vec<CellStat>,
+    /// Per-LDS-bank stats (populated for local-memory campaigns).
+    pub lds_banks: Vec<CellStat>,
+    /// `log2` histogram of cycles-to-divergence: bucket `b` counts
+    /// injections with divergence latency in `[2^(b-1), 2^b)`.
+    pub divergence_hist: Vec<u64>,
+    /// `log2` histogram of first-read latency, same bucketing.
+    pub first_read_hist: Vec<u64>,
+    /// Masked runs per masking reason, in [`MaskingReason::ALL`] order.
+    pub masking: [u64; 3],
+    /// Sum of taint breadths over all injections.
+    pub taint_words_total: u64,
+    /// Injections whose taint set saturated.
+    pub taint_saturated_total: u64,
+}
+
+/// The log2 bucket of a latency: 0 for 0 cycles, otherwise the position
+/// of the highest set bit plus one (bucket `b` covers `[2^(b-1), 2^b)`).
+pub fn log2_bucket(x: u64) -> usize {
+    (u64::BITS - x.leading_zeros()) as usize
+}
+
+fn bump(hist: &mut Vec<u64>, bucket: usize) {
+    if hist.len() <= bucket {
+        hist.resize(bucket + 1, 0);
+    }
+    hist[bucket] += 1;
+}
+
+impl ProvenanceAggregate {
+    /// Rolls the per-injection records of one campaign up into heatmap
+    /// cells and histograms. `structure` is the campaign's injected
+    /// structure; `arch` supplies the word counts and bank geometry.
+    pub fn from_records(arch: &ArchConfig, structure: Structure, records: &[Provenance]) -> Self {
+        let words = match structure {
+            Structure::VectorRegisterFile => arch.rf_words_per_sm(),
+            Structure::LocalMemory => arch.lds_words_per_sm(),
+            Structure::ScalarRegisterFile => arch.srf_words_per_sm(),
+        } as u64;
+        let mut agg = ProvenanceAggregate::default();
+        if structure == Structure::LocalMemory {
+            agg.lds_banks = vec![CellStat::default(); arch.lds_banks.max(1) as usize];
+        } else {
+            agg.rf_regions = vec![CellStat::default(); RF_REGIONS];
+        }
+        for p in records {
+            let cell = if structure == Structure::LocalMemory {
+                let bank = (p.site.word as u64 % arch.lds_banks.max(1) as u64) as usize;
+                &mut agg.lds_banks[bank]
+            } else {
+                let region = ((p.site.word as u64 * RF_REGIONS as u64) / words.max(1)) as usize;
+                &mut agg.rf_regions[region.min(RF_REGIONS - 1)]
+            };
+            cell.injections += 1;
+            match p.outcome {
+                Outcome::Sdc => cell.sdc += 1,
+                Outcome::Due => cell.due += 1,
+                Outcome::Masked => {}
+            }
+            if let Some(d) = p.cycles_to_divergence {
+                bump(&mut agg.divergence_hist, log2_bucket(d));
+            }
+            if let Some(r) = p.first_read_latency {
+                bump(&mut agg.first_read_hist, log2_bucket(r));
+            }
+            if let Some(m) = p.masking {
+                let idx = MaskingReason::ALL.iter().position(|x| *x == m).unwrap();
+                agg.masking[idx] += 1;
+            }
+            agg.taint_words_total += p.taint_words as u64;
+            agg.taint_saturated_total += p.taint_saturated as u64;
+        }
+        agg
+    }
+
+    /// Publishes the aggregate as `provenance_*` counters (labels are
+    /// zero-padded so lexicographic metric order equals numeric order).
+    pub fn emit<H: TelemetryHook>(&self, hook: &H) {
+        if !H::ENABLED {
+            return;
+        }
+        for (i, c) in self.rf_regions.iter().enumerate() {
+            if c.injections == 0 {
+                continue;
+            }
+            hook.count(
+                &format!("provenance_rf_region_injections_total{{region=\"{i:02}\"}}"),
+                c.injections,
+            );
+            if c.sdc > 0 {
+                hook.count(
+                    &format!("provenance_rf_region_sdc_total{{region=\"{i:02}\"}}"),
+                    c.sdc,
+                );
+            }
+        }
+        for (i, c) in self.lds_banks.iter().enumerate() {
+            if c.injections == 0 {
+                continue;
+            }
+            hook.count(
+                &format!("provenance_lds_bank_injections_total{{bank=\"{i:02}\"}}"),
+                c.injections,
+            );
+            if c.sdc > 0 {
+                hook.count(
+                    &format!("provenance_lds_bank_sdc_total{{bank=\"{i:02}\"}}"),
+                    c.sdc,
+                );
+            }
+        }
+        for (b, &n) in self.divergence_hist.iter().enumerate() {
+            if n > 0 {
+                hook.count(
+                    &format!("provenance_divergence_cycles_total{{bucket=\"{b:02}\"}}"),
+                    n,
+                );
+            }
+        }
+        for (b, &n) in self.first_read_hist.iter().enumerate() {
+            if n > 0 {
+                hook.count(
+                    &format!("provenance_first_read_cycles_total{{bucket=\"{b:02}\"}}"),
+                    n,
+                );
+            }
+        }
+        for (reason, &n) in MaskingReason::ALL.iter().zip(&self.masking) {
+            if n > 0 {
+                hook.count(
+                    &format!("provenance_masking_total{{reason=\"{reason}\"}}"),
+                    n,
+                );
+            }
+        }
+        if self.taint_words_total > 0 {
+            hook.count("provenance_taint_words_total", self.taint_words_total);
+        }
+        if self.taint_saturated_total > 0 {
+            hook.count(
+                "provenance_taint_saturated_total",
+                self.taint_saturated_total,
+            );
+        }
+    }
+
+    /// Merges another aggregate into this one (cells align index-wise;
+    /// shorter vectors grow as needed).
+    pub fn merge(&mut self, other: &ProvenanceAggregate) {
+        fn merge_cells(into: &mut Vec<CellStat>, from: &[CellStat]) {
+            if into.len() < from.len() {
+                into.resize(from.len(), CellStat::default());
+            }
+            for (a, b) in into.iter_mut().zip(from) {
+                a.injections += b.injections;
+                a.sdc += b.sdc;
+                a.due += b.due;
+            }
+        }
+        merge_cells(&mut self.rf_regions, &other.rf_regions);
+        merge_cells(&mut self.lds_banks, &other.lds_banks);
+        for (b, &n) in other.divergence_hist.iter().enumerate() {
+            if n > 0 {
+                bump(&mut self.divergence_hist, b);
+                *self.divergence_hist.last_mut().unwrap() -= 1;
+                self.divergence_hist[b] += n;
+            }
+        }
+        for (b, &n) in other.first_read_hist.iter().enumerate() {
+            if n > 0 {
+                bump(&mut self.first_read_hist, b);
+                *self.first_read_hist.last_mut().unwrap() -= 1;
+                self.first_read_hist[b] += n;
+            }
+        }
+        for (a, b) in self.masking.iter_mut().zip(&other.masking) {
+            *a += b;
+        }
+        self.taint_words_total += other.taint_words_total;
+        self.taint_saturated_total += other.taint_saturated_total;
+    }
+}
+
+/// Captures the golden run's ordered global-store stream — the
+/// divergence reference shared by every traced replay of the workload.
+///
+/// # Errors
+///
+/// Propagates a fault-free launch failure.
+pub fn golden_write_log(
+    arch: &ArchConfig,
+    workload: &dyn Workload,
+) -> Result<Vec<GlobalWrite>, SimError> {
+    let mut gpu = Gpu::new(arch.clone());
+    let mut log = GlobalWriteLog::default();
+    workload.run(&mut gpu, &mut log)?;
+    Ok(log.into_writes())
+}
+
+/// [`crate::campaign::run_campaign_with_ladder_hooked`] with the flight
+/// recorder enabled: same sites, same outcomes, same tally — plus one
+/// [`Provenance`] record per injection (site order) and the campaign
+/// [`ProvenanceAggregate`].
+///
+/// Per-injection `injection.trace` events and `provenance_*` metrics are
+/// emitted from the calling thread after the deterministic site-order
+/// merge, so hooked output is invariant under the worker count.
+///
+/// # Errors
+///
+/// Propagates replay failures that are not fault classifications.
+#[allow(clippy::too_many_arguments)]
+pub fn run_campaign_with_provenance_hooked<H: TelemetryHook>(
+    arch: &ArchConfig,
+    workload: &dyn Workload,
+    structure: Structure,
+    cfg: CampaignConfig,
+    golden: &GoldenRun,
+    golden_writes: &[GlobalWrite],
+    ladder: &CheckpointLadder,
+    hook: &H,
+) -> Result<(CampaignResult, Vec<Provenance>, ProvenanceAggregate), SimError> {
+    let started = H::ENABLED.then(Instant::now);
+    let sites = sample_sites(arch, structure, golden.cycles, cfg.injections, cfg.seed);
+    let (outcomes, records) = replay_sites_traced(
+        arch,
+        workload,
+        golden,
+        golden_writes,
+        &sites,
+        cfg,
+        ladder,
+        hook,
+    )?;
+    let mut tally = Tally::default();
+    let mut provenance = Vec::with_capacity(outcomes.len());
+    for (o, r) in outcomes.iter().zip(&records) {
+        tally.add(*o);
+        provenance.push(Provenance::from_trace(*o, r));
+    }
+    let aggregate = ProvenanceAggregate::from_records(arch, structure, &provenance);
+    let structure_bits = match structure {
+        Structure::VectorRegisterFile => arch.rf_words_per_sm(),
+        Structure::LocalMemory => arch.lds_words_per_sm(),
+        Structure::ScalarRegisterFile => arch.srf_words_per_sm(),
+    } as u64
+        * 32
+        * arch.num_sms as u64;
+    let population = fault_population(structure_bits, golden.cycles);
+    let result = CampaignResult {
+        structure,
+        tally,
+        golden_cycles: golden.cycles,
+        population,
+        margin_99: campaign_margin(population, tally.total()),
+    };
+    if let Some(started) = started {
+        for p in &provenance {
+            let mut ev = Event::new("injection.trace")
+                .field("workload", workload.name())
+                .field("device", arch.name.as_str())
+                .field("structure", p.site.structure.to_string())
+                .field("sm", p.site.sm)
+                .field("word", p.site.word)
+                .field("bit", u32::from(p.site.bit))
+                .field("cycle", p.site.cycle)
+                .field("outcome", p.outcome.as_str());
+            if let Some(l) = p.first_read_latency {
+                ev = ev.field("first_read_latency", l);
+            }
+            if let Some(d) = p.cycles_to_divergence {
+                ev = ev.field("cycles_to_divergence", d);
+            }
+            ev = ev
+                .field("taint_words", u64::from(p.taint_words))
+                .field("taint_saturated", p.taint_saturated)
+                .field("lds_banks", u64::from(p.lds_banks));
+            if let Some(m) = p.masking {
+                ev = ev.field("masking", m.as_str());
+            }
+            hook.event(&ev);
+        }
+        aggregate.emit(hook);
+        let seconds = started.elapsed().as_secs_f64();
+        let per_second = if seconds > 0.0 {
+            tally.total() as f64 / seconds
+        } else {
+            0.0
+        };
+        hook.observe("campaign_seconds", seconds);
+        hook.gauge("campaign_injections_per_second", per_second);
+        hook.event(
+            &Event::new("campaign.done")
+                .field("workload", workload.name())
+                .field("device", arch.name.as_str())
+                .field("structure", structure.to_string())
+                .field("injections", tally.total())
+                .field("masked", tally.masked)
+                .field("sdc", tally.sdc)
+                .field("due", tally.due)
+                .field("avf", result.avf())
+                .field("golden_cycles", golden.cycles)
+                .field("ladder_rungs", ladder.len())
+                .field("seconds", seconds)
+                .field("injections_per_second", per_second),
+        );
+    }
+    Ok((result, provenance, aggregate))
+}
+
+/// Parses a fault site from the `sm:struct:word:bit:cycle` CLI syntax,
+/// where `struct` is one of `rf`, `lds`, `srf`.
+///
+/// # Errors
+///
+/// Returns a human-readable message naming the malformed component.
+///
+/// # Example
+/// ```
+/// use grel_core::provenance::parse_site;
+/// use simt_sim::Structure;
+/// let s = parse_site("3:rf:128:17:40000").unwrap();
+/// assert_eq!(s.structure, Structure::VectorRegisterFile);
+/// assert_eq!(s.word, 128);
+/// assert!(parse_site("3:l1:0:0:0").is_err());
+/// ```
+pub fn parse_site(s: &str) -> Result<FaultSite, String> {
+    let parts: Vec<&str> = s.split(':').collect();
+    if parts.len() != 5 {
+        return Err(format!(
+            "expected sm:struct:word:bit:cycle (5 fields), got {} in {s:?}",
+            parts.len()
+        ));
+    }
+    let structure = match parts[1] {
+        "rf" => Structure::VectorRegisterFile,
+        "lds" => Structure::LocalMemory,
+        "srf" => Structure::ScalarRegisterFile,
+        other => {
+            return Err(format!(
+                "unknown structure {other:?} (expected rf, lds or srf)"
+            ))
+        }
+    };
+    let num = |name: &str, v: &str| -> Result<u64, String> {
+        v.parse::<u64>()
+            .map_err(|_| format!("invalid {name} {v:?} in {s:?}"))
+    };
+    let bit = num("bit", parts[3])?;
+    if bit >= 32 {
+        return Err(format!("bit {bit} out of range (0..32)"));
+    }
+    Ok(FaultSite {
+        structure,
+        sm: num("sm", parts[0])? as u32,
+        word: num("word", parts[2])? as u32,
+        bit: bit as u8,
+        cycle: num("cycle", parts[4])?,
+    })
+}
+
+/// Everything `repro trace` needs to narrate one injection.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SingleTrace {
+    /// The traced site.
+    pub site: FaultSite,
+    /// Fault-free total cycles of the workload.
+    pub golden_cycles: u64,
+    /// Distilled provenance of the replay.
+    pub provenance: Provenance,
+}
+
+/// Replays one injection from cycle zero with the flight recorder on and
+/// returns its provenance. The golden run and its write log are captured
+/// internally — this is the one-shot path behind `repro trace`.
+///
+/// # Errors
+///
+/// Propagates a golden-run failure or a non-DUE replay failure.
+pub fn trace_one(
+    arch: &ArchConfig,
+    workload: &dyn Workload,
+    site: FaultSite,
+    watchdog_factor: u64,
+) -> Result<SingleTrace, SimError> {
+    let golden = golden_run(arch, workload)?;
+    let golden_writes = golden_write_log(arch, workload)?;
+    let mut gpu = Gpu::new(arch.clone());
+    let (outcome, record) = crate::campaign::classify_traced_on(
+        &mut gpu,
+        arch,
+        workload,
+        &golden,
+        &golden_writes,
+        site,
+        watchdog_factor,
+        None,
+        &grel_telemetry::NoopHook,
+    )?;
+    Ok(SingleTrace {
+        site,
+        golden_cycles: golden.cycles,
+        provenance: Provenance::from_trace(outcome, &record),
+    })
+}
+
+impl SingleTrace {
+    /// Renders the propagation narrative shown by `repro trace`:
+    /// flip → first read / overwrite → divergence or masking reason.
+    pub fn narrative(&self) -> String {
+        let p = &self.provenance;
+        let mut out = String::new();
+        let _ = writeln!(out, "injection: {}", self.site);
+        let _ = writeln!(out, "golden run: {} cycles fault-free", self.golden_cycles);
+        if self.site.cycle >= self.golden_cycles {
+            let _ = writeln!(
+                out,
+                "the fault cycle lies at or beyond the fault-free end of execution;"
+            );
+            let _ = writeln!(
+                out,
+                "the flip never occurred and the run is trivially masked."
+            );
+            let _ = writeln!(out, "outcome: {}", p.outcome);
+            return out;
+        }
+        match (p.first_read_latency, p.masking) {
+            (Some(l), _) => {
+                let _ = writeln!(
+                    out,
+                    "first architected read of the corrupted word: {} cycle(s) after the flip",
+                    l
+                );
+            }
+            (None, Some(MaskingReason::Overwritten)) => {
+                let _ = writeln!(
+                    out,
+                    "the corrupted word was cleanly overwritten before any read — the flip died in place"
+                );
+            }
+            (None, _) => {
+                let _ = writeln!(
+                    out,
+                    "the corrupted word was never read for the rest of the run (dead or unallocated state)"
+                );
+            }
+        }
+        let _ = writeln!(
+            out,
+            "taint spread: {} word(s){}{}",
+            p.taint_words,
+            if p.lds_banks > 0 {
+                format!(" across {} LDS bank(s)", p.lds_banks)
+            } else {
+                String::new()
+            },
+            if p.taint_saturated {
+                " (saturated: spread exceeded the tracking cap)"
+            } else {
+                ""
+            }
+        );
+        match p.cycles_to_divergence {
+            Some(d) => {
+                let _ = writeln!(
+                    out,
+                    "output stream diverged from the golden run {} cycle(s) after the flip",
+                    d
+                );
+            }
+            None => match p.outcome {
+                Outcome::Masked => {
+                    let _ = writeln!(out, "the output stream never diverged from the golden run");
+                }
+                Outcome::Sdc => {
+                    let _ = writeln!(
+                        out,
+                        "no store-stream divergence was observed; the corruption surfaced only in the final output read-back"
+                    );
+                }
+                Outcome::Due => {
+                    let _ = writeln!(
+                        out,
+                        "the run was cut short by a detected error before any store diverged"
+                    );
+                }
+            },
+        }
+        match p.masking {
+            Some(m) => {
+                let _ = writeln!(out, "outcome: {} (reason: {})", p.outcome, m);
+            }
+            None => {
+                let _ = writeln!(out, "outcome: {}", p.outcome);
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gpu_archs::quadro_fx_5600;
+    use gpu_workloads::VectorAdd;
+
+    fn rec(site: FaultSite) -> TraceRecord {
+        TraceRecord {
+            site,
+            injected_at: Some(site.cycle),
+            first_read: None,
+            overwrite: None,
+            divergence: None,
+            taint_words: 1,
+            taint_saturated: false,
+            lds_banks: 0,
+        }
+    }
+
+    fn rf_site(word: u32, cycle: u64) -> FaultSite {
+        FaultSite {
+            structure: Structure::VectorRegisterFile,
+            sm: 0,
+            word,
+            bit: 0,
+            cycle,
+        }
+    }
+
+    #[test]
+    fn masking_reason_classification() {
+        let s = rf_site(4, 100);
+        let mut never = rec(s);
+        never.taint_words = 1;
+        assert_eq!(
+            Provenance::from_trace(Outcome::Masked, &never).masking,
+            Some(MaskingReason::NeverRead)
+        );
+        let mut over = rec(s);
+        over.overwrite = Some(150);
+        assert_eq!(
+            Provenance::from_trace(Outcome::Masked, &over).masking,
+            Some(MaskingReason::Overwritten)
+        );
+        let mut logical = rec(s);
+        logical.first_read = Some(130);
+        let p = Provenance::from_trace(Outcome::Masked, &logical);
+        assert_eq!(p.masking, Some(MaskingReason::LogicallyMasked));
+        assert_eq!(p.first_read_latency, Some(30));
+        assert_eq!(Provenance::from_trace(Outcome::Sdc, &logical).masking, None);
+    }
+
+    #[test]
+    fn log2_buckets() {
+        assert_eq!(log2_bucket(0), 0);
+        assert_eq!(log2_bucket(1), 1);
+        assert_eq!(log2_bucket(2), 2);
+        assert_eq!(log2_bucket(3), 2);
+        assert_eq!(log2_bucket(1024), 11);
+    }
+
+    #[test]
+    fn aggregate_attributes_regions_and_histograms() {
+        let arch = quadro_fx_5600();
+        let words = arch.rf_words_per_sm() as u64;
+        // One SDC in the first region, one masked (never read) in the last.
+        let first = Provenance {
+            cycles_to_divergence: Some(8),
+            ..Provenance::from_trace(Outcome::Sdc, &rec(rf_site(0, 10)))
+        };
+        let last_word = (words - 1) as u32;
+        let last = Provenance::from_trace(Outcome::Masked, &rec(rf_site(last_word, 10)));
+        let agg =
+            ProvenanceAggregate::from_records(&arch, Structure::VectorRegisterFile, &[first, last]);
+        assert_eq!(agg.rf_regions.len(), RF_REGIONS);
+        assert_eq!(agg.rf_regions[0].injections, 1);
+        assert_eq!(agg.rf_regions[0].sdc, 1);
+        assert_eq!(agg.rf_regions[RF_REGIONS - 1].injections, 1);
+        assert_eq!(agg.rf_regions[RF_REGIONS - 1].sdc, 0);
+        assert_eq!(agg.divergence_hist[log2_bucket(8)], 1);
+        assert_eq!(agg.masking[1], 1, "never-read count");
+        assert!(agg.lds_banks.is_empty());
+    }
+
+    #[test]
+    fn aggregate_merge_is_additive() {
+        let arch = quadro_fx_5600();
+        let a = Provenance::from_trace(Outcome::Sdc, &rec(rf_site(0, 10)));
+        let b = Provenance::from_trace(Outcome::Masked, &rec(rf_site(1, 20)));
+        let both = ProvenanceAggregate::from_records(&arch, Structure::VectorRegisterFile, &[a, b]);
+        let mut merged =
+            ProvenanceAggregate::from_records(&arch, Structure::VectorRegisterFile, &[a]);
+        merged.merge(&ProvenanceAggregate::from_records(
+            &arch,
+            Structure::VectorRegisterFile,
+            &[b],
+        ));
+        assert_eq!(merged, both);
+    }
+
+    #[test]
+    fn parse_site_round_trip_and_errors() {
+        let s = parse_site("2:lds:64:31:900").unwrap();
+        assert_eq!(s.structure, Structure::LocalMemory);
+        assert_eq!(s.sm, 2);
+        assert_eq!(s.word, 64);
+        assert_eq!(s.bit, 31);
+        assert_eq!(s.cycle, 900);
+        assert!(parse_site("1:rf:0:32:5").is_err(), "bit out of range");
+        assert!(parse_site("1:rf:0:0").is_err(), "too few fields");
+        assert!(parse_site("1:tex:0:0:5").is_err(), "unknown structure");
+        assert!(parse_site("x:rf:0:0:5").is_err(), "non-numeric sm");
+    }
+
+    #[test]
+    fn trace_one_narrates_a_real_injection() {
+        let arch = quadro_fx_5600();
+        let w = VectorAdd::new(256, 7);
+        let golden = golden_run(&arch, &w).unwrap();
+        let site = rf_site(0, golden.cycles / 2);
+        let t = trace_one(&arch, &w, site, 4).unwrap();
+        let text = t.narrative();
+        assert!(text.contains("injection: register file sm0 word 0"));
+        assert!(text.contains("outcome: "));
+        // A site beyond the end of execution narrates the trivial mask.
+        let beyond = rf_site(0, golden.cycles + 10);
+        let t = trace_one(&arch, &w, beyond, 4).unwrap();
+        assert!(t.narrative().contains("never occurred"));
+        assert_eq!(t.provenance.outcome, Outcome::Masked);
+    }
+}

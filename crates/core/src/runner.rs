@@ -34,10 +34,12 @@
 //! any job count (per-worker series are labelled `worker="N"` by stripe
 //! index, not by OS thread, and are therefore deterministic too).
 
-use crate::campaign::{classify_on, CampaignConfig, CheckpointLadder, GoldenRun, Outcome};
+use crate::campaign::{
+    classify_on, classify_traced_on, CampaignConfig, CheckpointLadder, GoldenRun, Outcome,
+};
 use gpu_workloads::Workload;
 use grel_telemetry::TelemetryHook;
-use simt_sim::{ArchConfig, FaultSite, Gpu, SimError};
+use simt_sim::{ArchConfig, FaultSite, GlobalWrite, Gpu, SimError, TraceRecord};
 use std::time::Instant;
 
 /// Everything a worker needs, shared read-only across the pool.
@@ -88,11 +90,7 @@ fn worker_loop<H: TelemetryHook>(
                 "campaign_injection_seconds",
                 injection_started.elapsed().as_secs_f64(),
             );
-            let outcome_label = match outcome {
-                Outcome::Masked => "masked",
-                Outcome::Sdc => "sdc",
-                Outcome::Due => "due",
-            };
+            let outcome_label = outcome.as_str();
             hook.count(
                 &format!("campaign_injections_total{{outcome=\"{outcome_label}\"}}"),
                 1,
@@ -185,6 +183,157 @@ pub(crate) fn replay_sites<H: TelemetryHook>(
         }
     }
     Ok(outcomes)
+}
+
+/// One worker's traced batch: `(site index, outcome, trace)` triples.
+type TracedBatch = Vec<(usize, Outcome, TraceRecord)>;
+
+/// [`worker_loop`] with the flight recorder riding along: same stripe,
+/// same device reuse, same metrics — each injection additionally yields
+/// the [`TraceRecord`] of how its corruption propagated.
+fn worker_loop_traced<H: TelemetryHook>(
+    shared: &ReplayShared<'_, H>,
+    golden_writes: &[GlobalWrite],
+    worker: usize,
+    jobs: usize,
+) -> Result<TracedBatch, SimError> {
+    let hook = shared.hook;
+    let started = H::ENABLED.then(Instant::now);
+    let mut gpu = Gpu::new(shared.arch.clone());
+    let mut done = Vec::with_capacity(shared.order.len().div_ceil(jobs));
+    for &i in shared.order.iter().skip(worker).step_by(jobs) {
+        let site = shared.sites[i];
+        let rung = shared.ladder.nearest_indexed(site.cycle);
+        let injection_started = H::ENABLED.then(Instant::now);
+        let (outcome, record) = classify_traced_on(
+            &mut gpu,
+            shared.arch,
+            shared.workload,
+            shared.golden,
+            golden_writes,
+            site,
+            shared.cfg.watchdog_factor,
+            rung.map(|(_, ck)| ck),
+            hook,
+        )?;
+        if let Some(injection_started) = injection_started {
+            hook.observe(
+                "campaign_injection_seconds",
+                injection_started.elapsed().as_secs_f64(),
+            );
+            let outcome_label = outcome.as_str();
+            hook.count(
+                &format!("campaign_injections_total{{outcome=\"{outcome_label}\"}}"),
+                1,
+            );
+            let rung_label = match rung {
+                Some((idx, _)) => idx.to_string(),
+                None => "none".to_string(),
+            };
+            hook.count(
+                &format!("campaign_rung_hits_total{{rung=\"{rung_label}\"}}"),
+                1,
+            );
+        }
+        done.push((i, outcome, record));
+    }
+    if let Some(started) = started {
+        let seconds = started.elapsed().as_secs_f64();
+        let per_second = if seconds > 0.0 {
+            done.len() as f64 / seconds
+        } else {
+            0.0
+        };
+        hook.observe("campaign_worker_seconds", seconds);
+        hook.count(
+            &format!("campaign_worker_injections_total{{worker=\"{worker}\"}}"),
+            done.len() as u64,
+        );
+        hook.gauge(
+            &format!("campaign_worker_injections_per_second{{worker=\"{worker}\"}}"),
+            per_second,
+        );
+    }
+    Ok(done)
+}
+
+/// [`replay_sites`] with provenance recording: outcomes *and* per-site
+/// [`TraceRecord`]s, both **in site order** and bit-identical at any job
+/// count (the same determinism contract — the recorder is a passive
+/// observer scattered back by site index exactly like the outcomes).
+///
+/// # Errors
+///
+/// Same as [`replay_sites`].
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn replay_sites_traced<H: TelemetryHook>(
+    arch: &ArchConfig,
+    workload: &dyn Workload,
+    golden: &GoldenRun,
+    golden_writes: &[GlobalWrite],
+    sites: &[FaultSite],
+    cfg: CampaignConfig,
+    ladder: &CheckpointLadder,
+    hook: &H,
+) -> Result<(Vec<Outcome>, Vec<TraceRecord>), SimError> {
+    let jobs = cfg.threads.max(1).min(sites.len().max(1));
+    let mut order: Vec<usize> = (0..sites.len()).collect();
+    order.sort_by_key(|&i| (sites[i].cycle, i));
+    if H::ENABLED {
+        hook.gauge("campaign_workers", jobs as f64);
+    }
+    let shared = ReplayShared {
+        arch,
+        workload,
+        golden,
+        sites,
+        order: &order,
+        cfg,
+        ladder,
+        hook,
+    };
+    let mut outcomes = vec![Outcome::Masked; sites.len()];
+    let placeholder = TraceRecord {
+        site: FaultSite {
+            structure: simt_sim::Structure::VectorRegisterFile,
+            sm: 0,
+            word: 0,
+            bit: 0,
+            cycle: 0,
+        },
+        injected_at: None,
+        first_read: None,
+        overwrite: None,
+        divergence: None,
+        taint_words: 0,
+        taint_saturated: false,
+        lds_banks: 0,
+    };
+    let mut records = vec![placeholder; sites.len()];
+    if jobs == 1 {
+        for (i, o, r) in worker_loop_traced(&shared, golden_writes, 0, 1)? {
+            outcomes[i] = o;
+            records[i] = r;
+        }
+        return Ok((outcomes, records));
+    }
+    let results: Vec<Result<TracedBatch, SimError>> = std::thread::scope(|scope| {
+        let shared = &shared;
+        let handles: Vec<_> = (0..jobs)
+            .map(|w| scope.spawn(move || worker_loop_traced(shared, golden_writes, w, jobs)))
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("injection worker panicked"))
+            .collect()
+    });
+    for r in results {
+        for (i, o, rec) in r? {
+            outcomes[i] = o;
+            records[i] = rec;
+        }
+    }
+    Ok((outcomes, records))
 }
 
 #[cfg(test)]

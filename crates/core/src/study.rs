@@ -64,6 +64,12 @@ pub struct StudyConfig {
     /// Whether to run FI on local memory for workloads that never touch
     /// it (the paper does not; the result is ~0 by construction).
     pub fi_on_unused_lds: bool,
+    /// Whether to run campaigns with the fault-propagation flight
+    /// recorder on (per-injection `injection.trace` events and
+    /// `provenance_*` attribution metrics). Off by default; tallies and
+    /// study results are identical either way.
+    #[serde(default)]
+    pub provenance: bool,
     /// ACE refinement level (the paper's figures correspond to the
     /// conservative default).
     #[serde(skip)]
@@ -77,6 +83,7 @@ impl StudyConfig {
             campaign: CampaignConfig::paper(seed),
             workload_seed: seed,
             fi_on_unused_lds: false,
+            provenance: false,
             ace_mode: AceMode::default(),
         }
     }
@@ -87,6 +94,7 @@ impl StudyConfig {
             campaign: CampaignConfig::quick(seed),
             workload_seed: seed,
             fi_on_unused_lds: false,
+            provenance: false,
             ace_mode: AceMode::default(),
         }
     }
@@ -169,27 +177,39 @@ pub fn evaluate_point_hooked<H: TelemetryHook>(
     }
     // One ladder serves every structure's campaign over this golden run.
     let ladder = CheckpointLadder::build_hooked(arch, workload, &golden, &cfg.campaign, hook)?;
-    let rf_fi = run_campaign_with_ladder_hooked(
-        arch,
-        workload,
-        Structure::VectorRegisterFile,
-        cfg.campaign,
-        &golden,
-        &ladder,
-        hook,
-    )?;
+    // With the flight recorder on, campaigns also need the golden run's
+    // global-store stream as the divergence reference (captured once and
+    // shared by every structure's campaign). Tallies are identical on
+    // both paths — the recorder only observes.
+    let golden_writes = cfg
+        .provenance
+        .then(|| crate::provenance::golden_write_log(arch, workload))
+        .transpose()?;
+    let run_structure = |structure: Structure| match &golden_writes {
+        Some(writes) => crate::provenance::run_campaign_with_provenance_hooked(
+            arch,
+            workload,
+            structure,
+            cfg.campaign,
+            &golden,
+            writes,
+            &ladder,
+            hook,
+        )
+        .map(|(result, _, _)| result),
+        None => run_campaign_with_ladder_hooked(
+            arch,
+            workload,
+            structure,
+            cfg.campaign,
+            &golden,
+            &ladder,
+            hook,
+        ),
+    };
+    let rf_fi = run_structure(Structure::VectorRegisterFile)?;
     let lds_fi = (workload.uses_local_memory() || cfg.fi_on_unused_lds)
-        .then(|| {
-            run_campaign_with_ladder_hooked(
-                arch,
-                workload,
-                Structure::LocalMemory,
-                cfg.campaign,
-                &golden,
-                &ladder,
-                hook,
-            )
-        })
+        .then(|| run_structure(Structure::LocalMemory))
         .transpose()?;
     let rf = structure_eval(Some(&rf_fi), &ace, Structure::VectorRegisterFile);
     let lds = structure_eval(lds_fi.as_ref(), &ace, Structure::LocalMemory);
@@ -578,6 +598,7 @@ mod tests {
             },
             workload_seed: 5,
             fi_on_unused_lds: false,
+            provenance: false,
             ace_mode: AceMode::default(),
         }
     }

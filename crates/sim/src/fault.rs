@@ -8,7 +8,7 @@ use std::fmt;
 /// The reproduced study targets the vector register file (Fig. 1) and the
 /// local/shared memory (Fig. 2); the scalar register file is an extension
 /// available on Southern-Islands-style devices.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
 pub enum Structure {
     /// The per-SM vector register file.
     VectorRegisterFile,
@@ -48,7 +48,7 @@ impl fmt::Display for Structure {
 /// };
 /// assert_eq!(s.bit_index(), 128 * 32 + 17);
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
 pub struct FaultSite {
     /// Target structure.
     pub structure: Structure,

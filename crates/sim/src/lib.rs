@@ -63,6 +63,7 @@ pub mod observer;
 pub mod regfile;
 pub mod session;
 pub mod sm;
+pub mod trace;
 pub mod warp;
 
 pub use cache::{Cache, CacheGeom, CacheStats};
@@ -73,3 +74,4 @@ pub use gpu::{Buffer, Gpu, LaunchProgress};
 pub use launch::{Dim, LaunchConfig, LaunchStats};
 pub use observer::{BlockRegions, CountingObserver, NoopObserver, SimObserver};
 pub use session::{Checkpoint, LaunchPlan, PlanStep, Session, SessionStatus, SessionTelemetry};
+pub use trace::{GlobalWrite, GlobalWriteLog, TraceObserver, TraceRecord, TAINT_CAP};

@@ -95,6 +95,16 @@ pub trait SimObserver {
         let _ = cycle;
     }
 
+    /// A word was stored to global memory.
+    ///
+    /// `addr` is the byte address of the store. Unlike the per-SM
+    /// structures above, global memory is device-wide; the `sm` argument
+    /// names the SM that issued the store. Host-side writes (plan setup
+    /// steps) do not pass through this hook.
+    fn on_global_write(&mut self, sm: u32, addr: u32, value: u32, cycle: u64) {
+        let _ = (sm, addr, value, cycle);
+    }
+
     /// An armed fault was injected.
     fn on_fault_injected(&mut self, site: FaultSite) {
         let _ = site;
@@ -131,6 +141,9 @@ impl<T: SimObserver + ?Sized> SimObserver for &mut T {
     }
     fn on_launch_end(&mut self, cycle: u64) {
         (**self).on_launch_end(cycle);
+    }
+    fn on_global_write(&mut self, sm: u32, addr: u32, value: u32, cycle: u64) {
+        (**self).on_global_write(sm, addr, value, cycle);
     }
     fn on_fault_injected(&mut self, site: FaultSite) {
         (**self).on_fault_injected(site);
@@ -179,6 +192,8 @@ pub struct CountingObserver {
     pub lds_writes: u64,
     /// LDS words read.
     pub lds_reads: u64,
+    /// Global-memory words stored.
+    pub global_writes: u64,
     /// Blocks dispatched.
     pub blocks: u64,
     /// Kernel launches observed.
@@ -205,6 +220,9 @@ impl SimObserver for CountingObserver {
     }
     fn on_lds_read(&mut self, _sm: u32, _word: u32, _cycle: u64) {
         self.lds_reads += 1;
+    }
+    fn on_global_write(&mut self, _sm: u32, _addr: u32, _value: u32, _cycle: u64) {
+        self.global_writes += 1;
     }
     fn on_block_dispatch(&mut self, _sm: u32, _regions: BlockRegions, _cycle: u64) {
         self.blocks += 1;

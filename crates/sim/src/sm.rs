@@ -1041,6 +1041,7 @@ impl Sm {
                         self.lane_value(warp, &rs, lane, arch.warp_size, ntid, nctaid, cycle, obs);
                     let a = base.wrapping_add(offset as u32);
                     mem.store(a, v, self.id, cycle)?;
+                    obs.on_global_write(self.id, a, v, cycle);
                     addrs.push(a);
                 }
                 let _ = mem_sys.access_latency(self.id, &addrs);
@@ -1094,6 +1095,7 @@ impl Sm {
                     let old = mem.load(a, self.id, cycle)?;
                     let (new, old) = eval_atom(op, old, v);
                     mem.store(a, new, self.id, cycle)?;
+                    obs.on_global_write(self.id, a, new, cycle);
                     old
                 }
                 MemSpace::Shared => {

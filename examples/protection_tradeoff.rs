@@ -32,6 +32,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         },
         workload_seed: seed,
         fi_on_unused_lds: false,
+        provenance: false,
         ace_mode: Default::default(),
     };
 

@@ -17,6 +17,7 @@ fn smoke_cfg(injections: u32) -> StudyConfig {
         },
         workload_seed: 2017,
         fi_on_unused_lds: false,
+        provenance: false,
         ace_mode: AceMode::LiveUntilOverwrite,
     }
 }

@@ -93,6 +93,7 @@ fn study_is_bit_identical_at_jobs_1_2_8() {
         campaign: quick_cfg(8),
         workload_seed: 13,
         fi_on_unused_lds: false,
+        provenance: false,
         ace_mode: Default::default(),
     };
 
@@ -126,6 +127,7 @@ fn study_with_live_hooks_is_bit_identical() {
         campaign: quick_cfg(8),
         workload_seed: 17,
         fi_on_unused_lds: false,
+        provenance: false,
         ace_mode: Default::default(),
     };
 

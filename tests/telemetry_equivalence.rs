@@ -115,6 +115,7 @@ fn hooked_study_point_matches_noop_point() {
         campaign: quick_cfg(10),
         workload_seed: 5,
         fi_on_unused_lds: false,
+        provenance: false,
         ace_mode: Default::default(),
     };
 
