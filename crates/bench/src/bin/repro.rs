@@ -18,6 +18,8 @@
 //!   --experiments PATH  also write the EXPERIMENTS.md result body
 //!   --checkpoint-interval N  checkpoint ladder spacing in cycles (0 = auto)
 //!   --no-checkpoints    disable checkpointed replay (from-zero replays)
+//!   --no-prune          disable lifetime-oracle pruning and the clean-
+//!                       overwrite early-exit (full replays; identical tallies)
 //!   --provenance        record fault-propagation provenance per injection
 //!                       (injection.trace events + provenance_* metrics)
 //!   --site SPEC         fault site for `trace` (sm:struct:word:bit:cycle)
@@ -68,6 +70,7 @@ struct Args {
     experiments: Option<String>,
     checkpoint_interval: u64,
     no_checkpoints: bool,
+    no_prune: bool,
     metrics: Option<String>,
     progress: bool,
     log_level: LogLevel,
@@ -92,6 +95,7 @@ fn parse_args() -> Result<Args, String> {
         experiments: None,
         checkpoint_interval: 0,
         no_checkpoints: false,
+        no_prune: false,
         metrics: None,
         progress: false,
         log_level: LogLevel::Info,
@@ -141,6 +145,7 @@ fn parse_args() -> Result<Args, String> {
                     .map_err(|e| format!("bad --checkpoint-interval: {e}"))?;
             }
             "--no-checkpoints" => args.no_checkpoints = true,
+            "--no-prune" => args.no_prune = true,
             "--provenance" => args.provenance = true,
             "--site" => args.site = Some(it.next().ok_or("--site needs a value")?),
             "--metrics" => args.metrics = Some(it.next().ok_or("--metrics needs a value")?),
@@ -171,7 +176,8 @@ const HELP: &str = "repro — regenerate the figures of \
 usage: repro [COMMAND] [--injections N] [--paper] [--seed S] [--jobs N]
              [--smoke] [--device NAME] [--workload NAME]
              [--csv PATH] [--json PATH] [--experiments PATH]
-             [--checkpoint-interval N] [--no-checkpoints] [--provenance]
+             [--checkpoint-interval N] [--no-checkpoints] [--no-prune]
+             [--provenance]
              [--metrics PATH] [--progress] [--quiet] [-v]
        repro report <metrics.jsonl>
        repro trace --site sm:struct:word:bit:cycle [--device D] [--workload W]
@@ -203,6 +209,15 @@ parallelism:
   --jobs N (-j N, alias --threads) sets the replay worker-thread count.
   The runner's determinism contract guarantees bit-identical campaign
   and study results at any job count: only wall-clock time changes.
+
+pruning:
+  Campaigns pre-classify sampled sites against a lifetime oracle captured
+  from one instrumented golden run: a flip landing after a word's last
+  read (or before its first write, or in unallocated space) is recorded
+  as masked without a replay, and replays without an oracle abandon the
+  run the moment the flipped word is cleanly overwritten unread. Both
+  accelerations are exact — --no-prune disables them and produces
+  bit-identical tallies, only slower.
 
 telemetry:
   --metrics PATH writes one JSON object per line: structured events
@@ -315,6 +330,8 @@ fn main() -> ExitCode {
             // from cycle zero, which is exactly what --no-checkpoints
             // promises.
             checkpoint_budget_bytes: if args.no_checkpoints { 1 } else { 0 },
+            prune: !args.no_prune,
+            early_exit: !args.no_prune,
         },
         workload_seed: args.seed,
         fi_on_unused_lds: false,
@@ -838,14 +855,27 @@ fn perf_table(archs: &[ArchConfig], workloads: &[Box<dyn Workload>]) -> ExitCode
 /// zero and once resuming from the checkpoint ladder, asserts outcome
 /// equality, and reports the speedup. A second table then re-runs the
 /// checkpointed campaign at 1, 2, 4 … `--jobs` worker threads, asserting
-/// the tally never changes, and reports the parallel scaling.
+/// the tally never changes, and reports the parallel scaling. A third
+/// table benchmarks the lifetime-oracle fast path (full replay vs
+/// early-exit vs pruned, identical tallies asserted), and the whole run
+/// is written machine-readable to `BENCH_campaign.json`.
 fn bench_campaign(
     archs: &[ArchConfig],
     workloads: &[Box<dyn Workload>],
     cfg: &StudyConfig,
     log: &Logger,
 ) -> ExitCode {
+    use grel_core::campaign::{run_campaign_with_ladder_hooked, Outcome, Tally};
+    use grel_telemetry::Json;
     use std::time::Instant;
+
+    fn tally_of(outcomes: &[Outcome]) -> Tally {
+        Tally {
+            masked: outcomes.iter().filter(|o| **o == Outcome::Masked).count() as u64,
+            sdc: outcomes.iter().filter(|o| **o == Outcome::Sdc).count() as u64,
+            due: outcomes.iter().filter(|o| **o == Outcome::Due).count() as u64,
+        }
+    }
     println!(
         "== Checkpointed replay vs from-zero replay (RF campaign, {} injections) ==",
         cfg.campaign.injections
@@ -863,6 +893,10 @@ fn bench_campaign(
         jobs_ladder.push(max_jobs);
     }
     let mut scaling: Vec<(String, String, usize, f64)> = Vec::new();
+    // (device, workload, mode, wall, inj/s, pruned frac, early frac, vs full)
+    type PruneRow = (String, String, String, f64, f64, f64, f64, f64);
+    let mut prune_rows: Vec<PruneRow> = Vec::new();
+    let mut pairs_json: Vec<Json> = Vec::new();
     println!(
         "{:<16} {:<12} {:>5} {:>11} {:>13} {:>8}",
         "device", "workload", "rungs", "from-zero", "checkpointed", "speedup"
@@ -942,6 +976,7 @@ fn bench_campaign(
             // Parallel scaling: same ladder, same sites, varying jobs.
             // The tally must be identical at every job count — that is
             // the runner's determinism contract, enforced right here.
+            let mut pair_scaling_json: Vec<Json> = Vec::new();
             for &jobs in &jobs_ladder {
                 let mut c = cfg.campaign;
                 c.threads = jobs;
@@ -952,12 +987,16 @@ fn bench_campaign(
                             tally, fast,
                             "tally must be job-count invariant (jobs = {jobs})"
                         );
-                        scaling.push((
-                            arch.name.clone(),
-                            w.name().to_string(),
-                            jobs,
-                            t.elapsed().as_secs_f64(),
-                        ));
+                        let secs = t.elapsed().as_secs_f64();
+                        pair_scaling_json.push(Json::Obj(vec![
+                            ("jobs".into(), Json::from(jobs)),
+                            ("seconds".into(), Json::from(secs)),
+                            (
+                                "injections_per_second".into(),
+                                Json::from(cfg.campaign.injections as f64 / secs.max(1e-9)),
+                            ),
+                        ]));
+                        scaling.push((arch.name.clone(), w.name().to_string(), jobs, secs));
                     }
                     Err(e) => {
                         log.error(&format!(
@@ -969,6 +1008,91 @@ fn bench_campaign(
                     }
                 }
             }
+            // Lifetime-oracle fast path: same golden run, same seed (so
+            // the same sampled sites), three configurations. The pruned
+            // run pays for its own oracle-capture instrumented replay,
+            // so the comparison is end-to-end, not best-case.
+            let base_tally = tally_of(&base);
+            let mut modes_json: Vec<Json> = Vec::new();
+            let mut full_secs = 0.0;
+            for (mode, prune, early_exit) in [
+                ("full", false, false),
+                ("early-exit", false, true),
+                ("pruned", true, true),
+            ] {
+                let mut c = cfg.campaign;
+                c.prune = prune;
+                c.early_exit = early_exit;
+                let registry = MetricsRegistry::new();
+                let hook = RegistryHook::new(&registry);
+                let t = Instant::now();
+                let res = match run_campaign_with_ladder_hooked(
+                    arch,
+                    w.as_ref(),
+                    Structure::VectorRegisterFile,
+                    c,
+                    &golden,
+                    &ladder,
+                    &hook,
+                ) {
+                    Ok(r) => r,
+                    Err(e) => {
+                        log.error(&format!(
+                            "{mode} campaign failed on {} / {}: {e}",
+                            arch.name,
+                            w.name()
+                        ));
+                        return ExitCode::FAILURE;
+                    }
+                };
+                let secs = t.elapsed().as_secs_f64();
+                assert_eq!(
+                    res.tally, base_tally,
+                    "the oracle fast path must not change the tally ({mode})"
+                );
+                if mode == "full" {
+                    full_secs = secs;
+                }
+                let snap = registry.snapshot();
+                let pruned = snap.counter("campaign_pruned_total").unwrap_or(0);
+                let early = snap.counter("campaign_early_exit_total").unwrap_or(0);
+                let n = cfg.campaign.injections as f64;
+                let ips = n / secs.max(1e-9);
+                let pruned_frac = pruned as f64 / n.max(1.0);
+                let early_frac = early as f64 / n.max(1.0);
+                let speedup = full_secs / secs.max(1e-9);
+                prune_rows.push((
+                    arch.name.clone(),
+                    w.name().to_string(),
+                    mode.to_string(),
+                    secs,
+                    ips,
+                    pruned_frac,
+                    early_frac,
+                    speedup,
+                ));
+                modes_json.push(Json::Obj(vec![
+                    ("mode".into(), Json::from(mode)),
+                    ("seconds".into(), Json::from(secs)),
+                    ("injections_per_second".into(), Json::from(ips)),
+                    ("pruned_fraction".into(), Json::from(pruned_frac)),
+                    ("early_exit_fraction".into(), Json::from(early_frac)),
+                    ("speedup_vs_full".into(), Json::from(speedup)),
+                ]));
+            }
+            pairs_json.push(Json::Obj(vec![
+                ("device".into(), Json::from(arch.name.as_str())),
+                ("workload".into(), Json::from(w.name())),
+                ("golden_cycles".into(), Json::from(golden.cycles)),
+                ("rungs".into(), Json::from(ladder.len())),
+                ("from_zero_seconds".into(), Json::from(t_zero.as_secs_f64())),
+                (
+                    "checkpointed_seconds".into(),
+                    Json::from(t_ckpt.as_secs_f64()),
+                ),
+                ("modes".into(), Json::Arr(modes_json)),
+                ("scaling".into(), Json::Arr(pair_scaling_json)),
+            ]));
         }
     }
     if jobs_ladder.len() > 1 {
@@ -994,6 +1118,39 @@ fn bench_campaign(
             );
         }
     }
+    println!();
+    println!(
+        "== Lifetime-oracle pruning (RF campaign at -j{max_jobs}, identical tallies asserted) =="
+    );
+    println!(
+        "{:<16} {:<12} {:<10} {:>9} {:>8} {:>7} {:>7} {:>8}",
+        "device", "workload", "mode", "wall", "inj/s", "pruned", "early", "vs full"
+    );
+    for (device, workload, mode, secs, ips, pruned, early, speedup) in &prune_rows {
+        println!(
+            "{:<16} {:<12} {:<10} {:>8.3}s {:>8.0} {:>6.1}% {:>6.1}% {:>7.2}x",
+            device,
+            workload,
+            mode,
+            secs,
+            ips,
+            pruned * 100.0,
+            early * 100.0,
+            speedup
+        );
+    }
+    let doc = Json::Obj(vec![
+        ("bench".into(), Json::from("campaign")),
+        ("structure".into(), Json::from("rf")),
+        ("injections".into(), Json::from(cfg.campaign.injections)),
+        ("jobs".into(), Json::from(max_jobs)),
+        ("pairs".into(), Json::Arr(pairs_json)),
+    ]);
+    if let Err(e) = std::fs::write("BENCH_campaign.json", doc.to_string()) {
+        log.error(&format!("failed to write BENCH_campaign.json: {e}"));
+        return ExitCode::FAILURE;
+    }
+    log.info("wrote BENCH_campaign.json");
     ExitCode::SUCCESS
 }
 

@@ -6,9 +6,9 @@
 //! while the study runs, followed by the final `counter` / `gauge` /
 //! `histogram` values of the metrics registry. [`render_run_report`]
 //! digests that file into a human-readable markdown report: run
-//! metadata, outcome tallies, throughput, checkpoint-replay savings,
-//! fault-propagation provenance (when the run used `--provenance`) and
-//! the top time sinks.
+//! metadata, outcome tallies, throughput, lifetime-oracle pruning,
+//! checkpoint-replay savings, fault-propagation provenance (when the
+//! run used `--provenance`) and the top time sinks.
 
 use grel_core::campaign::Outcome;
 use grel_core::provenance::MaskingReason;
@@ -411,6 +411,34 @@ fn render_body(data: &RunData, w: &mut impl Write) -> fmt::Result {
         writeln!(w)?;
     }
 
+    // -- Oracle pruning ------------------------------------------------
+    let pruned = counter_sum(data, "campaign_pruned_total");
+    let early = counter_sum(data, "campaign_early_exit_total");
+    if pruned + early > 0 {
+        writeln!(w, "## Oracle pruning")?;
+        writeln!(w)?;
+        if pruned > 0 {
+            writeln!(
+                w,
+                "- {} of {} injection(s) ({:.1}%) pre-classified masked by the \
+                 lifetime oracle — the flipped word was dead at the fault \
+                 cycle, so no replay ran",
+                fmt_count(pruned),
+                fmt_count(total_inj),
+                pruned as f64 / total_inj.max(1) as f64 * 100.0
+            )?;
+        }
+        if early > 0 {
+            writeln!(
+                w,
+                "- {} replay(s) terminated early as provably masked once the \
+                 flipped word was erased without being read",
+                fmt_count(early)
+            )?;
+        }
+        writeln!(w)?;
+    }
+
     // -- Checkpoint savings --------------------------------------------
     let replayed = counter_sum(data, "campaign_cycles_replayed_total");
     let saved = counter_sum(data, "campaign_cycles_saved_total");
@@ -419,7 +447,8 @@ fn render_body(data: &RunData, w: &mut impl Write) -> fmt::Result {
         writeln!(w)?;
         writeln!(
             w,
-            "- {} of {} replay cycles skipped by resuming from checkpoints ({:.1}%)",
+            "- {} of {} replay cycles skipped ({:.1}%) via checkpoints, \
+             oracle pruning and early exits",
             fmt_count(saved),
             fmt_count(replayed + saved),
             saved as f64 / (replayed + saved) as f64 * 100.0
@@ -653,6 +682,27 @@ mod tests {
             !md.contains("## Propagation"),
             "no provenance metrics, no Propagation section:\n{md}"
         );
+        assert!(
+            !md.contains("## Oracle pruning"),
+            "no pruning counters, no Oracle pruning section:\n{md}"
+        );
+    }
+
+    #[test]
+    fn renders_oracle_pruning_section() {
+        let jsonl = [
+            sample().as_str(),
+            r#"{"event":"counter","name":"campaign_pruned_total","value":5}"#,
+            r#"{"event":"counter","name":"campaign_early_exit_total","value":2}"#,
+            r#"{"event":"counter","name":"campaign_rung_hits_total{rung=\"pruned\"}","value":5}"#,
+        ]
+        .join("\n");
+        let md = render_run_report(&jsonl).unwrap();
+        assert!(md.contains("## Oracle pruning"), "{md}");
+        assert!(md.contains("5 of 12 injection(s) (41.7%)"), "{md}");
+        assert!(md.contains("2 replay(s) terminated early"), "{md}");
+        // The synthetic "pruned" rung shows up in the rung table.
+        assert!(md.contains("| pruned | 5 |"), "{md}");
     }
 
     #[test]

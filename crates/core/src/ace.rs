@@ -22,8 +22,9 @@
 //! read per-structure AVF and time-weighted occupancy (the red line of
 //! the paper's Fig. 1/2).
 
+use gpu_workloads::Workload;
 use simt_sim::observer::BlockRegions;
-use simt_sim::{ArchConfig, SimObserver, Structure};
+use simt_sim::{ArchConfig, FaultSite, Gpu, SimError, SimObserver, Structure};
 
 const NO_EVENT: u64 = u64::MAX;
 
@@ -103,6 +104,20 @@ impl StructTracker {
             }
         };
         self.ace_word_cycles += end.saturating_sub(st.wrote_at);
+        // Launch-rooted values (dispatch preloads and launch-zeroed
+        // contents) are vulnerable *at* the launch-start cycle itself:
+        // the per-launch storage reset precedes fault application within
+        // that cycle, so a flip at the boundary lands on the value. A
+        // mid-launch write lands after fault application and only opens
+        // its window the following cycle — which `end - wrote_at`
+        // already counts. This keeps refined bit-cycles equal to the
+        // union of the [`LifetimeOracle`]'s live intervals.
+        if self.mode == AceMode::WriteToLastRead
+            && st.last_read != NO_EVENT
+            && st.wrote_at == self.last_launch_start_for_reads
+        {
+            self.ace_word_cycles += 1;
+        }
         st.wrote_at = NO_EVENT;
         st.last_read = NO_EVENT;
     }
@@ -319,6 +334,248 @@ impl SimObserver for AceAnalyzer {
     }
 }
 
+/// Per-word open value for the [`LifetimeOracle`]: the first cycle a
+/// flip would be consumed, and the last read so far.
+#[derive(Debug, Clone, Copy)]
+struct OpenValue {
+    live_from: u64,
+    last_read: u64,
+}
+
+const CLOSED: OpenValue = OpenValue {
+    live_from: NO_EVENT,
+    last_read: NO_EVENT,
+};
+
+/// Interval builder for one structure of the [`LifetimeOracle`].
+#[derive(Debug)]
+struct OracleTracker {
+    open: Vec<OpenValue>,
+    /// Sorted, non-overlapping `[lo, hi]` live intervals per physical
+    /// word (index `sm * words_per_sm + word`).
+    intervals: Vec<Vec<(u64, u64)>>,
+    words_per_sm: u32,
+}
+
+impl OracleTracker {
+    fn new(words_per_sm: u32, num_sms: u32) -> Self {
+        let total = words_per_sm as usize * num_sms as usize;
+        OracleTracker {
+            open: vec![CLOSED; total],
+            intervals: vec![Vec::new(); total],
+            words_per_sm,
+        }
+    }
+
+    fn idx(&self, sm: u32, word: u32) -> Option<usize> {
+        if word >= self.words_per_sm {
+            return None;
+        }
+        let i = sm as usize * self.words_per_sm as usize + word as usize;
+        (i < self.open.len()).then_some(i)
+    }
+
+    /// Emits the open value's interval (if it was ever read) and resets
+    /// the word. Emission order is chronological per word, so merging
+    /// with the previous interval keeps each list sorted and disjoint.
+    fn close(&mut self, i: usize) {
+        let v = self.open[i];
+        self.open[i] = CLOSED;
+        if v.live_from == NO_EVENT || v.last_read == NO_EVENT {
+            return; // never written-then-read: no consumable window
+        }
+        let list = &mut self.intervals[i];
+        match list.last_mut() {
+            Some(last) if v.live_from <= last.1 + 1 => last.1 = last.1.max(v.last_read),
+            _ => list.push((v.live_from, v.last_read)),
+        }
+    }
+
+    fn on_write(&mut self, sm: u32, word: u32, cycle: u64, launch_start: u64) {
+        let Some(i) = self.idx(sm, word) else { return };
+        self.close(i);
+        // A write at the launch-start cycle is a dispatch preload (or
+        // shares the cycle with one): the per-launch reset and preloads
+        // precede fault application within that cycle, so the boundary
+        // cycle itself is vulnerable. Any later write lands *after*
+        // fault application — a flip at its own cycle is clobbered — so
+        // its window opens the following cycle.
+        self.open[i] = OpenValue {
+            live_from: if cycle == launch_start {
+                cycle
+            } else {
+                cycle + 1
+            },
+            last_read: NO_EVENT,
+        };
+    }
+
+    fn on_read(&mut self, sm: u32, word: u32, cycle: u64, launch_start: u64) {
+        let Some(i) = self.idx(sm, word) else { return };
+        let v = &mut self.open[i];
+        if v.live_from == NO_EVENT {
+            // Consuming the launch-zeroed contents: vulnerable since the
+            // reset at the launch-start cycle.
+            v.live_from = launch_start;
+        }
+        v.last_read = cycle;
+    }
+
+    fn free_region(&mut self, sm: u32, base: u32, len: u32) {
+        for w in base..base.saturating_add(len).min(self.words_per_sm) {
+            if let Some(i) = self.idx(sm, w) {
+                self.close(i);
+            }
+        }
+    }
+
+    fn flush(&mut self) {
+        for i in 0..self.open.len() {
+            self.close(i);
+        }
+    }
+
+    fn is_dead(&self, sm: u32, word: u32, cycle: u64) -> bool {
+        let Some(i) = self.idx(sm, word) else {
+            return true; // out-of-range words are never consumed
+        };
+        let list = &self.intervals[i];
+        let p = list.partition_point(|&(lo, _)| lo <= cycle);
+        p == 0 || list[p - 1].1 < cycle
+    }
+
+    fn live_bit_cycles(&self) -> u64 {
+        self.intervals
+            .iter()
+            .flatten()
+            .map(|&(lo, hi)| (hi - lo + 1) * 32)
+            .sum()
+    }
+}
+
+/// A per-word live-interval map distilled from one instrumented golden
+/// run: for every physical word of the RF, SRF and LDS, the exact cycle
+/// windows during which a bit flip would still be consumed by a read.
+///
+/// A flip at a cycle outside every interval of its word is **provably
+/// masked**: the flipped value is clobbered by an overwrite, the
+/// per-launch storage reset, or end-of-execution before any instruction
+/// reads it, so the replay is bit-identical to the golden run. The
+/// campaign layer uses [`LifetimeOracle::is_dead`] to record such sites
+/// as `Masked` without replaying them (see `CampaignConfig::prune`); the
+/// windows over-approximate liveness at launch boundaries, so pruning is
+/// exact — never the other way around.
+///
+/// # Example
+/// ```
+/// use grel_core::ace::LifetimeOracle;
+/// use gpu_workloads::VectorAdd;
+/// use gpu_archs::quadro_fx_5600;
+/// use simt_sim::Structure;
+///
+/// let arch = quadro_fx_5600();
+/// let oracle = LifetimeOracle::capture(&arch, &VectorAdd::new(256, 1))?;
+/// // Low-AVF workloads leave most of the site space dead.
+/// assert!(oracle.live_bit_cycles(Structure::VectorRegisterFile) > 0);
+/// # Ok::<(), simt_sim::SimError>(())
+/// ```
+#[derive(Debug)]
+pub struct LifetimeOracle {
+    rf: OracleTracker,
+    srf: OracleTracker,
+    lds: OracleTracker,
+    num_sms: u32,
+    launch_start: u64,
+}
+
+impl LifetimeOracle {
+    /// An empty oracle sized for `arch`; attach it to a fault-free run
+    /// as a [`SimObserver`] (or use [`LifetimeOracle::capture`]).
+    pub fn new(arch: &ArchConfig) -> Self {
+        LifetimeOracle {
+            rf: OracleTracker::new(arch.rf_words_per_sm(), arch.num_sms),
+            srf: OracleTracker::new(arch.srf_words_per_sm(), arch.num_sms),
+            lds: OracleTracker::new(arch.lds_words_per_sm(), arch.num_sms),
+            num_sms: arch.num_sms,
+            launch_start: 0,
+        }
+    }
+
+    /// Runs `workload` once on a fresh device and returns the oracle.
+    ///
+    /// # Errors
+    ///
+    /// Propagates any failure of the fault-free run itself.
+    pub fn capture(arch: &ArchConfig, workload: &dyn Workload) -> Result<Self, SimError> {
+        let mut gpu = Gpu::new(arch.clone());
+        let mut oracle = LifetimeOracle::new(arch);
+        workload.run(&mut gpu, &mut oracle)?;
+        Ok(oracle)
+    }
+
+    fn tracker(&self, s: Structure) -> &OracleTracker {
+        match s {
+            Structure::VectorRegisterFile => &self.rf,
+            Structure::ScalarRegisterFile => &self.srf,
+            Structure::LocalMemory => &self.lds,
+        }
+    }
+
+    /// Whether a flip at `site` provably never reaches a read — i.e. the
+    /// replay would be bit-identical to the golden run (`Masked`).
+    pub fn is_dead(&self, site: FaultSite) -> bool {
+        // Same physical mapping the injector uses.
+        let sm = site.sm % self.num_sms.max(1);
+        self.tracker(site.structure)
+            .is_dead(sm, site.word, site.cycle)
+    }
+
+    /// Total live bit-cycles of one structure: the union of all live
+    /// intervals, times 32 bits per word. Equals the refined
+    /// ([`AceMode::WriteToLastRead`]) ACE bit-cycle count — the two are
+    /// independent implementations of the same lifetime rule.
+    pub fn live_bit_cycles(&self, s: Structure) -> u64 {
+        self.tracker(s).live_bit_cycles()
+    }
+}
+
+impl SimObserver for LifetimeOracle {
+    fn on_rf_write(&mut self, sm: u32, word: u32, cycle: u64) {
+        self.rf.on_write(sm, word, cycle, self.launch_start);
+    }
+    fn on_rf_read(&mut self, sm: u32, word: u32, cycle: u64) {
+        self.rf.on_read(sm, word, cycle, self.launch_start);
+    }
+    fn on_srf_write(&mut self, sm: u32, word: u32, cycle: u64) {
+        self.srf.on_write(sm, word, cycle, self.launch_start);
+    }
+    fn on_srf_read(&mut self, sm: u32, word: u32, cycle: u64) {
+        self.srf.on_read(sm, word, cycle, self.launch_start);
+    }
+    fn on_lds_write(&mut self, sm: u32, word: u32, cycle: u64) {
+        self.lds.on_write(sm, word, cycle, self.launch_start);
+    }
+    fn on_lds_read(&mut self, sm: u32, word: u32, cycle: u64) {
+        self.lds.on_read(sm, word, cycle, self.launch_start);
+    }
+    fn on_block_retire(&mut self, sm: u32, r: BlockRegions, _cycle: u64) {
+        self.rf.free_region(sm, r.rf_base, r.rf_len);
+        self.srf.free_region(sm, r.srf_base, r.srf_len);
+        self.lds.free_region(sm, r.lds_base, r.lds_len);
+    }
+    fn on_launch_begin(&mut self, _name: &str, cycle: u64) {
+        for t in [&mut self.rf, &mut self.srf, &mut self.lds] {
+            t.flush();
+        }
+        self.launch_start = cycle;
+    }
+    fn on_launch_end(&mut self, _cycle: u64) {
+        for t in [&mut self.rf, &mut self.srf, &mut self.lds] {
+            t.flush();
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -419,9 +676,11 @@ mod tests {
         a.on_launch_begin("k", 5);
         a.on_rf_read(0, 2, 25);
         a.on_launch_end(100);
+        // [5, 25] inclusive of the launch-start cycle: the reset that
+        // zeroes the word precedes fault application at cycle 5.
         assert_eq!(
             a.report(Structure::VectorRegisterFile).ace_bit_cycles,
-            20 * 32
+            21 * 32
         );
     }
 
@@ -433,7 +692,9 @@ mod tests {
         a.on_rf_read(0, 0, 100);
         a.on_launch_end(100);
         let r = a.report(Structure::VectorRegisterFile);
-        let expect = 1.0 / (4096.0 * 2.0);
+        // The write at cycle 0 is launch-rooted, so [0, 100] counts 101
+        // of the 100 executed cycles for that one word.
+        let expect = 101.0 / (100.0 * 4096.0 * 2.0);
         assert!(
             (r.avf_ace - expect).abs() < 1e-12,
             "{} vs {expect}",
@@ -480,7 +741,9 @@ mod tests {
         a.on_rf_read(0, 0, 70);
         a.on_launch_end(100);
         let r = a.report(Structure::VectorRegisterFile);
-        assert_eq!(r.ace_bit_cycles, (10 + 20) * 32);
+        // Both writes land on their launch-start cycle, so each window
+        // includes the boundary: [0, 10] and [50, 70].
+        assert_eq!(r.ace_bit_cycles, (11 + 21) * 32);
         assert_eq!(a.total_cycles(), 100);
     }
 
@@ -501,5 +764,118 @@ mod tests {
         assert_eq!(r.avf_ace, 0.0);
         assert_eq!(r.occupancy, 0.0);
         assert_eq!(a.mode(), AceMode::LiveUntilOverwrite);
+    }
+
+    fn rf_site(word: u32, cycle: u64) -> FaultSite {
+        FaultSite {
+            structure: Structure::VectorRegisterFile,
+            sm: 0,
+            word,
+            bit: 0,
+            cycle,
+        }
+    }
+
+    #[test]
+    fn oracle_live_window_is_write_to_last_read() {
+        let mut o = LifetimeOracle::new(&ArchConfig::small_test_gpu());
+        o.on_launch_begin("k", 0);
+        o.on_rf_write(0, 5, 10);
+        o.on_rf_read(0, 5, 20);
+        o.on_rf_read(0, 5, 50);
+        o.on_rf_write(0, 5, 60); // never read again: dead tail
+        o.on_launch_end(100);
+        // A flip at the write's own cycle is clobbered by the write
+        // (fault application precedes SM stepping), so the window is
+        // [11, 50].
+        assert!(o.is_dead(rf_site(5, 10)));
+        assert!(!o.is_dead(rf_site(5, 11)));
+        assert!(!o.is_dead(rf_site(5, 50)));
+        assert!(o.is_dead(rf_site(5, 51)));
+        assert!(o.is_dead(rf_site(5, 60)));
+        assert!(o.is_dead(rf_site(4, 20)), "untouched word is dead");
+        assert_eq!(o.live_bit_cycles(Structure::VectorRegisterFile), 40 * 32);
+    }
+
+    #[test]
+    fn oracle_launch_boundary_cycle_is_vulnerable() {
+        let mut o = LifetimeOracle::new(&ArchConfig::small_test_gpu());
+        o.on_launch_begin("k", 5);
+        o.on_rf_write(0, 1, 5); // dispatch preload: precedes the fault
+        o.on_rf_read(0, 1, 9);
+        o.on_rf_read(0, 2, 25); // launch-zeroed contents
+        o.on_launch_end(100);
+        assert!(!o.is_dead(rf_site(1, 5)));
+        assert!(!o.is_dead(rf_site(2, 5)));
+        assert!(!o.is_dead(rf_site(2, 25)));
+        assert!(o.is_dead(rf_site(1, 10)));
+        // [5, 9] and [5, 25].
+        assert_eq!(
+            o.live_bit_cycles(Structure::VectorRegisterFile),
+            (5 + 21) * 32
+        );
+    }
+
+    #[test]
+    fn oracle_separates_launches() {
+        let mut o = LifetimeOracle::new(&ArchConfig::small_test_gpu());
+        o.on_launch_begin("k1", 0);
+        o.on_rf_write(0, 0, 10);
+        o.on_rf_read(0, 0, 20);
+        o.on_launch_end(50);
+        o.on_launch_begin("k2", 50);
+        o.on_rf_write(0, 0, 60);
+        o.on_rf_read(0, 0, 70);
+        o.on_launch_end(100);
+        // [11, 20] and [61, 70]; the gap spans the launch boundary —
+        // the k1 value left resident at cycle 21.. is never read again
+        // (the k2 reset clobbers it), so flips there are dead.
+        assert!(!o.is_dead(rf_site(0, 20)));
+        assert!(o.is_dead(rf_site(0, 21)));
+        assert!(o.is_dead(rf_site(0, 50)));
+        assert!(o.is_dead(rf_site(0, 60)));
+        assert!(!o.is_dead(rf_site(0, 61)));
+        assert_eq!(o.live_bit_cycles(Structure::VectorRegisterFile), 20 * 32);
+    }
+
+    #[test]
+    fn oracle_matches_refined_ace_on_synthetic_stream() {
+        let arch = ArchConfig::small_test_gpu();
+        let mut ace = AceAnalyzer::with_mode(&arch, AceMode::WriteToLastRead);
+        let mut o = LifetimeOracle::new(&arch);
+        let drive = |obs: &mut dyn SimObserver| {
+            obs.on_launch_begin("k1", 0);
+            obs.on_rf_write(0, 0, 0); // launch-rooted preload
+            obs.on_rf_read(0, 0, 7);
+            obs.on_rf_write(1, 3, 4);
+            obs.on_rf_read(1, 3, 30);
+            obs.on_rf_read(0, 9, 12); // launch-zeroed read
+            obs.on_rf_write(0, 9, 15); // overwrite, then dead
+            obs.on_launch_end(40);
+            obs.on_launch_begin("k2", 40);
+            obs.on_rf_read(0, 2, 55);
+            obs.on_rf_write(0, 2, 58);
+            obs.on_rf_read(0, 2, 60);
+            obs.on_launch_end(80);
+        };
+        drive(&mut ace);
+        drive(&mut o);
+        assert_eq!(
+            ace.report(Structure::VectorRegisterFile).ace_bit_cycles,
+            o.live_bit_cycles(Structure::VectorRegisterFile),
+            "refined ACE and the oracle implement the same lifetime rule"
+        );
+    }
+
+    #[test]
+    fn oracle_capture_prunes_only_masked_space() {
+        use gpu_workloads::VectorAdd;
+        let arch = gpu_archs::quadro_fx_5600();
+        let w = VectorAdd::new(128, 3);
+        let o = LifetimeOracle::capture(&arch, &w).unwrap();
+        let live = o.live_bit_cycles(Structure::VectorRegisterFile);
+        assert!(live > 0, "vectoradd reads registers");
+        // The top of the register file is never allocated: dead.
+        assert!(o.is_dead(rf_site(arch.rf_words_per_sm() - 1, 10)));
     }
 }

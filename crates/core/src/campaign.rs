@@ -27,7 +27,7 @@
 //! bit-identical to the golden execution, so checkpointed replay produces
 //! exactly the same outcome sequence as from-zero replay — only faster.
 
-use crate::ace::AceAnalyzer;
+use crate::ace::{AceAnalyzer, LifetimeOracle};
 use crate::runner::replay_sites;
 use crate::stats::{error_margin, fault_population, Proportion, Z_99};
 use gpu_workloads::Workload;
@@ -36,8 +36,8 @@ use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use serde::{Deserialize, Serialize};
 use simt_sim::{
-    ArchConfig, Checkpoint, FaultSite, GlobalWrite, Gpu, NoopObserver, Session, SimError,
-    Structure, TraceObserver, TraceRecord,
+    ArchConfig, Checkpoint, FaultSite, GlobalWrite, Gpu, MaskProbe, NoopObserver, Session,
+    SessionStatus, SimError, Structure, TraceObserver, TraceRecord,
 };
 use std::fmt;
 use std::time::Instant;
@@ -136,8 +136,8 @@ impl Tally {
 
 /// Campaign parameters.
 ///
-/// The two checkpoint fields tune the replay accelerator and change only
-/// wall-clock time, never outcomes:
+/// The checkpoint, pruning and early-exit fields tune replay
+/// accelerators and change only wall-clock time, never outcomes:
 ///
 /// # Example
 /// ```
@@ -155,6 +155,10 @@ impl Tally {
 /// tuned.checkpoint_interval = 500;
 /// tuned.checkpoint_budget_bytes = 64 << 20;
 /// assert_ne!(tuned, quick);
+///
+/// // The lifetime-oracle fast path is on by default (`repro --no-prune`
+/// // reaches the slow path); tallies are identical either way.
+/// assert!(paper.prune && paper.early_exit);
 /// ```
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub struct CampaignConfig {
@@ -175,6 +179,18 @@ pub struct CampaignConfig {
     /// budget is reached no further rungs are captured (late-cycle faults
     /// then replay from the highest retained rung).
     pub checkpoint_budget_bytes: u64,
+    /// Pre-classify sampled sites against a [`LifetimeOracle`] captured
+    /// from one instrumented golden run: flips landing outside every
+    /// live interval of their word are recorded as `Masked` without a
+    /// replay. Exact — the oracle over-approximates liveness, never the
+    /// reverse — so tallies are bit-identical with pruning on or off.
+    pub prune: bool,
+    /// Terminate a replay as `Masked` the moment the flipped word is
+    /// erased (clean overwrite or per-launch reset) without ever having
+    /// been read. Only consulted when the oracle is off: a site that
+    /// survives pruning is by construction read before any clean
+    /// overwrite, so the probe could never fire.
+    pub early_exit: bool,
 }
 
 impl CampaignConfig {
@@ -187,6 +203,8 @@ impl CampaignConfig {
             watchdog_factor: 10,
             checkpoint_interval: 0,
             checkpoint_budget_bytes: 0,
+            prune: true,
+            early_exit: true,
         }
     }
 
@@ -383,10 +401,11 @@ pub(crate) fn campaign_margin(population: u64, trials: u64) -> f64 {
 ///
 /// Sampling is *without* replacement — the finite-population correction
 /// in [`error_margin`] models a sample of distinct sites, so a duplicate
-/// draw would silently widen the true interval. Duplicates are rejected
-/// and redrawn; the population dwarfs `n` for every real configuration
-/// (the paper's smallest is ≈10⁹ sites for n = 2,000), so retries are
-/// vanishingly rare and the loop stays O(n) in expectation.
+/// draw would silently widen the true interval. Distinctness comes from
+/// a seed-stable partial Fisher–Yates shuffle over the flat site index
+/// space, tracked sparsely in an index map: exactly `n` draws, O(n) time
+/// and memory for any `n`, up to and including `n == population` (where
+/// the result is a full permutation of the site space).
 ///
 /// Exposed for reproducibility tooling: the sites depend only on the
 /// arguments, never on threading.
@@ -415,21 +434,39 @@ pub fn sample_sites(
         "cannot draw {n} distinct sites from a population of {population}"
     );
     let mut rng = StdRng::seed_from_u64(seed);
-    let mut seen = std::collections::HashSet::with_capacity(n as usize);
+    // Partial Fisher–Yates over the flat index space [0, population),
+    // with only the displaced prefix entries materialised in a map: the
+    // k-th draw swaps a uniform index from [k, population) into slot k,
+    // so the first n slots are a uniform n-permutation of distinct sites.
+    let mut displaced = std::collections::HashMap::with_capacity(n as usize);
     let mut sites = Vec::with_capacity(n as usize);
-    while sites.len() < n as usize {
-        let site = FaultSite {
-            structure,
-            sm: rng.gen_range(0..arch.num_sms),
-            word: rng.gen_range(0..words),
-            bit: rng.gen_range(0..32) as u8,
-            cycle: rng.gen_range(0..cycles),
-        };
-        if seen.insert(site) {
-            sites.push(site);
-        }
+    for k in 0..n as u128 {
+        let j = rng.gen_range(k..population);
+        let pick = displaced.get(&j).copied().unwrap_or(j);
+        let at_k = displaced.get(&k).copied().unwrap_or(k);
+        displaced.insert(j, at_k);
+        sites.push(decode_site(structure, words, cycles, pick));
     }
     sites
+}
+
+/// Maps a flat index in `[0, sms · words · 32 · cycles)` back to the
+/// fault site it names, inverting `((sm · words + word) · 32 + bit) ·
+/// cycles + cycle`.
+fn decode_site(structure: Structure, words: u32, cycles: u64, mut idx: u128) -> FaultSite {
+    let cycle = (idx % cycles as u128) as u64;
+    idx /= cycles as u128;
+    let bit = (idx % 32) as u8;
+    idx /= 32;
+    let word = (idx % words as u128) as u32;
+    let sm = (idx / words as u128) as u32;
+    FaultSite {
+        structure,
+        sm,
+        word,
+        bit,
+        cycle,
+    }
 }
 
 /// Default cap on the simulator state a [`CheckpointLadder`] may retain.
@@ -593,13 +630,14 @@ pub(crate) fn classify_on<H: TelemetryHook>(
     golden: &GoldenRun,
     site: FaultSite,
     watchdog_factor: u64,
+    early_exit: bool,
     ckpt: Option<&Checkpoint>,
     hook: &H,
 ) -> Result<Outcome, SimError> {
     let watchdog = golden.cycles * watchdog_factor + 10_000;
-    // (replay result, cycles skipped, instructions inherited from the
-    // checkpoint prefix, session restore counters).
-    let (result, start_cycle, base_instructions, session_tel) = match ckpt {
+    // (replay result, early-exited?, cycles skipped, instructions
+    // inherited from the checkpoint prefix, session restore counters).
+    let (result, exited, start_cycle, base_instructions, session_tel) = match ckpt {
         Some(ck) => {
             let mut session = Session::resume(&mut *gpu, ck);
             let base = if H::ENABLED {
@@ -609,16 +647,21 @@ pub(crate) fn classify_on<H: TelemetryHook>(
             };
             session.gpu_mut().set_watchdog(watchdog);
             session.gpu_mut().arm_fault(site);
-            let r = session.run_to_completion(&mut NoopObserver);
+            let (r, exited) = drive_replay(&mut session, golden, site, arch, early_exit);
             let tel = *session.telemetry();
-            (r, ck.cycle(), base, tel)
+            (r, exited, ck.cycle(), base, tel)
         }
         None => {
             *gpu = Gpu::new(arch.clone());
             gpu.set_watchdog(watchdog);
             gpu.arm_fault(site);
-            let r = workload.run(gpu, &mut NoopObserver);
-            (r, 0, 0, simt_sim::SessionTelemetry::default())
+            let (r, exited) = if early_exit {
+                let mut session = Session::new(&mut *gpu, workload.plan());
+                drive_replay(&mut session, golden, site, arch, true)
+            } else {
+                (workload.run(gpu, &mut NoopObserver), false)
+            };
+            (r, exited, 0, 0, simt_sim::SessionTelemetry::default())
         }
     };
     if H::ENABLED {
@@ -627,6 +670,13 @@ pub(crate) fn classify_on<H: TelemetryHook>(
             gpu.app_cycle().saturating_sub(start_cycle),
         );
         hook.count("campaign_cycles_saved_total", start_cycle);
+        if exited {
+            hook.count("campaign_early_exit_total", 1);
+            hook.count(
+                "campaign_cycles_saved_total",
+                golden.cycles.saturating_sub(gpu.app_cycle()),
+            );
+        }
         hook.count(
             "sim_instructions_total",
             gpu.exec_totals()
@@ -646,6 +696,42 @@ pub(crate) fn classify_on<H: TelemetryHook>(
         Ok(_) => Ok(Outcome::Sdc),
         Err(SimError::Due(_)) => Ok(Outcome::Due),
         Err(e) => Err(e),
+    }
+}
+
+/// Drives one replay session to completion, abandoning it early with the
+/// golden outputs when `early_exit` is set and a [`MaskProbe`] proves the
+/// flip can no longer matter (the flipped word was erased — clean
+/// overwrite or per-launch reset — without ever having been read, so the
+/// machine state is bit-identical to the fault-free run from that point
+/// on). Returns the replay result plus whether the early exit fired.
+fn drive_replay(
+    session: &mut Session<'_>,
+    golden: &GoldenRun,
+    site: FaultSite,
+    arch: &ArchConfig,
+    early_exit: bool,
+) -> (Result<Vec<u32>, SimError>, bool) {
+    if !early_exit {
+        return (session.run_to_completion(&mut NoopObserver), false);
+    }
+    let mut probe = MaskProbe::new(site, arch.num_sms as usize);
+    loop {
+        match session.step(&mut probe) {
+            Err(e) => return (Err(e), false),
+            Ok(SessionStatus::Finished) => {
+                let out = session
+                    .outputs()
+                    .expect("finished session has outputs")
+                    .to_vec();
+                return (Ok(out), false);
+            }
+            Ok(SessionStatus::Running) => {
+                if probe.provably_masked() {
+                    return (Ok(golden.outputs.clone()), true);
+                }
+            }
+        }
     }
 }
 
@@ -836,6 +922,12 @@ pub fn run_campaign_with_ladder(
 /// replay cycles saved vs from-zero, throughput and a `campaign.done`
 /// event.
 ///
+/// When `cfg.prune` is set this captures a [`LifetimeOracle`] from one
+/// extra instrumented fault-free run and delegates to
+/// [`run_campaign_with_oracle_hooked`]; callers evaluating several
+/// structures over one golden run (like [`crate::study`]) should capture
+/// the oracle once themselves and call that entry point directly.
+///
 /// # Errors
 ///
 /// Same as [`run_campaign_with_ladder`].
@@ -849,9 +941,51 @@ pub fn run_campaign_with_ladder_hooked<H: TelemetryHook>(
     ladder: &CheckpointLadder,
     hook: &H,
 ) -> Result<CampaignResult, SimError> {
+    let oracle = if cfg.prune {
+        Some(LifetimeOracle::capture(arch, workload)?)
+    } else {
+        None
+    };
+    run_campaign_with_oracle_hooked(
+        arch,
+        workload,
+        structure,
+        cfg,
+        golden,
+        ladder,
+        oracle.as_ref(),
+        hook,
+    )
+}
+
+/// [`run_campaign_with_ladder_hooked`] against a shared
+/// [`LifetimeOracle`]: sampled sites falling outside every live interval
+/// of their word are pre-classified as `Masked` without a replay (rung
+/// label `pruned`), and only the live remainder fans out to the worker
+/// pool. Pruning is exact — tallies are bit-identical to an unpruned run
+/// at any job count — because a pruned flip is erased before any read
+/// could propagate it. Passing `None` disables pruning regardless of
+/// `cfg.prune` (and arms the per-replay early-exit probe when
+/// `cfg.early_exit` is set; with an oracle the probe is redundant, since
+/// every replayed site is read before its first clean overwrite).
+///
+/// # Errors
+///
+/// Same as [`run_campaign_with_ladder`].
+#[allow(clippy::too_many_arguments)]
+pub fn run_campaign_with_oracle_hooked<H: TelemetryHook>(
+    arch: &ArchConfig,
+    workload: &dyn Workload,
+    structure: Structure,
+    cfg: CampaignConfig,
+    golden: &GoldenRun,
+    ladder: &CheckpointLadder,
+    oracle: Option<&LifetimeOracle>,
+    hook: &H,
+) -> Result<CampaignResult, SimError> {
     let started = H::ENABLED.then(Instant::now);
     let sites = sample_sites(arch, structure, golden.cycles, cfg.injections, cfg.seed);
-    let outcomes = replay_sites(arch, workload, golden, &sites, cfg, ladder, hook)?;
+    let outcomes = replay_sites(arch, workload, golden, &sites, cfg, ladder, oracle, hook)?;
     let mut tally = Tally::default();
     for o in outcomes {
         tally.add(o);
@@ -878,6 +1012,9 @@ pub fn run_campaign_with_ladder_hooked<H: TelemetryHook>(
         } else {
             0.0
         };
+        let pruned = oracle.map_or(0u64, |o| {
+            sites.iter().filter(|&&s| o.is_dead(s)).count() as u64
+        });
         hook.observe("campaign_seconds", seconds);
         hook.gauge("campaign_injections_per_second", per_second);
         hook.event(
@@ -892,6 +1029,8 @@ pub fn run_campaign_with_ladder_hooked<H: TelemetryHook>(
                 .field("avf", result.avf())
                 .field("golden_cycles", golden.cycles)
                 .field("ladder_rungs", ladder.len())
+                .field("pruned", pruned)
+                .field("early_exit", cfg.early_exit && oracle.is_none())
                 .field("seconds", seconds)
                 .field("injections_per_second", per_second),
         );
@@ -919,6 +1058,7 @@ pub fn run_injections(
         sites,
         cfg,
         &CheckpointLadder::empty(),
+        None,
         &NoopHook,
     )
 }
@@ -938,7 +1078,7 @@ pub fn run_injections_checkpointed(
     sites: &[FaultSite],
     cfg: CampaignConfig,
 ) -> Result<Vec<Outcome>, SimError> {
-    replay_sites(arch, workload, golden, sites, cfg, ladder, &NoopHook)
+    replay_sites(arch, workload, golden, sites, cfg, ladder, None, &NoopHook)
 }
 
 /// [`run_campaign`] with an explicit worker count, overriding
@@ -993,6 +1133,8 @@ mod tests {
             watchdog_factor: 10,
             checkpoint_interval: 0,
             checkpoint_budget_bytes: 0,
+            prune: true,
+            early_exit: true,
         }
     }
 
@@ -1246,6 +1388,24 @@ mod tests {
         let sites = sample_sites(&arch, Structure::VectorRegisterFile, 2, 500, 13);
         let unique: std::collections::HashSet<_> = sites.iter().copied().collect();
         assert_eq!(unique.len(), sites.len(), "sites must be distinct");
+    }
+
+    #[test]
+    fn sampling_the_whole_population_yields_a_permutation() {
+        // The Fisher–Yates index map stays O(n) even at the degenerate
+        // extreme n == population, where the draw must visit every site
+        // exactly once.
+        let mut arch = quadro_fx_5600();
+        arch.num_sms = 2;
+        arch.regfile_bytes_per_sm = 8; // two words: population = 2·2·32·2
+        let population = 2 * 2 * 32 * 2;
+        let sites = sample_sites(&arch, Structure::VectorRegisterFile, 2, population, 41);
+        assert_eq!(sites.len(), population as usize);
+        let unique: std::collections::HashSet<_> = sites.iter().copied().collect();
+        assert_eq!(unique.len(), sites.len(), "a full draw is a permutation");
+        for s in &sites {
+            assert!(s.sm < 2 && s.word < 2 && s.bit < 32 && s.cycle < 2);
+        }
     }
 
     #[test]

@@ -34,6 +34,7 @@
 //! any job count (per-worker series are labelled `worker="N"` by stripe
 //! index, not by OS thread, and are therefore deterministic too).
 
+use crate::ace::LifetimeOracle;
 use crate::campaign::{
     classify_on, classify_traced_on, CampaignConfig, CheckpointLadder, GoldenRun, Outcome,
 };
@@ -52,6 +53,8 @@ struct ReplayShared<'a, H> {
     order: &'a [usize],
     cfg: CampaignConfig,
     ladder: &'a CheckpointLadder,
+    /// Whether replays arm the clean-overwrite early-exit probe.
+    early_exit: bool,
     hook: &'a H,
 }
 
@@ -82,6 +85,7 @@ fn worker_loop<H: TelemetryHook>(
             shared.golden,
             site,
             shared.cfg.watchdog_factor,
+            shared.early_exit,
             rung.map(|(_, ck)| ck),
             hook,
         )?;
@@ -130,11 +134,27 @@ fn worker_loop<H: TelemetryHook>(
 /// workers, and returns the outcomes **in site order** — bit-identical
 /// to a sequential run at any job count.
 ///
+/// With an `oracle`, sites whose fault cycle falls outside every live
+/// interval of their word are pre-classified as `Masked` *before* the
+/// fan-out — serially, so the replayed set is a pure function of the
+/// inputs and the determinism contract is untouched. Each pruned site
+/// still produces the full per-injection telemetry (a zero-latency
+/// sample, an `outcome="masked"` count and a `rung="pruned"` hit), so
+/// hooked totals account for every sampled site at any pruning rate.
+///
+/// Without an oracle, `cfg.early_exit` arms a [`MaskProbe`]
+/// (`simt_sim::MaskProbe`) per replay that abandons the run as `Masked`
+/// at the first clean erasure of the unread flipped word. Under an
+/// oracle the probe stays off: every surviving site is read before its
+/// first clean overwrite, so the probe could never fire and would only
+/// slow the replay loop down.
+///
 /// # Errors
 ///
 /// Propagates replay failures that are not fault classifications. When
 /// several workers fail, the error of the lowest-numbered worker wins,
 /// keeping even the failure mode deterministic.
+#[allow(clippy::too_many_arguments)]
 pub(crate) fn replay_sites<H: TelemetryHook>(
     arch: &ArchConfig,
     workload: &dyn Workload,
@@ -142,10 +162,35 @@ pub(crate) fn replay_sites<H: TelemetryHook>(
     sites: &[FaultSite],
     cfg: CampaignConfig,
     ladder: &CheckpointLadder,
+    oracle: Option<&LifetimeOracle>,
     hook: &H,
 ) -> Result<Vec<Outcome>, SimError> {
-    let jobs = cfg.threads.max(1).min(sites.len().max(1));
-    let mut order: Vec<usize> = (0..sites.len()).collect();
+    // Serial pre-classification: pruned sites keep their pre-filled
+    // `Masked` slot and never reach a worker.
+    let mut outcomes = vec![Outcome::Masked; sites.len()];
+    let live: Vec<usize> = match oracle {
+        Some(oracle) => {
+            let live: Vec<usize> = (0..sites.len())
+                .filter(|&i| !oracle.is_dead(sites[i]))
+                .collect();
+            if H::ENABLED {
+                let pruned = (sites.len() - live.len()) as u64;
+                if pruned > 0 {
+                    hook.count("campaign_pruned_total", pruned);
+                    hook.count("campaign_injections_total{outcome=\"masked\"}", pruned);
+                    hook.count("campaign_rung_hits_total{rung=\"pruned\"}", pruned);
+                    hook.count("campaign_cycles_saved_total", pruned * golden.cycles);
+                    for _ in 0..pruned {
+                        hook.observe("campaign_injection_seconds", 0.0);
+                    }
+                }
+            }
+            live
+        }
+        None => (0..sites.len()).collect(),
+    };
+    let jobs = cfg.threads.max(1).min(live.len().max(1));
+    let mut order = live;
     order.sort_by_key(|&i| (sites[i].cycle, i));
     if H::ENABLED {
         hook.gauge("campaign_workers", jobs as f64);
@@ -158,9 +203,9 @@ pub(crate) fn replay_sites<H: TelemetryHook>(
         order: &order,
         cfg,
         ladder,
+        early_exit: cfg.early_exit && oracle.is_none(),
         hook,
     };
-    let mut outcomes = vec![Outcome::Masked; sites.len()];
     if jobs == 1 {
         for (i, o) in worker_loop(&shared, 0, 1)? {
             outcomes[i] = o;
@@ -290,6 +335,9 @@ pub(crate) fn replay_sites_traced<H: TelemetryHook>(
         order: &order,
         cfg,
         ladder,
+        // The flight recorder wants the full propagation timeline, so a
+        // traced replay never abandons the run early.
+        early_exit: false,
         hook,
     };
     let mut outcomes = vec![Outcome::Masked; sites.len()];
@@ -366,7 +414,7 @@ mod tests {
             c.seed,
         );
         let ladder = CheckpointLadder::build(&arch, &w, &golden, &c).unwrap();
-        replay_sites(&arch, &w, &golden, &sites, c, &ladder, &NoopHook).unwrap()
+        replay_sites(&arch, &w, &golden, &sites, c, &ladder, None, &NoopHook).unwrap()
     }
 
     #[test]
@@ -392,7 +440,7 @@ mod tests {
             c.seed,
         );
         let ladder = CheckpointLadder::build(&arch, &w, &golden, &c).unwrap();
-        let out = replay_sites(&arch, &w, &golden, &sites, c, &ladder, &NoopHook).unwrap();
+        let out = replay_sites(&arch, &w, &golden, &sites, c, &ladder, None, &NoopHook).unwrap();
         assert_eq!(out.len(), 6);
     }
 
@@ -412,7 +460,7 @@ mod tests {
         let ladder = CheckpointLadder::build(&arch, &w, &golden, &c).unwrap();
         let reg = MetricsRegistry::new();
         let hook = RegistryHook::new(&reg);
-        replay_sites(&arch, &w, &golden, &sites, c, &ladder, &hook).unwrap();
+        replay_sites(&arch, &w, &golden, &sites, c, &ladder, None, &hook).unwrap();
         let snap = reg.snapshot();
         assert_eq!(snap.gauge("campaign_workers"), Some(3.0));
         let per_worker: u64 = snap

@@ -1,8 +1,8 @@
 //! The full cross-GPU study: evaluates every (device, workload) pair and
 //! assembles the series behind the paper's three figures.
 
-use crate::ace::{AceAnalyzer, AceMode};
-use crate::campaign::{run_campaign_with_ladder_hooked, CampaignConfig, CheckpointLadder, Tally};
+use crate::ace::{AceAnalyzer, AceMode, LifetimeOracle};
+use crate::campaign::{run_campaign_with_oracle_hooked, CampaignConfig, CheckpointLadder, Tally};
 use crate::epf::{eit, epf, FitBreakdown};
 use crate::stats::pearson;
 use gpu_workloads::Workload;
@@ -158,7 +158,15 @@ pub fn evaluate_point_hooked<H: TelemetryHook>(
     let golden_started = H::ENABLED.then(Instant::now);
     let mut gpu = simt_sim::Gpu::new(arch.clone());
     let mut ace = AceAnalyzer::with_mode(arch, cfg.ace_mode);
-    let outputs = workload.run(&mut gpu, &mut ace)?;
+    // With pruning on, the lifetime oracle rides along on the same golden
+    // run — one instrumented pass serves the ACE report and every
+    // structure's campaign pruning for this point.
+    let mut oracle = cfg.campaign.prune.then(|| LifetimeOracle::new(arch));
+    let outputs = match oracle.as_mut() {
+        Some(oracle) => workload.run(&mut gpu, &mut (&mut ace, &mut *oracle))?,
+        None => workload.run(&mut gpu, &mut ace)?,
+    };
+    let oracle = oracle;
     let golden = crate::campaign::GoldenRun {
         outputs,
         cycles: gpu.app_cycle(),
@@ -197,13 +205,14 @@ pub fn evaluate_point_hooked<H: TelemetryHook>(
             hook,
         )
         .map(|(result, _, _)| result),
-        None => run_campaign_with_ladder_hooked(
+        None => run_campaign_with_oracle_hooked(
             arch,
             workload,
             structure,
             cfg.campaign,
             &golden,
             &ladder,
+            oracle.as_ref(),
             hook,
         ),
     };

@@ -74,4 +74,4 @@ pub use gpu::{Buffer, Gpu, LaunchProgress};
 pub use launch::{Dim, LaunchConfig, LaunchStats};
 pub use observer::{BlockRegions, CountingObserver, NoopObserver, SimObserver};
 pub use session::{Checkpoint, LaunchPlan, PlanStep, Session, SessionStatus, SessionTelemetry};
-pub use trace::{GlobalWrite, GlobalWriteLog, TraceObserver, TraceRecord, TAINT_CAP};
+pub use trace::{GlobalWrite, GlobalWriteLog, MaskProbe, TraceObserver, TraceRecord, TAINT_CAP};

@@ -150,6 +150,70 @@ impl<T: SimObserver + ?Sized> SimObserver for &mut T {
     }
 }
 
+/// A pair of observers driven by one event stream: every event is
+/// forwarded to `.0` first, then `.1`. Lets two analyses (e.g. ACE
+/// lifetime tracking and the campaign pruning oracle) ride a single
+/// golden run instead of paying for one instrumented pass each.
+///
+/// # Example
+/// ```
+/// use simt_sim::{CountingObserver, SimObserver};
+/// let mut pair = (CountingObserver::default(), CountingObserver::default());
+/// pair.on_rf_write(0, 1, 2);
+/// assert_eq!(pair.0.rf_writes, 1);
+/// assert_eq!(pair.1.rf_writes, 1);
+/// ```
+impl<A: SimObserver, B: SimObserver> SimObserver for (A, B) {
+    fn on_rf_write(&mut self, sm: u32, word: u32, cycle: u64) {
+        self.0.on_rf_write(sm, word, cycle);
+        self.1.on_rf_write(sm, word, cycle);
+    }
+    fn on_rf_read(&mut self, sm: u32, word: u32, cycle: u64) {
+        self.0.on_rf_read(sm, word, cycle);
+        self.1.on_rf_read(sm, word, cycle);
+    }
+    fn on_srf_write(&mut self, sm: u32, word: u32, cycle: u64) {
+        self.0.on_srf_write(sm, word, cycle);
+        self.1.on_srf_write(sm, word, cycle);
+    }
+    fn on_srf_read(&mut self, sm: u32, word: u32, cycle: u64) {
+        self.0.on_srf_read(sm, word, cycle);
+        self.1.on_srf_read(sm, word, cycle);
+    }
+    fn on_lds_write(&mut self, sm: u32, word: u32, cycle: u64) {
+        self.0.on_lds_write(sm, word, cycle);
+        self.1.on_lds_write(sm, word, cycle);
+    }
+    fn on_lds_read(&mut self, sm: u32, word: u32, cycle: u64) {
+        self.0.on_lds_read(sm, word, cycle);
+        self.1.on_lds_read(sm, word, cycle);
+    }
+    fn on_block_dispatch(&mut self, sm: u32, regions: BlockRegions, cycle: u64) {
+        self.0.on_block_dispatch(sm, regions, cycle);
+        self.1.on_block_dispatch(sm, regions, cycle);
+    }
+    fn on_block_retire(&mut self, sm: u32, regions: BlockRegions, cycle: u64) {
+        self.0.on_block_retire(sm, regions, cycle);
+        self.1.on_block_retire(sm, regions, cycle);
+    }
+    fn on_launch_begin(&mut self, name: &str, cycle: u64) {
+        self.0.on_launch_begin(name, cycle);
+        self.1.on_launch_begin(name, cycle);
+    }
+    fn on_launch_end(&mut self, cycle: u64) {
+        self.0.on_launch_end(cycle);
+        self.1.on_launch_end(cycle);
+    }
+    fn on_global_write(&mut self, sm: u32, addr: u32, value: u32, cycle: u64) {
+        self.0.on_global_write(sm, addr, value, cycle);
+        self.1.on_global_write(sm, addr, value, cycle);
+    }
+    fn on_fault_injected(&mut self, site: FaultSite) {
+        self.0.on_fault_injected(site);
+        self.1.on_fault_injected(site);
+    }
+}
+
 /// The do-nothing observer used by fault-injection campaign runs.
 ///
 /// # Example

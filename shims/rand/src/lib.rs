@@ -102,6 +102,18 @@ macro_rules! impl_sample_range {
 }
 impl_sample_range!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
 
+// u128 spans do not fit the macro's i128 arithmetic, so the half-open
+// range gets a dedicated impl built from two 64-bit draws. That is the
+// only u128 shape the workspace samples (site indices in `sample_sites`).
+impl SampleRange<u128> for Range<u128> {
+    fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> u128 {
+        assert!(self.start < self.end, "cannot sample empty range");
+        let span = self.end - self.start;
+        let raw = ((rng.next_u64() as u128) << 64) | rng.next_u64() as u128;
+        self.start + raw % span
+    }
+}
+
 /// High-level sampling interface, mirroring the parts of `rand::Rng` the
 /// workspace uses.
 pub trait Rng: RngCore {
@@ -181,6 +193,21 @@ mod tests {
             assert!((-16..16).contains(&n));
             let m: u32 = r.gen_range(4_000_000_000..);
             assert!(m >= 4_000_000_000);
+        }
+    }
+
+    #[test]
+    fn u128_ranges_are_contained_and_deterministic() {
+        let mut a = StdRng::seed_from_u64(3);
+        let mut b = StdRng::seed_from_u64(3);
+        let wide = 1u128 << 90;
+        for _ in 0..1000 {
+            let lo = 5u128;
+            let x = a.gen_range(lo..wide);
+            assert!((lo..wide).contains(&x));
+            assert_eq!(x, b.gen_range(lo..wide));
+            assert_eq!(a.gen_range(9u128..10), 9);
+            assert_eq!(b.gen_range(9u128..10), 9);
         }
     }
 

@@ -68,17 +68,25 @@ fn campaign_with_live_hooks_is_bit_identical_at_jobs_1_2_8() {
         assert_identical(&plain, &hooked);
 
         // The live hooks shard per worker; the harvest still accounts
-        // for every injection, and the worker gauge reflects the pool.
+        // for every injection: oracle-pruned sites are tallied serially
+        // before the fan-out, and the workers replay exactly the
+        // unpruned remainder (the worker gauge reflects that pool).
         let snap = registry.snapshot();
         assert_eq!(outcome_counter_sum(&snap), 24);
+        let pruned: u64 = snap
+            .counters()
+            .filter(|(name, _)| name.starts_with("campaign_pruned_total"))
+            .map(|(_, v)| v)
+            .sum();
+        let replayed = 24 - pruned;
         let workers = snap.gauge("campaign_workers").unwrap() as usize;
-        assert_eq!(workers, jobs.min(24));
+        assert_eq!(workers, jobs.min((replayed as usize).max(1)));
         let per_worker: u64 = snap
             .counters()
             .filter(|(name, _)| name.starts_with("campaign_worker_injections_total{worker="))
             .map(|(_, v)| v)
             .sum();
-        assert_eq!(per_worker, 24);
+        assert_eq!(per_worker, replayed, "workers replay the unpruned sites");
     }
 }
 

@@ -24,10 +24,11 @@ proptest! {
         }
     }
 
-    /// Site sampling is rejection-based and seeded: the same seed always
-    /// reproduces the same list, and the list never contains the same
-    /// `(sm, word, bit, cycle)` site twice — each drawn fault is a
-    /// distinct member of the population, as the Leveugle margin assumes.
+    /// Site sampling is a seeded partial Fisher–Yates shuffle over the
+    /// flat site index space: the same seed always reproduces the same
+    /// list, and the list never contains the same `(sm, word, bit,
+    /// cycle)` site twice — each drawn fault is a distinct member of the
+    /// population, as the Leveugle margin assumes.
     #[test]
     fn sampling_is_deterministic_and_without_replacement(
         seed in any::<u64>(),
