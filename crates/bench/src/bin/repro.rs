@@ -20,9 +20,11 @@
 //!   --no-checkpoints    disable checkpointed replay (from-zero replays)
 //!   --no-prune          disable lifetime-oracle pruning and the clean-
 //!                       overwrite early-exit (full replays; identical tallies)
+//!   --fault-model M     transient (default) | stuck0 | stuck1 | control —
+//!                       which fault family the campaigns inject
 //!   --provenance        record fault-propagation provenance per injection
 //!                       (injection.trace events + provenance_* metrics)
-//!   --site SPEC         fault site for `trace` (sm:struct:word:bit:cycle)
+//!   --site SPEC         fault site for `trace` (sm:struct:word:bit:cycle[:kind])
 //!   --metrics PATH      write telemetry (events + final metrics) as JSONL
 //!   --progress          live progress line on stderr (done/total, inj/s, ETA)
 //!   --quiet, -q         suppress status lines on stderr (errors still print)
@@ -52,7 +54,7 @@ use grel_telemetry::{
     Event, EventSink, JsonlSink, LogLevel, Logger, MetricsRegistry, NullSink, ProgressHook,
     RegistryHook,
 };
-use simt_sim::{ArchConfig, Gpu, SchedulerPolicy, Structure};
+use simt_sim::{ArchConfig, FaultKind, FaultModelKind, Gpu, SchedulerPolicy, Structure};
 use std::path::Path;
 use std::process::ExitCode;
 use std::sync::Arc;
@@ -77,6 +79,7 @@ struct Args {
     report_path: Option<String>,
     provenance: bool,
     site: Option<String>,
+    fault_model: FaultModelKind,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -102,6 +105,7 @@ fn parse_args() -> Result<Args, String> {
         report_path: None,
         provenance: false,
         site: None,
+        fault_model: FaultModelKind::Transient,
     };
     let mut it = std::env::args().skip(1);
     while let Some(a) = it.next() {
@@ -146,6 +150,13 @@ fn parse_args() -> Result<Args, String> {
             }
             "--no-checkpoints" => args.no_checkpoints = true,
             "--no-prune" => args.no_prune = true,
+            "--fault-model" => {
+                args.fault_model = it
+                    .next()
+                    .ok_or("--fault-model needs a value")?
+                    .parse()
+                    .map_err(|e| format!("bad --fault-model: {e}"))?;
+            }
             "--provenance" => args.provenance = true,
             "--site" => args.site = Some(it.next().ok_or("--site needs a value")?),
             "--metrics" => args.metrics = Some(it.next().ok_or("--metrics needs a value")?),
@@ -177,10 +188,10 @@ usage: repro [COMMAND] [--injections N] [--paper] [--seed S] [--jobs N]
              [--smoke] [--device NAME] [--workload NAME]
              [--csv PATH] [--json PATH] [--experiments PATH]
              [--checkpoint-interval N] [--no-checkpoints] [--no-prune]
-             [--provenance]
+             [--fault-model transient|stuck0|stuck1|control] [--provenance]
              [--metrics PATH] [--progress] [--quiet] [-v]
        repro report <metrics.jsonl>
-       repro trace --site sm:struct:word:bit:cycle [--device D] [--workload W]
+       repro trace --site sm:struct:word:bit:cycle[:kind] [--device D] [--workload W]
 
 commands:
   fig1          register-file AVF: FI vs ACE vs occupancy  (paper Fig. 1)
@@ -201,14 +212,28 @@ commands:
   bench-campaign  measure checkpointed-replay speedup and --jobs scaling
   report        render a markdown run report from a --metrics JSONL file
   trace         explain one injection: flip -> first read/overwrite ->
-                divergence or masking reason (--site sm:struct:word:bit:cycle,
-                struct one of rf|lds|srf; one device + workload selected
-                with --device/--workload, first match wins)
+                divergence, masking reason or failure cause
+                (--site sm:struct:word:bit:cycle[:kind], struct one of
+                rf|lds|srf, kind one of transient|stuck0|stuck1|
+                ctrl-<sched|mask|sboard|barrier>; one device + workload
+                selected with --device/--workload, first match wins)
 
 parallelism:
   --jobs N (-j N, alias --threads) sets the replay worker-thread count.
   The runner's determinism contract guarantees bit-identical campaign
   and study results at any job count: only wall-clock time changes.
+
+fault models:
+  --fault-model selects the injected fault family. `transient` (default)
+  is the paper's single-bit flip. `stuck0`/`stuck1` are permanent cell
+  faults that re-assert on every write of the target word. `control`
+  corrupts parallelism-management state (scheduler slot, per-warp active
+  mask, scoreboard entry, block barrier counter) instead of a storage
+  array; a replay that stops making progress is cut off by a watchdog and
+  classified as a hang (reported separately from DUE). Lifetime pruning
+  and the clean-overwrite early exit apply only to the transient model —
+  they are unsound for persistent and control faults and are bypassed
+  automatically.
 
 pruning:
   Campaigns pre-classify sampled sites against a lifetime oracle captured
@@ -332,6 +357,7 @@ fn main() -> ExitCode {
             checkpoint_budget_bytes: if args.no_checkpoints { 1 } else { 0 },
             prune: !args.no_prune,
             early_exit: !args.no_prune,
+            fault_model: args.fault_model,
         },
         workload_seed: args.seed,
         fi_on_unused_lds: false,
@@ -378,6 +404,7 @@ fn main() -> ExitCode {
             &Event::new("run.meta")
                 .field("command", args.command.as_str())
                 .field("injections", args.injections as u64)
+                .field("fault_model", args.fault_model.as_str())
                 .field("seed", args.seed)
                 .field("threads", args.threads as u64)
                 .field("jobs", args.threads as u64)
@@ -470,22 +497,35 @@ fn main() -> ExitCode {
         "fig3" => print!("{}", render_epf_figure(&study.fig3_rows())),
         "findings" => print!("{}", render_findings(&study.findings())),
         "outcomes" => {
+            println!("fault model: {}", args.fault_model.as_str());
             println!(
-                "{:<12} {:<16} {:>9} | {:>7} {:>7} {:>7} | {:>7} {:>7} {:>7}",
-                "workload", "device", "struct", "masked", "SDC", "DUE", "masked", "SDC", "DUE"
+                "{:<12} {:<16} {:>9} | {:>7} {:>7} {:>7} {:>7} | {:>7} {:>7} {:>7} {:>7}",
+                "workload",
+                "device",
+                "struct",
+                "masked",
+                "SDC",
+                "DUE",
+                "hang",
+                "masked",
+                "SDC",
+                "DUE",
+                "hang"
             );
             for p in &study.points {
                 println!(
-                    "{:<12} {:<16} {:>9} | {:>7} {:>7} {:>7} | {:>7} {:>7} {:>7}",
+                    "{:<12} {:<16} {:>9} | {:>7} {:>7} {:>7} {:>7} | {:>7} {:>7} {:>7} {:>7}",
                     p.workload,
                     p.device,
                     "RF | LDS",
                     p.rf.tally.masked,
                     p.rf.tally.sdc,
                     p.rf.tally.due,
+                    p.rf.tally.hang,
                     p.lds.tally.masked,
                     p.lds.tally.sdc,
-                    p.lds.tally.due
+                    p.lds.tally.due,
+                    p.lds.tally.hang
                 );
             }
         }
@@ -507,9 +547,10 @@ fn main() -> ExitCode {
     }
 
     let config_desc = format!(
-        "{} injections/structure (+/-{:.2}% @ 99% confidence), seed {}, {} scale, devices: {}",
+        "{} injections/structure (+/-{:.2}% @ 99% confidence), {} fault model, seed {}, {} scale, devices: {}",
         args.injections,
         margin * 100.0,
+        args.fault_model.as_str(),
         args.seed,
         if args.scale == Scale::Smoke {
             "smoke"
@@ -560,7 +601,7 @@ fn trace_site(
     log: &Logger,
 ) -> ExitCode {
     let Some(spec) = &args.site else {
-        log.error("trace needs --site sm:struct:word:bit:cycle (struct: rf, lds or srf)");
+        log.error("trace needs --site sm:struct:word:bit:cycle[:kind] (struct: rf, lds or srf)");
         return ExitCode::FAILURE;
     };
     let site = match grel_core::provenance::parse_site(spec) {
@@ -572,21 +613,32 @@ fn trace_site(
     };
     let arch = &archs[0];
     let workload = workloads[0].as_ref();
-    let words = match site.structure {
-        Structure::VectorRegisterFile => arch.rf_words_per_sm(),
-        Structure::LocalMemory => arch.lds_words_per_sm(),
-        Structure::ScalarRegisterFile => arch.srf_words_per_sm(),
-    };
-    if words == 0 {
-        log.error(&format!("{} has no {}", arch.name, site.structure));
-        return ExitCode::FAILURE;
-    }
-    if site.word >= words {
-        log.error(&format!(
-            "word {} out of range: {} has {} {} words per SM",
-            site.word, arch.name, words, site.structure
-        ));
-        return ExitCode::FAILURE;
+    if matches!(site.kind, FaultKind::Control(_)) {
+        // Control sites index a warp-scheduler slot, not a storage word.
+        if site.word >= arch.max_warps_per_sm {
+            log.error(&format!(
+                "warp slot {} out of range: {} has {} warp slots per SM",
+                site.word, arch.name, arch.max_warps_per_sm
+            ));
+            return ExitCode::FAILURE;
+        }
+    } else {
+        let words = match site.structure {
+            Structure::VectorRegisterFile => arch.rf_words_per_sm(),
+            Structure::LocalMemory => arch.lds_words_per_sm(),
+            Structure::ScalarRegisterFile => arch.srf_words_per_sm(),
+        };
+        if words == 0 {
+            log.error(&format!("{} has no {}", arch.name, site.structure));
+            return ExitCode::FAILURE;
+        }
+        if site.word >= words {
+            log.error(&format!(
+                "word {} out of range: {} has {} {} words per SM",
+                site.word, arch.name, words, site.structure
+            ));
+            return ExitCode::FAILURE;
+        }
     }
     log.info(&format!(
         "tracing {} on {} / {}",
@@ -874,6 +926,7 @@ fn bench_campaign(
             masked: outcomes.iter().filter(|o| **o == Outcome::Masked).count() as u64,
             sdc: outcomes.iter().filter(|o| **o == Outcome::Sdc).count() as u64,
             due: outcomes.iter().filter(|o| **o == Outcome::Due).count() as u64,
+            hang: outcomes.iter().filter(|o| **o == Outcome::Hang).count() as u64,
         }
     }
     println!(

@@ -378,6 +378,7 @@ mod tests {
                 masked: 80,
                 sdc: 15,
                 due: 5,
+                hang: 0,
             },
         };
         EvalPoint {

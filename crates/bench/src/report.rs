@@ -6,12 +6,14 @@
 //! while the study runs, followed by the final `counter` / `gauge` /
 //! `histogram` values of the metrics registry. [`render_run_report`]
 //! digests that file into a human-readable markdown report: run
-//! metadata, outcome tallies, throughput, lifetime-oracle pruning,
-//! checkpoint-replay savings, fault-propagation provenance (when the
-//! run used `--provenance`) and the top time sinks.
+//! metadata, outcome tallies, the fault-model breakdown (injections per
+//! fault kind, watchdog hangs, root-cause attribution), throughput,
+//! lifetime-oracle pruning, checkpoint-replay savings,
+//! fault-propagation provenance (when the run used `--provenance`) and
+//! the top time sinks.
 
 use grel_core::campaign::Outcome;
-use grel_core::provenance::MaskingReason;
+use grel_core::provenance::{FailureCause, MaskingReason};
 use grel_telemetry::Json;
 use std::collections::BTreeMap;
 use std::fmt::{self, Write};
@@ -31,6 +33,18 @@ const KNOWN_EVENTS: [&str; 10] = [
     "counter",
     "gauge",
     "histogram",
+];
+
+/// Reporting order of fault-kind labels: the transient baseline first,
+/// then the permanent stuck-at family, then the control-unit targets.
+const KIND_ORDER: [&str; 7] = [
+    "transient",
+    "stuck0",
+    "stuck1",
+    "ctrl-sched",
+    "ctrl-mask",
+    "ctrl-sboard",
+    "ctrl-barrier",
 ];
 
 /// Everything the report needs, pulled out of the JSONL lines.
@@ -317,27 +331,83 @@ fn render_body(data: &RunData, w: &mut impl Write) -> fmt::Result {
         writeln!(w)?;
         writeln!(
             w,
-            "| workload | device | structure | masked | SDC | DUE | AVF | inj/s |"
+            "| workload | device | structure | model | masked | SDC | DUE | hang | AVF | inj/s |"
         )?;
-        writeln!(w, "|---|---|---|---:|---:|---:|---:|---:|")?;
+        writeln!(w, "|---|---|---|---|---:|---:|---:|---:|---:|---:|")?;
         for c in &data.campaigns {
             let s = |k: &str| c.get(k).and_then(Json::as_str).unwrap_or("?").to_string();
             let u = |k: &str| c.get(k).and_then(Json::as_u64).unwrap_or(0);
             let f = |k: &str| c.get(k).and_then(Json::as_f64).unwrap_or(0.0);
             writeln!(
                 w,
-                "| {} | {} | {} | {} | {} | {} | {:.1}% | {:.0} |",
+                "| {} | {} | {} | {} | {} | {} | {} | {} | {:.1}% | {:.0} |",
                 s("workload"),
                 s("device"),
                 s("structure"),
+                c.get("fault_kind")
+                    .and_then(Json::as_str)
+                    .unwrap_or("transient"),
                 u(Outcome::Masked.as_str()),
                 u(Outcome::Sdc.as_str()),
                 u(Outcome::Due.as_str()),
+                u(Outcome::Hang.as_str()),
                 f("avf") * 100.0,
                 f("injections_per_second"),
             )?;
         }
         writeln!(w)?;
+    }
+
+    // -- Fault model ---------------------------------------------------
+    let mut kinds = counter_labels(data, "campaign_injections_by_kind_total");
+    let hangs = counter_sum(data, "campaign_hang_total");
+    let mut causes = counter_labels(data, "provenance_cause_total");
+    if !kinds.is_empty() || hangs > 0 || !causes.is_empty() {
+        writeln!(w, "## Fault model")?;
+        writeln!(w)?;
+        if !kinds.is_empty() {
+            kinds.sort_by_key(|(label, _)| {
+                KIND_ORDER
+                    .iter()
+                    .position(|k| k == label)
+                    .unwrap_or(usize::MAX)
+            });
+            let kind_total: u64 = kinds.iter().map(|(_, n)| *n).sum();
+            writeln!(w, "| fault kind | injections | share |")?;
+            writeln!(w, "|---|---:|---:|")?;
+            for (label, n) in &kinds {
+                writeln!(
+                    w,
+                    "| {label} | {n} | {:.1}% |",
+                    *n as f64 / kind_total.max(1) as f64 * 100.0
+                )?;
+            }
+            writeln!(w)?;
+        }
+        if hangs > 0 {
+            writeln!(
+                w,
+                "- {} run(s) never terminated and were cut off by the \
+                 watchdog (classified `hang`, counted as failures \
+                 alongside SDC and DUE)",
+                fmt_count(hangs)
+            )?;
+            writeln!(w)?;
+        }
+        if !causes.is_empty() {
+            causes.sort_by_key(|(label, _)| {
+                FailureCause::LABELS
+                    .iter()
+                    .position(|c| c == label)
+                    .unwrap_or(usize::MAX)
+            });
+            writeln!(w, "| root cause | failures |")?;
+            writeln!(w, "|---|---:|")?;
+            for (label, n) in &causes {
+                writeln!(w, "| {label} | {n} |")?;
+            }
+            writeln!(w)?;
+        }
     }
 
     // -- Throughput ----------------------------------------------------
@@ -685,6 +755,47 @@ mod tests {
         assert!(
             !md.contains("## Oracle pruning"),
             "no pruning counters, no Oracle pruning section:\n{md}"
+        );
+        assert!(
+            !md.contains("## Fault model"),
+            "pre-taxonomy files carry no kind counters, so no Fault model section:\n{md}"
+        );
+    }
+
+    #[test]
+    fn renders_fault_model_section() {
+        let jsonl = [
+            sample().as_str(),
+            r#"{"event":"campaign.done","t_ms":9,"workload":"reduction","device":"GTX 480","structure":"RF","fault_kind":"stuck0","injections":8,"masked":4,"sdc":1,"due":1,"hang":2,"avf":0.5,"golden_cycles":900,"ladder_rungs":3,"seconds":0.4,"injections_per_second":20.0}"#,
+            r#"{"event":"counter","name":"campaign_injections_by_kind_total{kind=\"stuck0\"}","value":8}"#,
+            r#"{"event":"counter","name":"campaign_injections_by_kind_total{kind=\"transient\"}","value":12}"#,
+            r#"{"event":"counter","name":"campaign_injections_by_kind_total{kind=\"ctrl-barrier\"}","value":4}"#,
+            r#"{"event":"counter","name":"campaign_hang_total","value":2}"#,
+            r#"{"event":"counter","name":"provenance_cause_total{cause=\"deadlock\"}","value":2}"#,
+            r#"{"event":"counter","name":"provenance_cause_total{cause=\"stuck-reassert\"}","value":1}"#,
+        ]
+        .join("\n");
+        let md = render_run_report(&jsonl).unwrap();
+        assert!(md.contains("## Fault model"), "{md}");
+        // Kinds keep taxonomy order, not alphabetical order.
+        let transient = md.find("| transient | 12 | 50.0% |").unwrap();
+        let stuck0 = md.find("| stuck0 | 8 | 33.3% |").unwrap();
+        let barrier = md.find("| ctrl-barrier | 4 | 16.7% |").unwrap();
+        assert!(transient < stuck0 && stuck0 < barrier, "{md}");
+        assert!(md.contains("2 run(s) never terminated"), "{md}");
+        // Causes keep FailureCause::LABELS order: stuck-reassert first.
+        let reassert = md.find("| stuck-reassert | 1 |").unwrap();
+        let deadlock = md.find("| deadlock | 2 |").unwrap();
+        assert!(reassert < deadlock, "{md}");
+        // The stuck0 campaign row carries its fault kind and hang count.
+        assert!(
+            md.contains("| reduction | GTX 480 | RF | stuck0 | 4 | 1 | 1 | 2 | 50.0% | 20 |"),
+            "{md}"
+        );
+        // Pre-taxonomy campaign.done lines default to transient, hang 0.
+        assert!(
+            md.contains("| vectoradd | GTX 480 | RF | transient | 9 | 2 | 1 | 0 | 25.0% | 24 |"),
+            "{md}"
         );
     }
 

@@ -523,7 +523,18 @@ impl LifetimeOracle {
 
     /// Whether a flip at `site` provably never reaches a read — i.e. the
     /// replay would be bit-identical to the golden run (`Masked`).
+    ///
+    /// Only [transient](FaultSite::is_transient) sites can ever be dead:
+    /// the argument relies on the corruption dying with the overwrite
+    /// that closes a live window, but a stuck-at cell is *re-asserted*
+    /// by that overwrite and a control fault never lives in a storage
+    /// word at all. For any other kind this returns `false`
+    /// unconditionally, so campaign pruning stays sound across fault
+    /// models even with a caller-supplied oracle.
     pub fn is_dead(&self, site: FaultSite) -> bool {
+        if !site.is_transient() {
+            return false;
+        }
         // Same physical mapping the injector uses.
         let sm = site.sm % self.num_sms.max(1);
         self.tracker(site.structure)
@@ -767,12 +778,32 @@ mod tests {
     }
 
     fn rf_site(word: u32, cycle: u64) -> FaultSite {
-        FaultSite {
-            structure: Structure::VectorRegisterFile,
-            sm: 0,
-            word,
-            bit: 0,
-            cycle,
+        FaultSite::new(Structure::VectorRegisterFile, 0, word, 0, cycle)
+    }
+
+    #[test]
+    fn oracle_never_prunes_non_transient_sites() {
+        use simt_sim::{ControlTarget, FaultKind};
+        let mut o = LifetimeOracle::new(&ArchConfig::small_test_gpu());
+        o.on_launch_begin("k", 0);
+        o.on_rf_write(0, 5, 10);
+        o.on_rf_read(0, 5, 20);
+        o.on_launch_end(100);
+        // Cycle 60 is outside the live window: dead for a flip…
+        let dead_flip = rf_site(5, 60);
+        assert!(o.is_dead(dead_flip));
+        // …but a stuck-at fault there outlives every overwrite, and a
+        // control fault has no storage word to be dead in.
+        for kind in [
+            FaultKind::StuckAt0,
+            FaultKind::StuckAt1,
+            FaultKind::Control(ControlTarget::SchedulerSlot),
+            FaultKind::Control(ControlTarget::BarrierCounter),
+        ] {
+            assert!(
+                !o.is_dead(dead_flip.with_kind(kind)),
+                "{kind} sites must never be pruned"
+            );
         }
     }
 

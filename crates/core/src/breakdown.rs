@@ -4,14 +4,14 @@
 //! for follow-up work.
 
 use crate::campaign::{
-    golden_run, run_injections_checkpointed, sample_sites, CampaignConfig, CheckpointLadder,
+    golden_run, run_injections_checkpointed, sample_model_sites, CampaignConfig, CheckpointLadder,
     Outcome,
 };
 use gpu_workloads::Workload;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use serde::{Deserialize, Serialize};
-use simt_sim::{ArchConfig, FaultSite, Gpu, NoopObserver, SimError, Structure};
+use simt_sim::{ArchConfig, Due, FaultSite, Gpu, NoopObserver, SimError, Structure};
 
 /// One injection with its classified outcome.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
@@ -51,7 +51,14 @@ pub fn detailed_campaign(
     cfg: CampaignConfig,
 ) -> Result<Vec<SiteOutcome>, SimError> {
     let golden = golden_run(arch, workload)?;
-    let sites = sample_sites(arch, structure, golden.cycles, cfg.injections, cfg.seed);
+    let sites = sample_model_sites(
+        arch,
+        structure,
+        cfg.fault_model,
+        golden.cycles,
+        cfg.injections,
+        cfg.seed,
+    );
     let ladder = CheckpointLadder::build(arch, workload, &golden, &cfg)?;
     let outcomes = run_injections_checkpointed(arch, workload, &golden, &ladder, &sites, cfg)?;
     Ok(sites
@@ -171,13 +178,7 @@ pub fn mbu_campaign(
         let first_bit = rng.gen_range(0..=(32 - width as u32)) as u8;
         let cycle = rng.gen_range(0..golden.cycles);
         let sites: Vec<FaultSite> = (0..width)
-            .map(|i| FaultSite {
-                structure,
-                sm,
-                word,
-                bit: first_bit + i,
-                cycle,
-            })
+            .map(|i| FaultSite::new(structure, sm, word, first_bit + i, cycle))
             .collect();
         let mut gpu = Gpu::new(arch.clone());
         gpu.set_watchdog(golden.cycles * cfg.watchdog_factor + 10_000);
@@ -185,6 +186,7 @@ pub fn mbu_campaign(
         let outcome = match workload.run(&mut gpu, &mut NoopObserver) {
             Ok(out) if out == golden.outputs => Outcome::Masked,
             Ok(_) => Outcome::Sdc,
+            Err(SimError::Due(Due::WatchdogTimeout { .. })) => Outcome::Hang,
             Err(SimError::Due(_)) => Outcome::Due,
             Err(e) => return Err(e),
         };
@@ -192,6 +194,7 @@ pub fn mbu_campaign(
             Outcome::Masked => tally.masked += 1,
             Outcome::Sdc => tally.sdc += 1,
             Outcome::Due => tally.due += 1,
+            Outcome::Hang => tally.hang += 1,
         }
     }
     Ok(tally)
@@ -214,13 +217,7 @@ mod tests {
 
     fn fake_detail() -> Vec<SiteOutcome> {
         let site = |bit, cycle, outcome| SiteOutcome {
-            site: FaultSite {
-                structure: Structure::VectorRegisterFile,
-                sm: 0,
-                word: 0,
-                bit,
-                cycle,
-            },
+            site: FaultSite::new(Structure::VectorRegisterFile, 0, 0, bit, cycle),
             outcome,
         };
         vec![

@@ -36,8 +36,9 @@ use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use serde::{Deserialize, Serialize};
 use simt_sim::{
-    ArchConfig, Checkpoint, FaultSite, GlobalWrite, Gpu, MaskProbe, NoopObserver, Session,
-    SessionStatus, SimError, Structure, TraceObserver, TraceRecord,
+    ArchConfig, Checkpoint, ControlTarget, Due, FaultKind, FaultModelKind, FaultSite, GlobalWrite,
+    Gpu, MaskProbe, NoopObserver, Session, SessionStatus, SimError, Structure, TraceObserver,
+    TraceRecord,
 };
 use std::fmt;
 use std::time::Instant;
@@ -49,13 +50,21 @@ pub enum Outcome {
     Masked,
     /// Silent data corruption: the run completed with a wrong output.
     Sdc,
-    /// Detected unrecoverable error: crash or hang.
+    /// Detected unrecoverable error: bad access, divergent barrier or
+    /// another crash the device itself reports.
     Due,
+    /// The replay never terminated: the watchdog cycle bound expired
+    /// with the launch still in flight (parked warps, barrier deadlock,
+    /// scheduler corruption). Kept distinct from [`Outcome::Due`] —
+    /// hangs are detected by the *harness*, not the device, and the
+    /// stuck-at/control fault models produce them at very different
+    /// rates than crashes.
+    Hang,
 }
 
 impl Outcome {
-    /// All outcomes, in tally order (`masked`, `sdc`, `due`).
-    pub const ALL: [Outcome; 3] = [Outcome::Masked, Outcome::Sdc, Outcome::Due];
+    /// All outcomes, in tally order (`masked`, `sdc`, `due`, `hang`).
+    pub const ALL: [Outcome; 4] = [Outcome::Masked, Outcome::Sdc, Outcome::Due, Outcome::Hang];
 
     /// The canonical lower-case label used in telemetry, JSON and CSV
     /// output. Round-trips through the [`std::str::FromStr`] impl.
@@ -72,6 +81,7 @@ impl Outcome {
             Outcome::Masked => "masked",
             Outcome::Sdc => "sdc",
             Outcome::Due => "due",
+            Outcome::Hang => "hang",
         }
     }
 }
@@ -89,7 +99,7 @@ impl std::str::FromStr for Outcome {
         Outcome::ALL
             .into_iter()
             .find(|o| o.as_str() == s)
-            .ok_or_else(|| format!("unknown outcome {s:?} (expected masked, sdc or due)"))
+            .ok_or_else(|| format!("unknown outcome {s:?} (expected masked, sdc, due or hang)"))
     }
 }
 
@@ -100,19 +110,23 @@ pub struct Tally {
     pub masked: u64,
     /// Runs with corrupted output.
     pub sdc: u64,
-    /// Crashed or hung runs.
+    /// Crashed runs (device-detected errors).
     pub due: u64,
+    /// Runs terminated by the watchdog cycle bound.
+    pub hang: u64,
 }
 
 impl Tally {
     /// Total injections.
     pub fn total(&self) -> u64 {
-        self.masked + self.sdc + self.due
+        self.masked + self.sdc + self.due + self.hang
     }
 
-    /// Failures (SDC + DUE) — the AVF numerator.
+    /// Failures (SDC + DUE + hang) — the AVF numerator. Hangs count as
+    /// failures exactly as they did when folded into DUE, so splitting
+    /// them out never moves an AVF estimate.
     pub fn failures(&self) -> u64 {
-        self.sdc + self.due
+        self.sdc + self.due + self.hang
     }
 
     pub(crate) fn add(&mut self, o: Outcome) {
@@ -120,6 +134,7 @@ impl Tally {
             Outcome::Masked => self.masked += 1,
             Outcome::Sdc => self.sdc += 1,
             Outcome::Due => self.due += 1,
+            Outcome::Hang => self.hang += 1,
         }
     }
 
@@ -130,6 +145,7 @@ impl Tally {
             masked: self.masked + other.masked,
             sdc: self.sdc + other.sdc,
             due: self.due + other.due,
+            hang: self.hang + other.hang,
         }
     }
 }
@@ -189,8 +205,14 @@ pub struct CampaignConfig {
     /// erased (clean overwrite or per-launch reset) without ever having
     /// been read. Only consulted when the oracle is off: a site that
     /// survives pruning is by construction read before any clean
-    /// overwrite, so the probe could never fire.
+    /// overwrite, so the probe could never fire. Only sound for
+    /// transient flips — the probe stays disarmed for other kinds.
     pub early_exit: bool,
+    /// Which fault model the campaign samples and injects. The default
+    /// ([`FaultModelKind::Transient`]) reproduces the single-bit-flip
+    /// campaigns bit-for-bit; the stuck-at and control models draw from
+    /// their own site populations (see [`sample_model_sites`]).
+    pub fault_model: FaultModelKind,
 }
 
 impl CampaignConfig {
@@ -205,6 +227,7 @@ impl CampaignConfig {
             checkpoint_budget_bytes: 0,
             prune: true,
             early_exit: true,
+            fault_model: FaultModelKind::Transient,
         }
     }
 
@@ -433,11 +456,24 @@ pub fn sample_sites(
         n as u128 <= population,
         "cannot draw {n} distinct sites from a population of {population}"
     );
+    sample_flat(population, n, seed, |pick| {
+        decode_site(structure, words, cycles, pick)
+    })
+}
+
+/// Draws `n` distinct flat indices from `[0, population)` with a
+/// seed-stable partial Fisher–Yates shuffle and decodes each into a
+/// site. Only the displaced prefix entries are materialised in a map:
+/// the k-th draw swaps a uniform index from `[k, population)` into slot
+/// k, so the first `n` slots are a uniform n-permutation of distinct
+/// sites — exactly `n` draws, O(n) time and memory for any `n`.
+fn sample_flat(
+    population: u128,
+    n: u32,
+    seed: u64,
+    decode: impl Fn(u128) -> FaultSite,
+) -> Vec<FaultSite> {
     let mut rng = StdRng::seed_from_u64(seed);
-    // Partial Fisher–Yates over the flat index space [0, population),
-    // with only the displaced prefix entries materialised in a map: the
-    // k-th draw swaps a uniform index from [k, population) into slot k,
-    // so the first n slots are a uniform n-permutation of distinct sites.
     let mut displaced = std::collections::HashMap::with_capacity(n as usize);
     let mut sites = Vec::with_capacity(n as usize);
     for k in 0..n as u128 {
@@ -445,9 +481,60 @@ pub fn sample_sites(
         let pick = displaced.get(&j).copied().unwrap_or(j);
         let at_k = displaced.get(&k).copied().unwrap_or(k);
         displaced.insert(j, at_k);
-        sites.push(decode_site(structure, words, cycles, pick));
+        sites.push(decode(pick));
     }
     sites
+}
+
+/// Draws the deterministic fault-site list for a campaign under any
+/// fault model.
+///
+/// * [`FaultModelKind::Transient`] — exactly [`sample_sites`]: the same
+///   RNG stream over the same `(SM, word, bit, cycle)` population, so
+///   the default model reproduces pre-taxonomy campaigns bit-for-bit.
+/// * [`FaultModelKind::Stuck0`] / [`FaultModelKind::Stuck1`] — the same
+///   storage-site population (a permanent fault still names a storage
+///   cell and an onset cycle), with every site carrying the stuck-at
+///   kind.
+/// * [`FaultModelKind::Control`] — its own population over
+///   `(SM, warp slot, control target, bit, cycle)`: flat index
+///   `(((sm · slots + slot) · 4 + target) · 32 + bit) · cycles + cycle`
+///   with `slots = arch.max_warps_per_sm`. Control sites carry the
+///   campaign's `structure` only as a label (the injector targets
+///   scheduler state, not storage); their `word` field is the warp/block
+///   slot index.
+///
+/// # Panics
+///
+/// Same conditions as [`sample_sites`]; the control population
+/// additionally requires `arch.max_warps_per_sm > 0`.
+pub fn sample_model_sites(
+    arch: &ArchConfig,
+    structure: Structure,
+    model: FaultModelKind,
+    cycles: u64,
+    n: u32,
+    seed: u64,
+) -> Vec<FaultSite> {
+    match model.storage_kind() {
+        Some(kind) => sample_sites(arch, structure, cycles, n, seed)
+            .into_iter()
+            .map(|s| s.with_kind(kind))
+            .collect(),
+        None => {
+            let slots = arch.max_warps_per_sm;
+            assert!(slots > 0, "device has no warp slots");
+            assert!(cycles > 0, "cannot sample an empty execution");
+            let population = arch.num_sms as u128 * slots as u128 * 4 * 32 * cycles as u128;
+            assert!(
+                n as u128 <= population,
+                "cannot draw {n} distinct sites from a population of {population}"
+            );
+            sample_flat(population, n, seed, |pick| {
+                decode_control_site(structure, slots, cycles, pick)
+            })
+        }
+    }
 }
 
 /// Maps a flat index in `[0, sms · words · 32 · cycles)` back to the
@@ -460,13 +547,28 @@ fn decode_site(structure: Structure, words: u32, cycles: u64, mut idx: u128) -> 
     idx /= 32;
     let word = (idx % words as u128) as u32;
     let sm = (idx / words as u128) as u32;
-    FaultSite {
-        structure,
-        sm,
-        word,
-        bit,
-        cycle,
-    }
+    FaultSite::new(structure, sm, word, bit, cycle)
+}
+
+/// Per-cycle control-fault site count of a device (see
+/// [`crate::stats::control_sites_per_cycle`]).
+pub(crate) fn control_population_bits(arch: &ArchConfig) -> u64 {
+    crate::stats::control_sites_per_cycle(arch.num_sms as u64, arch.max_warps_per_sm as u64)
+}
+
+/// Maps a flat index in `[0, sms · slots · 4 · 32 · cycles)` back to the
+/// control-fault site it names, inverting
+/// `(((sm · slots + slot) · 4 + target) · 32 + bit) · cycles + cycle`.
+fn decode_control_site(structure: Structure, slots: u32, cycles: u64, mut idx: u128) -> FaultSite {
+    let cycle = (idx % cycles as u128) as u64;
+    idx /= cycles as u128;
+    let bit = (idx % 32) as u8;
+    idx /= 32;
+    let target = ControlTarget::ALL[(idx % 4) as usize];
+    idx /= 4;
+    let slot = (idx % slots as u128) as u32;
+    let sm = (idx / slots as u128) as u32;
+    FaultSite::new(structure, sm, slot, bit, cycle).with_kind(FaultKind::Control(target))
 }
 
 /// Default cap on the simulator state a [`CheckpointLadder`] may retain.
@@ -635,6 +737,12 @@ pub(crate) fn classify_on<H: TelemetryHook>(
     hook: &H,
 ) -> Result<Outcome, SimError> {
     let watchdog = golden.cycles * watchdog_factor + 10_000;
+    // The clean-overwrite early exit is only sound for transient flips:
+    // a stuck-at cell is re-asserted by the very overwrite the probe
+    // would treat as masking, and a control fault never lives in a
+    // storage word. The probe itself is also gated (belt and braces),
+    // but disarming here skips the per-event probe cost entirely.
+    let early_exit = early_exit && site.is_transient();
     // (replay result, early-exited?, cycles skipped, instructions
     // inherited from the checkpoint prefix, session restore counters).
     let (result, exited, start_cycle, base_instructions, session_tel) = match ckpt {
@@ -694,6 +802,7 @@ pub(crate) fn classify_on<H: TelemetryHook>(
     match result {
         Ok(out) if out == golden.outputs => Ok(Outcome::Masked),
         Ok(_) => Ok(Outcome::Sdc),
+        Err(SimError::Due(Due::WatchdogTimeout { .. })) => Ok(Outcome::Hang),
         Err(SimError::Due(_)) => Ok(Outcome::Due),
         Err(e) => Err(e),
     }
@@ -804,6 +913,7 @@ pub(crate) fn classify_traced_on<H: TelemetryHook>(
     let outcome = match result {
         Ok(out) if out == golden.outputs => Outcome::Masked,
         Ok(_) => Outcome::Sdc,
+        Err(SimError::Due(Due::WatchdogTimeout { .. })) => Outcome::Hang,
         Err(SimError::Due(_)) => Outcome::Due,
         Err(e) => return Err(e),
     };
@@ -941,7 +1051,13 @@ pub fn run_campaign_with_ladder_hooked<H: TelemetryHook>(
     ladder: &CheckpointLadder,
     hook: &H,
 ) -> Result<CampaignResult, SimError> {
-    let oracle = if cfg.prune {
+    // The lifetime oracle's dead-interval argument only holds for
+    // transient flips (a stuck-at fault survives the overwrite that
+    // would end a live interval; a control fault has no storage word),
+    // so non-transient models skip the instrumented capture run
+    // entirely. `LifetimeOracle::is_dead` is also kind-gated, so even a
+    // caller-supplied oracle can never prune a non-transient site.
+    let oracle = if cfg.prune && cfg.fault_model == FaultModelKind::Transient {
         Some(LifetimeOracle::capture(arch, workload)?)
     } else {
         None
@@ -984,19 +1100,33 @@ pub fn run_campaign_with_oracle_hooked<H: TelemetryHook>(
     hook: &H,
 ) -> Result<CampaignResult, SimError> {
     let started = H::ENABLED.then(Instant::now);
-    let sites = sample_sites(arch, structure, golden.cycles, cfg.injections, cfg.seed);
+    let sites = sample_model_sites(
+        arch,
+        structure,
+        cfg.fault_model,
+        golden.cycles,
+        cfg.injections,
+        cfg.seed,
+    );
     let outcomes = replay_sites(arch, workload, golden, &sites, cfg, ladder, oracle, hook)?;
     let mut tally = Tally::default();
     for o in outcomes {
         tally.add(o);
     }
-    let structure_bits = match structure {
-        Structure::VectorRegisterFile => arch.rf_words_per_sm(),
-        Structure::LocalMemory => arch.lds_words_per_sm(),
-        Structure::ScalarRegisterFile => arch.srf_words_per_sm(),
-    } as u64
-        * 32
-        * arch.num_sms as u64;
+    let structure_bits = match cfg.fault_model {
+        // Storage models: every bit of every word of the structure.
+        FaultModelKind::Transient | FaultModelKind::Stuck0 | FaultModelKind::Stuck1 => {
+            (match structure {
+                Structure::VectorRegisterFile => arch.rf_words_per_sm(),
+                Structure::LocalMemory => arch.lds_words_per_sm(),
+                Structure::ScalarRegisterFile => arch.srf_words_per_sm(),
+            }) as u64
+                * 32
+                * arch.num_sms as u64
+        }
+        // Control model: 4 targets × 32 bits per warp slot per SM.
+        FaultModelKind::Control => control_population_bits(arch),
+    };
     let population = fault_population(structure_bits, golden.cycles);
     let result = CampaignResult {
         structure,
@@ -1022,10 +1152,12 @@ pub fn run_campaign_with_oracle_hooked<H: TelemetryHook>(
                 .field("workload", workload.name())
                 .field("device", arch.name.as_str())
                 .field("structure", structure.to_string())
+                .field("fault_kind", cfg.fault_model.as_str())
                 .field("injections", tally.total())
                 .field("masked", tally.masked)
                 .field("sdc", tally.sdc)
                 .field("due", tally.due)
+                .field("hang", tally.hang)
                 .field("avf", result.avf())
                 .field("golden_cycles", golden.cycles)
                 .field("ladder_rungs", ladder.len())
@@ -1135,6 +1267,7 @@ mod tests {
             checkpoint_budget_bytes: 0,
             prune: true,
             early_exit: true,
+            fault_model: FaultModelKind::Transient,
         }
     }
 
@@ -1320,18 +1453,19 @@ mod tests {
         let r = CampaignResult {
             structure: Structure::VectorRegisterFile,
             tally: Tally {
-                masked: 90,
+                masked: 89,
                 sdc: 8,
                 due: 2,
+                hang: 1,
             },
             golden_cycles: 1_000_000,
             population: 1 << 40,
             margin_99: 0.1,
         };
-        assert!((r.avf() - 0.10).abs() < 1e-12);
+        assert!((r.avf() - 0.11).abs() < 1e-12, "hangs count as failures");
         assert!((r.avf_sdc() - 0.08).abs() < 1e-12);
         let p = r.proportion().unwrap();
-        assert_eq!(p.hits, 10);
+        assert_eq!(p.hits, 11);
         assert_eq!(p.trials, 100);
         assert_eq!(
             p.margin_99.to_bits(),
@@ -1406,6 +1540,120 @@ mod tests {
         for s in &sites {
             assert!(s.sm < 2 && s.word < 2 && s.bit < 32 && s.cycle < 2);
         }
+    }
+
+    #[test]
+    fn transient_model_sampling_matches_legacy_sampler() {
+        let arch = quadro_fx_5600();
+        let legacy = sample_sites(&arch, Structure::VectorRegisterFile, 500, 40, 3);
+        let model = sample_model_sites(
+            &arch,
+            Structure::VectorRegisterFile,
+            FaultModelKind::Transient,
+            500,
+            40,
+            3,
+        );
+        assert_eq!(legacy, model, "default model must be bit-identical");
+        assert!(model.iter().all(|s| s.is_transient()));
+    }
+
+    #[test]
+    fn stuck_model_reuses_the_storage_population() {
+        let arch = quadro_fx_5600();
+        let flips = sample_sites(&arch, Structure::VectorRegisterFile, 500, 40, 3);
+        let stuck = sample_model_sites(
+            &arch,
+            Structure::VectorRegisterFile,
+            FaultModelKind::Stuck1,
+            500,
+            40,
+            3,
+        );
+        // Same coordinates (a permanent fault still names a storage cell
+        // and an onset cycle), different kind.
+        for (f, s) in flips.iter().zip(&stuck) {
+            assert_eq!(
+                (f.structure, f.sm, f.word, f.bit, f.cycle),
+                (s.structure, s.sm, s.word, s.bit, s.cycle)
+            );
+            assert_eq!(s.kind, FaultKind::StuckAt1);
+        }
+    }
+
+    #[test]
+    fn control_sites_are_deterministic_and_in_range() {
+        let arch = quadro_fx_5600();
+        let a = sample_model_sites(
+            &arch,
+            Structure::VectorRegisterFile,
+            FaultModelKind::Control,
+            1000,
+            60,
+            7,
+        );
+        let b = sample_model_sites(
+            &arch,
+            Structure::VectorRegisterFile,
+            FaultModelKind::Control,
+            1000,
+            60,
+            7,
+        );
+        assert_eq!(a, b);
+        let mut targets_seen = std::collections::HashSet::new();
+        for s in &a {
+            assert!(s.sm < arch.num_sms);
+            assert!(s.word < arch.max_warps_per_sm, "word is the warp slot");
+            assert!(s.bit < 32);
+            assert!(s.cycle < 1000);
+            match s.kind {
+                FaultKind::Control(t) => {
+                    targets_seen.insert(t);
+                }
+                k => panic!("control model sampled a {k} site"),
+            }
+        }
+        assert!(
+            targets_seen.len() >= 2,
+            "60 draws should cover several targets"
+        );
+    }
+
+    #[test]
+    fn control_campaign_on_barrier_workload_produces_hangs_or_dues() {
+        use gpu_workloads::Reduction;
+        // A small device saturated by the workload: 8 blocks of 4 warps
+        // fill both SMs' 16 warp slots, so sampled control sites mostly
+        // land on *live* scheduler/mask/barrier state.
+        let arch = ArchConfig::small_test_gpu();
+        let w = Reduction::new(256, 32, 5);
+        let mut cfg = small_cfg(32);
+        cfg.fault_model = FaultModelKind::Control;
+        let r = run_campaign(&arch, &w, Structure::VectorRegisterFile, cfg).unwrap();
+        assert_eq!(r.tally.total(), 32);
+        assert!(
+            r.tally.hang + r.tally.due > 0,
+            "corrupting live scheduler/barrier state must produce a hang or DUE: {:?}",
+            r.tally
+        );
+        // Determinism across job counts for the new model.
+        cfg.threads = 1;
+        let r1 = run_campaign(&arch, &w, Structure::VectorRegisterFile, cfg).unwrap();
+        assert_eq!(r.tally, r1.tally, "control model must stay deterministic");
+    }
+
+    #[test]
+    fn stuck_campaign_runs_deterministically() {
+        let arch = quadro_fx_5600();
+        let w = VectorAdd::new(256, 3);
+        let mut cfg = small_cfg(16);
+        cfg.fault_model = FaultModelKind::Stuck1;
+        let r2 = run_campaign(&arch, &w, Structure::VectorRegisterFile, cfg).unwrap();
+        cfg.threads = 1;
+        let r1 = run_campaign(&arch, &w, Structure::VectorRegisterFile, cfg).unwrap();
+        assert_eq!(r2.tally, r1.tally);
+        assert_eq!(r2.tally.total(), 16);
     }
 
     #[test]

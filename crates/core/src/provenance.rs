@@ -16,8 +16,8 @@
 //! worker count).
 
 use crate::campaign::{
-    campaign_margin, golden_run, sample_sites, CampaignConfig, CampaignResult, CheckpointLadder,
-    GoldenRun, Outcome, Tally,
+    campaign_margin, control_population_bits, golden_run, sample_model_sites, CampaignConfig,
+    CampaignResult, CheckpointLadder, GoldenRun, Outcome, Tally,
 };
 use crate::runner::replay_sites_traced;
 use crate::stats::fault_population;
@@ -25,7 +25,8 @@ use gpu_workloads::Workload;
 use grel_telemetry::{Event, TelemetryHook};
 use serde::{Deserialize, Serialize};
 use simt_sim::{
-    ArchConfig, FaultSite, GlobalWrite, GlobalWriteLog, Gpu, SimError, Structure, TraceRecord,
+    ArchConfig, FaultModelKind, FaultSite, GlobalWrite, GlobalWriteLog, Gpu, SimError, Structure,
+    TraceRecord,
 };
 use std::fmt::Write as _;
 use std::time::Instant;
@@ -70,6 +71,57 @@ impl std::fmt::Display for MaskingReason {
     }
 }
 
+/// Root-cause attribution of a DUE or hang: the mechanism that turned the
+/// injection into a failure, mirroring how [`MaskingReason`] explains a
+/// masked run. Each variant carries the absolute cycle of the causal
+/// event.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum FailureCause {
+    /// A stuck-at cell first re-asserted over an architected write at this
+    /// cycle — the corruption could never be flushed.
+    StuckReassertion(u64),
+    /// Live scheduler/mask/scoreboard/barrier state was corrupted at this
+    /// cycle.
+    ControlCorruption(u64),
+    /// The watchdog expired at this cycle with warps parked — a barrier or
+    /// scheduler deadlock.
+    Deadlock(u64),
+}
+
+impl FailureCause {
+    /// Reporting labels, aligned with [`FailureCause::index`].
+    pub const LABELS: [&'static str; 3] = ["stuck-reassert", "control-corrupt", "deadlock"];
+
+    /// Canonical label used in telemetry and reports.
+    pub fn as_str(&self) -> &'static str {
+        Self::LABELS[self.index()]
+    }
+
+    /// Position within [`FailureCause::LABELS`] (for aggregate counters).
+    pub fn index(&self) -> usize {
+        match self {
+            FailureCause::StuckReassertion(_) => 0,
+            FailureCause::ControlCorruption(_) => 1,
+            FailureCause::Deadlock(_) => 2,
+        }
+    }
+
+    /// Absolute cycle of the causal event.
+    pub fn cycle(&self) -> u64 {
+        match self {
+            FailureCause::StuckReassertion(c)
+            | FailureCause::ControlCorruption(c)
+            | FailureCause::Deadlock(c) => *c,
+        }
+    }
+}
+
+impl std::fmt::Display for FailureCause {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
 /// The distilled provenance of one injection: outcome plus propagation
 /// timeline.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
@@ -94,6 +146,9 @@ pub struct Provenance {
     pub lds_banks: u32,
     /// Why a masked run was masked (`None` for SDC/DUE).
     pub masking: Option<MaskingReason>,
+    /// Root cause of a DUE or hang (`None` for masked runs and for
+    /// transient faults whose only causal event is the flip itself).
+    pub cause: Option<FailureCause>,
 }
 
 impl Provenance {
@@ -113,6 +168,18 @@ impl Provenance {
                 MaskingReason::NeverRead
             }
         });
+        // Root cause of a failure: earliest causal event wins, so a hang
+        // downstream of a control corruption is attributed to the
+        // corruption, not to the watchdog that finally noticed it.
+        let cause = if outcome == Outcome::Masked {
+            None
+        } else if let Some(c) = rec.control_corrupt {
+            Some(FailureCause::ControlCorruption(c))
+        } else if let Some(c) = rec.first_reassert {
+            Some(FailureCause::StuckReassertion(c))
+        } else {
+            rec.hang.map(FailureCause::Deadlock)
+        };
         Provenance {
             site: rec.site,
             outcome,
@@ -122,6 +189,7 @@ impl Provenance {
             taint_saturated: rec.taint_saturated,
             lds_banks: rec.lds_banks,
             masking,
+            cause,
         }
     }
 }
@@ -135,6 +203,8 @@ pub struct CellStat {
     pub sdc: u64,
     /// DUE outcomes among them.
     pub due: u64,
+    /// Hang outcomes among them.
+    pub hang: u64,
 }
 
 impl CellStat {
@@ -164,6 +234,8 @@ pub struct ProvenanceAggregate {
     pub first_read_hist: Vec<u64>,
     /// Masked runs per masking reason, in [`MaskingReason::ALL`] order.
     pub masking: [u64; 3],
+    /// Failures per root cause, in [`FailureCause::LABELS`] order.
+    pub causes: [u64; 3],
     /// Sum of taint breadths over all injections.
     pub taint_words_total: u64,
     /// Injections whose taint set saturated.
@@ -211,6 +283,7 @@ impl ProvenanceAggregate {
             match p.outcome {
                 Outcome::Sdc => cell.sdc += 1,
                 Outcome::Due => cell.due += 1,
+                Outcome::Hang => cell.hang += 1,
                 Outcome::Masked => {}
             }
             if let Some(d) = p.cycles_to_divergence {
@@ -222,6 +295,9 @@ impl ProvenanceAggregate {
             if let Some(m) = p.masking {
                 let idx = MaskingReason::ALL.iter().position(|x| *x == m).unwrap();
                 agg.masking[idx] += 1;
+            }
+            if let Some(c) = p.cause {
+                agg.causes[c.index()] += 1;
             }
             agg.taint_words_total += p.taint_words as u64;
             agg.taint_saturated_total += p.taint_saturated as u64;
@@ -289,6 +365,11 @@ impl ProvenanceAggregate {
                 );
             }
         }
+        for (cause, &n) in FailureCause::LABELS.iter().zip(&self.causes) {
+            if n > 0 {
+                hook.count(&format!("provenance_cause_total{{cause=\"{cause}\"}}"), n);
+            }
+        }
         if self.taint_words_total > 0 {
             hook.count("provenance_taint_words_total", self.taint_words_total);
         }
@@ -311,6 +392,7 @@ impl ProvenanceAggregate {
                 a.injections += b.injections;
                 a.sdc += b.sdc;
                 a.due += b.due;
+                a.hang += b.hang;
             }
         }
         merge_cells(&mut self.rf_regions, &other.rf_regions);
@@ -330,6 +412,9 @@ impl ProvenanceAggregate {
             }
         }
         for (a, b) in self.masking.iter_mut().zip(&other.masking) {
+            *a += b;
+        }
+        for (a, b) in self.causes.iter_mut().zip(&other.causes) {
             *a += b;
         }
         self.taint_words_total += other.taint_words_total;
@@ -377,7 +462,14 @@ pub fn run_campaign_with_provenance_hooked<H: TelemetryHook>(
     hook: &H,
 ) -> Result<(CampaignResult, Vec<Provenance>, ProvenanceAggregate), SimError> {
     let started = H::ENABLED.then(Instant::now);
-    let sites = sample_sites(arch, structure, golden.cycles, cfg.injections, cfg.seed);
+    let sites = sample_model_sites(
+        arch,
+        structure,
+        cfg.fault_model,
+        golden.cycles,
+        cfg.injections,
+        cfg.seed,
+    );
     let (outcomes, records) = replay_sites_traced(
         arch,
         workload,
@@ -395,13 +487,18 @@ pub fn run_campaign_with_provenance_hooked<H: TelemetryHook>(
         provenance.push(Provenance::from_trace(*o, r));
     }
     let aggregate = ProvenanceAggregate::from_records(arch, structure, &provenance);
-    let structure_bits = match structure {
-        Structure::VectorRegisterFile => arch.rf_words_per_sm(),
-        Structure::LocalMemory => arch.lds_words_per_sm(),
-        Structure::ScalarRegisterFile => arch.srf_words_per_sm(),
-    } as u64
-        * 32
-        * arch.num_sms as u64;
+    let structure_bits = match cfg.fault_model {
+        FaultModelKind::Control => control_population_bits(arch),
+        _ => {
+            (match structure {
+                Structure::VectorRegisterFile => arch.rf_words_per_sm(),
+                Structure::LocalMemory => arch.lds_words_per_sm(),
+                Structure::ScalarRegisterFile => arch.srf_words_per_sm(),
+            }) as u64
+                * 32
+                * arch.num_sms as u64
+        }
+    };
     let population = fault_population(structure_bits, golden.cycles);
     let result = CampaignResult {
         structure,
@@ -412,7 +509,7 @@ pub fn run_campaign_with_provenance_hooked<H: TelemetryHook>(
     };
     if let Some(started) = started {
         for p in &provenance {
-            let mut ev = Event::new("injection.trace")
+            let ev = Event::new("injection.trace")
                 .field("workload", workload.name())
                 .field("device", arch.name.as_str())
                 .field("structure", p.site.structure.to_string())
@@ -420,20 +517,16 @@ pub fn run_campaign_with_provenance_hooked<H: TelemetryHook>(
                 .field("word", p.site.word)
                 .field("bit", u32::from(p.site.bit))
                 .field("cycle", p.site.cycle)
-                .field("outcome", p.outcome.as_str());
-            if let Some(l) = p.first_read_latency {
-                ev = ev.field("first_read_latency", l);
-            }
-            if let Some(d) = p.cycles_to_divergence {
-                ev = ev.field("cycles_to_divergence", d);
-            }
-            ev = ev
+                .field("kind", p.site.kind.as_str())
+                .field("outcome", p.outcome.as_str())
+                .field_opt("first_read_latency", p.first_read_latency)
+                .field_opt("cycles_to_divergence", p.cycles_to_divergence)
                 .field("taint_words", u64::from(p.taint_words))
                 .field("taint_saturated", p.taint_saturated)
-                .field("lds_banks", u64::from(p.lds_banks));
-            if let Some(m) = p.masking {
-                ev = ev.field("masking", m.as_str());
-            }
+                .field("lds_banks", u64::from(p.lds_banks))
+                .field_opt("masking", p.masking.map(|m| m.as_str()))
+                .field_opt("cause", p.cause.map(|c| c.as_str()))
+                .field_opt("cause_cycle", p.cause.map(|c| c.cycle()));
             hook.event(&ev);
         }
         aggregate.emit(hook);
@@ -450,10 +543,12 @@ pub fn run_campaign_with_provenance_hooked<H: TelemetryHook>(
                 .field("workload", workload.name())
                 .field("device", arch.name.as_str())
                 .field("structure", structure.to_string())
+                .field("fault_kind", cfg.fault_model.as_str())
                 .field("injections", tally.total())
                 .field("masked", tally.masked)
                 .field("sdc", tally.sdc)
                 .field("due", tally.due)
+                .field("hang", tally.hang)
                 .field("avf", result.avf())
                 .field("golden_cycles", golden.cycles)
                 .field("ladder_rungs", ladder.len())
@@ -464,8 +559,14 @@ pub fn run_campaign_with_provenance_hooked<H: TelemetryHook>(
     Ok((result, provenance, aggregate))
 }
 
-/// Parses a fault site from the `sm:struct:word:bit:cycle` CLI syntax,
-/// where `struct` is one of `rf`, `lds`, `srf`.
+/// Parses a fault site from the `sm:struct:word:bit:cycle[:kind]` CLI
+/// syntax, where `struct` is one of `rf`, `lds`, `srf` and the optional
+/// `kind` is `transient` (the default), `stuck0`, `stuck1` or
+/// `ctrl-<sched|mask|sboard|barrier>`.
+///
+/// Delegates to [`FaultSite`]'s `FromStr`, so the accepted grammar is
+/// exactly [`FaultSite::to_site_string`]'s output — every kind
+/// round-trips.
 ///
 /// # Errors
 ///
@@ -474,45 +575,17 @@ pub fn run_campaign_with_provenance_hooked<H: TelemetryHook>(
 /// # Example
 /// ```
 /// use grel_core::provenance::parse_site;
-/// use simt_sim::Structure;
+/// use simt_sim::{FaultKind, Structure};
 /// let s = parse_site("3:rf:128:17:40000").unwrap();
 /// assert_eq!(s.structure, Structure::VectorRegisterFile);
 /// assert_eq!(s.word, 128);
+/// assert_eq!(s.kind, FaultKind::TransientFlip);
+/// let p = parse_site("0:lds:9:4:700:stuck1").unwrap();
+/// assert_eq!(p.kind, FaultKind::StuckAt1);
 /// assert!(parse_site("3:l1:0:0:0").is_err());
 /// ```
 pub fn parse_site(s: &str) -> Result<FaultSite, String> {
-    let parts: Vec<&str> = s.split(':').collect();
-    if parts.len() != 5 {
-        return Err(format!(
-            "expected sm:struct:word:bit:cycle (5 fields), got {} in {s:?}",
-            parts.len()
-        ));
-    }
-    let structure = match parts[1] {
-        "rf" => Structure::VectorRegisterFile,
-        "lds" => Structure::LocalMemory,
-        "srf" => Structure::ScalarRegisterFile,
-        other => {
-            return Err(format!(
-                "unknown structure {other:?} (expected rf, lds or srf)"
-            ))
-        }
-    };
-    let num = |name: &str, v: &str| -> Result<u64, String> {
-        v.parse::<u64>()
-            .map_err(|_| format!("invalid {name} {v:?} in {s:?}"))
-    };
-    let bit = num("bit", parts[3])?;
-    if bit >= 32 {
-        return Err(format!("bit {bit} out of range (0..32)"));
-    }
-    Ok(FaultSite {
-        structure,
-        sm: num("sm", parts[0])? as u32,
-        word: num("word", parts[2])? as u32,
-        bit: bit as u8,
-        cycle: num("cycle", parts[4])?,
-    })
+    s.parse()
 }
 
 /// Everything `repro trace` needs to narrate one injection.
@@ -640,7 +713,34 @@ impl SingleTrace {
                         "the run was cut short by a detected error before any store diverged"
                     );
                 }
+                Outcome::Hang => {
+                    let _ = writeln!(
+                        out,
+                        "the run never terminated; the watchdog cut it off before any store diverged"
+                    );
+                }
             },
+        }
+        match p.cause {
+            Some(FailureCause::StuckReassertion(c)) => {
+                let _ = writeln!(
+                    out,
+                    "root cause: the stuck cell first re-asserted over an architected write at cycle {c}"
+                );
+            }
+            Some(FailureCause::ControlCorruption(c)) => {
+                let _ = writeln!(
+                    out,
+                    "root cause: live control state (scheduler/mask/scoreboard/barrier) was corrupted at cycle {c}"
+                );
+            }
+            Some(FailureCause::Deadlock(c)) => {
+                let _ = writeln!(
+                    out,
+                    "root cause: the watchdog expired at cycle {c} with warps still parked (deadlock)"
+                );
+            }
+            None => {}
         }
         match p.masking {
             Some(m) => {
@@ -659,6 +759,7 @@ mod tests {
     use super::*;
     use gpu_archs::quadro_fx_5600;
     use gpu_workloads::VectorAdd;
+    use simt_sim::FaultKind;
 
     fn rec(site: FaultSite) -> TraceRecord {
         TraceRecord {
@@ -670,17 +771,15 @@ mod tests {
             taint_words: 1,
             taint_saturated: false,
             lds_banks: 0,
+            first_reassert: None,
+            reasserts: 0,
+            control_corrupt: None,
+            hang: None,
         }
     }
 
     fn rf_site(word: u32, cycle: u64) -> FaultSite {
-        FaultSite {
-            structure: Structure::VectorRegisterFile,
-            sm: 0,
-            word,
-            bit: 0,
-            cycle,
-        }
+        FaultSite::new(Structure::VectorRegisterFile, 0, word, 0, cycle)
     }
 
     #[test]
@@ -704,6 +803,65 @@ mod tests {
         assert_eq!(p.masking, Some(MaskingReason::LogicallyMasked));
         assert_eq!(p.first_read_latency, Some(30));
         assert_eq!(Provenance::from_trace(Outcome::Sdc, &logical).masking, None);
+    }
+
+    #[test]
+    fn failure_cause_attribution() {
+        use simt_sim::ControlTarget;
+        let s = rf_site(4, 100);
+
+        // A stuck-at DUE is attributed to the first re-assertion.
+        let mut stuck = rec(s.with_kind(FaultKind::StuckAt0));
+        stuck.first_reassert = Some(140);
+        stuck.reasserts = 3;
+        let p = Provenance::from_trace(Outcome::Due, &stuck);
+        assert_eq!(p.cause, Some(FailureCause::StuckReassertion(140)));
+        assert_eq!(p.cause.unwrap().cycle(), 140);
+
+        // A control-fault hang is attributed to the corruption, not the
+        // watchdog that eventually noticed the deadlock.
+        let mut ctrl = rec(s.with_kind(FaultKind::Control(ControlTarget::BarrierCounter)));
+        ctrl.control_corrupt = Some(100);
+        ctrl.hang = Some(90_000);
+        let p = Provenance::from_trace(Outcome::Hang, &ctrl);
+        assert_eq!(p.cause, Some(FailureCause::ControlCorruption(100)));
+
+        // A hang with no earlier causal event falls back to the deadlock.
+        let mut hung = rec(s);
+        hung.hang = Some(90_000);
+        let p = Provenance::from_trace(Outcome::Hang, &hung);
+        assert_eq!(p.cause, Some(FailureCause::Deadlock(90_000)));
+
+        // Masked runs never carry a cause, whatever was recorded.
+        let p = Provenance::from_trace(Outcome::Masked, &stuck);
+        assert_eq!(p.cause, None);
+
+        // Plain transient SDCs have no causal event beyond the flip.
+        let p = Provenance::from_trace(Outcome::Sdc, &rec(s));
+        assert_eq!(p.cause, None);
+    }
+
+    #[test]
+    fn aggregate_counts_hangs_and_causes() {
+        let arch = quadro_fx_5600();
+        let mut hung = rec(rf_site(0, 10));
+        hung.hang = Some(50_000);
+        let h = Provenance::from_trace(Outcome::Hang, &hung);
+        let mut stuck = rec(rf_site(1, 10).with_kind(FaultKind::StuckAt1));
+        stuck.first_reassert = Some(20);
+        let d = Provenance::from_trace(Outcome::Due, &stuck);
+        let agg = ProvenanceAggregate::from_records(&arch, Structure::VectorRegisterFile, &[h, d]);
+        assert_eq!(agg.rf_regions[0].hang, 1);
+        assert_eq!(agg.rf_regions[0].due, 1);
+        assert_eq!(agg.causes, [1, 0, 1], "stuck-reassert and deadlock");
+        let mut merged =
+            ProvenanceAggregate::from_records(&arch, Structure::VectorRegisterFile, &[h]);
+        merged.merge(&ProvenanceAggregate::from_records(
+            &arch,
+            Structure::VectorRegisterFile,
+            &[d],
+        ));
+        assert_eq!(merged, agg);
     }
 
     #[test]
@@ -766,6 +924,26 @@ mod tests {
         assert!(parse_site("1:rf:0:0").is_err(), "too few fields");
         assert!(parse_site("1:tex:0:0:5").is_err(), "unknown structure");
         assert!(parse_site("x:rf:0:0:5").is_err(), "non-numeric sm");
+        assert!(parse_site("1:rf:0:0:5:melty").is_err(), "unknown kind");
+    }
+
+    #[test]
+    fn parse_site_round_trips_every_kind() {
+        use simt_sim::ControlTarget;
+        let kinds = [
+            FaultKind::TransientFlip,
+            FaultKind::StuckAt0,
+            FaultKind::StuckAt1,
+            FaultKind::Control(ControlTarget::SchedulerSlot),
+            FaultKind::Control(ControlTarget::ActiveMask),
+            FaultKind::Control(ControlTarget::Scoreboard),
+            FaultKind::Control(ControlTarget::BarrierCounter),
+        ];
+        for kind in kinds {
+            let site = rf_site(12, 3000).with_kind(kind);
+            let parsed = parse_site(&site.to_site_string()).unwrap();
+            assert_eq!(parsed, site, "round-trip of kind {}", kind.as_str());
+        }
     }
 
     #[test]

@@ -99,6 +99,14 @@ fn worker_loop<H: TelemetryHook>(
                 &format!("campaign_injections_total{{outcome=\"{outcome_label}\"}}"),
                 1,
             );
+            if outcome == Outcome::Hang {
+                hook.count("campaign_hang_total", 1);
+            }
+            let kind_label = site.kind.as_str();
+            hook.count(
+                &format!("campaign_injections_by_kind_total{{kind=\"{kind_label}\"}}"),
+                1,
+            );
             let rung_label = match rung {
                 Some((idx, _)) => idx.to_string(),
                 None => "none".to_string(),
@@ -178,6 +186,12 @@ pub(crate) fn replay_sites<H: TelemetryHook>(
                 if pruned > 0 {
                     hook.count("campaign_pruned_total", pruned);
                     hook.count("campaign_injections_total{outcome=\"masked\"}", pruned);
+                    // Only transient sites can be pruned (the oracle is
+                    // kind-gated), so the kind label is unconditional.
+                    hook.count(
+                        "campaign_injections_by_kind_total{kind=\"transient\"}",
+                        pruned,
+                    );
                     hook.count("campaign_rung_hits_total{rung=\"pruned\"}", pruned);
                     hook.count("campaign_cycles_saved_total", pruned * golden.cycles);
                     for _ in 0..pruned {
@@ -271,6 +285,14 @@ fn worker_loop_traced<H: TelemetryHook>(
                 &format!("campaign_injections_total{{outcome=\"{outcome_label}\"}}"),
                 1,
             );
+            if outcome == Outcome::Hang {
+                hook.count("campaign_hang_total", 1);
+            }
+            let kind_label = site.kind.as_str();
+            hook.count(
+                &format!("campaign_injections_by_kind_total{{kind=\"{kind_label}\"}}"),
+                1,
+            );
             let rung_label = match rung {
                 Some((idx, _)) => idx.to_string(),
                 None => "none".to_string(),
@@ -342,13 +364,7 @@ pub(crate) fn replay_sites_traced<H: TelemetryHook>(
     };
     let mut outcomes = vec![Outcome::Masked; sites.len()];
     let placeholder = TraceRecord {
-        site: FaultSite {
-            structure: simt_sim::Structure::VectorRegisterFile,
-            sm: 0,
-            word: 0,
-            bit: 0,
-            cycle: 0,
-        },
+        site: FaultSite::new(simt_sim::Structure::VectorRegisterFile, 0, 0, 0, 0),
         injected_at: None,
         first_read: None,
         overwrite: None,
@@ -356,6 +372,10 @@ pub(crate) fn replay_sites_traced<H: TelemetryHook>(
         taint_words: 0,
         taint_saturated: false,
         lds_banks: 0,
+        first_reassert: None,
+        reasserts: 0,
+        control_corrupt: None,
+        hang: None,
     };
     let mut records = vec![placeholder; sites.len()];
     if jobs == 1 {

@@ -8,7 +8,7 @@ use crate::stats::pearson;
 use gpu_workloads::Workload;
 use grel_telemetry::{Event, NoopHook, TelemetryHook};
 use serde::{Deserialize, Serialize};
-use simt_sim::{ArchConfig, SimError, Structure};
+use simt_sim::{ArchConfig, FaultModelKind, SimError, Structure};
 use std::time::Instant;
 
 /// Per-structure measurements of one (device, workload) pair.
@@ -160,8 +160,12 @@ pub fn evaluate_point_hooked<H: TelemetryHook>(
     let mut ace = AceAnalyzer::with_mode(arch, cfg.ace_mode);
     // With pruning on, the lifetime oracle rides along on the same golden
     // run — one instrumented pass serves the ACE report and every
-    // structure's campaign pruning for this point.
-    let mut oracle = cfg.campaign.prune.then(|| LifetimeOracle::new(arch));
+    // structure's campaign pruning for this point. Lifetime pruning is
+    // only sound for transient flips (a stuck-at fault survives the
+    // overwrite the oracle reasons about), so other models skip the
+    // capture entirely.
+    let mut oracle = (cfg.campaign.prune && cfg.campaign.fault_model == FaultModelKind::Transient)
+        .then(|| LifetimeOracle::new(arch));
     let outputs = match oracle.as_mut() {
         Some(oracle) => workload.run(&mut gpu, &mut (&mut ace, &mut *oracle))?,
         None => workload.run(&mut gpu, &mut ace)?,
@@ -248,6 +252,7 @@ pub fn evaluate_point_hooked<H: TelemetryHook>(
             &Event::new("study.point")
                 .field("workload", point.workload.as_str())
                 .field("device", point.device.as_str())
+                .field("fault_model", cfg.campaign.fault_model.as_str())
                 .field("cycles", point.cycles)
                 .field("rf_avf", point.rf.avf_fi)
                 .field("lds_avf", point.lds.avf_fi)

@@ -3,10 +3,11 @@
 
 use crate::config::ArchConfig;
 use crate::error::{Due, SimError};
-use crate::fault::{FaultSite, Structure};
+use crate::fault::{FaultKind, FaultSite, Structure};
 use crate::launch::{LaunchConfig, LaunchStats};
 use crate::mem::{GlobalMemory, MemorySystem};
 use crate::observer::{NoopObserver, SimObserver};
+use crate::regfile::StuckBit;
 use crate::sm::Sm;
 use simt_isa::LoweredKernel;
 
@@ -264,10 +265,26 @@ impl Gpu {
     fn apply_fault<O: SimObserver>(&mut self, site: FaultSite, obs: &mut O) {
         let idx = site.sm as usize % self.sms.len().max(1);
         let sm = &mut self.sms[idx];
-        match site.structure {
-            Structure::VectorRegisterFile => sm.flip_rf_bit(site.word, site.bit),
-            Structure::LocalMemory => sm.flip_lds_bit(site.word, site.bit),
-            Structure::ScalarRegisterFile => sm.flip_srf_bit(site.word, site.bit),
+        match site.kind {
+            FaultKind::TransientFlip => match site.structure {
+                Structure::VectorRegisterFile => sm.flip_rf_bit(site.word, site.bit),
+                Structure::LocalMemory => sm.flip_lds_bit(site.word, site.bit),
+                Structure::ScalarRegisterFile => sm.flip_srf_bit(site.word, site.bit),
+            },
+            FaultKind::StuckAt0 | FaultKind::StuckAt1 => {
+                sm.arm_stuck(StuckBit {
+                    structure: site.structure,
+                    word: site.word,
+                    bit: site.bit,
+                    stuck_value: site.kind == FaultKind::StuckAt1,
+                });
+            }
+            FaultKind::Control(target) => {
+                let cycle = self.app_cycle;
+                if sm.apply_control_fault(target, site.word, site.bit) {
+                    obs.on_control_corrupt(site, cycle);
+                }
+            }
         }
         obs.on_fault_injected(site);
     }
@@ -395,6 +412,8 @@ impl Gpu {
         }
         if let Some(limit) = self.watchdog_limit {
             if self.app_cycle >= limit {
+                let parked: u32 = self.sms.iter().map(Sm::parked_warps).sum();
+                obs.on_hang(self.app_cycle, parked);
                 obs.on_launch_end(self.app_cycle);
                 return Err(SimError::Due(Due::WatchdogTimeout { limit }));
             }
@@ -731,13 +750,13 @@ mod tests {
                 .unwrap();
             g.read_words(gb, 16)
         };
-        gpu.arm_fault(FaultSite {
-            structure: Structure::VectorRegisterFile,
-            sm: 1,
-            word: gpu.structure_words(Structure::VectorRegisterFile) - 1,
-            bit: 31,
-            cycle: 1,
-        });
+        gpu.arm_fault(FaultSite::new(
+            Structure::VectorRegisterFile,
+            1,
+            gpu.structure_words(Structure::VectorRegisterFile) - 1,
+            31,
+            1,
+        ));
         gpu.launch(&k, LaunchConfig::linear(2, 8), &[buf.addr()])
             .unwrap();
         assert_eq!(
@@ -745,6 +764,63 @@ mod tests {
             golden,
             "flip in unused word is masked"
         );
+    }
+
+    #[test]
+    fn stuck_fault_in_free_space_is_masked_but_armed() {
+        let a = arch();
+        let k = iota_kernel(&a);
+        let mut gpu = Gpu::new(a.clone());
+        let buf = gpu.alloc_words(16);
+        let golden = {
+            let mut g = Gpu::new(a);
+            let gb = g.alloc_words(16);
+            g.launch(&k, LaunchConfig::linear(2, 8), &[gb.addr()])
+                .unwrap();
+            g.read_words(gb, 16)
+        };
+        let site = FaultSite::new(
+            Structure::VectorRegisterFile,
+            1,
+            gpu.structure_words(Structure::VectorRegisterFile) - 1,
+            31,
+            1,
+        )
+        .with_kind(FaultKind::StuckAt1);
+        gpu.arm_fault(site);
+        let mut obs = crate::observer::CountingObserver::default();
+        gpu.launch_observed(&k, LaunchConfig::linear(2, 8), &[buf.addr()], &mut obs)
+            .unwrap();
+        assert_eq!(gpu.read_words(buf, 16), golden, "stuck bit in unused word");
+        assert_eq!(obs.faults, 1);
+        // The permanent fault stays armed on the SM for later launches.
+        let sm1 = &gpu.sms[1];
+        assert_eq!(sm1.stuck_faults().len(), 1);
+        assert!(sm1.stuck_faults()[0].stuck_value);
+    }
+
+    #[test]
+    fn control_fault_on_scheduler_hangs_the_launch() {
+        let a = arch();
+        let k = iota_kernel(&a);
+        let mut gpu = Gpu::new(a);
+        let buf = gpu.alloc_words(64);
+        gpu.set_watchdog(10_000);
+        // Push warp slot 0's next_issue far beyond the watchdog bound.
+        let site = FaultSite::new(Structure::VectorRegisterFile, 0, 0, 31, 1).with_kind(
+            FaultKind::Control(crate::fault::ControlTarget::SchedulerSlot),
+        );
+        gpu.arm_fault(site);
+        let mut obs = crate::observer::CountingObserver::default();
+        let err = gpu
+            .launch_observed(&k, LaunchConfig::linear(8, 8), &[buf.addr()], &mut obs)
+            .unwrap_err();
+        assert!(matches!(
+            err,
+            SimError::Due(Due::WatchdogTimeout { limit: 10_000 })
+        ));
+        assert_eq!(obs.control_corrupts, 1, "live slot was corrupted");
+        assert_eq!(obs.hangs, 1, "watchdog reported the hang");
     }
 
     #[test]

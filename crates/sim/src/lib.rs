@@ -69,9 +69,12 @@ pub mod warp;
 pub use cache::{Cache, CacheGeom, CacheStats};
 pub use config::{ArchConfig, Latencies, SchedulerPolicy, Vendor};
 pub use error::{Due, SimError};
-pub use fault::{FaultSite, Structure};
+pub use fault::{
+    ControlTarget, FaultKind, FaultModel, FaultModelKind, FaultSite, InvalidFaultSite, Structure,
+};
 pub use gpu::{Buffer, Gpu, LaunchProgress};
 pub use launch::{Dim, LaunchConfig, LaunchStats};
 pub use observer::{BlockRegions, CountingObserver, NoopObserver, SimObserver};
+pub use regfile::StuckBit;
 pub use session::{Checkpoint, LaunchPlan, PlanStep, Session, SessionStatus, SessionTelemetry};
 pub use trace::{GlobalWrite, GlobalWriteLog, MaskProbe, TraceObserver, TraceRecord, TAINT_CAP};

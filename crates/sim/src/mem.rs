@@ -25,6 +25,9 @@ pub struct GlobalMemory {
     words: Vec<u32>,
     /// First unallocated byte address.
     heap_top: u32,
+    /// Armed stuck-at cells: `(word index, bit, stuck value)`, re-asserted
+    /// by the [`GlobalMemory::store`] write intercept.
+    stuck: Vec<(usize, u8, bool)>,
 }
 
 impl Default for GlobalMemory {
@@ -39,7 +42,22 @@ impl GlobalMemory {
         GlobalMemory {
             words: Vec::new(),
             heap_top: NULL_GUARD_BYTES,
+            stuck: Vec::new(),
         }
+    }
+
+    /// Arms a stuck-at cell at byte address `addr`: the bit is forced now
+    /// and re-asserted by every subsequent [`GlobalMemory::store`].
+    ///
+    /// # Errors
+    ///
+    /// Same as [`GlobalMemory::store`] (the address must be a valid,
+    /// allocated word).
+    pub fn arm_stuck_bit(&mut self, addr: u32, bit: u8, stuck_value: bool) -> Result<(), Due> {
+        let i = self.check(addr, u32::MAX, 0)?;
+        self.stuck.push((i, bit, stuck_value));
+        self.words[i] = force_stuck(self.words[i], bit, stuck_value);
+        Ok(())
     }
 
     /// Allocates `n` 32-bit words, 256-byte aligned; returns the byte
@@ -86,7 +104,15 @@ impl GlobalMemory {
     /// [`Due::MisalignedAccess`] or [`Due::GlobalOutOfBounds`].
     pub fn store(&mut self, addr: u32, value: u32, sm: u32, cycle: u64) -> Result<(), Due> {
         let i = self.check(addr, sm, cycle)?;
-        self.words[i] = value;
+        let mut stored = value;
+        if !self.stuck.is_empty() {
+            for &(w, bit, v) in &self.stuck {
+                if w == i {
+                    stored = force_stuck(stored, bit, v);
+                }
+            }
+        }
+        self.words[i] = stored;
         Ok(())
     }
 
@@ -106,6 +132,15 @@ impl GlobalMemory {
     /// Same as [`GlobalMemory::store`].
     pub fn write_word(&mut self, addr: u32, value: u32) -> Result<(), Due> {
         self.store(addr, value, u32::MAX, 0)
+    }
+}
+
+/// Forces `bit` of `value` to the stuck polarity.
+fn force_stuck(value: u32, bit: u8, stuck_value: bool) -> u32 {
+    if stuck_value {
+        value | 1 << bit
+    } else {
+        value & !(1 << bit)
     }
 }
 
@@ -298,6 +333,27 @@ mod tests {
         for i in 0..8 {
             assert_eq!(m.read_word(a + i * 4).unwrap(), i * 10);
         }
+    }
+
+    #[test]
+    fn stuck_bit_reasserts_on_store() {
+        let mut m = GlobalMemory::new();
+        let a = m.alloc_words(4);
+        m.write_word(a, 0).unwrap();
+        m.arm_stuck_bit(a, 3, true).unwrap();
+        assert_eq!(m.read_word(a).unwrap(), 8, "forced at arm time");
+        m.write_word(a, 0).unwrap();
+        assert_eq!(
+            m.read_word(a).unwrap(),
+            8,
+            "clean overwrite does not mask it"
+        );
+        m.write_word(a + 4, 0xff).unwrap();
+        assert_eq!(m.read_word(a + 4).unwrap(), 0xff, "other words unaffected");
+        assert!(
+            m.arm_stuck_bit(0, 0, true).is_err(),
+            "null guard still checked"
+        );
     }
 
     #[test]

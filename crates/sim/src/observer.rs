@@ -109,6 +109,32 @@ pub trait SimObserver {
     fn on_fault_injected(&mut self, site: FaultSite) {
         let _ = site;
     }
+
+    /// A stuck-at fault re-asserted itself on a write: the value stored
+    /// to `word` differed from the value the program requested.
+    fn on_stuck_reassert(
+        &mut self,
+        sm: u32,
+        structure: crate::fault::Structure,
+        word: u32,
+        cycle: u64,
+    ) {
+        let _ = (sm, structure, word, cycle);
+    }
+
+    /// The watchdog cycle bound expired: the replay is hung. Reported
+    /// with the number of warps parked at barriers device-wide (nonzero
+    /// for barrier deadlocks, zero for scheduler starvation).
+    fn on_hang(&mut self, cycle: u64, parked_warps: u32) {
+        let _ = (cycle, parked_warps);
+    }
+
+    /// A control fault corrupted *live* scheduler/mask/scoreboard/barrier
+    /// state (not fired when the targeted slot was empty — such
+    /// injections are architecturally masked).
+    fn on_control_corrupt(&mut self, site: FaultSite, cycle: u64) {
+        let _ = (site, cycle);
+    }
 }
 
 impl<T: SimObserver + ?Sized> SimObserver for &mut T {
@@ -147,6 +173,21 @@ impl<T: SimObserver + ?Sized> SimObserver for &mut T {
     }
     fn on_fault_injected(&mut self, site: FaultSite) {
         (**self).on_fault_injected(site);
+    }
+    fn on_stuck_reassert(
+        &mut self,
+        sm: u32,
+        structure: crate::fault::Structure,
+        word: u32,
+        cycle: u64,
+    ) {
+        (**self).on_stuck_reassert(sm, structure, word, cycle);
+    }
+    fn on_hang(&mut self, cycle: u64, parked_warps: u32) {
+        (**self).on_hang(cycle, parked_warps);
+    }
+    fn on_control_corrupt(&mut self, site: FaultSite, cycle: u64) {
+        (**self).on_control_corrupt(site, cycle);
     }
 }
 
@@ -212,6 +253,24 @@ impl<A: SimObserver, B: SimObserver> SimObserver for (A, B) {
         self.0.on_fault_injected(site);
         self.1.on_fault_injected(site);
     }
+    fn on_stuck_reassert(
+        &mut self,
+        sm: u32,
+        structure: crate::fault::Structure,
+        word: u32,
+        cycle: u64,
+    ) {
+        self.0.on_stuck_reassert(sm, structure, word, cycle);
+        self.1.on_stuck_reassert(sm, structure, word, cycle);
+    }
+    fn on_hang(&mut self, cycle: u64, parked_warps: u32) {
+        self.0.on_hang(cycle, parked_warps);
+        self.1.on_hang(cycle, parked_warps);
+    }
+    fn on_control_corrupt(&mut self, site: FaultSite, cycle: u64) {
+        self.0.on_control_corrupt(site, cycle);
+        self.1.on_control_corrupt(site, cycle);
+    }
 }
 
 /// The do-nothing observer used by fault-injection campaign runs.
@@ -264,6 +323,12 @@ pub struct CountingObserver {
     pub launches: u64,
     /// Faults injected.
     pub faults: u64,
+    /// Stuck-at re-assertions observed on writes.
+    pub stuck_reasserts: u64,
+    /// Watchdog hangs observed.
+    pub hangs: u64,
+    /// Control faults that corrupted live state.
+    pub control_corrupts: u64,
 }
 
 impl SimObserver for CountingObserver {
@@ -296,6 +361,21 @@ impl SimObserver for CountingObserver {
     }
     fn on_fault_injected(&mut self, _site: FaultSite) {
         self.faults += 1;
+    }
+    fn on_stuck_reassert(
+        &mut self,
+        _sm: u32,
+        _structure: crate::fault::Structure,
+        _word: u32,
+        _cycle: u64,
+    ) {
+        self.stuck_reasserts += 1;
+    }
+    fn on_hang(&mut self, _cycle: u64, _parked_warps: u32) {
+        self.hangs += 1;
+    }
+    fn on_control_corrupt(&mut self, _site: FaultSite, _cycle: u64) {
+        self.control_corrupts += 1;
     }
 }
 
@@ -335,13 +415,7 @@ mod tests {
         r.on_lds_read(1, 2, 3);
         r.on_launch_begin("k", 0);
         r.on_launch_end(10);
-        r.on_fault_injected(FaultSite {
-            structure: Structure::VectorRegisterFile,
-            sm: 0,
-            word: 0,
-            bit: 0,
-            cycle: 0,
-        });
+        r.on_fault_injected(FaultSite::new(Structure::VectorRegisterFile, 0, 0, 0, 0));
         assert_eq!(r.rf_writes, 1);
         assert_eq!(r.lds_reads, 1);
         assert_eq!(r.launches, 1);

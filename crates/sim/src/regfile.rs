@@ -6,6 +6,49 @@
 //! regions, and the mapping `(warp slot, register, lane) → physical word`
 //! is a fixed affine function of the block's base.
 
+use crate::fault::Structure;
+
+/// A permanently faulty storage cell: bit `bit` of `word` always holds
+/// `stuck_value`.
+///
+/// Stuck-at faults are forced once when armed and then *re-asserted on
+/// every write* of the word through the SM's write intercepts — a clean
+/// overwrite never masks them, which is why the lifetime-oracle fast
+/// paths must stay off the stuck-at path.
+///
+/// # Example
+/// ```
+/// use simt_sim::regfile::StuckBit;
+/// use simt_sim::Structure;
+/// let s1 = StuckBit { structure: Structure::VectorRegisterFile, word: 4, bit: 3, stuck_value: true };
+/// assert_eq!(s1.force(0), 0b1000);
+/// let s0 = StuckBit { stuck_value: false, ..s1 };
+/// assert_eq!(s0.force(u32::MAX), !0b1000);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StuckBit {
+    /// Which storage structure the cell lives in.
+    pub structure: Structure,
+    /// Physical word index within the structure.
+    pub word: u32,
+    /// Bit within the word (0..32).
+    pub bit: u8,
+    /// The value the cell is stuck at.
+    pub stuck_value: bool,
+}
+
+impl StuckBit {
+    /// Forces the stuck bit into a candidate word value (the
+    /// write-intercept core).
+    pub fn force(&self, value: u32) -> u32 {
+        if self.stuck_value {
+            value | 1 << self.bit
+        } else {
+            value & !(1 << self.bit)
+        }
+    }
+}
+
 /// A first-fit allocator over a fixed number of physical words.
 ///
 /// Used for the vector RF, the scalar RF and the LDS of each SM. Blocks
@@ -152,6 +195,24 @@ pub fn sreg_phys_word(block_base: u32, warp_in_block: u32, sregs_per_warp: u32, 
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn stuck_bit_forces_both_polarities() {
+        let s = StuckBit {
+            structure: Structure::LocalMemory,
+            word: 0,
+            bit: 31,
+            stuck_value: true,
+        };
+        assert_eq!(s.force(0), 1 << 31);
+        assert_eq!(s.force(u32::MAX), u32::MAX);
+        let z = StuckBit {
+            stuck_value: false,
+            ..s
+        };
+        assert_eq!(z.force(u32::MAX), u32::MAX >> 1);
+        assert_eq!(z.force(0), 0);
+    }
 
     #[test]
     fn first_fit_and_merge() {

@@ -293,6 +293,23 @@ impl<'g> Session<'g> {
         self.gpu
     }
 
+    /// Bounds the replay on the borrowed device: a launch still in
+    /// flight when the application clock reaches `limit` raises
+    /// [`Due::WatchdogTimeout`](crate::error::Due::WatchdogTimeout),
+    /// which campaigns classify as a hang. Control faults and scheduler
+    /// corruptions can park a warp forever; without this bound such
+    /// replays would never terminate.
+    pub fn set_watchdog(&mut self, limit: u64) {
+        self.gpu.set_watchdog(limit);
+    }
+
+    /// Arms a single fault on the borrowed device (replacing any
+    /// pending faults) — the convenience used by replay drivers between
+    /// restore and resume.
+    pub fn arm_fault(&mut self, site: crate::fault::FaultSite) {
+        self.gpu.arm_fault(site);
+    }
+
     /// Whether the plan has produced its final output.
     pub fn finished(&self) -> bool {
         self.outputs.is_some()

@@ -3,10 +3,11 @@
 
 use crate::config::{ArchConfig, SchedulerPolicy};
 use crate::error::Due;
+use crate::fault::{ControlTarget, Structure};
 use crate::launch::LaunchConfig;
 use crate::mem::{GlobalMemory, MemorySystem};
 use crate::observer::{BlockRegions, SimObserver};
-use crate::regfile::RegionAllocator;
+use crate::regfile::{RegionAllocator, StuckBit};
 use crate::warp::{LaneMask, Warp};
 use simt_isa::op::{eval_atom, eval_binop, eval_cmp, eval_terop, eval_unop};
 use simt_isa::{Instr, LoweredKernel, MemSpace, Operand, Reg, SReg, Special, VReg};
@@ -64,6 +65,9 @@ pub struct Sm {
     lds_alloc: RegionAllocator,
     warps: Vec<Option<Warp>>,
     blocks: Vec<Option<ResidentBlock>>,
+    /// Armed permanent stuck-at cells, re-asserted by the store
+    /// intercepts on every write (empty in fault-free runs).
+    stuck: Vec<StuckBit>,
     sched_ptr: usize,
     gto_current: Option<usize>,
     /// Set when a block retired since the device last redistributed work.
@@ -95,6 +99,7 @@ impl Sm {
             lds_alloc: RegionAllocator::new(arch.lds_words_per_sm()),
             warps: (0..arch.max_warps_per_sm).map(|_| None).collect(),
             blocks: (0..arch.max_blocks_per_sm).map(|_| None).collect(),
+            stuck: Vec::new(),
             sched_ptr: 0,
             gto_current: None,
             retired_flag: false,
@@ -103,10 +108,17 @@ impl Sm {
     }
 
     /// Clears all storage and residency state (start of a launch).
+    ///
+    /// Armed stuck-at cells survive the reset (they are permanent
+    /// faults) and re-assert on the zeroed storage.
     pub fn reset(&mut self) {
         self.rf.fill(0);
         self.srf.fill(0);
         self.lds.fill(0);
+        for i in 0..self.stuck.len() {
+            let s = self.stuck[i];
+            self.force_stuck_now(s);
+        }
         self.rf_alloc.reset();
         self.srf_alloc.reset();
         self.lds_alloc.reset();
@@ -159,6 +171,158 @@ impl Sm {
     pub fn flip_lds_bit(&mut self, word: u32, bit: u8) {
         if let Some(w) = self.lds.get_mut(word as usize) {
             *w ^= 1 << bit;
+        }
+    }
+
+    /// Forces a stuck cell's polarity onto current storage (no observer:
+    /// arming is not a program write).
+    fn force_stuck_now(&mut self, s: StuckBit) {
+        let target = match s.structure {
+            Structure::VectorRegisterFile => self.rf.get_mut(s.word as usize),
+            Structure::ScalarRegisterFile => self.srf.get_mut(s.word as usize),
+            Structure::LocalMemory => self.lds.get_mut(s.word as usize),
+        };
+        if let Some(w) = target {
+            *w = s.force(*w);
+        }
+    }
+
+    /// Arms a permanent stuck-at cell: the bit is forced immediately and
+    /// re-asserted on every subsequent write through the store
+    /// intercepts (and across [`Sm::reset`]).
+    pub fn arm_stuck(&mut self, s: StuckBit) {
+        self.force_stuck_now(s);
+        self.stuck.push(s);
+    }
+
+    /// The armed stuck-at cells.
+    pub fn stuck_faults(&self) -> &[StuckBit] {
+        &self.stuck
+    }
+
+    /// Applies a control-unit fault: flips `bit` of the targeted
+    /// parallelism-management state. `word` selects the warp slot (the
+    /// block slot for barrier counters). Returns `true` when live state
+    /// was corrupted — an empty or finished slot is a no-op, i.e. the
+    /// fault is architecturally masked.
+    pub fn apply_control_fault(&mut self, target: ControlTarget, word: u32, bit: u8) -> bool {
+        match target {
+            ControlTarget::SchedulerSlot => match self.warp_slot_mut(word) {
+                Some(w) => {
+                    w.next_issue ^= 1u64 << bit;
+                    true
+                }
+                None => false,
+            },
+            ControlTarget::ActiveMask => match self.warp_slot_mut(word) {
+                Some(w) => {
+                    w.active ^= 1u64 << bit;
+                    true
+                }
+                None => false,
+            },
+            ControlTarget::Scoreboard => match self.warp_slot_mut(word) {
+                Some(w) if !w.vreg_ready.is_empty() => {
+                    let idx = bit as usize % w.vreg_ready.len();
+                    w.vreg_ready[idx] ^= 1u64 << bit;
+                    true
+                }
+                _ => false,
+            },
+            ControlTarget::BarrierCounter => {
+                let n = self.blocks.len();
+                if n == 0 {
+                    return false;
+                }
+                match self.blocks[word as usize % n].as_mut() {
+                    Some(b) => {
+                        b.at_barrier ^= 1u32 << bit;
+                        true
+                    }
+                    None => false,
+                }
+            }
+        }
+    }
+
+    /// The live (unfinished) warp in slot `word % slots`, if any.
+    fn warp_slot_mut(&mut self, word: u32) -> Option<&mut Warp> {
+        let n = self.warps.len();
+        if n == 0 {
+            return None;
+        }
+        self.warps[word as usize % n]
+            .as_mut()
+            .filter(|w| !w.finished)
+    }
+
+    /// Warps currently parked at a barrier (hang attribution: nonzero
+    /// parked warps at watchdog expiry indicate a barrier deadlock).
+    pub fn parked_warps(&self) -> u32 {
+        self.warps
+            .iter()
+            .flatten()
+            .filter(|w| w.at_barrier && !w.finished)
+            .count() as u32
+    }
+
+    // ---- storage write intercepts ----
+    //
+    // Every program-visible write of the three storage arrays funnels
+    // through these helpers so permanent faults can re-assert. The
+    // fault-free path costs one `is_empty` check; observer call order is
+    // identical to the historical direct stores.
+
+    /// Forces armed stuck bits of `(structure, word)` into `value`.
+    fn stuck_adjust(&self, structure: Structure, word: u32, value: u32) -> u32 {
+        let mut v = value;
+        for s in &self.stuck {
+            if s.structure == structure && s.word == word {
+                v = s.force(v);
+            }
+        }
+        v
+    }
+
+    /// Stores to a vector-RF word, re-asserting stuck bits.
+    fn store_rf<O: SimObserver>(&mut self, phys: u32, value: u32, cycle: u64, obs: &mut O) {
+        let stored = if self.stuck.is_empty() {
+            value
+        } else {
+            self.stuck_adjust(Structure::VectorRegisterFile, phys, value)
+        };
+        self.rf[phys as usize] = stored;
+        obs.on_rf_write(self.id, phys, cycle);
+        if stored != value {
+            obs.on_stuck_reassert(self.id, Structure::VectorRegisterFile, phys, cycle);
+        }
+    }
+
+    /// Stores to a scalar-RF word, re-asserting stuck bits.
+    fn store_srf<O: SimObserver>(&mut self, phys: u32, value: u32, cycle: u64, obs: &mut O) {
+        let stored = if self.stuck.is_empty() {
+            value
+        } else {
+            self.stuck_adjust(Structure::ScalarRegisterFile, phys, value)
+        };
+        self.srf[phys as usize] = stored;
+        obs.on_srf_write(self.id, phys, cycle);
+        if stored != value {
+            obs.on_stuck_reassert(self.id, Structure::ScalarRegisterFile, phys, cycle);
+        }
+    }
+
+    /// Stores to an LDS word, re-asserting stuck bits.
+    fn store_lds<O: SimObserver>(&mut self, word: u32, value: u32, cycle: u64, obs: &mut O) {
+        let stored = if self.stuck.is_empty() {
+            value
+        } else {
+            self.stuck_adjust(Structure::LocalMemory, word, value)
+        };
+        self.lds[word as usize] = stored;
+        obs.on_lds_write(self.id, word, cycle);
+        if stored != value {
+            obs.on_stuck_reassert(self.id, Structure::LocalMemory, word, cycle);
         }
     }
 
@@ -231,14 +395,12 @@ impl Sm {
                 match kernel.param_reg(i as u16) {
                     Reg::S(SReg(r)) => {
                         let phys = warp.srf_base + r as u32;
-                        self.srf[phys as usize] = value;
-                        obs.on_srf_write(self.id, phys, cycle);
+                        self.store_srf(phys, value, cycle, obs);
                     }
                     Reg::V(VReg(r)) => {
                         for lane in 0..lanes {
                             let phys = warp.rf_base + r as u32 * warp_size + lane;
-                            self.rf[phys as usize] = value;
-                            obs.on_rf_write(self.id, phys, cycle);
+                            self.store_rf(phys, value, cycle, obs);
                         }
                     }
                 }
@@ -741,8 +903,7 @@ impl Sm {
         obs: &mut O,
     ) {
         let phys = warp.rf_base + reg as u32 * warp_size + lane;
-        self.rf[phys as usize] = value;
-        obs.on_rf_write(self.id, phys, cycle);
+        self.store_rf(phys, value, cycle, obs);
     }
 
     /// `resolve` fix-up for NTid/NCta specials, which need launch config.
@@ -788,8 +949,8 @@ impl Sm {
                     _ => unreachable!("validated scalar sources are uniform"),
                 };
                 let phys = warp.srf_base + r as u32;
-                self.srf[phys as usize] = f(x);
-                obs.on_srf_write(self.id, phys, cycle);
+                let v = f(x);
+                self.store_srf(phys, v, cycle, obs);
                 warp.sreg_ready[r as usize] = cycle + lat as u64;
                 self.stats.scalar_instructions += 1;
             }
@@ -829,8 +990,8 @@ impl Sm {
                     _ => unreachable!("validated scalar sources are uniform"),
                 };
                 let phys = warp.srf_base + r as u32;
-                self.srf[phys as usize] = f(x, y);
-                obs.on_srf_write(self.id, phys, cycle);
+                let v = f(x, y);
+                self.store_srf(phys, v, cycle, obs);
                 warp.sreg_ready[r as usize] = cycle + lat as u64;
                 self.stats.scalar_instructions += 1;
             }
@@ -875,8 +1036,8 @@ impl Sm {
                     _ => unreachable!("validated scalar sources are uniform"),
                 };
                 let phys = warp.srf_base + r as u32;
-                self.srf[phys as usize] = f(x, y, z);
-                obs.on_srf_write(self.id, phys, cycle);
+                let v = f(x, y, z);
+                self.store_srf(phys, v, cycle, obs);
                 warp.sreg_ready[r as usize] = cycle + lat as u64;
                 self.stats.scalar_instructions += 1;
             }
@@ -953,8 +1114,7 @@ impl Sm {
                 let v = mem.load(a, self.id, cycle)?;
                 let lat = mem_sys.access_latency(self.id, &[a]);
                 let phys = warp.srf_base + r as u32;
-                self.srf[phys as usize] = v;
-                obs.on_srf_write(self.id, phys, cycle);
+                self.store_srf(phys, v, cycle, obs);
                 warp.sreg_ready[r as usize] = cycle + lat as u64;
                 self.stats.scalar_instructions += 1;
             }
@@ -1054,8 +1214,7 @@ impl Sm {
                         self.lane_value(warp, &rs, lane, arch.warp_size, ntid, nctaid, cycle, obs);
                     let a = base.wrapping_add(offset as u32);
                     let w = self.lds_word(warp, a, cycle)?;
-                    self.lds[w as usize] = v;
-                    obs.on_lds_write(self.id, w, cycle);
+                    self.store_lds(w, v, cycle, obs);
                 }
             }
         }
@@ -1102,8 +1261,7 @@ impl Sm {
                     let w = self.lds_word(warp, a, cycle)?;
                     obs.on_lds_read(self.id, w, cycle);
                     let (new, old) = eval_atom(op, self.lds[w as usize], v);
-                    self.lds[w as usize] = new;
-                    obs.on_lds_write(self.id, w, cycle);
+                    self.store_lds(w, new, cycle, obs);
                     old
                 }
             };
@@ -1213,5 +1371,50 @@ mod tests {
         assert_eq!(sm.rf[0], 0);
         assert_eq!(sm.lds[1], 0);
         assert!(!sm.busy());
+    }
+
+    #[test]
+    fn stuck_bit_forces_reasserts_and_survives_reset() {
+        let arch = ArchConfig::small_test_gpu();
+        let mut sm = Sm::new(0, &arch);
+        sm.rf[10] = 0b1000;
+        sm.arm_stuck(StuckBit {
+            structure: Structure::VectorRegisterFile,
+            word: 10,
+            bit: 3,
+            stuck_value: false,
+        });
+        assert_eq!(sm.rf[10], 0, "forced at arm time");
+        let mut obs = crate::observer::CountingObserver::default();
+        sm.store_rf(10, u32::MAX, 5, &mut obs);
+        assert_eq!(sm.rf[10], !0b1000, "re-asserted on write");
+        assert_eq!(obs.rf_writes, 1);
+        assert_eq!(obs.stuck_reasserts, 1);
+        // A write that agrees with the stuck polarity is not a reassert.
+        sm.store_rf(10, 0, 6, &mut obs);
+        assert_eq!(obs.stuck_reasserts, 1);
+        // Permanent faults survive the inter-launch reset.
+        sm.arm_stuck(StuckBit {
+            structure: Structure::LocalMemory,
+            word: 2,
+            bit: 0,
+            stuck_value: true,
+        });
+        sm.reset();
+        assert_eq!(sm.lds[2], 1, "stuck-at-1 re-asserts after reset");
+        assert_eq!(sm.stuck_faults().len(), 2);
+    }
+
+    #[test]
+    fn control_fault_on_empty_slots_is_masked() {
+        let arch = ArchConfig::small_test_gpu();
+        let mut sm = Sm::new(0, &arch);
+        for t in ControlTarget::ALL {
+            assert!(
+                !sm.apply_control_fault(t, 0, 5),
+                "{t}: empty slot must be a no-op"
+            );
+        }
+        assert_eq!(sm.parked_warps(), 0);
     }
 }

@@ -108,6 +108,18 @@ pub struct TraceRecord {
     pub taint_saturated: bool,
     /// Distinct LDS banks among the tainted local-memory words.
     pub lds_banks: u32,
+    /// Cycle of the first stuck-at re-assertion (a write to the faulty
+    /// word whose stored value was forced back to the stuck value).
+    /// `None` for transient sites and for stuck cells never re-written.
+    pub first_reassert: Option<u64>,
+    /// Total number of stuck-at re-assertions observed on the site word.
+    pub reasserts: u64,
+    /// Cycle a control fault corrupted live scheduler/mask/scoreboard/
+    /// barrier state (`None` when the slot was empty: a masked control
+    /// injection).
+    pub control_corrupt: Option<u64>,
+    /// Cycle the watchdog declared the replay hung, if it did.
+    pub hang: Option<u64>,
 }
 
 /// Flight recorder for one faulty replay.
@@ -130,6 +142,10 @@ pub struct TraceObserver<'a> {
     first_read: Option<u64>,
     overwrite: Option<u64>,
     divergence: Option<u64>,
+    first_reassert: Option<u64>,
+    reasserts: u64,
+    control_corrupt: Option<u64>,
+    hang: Option<u64>,
     /// Words currently carrying the corruption.
     live: BTreeSet<(Structure, u32)>,
     /// Every word the corruption ever reached (capped).
@@ -160,6 +176,10 @@ impl<'a> TraceObserver<'a> {
             first_read: None,
             overwrite: None,
             divergence: None,
+            first_reassert: None,
+            reasserts: 0,
+            control_corrupt: None,
+            hang: None,
             live: BTreeSet::new(),
             reached: BTreeSet::new(),
             taint_saturated: false,
@@ -237,6 +257,10 @@ impl<'a> TraceObserver<'a> {
             taint_words: self.reached.len() as u32,
             taint_saturated: self.taint_saturated,
             lds_banks: banks.len() as u32,
+            first_reassert: self.first_reassert,
+            reasserts: self.reasserts,
+            control_corrupt: self.control_corrupt,
+            hang: self.hang,
         }
     }
 }
@@ -279,6 +303,30 @@ impl SimObserver for TraceObserver<'_> {
             self.reached.insert(origin);
         }
     }
+    fn on_stuck_reassert(&mut self, sm: u32, structure: Structure, word: u32, cycle: u64) {
+        if sm != self.sm_index || (structure, word) != self.origin() {
+            return;
+        }
+        if self.first_reassert.is_none() {
+            self.first_reassert = Some(cycle);
+        }
+        self.reasserts += 1;
+        // A re-assertion re-corrupts the word even after a clean
+        // overwrite appeared to kill it: put the origin back in the live
+        // taint set so later reads are attributed correctly.
+        let origin = self.origin();
+        self.taint(origin);
+    }
+    fn on_control_corrupt(&mut self, site: FaultSite, cycle: u64) {
+        if site == self.site && self.control_corrupt.is_none() {
+            self.control_corrupt = Some(cycle);
+        }
+    }
+    fn on_hang(&mut self, cycle: u64, _parked_warps: u32) {
+        if self.hang.is_none() {
+            self.hang = Some(cycle);
+        }
+    }
 }
 
 /// Minimal early-exit probe for untraced faulty replays: detects the
@@ -302,13 +350,17 @@ impl SimObserver for TraceObserver<'_> {
 /// stream: it answers only "is this replay already provably masked?",
 /// cheap enough to ride every replay of a campaign's slow path.
 ///
+/// The argument is only valid for
+/// [`TransientFlip`](crate::fault::FaultKind::TransientFlip) sites: a
+/// stuck-at cell re-asserts on every write (an overwrite does *not*
+/// restore golden state) and a control fault never lives in a storage
+/// word at all. Probes armed for non-transient sites therefore never
+/// report masked, regardless of the event stream.
+///
 /// # Example
 /// ```
 /// use simt_sim::{FaultSite, MaskProbe, SimObserver, Structure};
-/// let site = FaultSite {
-///     structure: Structure::VectorRegisterFile,
-///     sm: 0, word: 10, bit: 3, cycle: 100,
-/// };
+/// let site = FaultSite::new(Structure::VectorRegisterFile, 0, 10, 3, 100);
 /// let mut probe = MaskProbe::new(site, 16);
 /// probe.on_fault_injected(site);
 /// probe.on_rf_write(0, 10, 120); // clean overwrite, never read
@@ -319,6 +371,9 @@ pub struct MaskProbe {
     site: FaultSite,
     /// The physical SM index the fault lands on (`site.sm % num_sms`).
     sm_index: u32,
+    /// Whether the clean-overwrite argument applies to this site's fault
+    /// kind (transient only).
+    maskable: bool,
     injected: bool,
     read_seen: bool,
     masked_at: Option<u64>,
@@ -330,6 +385,7 @@ impl MaskProbe {
         MaskProbe {
             site,
             sm_index: (site.sm as usize % num_sms.max(1)) as u32,
+            maskable: site.is_transient(),
             injected: false,
             read_seen: false,
             masked_at: None,
@@ -359,7 +415,8 @@ impl MaskProbe {
     }
 
     fn write(&mut self, structure: Structure, sm: u32, word: u32, cycle: u64) {
-        if self.injected
+        if self.maskable
+            && self.injected
             && !self.read_seen
             && self.masked_at.is_none()
             && sm == self.sm_index
@@ -393,7 +450,9 @@ impl SimObserver for MaskProbe {
     fn on_launch_begin(&mut self, _name: &str, cycle: u64) {
         // The per-launch storage reset zeroes every RF/SRF/LDS word: a
         // still-unread flip is erased exactly like a clean overwrite.
-        if self.injected && !self.read_seen && self.masked_at.is_none() {
+        // (Stuck-at cells survive the reset — `Sm::reset` re-asserts
+        // them — so this too is gated to transient sites.)
+        if self.maskable && self.injected && !self.read_seen && self.masked_at.is_none() {
             self.masked_at = Some(cycle);
         }
     }
@@ -409,13 +468,7 @@ mod tests {
     use super::*;
 
     fn site() -> FaultSite {
-        FaultSite {
-            structure: Structure::VectorRegisterFile,
-            sm: 0,
-            word: 10,
-            bit: 3,
-            cycle: 100,
-        }
+        FaultSite::new(Structure::VectorRegisterFile, 0, 10, 3, 100)
     }
 
     #[test]
@@ -565,6 +618,49 @@ mod tests {
         p.on_rf_read(0, 11, 150); // different word: irrelevant
         p.on_launch_begin("k2", 300);
         assert_eq!(p.masked_at(), Some(300));
+    }
+
+    #[test]
+    fn probe_never_masks_non_transient_sites() {
+        use crate::fault::FaultKind;
+        // A stuck-at cell is re-asserted by every write: the clean-
+        // overwrite argument is unsound, so the probe must stay silent.
+        let s = site().with_kind(FaultKind::StuckAt1);
+        let mut p = MaskProbe::new(s, 1);
+        p.on_fault_injected(s);
+        p.on_rf_write(0, 10, 120);
+        p.on_launch_begin("k2", 300);
+        assert!(!p.provably_masked());
+    }
+
+    #[test]
+    fn trace_records_reasserts_and_hang() {
+        use crate::fault::FaultKind;
+        let golden = [];
+        let s = site().with_kind(FaultKind::StuckAt0);
+        let mut t = TraceObserver::new(s, 1, &golden, 0);
+        t.on_fault_injected(s);
+        t.on_stuck_reassert(0, Structure::VectorRegisterFile, 10, 130);
+        t.on_stuck_reassert(0, Structure::VectorRegisterFile, 10, 140);
+        t.on_stuck_reassert(0, Structure::VectorRegisterFile, 99, 150); // other word
+        t.on_hang(9_999, 3);
+        let r = t.into_record(16);
+        assert_eq!(r.first_reassert, Some(130));
+        assert_eq!(r.reasserts, 2);
+        assert_eq!(r.hang, Some(9_999));
+    }
+
+    #[test]
+    fn trace_records_control_corruption() {
+        use crate::fault::{ControlTarget, FaultKind};
+        let golden = [];
+        let c = site().with_kind(FaultKind::Control(ControlTarget::ActiveMask));
+        let mut t = TraceObserver::new(c, 1, &golden, 0);
+        t.on_fault_injected(c);
+        t.on_control_corrupt(c, 100);
+        let r = t.into_record(16);
+        assert_eq!(r.control_corrupt, Some(100));
+        assert_eq!(r.hang, None);
     }
 
     #[test]

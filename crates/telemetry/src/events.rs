@@ -47,6 +47,28 @@ impl Event {
         self
     }
 
+    /// Appends a field only when `value` is `Some`, keeping builder
+    /// chains linear for optional detail (a missing key reads the same
+    /// as "not applicable" downstream, and consumers like `repro
+    /// report` already tolerate absent fields).
+    ///
+    /// ```
+    /// use grel_telemetry::Event;
+    /// let e = Event::new("injection.trace")
+    ///     .field_opt("cause", Some("deadlock"))
+    ///     .field_opt("cause_cycle", None::<u64>);
+    /// assert_eq!(
+    ///     e.to_json().to_string(),
+    ///     r#"{"event":"injection.trace","cause":"deadlock"}"#
+    /// );
+    /// ```
+    pub fn field_opt(self, key: &str, value: Option<impl Into<Json>>) -> Self {
+        match value {
+            Some(v) => self.field(key, v),
+            None => self,
+        }
+    }
+
     /// The event name.
     pub fn name(&self) -> &str {
         &self.name
@@ -178,6 +200,15 @@ mod tests {
         assert_eq!(e.get("a").and_then(Json::as_u64), Some(1));
         assert_eq!(e.get("b").and_then(Json::as_str), Some("two"));
         assert_eq!(e.get("c"), None);
+    }
+
+    #[test]
+    fn field_opt_skips_none_and_keeps_some() {
+        let e = Event::new("x")
+            .field_opt("present", Some(7u64))
+            .field_opt("absent", None::<&str>);
+        assert_eq!(e.get("present").and_then(Json::as_u64), Some(7));
+        assert_eq!(e.get("absent"), None);
     }
 
     #[test]

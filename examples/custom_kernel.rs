@@ -78,13 +78,9 @@ fn main() {
 
     // Now flip a bit in GT200's register file early in the run and watch
     // the output corrupt (or stay masked, if the word was unallocated).
-    let site = FaultSite {
-        structure: Structure::VectorRegisterFile,
-        sm: 0,
-        word: 40, // v1 (the x value) of lane 8, warp 0, first block
-        bit: 30,  // high mantissa/exponent region of an f32
-        cycle: 300,
-    };
+    // word 40 = v1 (the x value) of lane 8, warp 0, first block;
+    // bit 30 sits in the high mantissa/exponent region of an f32.
+    let site = FaultSite::new(Structure::VectorRegisterFile, 0, 40, 30, 300);
     let faulty = run_on(quadro_fx_5800(), Some(site));
     let diffs = faulty.iter().zip(&clean_nv).filter(|(a, b)| a != b).count();
     println!(

@@ -45,12 +45,14 @@ fn flip_in_never_allocated_space_is_always_masked() {
     let w = VectorAdd::new(128, 3);
     let golden = golden_run(&arch, &w).unwrap();
     let sites: Vec<FaultSite> = (0..8)
-        .map(|i| FaultSite {
-            structure: Structure::VectorRegisterFile,
-            sm: 14,
-            word: arch.rf_words_per_sm() - 1 - i,
-            bit: (i % 32) as u8,
-            cycle: golden.cycles / 2,
+        .map(|i| {
+            FaultSite::new(
+                Structure::VectorRegisterFile,
+                14,
+                arch.rf_words_per_sm() - 1 - i,
+                (i % 32) as u8,
+                golden.cycles / 2,
+            )
         })
         .collect();
     let outcomes = run_injections(&arch, &w, &golden, &sites, cfg(8, 2)).unwrap();
@@ -65,13 +67,13 @@ fn flip_after_execution_finishes_is_masked() {
     let arch = quadro_fx_5600();
     let w = VectorAdd::new(256, 3);
     let golden = golden_run(&arch, &w).unwrap();
-    let site = FaultSite {
-        structure: Structure::VectorRegisterFile,
-        sm: 0,
-        word: 0,
-        bit: 0,
-        cycle: golden.cycles.saturating_sub(1),
-    };
+    let site = FaultSite::new(
+        Structure::VectorRegisterFile,
+        0,
+        0,
+        0,
+        golden.cycles.saturating_sub(1),
+    );
     let outcomes = run_injections(&arch, &w, &golden, &[site], cfg(1, 1)).unwrap();
     // The very last cycles are drain; a flip in the RF there is almost
     // always dead. (Not a tautology: the site targets word 0, which IS
@@ -127,13 +129,7 @@ fn armed_fault_survives_only_one_run() {
     let w = VectorAdd::new(256, 3);
     let golden = golden_run(&arch, &w).unwrap();
     let mut gpu = Gpu::new(arch.clone());
-    gpu.arm_fault(FaultSite {
-        structure: Structure::VectorRegisterFile,
-        sm: 0,
-        word: 10,
-        bit: 5,
-        cycle: 10,
-    });
+    gpu.arm_fault(FaultSite::new(Structure::VectorRegisterFile, 0, 10, 5, 10));
     let _ = w.run(&mut gpu, &mut NoopObserver).unwrap();
     // Fresh GPU, no fault: golden.
     let mut gpu2 = Gpu::new(arch);

@@ -4,14 +4,14 @@
 //! the parallelism must actually buy wall-clock time.
 
 use gpu_archs::{all_devices, geforce_gtx_480, quadro_fx_5600};
-use gpu_workloads::{Histogram, VectorAdd, Workload};
+use gpu_workloads::{Histogram, Reduction, VectorAdd, Workload};
 use grel_core::campaign::{
     run_campaign, run_campaign_parallel, run_campaign_parallel_hooked, CampaignConfig,
     CampaignResult,
 };
 use grel_core::study::{run_study, run_study_parallel, run_study_parallel_hooked, StudyConfig};
 use grel_telemetry::{MetricsRegistry, MetricsSnapshot, NoopHook, RegistryHook};
-use simt_sim::Structure;
+use simt_sim::{ArchConfig, FaultModelKind, Structure};
 
 fn quick_cfg(injections: u32) -> CampaignConfig {
     let mut cfg = CampaignConfig::quick(11);
@@ -87,6 +87,33 @@ fn campaign_with_live_hooks_is_bit_identical_at_jobs_1_2_8() {
             .map(|(_, v)| v)
             .sum();
         assert_eq!(per_worker, replayed, "workers replay the unpruned sites");
+    }
+}
+
+/// The determinism contract extends to every fault model: stuck-at and
+/// control campaigns must produce bit-identical results at any job
+/// count. The barrier-synchronized reduction on the small test GPU
+/// keeps every warp slot live, so control faults actually land and the
+/// tallies being compared include Hang and DUE outcomes, not just
+/// Masked.
+#[test]
+fn stuck_at_and_control_campaigns_are_bit_identical_at_jobs_1_2_8() {
+    let arch = ArchConfig::small_test_gpu();
+    let w = Reduction::new(256, 32, 5);
+    for model in [
+        FaultModelKind::Stuck0,
+        FaultModelKind::Stuck1,
+        FaultModelKind::Control,
+    ] {
+        let mut cfg = quick_cfg(24);
+        cfg.fault_model = model;
+        let sequential = run_campaign(&arch, &w, Structure::VectorRegisterFile, cfg).unwrap();
+        assert_eq!(sequential.tally.total(), 24, "{model:?}");
+        for jobs in [1usize, 2, 8] {
+            let parallel =
+                run_campaign_parallel(&arch, &w, Structure::VectorRegisterFile, cfg, jobs).unwrap();
+            assert_identical(&sequential, &parallel);
+        }
     }
 }
 

@@ -198,13 +198,7 @@ impl SimObserver for RfLog {
 }
 
 fn rf_site(word: u32, bit: u8, cycle: u64) -> FaultSite {
-    FaultSite {
-        structure: Structure::VectorRegisterFile,
-        sm: 0,
-        word,
-        bit,
-        cycle,
-    }
+    FaultSite::new(Structure::VectorRegisterFile, 0, word, bit, cycle)
 }
 
 #[test]

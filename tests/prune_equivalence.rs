@@ -292,14 +292,98 @@ fn refined_ace_equals_oracle_live_fraction_on_the_probe_kernel() {
     // sampled cycle of the probe's short run must be dead for some word.
     let dead_somewhere = (0..arch.rf_words_per_sm()).any(|word| {
         (0..cycles).any(|cycle| {
-            oracle.is_dead(simt_sim::FaultSite {
-                structure: Structure::VectorRegisterFile,
-                sm: 0,
+            oracle.is_dead(simt_sim::FaultSite::new(
+                Structure::VectorRegisterFile,
+                0,
                 word,
-                bit: 0,
+                0,
                 cycle,
-            })
+            ))
         })
     });
     assert!(dead_somewhere, "probe kernel has a prunable RF site");
+}
+
+/// The lifetime oracle's "dead" verdict is only sound for transient
+/// flips: a dead window means the word is overwritten before its next
+/// read, which erases a one-shot flip but *not* a stuck-at fault — the
+/// stuck cell re-asserts on that very overwrite. This test pins both
+/// halves of the kind gate. First, `is_dead` must refuse the stuck-at
+/// twin of every oracle-dead transient site (the gate). Second, at
+/// least one of those twins must replay to a real failure — proving a
+/// campaign that pruned stuck-at sites through the oracle would
+/// silently misclassify SDCs as masked, i.e. the gate is load-bearing,
+/// not defensive.
+#[test]
+fn oracle_pruning_would_be_unsound_for_stuck_at_faults() {
+    use grel_core::campaign::{golden_run, run_injections, Outcome};
+    use simt_sim::{FaultKind, FaultSite};
+
+    let arch = geforce_gtx_480();
+    let probe = Probe;
+    let mut gpu = Gpu::new(arch.clone());
+    let mut oracle = LifetimeOracle::new(&arch);
+    let out = probe.run(&mut gpu, &mut oracle).unwrap();
+    assert_eq!(out, probe.reference());
+    let cycles = gpu.app_cycle();
+
+    // Every oracle-dead transient site on a word the kernel actually
+    // uses: words that are dead at *every* cycle were never allocated
+    // (a stuck-at there is trivially masked too), so only words with
+    // some live window are interesting. The probe's handful of vregs
+    // spread one word per lane, so scan the first 16 vregs' worth. Bit
+    // 1 is chosen so a stuck-at-1 twin visibly corrupts the stored
+    // value: `live` holds 5 = 0b101, and 5 | 0b010 = 7.
+    let mut dead_sites = Vec::new();
+    for word in 0..(16 * arch.warp_size) {
+        let dead_at: Vec<u64> = (0..cycles)
+            .filter(|&cycle| {
+                oracle.is_dead(FaultSite::new(
+                    Structure::VectorRegisterFile,
+                    0,
+                    word,
+                    1,
+                    cycle,
+                ))
+            })
+            .collect();
+        if dead_at.len() == cycles as usize {
+            continue; // never-allocated word
+        }
+        for cycle in dead_at {
+            let site = FaultSite::new(Structure::VectorRegisterFile, 0, word, 1, cycle);
+            // The gate: the stuck-at twin of a dead transient site must
+            // never be prunable.
+            assert!(
+                !oracle.is_dead(site.with_kind(FaultKind::StuckAt1)),
+                "oracle pruned a stuck-at site at word {word} cycle {cycle}"
+            );
+            dead_sites.push(site);
+        }
+    }
+    assert!(!dead_sites.is_empty(), "probe kernel has dead RF windows");
+
+    // Ground truth: replay the stuck-at-1 twin of each dead site. If
+    // the oracle's verdict were applied to stuck-at campaigns, all of
+    // these would be pre-classified masked without replay — but at
+    // least one (a pre-write window of the stored register) is a real
+    // SDC.
+    let stuck_twins: Vec<FaultSite> = dead_sites
+        .iter()
+        .map(|s| s.with_kind(FaultKind::StuckAt1))
+        .collect();
+    let golden = golden_run(&arch, &probe).unwrap();
+    let outcomes = run_injections(
+        &arch,
+        &probe,
+        &golden,
+        &stuck_twins,
+        cfg(stuck_twins.len() as u32, false, false),
+    )
+    .unwrap();
+    assert!(
+        outcomes.iter().any(|o| *o != Outcome::Masked),
+        "every stuck-at twin of an oracle-dead site replayed masked — \
+         pruning stuck-at campaigns would be sound, gate test is vacuous: {outcomes:?}"
+    );
 }
