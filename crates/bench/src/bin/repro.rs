@@ -27,6 +27,9 @@
 //!   --site SPEC         fault site for `trace` (sm:struct:word:bit:cycle[:kind])
 //!   --metrics PATH      write telemetry (events + final metrics) as JSONL
 //!   --progress          live progress line on stderr (done/total, inj/s, ETA)
+//!   --profile PATH      record hierarchical spans and write a Chrome
+//!                       trace (Perfetto-loadable); PATH.tree gets the
+//!                       jobs-invariant structural span tree
 //!   --quiet, -q         suppress status lines on stderr (errors still print)
 //!   -v, --verbose       also print debug-level status lines
 //! ```
@@ -34,7 +37,8 @@
 //! `repro report <metrics.jsonl>` renders a markdown run report from a
 //! JSONL file produced by `--metrics`. `repro trace --site ...` replays
 //! one injection with the flight recorder on and prints its propagation
-//! narrative.
+//! narrative. `repro profile` runs the study with span tracing on,
+//! prints the phase/hot-spot profile and writes the Chrome trace.
 
 use gpu_archs::all_devices;
 use gpu_workloads::Workload;
@@ -52,9 +56,11 @@ use grel_core::stats::{error_margin, required_sample_size, Z_99};
 use grel_core::study::{evaluate_point, run_study, run_study_hooked, StudyConfig};
 use grel_telemetry::{
     Event, EventSink, JsonlSink, LogLevel, Logger, MetricsRegistry, NullSink, ProgressHook,
-    RegistryHook,
+    RegistryHook, SpanHook, SpanRecorder, SpanTree,
 };
-use simt_sim::{ArchConfig, FaultKind, FaultModelKind, Gpu, SchedulerPolicy, Structure};
+use simt_sim::{
+    ArchConfig, FaultKind, FaultModelKind, Gpu, HotspotObserver, SchedulerPolicy, Structure,
+};
 use std::path::Path;
 use std::process::ExitCode;
 use std::sync::Arc;
@@ -80,6 +86,7 @@ struct Args {
     provenance: bool,
     site: Option<String>,
     fault_model: FaultModelKind,
+    profile: Option<String>,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -106,13 +113,14 @@ fn parse_args() -> Result<Args, String> {
         provenance: false,
         site: None,
         fault_model: FaultModelKind::Transient,
+        profile: None,
     };
     let mut it = std::env::args().skip(1);
     while let Some(a) = it.next() {
         match a.as_str() {
             "fig1" | "fig2" | "fig3" | "findings" | "stats" | "all" | "outcomes" | "perf"
             | "bits" | "phases" | "mbu" | "protect" | "ablate-sched" | "ablate-rfsize"
-            | "ablate-ace" | "bench-campaign" | "report" | "trace" => args.command = a,
+            | "ablate-ace" | "bench-campaign" | "report" | "trace" | "profile" => args.command = a,
             "--injections" => {
                 args.injections = it
                     .next()
@@ -158,6 +166,7 @@ fn parse_args() -> Result<Args, String> {
                     .map_err(|e| format!("bad --fault-model: {e}"))?;
             }
             "--provenance" => args.provenance = true,
+            "--profile" => args.profile = Some(it.next().ok_or("--profile needs a value")?),
             "--site" => args.site = Some(it.next().ok_or("--site needs a value")?),
             "--metrics" => args.metrics = Some(it.next().ok_or("--metrics needs a value")?),
             "--progress" => args.progress = true,
@@ -189,7 +198,8 @@ usage: repro [COMMAND] [--injections N] [--paper] [--seed S] [--jobs N]
              [--csv PATH] [--json PATH] [--experiments PATH]
              [--checkpoint-interval N] [--no-checkpoints] [--no-prune]
              [--fault-model transient|stuck0|stuck1|control] [--provenance]
-             [--metrics PATH] [--progress] [--quiet] [-v]
+             [--metrics PATH] [--progress] [--profile PATH] [--quiet] [-v]
+       repro profile [study options]
        repro report <metrics.jsonl>
        repro trace --site sm:struct:word:bit:cycle[:kind] [--device D] [--workload W]
 
@@ -210,6 +220,9 @@ commands:
   ablate-rfsize extension: register-file size sweep vs AVF and FIT
   ablate-ace    extension: conservative vs refined ACE vs FI
   bench-campaign  measure checkpointed-replay speedup and --jobs scaling
+  profile       run the study with span tracing on, print the phase /
+                hot-spot profile and write a Perfetto-loadable Chrome
+                trace (default profile_trace.json; override --profile)
   report        render a markdown run report from a --metrics JSONL file
   trace         explain one injection: flip -> first read/overwrite ->
                 divergence, masking reason or failure cause
@@ -250,6 +263,14 @@ telemetry:
   study runs, then the final counter/gauge/histogram values. --progress
   draws a live done/total + inj/s + ETA line on stderr. Neither flag
   changes campaign results.
+
+profiling:
+  --profile PATH records a hierarchical span for every study phase
+  (golden run, oracle capture, checkpoint ladder, prune, replay, merge)
+  and every campaign injection, then writes a Chrome trace-event JSON
+  to PATH — load it at https://ui.perfetto.dev or chrome://tracing.
+  PATH.tree gets the duration-stripped structural span tree, which is
+  byte-identical at any --jobs. Spans never change campaign results.
 
 provenance:
   --provenance turns the fault-propagation flight recorder on for every
@@ -420,19 +441,38 @@ fn main() -> ExitCode {
                 ),
         );
     }
+    // The `profile` command implies tracing; --profile turns it on for
+    // any study command. The recorder outlives the hooks so the tree
+    // can be assembled after the run.
+    let profile_path = args
+        .profile
+        .clone()
+        .or_else(|| (args.command == "profile").then(|| "profile_trace.json".to_string()));
+    let recorder = profile_path.as_ref().map(|_| SpanRecorder::new());
     let telemetry_on = args.metrics.is_some() || args.progress;
+    // One campaign per structure: RF always, LDS when the workload
+    // touches local memory (mirrors evaluate_point).
+    let per_point: u64 = workloads
+        .iter()
+        .map(|w| 1 + u64::from(w.uses_local_memory() || cfg.fi_on_unused_lds))
+        .sum();
+    let progress_total = per_point * archs.len() as u64 * args.injections as u64;
     let start = std::time::Instant::now();
-    let outcome = if telemetry_on {
+    let outcome = if let Some(recorder) = &recorder {
+        let span_hook = SpanHook::new(recorder);
         let reg_hook = RegistryHook::with_sink(&registry, &*sink);
         if args.progress {
-            // One campaign per structure: RF always, LDS when the
-            // workload touches local memory (mirrors evaluate_point).
-            let per_point: u64 = workloads
-                .iter()
-                .map(|w| 1 + u64::from(w.uses_local_memory() || cfg.fi_on_unused_lds))
-                .sum();
-            let total = per_point * archs.len() as u64 * args.injections as u64;
-            let prog = ProgressHook::new(total);
+            let prog = ProgressHook::new(progress_total);
+            let study = run_study_hooked(&archs, &workloads, &cfg, &((reg_hook, &prog), span_hook));
+            prog.finish();
+            study
+        } else {
+            run_study_hooked(&archs, &workloads, &cfg, &(reg_hook, span_hook))
+        }
+    } else if telemetry_on {
+        let reg_hook = RegistryHook::with_sink(&registry, &*sink);
+        if args.progress {
+            let prog = ProgressHook::new(progress_total);
             let study = run_study_hooked(&archs, &workloads, &cfg, &(reg_hook, &prog));
             prog.finish();
             study
@@ -485,6 +525,35 @@ fn main() -> ExitCode {
         log.info(&format!("wrote metrics to {path}"));
     }
 
+    let mut profile_tree: Option<SpanTree> = None;
+    if let (Some(recorder), Some(path)) = (&recorder, &profile_path) {
+        let tree = recorder.finish();
+        if tree.is_empty() {
+            log.error("profiling produced no spans; refusing to write an empty trace");
+            return ExitCode::FAILURE;
+        }
+        if tree.dropped > 0 {
+            log.info(&format!(
+                "span ring overflowed: {} spans dropped (trace is still valid)",
+                tree.dropped
+            ));
+        }
+        if let Err(e) = std::fs::write(path, tree.to_chrome_trace().to_string()) {
+            log.error(&format!("writing {path}: {e}"));
+            return ExitCode::FAILURE;
+        }
+        let tree_path = format!("{path}.tree");
+        if let Err(e) = std::fs::write(&tree_path, tree.structural_text()) {
+            log.error(&format!("writing {tree_path}: {e}"));
+            return ExitCode::FAILURE;
+        }
+        log.info(&format!(
+            "wrote Chrome trace to {path} ({} spans; structural tree: {tree_path})",
+            tree.spans.len()
+        ));
+        profile_tree = Some(tree);
+    }
+
     match args.command.as_str() {
         "fig1" => print!(
             "{}",
@@ -527,6 +596,67 @@ fn main() -> ExitCode {
                     p.lds.tally.due,
                     p.lds.tally.hang
                 );
+            }
+        }
+        "profile" => {
+            if let Some(tree) = &profile_tree {
+                println!("== Campaign profile: phase spans ==");
+                println!("(per-injection and per-worker spans are in the Chrome trace)");
+                for n in &tree.spans {
+                    if n.name.starts_with("inj:") || n.name.starts_with("worker:") {
+                        continue;
+                    }
+                    let tags = n
+                        .tags
+                        .iter()
+                        .map(|(k, v)| format!("{k}={v}"))
+                        .collect::<Vec<_>>()
+                        .join(" ");
+                    println!(
+                        "{:indent$}{:<24} {:>10.3} ms  x{:<4} {}",
+                        "",
+                        n.name,
+                        n.dur_us as f64 / 1e3,
+                        n.count,
+                        tags,
+                        indent = 2 * n.depth as usize
+                    );
+                }
+                println!();
+            }
+            println!("== Simulator hot spots (one clean run per point) ==");
+            println!(
+                "{:<12} {:<16} {:>9} {:>9} {:>9} {:>9} {:>9} {:>8} {:>9}",
+                "workload",
+                "device",
+                "rf-acc",
+                "rf-live",
+                "lds-acc",
+                "srf-acc",
+                "dispatch",
+                "launches",
+                "cycles"
+            );
+            for w in &workloads {
+                for arch in &archs {
+                    let mut gpu = Gpu::new(arch.clone());
+                    let mut obs = HotspotObserver::default();
+                    match w.run(&mut gpu, &mut obs) {
+                        Ok(_) => println!(
+                            "{:<12} {:<16} {:>9} {:>9} {:>9} {:>9} {:>9} {:>8} {:>9}",
+                            w.name(),
+                            arch.name,
+                            obs.rf.accesses(),
+                            obs.rf.active_cycles(),
+                            obs.lds.accesses(),
+                            obs.srf.accesses(),
+                            obs.sched_dispatches,
+                            obs.launches,
+                            obs.end_cycle
+                        ),
+                        Err(e) => println!("{:<12} {:<16} {e}", w.name(), arch.name),
+                    }
+                }
             }
         }
         _ => {
@@ -910,7 +1040,9 @@ fn perf_table(archs: &[ArchConfig], workloads: &[Box<dyn Workload>]) -> ExitCode
 /// the tally never changes, and reports the parallel scaling. A third
 /// table benchmarks the lifetime-oracle fast path (full replay vs
 /// early-exit vs pruned, identical tallies asserted), and the whole run
-/// is written machine-readable to `BENCH_campaign.json`.
+/// is written machine-readable to `BENCH_campaign.json`. A final
+/// span-traced pass per pair (identical tally asserted again) writes
+/// the phase/worker timing breakdown to `BENCH_profile.json`.
 fn bench_campaign(
     archs: &[ArchConfig],
     workloads: &[Box<dyn Workload>],
@@ -950,6 +1082,7 @@ fn bench_campaign(
     type PruneRow = (String, String, String, f64, f64, f64, f64, f64);
     let mut prune_rows: Vec<PruneRow> = Vec::new();
     let mut pairs_json: Vec<Json> = Vec::new();
+    let mut profile_pairs_json: Vec<Json> = Vec::new();
     println!(
         "{:<16} {:<12} {:>5} {:>11} {:>13} {:>8}",
         "device", "workload", "rungs", "from-zero", "checkpointed", "speedup"
@@ -1133,6 +1266,80 @@ fn bench_campaign(
                     ("speedup_vs_full".into(), Json::from(speedup)),
                 ]));
             }
+            // Profiled pass: the same checkpointed campaign once more at
+            // the requested job count with span tracing on. The tally
+            // must match the unprofiled runs (spans are observe-only),
+            // and the span tree feeds BENCH_profile.json.
+            let precorder = SpanRecorder::new();
+            {
+                let preg = MetricsRegistry::new();
+                let phook = (RegistryHook::new(&preg), SpanHook::new(&precorder));
+                match run_campaign_with_ladder_hooked(
+                    arch,
+                    w.as_ref(),
+                    Structure::VectorRegisterFile,
+                    cfg.campaign,
+                    &golden,
+                    &ladder,
+                    &phook,
+                ) {
+                    Ok(r) => assert_eq!(
+                        r.tally, base_tally,
+                        "span tracing must not change the tally"
+                    ),
+                    Err(e) => {
+                        log.error(&format!(
+                            "profiled campaign failed on {} / {}: {e}",
+                            arch.name,
+                            w.name()
+                        ));
+                        return ExitCode::FAILURE;
+                    }
+                }
+            }
+            let ptree = precorder.finish();
+            let phases: Vec<Json> = ptree
+                .nodes_named(|n| {
+                    matches!(n, "oracle" | "prune" | "replay" | "merge")
+                        || n.starts_with("campaign:")
+                })
+                .map(|n| {
+                    Json::Obj(vec![
+                        ("name".into(), Json::from(n.name.as_str())),
+                        ("path".into(), Json::from(n.path.as_str())),
+                        ("count".into(), Json::from(n.count)),
+                        ("dur_us".into(), Json::from(n.dur_us)),
+                    ])
+                })
+                .collect();
+            let tag_u64 = |n: &grel_telemetry::SpanNode, key: &str| {
+                n.tags
+                    .iter()
+                    .find(|(k, _)| k == key)
+                    .and_then(|(_, v)| v.parse::<u64>().ok())
+                    .unwrap_or(0)
+            };
+            let workers: Vec<Json> = ptree
+                .nodes_named(|n| n.starts_with("worker:"))
+                .map(|n| {
+                    Json::Obj(vec![
+                        ("lane".into(), Json::from(n.lane)),
+                        ("alive_us".into(), Json::from(n.dur_us)),
+                        ("busy_us".into(), Json::from(tag_u64(n, "busy_us"))),
+                        ("injections".into(), Json::from(tag_u64(n, "injections"))),
+                    ])
+                })
+                .collect();
+            let injection_spans = ptree.nodes_named(|n| n.starts_with("inj:")).count() as u64;
+            profile_pairs_json.push(Json::Obj(vec![
+                ("device".into(), Json::from(arch.name.as_str())),
+                ("workload".into(), Json::from(w.name())),
+                ("spans".into(), Json::from(ptree.spans.len())),
+                ("dropped".into(), Json::from(ptree.dropped)),
+                ("injection_spans".into(), Json::from(injection_spans)),
+                ("phases".into(), Json::Arr(phases)),
+                ("workers".into(), Json::Arr(workers)),
+            ]));
             pairs_json.push(Json::Obj(vec![
                 ("device".into(), Json::from(arch.name.as_str())),
                 ("workload".into(), Json::from(w.name())),
@@ -1204,6 +1411,18 @@ fn bench_campaign(
         return ExitCode::FAILURE;
     }
     log.info("wrote BENCH_campaign.json");
+    let profile_doc = Json::Obj(vec![
+        ("bench".into(), Json::from("profile")),
+        ("structure".into(), Json::from("rf")),
+        ("injections".into(), Json::from(cfg.campaign.injections)),
+        ("jobs".into(), Json::from(max_jobs)),
+        ("pairs".into(), Json::Arr(profile_pairs_json)),
+    ]);
+    if let Err(e) = std::fs::write("BENCH_profile.json", profile_doc.to_string()) {
+        log.error(&format!("failed to write BENCH_profile.json: {e}"));
+        return ExitCode::FAILURE;
+    }
+    log.info("wrote BENCH_profile.json");
     ExitCode::SUCCESS
 }
 

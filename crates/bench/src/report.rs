@@ -22,13 +22,14 @@ use std::fmt::{self, Write};
 /// in this set parse fine but carry no reportable signal; a file with
 /// *zero* recognized events is rejected so silence never looks like
 /// success.
-const KNOWN_EVENTS: [&str; 10] = [
+const KNOWN_EVENTS: [&str; 11] = [
     "run.meta",
     "golden.done",
     "ladder.done",
     "campaign.done",
     "study.point",
     "injection.trace",
+    "watchdog.fired",
     "log",
     "counter",
     "gauge",
@@ -58,6 +59,72 @@ struct RunData {
     histograms: BTreeMap<String, Json>,
     /// Lines whose event name is in [`KNOWN_EVENTS`].
     recognized: usize,
+}
+
+/// All `key="value"` label pairs of a metric name, in written order.
+fn label_pairs(name: &str) -> Vec<(&str, &str)> {
+    let Some(brace) = name.find('{') else {
+        return Vec::new();
+    };
+    name[brace + 1..name.len().saturating_sub(1)]
+        .split(',')
+        .filter_map(|kv| {
+            let (k, v) = kv.split_once('=')?;
+            Some((k, v.trim_matches('"')))
+        })
+        .collect()
+}
+
+/// Pivots a two-label latency family (`{key="col",bucket="BB"}`) into
+/// ordered columns plus a bucket → per-column microsecond-total matrix.
+fn latency_matrix(
+    data: &RunData,
+    base: &str,
+    key: &str,
+    col_order: &[&str],
+) -> (Vec<String>, BTreeMap<u32, Vec<u64>>) {
+    let mut cols: Vec<String> = Vec::new();
+    let mut cells: Vec<(String, u32, u64)> = Vec::new();
+    for (name, v) in &data.counters {
+        if split_label(name).0 != base {
+            continue;
+        }
+        let pairs = label_pairs(name);
+        let col = pairs
+            .iter()
+            .find(|(k, _)| *k == key)
+            .map(|(_, v)| v.to_string());
+        let bucket = pairs
+            .iter()
+            .find(|(k, _)| *k == "bucket")
+            .and_then(|(_, v)| v.parse().ok());
+        if let (Some(col), Some(bucket)) = (col, bucket) {
+            if !cols.contains(&col) {
+                cols.push(col.clone());
+            }
+            cells.push((col, bucket, *v));
+        }
+    }
+    cols.sort_by_key(|c| col_order.iter().position(|k| k == c).unwrap_or(usize::MAX));
+    let mut rows: BTreeMap<u32, Vec<u64>> = BTreeMap::new();
+    for (col, bucket, us) in cells {
+        let idx = cols
+            .iter()
+            .position(|c| *c == col)
+            .expect("column recorded");
+        rows.entry(bucket).or_insert_with(|| vec![0; cols.len()])[idx] += us;
+    }
+    (cols, rows)
+}
+
+/// Human label of a log2 microsecond bucket: bucket `b` covers
+/// `[2^b, 2^(b+1))` µs (sub-microsecond replays land in bucket 0).
+fn us_bucket_label(b: u32) -> String {
+    if b == 0 {
+        "<2".into()
+    } else {
+        format!("{}..{}", 1u128 << b, (1u128 << (b + 1)) - 1)
+    }
 }
 
 /// Splits `base{key="value"}` into the base name and the label value.
@@ -392,6 +459,16 @@ fn render_body(data: &RunData, w: &mut impl Write) -> fmt::Result {
                  alongside SDC and DUE)",
                 fmt_count(hangs)
             )?;
+            let wd_cycles = counter_sum(data, "campaign_watchdog_cycles_total");
+            if wd_cycles > 0 {
+                writeln!(
+                    w,
+                    "- hung replays burned {} cycles before the watchdog \
+                     fired (see `watchdog.fired` events for the per-kill \
+                     cycle and budget)",
+                    fmt_count(wd_cycles)
+                )?;
+            }
             writeln!(w)?;
         }
         if !causes.is_empty() {
@@ -677,6 +754,132 @@ fn render_body(data: &RunData, w: &mut impl Write) -> fmt::Result {
             fmt_secs(f("p99").unwrap_or(0.0)),
             fmt_secs(f("max").unwrap_or(0.0)),
         )?;
+        writeln!(w)?;
+    }
+
+    // -- Profile (span-traced runs only) -------------------------------
+    let worker_busy = counter_labels(data, "campaign_worker_busy_us_total");
+    let outcome_order: Vec<&str> = Outcome::ALL.iter().map(|o| o.as_str()).collect();
+    let (lat_cols, lat_rows) = latency_matrix(
+        data,
+        "campaign_injection_latency_us_total",
+        "outcome",
+        &outcome_order,
+    );
+    let (kind_cols, kind_rows) = latency_matrix(
+        data,
+        "campaign_injection_latency_by_kind_us_total",
+        "kind",
+        &KIND_ORDER,
+    );
+    if !worker_busy.is_empty() || !lat_rows.is_empty() || !kind_rows.is_empty() {
+        writeln!(w, "## Profile")?;
+        writeln!(w)?;
+        // Phase breakdown out of the wall-time histograms: the serial
+        // golden and ladder phases versus the replay fan-out, over the
+        // summed study-point time.
+        let total = hist_field(data, "study_point_seconds", "sum").unwrap_or(0.0);
+        let phases = [
+            (
+                "golden + oracle capture",
+                hist_field(data, "campaign_golden_seconds", "sum").unwrap_or(0.0),
+            ),
+            (
+                "checkpoint ladder builds",
+                hist_field(data, "ladder_build_seconds", "sum").unwrap_or(0.0),
+            ),
+            (
+                "injection campaigns",
+                hist_field(data, "campaign_seconds", "sum").unwrap_or(0.0),
+            ),
+        ];
+        if total > 0.0 {
+            let accounted: f64 = phases.iter().map(|(_, s)| s).sum();
+            writeln!(w, "| phase | time | share | |")?;
+            writeln!(w, "|---|---:|---:|:---|")?;
+            for (name, secs) in phases {
+                if secs <= 0.0 {
+                    continue;
+                }
+                writeln!(
+                    w,
+                    "| {name} | {} | {:.1}% | `{}` |",
+                    fmt_secs(secs),
+                    secs / total * 100.0,
+                    crate::bar(secs / total, 20)
+                )?;
+            }
+            let other = (total - accounted).max(0.0);
+            writeln!(
+                w,
+                "| other (ACE analysis, assembly) | {} | {:.1}% | `{}` |",
+                fmt_secs(other),
+                other / total * 100.0,
+                crate::bar(other / total, 20)
+            )?;
+            writeln!(
+                w,
+                "| **total study points** | **{}** | 100.0% | |",
+                fmt_secs(total)
+            )?;
+            writeln!(w)?;
+        }
+        if !worker_busy.is_empty() {
+            writeln!(w, "### Worker utilization")?;
+            writeln!(w)?;
+            writeln!(w, "| worker | busy | alive | utilization | |")?;
+            writeln!(w, "|---|---:|---:|---:|:---|")?;
+            let mut sorted = worker_busy;
+            sorted.sort_by_key(|(label, _)| label.parse::<u64>().unwrap_or(u64::MAX));
+            for (label, busy) in sorted {
+                let alive = counter_at(data, "campaign_worker_us_total", "worker", &label);
+                let util = busy as f64 / alive.max(1) as f64;
+                writeln!(
+                    w,
+                    "| {label} | {} | {} | {:.1}% | `{}` |",
+                    fmt_secs(busy as f64 / 1e6),
+                    fmt_secs(alive as f64 / 1e6),
+                    util * 100.0,
+                    crate::bar(util, 20)
+                )?;
+            }
+            writeln!(w)?;
+        }
+        for (caption, cols, rows) in [
+            ("by outcome", lat_cols, lat_rows),
+            ("by fault kind", kind_cols, kind_rows),
+        ] {
+            if rows.is_empty() {
+                continue;
+            }
+            writeln!(
+                w,
+                "### Replay wall time {caption} (log2-µs latency buckets)"
+            )?;
+            writeln!(w)?;
+            write!(w, "| latency (us) |")?;
+            for c in &cols {
+                write!(w, " {c} |")?;
+            }
+            writeln!(w)?;
+            write!(w, "|---|")?;
+            for _ in &cols {
+                write!(w, "---:|")?;
+            }
+            writeln!(w)?;
+            for (bucket, cells) in &rows {
+                write!(w, "| {} |", us_bucket_label(*bucket))?;
+                for us in cells {
+                    if *us == 0 {
+                        write!(w, " - |")?;
+                    } else {
+                        write!(w, " {} |", fmt_secs(*us as f64 / 1e6))?;
+                    }
+                }
+                writeln!(w)?;
+            }
+            writeln!(w)?;
+        }
     }
     Ok(())
 }
@@ -846,6 +1049,73 @@ mod tests {
             "{md}"
         );
         assert!(md.contains("mean taint breadth 3.0 word(s)"), "{md}");
+    }
+
+    #[test]
+    fn renders_profile_section_for_span_traced_runs() {
+        let jsonl = [
+            sample().as_str(),
+            r#"{"event":"watchdog.fired","t_ms":7,"workload":"reduction","device":"GTX 480","kind":"ctrl-barrier","cycle":4500,"budget":5000,"golden_cycles":900}"#,
+            r#"{"event":"counter","name":"campaign_hang_total","value":1}"#,
+            r#"{"event":"counter","name":"campaign_injections_by_kind_total{kind=\"transient\"}","value":12}"#,
+            r#"{"event":"counter","name":"campaign_watchdog_cycles_total","value":4500}"#,
+            r#"{"event":"counter","name":"campaign_worker_busy_us_total{worker=\"0\"}","value":900000}"#,
+            r#"{"event":"counter","name":"campaign_worker_us_total{worker=\"0\"}","value":1000000}"#,
+            r#"{"event":"counter","name":"campaign_injection_latency_us_total{outcome=\"sdc\",bucket=\"10\"}","value":2048}"#,
+            r#"{"event":"counter","name":"campaign_injection_latency_us_total{outcome=\"masked\",bucket=\"09\"}","value":1024}"#,
+            r#"{"event":"counter","name":"campaign_injection_latency_by_kind_us_total{kind=\"transient\",bucket=\"10\"}","value":3072}"#,
+            r#"{"event":"histogram","name":"study_point_seconds","count":1,"sum":2.0,"mean":2.0,"min":2.0,"max":2.0,"p50":2.0,"p90":2.0,"p99":2.0}"#,
+        ]
+        .join("\n");
+        let md = render_run_report(&jsonl).unwrap();
+        assert!(md.contains("## Profile"), "{md}");
+        // Phase shares come from the wall-time histograms over the
+        // summed study-point time (campaign_seconds 0.5 s of 2.0 s).
+        assert!(
+            md.contains("| injection campaigns | 500.00 ms | 25.0% |"),
+            "{md}"
+        );
+        assert!(
+            md.contains("| **total study points** | **2.00 s** | 100.0% | |"),
+            "{md}"
+        );
+        // Worker 0: 0.9 s busy of 1.0 s alive.
+        assert!(md.contains("### Worker utilization"), "{md}");
+        assert!(md.contains("| 0 | 900.00 ms | 1.00 s | 90.0% |"), "{md}");
+        // Latency matrices keep tally column order (masked before sdc)
+        // and log2 bucket rows; empty cells render as `-`.
+        assert!(md.contains("| latency (us) | masked | sdc |"), "{md}");
+        assert!(md.contains("| 512..1023 | 1.02 ms | - |"), "{md}");
+        assert!(md.contains("| 1024..2047 | - | 2.05 ms |"), "{md}");
+        assert!(md.contains("| latency (us) | transient |"), "{md}");
+        assert!(md.contains("| 1024..2047 | 3.07 ms |"), "{md}");
+        // The watchdog counter surfaces next to the hang bullet.
+        assert!(md.contains("hung replays burned 4500 cycles"), "{md}");
+    }
+
+    #[test]
+    fn plain_runs_render_no_profile_section() {
+        let md = render_run_report(&sample()).unwrap();
+        assert!(
+            !md.contains("## Profile"),
+            "no span counters, no Profile section:\n{md}"
+        );
+    }
+
+    #[test]
+    fn label_pairs_parse_multi_label_names() {
+        assert_eq!(label_pairs("x_total"), Vec::<(&str, &str)>::new());
+        assert_eq!(
+            label_pairs("x_total{outcome=\"sdc\",bucket=\"07\"}"),
+            vec![("outcome", "sdc"), ("bucket", "07")]
+        );
+    }
+
+    #[test]
+    fn us_bucket_labels_cover_edges() {
+        assert_eq!(us_bucket_label(0), "<2");
+        assert_eq!(us_bucket_label(1), "2..3");
+        assert_eq!(us_bucket_label(10), "1024..2047");
     }
 
     #[test]

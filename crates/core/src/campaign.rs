@@ -31,7 +31,7 @@ use crate::ace::{AceAnalyzer, LifetimeOracle};
 use crate::runner::replay_sites;
 use crate::stats::{error_margin, fault_population, Proportion, Z_99};
 use gpu_workloads::Workload;
-use grel_telemetry::{Event, NoopHook, TelemetryHook};
+use grel_telemetry::{Event, NoopHook, SpanRecord, TelemetryHook};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use serde::{Deserialize, Serialize};
@@ -42,6 +42,35 @@ use simt_sim::{
 };
 use std::fmt;
 use std::time::Instant;
+
+/// Deterministic sibling-ordering ordinals for the point-level phase
+/// spans (`point:workload@device/...`): golden run, oracle capture,
+/// ladder build, then one campaign per structure starting at
+/// [`PHASE_CAMPAIGN_BASE`] + the structure's index.
+pub(crate) const PHASE_GOLDEN: u64 = 0;
+pub(crate) const PHASE_ORACLE: u64 = 1;
+pub(crate) const PHASE_LADDER: u64 = 2;
+pub(crate) const PHASE_CAMPAIGN_BASE: u64 = 3;
+
+/// Short stable token naming a structure in span paths and tables
+/// (`campaign:rf`); the `Display` impl is prose ("register file").
+pub fn structure_label(structure: Structure) -> &'static str {
+    match structure {
+        Structure::VectorRegisterFile => "rf",
+        Structure::LocalMemory => "lds",
+        Structure::ScalarRegisterFile => "srf",
+    }
+}
+
+/// The sibling-ordering ordinal of a structure's campaign span.
+pub(crate) fn campaign_phase_seq(structure: Structure) -> u64 {
+    PHASE_CAMPAIGN_BASE
+        + match structure {
+            Structure::VectorRegisterFile => 0,
+            Structure::LocalMemory => 1,
+            Structure::ScalarRegisterFile => 2,
+        }
+}
 
 /// Outcome of one fault-injection run.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
@@ -299,6 +328,17 @@ pub fn golden_run_hooked<H: TelemetryHook>(
                 .field("cycles", golden.cycles)
                 .field("seconds", seconds),
         );
+        if H::SPANS {
+            hook.span(
+                &SpanRecord::new(
+                    format!("point:{}@{}/golden", workload.name(), arch.name),
+                    0,
+                    PHASE_GOLDEN,
+                    started,
+                )
+                .tag("cycles", golden.cycles),
+            );
+        }
     }
     Ok(golden)
 }
@@ -672,6 +712,18 @@ impl CheckpointLadder {
                     .field("bytes", ladder.total_bytes())
                     .field("seconds", seconds),
             );
+            if H::SPANS {
+                hook.span(
+                    &SpanRecord::new(
+                        format!("point:{}@{}/ladder", workload.name(), arch.name),
+                        0,
+                        PHASE_LADDER,
+                        started,
+                    )
+                    .tag("rungs", ladder.len())
+                    .tag("bytes", ladder.total_bytes()),
+                );
+            }
         }
         Ok(ladder)
     }
@@ -802,10 +854,56 @@ pub(crate) fn classify_on<H: TelemetryHook>(
     match result {
         Ok(out) if out == golden.outputs => Ok(Outcome::Masked),
         Ok(_) => Ok(Outcome::Sdc),
-        Err(SimError::Due(Due::WatchdogTimeout { .. })) => Ok(Outcome::Hang),
+        Err(SimError::Due(Due::WatchdogTimeout { .. })) => {
+            if H::ENABLED {
+                record_watchdog_kill(
+                    gpu,
+                    arch,
+                    workload,
+                    golden,
+                    site,
+                    watchdog,
+                    start_cycle,
+                    hook,
+                );
+            }
+            Ok(Outcome::Hang)
+        }
         Err(SimError::Due(_)) => Ok(Outcome::Due),
         Err(e) => Err(e),
     }
+}
+
+/// Timing evidence for a watchdog kill: how far the hung replay got
+/// against its cycle budget, and the cycles it burned before the
+/// harness cut it off (the cost a tighter `watchdog_factor` would
+/// recover). Shared by the plain and traced classify paths.
+#[allow(clippy::too_many_arguments)]
+fn record_watchdog_kill<H: TelemetryHook>(
+    gpu: &Gpu,
+    arch: &ArchConfig,
+    workload: &dyn Workload,
+    golden: &GoldenRun,
+    site: FaultSite,
+    budget: u64,
+    start_cycle: u64,
+    hook: &H,
+) {
+    let cycle = gpu.app_cycle();
+    hook.count(
+        "campaign_watchdog_cycles_total",
+        cycle.saturating_sub(start_cycle),
+    );
+    hook.event(
+        &Event::new("watchdog.fired")
+            .field("workload", workload.name())
+            .field("device", arch.name.as_str())
+            .field("kind", site.kind.as_str())
+            .field("site", site.to_string())
+            .field("cycle", cycle)
+            .field("budget", budget)
+            .field("golden_cycles", golden.cycles),
+    );
 }
 
 /// Drives one replay session to completion, abandoning it early with the
@@ -913,7 +1011,21 @@ pub(crate) fn classify_traced_on<H: TelemetryHook>(
     let outcome = match result {
         Ok(out) if out == golden.outputs => Outcome::Masked,
         Ok(_) => Outcome::Sdc,
-        Err(SimError::Due(Due::WatchdogTimeout { .. })) => Outcome::Hang,
+        Err(SimError::Due(Due::WatchdogTimeout { .. })) => {
+            if H::ENABLED {
+                record_watchdog_kill(
+                    gpu,
+                    arch,
+                    workload,
+                    golden,
+                    site,
+                    watchdog,
+                    start_cycle,
+                    hook,
+                );
+            }
+            Outcome::Hang
+        }
         Err(SimError::Due(_)) => Outcome::Due,
         Err(e) => return Err(e),
     };
@@ -1058,7 +1170,17 @@ pub fn run_campaign_with_ladder_hooked<H: TelemetryHook>(
     // entirely. `LifetimeOracle::is_dead` is also kind-gated, so even a
     // caller-supplied oracle can never prune a non-transient site.
     let oracle = if cfg.prune && cfg.fault_model == FaultModelKind::Transient {
-        Some(LifetimeOracle::capture(arch, workload)?)
+        let span_started = H::SPANS.then(Instant::now);
+        let oracle = LifetimeOracle::capture(arch, workload)?;
+        if let Some(t0) = span_started {
+            hook.span(&SpanRecord::new(
+                format!("point:{}@{}/oracle", workload.name(), arch.name),
+                0,
+                PHASE_ORACLE,
+                t0,
+            ));
+        }
+        Some(oracle)
     } else {
         None
     };
@@ -1166,6 +1288,24 @@ pub fn run_campaign_with_oracle_hooked<H: TelemetryHook>(
                 .field("seconds", seconds)
                 .field("injections_per_second", per_second),
         );
+        if H::SPANS {
+            hook.span(
+                &SpanRecord::new(
+                    format!(
+                        "point:{}@{}/campaign:{}",
+                        workload.name(),
+                        arch.name,
+                        structure_label(structure)
+                    ),
+                    0,
+                    campaign_phase_seq(structure),
+                    started,
+                )
+                .tag("kind", cfg.fault_model.as_str())
+                .tag("injections", tally.total())
+                .tag("pruned", pruned),
+            );
+        }
     }
     Ok(result)
 }

@@ -36,10 +36,11 @@
 
 use crate::ace::LifetimeOracle;
 use crate::campaign::{
-    classify_on, classify_traced_on, CampaignConfig, CheckpointLadder, GoldenRun, Outcome,
+    classify_on, classify_traced_on, structure_label, CampaignConfig, CheckpointLadder, GoldenRun,
+    Outcome,
 };
 use gpu_workloads::Workload;
-use grel_telemetry::TelemetryHook;
+use grel_telemetry::{SpanRecord, TelemetryHook};
 use simt_sim::{ArchConfig, FaultSite, GlobalWrite, Gpu, SimError, TraceRecord};
 use std::time::Instant;
 
@@ -55,7 +56,115 @@ struct ReplayShared<'a, H> {
     ladder: &'a CheckpointLadder,
     /// Whether replays arm the clean-overwrite early-exit probe.
     early_exit: bool,
+    /// `point:{workload}@{device}/campaign:{structure}` when span
+    /// tracing is on — the parent path every replay span hangs off.
+    /// `None` whenever `H::SPANS` is false, so the no-profile path
+    /// never formats a string.
+    span_prefix: Option<String>,
     hook: &'a H,
+}
+
+/// The profile prefix for a campaign's replay spans, or `None` when the
+/// hook records no spans (or there is nothing to replay).
+fn replay_span_prefix<H: TelemetryHook>(
+    arch: &ArchConfig,
+    workload: &dyn Workload,
+    sites: &[FaultSite],
+) -> Option<String> {
+    (H::SPANS && !sites.is_empty()).then(|| {
+        format!(
+            "point:{}@{}/campaign:{}",
+            workload.name(),
+            arch.name,
+            structure_label(sites[0].structure)
+        )
+    })
+}
+
+/// Records one injection's replay span plus the log2-microsecond latency
+/// buckets the profile report renders. Only called when `H::SPANS`.
+///
+/// The span path is keyed by the **site index**, not the worker, so the
+/// structural span tree is identical at any job count; the worker only
+/// shows up as the timeline lane (and in the jobs-variant `worker:*`
+/// sibling spans, which structural diffs exclude).
+#[allow(clippy::too_many_arguments)]
+fn record_injection_span<H: TelemetryHook>(
+    hook: &H,
+    prefix: &str,
+    injection_started: Instant,
+    site_index: usize,
+    worker: usize,
+    outcome: Outcome,
+    site: FaultSite,
+    rung: Option<usize>,
+    busy_us: &mut u64,
+) {
+    let us = injection_started.elapsed().as_micros() as u64;
+    *busy_us += us;
+    let rung_label = match rung {
+        Some(idx) => idx.to_string(),
+        None => "none".to_string(),
+    };
+    hook.span(
+        &SpanRecord::new(
+            format!("{prefix}/replay/inj:{site_index:06}"),
+            worker as u32 + 1,
+            site_index as u64,
+            injection_started,
+        )
+        .tag("outcome", outcome.as_str())
+        .tag("kind", site.kind.as_str())
+        .tag("rung", &rung_label),
+    );
+    // log2 buckets: bucket b holds latencies in [2^b, 2^(b+1)) µs, and
+    // the counter accumulates microseconds (not samples) so the report
+    // shows where wall time went, not just how many replays landed where.
+    let bucket = 63 - us.max(1).leading_zeros();
+    let outcome_label = outcome.as_str();
+    hook.count(
+        &format!(
+            "campaign_injection_latency_us_total{{outcome=\"{outcome_label}\",bucket=\"{bucket:02}\"}}"
+        ),
+        us,
+    );
+    let kind_label = site.kind.as_str();
+    hook.count(
+        &format!(
+            "campaign_injection_latency_by_kind_us_total{{kind=\"{kind_label}\",bucket=\"{bucket:02}\"}}"
+        ),
+        us,
+    );
+}
+
+/// Records a worker's whole-loop timeline span and its utilization
+/// counters (busy µs over alive µs). Only called when `H::SPANS`.
+fn record_worker_span<H: TelemetryHook>(
+    hook: &H,
+    prefix: &str,
+    started: Instant,
+    worker: usize,
+    injections: usize,
+    busy_us: u64,
+) {
+    hook.span(
+        &SpanRecord::new(
+            format!("{prefix}/replay/worker:{worker:02}"),
+            worker as u32 + 1,
+            worker as u64,
+            started,
+        )
+        .tag("injections", injections)
+        .tag("busy_us", busy_us),
+    );
+    hook.count(
+        &format!("campaign_worker_busy_us_total{{worker=\"{worker}\"}}"),
+        busy_us,
+    );
+    hook.count(
+        &format!("campaign_worker_us_total{{worker=\"{worker}\"}}"),
+        started.elapsed().as_micros() as u64,
+    );
 }
 
 /// One worker's replay loop: stripe `worker` of `jobs` over the sorted
@@ -74,6 +183,7 @@ fn worker_loop<H: TelemetryHook>(
     // place, so the allocation is paid once per worker, not per replay.
     let mut gpu = Gpu::new(shared.arch.clone());
     let mut done = Vec::with_capacity(shared.order.len().div_ceil(jobs));
+    let mut busy_us: u64 = 0;
     for &i in shared.order.iter().skip(worker).step_by(jobs) {
         let site = shared.sites[i];
         let rung = shared.ladder.nearest_indexed(site.cycle);
@@ -116,7 +226,29 @@ fn worker_loop<H: TelemetryHook>(
                 1,
             );
         }
+        if H::SPANS {
+            if let (Some(injection_started), Some(prefix)) =
+                (injection_started, shared.span_prefix.as_deref())
+            {
+                record_injection_span(
+                    hook,
+                    prefix,
+                    injection_started,
+                    i,
+                    worker,
+                    outcome,
+                    site,
+                    rung.map(|(idx, _)| idx),
+                    &mut busy_us,
+                );
+            }
+        }
         done.push((i, outcome));
+    }
+    if H::SPANS {
+        if let (Some(started), Some(prefix)) = (started, shared.span_prefix.as_deref()) {
+            record_worker_span(hook, prefix, started, worker, done.len(), busy_us);
+        }
     }
     if let Some(started) = started {
         let seconds = started.elapsed().as_secs_f64();
@@ -175,12 +307,21 @@ pub(crate) fn replay_sites<H: TelemetryHook>(
 ) -> Result<Vec<Outcome>, SimError> {
     // Serial pre-classification: pruned sites keep their pre-filled
     // `Masked` slot and never reach a worker.
+    let span_prefix = replay_span_prefix::<H>(arch, workload, sites);
     let mut outcomes = vec![Outcome::Masked; sites.len()];
     let live: Vec<usize> = match oracle {
         Some(oracle) => {
+            let prune_started = H::SPANS.then(Instant::now);
             let live: Vec<usize> = (0..sites.len())
                 .filter(|&i| !oracle.is_dead(sites[i]))
                 .collect();
+            if let (Some(prune_started), Some(prefix)) = (prune_started, span_prefix.as_deref()) {
+                hook.span(
+                    &SpanRecord::new(format!("{prefix}/prune"), 0, 0, prune_started)
+                        .tag("pruned", sites.len() - live.len())
+                        .tag("total", sites.len()),
+                );
+            }
             if H::ENABLED {
                 let pruned = (sites.len() - live.len()) as u64;
                 if pruned > 0 {
@@ -218,28 +359,46 @@ pub(crate) fn replay_sites<H: TelemetryHook>(
         cfg,
         ladder,
         early_exit: cfg.early_exit && oracle.is_none(),
+        span_prefix,
         hook,
     };
-    if jobs == 1 {
-        for (i, o) in worker_loop(&shared, 0, 1)? {
-            outcomes[i] = o;
-        }
-        return Ok(outcomes);
+    let replay_started = H::SPANS.then(Instant::now);
+    let batches: Vec<Vec<(usize, Outcome)>> = if jobs == 1 {
+        vec![worker_loop(&shared, 0, 1)?]
+    } else {
+        let results: Vec<Result<Vec<(usize, Outcome)>, SimError>> = std::thread::scope(|scope| {
+            let shared = &shared;
+            let handles: Vec<_> = (0..jobs)
+                .map(|w| scope.spawn(move || worker_loop(shared, w, jobs)))
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("injection worker panicked"))
+                .collect()
+        });
+        // Results arrive in worker order, so the first `?` to fire is
+        // the lowest-numbered worker's error — deterministic failure.
+        results.into_iter().collect::<Result<Vec<_>, _>>()?
+    };
+    if let (Some(replay_started), Some(prefix)) = (replay_started, shared.span_prefix.as_deref()) {
+        hook.span(
+            &SpanRecord::new(format!("{prefix}/replay"), 0, 1, replay_started)
+                .tag("sites", shared.order.len()),
+        );
     }
-    let results: Vec<Result<Vec<(usize, Outcome)>, SimError>> = std::thread::scope(|scope| {
-        let shared = &shared;
-        let handles: Vec<_> = (0..jobs)
-            .map(|w| scope.spawn(move || worker_loop(shared, w, jobs)))
-            .collect();
-        handles
-            .into_iter()
-            .map(|h| h.join().expect("injection worker panicked"))
-            .collect()
-    });
-    for r in results {
-        for (i, o) in r? {
+    let merge_started = H::SPANS.then(Instant::now);
+    for batch in batches {
+        for (i, o) in batch {
             outcomes[i] = o;
         }
+    }
+    if let (Some(merge_started), Some(prefix)) = (merge_started, shared.span_prefix.as_deref()) {
+        hook.span(&SpanRecord::new(
+            format!("{prefix}/merge"),
+            0,
+            2,
+            merge_started,
+        ));
     }
     Ok(outcomes)
 }
@@ -260,6 +419,7 @@ fn worker_loop_traced<H: TelemetryHook>(
     let started = H::ENABLED.then(Instant::now);
     let mut gpu = Gpu::new(shared.arch.clone());
     let mut done = Vec::with_capacity(shared.order.len().div_ceil(jobs));
+    let mut busy_us: u64 = 0;
     for &i in shared.order.iter().skip(worker).step_by(jobs) {
         let site = shared.sites[i];
         let rung = shared.ladder.nearest_indexed(site.cycle);
@@ -302,7 +462,29 @@ fn worker_loop_traced<H: TelemetryHook>(
                 1,
             );
         }
+        if H::SPANS {
+            if let (Some(injection_started), Some(prefix)) =
+                (injection_started, shared.span_prefix.as_deref())
+            {
+                record_injection_span(
+                    hook,
+                    prefix,
+                    injection_started,
+                    i,
+                    worker,
+                    outcome,
+                    site,
+                    rung.map(|(idx, _)| idx),
+                    &mut busy_us,
+                );
+            }
+        }
         done.push((i, outcome, record));
+    }
+    if H::SPANS {
+        if let (Some(started), Some(prefix)) = (started, shared.span_prefix.as_deref()) {
+            record_worker_span(hook, prefix, started, worker, done.len(), busy_us);
+        }
     }
     if let Some(started) = started {
         let seconds = started.elapsed().as_secs_f64();
@@ -360,6 +542,7 @@ pub(crate) fn replay_sites_traced<H: TelemetryHook>(
         // The flight recorder wants the full propagation timeline, so a
         // traced replay never abandons the run early.
         early_exit: false,
+        span_prefix: replay_span_prefix::<H>(arch, workload, sites),
         hook,
     };
     let mut outcomes = vec![Outcome::Masked; sites.len()];
@@ -378,28 +561,42 @@ pub(crate) fn replay_sites_traced<H: TelemetryHook>(
         hang: None,
     };
     let mut records = vec![placeholder; sites.len()];
-    if jobs == 1 {
-        for (i, o, r) in worker_loop_traced(&shared, golden_writes, 0, 1)? {
-            outcomes[i] = o;
-            records[i] = r;
-        }
-        return Ok((outcomes, records));
+    let replay_started = H::SPANS.then(Instant::now);
+    let batches: Vec<TracedBatch> = if jobs == 1 {
+        vec![worker_loop_traced(&shared, golden_writes, 0, 1)?]
+    } else {
+        let results: Vec<Result<TracedBatch, SimError>> = std::thread::scope(|scope| {
+            let shared = &shared;
+            let handles: Vec<_> = (0..jobs)
+                .map(|w| scope.spawn(move || worker_loop_traced(shared, golden_writes, w, jobs)))
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("injection worker panicked"))
+                .collect()
+        });
+        results.into_iter().collect::<Result<Vec<_>, _>>()?
+    };
+    if let (Some(replay_started), Some(prefix)) = (replay_started, shared.span_prefix.as_deref()) {
+        hook.span(
+            &SpanRecord::new(format!("{prefix}/replay"), 0, 1, replay_started)
+                .tag("sites", shared.order.len()),
+        );
     }
-    let results: Vec<Result<TracedBatch, SimError>> = std::thread::scope(|scope| {
-        let shared = &shared;
-        let handles: Vec<_> = (0..jobs)
-            .map(|w| scope.spawn(move || worker_loop_traced(shared, golden_writes, w, jobs)))
-            .collect();
-        handles
-            .into_iter()
-            .map(|h| h.join().expect("injection worker panicked"))
-            .collect()
-    });
-    for r in results {
-        for (i, o, rec) in r? {
+    let merge_started = H::SPANS.then(Instant::now);
+    for batch in batches {
+        for (i, o, rec) in batch {
             outcomes[i] = o;
             records[i] = rec;
         }
+    }
+    if let (Some(merge_started), Some(prefix)) = (merge_started, shared.span_prefix.as_deref()) {
+        hook.span(&SpanRecord::new(
+            format!("{prefix}/merge"),
+            0,
+            2,
+            merge_started,
+        ));
     }
     Ok((outcomes, records))
 }

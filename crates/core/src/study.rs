@@ -2,11 +2,13 @@
 //! assembles the series behind the paper's three figures.
 
 use crate::ace::{AceAnalyzer, AceMode, LifetimeOracle};
-use crate::campaign::{run_campaign_with_oracle_hooked, CampaignConfig, CheckpointLadder, Tally};
+use crate::campaign::{
+    run_campaign_with_oracle_hooked, CampaignConfig, CheckpointLadder, Tally, PHASE_GOLDEN,
+};
 use crate::epf::{eit, epf, FitBreakdown};
 use crate::stats::pearson;
 use gpu_workloads::Workload;
-use grel_telemetry::{Event, NoopHook, TelemetryHook};
+use grel_telemetry::{Event, NoopHook, SpanRecord, TelemetryHook};
 use serde::{Deserialize, Serialize};
 use simt_sim::{ArchConfig, FaultModelKind, SimError, Structure};
 use std::time::Instant;
@@ -186,6 +188,21 @@ pub fn evaluate_point_hooked<H: TelemetryHook>(
                 .field("cycles", golden.cycles)
                 .field("seconds", seconds),
         );
+        if H::SPANS {
+            // The study's golden run carries the ACE analysis (and the
+            // lifetime oracle, when pruning) on the same pass, so this
+            // one span covers golden + oracle capture.
+            hook.span(
+                &SpanRecord::new(
+                    format!("point:{}@{}/golden", workload.name(), arch.name),
+                    0,
+                    PHASE_GOLDEN,
+                    golden_started,
+                )
+                .tag("cycles", golden.cycles)
+                .tag("ace", true),
+            );
+        }
     }
     // One ladder serves every structure's campaign over this golden run.
     let ladder = CheckpointLadder::build_hooked(arch, workload, &golden, &cfg.campaign, hook)?;
@@ -248,6 +265,17 @@ pub fn evaluate_point_hooked<H: TelemetryHook>(
     if let Some(started) = started {
         let seconds = started.elapsed().as_secs_f64();
         hook.observe("study_point_seconds", seconds);
+        if H::SPANS {
+            hook.span(
+                &SpanRecord::new(
+                    format!("point:{}@{}", point.workload, point.device),
+                    0,
+                    0,
+                    started,
+                )
+                .tag("fault_model", cfg.campaign.fault_model.as_str()),
+            );
+        }
         hook.event(
             &Event::new("study.point")
                 .field("workload", point.workload.as_str())

@@ -120,7 +120,9 @@ impl FromStr for ControlTarget {
 
 /// How an injected fault behaves over time — the *kind* axis of the
 /// site = structure × kind × persistence taxonomy.
-#[derive(Debug, Default, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(
+    Debug, Default, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
+)]
 pub enum FaultKind {
     /// A one-shot single-bit XOR of a storage word — the paper's model.
     #[default]
@@ -183,7 +185,9 @@ impl FromStr for FaultKind {
 ///
 /// [`FaultModelKind::Control`] fans out over every [`ControlTarget`];
 /// the other selectors map to exactly one [`FaultKind`].
-#[derive(Debug, Default, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(
+    Debug, Default, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
+)]
 pub enum FaultModelKind {
     /// Transient single-bit flips (the default; the paper's model).
     #[default]

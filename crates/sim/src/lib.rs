@@ -74,7 +74,9 @@ pub use fault::{
 };
 pub use gpu::{Buffer, Gpu, LaunchProgress};
 pub use launch::{Dim, LaunchConfig, LaunchStats};
-pub use observer::{BlockRegions, CountingObserver, NoopObserver, SimObserver};
+pub use observer::{
+    BlockRegions, CountingObserver, HotspotCounters, HotspotObserver, NoopObserver, SimObserver,
+};
 pub use regfile::StuckBit;
 pub use session::{Checkpoint, LaunchPlan, PlanStep, Session, SessionStatus, SessionTelemetry};
 pub use trace::{GlobalWrite, GlobalWriteLog, MaskProbe, TraceObserver, TraceRecord, TAINT_CAP};

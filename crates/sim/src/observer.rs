@@ -379,6 +379,126 @@ impl SimObserver for CountingObserver {
     }
 }
 
+/// Per-structure activity totals for one observed structure.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct HotspotCounters {
+    /// Words read from the structure.
+    pub reads: u64,
+    /// Words written to the structure.
+    pub writes: u64,
+    /// Cycle of the first access (`u64::MAX` when never touched).
+    pub first_cycle: u64,
+    /// Cycle of the last access.
+    pub last_cycle: u64,
+}
+
+impl HotspotCounters {
+    const IDLE: HotspotCounters = HotspotCounters {
+        reads: 0,
+        writes: 0,
+        first_cycle: u64::MAX,
+        last_cycle: 0,
+    };
+
+    fn touch(&mut self, cycle: u64) {
+        self.first_cycle = self.first_cycle.min(cycle);
+        self.last_cycle = self.last_cycle.max(cycle);
+    }
+
+    /// Total accesses (reads + writes).
+    pub fn accesses(&self) -> u64 {
+        self.reads + self.writes
+    }
+
+    /// Cycles between first and last access (0 when never touched).
+    pub fn active_cycles(&self) -> u64 {
+        if self.first_cycle == u64::MAX {
+            0
+        } else {
+            self.last_cycle - self.first_cycle + 1
+        }
+    }
+}
+
+/// The profiler's hot-spot observer: per-structure access and
+/// active-cycle totals for RF/SRF/LDS plus scheduler activity (block
+/// dispatches and launches), cheap enough to ride one extra golden run.
+/// `repro profile` uses it to show where bit-plane batching would pay.
+///
+/// # Example
+/// ```
+/// use simt_sim::{HotspotObserver, SimObserver};
+/// let mut h = HotspotObserver::default();
+/// h.on_rf_write(0, 1, 10);
+/// h.on_rf_read(0, 1, 90);
+/// assert_eq!(h.rf.accesses(), 2);
+/// assert_eq!(h.rf.active_cycles(), 81);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct HotspotObserver {
+    /// Vector register file activity.
+    pub rf: HotspotCounters,
+    /// Scalar register file activity.
+    pub srf: HotspotCounters,
+    /// Local memory (LDS) activity.
+    pub lds: HotspotCounters,
+    /// Blocks dispatched by the scheduler.
+    pub sched_dispatches: u64,
+    /// Kernel launches observed.
+    pub launches: u64,
+    /// Cycle at the last launch end (the run's length once finished).
+    pub end_cycle: u64,
+}
+
+impl Default for HotspotObserver {
+    fn default() -> Self {
+        HotspotObserver {
+            rf: HotspotCounters::IDLE,
+            srf: HotspotCounters::IDLE,
+            lds: HotspotCounters::IDLE,
+            sched_dispatches: 0,
+            launches: 0,
+            end_cycle: 0,
+        }
+    }
+}
+
+impl SimObserver for HotspotObserver {
+    fn on_rf_write(&mut self, _sm: u32, _word: u32, cycle: u64) {
+        self.rf.writes += 1;
+        self.rf.touch(cycle);
+    }
+    fn on_rf_read(&mut self, _sm: u32, _word: u32, cycle: u64) {
+        self.rf.reads += 1;
+        self.rf.touch(cycle);
+    }
+    fn on_srf_write(&mut self, _sm: u32, _word: u32, cycle: u64) {
+        self.srf.writes += 1;
+        self.srf.touch(cycle);
+    }
+    fn on_srf_read(&mut self, _sm: u32, _word: u32, cycle: u64) {
+        self.srf.reads += 1;
+        self.srf.touch(cycle);
+    }
+    fn on_lds_write(&mut self, _sm: u32, _word: u32, cycle: u64) {
+        self.lds.writes += 1;
+        self.lds.touch(cycle);
+    }
+    fn on_lds_read(&mut self, _sm: u32, _word: u32, cycle: u64) {
+        self.lds.reads += 1;
+        self.lds.touch(cycle);
+    }
+    fn on_block_dispatch(&mut self, _sm: u32, _regions: BlockRegions, _cycle: u64) {
+        self.sched_dispatches += 1;
+    }
+    fn on_launch_begin(&mut self, _name: &str, _cycle: u64) {
+        self.launches += 1;
+    }
+    fn on_launch_end(&mut self, cycle: u64) {
+        self.end_cycle = self.end_cycle.max(cycle);
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -420,5 +540,25 @@ mod tests {
         assert_eq!(r.lds_reads, 1);
         assert_eq!(r.launches, 1);
         assert_eq!(r.faults, 1);
+    }
+
+    #[test]
+    fn hotspot_observer_tracks_per_structure_activity() {
+        let mut h = HotspotObserver::default();
+        h.on_launch_begin("k", 0);
+        h.on_block_dispatch(0, BlockRegions::default(), 1);
+        h.on_rf_write(0, 1, 10);
+        h.on_rf_read(0, 1, 50);
+        h.on_lds_write(0, 3, 20);
+        h.on_launch_end(100);
+        assert_eq!(h.rf.writes, 1);
+        assert_eq!(h.rf.reads, 1);
+        assert_eq!(h.rf.active_cycles(), 41);
+        assert_eq!(h.lds.accesses(), 1);
+        assert_eq!(h.srf.accesses(), 0);
+        assert_eq!(h.srf.active_cycles(), 0, "untouched structure is idle");
+        assert_eq!(h.sched_dispatches, 1);
+        assert_eq!(h.launches, 1);
+        assert_eq!(h.end_cycle, 100);
     }
 }

@@ -212,6 +212,35 @@ mod tests {
     }
 
     #[test]
+    fn field_opt_round_trips_through_json() {
+        // A None field must vanish from the serialized line entirely —
+        // not appear as null — and the Some fields must parse back to
+        // the values that went in, even with control characters.
+        let e = Event::new("injection.trace")
+            .field_opt("cause", Some("dead\nlock\t\x01"))
+            .field_opt("cause_cycle", Some(97u64))
+            .field_opt("mask_reason", None::<&str>)
+            .field_opt("mask_cycle", None::<u64>);
+        let line = e.to_json().to_string();
+        let back = Json::parse(&line).expect("event line parses");
+        assert_eq!(
+            back.get("event").and_then(Json::as_str),
+            Some("injection.trace")
+        );
+        assert_eq!(
+            back.get("cause").and_then(Json::as_str),
+            Some("dead\nlock\t\x01")
+        );
+        assert_eq!(back.get("cause_cycle").and_then(Json::as_u64), Some(97));
+        assert_eq!(back.get("mask_reason"), None);
+        assert_eq!(back.get("mask_cycle"), None);
+        assert!(
+            !line.contains("mask_reason") && !line.contains("null"),
+            "None fields must be absent, not null: {line}"
+        );
+    }
+
+    #[test]
     fn memory_sink_preserves_order() {
         let sink = MemorySink::new();
         sink.emit(&Event::new("first"));

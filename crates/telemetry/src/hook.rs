@@ -9,6 +9,7 @@
 
 use crate::events::{Event, EventSink};
 use crate::metrics::MetricsRegistry;
+use crate::spans::SpanRecord;
 
 /// Receiver for metrics and structured events from instrumented code.
 ///
@@ -20,6 +21,12 @@ pub trait TelemetryHook: Sync {
     /// Whether this hook observes anything. Call sites should guard
     /// non-trivial argument construction with `if H::ENABLED`.
     const ENABLED: bool = true;
+
+    /// Whether this hook records profiling spans. Defaults to `false`
+    /// even for enabled hooks — span-path construction is guarded by
+    /// `if H::SPANS` separately, so metric-only runs pay nothing for
+    /// the profiler and their metric/event streams are unchanged.
+    const SPANS: bool = false;
 
     /// Adds `delta` to a monotonic counter.
     fn count(&self, name: &str, delta: u64) {
@@ -40,6 +47,11 @@ pub trait TelemetryHook: Sync {
     fn event(&self, event: &Event) {
         let _ = event;
     }
+
+    /// Records one completed profiling span.
+    fn span(&self, span: &SpanRecord) {
+        let _ = span;
+    }
 }
 
 /// The hook that observes nothing; instrumented code monomorphised with
@@ -53,6 +65,7 @@ impl TelemetryHook for NoopHook {
 
 impl<H: TelemetryHook> TelemetryHook for &H {
     const ENABLED: bool = H::ENABLED;
+    const SPANS: bool = H::SPANS;
 
     fn count(&self, name: &str, delta: u64) {
         (**self).count(name, delta);
@@ -69,11 +82,16 @@ impl<H: TelemetryHook> TelemetryHook for &H {
     fn event(&self, event: &Event) {
         (**self).event(event);
     }
+
+    fn span(&self, span: &SpanRecord) {
+        (**self).span(span);
+    }
 }
 
 /// Fans every signal out to both halves; enabled if either half is.
 impl<A: TelemetryHook, B: TelemetryHook> TelemetryHook for (A, B) {
     const ENABLED: bool = A::ENABLED || B::ENABLED;
+    const SPANS: bool = A::SPANS || B::SPANS;
 
     fn count(&self, name: &str, delta: u64) {
         self.0.count(name, delta);
@@ -93,6 +111,11 @@ impl<A: TelemetryHook, B: TelemetryHook> TelemetryHook for (A, B) {
     fn event(&self, event: &Event) {
         self.0.event(event);
         self.1.event(event);
+    }
+
+    fn span(&self, span: &SpanRecord) {
+        self.0.span(span);
+        self.1.span(span);
     }
 }
 
@@ -185,6 +208,17 @@ mod tests {
         assert_eq!(snap.gauge("g"), Some(2.0));
         assert_eq!(snap.histogram("h").unwrap().count(), 1);
         assert_eq!(sink.events().len(), 1);
+    }
+
+    #[test]
+    // The constant-ness of SPANS is exactly the property under test.
+    #[allow(clippy::assertions_on_constants)]
+    fn spans_default_off_and_propagate_through_combinators() {
+        assert!(!NoopHook::SPANS);
+        assert!(!RegistryHook::SPANS, "metric-only runs never build spans");
+        assert!(!<(NoopHook, RegistryHook<'_>) as TelemetryHook>::SPANS);
+        assert!(<(RegistryHook<'_>, crate::SpanHook<'_>) as TelemetryHook>::SPANS);
+        assert!(<&crate::SpanHook<'_> as TelemetryHook>::SPANS);
     }
 
     #[test]

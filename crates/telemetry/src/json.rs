@@ -75,6 +75,14 @@ impl Json {
         }
     }
 
+    /// The value as an array slice, if it is an array.
+    pub fn as_arr(&self) -> Option<&[Json]> {
+        match self {
+            Json::Arr(items) => Some(items),
+            _ => None,
+        }
+    }
+
     /// Parses one JSON document (surrounding whitespace allowed).
     ///
     /// # Errors
@@ -487,5 +495,38 @@ mod tests {
         assert_eq!(v.get("f").and_then(Json::as_u64), None);
         assert_eq!(v.get("f").and_then(Json::as_f64), Some(1.5));
         assert_eq!(v.get("missing"), None);
+        let a = Json::Arr(vec![Json::Num(1.0)]);
+        assert_eq!(a.as_arr().map(<[Json]>::len), Some(1));
+        assert_eq!(Json::Null.as_arr(), None);
+    }
+
+    #[test]
+    fn control_characters_escape_and_round_trip() {
+        // Every C0 control plus the two mandatory escapes: the writer
+        // must emit legal JSON and the parser must read back the exact
+        // original string. Workload names and event fields are
+        // user-influenced, so the event stream has to survive them.
+        let mut nasty = String::from("tab\there\nline\rret\x08back\x0cfeed quote\"slash\\");
+        for b in 0x00u8..0x20 {
+            nasty.push(b as char);
+        }
+        let doc = Json::Obj(vec![("s".into(), Json::from(nasty.as_str()))]);
+        let text = doc.to_string();
+        // The serialized form contains no raw control bytes at all.
+        assert!(
+            text.bytes().all(|b| b >= 0x20),
+            "raw control byte leaked into {text:?}"
+        );
+        let back = Json::parse(&text).expect("escaped string parses");
+        assert_eq!(back.get("s").and_then(Json::as_str), Some(nasty.as_str()));
+    }
+
+    #[test]
+    fn named_escapes_use_short_forms() {
+        let text = Json::from("a\"b\\c\nd\re\tf").to_string();
+        assert_eq!(text, r#""a\"b\\c\nd\re\tf""#);
+        // Unnamed controls fall back to \u00XX.
+        assert_eq!(Json::from("\x01").to_string(), r#""\u0001""#);
+        assert_eq!(Json::from("\x1f").to_string(), r#""\u001f""#);
     }
 }

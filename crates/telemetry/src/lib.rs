@@ -19,6 +19,11 @@
 //!   sink ([`JsonlSink`]) whose output `repro report` parses back via
 //!   the vendored [`json`] module (the workspace's `serde` is a no-op
 //!   shim).
+//! - Hierarchical spans: [`SpanRecorder`] + [`SpanHook`] collect timed,
+//!   path-addressed regions of the campaign pipeline into per-thread
+//!   ring buffers and merge them into a deterministic [`SpanTree`]
+//!   (Chrome trace-event export for Perfetto, jobs-invariant structural
+//!   text for CI diffs). Off by default via the hook's `SPANS` const.
 //! - Presentation: [`to_prometheus`] text exposition, a level-gated
 //!   [`Logger`] that keeps stdout machine-parseable, a live
 //!   [`ProgressHook`] stderr line, and [`SpanTimer`] scoped timers.
@@ -42,6 +47,7 @@ pub mod json;
 pub mod logger;
 pub mod metrics;
 pub mod progress;
+pub mod spans;
 pub mod timer;
 
 pub use events::{Event, EventSink, JsonlSink, MemorySink, NullSink};
@@ -51,4 +57,5 @@ pub use json::{Json, JsonError};
 pub use logger::{LogLevel, Logger};
 pub use metrics::{Histogram, MetricsRegistry, MetricsSnapshot};
 pub use progress::ProgressHook;
+pub use spans::{SpanHook, SpanNode, SpanRecord, SpanRecorder, SpanTree};
 pub use timer::{SpanTimer, Stopwatch};

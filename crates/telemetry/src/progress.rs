@@ -5,6 +5,13 @@
 //! `campaign_injections_total` — the per-outcome labelled series). It
 //! redraws a single `\r`-rewritten stderr line, throttled so the hot
 //! loop never blocks on the terminal.
+//!
+//! The hook is pruning-aware: lifetime-oracle pruning resolves sites
+//! instantly in a burst at campaign start (they are counted both as
+//! injections and under `campaign_pruned_total`), which would make a
+//! naive `done/elapsed` rate wildly misestimate the remaining wall
+//! time. The ETA therefore projects only the *live* replay rate over
+//! the expected live share of the remaining sites.
 
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Mutex;
@@ -15,6 +22,9 @@ use crate::hook::TelemetryHook;
 /// Counter-name prefix that marks one finished injection.
 const INJECTION_COUNTER_PREFIX: &str = "campaign_injections_total";
 
+/// Counter counting sites the lifetime oracle resolved without replay.
+const PRUNED_COUNTER: &str = "campaign_pruned_total";
+
 /// Minimum interval between stderr redraws.
 const REDRAW_EVERY: Duration = Duration::from_millis(100);
 
@@ -23,6 +33,7 @@ const REDRAW_EVERY: Duration = Duration::from_millis(100);
 pub struct ProgressHook {
     total: u64,
     done: AtomicU64,
+    pruned: AtomicU64,
     started: Instant,
     last_draw: Mutex<Instant>,
 }
@@ -34,33 +45,63 @@ impl ProgressHook {
         ProgressHook {
             total,
             done: AtomicU64::new(0),
+            pruned: AtomicU64::new(0),
             started: now,
             // Backdate so the very first injection draws immediately.
             last_draw: Mutex::new(now - REDRAW_EVERY),
         }
     }
 
-    /// Injections counted so far.
+    /// Injections counted so far (replayed and pruned).
     pub fn done(&self) -> u64 {
         self.done.load(Ordering::Relaxed)
     }
 
-    /// Renders the line: `done/total | rate inj/s | ETA`.
+    /// Sites the lifetime oracle resolved without a replay.
+    pub fn pruned(&self) -> u64 {
+        self.pruned.load(Ordering::Relaxed)
+    }
+
+    /// Seconds left, projecting the live replay rate over the live
+    /// share of the remaining sites. Pruned sites cost ~nothing, so
+    /// the remaining work is `(total - done)` scaled by the fraction
+    /// of sites seen so far that actually replayed, at the rate those
+    /// replays have sustained. `None` until a rate exists or once done.
+    fn eta_seconds(&self, done: u64, pruned: u64) -> Option<f64> {
+        if done == 0 || done >= self.total {
+            return None;
+        }
+        let elapsed = self.started.elapsed().as_secs_f64();
+        let live_done = done.saturating_sub(pruned);
+        if elapsed <= 0.0 || live_done == 0 {
+            return None;
+        }
+        let live_rate = live_done as f64 / elapsed;
+        let live_frac = live_done as f64 / done as f64;
+        let remaining_live = (self.total - done) as f64 * live_frac;
+        Some(remaining_live / live_rate)
+    }
+
+    /// Renders the line: `done/total (pruned) | rate inj/s | ETA`.
     fn render(&self, done: u64) -> String {
+        let pruned = self.pruned();
         let elapsed = self.started.elapsed().as_secs_f64();
         let rate = if elapsed > 0.0 {
             done as f64 / elapsed
         } else {
             0.0
         };
-        let eta = if rate > 0.0 && done < self.total {
-            let secs = (self.total - done) as f64 / rate;
-            format_duration(secs)
+        let eta = self
+            .eta_seconds(done, pruned)
+            .map(format_duration)
+            .unwrap_or_else(|| "--".to_string());
+        let pruned_note = if pruned > 0 {
+            format!(" ({pruned} pruned)")
         } else {
-            "--".to_string()
+            String::new()
         };
         format!(
-            "  {done}/{total} injections | {rate:.1} inj/s | ETA {eta}",
+            "  {done}/{total} injections{pruned_note} | {rate:.1} inj/s | ETA {eta}",
             total = self.total
         )
     }
@@ -74,7 +115,7 @@ impl ProgressHook {
             }
             *last = now;
         }
-        eprint!("\r{:<60}", self.render(done));
+        eprint!("\r{:<72}", self.render(done));
     }
 
     /// Draws the final state and moves stderr to a fresh line.
@@ -86,7 +127,9 @@ impl ProgressHook {
 
 impl TelemetryHook for ProgressHook {
     fn count(&self, name: &str, delta: u64) {
-        if name.starts_with(INJECTION_COUNTER_PREFIX) {
+        if name == PRUNED_COUNTER {
+            self.pruned.fetch_add(delta, Ordering::Relaxed);
+        } else if name.starts_with(INJECTION_COUNTER_PREFIX) {
             let done = self.done.fetch_add(delta, Ordering::Relaxed) + delta;
             self.draw(done, false);
         }
@@ -118,6 +161,18 @@ mod tests {
     }
 
     #[test]
+    fn tracks_pruned_sites_separately() {
+        let p = ProgressHook::new(100);
+        p.count(PRUNED_COUNTER, 40);
+        p.count(r#"campaign_injections_total{outcome="masked"}"#, 40);
+        p.count(r#"campaign_injections_total{outcome="sdc"}"#, 10);
+        assert_eq!(p.done(), 50);
+        assert_eq!(p.pruned(), 40);
+        let line = p.render(50);
+        assert!(line.contains("(40 pruned)"), "line = {line}");
+    }
+
+    #[test]
     fn render_shows_done_total_rate_and_eta() {
         let p = ProgressHook::new(100);
         p.count(r#"campaign_injections_total{outcome="masked"}"#, 50);
@@ -125,6 +180,35 @@ mod tests {
         assert!(line.contains("50/100"), "line = {line}");
         assert!(line.contains("inj/s"), "line = {line}");
         assert!(line.contains("ETA"), "line = {line}");
+        assert!(
+            !line.contains("pruned"),
+            "no prune note when nothing pruned"
+        );
+    }
+
+    #[test]
+    fn eta_projects_live_rate_not_burst_rate() {
+        // 90 of 100 sites seen, 80 of them pruned instantly: a naive
+        // ETA from done/elapsed would assume the remaining 10 finish at
+        // the burst-inflated rate. The live projection scales remaining
+        // work by the live fraction (1/9) and divides by the live rate.
+        let p = ProgressHook::new(100);
+        p.count(PRUNED_COUNTER, 80);
+        p.count(r#"campaign_injections_total{outcome="masked"}"#, 90);
+        std::thread::sleep(Duration::from_millis(20));
+        let eta = p.eta_seconds(90, 80).expect("rate exists");
+        let elapsed = p.started.elapsed().as_secs_f64();
+        let live_rate = 10.0 / elapsed;
+        let expected = (10.0 * (10.0 / 90.0)) / live_rate;
+        assert!(
+            (eta - expected).abs() < 1e-6,
+            "eta = {eta}, expected = {expected}"
+        );
+        // And with everything pruned so far, no live rate exists yet.
+        let q = ProgressHook::new(100);
+        q.count(PRUNED_COUNTER, 50);
+        q.count(r#"campaign_injections_total{outcome="masked"}"#, 50);
+        assert_eq!(q.eta_seconds(50, 50), None);
     }
 
     #[test]
