@@ -20,6 +20,8 @@
 //!   --no-checkpoints    disable checkpointed replay (from-zero replays)
 //!   --no-prune          disable lifetime-oracle pruning and the clean-
 //!                       overwrite early-exit (full replays; identical tallies)
+//!   --no-batch          disable bit-plane batched replay (scalar one-site
+//!                       passes; identical tallies)
 //!   --fault-model M     transient (default) | stuck0 | stuck1 | control —
 //!                       which fault family the campaigns inject
 //!   --provenance        record fault-propagation provenance per injection
@@ -79,6 +81,7 @@ struct Args {
     checkpoint_interval: u64,
     no_checkpoints: bool,
     no_prune: bool,
+    no_batch: bool,
     metrics: Option<String>,
     progress: bool,
     log_level: LogLevel,
@@ -106,6 +109,7 @@ fn parse_args() -> Result<Args, String> {
         checkpoint_interval: 0,
         no_checkpoints: false,
         no_prune: false,
+        no_batch: false,
         metrics: None,
         progress: false,
         log_level: LogLevel::Info,
@@ -158,6 +162,7 @@ fn parse_args() -> Result<Args, String> {
             }
             "--no-checkpoints" => args.no_checkpoints = true,
             "--no-prune" => args.no_prune = true,
+            "--no-batch" => args.no_batch = true,
             "--fault-model" => {
                 args.fault_model = it
                     .next()
@@ -196,7 +201,7 @@ const HELP: &str = "repro — regenerate the figures of \
 usage: repro [COMMAND] [--injections N] [--paper] [--seed S] [--jobs N]
              [--smoke] [--device NAME] [--workload NAME]
              [--csv PATH] [--json PATH] [--experiments PATH]
-             [--checkpoint-interval N] [--no-checkpoints] [--no-prune]
+             [--checkpoint-interval N] [--no-checkpoints] [--no-prune] [--no-batch]
              [--fault-model transient|stuck0|stuck1|control] [--provenance]
              [--metrics PATH] [--progress] [--profile PATH] [--quiet] [-v]
        repro profile [study options]
@@ -379,6 +384,7 @@ fn main() -> ExitCode {
             prune: !args.no_prune,
             early_exit: !args.no_prune,
             fault_model: args.fault_model,
+            batch: !args.no_batch,
         },
         workload_seed: args.seed,
         fi_on_unused_lds: false,
@@ -1078,8 +1084,9 @@ fn bench_campaign(
         jobs_ladder.push(max_jobs);
     }
     let mut scaling: Vec<(String, String, usize, f64)> = Vec::new();
-    // (device, workload, mode, wall, inj/s, pruned frac, early frac, vs full)
-    type PruneRow = (String, String, String, f64, f64, f64, f64, f64);
+    // (device, workload, mode, wall, inj/s, pruned frac, early frac,
+    //  fork frac, vs full, vs pruned)
+    type PruneRow = (String, String, String, f64, f64, f64, f64, f64, f64, f64);
     let mut prune_rows: Vec<PruneRow> = Vec::new();
     let mut pairs_json: Vec<Json> = Vec::new();
     let mut profile_pairs_json: Vec<Json> = Vec::new();
@@ -1194,21 +1201,27 @@ fn bench_campaign(
                     }
                 }
             }
-            // Lifetime-oracle fast path: same golden run, same seed (so
-            // the same sampled sites), three configurations. The pruned
-            // run pays for its own oracle-capture instrumented replay,
-            // so the comparison is end-to-end, not best-case.
+            // Replay fast paths: same golden run, same seed (so the same
+            // sampled sites), four configurations. The pruned run pays
+            // for its own oracle-capture instrumented replay, so the
+            // comparison is end-to-end, not best-case; the batched run
+            // stacks bit-plane shared passes on top of the pruned
+            // configuration, so its `vs pruned` column is the marginal
+            // gain of batching alone.
             let base_tally = tally_of(&base);
             let mut modes_json: Vec<Json> = Vec::new();
             let mut full_secs = 0.0;
-            for (mode, prune, early_exit) in [
-                ("full", false, false),
-                ("early-exit", false, true),
-                ("pruned", true, true),
+            let mut pruned_secs = 0.0;
+            for (mode, prune, early_exit, batch) in [
+                ("full", false, false, false),
+                ("early-exit", false, true, false),
+                ("pruned", true, true, false),
+                ("batched", true, true, true),
             ] {
                 let mut c = cfg.campaign;
                 c.prune = prune;
                 c.early_exit = early_exit;
+                c.batch = batch;
                 let registry = MetricsRegistry::new();
                 let hook = RegistryHook::new(&registry);
                 let t = Instant::now();
@@ -1234,19 +1247,30 @@ fn bench_campaign(
                 let secs = t.elapsed().as_secs_f64();
                 assert_eq!(
                     res.tally, base_tally,
-                    "the oracle fast path must not change the tally ({mode})"
+                    "a replay fast path must not change the tally ({mode})"
                 );
                 if mode == "full" {
                     full_secs = secs;
                 }
+                if mode == "pruned" {
+                    pruned_secs = secs;
+                }
                 let snap = registry.snapshot();
                 let pruned = snap.counter("campaign_pruned_total").unwrap_or(0);
                 let early = snap.counter("campaign_early_exit_total").unwrap_or(0);
+                let batched = snap.counter("campaign_batched_total").unwrap_or(0);
+                let forks = snap.counter("campaign_batch_forks_total").unwrap_or(0);
                 let n = cfg.campaign.injections as f64;
                 let ips = n / secs.max(1e-9);
                 let pruned_frac = pruned as f64 / n.max(1.0);
                 let early_frac = early as f64 / n.max(1.0);
+                let fork_frac = forks as f64 / (batched as f64).max(1.0);
                 let speedup = full_secs / secs.max(1e-9);
+                let vs_pruned = if mode == "batched" {
+                    pruned_secs / secs.max(1e-9)
+                } else {
+                    0.0
+                };
                 prune_rows.push((
                     arch.name.clone(),
                     w.name().to_string(),
@@ -1255,7 +1279,9 @@ fn bench_campaign(
                     ips,
                     pruned_frac,
                     early_frac,
+                    fork_frac,
                     speedup,
+                    vs_pruned,
                 ));
                 modes_json.push(Json::Obj(vec![
                     ("mode".into(), Json::from(mode)),
@@ -1263,7 +1289,11 @@ fn bench_campaign(
                     ("injections_per_second".into(), Json::from(ips)),
                     ("pruned_fraction".into(), Json::from(pruned_frac)),
                     ("early_exit_fraction".into(), Json::from(early_frac)),
+                    ("batched_sites".into(), Json::from(batched)),
+                    ("batch_forks".into(), Json::from(forks)),
+                    ("fork_fraction".into(), Json::from(fork_frac)),
                     ("speedup_vs_full".into(), Json::from(speedup)),
+                    ("speedup_vs_pruned".into(), Json::from(vs_pruned)),
                 ]));
             }
             // Profiled pass: the same checkpointed campaign once more at
@@ -1380,15 +1410,23 @@ fn bench_campaign(
     }
     println!();
     println!(
-        "== Lifetime-oracle pruning (RF campaign at -j{max_jobs}, identical tallies asserted) =="
+        "== Replay fast paths (RF campaign at -j{max_jobs}, identical tallies asserted) =="
     );
     println!(
-        "{:<16} {:<12} {:<10} {:>9} {:>8} {:>7} {:>7} {:>8}",
-        "device", "workload", "mode", "wall", "inj/s", "pruned", "early", "vs full"
+        "{:<16} {:<12} {:<10} {:>9} {:>8} {:>7} {:>7} {:>7} {:>8} {:>9}",
+        "device", "workload", "mode", "wall", "inj/s", "pruned", "early", "forked", "vs full",
+        "vs pruned"
     );
-    for (device, workload, mode, secs, ips, pruned, early, speedup) in &prune_rows {
+    for (device, workload, mode, secs, ips, pruned, early, forked, speedup, vs_pruned) in
+        &prune_rows
+    {
+        let vs_pruned_col = if *vs_pruned > 0.0 {
+            format!("{vs_pruned:>8.2}x")
+        } else {
+            format!("{:>9}", "-")
+        };
         println!(
-            "{:<16} {:<12} {:<10} {:>8.3}s {:>8.0} {:>6.1}% {:>6.1}% {:>7.2}x",
+            "{:<16} {:<12} {:<10} {:>8.3}s {:>8.0} {:>6.1}% {:>6.1}% {:>6.1}% {:>7.2}x {}",
             device,
             workload,
             mode,
@@ -1396,7 +1434,9 @@ fn bench_campaign(
             ips,
             pruned * 100.0,
             early * 100.0,
-            speedup
+            forked * 100.0,
+            speedup,
+            vs_pruned_col
         );
     }
     let doc = Json::Obj(vec![

@@ -240,6 +240,19 @@ fn fmt_secs(s: f64) -> String {
     }
 }
 
+/// Division that can never leak `NaN` or `inf` into the rendered
+/// report. Metrics from an empty, truncated or zero-injection campaign
+/// produce zero denominators everywhere a share or rate is computed;
+/// those render as 0 rather than poisoning the markdown.
+fn ratio(num: f64, den: f64) -> f64 {
+    let r = num / den;
+    if r.is_finite() {
+        r
+    } else {
+        0.0
+    }
+}
+
 fn fmt_count(n: u64) -> String {
     if n >= 10_000_000 {
         format!("{:.1}M", n as f64 / 1e6)
@@ -272,7 +285,7 @@ fn log2_hist_table(w: &mut impl Write, caption: &str, rows: &[(String, u64)]) ->
             "| {} | {} | `{}` |",
             bucket_label(b),
             n,
-            crate::bar(*n as f64 / peak as f64, 20)
+            crate::bar(ratio(*n as f64, peak as f64), 20)
         )?;
     }
     writeln!(w)
@@ -293,7 +306,7 @@ fn heatmap_table(
         .into_iter()
         .map(|(label, inj)| {
             let sdc = counter_at(data, sdc_base, key, &label);
-            let rate = sdc as f64 / inj.max(1) as f64;
+            let rate = ratio(sdc as f64, inj as f64);
             (label, inj, sdc, rate)
         })
         .collect();
@@ -308,7 +321,7 @@ fn heatmap_table(
             inj,
             sdc,
             rate * 100.0,
-            crate::bar(rate / peak, 20)
+            crate::bar(ratio(rate, peak), 20)
         )?;
     }
     writeln!(w)
@@ -387,7 +400,7 @@ fn render_body(data: &RunData, w: &mut impl Write) -> fmt::Result {
             writeln!(
                 w,
                 "| {label} | {count} | {:.1}% |",
-                *count as f64 / total_inj.max(1) as f64 * 100.0
+                ratio(*count as f64, total_inj as f64) * 100.0
             )?;
         }
         writeln!(w, "| **total** | **{total_inj}** | 100.0% |")?;
@@ -446,7 +459,7 @@ fn render_body(data: &RunData, w: &mut impl Write) -> fmt::Result {
                 writeln!(
                     w,
                     "| {label} | {n} | {:.1}% |",
-                    *n as f64 / kind_total.max(1) as f64 * 100.0
+                    ratio(*n as f64, kind_total as f64) * 100.0
                 )?;
             }
             writeln!(w)?;
@@ -499,7 +512,7 @@ fn render_body(data: &RunData, w: &mut impl Write) -> fmt::Result {
             fmt_count(total_inj),
             hist_field(data, "campaign_seconds", "count").unwrap_or(0.0) as u64,
             fmt_secs(campaign_secs),
-            total_inj as f64 / campaign_secs,
+            ratio(total_inj as f64, campaign_secs),
         )?;
     }
     if let Some(golden) = hist_field(data, "campaign_golden_seconds", "sum") {
@@ -572,7 +585,7 @@ fn render_body(data: &RunData, w: &mut impl Write) -> fmt::Result {
                  cycle, so no replay ran",
                 fmt_count(pruned),
                 fmt_count(total_inj),
-                pruned as f64 / total_inj.max(1) as f64 * 100.0
+                ratio(pruned as f64, total_inj as f64) * 100.0
             )?;
         }
         if early > 0 {
@@ -598,7 +611,7 @@ fn render_body(data: &RunData, w: &mut impl Write) -> fmt::Result {
              oracle pruning and early exits",
             fmt_count(saved),
             fmt_count(replayed + saved),
-            saved as f64 / (replayed + saved) as f64 * 100.0
+            ratio(saved as f64, (replayed + saved) as f64) * 100.0
         )?;
         let snapshots = counter_sum(data, "sim_snapshots_total");
         let bytes = counter_sum(data, "sim_snapshot_bytes_total");
@@ -636,7 +649,7 @@ fn render_body(data: &RunData, w: &mut impl Write) -> fmt::Result {
             writeln!(
                 w,
                 "- mean taint breadth {:.1} word(s) per injection",
-                taint as f64 / total_inj as f64
+                ratio(taint as f64, total_inj as f64)
             )?;
         }
         let saturated = counter_sum(data, "provenance_taint_saturated_total");
@@ -658,7 +671,7 @@ fn render_body(data: &RunData, w: &mut impl Write) -> fmt::Result {
                 writeln!(
                     w,
                     "| {label} | {n} | {:.1}% |",
-                    *n as f64 / masked_total.max(1) as f64 * 100.0
+                    ratio(*n as f64, masked_total as f64) * 100.0
                 )?;
             }
             writeln!(w)?;
@@ -728,7 +741,7 @@ fn render_body(data: &RunData, w: &mut impl Write) -> fmt::Result {
                 p.get("workload").and_then(Json::as_str).unwrap_or("?"),
                 p.get("device").and_then(Json::as_str).unwrap_or("?"),
                 fmt_secs(secs),
-                secs / total.max(1e-12) * 100.0
+                ratio(secs, total) * 100.0
             )?;
         }
         if points.len() > 10 {
@@ -833,7 +846,7 @@ fn render_body(data: &RunData, w: &mut impl Write) -> fmt::Result {
             sorted.sort_by_key(|(label, _)| label.parse::<u64>().unwrap_or(u64::MAX));
             for (label, busy) in sorted {
                 let alive = counter_at(data, "campaign_worker_us_total", "worker", &label);
-                let util = busy as f64 / alive.max(1) as f64;
+                let util = ratio(busy as f64, alive as f64);
                 writeln!(
                     w,
                     "| {label} | {} | {} | {:.1}% | `{}` |",
@@ -1159,5 +1172,44 @@ mod tests {
         assert_eq!(bucket_label(1), "1");
         assert_eq!(bucket_label(2), "2..3");
         assert_eq!(bucket_label(11), "1024..2047");
+    }
+
+    #[test]
+    fn ratio_never_leaks_non_finite_values() {
+        assert_eq!(ratio(3.0, 4.0), 0.75);
+        assert_eq!(ratio(0.0, 0.0), 0.0);
+        assert_eq!(ratio(5.0, 0.0), 0.0);
+        assert_eq!(ratio(1.0, f64::NAN), 0.0);
+        assert_eq!(ratio(1.0, f64::INFINITY), 0.0);
+    }
+
+    /// A metrics file from a campaign that sampled nothing — an
+    /// all-dead population, an interrupted run, a zero-injection smoke
+    /// invocation — has zero denominators behind every share and rate.
+    /// The report must render them as 0, never as `NaN` or `inf`.
+    #[test]
+    fn empty_campaign_report_has_no_non_finite_artifacts() {
+        let jsonl = [
+            r#"{"event":"run.meta","t_ms":0,"command":"all","injections":0,"seed":7,"threads":1,"devices":1,"workloads":1,"scale":"smoke"}"#,
+            r#"{"event":"campaign.done","t_ms":1,"workload":"vectoradd","device":"GTX 480","structure":"RF","injections":0,"masked":0,"sdc":0,"due":0,"avf":0.0,"golden_cycles":900,"ladder_rungs":3,"seconds":0.0,"injections_per_second":0.0}"#,
+            r#"{"event":"counter","name":"campaign_injections_total{outcome=\"masked\"}","value":0}"#,
+            r#"{"event":"counter","name":"campaign_injections_by_kind_total{kind=\"transient\"}","value":0}"#,
+            r#"{"event":"counter","name":"campaign_pruned_total","value":0}"#,
+            r#"{"event":"counter","name":"campaign_cycles_replayed_total","value":0}"#,
+            r#"{"event":"counter","name":"campaign_cycles_saved_total","value":1}"#,
+            r#"{"event":"counter","name":"campaign_worker_busy_us_total{worker=\"0\"}","value":5}"#,
+            r#"{"event":"counter","name":"campaign_worker_us_total{worker=\"0\"}","value":0}"#,
+            r#"{"event":"counter","name":"provenance_masking_total{reason=\"never-read\"}","value":0}"#,
+            r#"{"event":"counter","name":"provenance_taint_words_total","value":0}"#,
+            r#"{"event":"counter","name":"provenance_rf_region_injections_total{region=\"00\"}","value":0}"#,
+            r#"{"event":"counter","name":"provenance_rf_region_sdc_total{region=\"00\"}","value":0}"#,
+            r#"{"event":"histogram","name":"campaign_seconds","count":1,"sum":0.5,"mean":0.5,"min":0.5,"max":0.5,"p50":0.5,"p90":0.5,"p99":0.5}"#,
+        ]
+        .join("\n");
+        let md = render_run_report(&jsonl).unwrap();
+        assert!(!md.contains("NaN"), "{md}");
+        assert!(!md.contains("inf"), "{md}");
+        // Zero-injection shares render as an explicit 0.
+        assert!(md.contains("| masked | 0 | 0.0% |"), "{md}");
     }
 }

@@ -242,6 +242,16 @@ pub struct CampaignConfig {
     /// campaigns bit-for-bit; the stuck-at and control models draw from
     /// their own site populations (see [`sample_model_sites`]).
     pub fault_model: FaultModelKind,
+    /// Replay sites in bit-plane batches: up to
+    /// [`simt_sim::MAX_BATCH_SCENARIOS`] transient sites sharing a
+    /// checkpoint rung ride one shared golden replay as sparse overlay
+    /// lanes, and a lane forks into a private replay only when its
+    /// flipped word is first architecturally read. Exact — every read
+    /// that could propagate a divergent word forks — so tallies are
+    /// byte-identical with batching on or off at any job count. Only
+    /// the transient model batches (like pruning, the lane model
+    /// assumes a one-shot flip); other kinds replay scalar.
+    pub batch: bool,
 }
 
 impl CampaignConfig {
@@ -257,6 +267,7 @@ impl CampaignConfig {
             prune: true,
             early_exit: true,
             fault_model: FaultModelKind::Transient,
+            batch: true,
         }
     }
 
@@ -788,7 +799,12 @@ pub(crate) fn classify_on<H: TelemetryHook>(
     ckpt: Option<&Checkpoint>,
     hook: &H,
 ) -> Result<Outcome, SimError> {
-    let watchdog = golden.cycles * watchdog_factor + 10_000;
+    // Saturating: a pathological `watchdog_factor` (up to `u64::MAX`)
+    // clamps to an effectively-infinite budget instead of overflowing.
+    let watchdog = golden
+        .cycles
+        .saturating_mul(watchdog_factor)
+        .saturating_add(10_000);
     // The clean-overwrite early exit is only sound for transient flips:
     // a stuck-at cell is re-asserted by the very overwrite the probe
     // would treat as masking, and a control fault never lives in a
@@ -942,6 +958,294 @@ fn drive_replay(
     }
 }
 
+/// Result of one bit-plane batched replay ([`classify_batch_on`]).
+pub(crate) struct BatchReplay {
+    /// Per-site outcomes, parallel to the batch slice.
+    pub outcomes: Vec<Outcome>,
+    /// Lanes that diverged architecturally and re-ran privately.
+    pub forks: u32,
+    /// Whether the shared pass aborted and the whole batch was
+    /// re-classified scalar (a safety net; outcomes are still exact).
+    pub fell_back: bool,
+}
+
+/// Classifies up to [`simt_sim::MAX_BATCH_SCENARIOS`] transient sites
+/// sharing one checkpoint rung in a single shared simulation pass.
+///
+/// The shared pass replays the fault-free trajectory once with every
+/// site's flip held in a sparse overlay lane: physical machine state
+/// stays bit-identical to the golden run, and a lane's divergent words
+/// live only in overlay cells. A lane **forks** into a private replay
+/// the moment its divergence could alter execution — a divergent
+/// predicate, a divergent address, any atomic touching an overlaid
+/// word, or a host read of one. Because the shared pass *is* the
+/// golden trajectory, its periodic snapshots are golden checkpoints: a
+/// forked lane resumes from the latest snapshot at or before its fork
+/// trigger, materialises its overlay diff into physical state, re-arms
+/// its flip if still pending, and runs to completion under the scalar
+/// classification rules. A lane that never forks ended bit-identical
+/// to the golden run and is `Masked` by construction, so batched
+/// tallies are byte-identical to scalar replay.
+///
+/// # Errors
+///
+/// Same as [`classify_on`]: a [`SimError::Due`] from a private replay
+/// is a classification; anything else propagates. A shared-pass
+/// failure (which pure golden replay should never produce) falls back
+/// to scalar classification of every site instead of guessing.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn classify_batch_on<H: TelemetryHook>(
+    gpu: &mut Gpu,
+    arch: &ArchConfig,
+    workload: &dyn Workload,
+    golden: &GoldenRun,
+    batch: &[FaultSite],
+    watchdog_factor: u64,
+    early_exit: bool,
+    ckpt: Option<&Checkpoint>,
+    hook: &H,
+) -> Result<BatchReplay, SimError> {
+    debug_assert!(!batch.is_empty() && batch.len() <= simt_sim::MAX_BATCH_SCENARIOS);
+    debug_assert!(batch.iter().all(|s| s.is_transient()));
+    let watchdog = golden
+        .cycles
+        .saturating_mul(watchdog_factor)
+        .saturating_add(10_000);
+    let start_cycle = ckpt.map_or(0, |ck| ck.cycle());
+    debug_assert!(batch.iter().all(|s| s.cycle >= start_cycle));
+    // Twice the ladder's rung density: a fork replays the stretch from
+    // its snapshot to its trigger for nothing, so a finer stride inside
+    // the shared pass directly shrinks that waste (half a stride per
+    // fork on average) for a few extra in-memory clones.
+    let interval = (golden.cycles / 32).max(1);
+    let all_mask = if batch.len() == simt_sim::MAX_BATCH_SCENARIOS {
+        u64::MAX
+    } else {
+        (1u64 << batch.len()) - 1
+    };
+
+    // Shared pass. Snapshots are taken *before* stepping, so a fork
+    // raised during a step always has a snapshot at or before its
+    // trigger cycle; the drain sits at the top of the loop so forks
+    // raised by the finishing step's host output reads still land.
+    let mut snaps: Vec<Checkpoint> = Vec::new();
+    let mut fork_snap = vec![0usize; batch.len()];
+    let mut forked = 0u64;
+    let (finished_out, final_sdc, shared_broke, shared_end, shared_instr) = {
+        let mut session = match ckpt {
+            Some(ck) => Session::resume(&mut *gpu, ck),
+            None => {
+                *gpu = Gpu::new(arch.clone());
+                Session::new(&mut *gpu, workload.plan())
+            }
+        };
+        let base = if H::ENABLED {
+            session.gpu().exec_totals().warp_instructions
+        } else {
+            0
+        };
+        session.gpu_mut().set_watchdog(watchdog);
+        session.arm_scenarios(batch);
+        snaps.push(session.snapshot());
+        let mut next_snap = session.gpu().app_cycle() + interval;
+        let mut finished_out: Option<Vec<u32>> = None;
+        let mut broke = false;
+        loop {
+            let new = session.take_scenario_forks();
+            if new != 0 {
+                let snap_idx = snaps.len() - 1;
+                let mut m = new;
+                while m != 0 {
+                    fork_snap[m.trailing_zeros() as usize] = snap_idx;
+                    m &= m - 1;
+                }
+                forked |= new;
+            }
+            if finished_out.is_some() || forked == all_mask {
+                break;
+            }
+            if session.gpu().app_cycle() >= next_snap {
+                snaps.push(session.snapshot());
+                next_snap = session.gpu().app_cycle() + interval;
+            }
+            match session.step(&mut NoopObserver) {
+                Ok(SessionStatus::Running) => {}
+                Ok(SessionStatus::Finished) => {
+                    finished_out = Some(
+                        session
+                            .outputs()
+                            .expect("finished session has outputs")
+                            .to_vec(),
+                    );
+                }
+                Err(_) => {
+                    broke = true;
+                    break;
+                }
+            }
+        }
+        let instr = if H::ENABLED {
+            session
+                .gpu()
+                .exec_totals()
+                .warp_instructions
+                .saturating_sub(base)
+        } else {
+            0
+        };
+        let end = session.gpu().app_cycle();
+        let final_sdc = session.final_scenario_divergence();
+        (finished_out, final_sdc, broke, end, instr)
+    };
+    if H::ENABLED {
+        hook.count(
+            "campaign_cycles_replayed_total",
+            shared_end.saturating_sub(start_cycle),
+        );
+        hook.count(
+            "campaign_batch_shared_cycles_total",
+            shared_end.saturating_sub(start_cycle),
+        );
+        hook.count(
+            "campaign_cycles_saved_total",
+            start_cycle.saturating_mul(batch.len() as u64),
+        );
+        hook.count("sim_instructions_total", shared_instr);
+    }
+    // A shared pass that finished must have reproduced the golden output
+    // bit for bit — it executes the fault-free trajectory. Anything else
+    // is a harness bug; classify the whole batch scalar for safety.
+    let broken = shared_broke || matches!(&finished_out, Some(out) if out != &golden.outputs);
+    if broken {
+        gpu.clear_scenarios();
+        let mut outcomes = Vec::with_capacity(batch.len());
+        for &site in batch {
+            outcomes.push(classify_on(
+                gpu,
+                arch,
+                workload,
+                golden,
+                site,
+                watchdog_factor,
+                early_exit,
+                ckpt,
+                hook,
+            )?);
+        }
+        return Ok(BatchReplay {
+            outcomes,
+            forks: forked.count_ones(),
+            fell_back: true,
+        });
+    }
+
+    // Private fork replays, in lane order for a deterministic telemetry
+    // stream. An unforked lane's divergence never influenced control
+    // flow, addressing, an atomic or host logic, so the shared pass
+    // carried its complete faulty execution: if its divergence reached
+    // the final output reads it is an SDC outright, otherwise `Masked`
+    // — either way the verdict is free.
+    let mut outcomes = vec![Outcome::Masked; batch.len()];
+    for s in 0..batch.len() {
+        if forked >> s & 1 == 0 {
+            if final_sdc >> s & 1 == 1 {
+                outcomes[s] = Outcome::Sdc;
+                if H::ENABLED {
+                    hook.count("campaign_batch_final_sdc_total", 1);
+                }
+            }
+            if H::ENABLED {
+                hook.count(
+                    "campaign_cycles_saved_total",
+                    golden.cycles.saturating_sub(start_cycle),
+                );
+            }
+            continue;
+        }
+        let site = batch[s];
+        let snap = &snaps[fork_snap[s]];
+        let (result, end_cycle, instr, session_tel) = {
+            let mut session = Session::resume(&mut *gpu, snap);
+            let base = if H::ENABLED {
+                session.gpu().exec_totals().warp_instructions
+            } else {
+                0
+            };
+            session.gpu_mut().set_watchdog(watchdog);
+            session.gpu_mut().materialize_scenario(s);
+            // The snapshot was captured before the fault-application
+            // step of its own cycle (rung semantics), so a flip at or
+            // past the snapshot cycle is still pending and re-arms
+            // scalar; an earlier flip already lives in the overlay diff
+            // just materialised.
+            if site.cycle >= snap.cycle() {
+                session.gpu_mut().arm_fault(site);
+            }
+            let r = session.run_to_completion(&mut NoopObserver);
+            let tel = *session.telemetry();
+            let instr = if H::ENABLED {
+                session
+                    .gpu()
+                    .exec_totals()
+                    .warp_instructions
+                    .saturating_sub(base)
+            } else {
+                0
+            };
+            let end = session.gpu().app_cycle();
+            (r, end, instr, tel)
+        };
+        if H::ENABLED {
+            hook.count(
+                "campaign_cycles_replayed_total",
+                end_cycle.saturating_sub(snap.cycle()),
+            );
+            hook.count(
+                "campaign_batch_fork_cycles_total",
+                end_cycle.saturating_sub(snap.cycle()),
+            );
+            hook.count(
+                "campaign_cycles_saved_total",
+                snap.cycle().saturating_sub(start_cycle),
+            );
+            hook.count("sim_instructions_total", instr);
+            if session_tel.restores > 0 {
+                hook.count("sim_restores_total", session_tel.restores);
+                hook.observe(
+                    "sim_restore_seconds",
+                    session_tel.restore_nanos as f64 * 1e-9,
+                );
+            }
+        }
+        outcomes[s] = match result {
+            Ok(out) if out == golden.outputs => Outcome::Masked,
+            Ok(_) => Outcome::Sdc,
+            Err(SimError::Due(Due::WatchdogTimeout { .. })) => {
+                if H::ENABLED {
+                    record_watchdog_kill(
+                        gpu,
+                        arch,
+                        workload,
+                        golden,
+                        site,
+                        watchdog,
+                        snap.cycle(),
+                        hook,
+                    );
+                }
+                Outcome::Hang
+            }
+            Err(SimError::Due(_)) => Outcome::Due,
+            Err(e) => return Err(e),
+        };
+    }
+    Ok(BatchReplay {
+        outcomes,
+        forks: forked.count_ones(),
+        fell_back: false,
+    })
+}
+
 /// [`classify_on`] with a [`TraceObserver`] riding along: identical
 /// classification (the observer is passive), plus a per-injection
 /// [`TraceRecord`] of how the corruption propagated. `golden_writes` is
@@ -963,7 +1267,12 @@ pub(crate) fn classify_traced_on<H: TelemetryHook>(
     ckpt: Option<&Checkpoint>,
     hook: &H,
 ) -> Result<(Outcome, TraceRecord), SimError> {
-    let watchdog = golden.cycles * watchdog_factor + 10_000;
+    // Saturating: a pathological `watchdog_factor` (up to `u64::MAX`)
+    // clamps to an effectively-infinite budget instead of overflowing.
+    let watchdog = golden
+        .cycles
+        .saturating_mul(watchdog_factor)
+        .saturating_add(10_000);
     let resume_cycle = ckpt.map_or(0, |ck| ck.cycle());
     let mut tracer = TraceObserver::new(site, arch.num_sms as usize, golden_writes, resume_cycle);
     let (result, start_cycle, base_instructions, session_tel) = match ckpt {
@@ -1408,6 +1717,7 @@ mod tests {
             prune: true,
             early_exit: true,
             fault_model: FaultModelKind::Transient,
+            batch: true,
         }
     }
 
@@ -1794,6 +2104,42 @@ mod tests {
         let r1 = run_campaign(&arch, &w, Structure::VectorRegisterFile, cfg).unwrap();
         assert_eq!(r2.tally, r1.tally);
         assert_eq!(r2.tally.total(), 16);
+    }
+
+    #[test]
+    fn watchdog_budget_saturates_instead_of_overflowing() {
+        // `golden_cycles · u64::MAX + 10_000` would overflow; the budget
+        // must clamp to "effectively never" and the campaign complete.
+        let arch = quadro_fx_5600();
+        let w = VectorAdd::new(256, 3);
+        let mut cfg = small_cfg(8);
+        cfg.watchdog_factor = u64::MAX;
+        let r = run_campaign(&arch, &w, Structure::VectorRegisterFile, cfg).unwrap();
+        assert_eq!(r.tally.total(), 8);
+        cfg.watchdog_factor = 10;
+        let r2 = run_campaign(&arch, &w, Structure::VectorRegisterFile, cfg).unwrap();
+        assert_eq!(
+            r.tally, r2.tally,
+            "a clamped budget must not reclassify non-hanging runs"
+        );
+    }
+
+    #[test]
+    fn batched_campaign_matches_scalar() {
+        let arch = quadro_fx_5600();
+        let w = VectorAdd::new(256, 3);
+        for prune in [false, true] {
+            let mut cfg = small_cfg(24);
+            cfg.prune = prune;
+            cfg.batch = true;
+            let batched = run_campaign(&arch, &w, Structure::VectorRegisterFile, cfg).unwrap();
+            cfg.batch = false;
+            let scalar = run_campaign(&arch, &w, Structure::VectorRegisterFile, cfg).unwrap();
+            assert_eq!(
+                batched.tally, scalar.tally,
+                "batching must not change outcomes (prune = {prune})"
+            );
+        }
     }
 
     #[test]

@@ -36,12 +36,15 @@
 
 use crate::ace::LifetimeOracle;
 use crate::campaign::{
-    classify_on, classify_traced_on, structure_label, CampaignConfig, CheckpointLadder, GoldenRun,
-    Outcome,
+    classify_batch_on, classify_on, classify_traced_on, structure_label, CampaignConfig,
+    CheckpointLadder, GoldenRun, Outcome,
 };
 use gpu_workloads::Workload;
 use grel_telemetry::{SpanRecord, TelemetryHook};
-use simt_sim::{ArchConfig, FaultSite, GlobalWrite, Gpu, SimError, TraceRecord};
+use simt_sim::{
+    ArchConfig, FaultModelKind, FaultSite, GlobalWrite, Gpu, SimError, TraceRecord,
+    MAX_BATCH_SCENARIOS,
+};
 use std::time::Instant;
 
 /// Everything a worker needs, shared read-only across the pool.
@@ -167,6 +170,79 @@ fn record_worker_span<H: TelemetryHook>(
     );
 }
 
+/// Replays one site scalar on the worker's device, emitting the full
+/// per-injection telemetry (outcome/kind/rung counters, latency sample,
+/// replay span). Shared by the scalar worker loop and by the batched
+/// loop's singleton units, so the two paths can never drift.
+fn replay_scalar_site<H: TelemetryHook>(
+    shared: &ReplayShared<'_, H>,
+    gpu: &mut Gpu,
+    i: usize,
+    worker: usize,
+    busy_us: &mut u64,
+) -> Result<Outcome, SimError> {
+    let hook = shared.hook;
+    let site = shared.sites[i];
+    let rung = shared.ladder.nearest_indexed(site.cycle);
+    let injection_started = H::ENABLED.then(Instant::now);
+    let outcome = classify_on(
+        gpu,
+        shared.arch,
+        shared.workload,
+        shared.golden,
+        site,
+        shared.cfg.watchdog_factor,
+        shared.early_exit,
+        rung.map(|(_, ck)| ck),
+        hook,
+    )?;
+    if let Some(injection_started) = injection_started {
+        hook.observe(
+            "campaign_injection_seconds",
+            injection_started.elapsed().as_secs_f64(),
+        );
+        let outcome_label = outcome.as_str();
+        hook.count(
+            &format!("campaign_injections_total{{outcome=\"{outcome_label}\"}}"),
+            1,
+        );
+        if outcome == Outcome::Hang {
+            hook.count("campaign_hang_total", 1);
+        }
+        let kind_label = site.kind.as_str();
+        hook.count(
+            &format!("campaign_injections_by_kind_total{{kind=\"{kind_label}\"}}"),
+            1,
+        );
+        let rung_label = match rung {
+            Some((idx, _)) => idx.to_string(),
+            None => "none".to_string(),
+        };
+        hook.count(
+            &format!("campaign_rung_hits_total{{rung=\"{rung_label}\"}}"),
+            1,
+        );
+    }
+    if H::SPANS {
+        if let (Some(injection_started), Some(prefix)) =
+            (injection_started, shared.span_prefix.as_deref())
+        {
+            record_injection_span(
+                hook,
+                prefix,
+                injection_started,
+                i,
+                worker,
+                outcome,
+                site,
+                rung.map(|(idx, _)| idx),
+                busy_us,
+            );
+        }
+    }
+    Ok(outcome)
+}
+
 /// One worker's replay loop: stripe `worker` of `jobs` over the sorted
 /// order, on a single device reused across all of its replays.
 ///
@@ -185,65 +261,195 @@ fn worker_loop<H: TelemetryHook>(
     let mut done = Vec::with_capacity(shared.order.len().div_ceil(jobs));
     let mut busy_us: u64 = 0;
     for &i in shared.order.iter().skip(worker).step_by(jobs) {
-        let site = shared.sites[i];
-        let rung = shared.ladder.nearest_indexed(site.cycle);
-        let injection_started = H::ENABLED.then(Instant::now);
-        let outcome = classify_on(
+        let outcome = replay_scalar_site(shared, &mut gpu, i, worker, &mut busy_us)?;
+        done.push((i, outcome));
+    }
+    if H::SPANS {
+        if let (Some(started), Some(prefix)) = (started, shared.span_prefix.as_deref()) {
+            record_worker_span(hook, prefix, started, worker, done.len(), busy_us);
+        }
+    }
+    if let Some(started) = started {
+        let seconds = started.elapsed().as_secs_f64();
+        let per_second = if seconds > 0.0 {
+            done.len() as f64 / seconds
+        } else {
+            0.0
+        };
+        hook.observe("campaign_worker_seconds", seconds);
+        hook.count(
+            &format!("campaign_worker_injections_total{{worker=\"{worker}\"}}"),
+            done.len() as u64,
+        );
+        hook.gauge(
+            &format!("campaign_worker_injections_per_second{{worker=\"{worker}\"}}"),
+            per_second,
+        );
+    }
+    Ok(done)
+}
+
+/// Groups the sorted site order into batched execution units: maximal
+/// runs of consecutive transient sites, chunked at
+/// [`MAX_BATCH_SCENARIOS`]. Non-transient sites become singleton units
+/// in place. A unit may span checkpoint rungs — its shared pass resumes
+/// from the rung of its *earliest* site and arms each later scenario
+/// when the clock reaches its cycle, so one pass over the tail replaces
+/// what would otherwise be one pass per rung. A pure function of
+/// `(sites, order)` — unit composition never depends on the job count,
+/// so dealing units round-robin keeps the determinism contract.
+fn batch_units(sites: &[FaultSite], order: &[usize]) -> Vec<Vec<usize>> {
+    let mut units: Vec<Vec<usize>> = Vec::new();
+    let mut run: Vec<usize> = Vec::new();
+    for &i in order {
+        let site = sites[i];
+        if !site.is_transient() {
+            if !run.is_empty() {
+                units.push(std::mem::take(&mut run));
+            }
+            units.push(vec![i]);
+            continue;
+        }
+        if run.len() == MAX_BATCH_SCENARIOS {
+            units.push(std::mem::take(&mut run));
+        }
+        run.push(i);
+    }
+    if !run.is_empty() {
+        units.push(run);
+    }
+    units
+}
+
+/// One worker's batched replay loop: stripe `worker` of `jobs` over the
+/// unit list. Singleton units replay scalar with telemetry identical to
+/// [`worker_loop`]; multi-site units run one shared pass through
+/// [`classify_batch_on`], emitting the batch counters and span plus the
+/// same per-site outcome/kind/rung accounting (latency is the batch
+/// wall time split evenly across its sites).
+fn worker_loop_batched<H: TelemetryHook>(
+    shared: &ReplayShared<'_, H>,
+    units: &[Vec<usize>],
+    worker: usize,
+    jobs: usize,
+) -> Result<Vec<(usize, Outcome)>, SimError> {
+    let hook = shared.hook;
+    let started = H::ENABLED.then(Instant::now);
+    let mut gpu = Gpu::new(shared.arch.clone());
+    let mut done: Vec<(usize, Outcome)> = Vec::new();
+    let mut busy_us: u64 = 0;
+    for unit in units.iter().skip(worker).step_by(jobs) {
+        if unit.len() == 1 {
+            let i = unit[0];
+            let outcome = replay_scalar_site(shared, &mut gpu, i, worker, &mut busy_us)?;
+            done.push((i, outcome));
+            continue;
+        }
+        let first = unit[0];
+        let rung = shared.ladder.nearest_indexed(shared.sites[first].cycle);
+        let batch_sites: Vec<FaultSite> = unit.iter().map(|&i| shared.sites[i]).collect();
+        let batch_started = H::ENABLED.then(Instant::now);
+        let rep = classify_batch_on(
             &mut gpu,
             shared.arch,
             shared.workload,
             shared.golden,
-            site,
+            &batch_sites,
             shared.cfg.watchdog_factor,
             shared.early_exit,
             rung.map(|(_, ck)| ck),
             hook,
         )?;
-        if let Some(injection_started) = injection_started {
-            hook.observe(
-                "campaign_injection_seconds",
-                injection_started.elapsed().as_secs_f64(),
-            );
-            let outcome_label = outcome.as_str();
-            hook.count(
-                &format!("campaign_injections_total{{outcome=\"{outcome_label}\"}}"),
-                1,
-            );
-            if outcome == Outcome::Hang {
-                hook.count("campaign_hang_total", 1);
+        if let Some(batch_started) = batch_started {
+            let elapsed = batch_started.elapsed();
+            hook.count("campaign_batches_total", 1);
+            hook.count("campaign_batched_total", unit.len() as u64);
+            hook.count("campaign_batch_forks_total", rep.forks as u64);
+            if rep.fell_back {
+                hook.count("campaign_batch_fallbacks_total", 1);
             }
-            let kind_label = site.kind.as_str();
-            hook.count(
-                &format!("campaign_injections_by_kind_total{{kind=\"{kind_label}\"}}"),
-                1,
-            );
+            let per_site = elapsed.as_secs_f64() / unit.len() as f64;
             let rung_label = match rung {
                 Some((idx, _)) => idx.to_string(),
                 None => "none".to_string(),
             };
-            hook.count(
-                &format!("campaign_rung_hits_total{{rung=\"{rung_label}\"}}"),
-                1,
-            );
-        }
-        if H::SPANS {
-            if let (Some(injection_started), Some(prefix)) =
-                (injection_started, shared.span_prefix.as_deref())
-            {
-                record_injection_span(
-                    hook,
-                    prefix,
-                    injection_started,
-                    i,
-                    worker,
-                    outcome,
-                    site,
-                    rung.map(|(idx, _)| idx),
-                    &mut busy_us,
+            for (&i, &outcome) in unit.iter().zip(&rep.outcomes) {
+                hook.observe("campaign_injection_seconds", per_site);
+                let outcome_label = outcome.as_str();
+                hook.count(
+                    &format!("campaign_injections_total{{outcome=\"{outcome_label}\"}}"),
+                    1,
+                );
+                if outcome == Outcome::Hang {
+                    hook.count("campaign_hang_total", 1);
+                }
+                let kind_label = shared.sites[i].kind.as_str();
+                hook.count(
+                    &format!("campaign_injections_by_kind_total{{kind=\"{kind_label}\"}}"),
+                    1,
+                );
+                hook.count(
+                    &format!("campaign_rung_hits_total{{rung=\"{rung_label}\"}}"),
+                    1,
                 );
             }
+            if H::SPANS {
+                if let Some(prefix) = shared.span_prefix.as_deref() {
+                    busy_us += elapsed.as_micros() as u64;
+                    hook.span(
+                        &SpanRecord::new(
+                            format!("{prefix}/replay/batch:{first:06}"),
+                            worker as u32 + 1,
+                            first as u64,
+                            batch_started,
+                        )
+                        .tag("sites", unit.len())
+                        .tag("forks", rep.forks)
+                        .tag("rung", &rung_label),
+                    );
+                    // One nested span per batched site, keyed by site
+                    // index like the scalar path, so the structural
+                    // tree still carries one `inj:` node per replayed
+                    // injection at any job count. Each spans the whole
+                    // unit's wall time — when its scenario was in
+                    // flight — while the latency buckets get the
+                    // even per-site share.
+                    let us_share =
+                        (elapsed.as_micros() as u64 / unit.len() as u64).max(1);
+                    let bucket = 63 - us_share.leading_zeros();
+                    for (&i, &outcome) in unit.iter().zip(&rep.outcomes) {
+                        hook.span(
+                            &SpanRecord::new(
+                                format!("{prefix}/replay/batch:{first:06}/inj:{i:06}"),
+                                worker as u32 + 1,
+                                i as u64,
+                                batch_started,
+                            )
+                            .tag("outcome", outcome.as_str())
+                            .tag("kind", shared.sites[i].kind.as_str())
+                            .tag("rung", &rung_label),
+                        );
+                        let outcome_label = outcome.as_str();
+                        hook.count(
+                            &format!(
+                                "campaign_injection_latency_us_total{{outcome=\"{outcome_label}\",bucket=\"{bucket:02}\"}}"
+                            ),
+                            us_share,
+                        );
+                        let kind_label = shared.sites[i].kind.as_str();
+                        hook.count(
+                            &format!(
+                                "campaign_injection_latency_by_kind_us_total{{kind=\"{kind_label}\",bucket=\"{bucket:02}\"}}"
+                            ),
+                            us_share,
+                        );
+                    }
+                }
+            }
         }
-        done.push((i, outcome));
+        for (&i, &o) in unit.iter().zip(&rep.outcomes) {
+            done.push((i, o));
+        }
     }
     if H::SPANS {
         if let (Some(started), Some(prefix)) = (started, shared.span_prefix.as_deref()) {
@@ -334,7 +540,13 @@ pub(crate) fn replay_sites<H: TelemetryHook>(
                         pruned,
                     );
                     hook.count("campaign_rung_hits_total{rung=\"pruned\"}", pruned);
-                    hook.count("campaign_cycles_saved_total", pruned * golden.cycles);
+                    // Saturate: a long golden run times a large pruned
+                    // count can clear u64::MAX, and a wrapped counter
+                    // would report absurd savings instead of a floor.
+                    hook.count(
+                        "campaign_cycles_saved_total",
+                        pruned.saturating_mul(golden.cycles),
+                    );
                     for _ in 0..pruned {
                         hook.observe("campaign_injection_seconds", 0.0);
                     }
@@ -344,9 +556,15 @@ pub(crate) fn replay_sites<H: TelemetryHook>(
         }
         None => (0..sites.len()).collect(),
     };
-    let jobs = cfg.threads.max(1).min(live.len().max(1));
     let mut order = live;
     order.sort_by_key(|&i| (sites[i].cycle, i));
+    // Bit-plane batching: group the sorted order into shared-pass units.
+    // Kind-gated like pruning — only the transient model batches (the
+    // overlay lane model assumes a one-shot flip).
+    let units = (cfg.batch && cfg.fault_model == FaultModelKind::Transient)
+        .then(|| batch_units(sites, &order));
+    let work_items = units.as_ref().map_or(order.len(), Vec::len);
+    let jobs = cfg.threads.max(1).min(work_items.max(1));
     if H::ENABLED {
         hook.gauge("campaign_workers", jobs as f64);
     }
@@ -363,22 +581,39 @@ pub(crate) fn replay_sites<H: TelemetryHook>(
         hook,
     };
     let replay_started = H::SPANS.then(Instant::now);
-    let batches: Vec<Vec<(usize, Outcome)>> = if jobs == 1 {
-        vec![worker_loop(&shared, 0, 1)?]
-    } else {
-        let results: Vec<Result<Vec<(usize, Outcome)>, SimError>> = std::thread::scope(|scope| {
-            let shared = &shared;
-            let handles: Vec<_> = (0..jobs)
-                .map(|w| scope.spawn(move || worker_loop(shared, w, jobs)))
-                .collect();
-            handles
-                .into_iter()
-                .map(|h| h.join().expect("injection worker panicked"))
-                .collect()
-        });
-        // Results arrive in worker order, so the first `?` to fire is
-        // the lowest-numbered worker's error — deterministic failure.
-        results.into_iter().collect::<Result<Vec<_>, _>>()?
+    let batches: Vec<Vec<(usize, Outcome)>> = match units.as_deref() {
+        Some(units) if jobs == 1 => vec![worker_loop_batched(&shared, units, 0, 1)?],
+        Some(units) => {
+            let results: Vec<Result<Vec<(usize, Outcome)>, SimError>> =
+                std::thread::scope(|scope| {
+                    let shared = &shared;
+                    let handles: Vec<_> = (0..jobs)
+                        .map(|w| scope.spawn(move || worker_loop_batched(shared, units, w, jobs)))
+                        .collect();
+                    handles
+                        .into_iter()
+                        .map(|h| h.join().expect("injection worker panicked"))
+                        .collect()
+                });
+            results.into_iter().collect::<Result<Vec<_>, _>>()?
+        }
+        None if jobs == 1 => vec![worker_loop(&shared, 0, 1)?],
+        None => {
+            let results: Vec<Result<Vec<(usize, Outcome)>, SimError>> =
+                std::thread::scope(|scope| {
+                    let shared = &shared;
+                    let handles: Vec<_> = (0..jobs)
+                        .map(|w| scope.spawn(move || worker_loop(shared, w, jobs)))
+                        .collect();
+                    handles
+                        .into_iter()
+                        .map(|h| h.join().expect("injection worker panicked"))
+                        .collect()
+                });
+            // Results arrive in worker order, so the first `?` to fire is
+            // the lowest-numbered worker's error — deterministic failure.
+            results.into_iter().collect::<Result<Vec<_>, _>>()?
+        }
     };
     if let (Some(replay_started), Some(prefix)) = (replay_started, shared.span_prefix.as_deref()) {
         hook.span(
@@ -666,7 +901,10 @@ mod tests {
         let arch = quadro_fx_5600();
         let w = VectorAdd::new(256, 11);
         let golden = golden_run(&arch, &w).unwrap();
-        let c = cfg(12, 3);
+        let mut c = cfg(12, 3);
+        // Scalar replay only: batching would merge these few transient
+        // sites into one unit and clamp the pool to a single worker.
+        c.batch = false;
         let sites = sample_sites(
             &arch,
             Structure::VectorRegisterFile,

@@ -140,6 +140,13 @@ impl LaunchPlan for DwtPlan {
         Ok(PlanStep::Done(gpu.read_words(coef, self.w.n)))
     }
 
+    // The finishing `next` call's host reads are exactly the `Done`
+    // vector, in order, and no step decision depends on them: batched
+    // replay may classify final-read divergence directly.
+    fn outputs_verbatim(&self) -> bool {
+        true
+    }
+
     fn clone_plan(&self) -> Box<dyn LaunchPlan> {
         Box::new(self.clone())
     }

@@ -3,7 +3,7 @@
 
 use crate::config::ArchConfig;
 use crate::error::{Due, SimError};
-use crate::fault::{FaultKind, FaultSite, Structure};
+use crate::fault::{BatchPlane, FaultKind, FaultSite, Structure};
 use crate::launch::{LaunchConfig, LaunchStats};
 use crate::mem::{GlobalMemory, MemorySystem};
 use crate::observer::{NoopObserver, SimObserver};
@@ -96,6 +96,8 @@ pub struct Gpu {
     sms: Vec<Sm>,
     app_cycle: u64,
     armed_faults: Vec<FaultSite>,
+    /// Active bit-plane batch; `None` outside a batched replay pass.
+    plane: Option<BatchPlane>,
     watchdog_limit: Option<u64>,
     launches: u32,
     in_flight: Option<InFlight>,
@@ -119,6 +121,7 @@ impl Gpu {
             sms,
             app_cycle: 0,
             armed_faults: Vec::new(),
+            plane: None,
             watchdog_limit: None,
             launches: 0,
             in_flight: None,
@@ -245,6 +248,131 @@ impl Gpu {
     /// at its own cycle; all previously armed faults are replaced.
     pub fn arm_faults(&mut self, sites: &[FaultSite]) {
         self.armed_faults = sites.to_vec();
+    }
+
+    // ---- bit-plane batched replay ----
+
+    /// Arms a batched bit-plane over `sites`: each site becomes a
+    /// *scenario* whose flip is asserted into the overlay shards (not
+    /// the physical storage) when the application clock reaches its
+    /// cycle. The device then executes pure golden state; scenario
+    /// divergence is carried lazily until a fork trigger.
+    ///
+    /// # Panics
+    ///
+    /// Same as [`BatchPlane::new`] (1..=64 transient sites).
+    pub fn arm_scenarios(&mut self, sites: &[FaultSite]) {
+        self.plane = Some(BatchPlane::new(sites.to_vec()));
+    }
+
+    /// The active batch plane, if a batched pass is armed.
+    pub fn scenario_plane(&self) -> Option<&BatchPlane> {
+        self.plane.as_ref()
+    }
+
+    /// Drains every pending fork request (per-SM shards, the global
+    /// memory shard and host reads) into the plane. Returns the *newly*
+    /// forked scenarios and sweeps their dead overlay cells.
+    pub fn take_scenario_forks(&mut self) -> u64 {
+        let Some(plane) = self.plane.as_mut() else {
+            return 0;
+        };
+        let mut m = 0u64;
+        for sm in &mut self.sms {
+            if let Some(ov) = sm.overlay.as_deref_mut() {
+                m |= std::mem::take(&mut ov.pending_forks);
+            }
+        }
+        if let Some(ov) = self.mem.overlay.as_deref_mut() {
+            m |= ov.take_forks();
+        }
+        let new = m & !plane.forked & plane.all_mask();
+        plane.forked |= new;
+        if new != 0 {
+            for sm in &mut self.sms {
+                if let Some(ov) = sm.overlay.as_deref_mut() {
+                    ov.drop_scenarios(new);
+                }
+            }
+            if let Some(ov) = self.mem.overlay.as_deref_mut() {
+                ov.drop_scenarios(new);
+            }
+        }
+        new
+    }
+
+    /// Drains the scenarios whose divergent global-memory words were
+    /// read by the host since the last drain (see
+    /// [`GlobalOverlay::take_host_touches`](crate::mem::GlobalOverlay::take_host_touches)).
+    pub fn take_host_touches(&mut self) -> u64 {
+        self.mem
+            .overlay
+            .as_deref_mut()
+            .map_or(0, |ov| ov.take_host_touches())
+    }
+
+    /// Requests forks for the scenarios in `mask`; they surface at the
+    /// next [`Gpu::take_scenario_forks`] drain.
+    pub fn raise_scenario_forks(&mut self, mask: u64) {
+        if mask != 0 {
+            self.mem
+                .overlay
+                .get_or_insert_with(Default::default)
+                .raise_forks(mask);
+        }
+    }
+
+    /// Collapses the device onto scenario `s`'s faulty state: its
+    /// overlay values become physical storage, the plane and all shards
+    /// are dropped, and the private replay continues on real state.
+    pub fn materialize_scenario(&mut self, s: usize) {
+        for sm in &mut self.sms {
+            sm.materialize_scenario(s as u8);
+        }
+        self.mem.materialize_scenario(s as u8);
+        self.plane = None;
+    }
+
+    /// Drops the batch plane and every overlay shard without touching
+    /// physical state (the shared-pass fallback path).
+    pub fn clear_scenarios(&mut self) {
+        for sm in &mut self.sms {
+            sm.overlay = None;
+        }
+        self.mem.overlay = None;
+        self.plane = None;
+    }
+
+    /// Asserts overlay flips for scenarios whose injection cycle is now.
+    fn arm_due_scenarios(&mut self) {
+        let Some(mut plane) = self.plane.take() else {
+            return;
+        };
+        let n = self.sms.len().max(1);
+        for (i, site) in plane.sites.iter().enumerate() {
+            let bit = 1u64 << i;
+            if plane.armed & bit != 0 || plane.forked & bit != 0 || site.cycle != self.app_cycle {
+                continue;
+            }
+            plane.armed |= bit;
+            let sm = &mut self.sms[site.sm as usize % n];
+            let cur = match site.structure {
+                Structure::VectorRegisterFile => sm.rf.get(site.word as usize).copied(),
+                Structure::ScalarRegisterFile => sm.srf.get(site.word as usize).copied(),
+                Structure::LocalMemory => sm.lds.get(site.word as usize).copied(),
+            };
+            // An out-of-range word cannot affect execution: the scenario
+            // never diverges — same no-op as the scalar flip helpers.
+            if let Some(cur) = cur {
+                sm.overlay.get_or_insert_with(Default::default).assert_value(
+                    site.structure,
+                    site.word,
+                    i as u8,
+                    cur ^ (1 << site.bit),
+                );
+            }
+        }
+        self.plane = Some(plane);
     }
 
     /// Sets the application-cycle budget; exceeding it ends the current
@@ -431,6 +559,9 @@ impl Gpu {
                     self.apply_fault(site, obs);
                 }
             }
+        }
+        if self.plane.is_some() {
+            self.arm_due_scenarios();
         }
         for i in 0..self.sms.len() {
             let sm = &mut self.sms[i];

@@ -70,7 +70,8 @@ pub use cache::{Cache, CacheGeom, CacheStats};
 pub use config::{ArchConfig, Latencies, SchedulerPolicy, Vendor};
 pub use error::{Due, SimError};
 pub use fault::{
-    ControlTarget, FaultKind, FaultModel, FaultModelKind, FaultSite, InvalidFaultSite, Structure,
+    BatchPlane, ControlTarget, FaultKind, FaultModel, FaultModelKind, FaultSite, InvalidFaultSite,
+    Structure, MAX_BATCH_SCENARIOS,
 };
 pub use gpu::{Buffer, Gpu, LaunchProgress};
 pub use launch::{Dim, LaunchConfig, LaunchStats};

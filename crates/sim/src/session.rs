@@ -123,6 +123,24 @@ pub trait LaunchPlan: Send + Sync {
 
     /// Deep-copies the plan, including its position and host state.
     fn clone_plan(&self) -> Box<dyn LaunchPlan>;
+
+    /// Whether the final [`PlanStep::Done`] vector is *exactly* the
+    /// concatenation, in order, of the device words host-read during the
+    /// `next` call that returns it — with no host-side transformation —
+    /// and whether the plan's step decisions (what to launch, when to
+    /// finish) never depend on values read back from the device in that
+    /// final call.
+    ///
+    /// Batched replay uses this contract to classify a scenario whose
+    /// divergence is first observed at output collection *without* a
+    /// private replay: a divergent word read there differs from the
+    /// golden output by the overlay invariant, so the scenario is an SDC
+    /// outright; one never read is masked. Plans that post-process reads
+    /// into their outputs (or steer on them at the finish) must keep the
+    /// conservative default, which forks such scenarios instead.
+    fn outputs_verbatim(&self) -> bool {
+        false
+    }
 }
 
 /// A point-in-time capture of a whole execution session.
@@ -243,6 +261,10 @@ pub struct Session<'g> {
     outputs: Option<Vec<u32>>,
     launch_stats: Vec<LaunchStats>,
     telemetry: SessionTelemetry,
+    /// Scenarios whose divergent words were read during a verbatim
+    /// plan's final output collection (SDC by construction; see
+    /// [`LaunchPlan::outputs_verbatim`]).
+    final_divergence: u64,
 }
 
 impl<'g> Session<'g> {
@@ -254,6 +276,7 @@ impl<'g> Session<'g> {
             outputs: None,
             launch_stats: Vec::new(),
             telemetry: SessionTelemetry::default(),
+            final_divergence: 0,
         }
     }
 
@@ -275,6 +298,7 @@ impl<'g> Session<'g> {
             outputs: ckpt.outputs.clone(),
             launch_stats: Vec::new(),
             telemetry,
+            final_divergence: 0,
         }
     }
 
@@ -308,6 +332,29 @@ impl<'g> Session<'g> {
     /// restore and resume.
     pub fn arm_fault(&mut self, site: crate::fault::FaultSite) {
         self.gpu.arm_fault(site);
+    }
+
+    /// Arms a bit-plane batch on the borrowed device (see
+    /// [`Gpu::arm_scenarios`]) — the convenience used by the batched
+    /// replay driver between resume and the shared pass.
+    pub fn arm_scenarios(&mut self, sites: &[crate::fault::FaultSite]) {
+        self.gpu.arm_scenarios(sites);
+    }
+
+    /// Drains the device's pending scenario-fork requests; the batched
+    /// replay driver polls this between steps and forks each newly
+    /// returned scenario into a private replay.
+    pub fn take_scenario_forks(&mut self) -> u64 {
+        self.gpu.take_scenario_forks()
+    }
+
+    /// Scenarios whose divergence was first observed at a verbatim
+    /// plan's final output collection: SDCs by construction, needing no
+    /// private replay (see [`LaunchPlan::outputs_verbatim`]). Zero until
+    /// the session finishes, and always zero for non-verbatim plans
+    /// (their output-read divergence forks instead).
+    pub fn final_scenario_divergence(&self) -> u64 {
+        self.final_divergence
     }
 
     /// Whether the plan has produced its final output.
@@ -344,16 +391,28 @@ impl<'g> Session<'g> {
             }
             return Ok(SessionStatus::Running);
         }
-        match self.plan.next(self.gpu)? {
+        let step = self.plan.next(self.gpu)?;
+        // Route the plan step's host-read divergence: a verbatim plan's
+        // finishing reads *are* the outputs (divergence there is an SDC
+        // verdict, not a fork); any other host read feeds host logic, so
+        // the touched scenarios must leave the shared pass.
+        let touched = self.gpu.take_host_touches();
+        match step {
             PlanStep::Launch {
                 kernel,
                 cfg,
                 params,
             } => {
+                self.gpu.raise_scenario_forks(touched);
                 self.gpu.begin_launch(&kernel, cfg, &params, obs)?;
                 Ok(SessionStatus::Running)
             }
             PlanStep::Done(out) => {
+                if self.plan.outputs_verbatim() {
+                    self.final_divergence = touched;
+                } else {
+                    self.gpu.raise_scenario_forks(touched);
+                }
                 self.outputs = Some(out);
                 Ok(SessionStatus::Finished)
             }

@@ -7,7 +7,7 @@ use crate::fault::{ControlTarget, Structure};
 use crate::launch::LaunchConfig;
 use crate::mem::{GlobalMemory, MemorySystem};
 use crate::observer::{BlockRegions, SimObserver};
-use crate::regfile::{RegionAllocator, StuckBit};
+use crate::regfile::{RegionAllocator, SmOverlay, StuckBit};
 use crate::warp::{LaneMask, Warp};
 use simt_isa::op::{eval_atom, eval_binop, eval_cmp, eval_terop, eval_unop};
 use simt_isa::{Instr, LoweredKernel, MemSpace, Operand, Reg, SReg, Special, VReg};
@@ -68,6 +68,8 @@ pub struct Sm {
     /// Armed permanent stuck-at cells, re-asserted by the store
     /// intercepts on every write (empty in fault-free runs).
     stuck: Vec<StuckBit>,
+    /// Batched-replay overlay shard; `None` outside a batched pass.
+    pub(crate) overlay: Option<Box<SmOverlay>>,
     sched_ptr: usize,
     gto_current: Option<usize>,
     /// Set when a block retired since the device last redistributed work.
@@ -78,12 +80,33 @@ pub struct Sm {
 
 /// How an operand is resolved for a warp-wide execution.
 enum Resolved {
-    /// Same value for every lane (immediates, scalar regs, uniform specials).
+    /// Same value for every lane (immediates, uniform specials).
     Uniform(u32),
+    /// A scalar register, kept with its physical word so the batched
+    /// replay can look up per-scenario divergence.
+    Sreg {
+        /// Physical SRF word.
+        phys: u32,
+        /// Golden value.
+        value: u32,
+    },
     /// A per-lane vector register.
     VReg(u16),
     /// A per-lane special value.
     Special(Special),
+}
+
+/// Golden value of an operand validated to be warp-uniform.
+fn uniform_value(r: &Resolved) -> u32 {
+    match *r {
+        Resolved::Uniform(v) | Resolved::Sreg { value: v, .. } => v,
+        _ => unreachable!("validated scalar sources are uniform"),
+    }
+}
+
+/// Iterates the set scenario indices of a batch mask.
+fn scn_bits(mask: u64) -> impl Iterator<Item = u8> {
+    (0..64u8).filter(move |s| mask >> s & 1 == 1)
 }
 
 impl Sm {
@@ -100,6 +123,7 @@ impl Sm {
             warps: (0..arch.max_warps_per_sm).map(|_| None).collect(),
             blocks: (0..arch.max_blocks_per_sm).map(|_| None).collect(),
             stuck: Vec::new(),
+            overlay: None,
             sched_ptr: 0,
             gto_current: None,
             retired_flag: false,
@@ -118,6 +142,12 @@ impl Sm {
         for i in 0..self.stuck.len() {
             let s = self.stuck[i];
             self.force_stuck_now(s);
+        }
+        // The storage reset zeroes golden and faulty state alike, so all
+        // batched-scenario divergence dies with it (pending forks
+        // survive until the driver drains them).
+        if let Some(ov) = self.overlay.as_deref_mut() {
+            ov.clear_cells();
         }
         self.rf_alloc.reset();
         self.srf_alloc.reset();
@@ -292,6 +322,9 @@ impl Sm {
             self.stuck_adjust(Structure::VectorRegisterFile, phys, value)
         };
         self.rf[phys as usize] = stored;
+        if let Some(ov) = self.overlay.as_deref_mut() {
+            ov.clear_word(Structure::VectorRegisterFile, phys);
+        }
         obs.on_rf_write(self.id, phys, cycle);
         if stored != value {
             obs.on_stuck_reassert(self.id, Structure::VectorRegisterFile, phys, cycle);
@@ -306,6 +339,9 @@ impl Sm {
             self.stuck_adjust(Structure::ScalarRegisterFile, phys, value)
         };
         self.srf[phys as usize] = stored;
+        if let Some(ov) = self.overlay.as_deref_mut() {
+            ov.clear_word(Structure::ScalarRegisterFile, phys);
+        }
         obs.on_srf_write(self.id, phys, cycle);
         if stored != value {
             obs.on_stuck_reassert(self.id, Structure::ScalarRegisterFile, phys, cycle);
@@ -320,9 +356,142 @@ impl Sm {
             self.stuck_adjust(Structure::LocalMemory, word, value)
         };
         self.lds[word as usize] = stored;
+        if let Some(ov) = self.overlay.as_deref_mut() {
+            ov.clear_word(Structure::LocalMemory, word);
+        }
         obs.on_lds_write(self.id, word, cycle);
         if stored != value {
             obs.on_stuck_reassert(self.id, Structure::LocalMemory, word, cycle);
+        }
+    }
+
+    // ---- batched-replay overlay plumbing ----
+    //
+    // During a bit-plane batched pass the SM executes pure golden state;
+    // each scenario's divergence lives in overlay cells. Reads gather the
+    // scenario masks of their source words, divergent results re-assert
+    // on the destination after the golden write cleared it, and any
+    // divergence that would change *control or addressing* (predicates,
+    // addresses, atomics) forks the scenario out of the pass instead.
+    // All helpers fast-path to nothing when no overlay is present.
+
+    /// Scenario-divergence mask of a resolved operand for one warp lane.
+    fn scn_mask(&self, warp: &Warp, r: &Resolved, lane: u32, warp_size: u32) -> u64 {
+        let Some(ov) = self.overlay.as_deref() else {
+            return 0;
+        };
+        match *r {
+            Resolved::Uniform(_) | Resolved::Special(_) => 0,
+            Resolved::Sreg { phys, .. } => ov
+                .cell(Structure::ScalarRegisterFile, phys)
+                .map_or(0, |c| c.mask),
+            Resolved::VReg(reg) => {
+                let phys = warp.rf_base + reg as u32 * warp_size + lane;
+                ov.cell(Structure::VectorRegisterFile, phys)
+                    .map_or(0, |c| c.mask)
+            }
+        }
+    }
+
+    /// Scenario `s`'s value of a resolved operand (golden unless overlaid).
+    fn scn_value(
+        &self,
+        warp: &Warp,
+        r: &Resolved,
+        lane: u32,
+        warp_size: u32,
+        s: u8,
+        golden: u32,
+    ) -> u32 {
+        let Some(ov) = self.overlay.as_deref() else {
+            return golden;
+        };
+        let cell = match *r {
+            Resolved::Uniform(_) | Resolved::Special(_) => None,
+            Resolved::Sreg { phys, .. } => ov.cell(Structure::ScalarRegisterFile, phys),
+            Resolved::VReg(reg) => {
+                let phys = warp.rf_base + reg as u32 * warp_size + lane;
+                ov.cell(Structure::VectorRegisterFile, phys)
+            }
+        };
+        cell.and_then(|c| c.get(s)).unwrap_or(golden)
+    }
+
+    /// Divergent per-scenario results of one destination write: every
+    /// scenario touching a source recomputes the op with its substituted
+    /// operands; results equal to the golden value re-converge and are
+    /// dropped. Must be called *before* the golden write (the
+    /// destination may alias a source).
+    #[allow(clippy::too_many_arguments)]
+    fn scn_divergent(
+        &self,
+        warp: &Warp,
+        srcs: &[&Resolved],
+        golds: &[u32],
+        lane: u32,
+        warp_size: u32,
+        golden_out: u32,
+        f: &dyn Fn(&[u32]) -> u32,
+    ) -> Vec<(u8, u32)> {
+        if self.overlay.is_none() {
+            return Vec::new();
+        }
+        let mut m = 0u64;
+        for r in srcs {
+            m |= self.scn_mask(warp, r, lane, warp_size);
+        }
+        if m == 0 {
+            return Vec::new();
+        }
+        let mut out = Vec::new();
+        let mut vals = [0u32; 3];
+        for s in scn_bits(m) {
+            for (i, r) in srcs.iter().enumerate() {
+                vals[i] = self.scn_value(warp, r, lane, warp_size, s, golds[i]);
+            }
+            let v = f(&vals[..srcs.len()]);
+            if v != golden_out {
+                out.push((s, v));
+            }
+        }
+        out
+    }
+
+    /// Re-asserts divergent results on a destination word (after the
+    /// golden write cleared its cell).
+    fn scn_assert(&mut self, structure: Structure, word: u32, entries: Vec<(u8, u32)>) {
+        if entries.is_empty() {
+            return;
+        }
+        let ov = self.overlay.get_or_insert_with(Default::default);
+        for (s, v) in entries {
+            ov.assert_value(structure, word, s, v);
+        }
+    }
+
+    /// Requests forks for the scenarios in `mask`: their divergence is
+    /// about to change control flow, addressing or an atomic, which the
+    /// shared golden pass cannot carry.
+    fn scn_fork(&mut self, mask: u64) {
+        if mask != 0 {
+            self.overlay.get_or_insert_with(Default::default).pending_forks |= mask;
+        }
+    }
+
+    /// Writes scenario `s`'s divergent words into physical storage and
+    /// drops the overlay shard (forked private replays run on real state).
+    pub(crate) fn materialize_scenario(&mut self, s: u8) {
+        if let Some(ov) = self.overlay.take() {
+            for (structure, word, v) in ov.scenario_values(s) {
+                let arr = match structure {
+                    Structure::VectorRegisterFile => &mut self.rf,
+                    Structure::ScalarRegisterFile => &mut self.srf,
+                    Structure::LocalMemory => &mut self.lds,
+                };
+                if let Some(slot) = arr.get_mut(word as usize) {
+                    *slot = v;
+                }
+            }
         }
     }
 
@@ -628,8 +797,25 @@ impl Sm {
                             self.lane_value(&warp, &ra, lane, warp_size, ntid, nctaid, cycle, obs);
                         let y =
                             self.lane_value(&warp, &rb, lane, warp_size, ntid, nctaid, cycle, obs);
-                        if eval_cmp(op, x, y, float) {
+                        let bit = eval_cmp(op, x, y, float);
+                        if bit {
                             mask |= 1 << lane;
+                        }
+                        // A scenario whose compare flips the predicate
+                        // would diverge in *control flow* — the shared
+                        // pass cannot carry that, so it forks.
+                        if self.overlay.is_some() {
+                            let m = self.scn_mask(&warp, &ra, lane, warp_size)
+                                | self.scn_mask(&warp, &rb, lane, warp_size);
+                            let mut forks = 0u64;
+                            for s in scn_bits(m) {
+                                let xs = self.scn_value(&warp, &ra, lane, warp_size, s, x);
+                                let ys = self.scn_value(&warp, &rb, lane, warp_size, s, y);
+                                if eval_cmp(op, xs, ys, float) != bit {
+                                    forks |= 1 << s;
+                                }
+                            }
+                            self.scn_fork(forks);
                         }
                     }
                     let old = warp.preds[pd.0 as usize];
@@ -650,8 +836,24 @@ impl Sm {
                             self.lane_value(&warp, &ra, lane, warp_size, ntid, nctaid, cycle, obs);
                         let y =
                             self.lane_value(&warp, &rb, lane, warp_size, ntid, nctaid, cycle, obs);
-                        let v = if pmask >> lane & 1 == 1 { x } else { y };
+                        let take_x = pmask >> lane & 1 == 1;
+                        let v = if take_x { x } else { y };
+                        // The predicate is golden for every unforked
+                        // scenario (a divergent SetP forks), so the
+                        // select direction is shared; only values differ.
+                        let dv = self
+                            .scn_divergent(&warp, &[&ra, &rb], &[x, y], lane, warp_size, v, &|q| {
+                                if take_x {
+                                    q[0]
+                                } else {
+                                    q[1]
+                                }
+                            });
                         self.write_vreg(&warp, d, lane, v, warp_size, cycle, obs);
+                        if !dv.is_empty() {
+                            let phys = warp.rf_base + d as u32 * warp_size + lane;
+                            self.scn_assert(Structure::VectorRegisterFile, phys, dv);
+                        }
                     }
                     warp.vreg_ready[d as usize] = cycle + arch.lat.alu as u64;
                     self.stats.warp_instructions += 1;
@@ -842,7 +1044,10 @@ impl Sm {
             Operand::Reg(Reg::S(SReg(r))) => {
                 let phys = warp.srf_base + r as u32;
                 obs.on_srf_read(self.id, phys, cycle);
-                Resolved::Uniform(self.srf[phys as usize])
+                Resolved::Sreg {
+                    phys,
+                    value: self.srf[phys as usize],
+                }
             }
             Operand::Reg(Reg::V(VReg(r))) => Resolved::VReg(r),
             Operand::Special(s) if !s.is_per_lane() => {
@@ -876,7 +1081,7 @@ impl Sm {
         obs: &mut O,
     ) -> u32 {
         match *r {
-            Resolved::Uniform(v) => v,
+            Resolved::Uniform(v) | Resolved::Sreg { value: v, .. } => v,
             Resolved::VReg(reg) => {
                 let phys = warp.rf_base + reg as u32 * warp_size + lane;
                 obs.on_rf_read(self.id, phys, cycle);
@@ -944,20 +1149,26 @@ impl Sm {
         let ra = self.resolve_cfg(warp, a, ntid, nctaid, cycle, obs);
         match dst {
             Reg::S(SReg(r)) => {
-                let x = match ra {
-                    Resolved::Uniform(v) => v,
-                    _ => unreachable!("validated scalar sources are uniform"),
-                };
+                let x = uniform_value(&ra);
                 let phys = warp.srf_base + r as u32;
                 let v = f(x);
+                let dv = self.scn_divergent(warp, &[&ra], &[x], 0, warp_size, v, &|q| f(q[0]));
                 self.store_srf(phys, v, cycle, obs);
+                self.scn_assert(Structure::ScalarRegisterFile, phys, dv);
                 warp.sreg_ready[r as usize] = cycle + lat as u64;
                 self.stats.scalar_instructions += 1;
             }
             Reg::V(VReg(r)) => {
                 for lane in lanes(warp.active) {
                     let x = self.lane_value(warp, &ra, lane, warp_size, ntid, nctaid, cycle, obs);
-                    self.write_vreg(warp, r, lane, f(x), warp_size, cycle, obs);
+                    let v = f(x);
+                    let dv =
+                        self.scn_divergent(warp, &[&ra], &[x], lane, warp_size, v, &|q| f(q[0]));
+                    self.write_vreg(warp, r, lane, v, warp_size, cycle, obs);
+                    if !dv.is_empty() {
+                        let phys = warp.rf_base + r as u32 * warp_size + lane;
+                        self.scn_assert(Structure::VectorRegisterFile, phys, dv);
+                    }
                 }
                 warp.vreg_ready[r as usize] = cycle + lat as u64;
                 self.stats.warp_instructions += 1;
@@ -985,13 +1196,14 @@ impl Sm {
         let rb = self.resolve_cfg(warp, b, ntid, nctaid, cycle, obs);
         match dst {
             Reg::S(SReg(r)) => {
-                let (x, y) = match (&ra, &rb) {
-                    (Resolved::Uniform(x), Resolved::Uniform(y)) => (*x, *y),
-                    _ => unreachable!("validated scalar sources are uniform"),
-                };
+                let (x, y) = (uniform_value(&ra), uniform_value(&rb));
                 let phys = warp.srf_base + r as u32;
                 let v = f(x, y);
+                let dv = self.scn_divergent(warp, &[&ra, &rb], &[x, y], 0, warp_size, v, &|q| {
+                    f(q[0], q[1])
+                });
                 self.store_srf(phys, v, cycle, obs);
+                self.scn_assert(Structure::ScalarRegisterFile, phys, dv);
                 warp.sreg_ready[r as usize] = cycle + lat as u64;
                 self.stats.scalar_instructions += 1;
             }
@@ -999,7 +1211,16 @@ impl Sm {
                 for lane in lanes(warp.active) {
                     let x = self.lane_value(warp, &ra, lane, warp_size, ntid, nctaid, cycle, obs);
                     let y = self.lane_value(warp, &rb, lane, warp_size, ntid, nctaid, cycle, obs);
-                    self.write_vreg(warp, r, lane, f(x, y), warp_size, cycle, obs);
+                    let v = f(x, y);
+                    let dv = self
+                        .scn_divergent(warp, &[&ra, &rb], &[x, y], lane, warp_size, v, &|q| {
+                            f(q[0], q[1])
+                        });
+                    self.write_vreg(warp, r, lane, v, warp_size, cycle, obs);
+                    if !dv.is_empty() {
+                        let phys = warp.rf_base + r as u32 * warp_size + lane;
+                        self.scn_assert(Structure::VectorRegisterFile, phys, dv);
+                    }
                 }
                 warp.vreg_ready[r as usize] = cycle + lat as u64;
                 self.stats.warp_instructions += 1;
@@ -1029,15 +1250,20 @@ impl Sm {
         let rc = self.resolve_cfg(warp, c, ntid, nctaid, cycle, obs);
         match dst {
             Reg::S(SReg(r)) => {
-                let (x, y, z) = match (&ra, &rb, &rc) {
-                    (Resolved::Uniform(x), Resolved::Uniform(y), Resolved::Uniform(z)) => {
-                        (*x, *y, *z)
-                    }
-                    _ => unreachable!("validated scalar sources are uniform"),
-                };
+                let (x, y, z) = (uniform_value(&ra), uniform_value(&rb), uniform_value(&rc));
                 let phys = warp.srf_base + r as u32;
                 let v = f(x, y, z);
+                let dv = self.scn_divergent(
+                    warp,
+                    &[&ra, &rb, &rc],
+                    &[x, y, z],
+                    0,
+                    warp_size,
+                    v,
+                    &|q| f(q[0], q[1], q[2]),
+                );
                 self.store_srf(phys, v, cycle, obs);
+                self.scn_assert(Structure::ScalarRegisterFile, phys, dv);
                 warp.sreg_ready[r as usize] = cycle + lat as u64;
                 self.stats.scalar_instructions += 1;
             }
@@ -1046,7 +1272,21 @@ impl Sm {
                     let x = self.lane_value(warp, &ra, lane, warp_size, ntid, nctaid, cycle, obs);
                     let y = self.lane_value(warp, &rb, lane, warp_size, ntid, nctaid, cycle, obs);
                     let z = self.lane_value(warp, &rc, lane, warp_size, ntid, nctaid, cycle, obs);
-                    self.write_vreg(warp, r, lane, f(x, y, z), warp_size, cycle, obs);
+                    let v = f(x, y, z);
+                    let dv = self.scn_divergent(
+                        warp,
+                        &[&ra, &rb, &rc],
+                        &[x, y, z],
+                        lane,
+                        warp_size,
+                        v,
+                        &|q| f(q[0], q[1], q[2]),
+                    );
+                    self.write_vreg(warp, r, lane, v, warp_size, cycle, obs);
+                    if !dv.is_empty() {
+                        let phys = warp.rf_base + r as u32 * warp_size + lane;
+                        self.scn_assert(Structure::VectorRegisterFile, phys, dv);
+                    }
                 }
                 warp.vreg_ready[r as usize] = cycle + lat as u64;
                 self.stats.warp_instructions += 1;
@@ -1106,15 +1346,24 @@ impl Sm {
         match dst {
             Reg::S(SReg(r)) => {
                 // Scalar load: uniform address, global space only.
-                let base = match ra {
-                    Resolved::Uniform(v) => v,
-                    _ => unreachable!("validated scalar sources are uniform"),
-                };
+                let base = uniform_value(&ra);
                 let a = base.wrapping_add(offset as u32);
+                // A divergent address changes what is read *and* the
+                // access timing: fork. A divergent memory word read via
+                // the golden address propagates to the destination.
+                let forks = self.scn_mask(warp, &ra, 0, warp_size_of(arch));
+                self.scn_fork(forks);
                 let v = mem.load(a, self.id, cycle)?;
+                let dv = mem
+                    .overlay
+                    .as_deref()
+                    .and_then(|ov| ov.cell(a / 4))
+                    .map(|c| c.entries().to_vec())
+                    .unwrap_or_default();
                 let lat = mem_sys.access_latency(self.id, &[a]);
                 let phys = warp.srf_base + r as u32;
                 self.store_srf(phys, v, cycle, obs);
+                self.scn_assert(Structure::ScalarRegisterFile, phys, dv);
                 warp.sreg_ready[r as usize] = cycle + lat as u64;
                 self.stats.scalar_instructions += 1;
             }
@@ -1134,8 +1383,20 @@ impl Sm {
                                 obs,
                             );
                             let a = base.wrapping_add(offset as u32);
+                            let forks = self.scn_mask(warp, &ra, lane, arch.warp_size);
+                            self.scn_fork(forks);
                             let v = mem.load(a, self.id, cycle)?;
+                            let dv = mem
+                                .overlay
+                                .as_deref()
+                                .and_then(|ov| ov.cell(a / 4))
+                                .map(|c| c.entries().to_vec())
+                                .unwrap_or_default();
                             self.write_vreg(warp, r, lane, v, arch.warp_size, cycle, obs);
+                            if !dv.is_empty() {
+                                let phys = warp.rf_base + r as u32 * arch.warp_size + lane;
+                                self.scn_assert(Structure::VectorRegisterFile, phys, dv);
+                            }
                             addrs.push(a);
                         }
                         let lat = mem_sys.access_latency(self.id, &addrs);
@@ -1155,10 +1416,22 @@ impl Sm {
                                 obs,
                             );
                             let a = base.wrapping_add(offset as u32);
+                            let forks = self.scn_mask(warp, &ra, lane, arch.warp_size);
+                            self.scn_fork(forks);
                             let w = self.lds_word(warp, a, cycle)?;
                             let v = self.lds[w as usize];
+                            let dv = self
+                                .overlay
+                                .as_deref()
+                                .and_then(|ov| ov.cell(Structure::LocalMemory, w))
+                                .map(|c| c.entries().to_vec())
+                                .unwrap_or_default();
                             obs.on_lds_read(self.id, w, cycle);
                             self.write_vreg(warp, r, lane, v, arch.warp_size, cycle, obs);
+                            if !dv.is_empty() {
+                                let phys = warp.rf_base + r as u32 * arch.warp_size + lane;
+                                self.scn_assert(Structure::VectorRegisterFile, phys, dv);
+                            }
                             words.push(w);
                         }
                         let degree = Self::lds_conflict_degree(&words, arch.lds_banks);
@@ -1200,7 +1473,27 @@ impl Sm {
                     let v =
                         self.lane_value(warp, &rs, lane, arch.warp_size, ntid, nctaid, cycle, obs);
                     let a = base.wrapping_add(offset as u32);
+                    // Divergent address: the scenario writes somewhere
+                    // else entirely — fork. Divergent value at the golden
+                    // address: propagate into the memory overlay.
+                    let forks = self.scn_mask(warp, &ra, lane, arch.warp_size);
+                    self.scn_fork(forks);
+                    let dv = self.scn_divergent(
+                        warp,
+                        &[&rs],
+                        &[v],
+                        lane,
+                        arch.warp_size,
+                        v,
+                        &|q| q[0],
+                    );
                     mem.store(a, v, self.id, cycle)?;
+                    if !dv.is_empty() {
+                        let ov = mem.overlay.get_or_insert_with(Default::default);
+                        for (s, vs) in dv {
+                            ov.assert_value(a / 4, s, vs);
+                        }
+                    }
                     obs.on_global_write(self.id, a, v, cycle);
                     addrs.push(a);
                 }
@@ -1213,8 +1506,20 @@ impl Sm {
                     let v =
                         self.lane_value(warp, &rs, lane, arch.warp_size, ntid, nctaid, cycle, obs);
                     let a = base.wrapping_add(offset as u32);
+                    let forks = self.scn_mask(warp, &ra, lane, arch.warp_size);
+                    self.scn_fork(forks);
+                    let dv = self.scn_divergent(
+                        warp,
+                        &[&rs],
+                        &[v],
+                        lane,
+                        arch.warp_size,
+                        v,
+                        &|q| q[0],
+                    );
                     let w = self.lds_word(warp, a, cycle)?;
                     self.store_lds(w, v, cycle, obs);
+                    self.scn_assert(Structure::LocalMemory, w, dv);
                 }
             }
         }
@@ -1249,8 +1554,17 @@ impl Sm {
             let base = self.lane_value(warp, &ra, lane, arch.warp_size, ntid, nctaid, cycle, obs);
             let v = self.lane_value(warp, &rs, lane, arch.warp_size, ntid, nctaid, cycle, obs);
             let a = base.wrapping_add(offset as u32);
+            // An atomic is a read-modify-write: divergence in the
+            // address, the operand *or* the target word makes the
+            // scenario's whole chain diverge — always fork.
+            let mut forks = self.scn_mask(warp, &ra, lane, arch.warp_size)
+                | self.scn_mask(warp, &rs, lane, arch.warp_size);
             let old = match space {
                 MemSpace::Global => {
+                    if let Some(ov) = mem.overlay.as_deref() {
+                        forks |= ov.cell(a / 4).map_or(0, |c| c.mask);
+                    }
+                    self.scn_fork(forks);
                     let old = mem.load(a, self.id, cycle)?;
                     let (new, old) = eval_atom(op, old, v);
                     mem.store(a, new, self.id, cycle)?;
@@ -1259,6 +1573,10 @@ impl Sm {
                 }
                 MemSpace::Shared => {
                     let w = self.lds_word(warp, a, cycle)?;
+                    if let Some(ov) = self.overlay.as_deref() {
+                        forks |= ov.cell(Structure::LocalMemory, w).map_or(0, |c| c.mask);
+                    }
+                    self.scn_fork(forks);
                     obs.on_lds_read(self.id, w, cycle);
                     let (new, old) = eval_atom(op, self.lds[w as usize], v);
                     self.store_lds(w, new, cycle, obs);

@@ -24,6 +24,56 @@ fn labels(name: &str) -> Option<&str> {
     (close > open).then(|| &name[open + 1..close])
 }
 
+/// Escapes one label value for the Prometheus text format: backslash,
+/// double quote and line feed must render as `\\`, `\"` and `\n`, or a
+/// hostile workload or device name breaks the line-oriented exposition.
+fn escape_label_value(v: &str) -> String {
+    let mut out = String::with_capacity(v.len());
+    for c in v.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '"' => out.push_str("\\\""),
+            '\n' => out.push_str("\\n"),
+            _ => out.push(c),
+        }
+    }
+    out
+}
+
+/// Re-renders a series name with every label value escaped. Registry
+/// names embed values raw, so delimiters have to be inferred: a value
+/// opens at `="` and closes at the first `"` followed by `,` or the end
+/// of the label body — any other `"` (or `\` or newline) is content.
+fn escape_series(name: &str) -> String {
+    let (Some(open), Some(close)) = (name.find('{'), name.rfind('}')) else {
+        return name.to_string();
+    };
+    if close < open {
+        return name.to_string();
+    }
+    let body: Vec<char> = name[open + 1..close].chars().collect();
+    let mut out = String::with_capacity(name.len());
+    out.push_str(&name[..=open]);
+    let mut in_value = false;
+    let mut prev = '\0';
+    for (i, &c) in body.iter().enumerate() {
+        if !in_value {
+            out.push(c);
+            if c == '"' && prev == '=' {
+                in_value = true;
+            }
+        } else if c == '"' && body.get(i + 1).is_none_or(|&n| n == ',') {
+            out.push(c);
+            in_value = false;
+        } else {
+            out.push_str(&escape_label_value(&c.to_string()));
+        }
+        prev = c;
+    }
+    out.push_str(&name[close..]);
+    out
+}
+
 fn fmt_value(v: f64) -> String {
     if v.fract() == 0.0 && v.abs() < 9_007_199_254_740_992.0 {
         format!("{}", v as i64)
@@ -41,6 +91,15 @@ fn help_text(base: &str) -> &'static str {
         "campaign_rung_hits_total" => "Replays resumed from each checkpoint rung.",
         "campaign_pruned_total" => "Sites the lifetime oracle resolved without a replay.",
         "campaign_early_exit_total" => "Replays abandoned at a clean overwrite.",
+        "campaign_batched_total" => "Sites classified by a shared batched replay pass.",
+        "campaign_batches_total" => "Shared batched replay passes run.",
+        "campaign_batch_forks_total" => "Batched lanes forked into a private replay.",
+        "campaign_batch_final_sdc_total" => {
+            "Unforked batched lanes classified SDC from final-output divergence."
+        }
+        "campaign_batch_fallbacks_total" => "Batches that fell back to scalar replay.",
+        "campaign_batch_shared_cycles_total" => "Simulated cycles spent in shared batch passes.",
+        "campaign_batch_fork_cycles_total" => "Simulated cycles spent in forked lane replays.",
         "campaign_cycles_replayed_total" => "Simulated cycles spent in injection replays.",
         "campaign_cycles_saved_total" => "Simulated cycles avoided by checkpoints and pruning.",
         "campaign_watchdog_cycles_total" => "Simulated cycles burned in watchdog-killed replays.",
@@ -108,19 +167,20 @@ pub fn to_prometheus(snapshot: &MetricsSnapshot) -> String {
 
     for (name, value) in snapshot.counters() {
         write_header(&mut out, &mut typed, base_name(name), "counter");
-        let _ = writeln!(out, "{name} {value}");
+        let _ = writeln!(out, "{} {value}", escape_series(name));
     }
     for (name, value) in snapshot.gauges() {
         write_header(&mut out, &mut typed, base_name(name), "gauge");
-        let _ = writeln!(out, "{name} {}", fmt_value(value));
+        let _ = writeln!(out, "{} {}", escape_series(name), fmt_value(value));
     }
     for (name, hist) in snapshot.histograms() {
         let base = base_name(name);
         write_header(&mut out, &mut typed, base, "histogram");
         // Cumulative `le` buckets over the non-empty log2 bounds, the
         // mandatory +Inf bucket, then sum and count. Series labels (if
-        // any) are preserved ahead of the `le` label.
-        let series_labels = labels(name);
+        // any) are preserved ahead of the `le` label, values escaped.
+        let escaped = escape_series(name);
+        let series_labels = labels(&escaped);
         let with_le = |le: &str| match series_labels {
             Some(l) => format!("{base}_bucket{{{l},le=\"{le}\"}}"),
             None => format!("{base}_bucket{{le=\"{le}\"}}"),
@@ -221,6 +281,68 @@ mod tests {
         let b0 = bound(bucket_lines[0]).unwrap();
         let b1 = bound(bucket_lines[1]).unwrap();
         assert!(b0 < b1, "bounds must ascend: {b0} vs {b1}");
+    }
+
+    /// Undoes [`escape_label_value`] — the test-side half of the
+    /// round trip.
+    fn unescape(v: &str) -> String {
+        let mut out = String::new();
+        let mut chars = v.chars();
+        while let Some(c) = chars.next() {
+            if c != '\\' {
+                out.push(c);
+                continue;
+            }
+            match chars.next() {
+                Some('\\') => out.push('\\'),
+                Some('"') => out.push('"'),
+                Some('n') => out.push('\n'),
+                other => {
+                    out.push('\\');
+                    out.extend(other);
+                }
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn hostile_label_values_escape_and_round_trip() {
+        let hostile = "a\\b\"c\nd";
+        let reg = MetricsRegistry::new();
+        reg.counter(&format!("runs_total{{workload=\"{hostile}\"}}"), 1);
+        reg.gauge(&format!("speed{{workload=\"{hostile}\"}}"), 2.0);
+        reg.observe(&format!("lat_seconds{{workload=\"{hostile}\"}}"), 0.5);
+        let text = to_prometheus(&reg.snapshot());
+        // The raw newline, quote and backslash never reach the output:
+        // every series stays on one line with the value escaped.
+        let escaped = r#"a\\b\"c\nd"#;
+        for series in [
+            format!("runs_total{{workload=\"{escaped}\"}} 1"),
+            format!("speed{{workload=\"{escaped}\"}} 2"),
+            format!("lat_seconds_bucket{{workload=\"{escaped}\",le=\"+Inf\"}} 1"),
+            format!("lat_seconds_sum{{workload=\"{escaped}\"}} 0.5"),
+            format!("lat_seconds_count{{workload=\"{escaped}\"}} 1"),
+        ] {
+            assert!(
+                text.lines().any(|l| l == series),
+                "missing line {series:?} in:\n{text}"
+            );
+        }
+        // Unescaping the exposed value restores the original exactly.
+        assert_eq!(unescape(escaped), hostile);
+        assert_eq!(escape_label_value(hostile), escaped);
+    }
+
+    #[test]
+    fn escape_series_leaves_sane_names_alone() {
+        for name in [
+            "plain_total",
+            r#"out_total{k="a"}"#,
+            r#"out_total{k="a",b="c d"}"#,
+        ] {
+            assert_eq!(escape_series(name), name);
+        }
     }
 
     #[test]

@@ -104,3 +104,68 @@ proptest! {
         let _ = Outcome::Masked;
     }
 }
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// `to_site_string` ↔ `FromStr` round-trips every field of every
+    /// fault kind — the `sm:struct:word:bit:cycle[:kind]` grammar that
+    /// `repro trace --site` speaks must name any site the sampler can
+    /// draw, including the permanent and control-unit kinds.
+    #[test]
+    fn site_strings_round_trip_all_kinds(
+        sm in any::<u32>(),
+        word in any::<u32>(),
+        bit in 0u8..32,
+        cycle in any::<u64>(),
+        st in 0usize..3,
+        kind in 0usize..7,
+    ) {
+        use gpu_reliability_repro::sim::{ControlTarget, FaultKind, FaultSite};
+        let structure = [
+            Structure::VectorRegisterFile,
+            Structure::LocalMemory,
+            Structure::ScalarRegisterFile,
+        ][st];
+        let kind = [
+            FaultKind::TransientFlip,
+            FaultKind::StuckAt0,
+            FaultKind::StuckAt1,
+            FaultKind::Control(ControlTarget::SchedulerSlot),
+            FaultKind::Control(ControlTarget::ActiveMask),
+            FaultKind::Control(ControlTarget::Scoreboard),
+            FaultKind::Control(ControlTarget::BarrierCounter),
+        ][kind];
+        let site = FaultSite::try_new(structure, sm, word, bit, cycle, kind).unwrap();
+        let text = site.to_site_string();
+        let parsed: FaultSite = text.parse().unwrap();
+        prop_assert_eq!(parsed, site, "via {}", text);
+    }
+
+    /// Malformed site strings are rejected, never truncated into a
+    /// wrong-but-valid site: out-of-range bits, numeric overflow past
+    /// the field width, unknown structures or kinds, and wrong arity
+    /// all fail to parse.
+    #[test]
+    fn malformed_site_strings_are_rejected(
+        sm in any::<u32>(),
+        word in any::<u32>(),
+        bit in 32u64..,
+        over in (u32::MAX as u64 + 1)..,
+    ) {
+        use gpu_reliability_repro::sim::FaultSite;
+        for bad in [
+            format!("{sm}:rf:{word}:{bit}:0"),         // bit out of range
+            format!("{over}:rf:{word}:0:0"),           // sm overflows u32
+            format!("{sm}:rf:{over}:0:0"),             // word overflows u32
+            format!("{sm}:sram:{word}:0:0"),           // unknown structure
+            format!("{sm}:rf:{word}:0:0:latchup"),     // unknown kind
+            format!("{sm}:rf:{word}:0"),               // too few fields
+            format!("{sm}:rf:{word}:0:0:transient:x"), // too many fields
+            format!("{sm}:rf:{word}:-1:0"),            // negative field
+            String::new(),                             // empty
+        ] {
+            prop_assert!(bad.parse::<FaultSite>().is_err(), "accepted {bad:?}");
+        }
+    }
+}
