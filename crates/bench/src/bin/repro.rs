@@ -29,6 +29,10 @@
 //!   --site SPEC         fault site for `trace` (sm:struct:word:bit:cycle[:kind])
 //!   --metrics PATH      write telemetry (events + final metrics) as JSONL
 //!   --progress          live progress line on stderr (done/total, inj/s, ETA)
+//!   --listen ADDR       serve GET /metrics /health /progress /convergence over
+//!                       HTTP while the study runs (e.g. 127.0.0.1:9184)
+//!   --convergence N     cadence of streaming campaign.convergence events
+//!                       in injections (0 disables; default 100)
 //!   --profile PATH      record hierarchical spans and write a Chrome
 //!                       trace (Perfetto-loadable); PATH.tree gets the
 //!                       jobs-invariant structural span tree
@@ -57,8 +61,8 @@ use grel_core::epf::structure_fit;
 use grel_core::stats::{error_margin, required_sample_size, Z_99};
 use grel_core::study::{evaluate_point, run_study, run_study_hooked, StudyConfig};
 use grel_telemetry::{
-    Event, EventSink, JsonlSink, LogLevel, Logger, MetricsRegistry, NullSink, ProgressHook,
-    RegistryHook, SpanHook, SpanRecorder, SpanTree,
+    serve, Event, EventSink, JsonlSink, LogLevel, Logger, MetricsRegistry, NullSink, Observatory,
+    ProgressHook, RegistryHook, SpanHook, SpanRecorder, SpanTree, StatusBoard, TeeSink,
 };
 use simt_sim::{
     ArchConfig, FaultKind, FaultModelKind, Gpu, HotspotObserver, SchedulerPolicy, Structure,
@@ -90,6 +94,9 @@ struct Args {
     site: Option<String>,
     fault_model: FaultModelKind,
     profile: Option<String>,
+    listen: Option<String>,
+    convergence: Option<u64>,
+    baseline: Option<String>,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -118,13 +125,18 @@ fn parse_args() -> Result<Args, String> {
         site: None,
         fault_model: FaultModelKind::Transient,
         profile: None,
+        listen: None,
+        convergence: None,
+        baseline: None,
     };
     let mut it = std::env::args().skip(1);
     while let Some(a) = it.next() {
         match a.as_str() {
             "fig1" | "fig2" | "fig3" | "findings" | "stats" | "all" | "outcomes" | "perf"
             | "bits" | "phases" | "mbu" | "protect" | "ablate-sched" | "ablate-rfsize"
-            | "ablate-ace" | "bench-campaign" | "report" | "trace" | "profile" => args.command = a,
+            | "ablate-ace" | "bench-campaign" | "report" | "trace" | "profile" | "drift" => {
+                args.command = a
+            }
             "--injections" => {
                 args.injections = it
                     .next()
@@ -171,6 +183,15 @@ fn parse_args() -> Result<Args, String> {
                     .map_err(|e| format!("bad --fault-model: {e}"))?;
             }
             "--provenance" => args.provenance = true,
+            "--listen" => args.listen = Some(it.next().ok_or("--listen needs a value")?),
+            "--convergence" => {
+                args.convergence = Some(
+                    it.next()
+                        .ok_or("--convergence needs a value")?
+                        .parse()
+                        .map_err(|e| format!("bad --convergence: {e}"))?,
+                );
+            }
             "--profile" => args.profile = Some(it.next().ok_or("--profile needs a value")?),
             "--site" => args.site = Some(it.next().ok_or("--site needs a value")?),
             "--metrics" => args.metrics = Some(it.next().ok_or("--metrics needs a value")?),
@@ -189,6 +210,9 @@ fn parse_args() -> Result<Args, String> {
             other if args.command == "report" && args.report_path.is_none() => {
                 args.report_path = Some(other.to_string())
             }
+            other if args.command == "drift" && args.baseline.is_none() => {
+                args.baseline = Some(other.to_string())
+            }
             other => return Err(format!("unknown argument: {other}")),
         }
     }
@@ -203,9 +227,11 @@ usage: repro [COMMAND] [--injections N] [--paper] [--seed S] [--jobs N]
              [--csv PATH] [--json PATH] [--experiments PATH]
              [--checkpoint-interval N] [--no-checkpoints] [--no-prune] [--no-batch]
              [--fault-model transient|stuck0|stuck1|control] [--provenance]
-             [--metrics PATH] [--progress] [--profile PATH] [--quiet] [-v]
+             [--metrics PATH] [--progress] [--listen ADDR] [--convergence N]
+             [--profile PATH] [--quiet] [-v]
        repro profile [study options]
        repro report <metrics.jsonl>
+       repro drift [BASELINE.json] [study options]
        repro trace --site sm:struct:word:bit:cycle[:kind] [--device D] [--workload W]
 
 commands:
@@ -225,6 +251,13 @@ commands:
   ablate-rfsize extension: register-file size sweep vs AVF and FIT
   ablate-ace    extension: conservative vs refined ACE vs FI
   bench-campaign  measure checkpointed-replay speedup and --jobs scaling
+  drift         baseline drift sentinel: re-run the study and compare each
+                point against a committed baseline JSON (default
+                ci/fault-model-baseline.json; override with a positional
+                path). Deterministic fields must match exactly; sampled
+                AVFs may move within the fresh run's 99% interval. Exits
+                nonzero on drift. Run with the same flags the baseline
+                was generated with (CI: --smoke --injections 40 --seed 7)
   profile       run the study with span tracing on, print the phase /
                 hot-spot profile and write a Perfetto-loadable Chrome
                 trace (default profile_trace.json; override --profile)
@@ -264,10 +297,23 @@ pruning:
 
 telemetry:
   --metrics PATH writes one JSON object per line: structured events
-  (golden.done, ladder.done, campaign.done, study.point, log) while the
-  study runs, then the final counter/gauge/histogram values. --progress
-  draws a live done/total + inj/s + ETA line on stderr. Neither flag
-  changes campaign results.
+  (golden.done, ladder.done, campaign.done, campaign.convergence,
+  study.point, log) while the study runs, then the final
+  counter/gauge/histogram values. --progress draws a live done/total +
+  inj/s + ETA line on stderr. Neither flag changes campaign results.
+
+observatory:
+  --listen ADDR binds a dependency-free HTTP endpoint for the duration
+  of the run: GET /metrics (Prometheus text exposition of the live
+  registry), /health, /progress (done/pruned/batched/total JSON) and
+  /convergence (latest campaign.convergence snapshot per campaign).
+  Scrapes are read-only — figure output and --json files are
+  byte-identical with or without --listen. campaign.convergence events
+  stream every --convergence N merged injections (default 100) with the
+  running AVF, its 99% finite-population interval and the projected
+  injections still needed to reach the paper's +/-2.88% target; the
+  event stream is a pure function of the merged outcome order, so it is
+  byte-identical at any --jobs.
 
 profiling:
   --profile PATH records a hierarchical span for every study phase
@@ -385,6 +431,7 @@ fn main() -> ExitCode {
             early_exit: !args.no_prune,
             fault_model: args.fault_model,
             batch: !args.no_batch,
+            convergence: args.convergence.unwrap_or(100),
         },
         workload_seed: args.seed,
         fi_on_unused_lds: false,
@@ -394,6 +441,7 @@ fn main() -> ExitCode {
 
     match args.command.as_str() {
         "trace" => return trace_site(&archs, &workloads, &args, &log),
+        "drift" => return drift_sentinel(&archs, &workloads, &cfg, &args, &log),
         "bench-campaign" => return bench_campaign(&archs, &workloads, &cfg, &log),
         "ablate-sched" => return ablate_scheduler(&archs, &workloads, &cfg),
         "ablate-rfsize" => return ablate_rf_size(&archs, &workloads, &cfg),
@@ -425,7 +473,18 @@ fn main() -> ExitCode {
         }
     ));
 
-    let registry = MetricsRegistry::new();
+    let registry = Arc::new(MetricsRegistry::new());
+    // --listen tees the event stream into a StatusBoard so the HTTP
+    // /convergence endpoint can answer with the latest snapshot per
+    // campaign; without it events flow straight to the JSONL/null sink.
+    let board = args.listen.as_ref().map(|_| Arc::new(StatusBoard::new()));
+    let tee = board
+        .as_ref()
+        .map(|b| TeeSink(&*sink, b.as_ref() as &dyn EventSink));
+    let event_sink: &dyn EventSink = match &tee {
+        Some(t) => t,
+        None => &*sink,
+    };
     if args.metrics.is_some() {
         sink.emit(
             &Event::new("run.meta")
@@ -455,7 +514,7 @@ fn main() -> ExitCode {
         .clone()
         .or_else(|| (args.command == "profile").then(|| "profile_trace.json".to_string()));
     let recorder = profile_path.as_ref().map(|_| SpanRecorder::new());
-    let telemetry_on = args.metrics.is_some() || args.progress;
+    let telemetry_on = args.metrics.is_some() || args.progress || args.listen.is_some();
     // One campaign per structure: RF always, LDS when the workload
     // touches local memory (mirrors evaluate_point).
     let per_point: u64 = workloads
@@ -463,10 +522,33 @@ fn main() -> ExitCode {
         .map(|w| 1 + u64::from(w.uses_local_memory() || cfg.fi_on_unused_lds))
         .sum();
     let progress_total = per_point * archs.len() as u64 * args.injections as u64;
+    let server = match (&args.listen, &board) {
+        (Some(addr), Some(board)) => {
+            let observatory = Observatory {
+                registry: Arc::clone(&registry),
+                board: Arc::clone(board),
+                planned_injections: progress_total,
+            };
+            match serve(addr.as_str(), observatory) {
+                Ok(handle) => {
+                    log.info(&format!(
+                        "observatory listening on http://{}/ (GET /metrics /health /progress /convergence)",
+                        handle.local_addr()
+                    ));
+                    Some(handle)
+                }
+                Err(e) => {
+                    log.error(&format!("cannot bind observatory on {addr}: {e}"));
+                    return ExitCode::FAILURE;
+                }
+            }
+        }
+        _ => None,
+    };
     let start = std::time::Instant::now();
     let outcome = if let Some(recorder) = &recorder {
         let span_hook = SpanHook::new(recorder);
-        let reg_hook = RegistryHook::with_sink(&registry, &*sink);
+        let reg_hook = RegistryHook::with_sink(&registry, event_sink);
         if args.progress {
             let prog = ProgressHook::new(progress_total);
             let study = run_study_hooked(&archs, &workloads, &cfg, &((reg_hook, &prog), span_hook));
@@ -476,7 +558,7 @@ fn main() -> ExitCode {
             run_study_hooked(&archs, &workloads, &cfg, &(reg_hook, span_hook))
         }
     } else if telemetry_on {
-        let reg_hook = RegistryHook::with_sink(&registry, &*sink);
+        let reg_hook = RegistryHook::with_sink(&registry, event_sink);
         if args.progress {
             let prog = ProgressHook::new(progress_total);
             let study = run_study_hooked(&archs, &workloads, &cfg, &(reg_hook, &prog));
@@ -722,6 +804,163 @@ fn main() -> ExitCode {
         log.info(&format!("wrote {path}"));
     }
     sink.flush();
+    if let Some(server) = server {
+        server.stop();
+    }
+    ExitCode::SUCCESS
+}
+
+/// `repro drift [BASELINE.json]`: the baseline drift sentinel. Re-runs
+/// the study with the current flags and compares every point against
+/// the committed baseline written by an earlier `--json` run.
+/// Deterministic fields (cycles, ACE AVFs, occupancies) must match
+/// exactly — the golden run and ACE analysis are bit-reproducible, so
+/// any difference is a behaviour change. Sampled fault-injection AVFs
+/// are statistical: the baseline value only counts as drift when it
+/// falls outside the fresh run's 99% finite-population interval, so an
+/// unchanged tree always passes while a real AVF shift is flagged.
+fn drift_sentinel(
+    archs: &[ArchConfig],
+    workloads: &[Box<dyn Workload>],
+    cfg: &StudyConfig,
+    args: &Args,
+    log: &Logger,
+) -> ExitCode {
+    use grel_telemetry::Json;
+    use std::collections::BTreeMap;
+
+    let path = args
+        .baseline
+        .clone()
+        .unwrap_or_else(|| "ci/fault-model-baseline.json".to_string());
+    let text = match std::fs::read_to_string(&path) {
+        Ok(t) => t,
+        Err(e) => {
+            log.error(&format!("reading baseline {path}: {e}"));
+            return ExitCode::FAILURE;
+        }
+    };
+    let baseline = match Json::parse(&text) {
+        Ok(j) => j,
+        Err(e) => {
+            log.error(&format!("baseline {path} is not valid JSON: {e}"));
+            return ExitCode::FAILURE;
+        }
+    };
+    let Some(baseline_points) = baseline.as_arr() else {
+        log.error(&format!("baseline {path} is not a JSON array of points"));
+        return ExitCode::FAILURE;
+    };
+    let mut by_key: BTreeMap<(String, String), &Json> = BTreeMap::new();
+    for b in baseline_points {
+        let workload = b.get("workload").and_then(Json::as_str).unwrap_or("");
+        let device = b.get("device").and_then(Json::as_str).unwrap_or("");
+        by_key.insert((workload.to_string(), device.to_string()), b);
+    }
+
+    log.info(&format!(
+        "drift sentinel: fresh study vs {path} ({} baseline points)",
+        baseline_points.len()
+    ));
+    let study = match run_study(archs, workloads, cfg) {
+        Ok(s) => s,
+        Err(e) => {
+            log.error(&format!("study failed: {e}"));
+            return ExitCode::FAILURE;
+        }
+    };
+
+    // A baseline `null` (NaN/absent on the fresh side) matches only a
+    // non-finite fresh value; two finite values compare by rule.
+    let within = |b: Option<f64>, fresh: f64, margin: f64| match (b, fresh.is_finite()) {
+        (None, false) => true,
+        (Some(b), true) => b >= (fresh - margin).max(0.0) && b <= (fresh + margin).min(1.0),
+        _ => false,
+    };
+    let exact = |b: Option<f64>, fresh: f64| match (b, fresh.is_finite()) {
+        (None, false) => true,
+        (Some(b), true) => b == fresh,
+        _ => false,
+    };
+    let show = |v: Option<f64>| v.map_or("null".to_string(), |x| format!("{x:.6}"));
+
+    println!("== Baseline drift sentinel ==");
+    println!("baseline: {path}");
+    println!("{:<12} {:<16} {:<8} notes", "workload", "device", "status");
+    let mut drifting = 0usize;
+    for p in &study.points {
+        let key = (p.workload.clone(), p.device.clone());
+        let Some(b) = by_key.remove(&key) else {
+            drifting += 1;
+            println!(
+                "{:<12} {:<16} {:<8} point missing from baseline",
+                p.workload, p.device, "DRIFT"
+            );
+            continue;
+        };
+        let f = |k: &str| b.get(k).and_then(Json::as_f64);
+        let mut notes: Vec<String> = Vec::new();
+        // Deterministic fields: bit-exact or it's a behaviour change.
+        if f("cycles") != Some(p.cycles as f64) {
+            notes.push(format!("cycles {} -> {}", show(f("cycles")), p.cycles));
+        }
+        for (key, fresh) in [
+            ("rf_avf_ace", p.rf.avf_ace),
+            ("rf_occ", p.rf.occupancy),
+            ("lds_avf_ace", p.lds.avf_ace),
+            ("lds_occ", p.lds.occupancy),
+            ("srf_avf_ace", p.srf_avf_ace.unwrap_or(f64::NAN)),
+        ] {
+            if !exact(f(key), fresh) {
+                notes.push(format!("{key} {} -> {fresh:.6} (exact)", show(f(key))));
+            }
+        }
+        // Sampled fields: the baseline proportion must sit inside the
+        // fresh run's 99% interval (margin 0 degenerates to exact).
+        for (key, fresh, margin) in [
+            ("rf_avf_fi", p.rf.avf_fi, p.rf.margin_99),
+            ("rf_avf_sdc", p.rf.avf_sdc, p.rf.margin_99),
+            ("lds_avf_fi", p.lds.avf_fi, p.lds.margin_99),
+        ] {
+            if !within(f(key), fresh, margin) {
+                notes.push(format!(
+                    "{key} {} outside {fresh:.6} +/- {margin:.6}",
+                    show(f(key))
+                ));
+            }
+        }
+        if notes.is_empty() {
+            println!("{:<12} {:<16} {:<8}", p.workload, p.device, "ok");
+        } else {
+            drifting += 1;
+            println!(
+                "{:<12} {:<16} {:<8} {}",
+                p.workload,
+                p.device,
+                "DRIFT",
+                notes.join("; ")
+            );
+        }
+    }
+    for (workload, device) in by_key.into_keys() {
+        drifting += 1;
+        println!(
+            "{workload:<12} {device:<16} {:<8} point missing from fresh run",
+            "DRIFT"
+        );
+    }
+    println!(
+        "{} points compared, {} drifting",
+        study.points.len(),
+        drifting
+    );
+    if drifting > 0 {
+        log.error(&format!(
+            "baseline drift detected in {drifting} campaign(s) vs {path}"
+        ));
+        return ExitCode::FAILURE;
+    }
+    log.info("no drift: fresh study is statistically consistent with the baseline");
     ExitCode::SUCCESS
 }
 
@@ -1409,12 +1648,18 @@ fn bench_campaign(
         }
     }
     println!();
-    println!(
-        "== Replay fast paths (RF campaign at -j{max_jobs}, identical tallies asserted) =="
-    );
+    println!("== Replay fast paths (RF campaign at -j{max_jobs}, identical tallies asserted) ==");
     println!(
         "{:<16} {:<12} {:<10} {:>9} {:>8} {:>7} {:>7} {:>7} {:>8} {:>9}",
-        "device", "workload", "mode", "wall", "inj/s", "pruned", "early", "forked", "vs full",
+        "device",
+        "workload",
+        "mode",
+        "wall",
+        "inj/s",
+        "pruned",
+        "early",
+        "forked",
+        "vs full",
         "vs pruned"
     );
     for (device, workload, mode, secs, ips, pruned, early, forked, speedup, vs_pruned) in

@@ -252,6 +252,15 @@ pub struct CampaignConfig {
     /// the transient model batches (like pruning, the lane model
     /// assumes a one-shot flip); other kinds replay scalar.
     pub batch: bool,
+    /// Cadence of streaming `campaign.convergence` events: after every
+    /// `convergence` merged outcomes (and once at the end of the
+    /// campaign) the runner emits the running tally with its
+    /// finite-population interval and a projected
+    /// injections-to-target-margin estimate. `0` disables the stream.
+    /// Events are folded from the merged site-order outcome vector —
+    /// after the PR-3 scatter-merge — so the stream is byte-identical
+    /// at any job count, with pruning and batching on or off.
+    pub convergence: u64,
 }
 
 impl CampaignConfig {
@@ -268,6 +277,7 @@ impl CampaignConfig {
             early_exit: true,
             fault_model: FaultModelKind::Transient,
             batch: true,
+            convergence: 100,
         }
     }
 
@@ -605,6 +615,36 @@ fn decode_site(structure: Structure, words: u32, cycles: u64, mut idx: u128) -> 
 /// [`crate::stats::control_sites_per_cycle`]).
 pub(crate) fn control_population_bits(arch: &ArchConfig) -> u64 {
     crate::stats::control_sites_per_cycle(arch.num_sms as u64, arch.max_warps_per_sm as u64)
+}
+
+/// Size of the fault-site population a campaign samples from: the
+/// universe [`sample_model_sites`] draws `(site, cycle)` pairs out of,
+/// and the `N` of every finite-population margin the campaign reports.
+///
+/// Storage models count every bit of every word of `structure` on every
+/// SM; the control model counts 4 targets × 32 bits per warp slot per
+/// SM. Both multiply by `cycles` (saturating at `u64::MAX`).
+pub fn campaign_population(
+    arch: &ArchConfig,
+    structure: Structure,
+    model: FaultModelKind,
+    cycles: u64,
+) -> u64 {
+    let structure_bits = match model {
+        // Storage models: every bit of every word of the structure.
+        FaultModelKind::Transient | FaultModelKind::Stuck0 | FaultModelKind::Stuck1 => {
+            (match structure {
+                Structure::VectorRegisterFile => arch.rf_words_per_sm(),
+                Structure::LocalMemory => arch.lds_words_per_sm(),
+                Structure::ScalarRegisterFile => arch.srf_words_per_sm(),
+            }) as u64
+                * 32
+                * arch.num_sms as u64
+        }
+        // Control model: 4 targets × 32 bits per warp slot per SM.
+        FaultModelKind::Control => control_population_bits(arch),
+    };
+    fault_population(structure_bits, cycles)
 }
 
 /// Maps a flat index in `[0, sms · slots · 4 · 32 · cycles)` back to the
@@ -1544,21 +1584,7 @@ pub fn run_campaign_with_oracle_hooked<H: TelemetryHook>(
     for o in outcomes {
         tally.add(o);
     }
-    let structure_bits = match cfg.fault_model {
-        // Storage models: every bit of every word of the structure.
-        FaultModelKind::Transient | FaultModelKind::Stuck0 | FaultModelKind::Stuck1 => {
-            (match structure {
-                Structure::VectorRegisterFile => arch.rf_words_per_sm(),
-                Structure::LocalMemory => arch.lds_words_per_sm(),
-                Structure::ScalarRegisterFile => arch.srf_words_per_sm(),
-            }) as u64
-                * 32
-                * arch.num_sms as u64
-        }
-        // Control model: 4 targets × 32 bits per warp slot per SM.
-        FaultModelKind::Control => control_population_bits(arch),
-    };
-    let population = fault_population(structure_bits, golden.cycles);
+    let population = campaign_population(arch, structure, cfg.fault_model, golden.cycles);
     let result = CampaignResult {
         structure,
         tally,
@@ -1718,6 +1744,7 @@ mod tests {
             early_exit: true,
             fault_model: FaultModelKind::Transient,
             batch: true,
+            convergence: 0,
         }
     }
 

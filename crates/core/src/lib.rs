@@ -21,7 +21,11 @@
 //! * [`provenance`] — the **fault-propagation flight recorder**: per-
 //!   injection first-read/overwrite/divergence timelines, bounded taint
 //!   sets, masking reasons and AVF attribution heatmaps that explain why
-//!   a structure's AVF is high or low.
+//!   a structure's AVF is high or low;
+//! * [`convergence`] — **streaming convergence monitoring**: running
+//!   finite-population intervals and injections-to-target-margin
+//!   projections emitted as `campaign.convergence` events while a
+//!   campaign is still in flight.
 //!
 //! ## Example: one campaign
 //!
@@ -50,6 +54,7 @@
 pub mod ace;
 pub mod breakdown;
 pub mod campaign;
+pub mod convergence;
 pub mod epf;
 pub mod perf;
 pub mod protection;
@@ -69,6 +74,7 @@ pub use campaign::{
     run_campaign_with_oracle_hooked, run_injections, run_injections_checkpointed, CampaignConfig,
     CampaignResult, CheckpointLadder, GoldenRun, Outcome, Tally,
 };
+pub use convergence::{ConvergenceMonitor, ConvergenceSnapshot, DEFAULT_TARGET_MARGIN};
 pub use epf::{eit, epf, structure_bits, structure_fit, FitBreakdown};
 pub use perf::{profile, PerfProfile};
 pub use protection::{project, protection_sweep, ProtectedPoint, Protection};

@@ -36,9 +36,10 @@
 
 use crate::ace::LifetimeOracle;
 use crate::campaign::{
-    classify_batch_on, classify_on, classify_traced_on, structure_label, CampaignConfig,
-    CheckpointLadder, GoldenRun, Outcome,
+    campaign_population, classify_batch_on, classify_on, classify_traced_on, structure_label,
+    CampaignConfig, CheckpointLadder, GoldenRun, Outcome,
 };
+use crate::convergence::ConvergenceMonitor;
 use gpu_workloads::Workload;
 use grel_telemetry::{SpanRecord, TelemetryHook};
 use simt_sim::{
@@ -82,6 +83,41 @@ fn replay_span_prefix<H: TelemetryHook>(
             structure_label(sites[0].structure)
         )
     })
+}
+
+/// Streams the merged site-order outcome vector through a
+/// [`ConvergenceMonitor`], emitting `campaign.convergence` events every
+/// `cfg.convergence` outcomes. Runs serially *after* the scatter-merge,
+/// so the event stream is a pure function of `(sites, outcomes,
+/// cadence)` and inherits the runner's determinism contract verbatim:
+/// byte-identical at any job count, with pruning and batching on or
+/// off. A zero cadence disables the stream.
+fn stream_convergence<H: TelemetryHook>(
+    arch: &ArchConfig,
+    workload: &dyn Workload,
+    golden: &GoldenRun,
+    sites: &[FaultSite],
+    cfg: CampaignConfig,
+    outcomes: &[Outcome],
+    hook: &H,
+) {
+    if !H::ENABLED || cfg.convergence == 0 || sites.is_empty() {
+        return;
+    }
+    let structure = sites[0].structure;
+    let mut monitor = ConvergenceMonitor::new(
+        workload.name(),
+        &arch.name,
+        structure,
+        cfg.fault_model,
+        campaign_population(arch, structure, cfg.fault_model, golden.cycles),
+        sites.len() as u64,
+        cfg.convergence,
+    );
+    for &o in outcomes {
+        monitor.observe(o, hook);
+    }
+    monitor.finish(hook);
 }
 
 /// Records one injection's replay span plus the log2-microsecond latency
@@ -414,8 +450,7 @@ fn worker_loop_batched<H: TelemetryHook>(
                     // unit's wall time — when its scenario was in
                     // flight — while the latency buckets get the
                     // even per-site share.
-                    let us_share =
-                        (elapsed.as_micros() as u64 / unit.len() as u64).max(1);
+                    let us_share = (elapsed.as_micros() as u64 / unit.len() as u64).max(1);
                     let bucket = 63 - us_share.leading_zeros();
                     for (&i, &outcome) in unit.iter().zip(&rep.outcomes) {
                         hook.span(
@@ -635,6 +670,7 @@ pub(crate) fn replay_sites<H: TelemetryHook>(
             merge_started,
         ));
     }
+    stream_convergence(arch, workload, golden, sites, cfg, &outcomes, hook);
     Ok(outcomes)
 }
 
@@ -833,6 +869,7 @@ pub(crate) fn replay_sites_traced<H: TelemetryHook>(
             merge_started,
         ));
     }
+    stream_convergence(arch, workload, golden, sites, cfg, &outcomes, hook);
     Ok((outcomes, records))
 }
 

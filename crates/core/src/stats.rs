@@ -112,6 +112,9 @@ pub struct Proportion {
     pub hits: u64,
     /// Number of trials.
     pub trials: u64,
+    /// Size of the sampled fault-site population (carried so intervals
+    /// at other confidence levels keep the finite-population correction).
+    pub population: u64,
     /// Error margin at 99 % confidence (conservative `p = 0.5` model).
     pub margin_99: f64,
 }
@@ -136,11 +139,38 @@ impl Proportion {
             value: hits as f64 / trials as f64,
             hits,
             trials,
+            population,
             margin_99: error_margin(population, trials, Z_99),
         }
     }
 
-    /// The interval `[value - margin, value + margin]` clamped to `[0, 1]`.
+    /// The error margin at confidence `z`, with the same conservative
+    /// `p = 0.5` model and finite-population correction as
+    /// [`error_margin`]. Zero when the campaign was exhaustive
+    /// (`trials >= population`).
+    pub fn margin(&self, z: f64) -> f64 {
+        error_margin(self.population, self.trials, z)
+    }
+
+    /// The interval `[value - margin(z), value + margin(z)]` clamped to
+    /// `[0, 1]`. Degenerates to the point `(value, value)` when the
+    /// campaign sampled the whole population.
+    ///
+    /// # Example
+    /// ```
+    /// use grel_core::stats::{Proportion, Z_90, Z_99};
+    /// let p = Proportion::new(140, 2000, u64::MAX);
+    /// let (lo90, hi90) = p.interval(Z_90);
+    /// let (lo99, hi99) = p.interval(Z_99);
+    /// assert!(lo99 < lo90 && hi90 < hi99, "99% interval is wider");
+    /// ```
+    pub fn interval(&self, z: f64) -> (f64, f64) {
+        let m = self.margin(z);
+        ((self.value - m).max(0.0), (self.value + m).min(1.0))
+    }
+
+    /// The interval at the paper's 99 % confidence level
+    /// ([`interval`](Self::interval) at [`Z_99`]).
     pub fn interval_99(&self) -> (f64, f64) {
         (
             (self.value - self.margin_99).max(0.0),
@@ -235,6 +265,24 @@ mod tests {
         assert_eq!(p.interval_99().0, 0.0, "clamped at zero");
         let q = Proportion::new(100, 100, 1u64 << 40);
         assert_eq!(q.interval_99().1, 1.0, "clamped at one");
+    }
+
+    #[test]
+    fn interval_generalizes_interval_99() {
+        let p = Proportion::new(30, 200, 1u64 << 40);
+        assert_eq!(p.interval(Z_99), p.interval_99());
+        assert!(p.margin(Z_90) < p.margin(Z_95));
+        assert!(p.margin(Z_95) < p.margin(Z_99));
+    }
+
+    #[test]
+    fn exhaustive_proportion_interval_degenerates() {
+        // trials == population: the campaign measured every site, so any
+        // confidence level collapses to the point estimate.
+        let p = Proportion::new(3, 10, 10);
+        assert_eq!(p.margin(Z_99), 0.0);
+        assert_eq!(p.interval(Z_90), (p.value, p.value));
+        assert_eq!(p.interval(Z_99), (p.value, p.value));
     }
 
     #[test]

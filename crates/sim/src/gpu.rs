@@ -364,12 +364,9 @@ impl Gpu {
             // An out-of-range word cannot affect execution: the scenario
             // never diverges — same no-op as the scalar flip helpers.
             if let Some(cur) = cur {
-                sm.overlay.get_or_insert_with(Default::default).assert_value(
-                    site.structure,
-                    site.word,
-                    i as u8,
-                    cur ^ (1 << site.bit),
-                );
+                sm.overlay
+                    .get_or_insert_with(Default::default)
+                    .assert_value(site.structure, site.word, i as u8, cur ^ (1 << site.bit));
             }
         }
         self.plane = Some(plane);

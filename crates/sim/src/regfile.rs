@@ -98,7 +98,10 @@ impl SmOverlay {
 
     /// Records scenario `s` holding `value` at `(structure, word)`.
     pub fn assert_value(&mut self, structure: Structure, word: u32, s: u8, value: u32) {
-        self.map_mut(structure).entry(word).or_default().set(s, value);
+        self.map_mut(structure)
+            .entry(word)
+            .or_default()
+            .set(s, value);
     }
 
     /// Architectural overwrite of `(structure, word)`: every scenario's

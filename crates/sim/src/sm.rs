@@ -474,7 +474,9 @@ impl Sm {
     /// shared golden pass cannot carry.
     fn scn_fork(&mut self, mask: u64) {
         if mask != 0 {
-            self.overlay.get_or_insert_with(Default::default).pending_forks |= mask;
+            self.overlay
+                .get_or_insert_with(Default::default)
+                .pending_forks |= mask;
         }
     }
 
@@ -841,14 +843,21 @@ impl Sm {
                         // The predicate is golden for every unforked
                         // scenario (a divergent SetP forks), so the
                         // select direction is shared; only values differ.
-                        let dv = self
-                            .scn_divergent(&warp, &[&ra, &rb], &[x, y], lane, warp_size, v, &|q| {
+                        let dv = self.scn_divergent(
+                            &warp,
+                            &[&ra, &rb],
+                            &[x, y],
+                            lane,
+                            warp_size,
+                            v,
+                            &|q| {
                                 if take_x {
                                     q[0]
                                 } else {
                                     q[1]
                                 }
-                            });
+                            },
+                        );
                         self.write_vreg(&warp, d, lane, v, warp_size, cycle, obs);
                         if !dv.is_empty() {
                             let phys = warp.rf_base + d as u32 * warp_size + lane;
@@ -1212,8 +1221,8 @@ impl Sm {
                     let x = self.lane_value(warp, &ra, lane, warp_size, ntid, nctaid, cycle, obs);
                     let y = self.lane_value(warp, &rb, lane, warp_size, ntid, nctaid, cycle, obs);
                     let v = f(x, y);
-                    let dv = self
-                        .scn_divergent(warp, &[&ra, &rb], &[x, y], lane, warp_size, v, &|q| {
+                    let dv =
+                        self.scn_divergent(warp, &[&ra, &rb], &[x, y], lane, warp_size, v, &|q| {
                             f(q[0], q[1])
                         });
                     self.write_vreg(warp, r, lane, v, warp_size, cycle, obs);
@@ -1253,15 +1262,10 @@ impl Sm {
                 let (x, y, z) = (uniform_value(&ra), uniform_value(&rb), uniform_value(&rc));
                 let phys = warp.srf_base + r as u32;
                 let v = f(x, y, z);
-                let dv = self.scn_divergent(
-                    warp,
-                    &[&ra, &rb, &rc],
-                    &[x, y, z],
-                    0,
-                    warp_size,
-                    v,
-                    &|q| f(q[0], q[1], q[2]),
-                );
+                let dv =
+                    self.scn_divergent(warp, &[&ra, &rb, &rc], &[x, y, z], 0, warp_size, v, &|q| {
+                        f(q[0], q[1], q[2])
+                    });
                 self.store_srf(phys, v, cycle, obs);
                 self.scn_assert(Structure::ScalarRegisterFile, phys, dv);
                 warp.sreg_ready[r as usize] = cycle + lat as u64;
@@ -1478,15 +1482,8 @@ impl Sm {
                     // address: propagate into the memory overlay.
                     let forks = self.scn_mask(warp, &ra, lane, arch.warp_size);
                     self.scn_fork(forks);
-                    let dv = self.scn_divergent(
-                        warp,
-                        &[&rs],
-                        &[v],
-                        lane,
-                        arch.warp_size,
-                        v,
-                        &|q| q[0],
-                    );
+                    let dv =
+                        self.scn_divergent(warp, &[&rs], &[v], lane, arch.warp_size, v, &|q| q[0]);
                     mem.store(a, v, self.id, cycle)?;
                     if !dv.is_empty() {
                         let ov = mem.overlay.get_or_insert_with(Default::default);
@@ -1508,15 +1505,8 @@ impl Sm {
                     let a = base.wrapping_add(offset as u32);
                     let forks = self.scn_mask(warp, &ra, lane, arch.warp_size);
                     self.scn_fork(forks);
-                    let dv = self.scn_divergent(
-                        warp,
-                        &[&rs],
-                        &[v],
-                        lane,
-                        arch.warp_size,
-                        v,
-                        &|q| q[0],
-                    );
+                    let dv =
+                        self.scn_divergent(warp, &[&rs], &[v], lane, arch.warp_size, v, &|q| q[0]);
                     let w = self.lds_word(warp, a, cycle)?;
                     self.store_lds(w, v, cycle, obs);
                     self.scn_assert(Structure::LocalMemory, w, dv);

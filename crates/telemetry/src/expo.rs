@@ -128,6 +128,7 @@ fn help_text(base: &str) -> &'static str {
         "sim_snapshot_seconds" => "Wall-clock seconds taking simulator snapshots.",
         "sim_restores_total" => "Simulator snapshot restores.",
         "study_point_seconds" => "Wall-clock seconds per (workload, device) study point.",
+        "observatory_requests_total" => "HTTP requests answered by the observatory, by path.",
         _ => "",
     }
 }

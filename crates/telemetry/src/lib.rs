@@ -27,6 +27,10 @@
 //! - Presentation: [`to_prometheus`] text exposition, a level-gated
 //!   [`Logger`] that keeps stdout machine-parseable, a live
 //!   [`ProgressHook`] stderr line, and [`SpanTimer`] scoped timers.
+//! - The observatory: [`serve()`] binds a dependency-free HTTP/1.1
+//!   endpoint (`/metrics`, `/health`, `/progress`, `/convergence`) over
+//!   the live registry and a [`StatusBoard`] fed from the event stream,
+//!   so a running campaign can be scraped mid-flight.
 //!
 //! # Overhead contract
 //!
@@ -47,15 +51,17 @@ pub mod json;
 pub mod logger;
 pub mod metrics;
 pub mod progress;
+pub mod serve;
 pub mod spans;
 pub mod timer;
 
-pub use events::{Event, EventSink, JsonlSink, MemorySink, NullSink};
+pub use events::{Event, EventSink, JsonlSink, MemorySink, NullSink, TeeSink};
 pub use expo::to_prometheus;
 pub use hook::{NoopHook, RegistryHook, TelemetryHook};
 pub use json::{Json, JsonError};
 pub use logger::{LogLevel, Logger};
 pub use metrics::{Histogram, MetricsRegistry, MetricsSnapshot};
 pub use progress::ProgressHook;
+pub use serve::{serve, Observatory, ServerHandle, StatusBoard};
 pub use spans::{SpanHook, SpanNode, SpanRecord, SpanRecorder, SpanTree};
 pub use timer::{SpanTimer, Stopwatch};

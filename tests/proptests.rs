@@ -5,6 +5,7 @@ use gpu_reliability_repro::archs::{geforce_gtx_480, quadro_fx_5600};
 use gpu_reliability_repro::reliability::campaign::{
     golden_run, run_injections, sample_sites, CampaignConfig, Outcome,
 };
+use gpu_reliability_repro::reliability::stats::{Proportion, Z_99};
 use gpu_reliability_repro::sim::{Gpu, NoopObserver, Structure};
 use gpu_reliability_repro::workloads::{VectorAdd, Workload};
 use proptest::prelude::*;
@@ -102,6 +103,50 @@ proptest! {
         }
         // Silence the unused-variable lint path for Outcome.
         let _ = Outcome::Masked;
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// `Proportion::interval(z)` is monotone in the confidence level —
+    /// a larger z can only widen the interval — both bounds stay inside
+    /// [0, 1], and `interval(Z_99)` reproduces `interval_99()` exactly
+    /// (same finite-population margin, same bits).
+    #[test]
+    fn proportion_interval_monotone_and_clamped(
+        trials in 1u64..400,
+        hits_sel in any::<u64>(),
+        za in 1u64..50,
+        zb in 1u64..50,
+    ) {
+        let hits = hits_sel % (trials + 1);
+        let population = trials * 1000 + 7;
+        let p = Proportion::new(hits, trials, population);
+        let (z_lo, z_hi) = (za.min(zb) as f64 / 10.0, za.max(zb) as f64 / 10.0);
+        let (lo1, hi1) = p.interval(z_lo);
+        let (lo2, hi2) = p.interval(z_hi);
+        prop_assert!(lo2 <= lo1 && hi1 <= hi2, "larger z must widen: {lo1}..{hi1} vs {lo2}..{hi2}");
+        for (lo, hi) in [(lo1, hi1), (lo2, hi2)] {
+            prop_assert!(lo <= hi);
+            prop_assert!((0.0..=1.0).contains(&lo), "lower bound {lo} escaped [0,1]");
+            prop_assert!((0.0..=1.0).contains(&hi), "upper bound {hi} escaped [0,1]");
+        }
+        prop_assert_eq!(p.interval(Z_99), p.interval_99());
+    }
+
+    /// An exhaustive campaign (`trials == population`) has measured every
+    /// site: the interval degenerates to the point estimate at any z.
+    #[test]
+    fn exhaustive_proportion_interval_is_a_point(
+        trials in 1u64..1000,
+        hits_sel in any::<u64>(),
+        zt in 1u64..50,
+    ) {
+        let hits = hits_sel % (trials + 1);
+        let p = Proportion::new(hits, trials, trials);
+        prop_assert_eq!(p.margin(zt as f64 / 10.0), 0.0);
+        prop_assert_eq!(p.interval(zt as f64 / 10.0), (p.value, p.value));
     }
 }
 
