@@ -28,6 +28,7 @@ fn tiny_study(seed: u64) -> StudyConfig {
         fi_on_unused_lds: false,
         provenance: false,
         ace_mode: Default::default(),
+        sampling: Default::default(),
     }
 }
 

@@ -26,6 +26,12 @@
 //!                       which fault family the campaigns inject
 //!   --provenance        record fault-propagation provenance per injection
 //!                       (injection.trace events + provenance_* metrics)
+//!   --target-margin M   adaptive stratified sampling: stop each campaign at
+//!                       a 99% margin of M instead of a fixed --injections
+//!                       count (e.g. 0.0288 for the paper's precision)
+//!   --pilot N           adaptive pilot draws per stratum (default 8)
+//!   --strata SPEC       stratification axes: default | full | none, or a
+//!                       comma list of liveness,cycle,bit,region
 //!   --site SPEC         fault site for `trace` (sm:struct:word:bit:cycle[:kind])
 //!   --metrics PATH      write telemetry (events + final metrics) as JSONL
 //!   --progress          live progress line on stderr (done/total, inj/s, ETA)
@@ -58,6 +64,7 @@ use grel_core::campaign::{
     CampaignConfig, CheckpointLadder,
 };
 use grel_core::epf::structure_fit;
+use grel_core::sampling::{SamplingPlan, StrataSpec};
 use grel_core::stats::{error_margin, required_sample_size, Z_99};
 use grel_core::study::{evaluate_point, run_study, run_study_hooked, StudyConfig};
 use grel_telemetry::{
@@ -97,6 +104,9 @@ struct Args {
     listen: Option<String>,
     convergence: Option<u64>,
     baseline: Option<String>,
+    target_margin: Option<f64>,
+    pilot: Option<u32>,
+    strata: Option<StrataSpec>,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -128,6 +138,9 @@ fn parse_args() -> Result<Args, String> {
         listen: None,
         convergence: None,
         baseline: None,
+        target_margin: None,
+        pilot: None,
+        strata: None,
     };
     let mut it = std::env::args().skip(1);
     while let Some(a) = it.next() {
@@ -183,6 +196,31 @@ fn parse_args() -> Result<Args, String> {
                     .map_err(|e| format!("bad --fault-model: {e}"))?;
             }
             "--provenance" => args.provenance = true,
+            "--target-margin" => {
+                let m: f64 = it
+                    .next()
+                    .ok_or("--target-margin needs a value")?
+                    .parse()
+                    .map_err(|e| format!("--target-margin: {e}"))?;
+                if !(m.is_finite() && m > 0.0 && m < 1.0) {
+                    return Err("--target-margin must be in (0, 1)".into());
+                }
+                args.target_margin = Some(m);
+            }
+            "--pilot" => {
+                let p: u32 = it
+                    .next()
+                    .ok_or("--pilot needs a value")?
+                    .parse()
+                    .map_err(|e| format!("--pilot: {e}"))?;
+                if p == 0 {
+                    return Err("--pilot must be at least 1".into());
+                }
+                args.pilot = Some(p);
+            }
+            "--strata" => {
+                args.strata = Some(parse_strata(&it.next().ok_or("--strata needs a value")?)?)
+            }
             "--listen" => args.listen = Some(it.next().ok_or("--listen needs a value")?),
             "--convergence" => {
                 args.convergence = Some(
@@ -216,7 +254,44 @@ fn parse_args() -> Result<Args, String> {
             other => return Err(format!("unknown argument: {other}")),
         }
     }
+    if args.target_margin.is_some() && args.provenance {
+        return Err(
+            "--target-margin cannot be combined with --provenance (the flight \
+             recorder traces a fixed uniform sample)"
+                .into(),
+        );
+    }
+    if args.target_margin.is_none() && (args.pilot.is_some() || args.strata.is_some()) {
+        return Err("--pilot/--strata only apply with --target-margin".into());
+    }
     Ok(args)
+}
+
+/// Parses `--strata`: `default`, `full`, `none`, or a comma-separated
+/// subset of `liveness,cycle,bit,region`.
+fn parse_strata(spec: &str) -> Result<StrataSpec, String> {
+    match spec {
+        "default" => return Ok(StrataSpec::default()),
+        "full" => return Ok(StrataSpec::full()),
+        "none" => return Ok(StrataSpec::none()),
+        _ => {}
+    }
+    let mut s = StrataSpec::none();
+    for axis in spec.split(',') {
+        match axis.trim() {
+            "liveness" => s.liveness = true,
+            "cycle" => s.cycle = true,
+            "bit" => s.bit = true,
+            "region" => s.region = true,
+            other => {
+                return Err(format!(
+                    "--strata: unknown axis '{other}' (expected liveness|cycle|bit|region \
+                     or default|full|none)"
+                ))
+            }
+        }
+    }
+    Ok(s)
 }
 
 const HELP: &str = "repro — regenerate the figures of \
@@ -227,6 +302,7 @@ usage: repro [COMMAND] [--injections N] [--paper] [--seed S] [--jobs N]
              [--csv PATH] [--json PATH] [--experiments PATH]
              [--checkpoint-interval N] [--no-checkpoints] [--no-prune] [--no-batch]
              [--fault-model transient|stuck0|stuck1|control] [--provenance]
+             [--target-margin M] [--pilot N] [--strata SPEC]
              [--metrics PATH] [--progress] [--listen ADDR] [--convergence N]
              [--profile PATH] [--quiet] [-v]
        repro profile [study options]
@@ -322,6 +398,17 @@ profiling:
   to PATH — load it at https://ui.perfetto.dev or chrome://tracing.
   PATH.tree gets the duration-stripped structural span tree, which is
   byte-identical at any --jobs. Spans never change campaign results.
+
+adaptive sampling:
+  --target-margin M replaces the fixed --injections budget with a stop
+  rule: each campaign stratifies its site population (dead vs live per
+  the lifetime oracle, fault-cycle quartile, bit half; see --strata),
+  draws a deterministic pilot per stratum, then Neyman-allocates further
+  rounds to the high-variance strata until the post-stratified 99%
+  margin is at or below M. The same seed-stable site stream and striped
+  worker pool as the uniform path are used, so adaptive tallies are
+  bit-identical at any --jobs and with pruning/batching on or off.
+  Incompatible with --provenance.
 
 provenance:
   --provenance turns the fault-propagation flight recorder on for every
@@ -437,6 +524,19 @@ fn main() -> ExitCode {
         fi_on_unused_lds: false,
         provenance: args.provenance,
         ace_mode: Default::default(),
+        sampling: match args.target_margin {
+            Some(target_margin) => {
+                let mut plan = SamplingPlan::with_target(target_margin);
+                if let Some(p) = args.pilot {
+                    plan.pilot = p;
+                }
+                if let Some(s) = args.strata {
+                    plan.strata = s;
+                }
+                plan
+            }
+            None => SamplingPlan::default(),
+        },
     };
 
     match args.command.as_str() {
@@ -454,6 +554,13 @@ fn main() -> ExitCode {
         _ => {}
     }
 
+    if let Some(target) = args.target_margin {
+        log.info(&format!(
+            "adaptive sampling: stop at +/-{:.2}% @ 99% (pilot {}/stratum)",
+            target * 100.0,
+            cfg.sampling.pilot
+        ));
+    }
     let margin = error_margin(u64::MAX, args.injections.max(1) as u64, Z_99);
     log.info(&format!(
         "running study: {} workloads x {} devices, {} injections/structure (+/-{:.2}% @ 99%), {} jobs",
@@ -1327,6 +1434,10 @@ fn bench_campaign(
     //  fork frac, vs full, vs pruned)
     type PruneRow = (String, String, String, f64, f64, f64, f64, f64, f64, f64);
     let mut prune_rows: Vec<PruneRow> = Vec::new();
+    // (device, workload, target margin, uniform replayed, adaptive
+    //  replayed, adaptive rounds, adaptive margin, savings, converged)
+    type SamplingRow = (String, String, f64, u64, u64, usize, f64, f64, bool);
+    let mut sampling_rows: Vec<SamplingRow> = Vec::new();
     let mut pairs_json: Vec<Json> = Vec::new();
     let mut profile_pairs_json: Vec<Json> = Vec::new();
     println!(
@@ -1451,6 +1562,8 @@ fn bench_campaign(
             let mut modes_json: Vec<Json> = Vec::new();
             let mut full_secs = 0.0;
             let mut pruned_secs = 0.0;
+            // (uniform margin_99, uniform replayed = injections − pruned)
+            let mut uniform: Option<(f64, u64)> = None;
             for (mode, prune, early_exit, batch) in [
                 ("full", false, false, false),
                 ("early-exit", false, true, false),
@@ -1496,6 +1609,12 @@ fn bench_campaign(
                 }
                 let snap = registry.snapshot();
                 let pruned = snap.counter("campaign_pruned_total").unwrap_or(0);
+                if mode == "pruned" {
+                    uniform = Some((
+                        res.margin_99,
+                        (cfg.campaign.injections as u64).saturating_sub(pruned),
+                    ));
+                }
                 let early = snap.counter("campaign_early_exit_total").unwrap_or(0);
                 let batched = snap.counter("campaign_batched_total").unwrap_or(0);
                 let forks = snap.counter("campaign_batch_forks_total").unwrap_or(0);
@@ -1609,9 +1728,71 @@ fn bench_campaign(
                 ("phases".into(), Json::Arr(phases)),
                 ("workers".into(), Json::Arr(workers)),
             ]));
+            // Adaptive stratified sampling vs the uniform fixed-size
+            // campaign at equal margin: the uniform side replays
+            // `injections − pruned` sites to earn its margin; the
+            // adaptive side stops at the same (or a user-supplied
+            // `--target-margin`) margin and reports how many replays
+            // that actually took.
+            let (uniform_margin, uniform_replayed) = uniform.expect("the pruned mode always runs");
+            let plan = if cfg.sampling.enabled() {
+                cfg.sampling
+            } else {
+                SamplingPlan::with_target(uniform_margin)
+            };
+            let mut ac = cfg.campaign;
+            ac.prune = true;
+            ac.early_exit = true;
+            ac.batch = true;
+            let adaptive = match grel_core::run_adaptive_campaign(
+                arch,
+                w.as_ref(),
+                Structure::VectorRegisterFile,
+                ac,
+                plan,
+            ) {
+                Ok(r) => r,
+                Err(e) => {
+                    log.error(&format!(
+                        "adaptive campaign failed on {} / {}: {e}",
+                        arch.name,
+                        w.name()
+                    ));
+                    return ExitCode::FAILURE;
+                }
+            };
+            let savings = uniform_replayed as f64 / (adaptive.replayed as f64).max(1.0);
+            sampling_rows.push((
+                arch.name.clone(),
+                w.name().to_string(),
+                plan.target_margin,
+                uniform_replayed,
+                adaptive.replayed,
+                adaptive.rounds.len(),
+                adaptive.margin,
+                savings,
+                adaptive.converged,
+            ));
+            let sampling_json = Json::Obj(vec![
+                ("target_margin".into(), Json::from(plan.target_margin)),
+                ("uniform_margin".into(), Json::from(uniform_margin)),
+                (
+                    "uniform_injections".into(),
+                    Json::from(cfg.campaign.injections),
+                ),
+                ("uniform_replayed".into(), Json::from(uniform_replayed)),
+                ("adaptive_sampled".into(), Json::from(adaptive.sampled)),
+                ("adaptive_replayed".into(), Json::from(adaptive.replayed)),
+                ("adaptive_rounds".into(), Json::from(adaptive.rounds.len())),
+                ("adaptive_margin".into(), Json::from(adaptive.margin)),
+                ("adaptive_avf".into(), Json::from(adaptive.avf)),
+                ("converged".into(), Json::Bool(adaptive.converged)),
+                ("replay_savings".into(), Json::from(savings)),
+            ]);
             pairs_json.push(Json::Obj(vec![
                 ("device".into(), Json::from(arch.name.as_str())),
                 ("workload".into(), Json::from(w.name())),
+                ("sampling".into(), sampling_json),
                 ("golden_cycles".into(), Json::from(golden.cycles)),
                 ("rungs".into(), Json::from(ladder.len())),
                 ("from_zero_seconds".into(), Json::from(t_zero.as_secs_f64())),
@@ -1682,6 +1863,34 @@ fn bench_campaign(
             forked * 100.0,
             speedup,
             vs_pruned_col
+        );
+    }
+    println!();
+    println!("== Adaptive stratified sampling vs uniform (equal margin, replayed injections) ==");
+    println!(
+        "{:<16} {:<12} {:>8} {:>9} {:>9} {:>7} {:>8} {:>8} {:>5}",
+        "device",
+        "workload",
+        "target",
+        "uniform",
+        "adaptive",
+        "rounds",
+        "margin",
+        "savings",
+        "conv"
+    );
+    for (device, workload, target, uni, ada, rounds, margin, savings, conv) in &sampling_rows {
+        println!(
+            "{:<16} {:<12} {:>7.2}% {:>9} {:>9} {:>7} {:>7.2}% {:>7.2}x {:>5}",
+            device,
+            workload,
+            target * 100.0,
+            uni,
+            ada,
+            rounds,
+            margin * 100.0,
+            savings,
+            if *conv { "yes" } else { "no" }
         );
     }
     let doc = Json::Obj(vec![

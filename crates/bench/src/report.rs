@@ -22,11 +22,13 @@ use std::fmt::{self, Write};
 /// in this set parse fine but carry no reportable signal; a file with
 /// *zero* recognized events is rejected so silence never looks like
 /// success.
-const KNOWN_EVENTS: [&str; 11] = [
+const KNOWN_EVENTS: [&str; 13] = [
     "run.meta",
     "golden.done",
     "ladder.done",
     "campaign.done",
+    "campaign.convergence",
+    "campaign.round",
     "study.point",
     "injection.trace",
     "watchdog.fired",
@@ -57,6 +59,11 @@ struct RunData {
     counters: BTreeMap<String, u64>,
     gauges: BTreeMap<String, f64>,
     histograms: BTreeMap<String, Json>,
+    /// `campaign.round` events, in emission order.
+    rounds: Vec<Json>,
+    /// The *last* `campaign.convergence` event carrying a `strata`
+    /// array, per campaign key — the final per-stratum state.
+    strata_finals: Vec<Json>,
     /// Lines whose event name is in [`KNOWN_EVENTS`].
     recognized: usize,
 }
@@ -153,6 +160,22 @@ fn parse_lines(text: &str) -> Result<RunData, String> {
         match event {
             "run.meta" => data.meta = Some(obj),
             "campaign.done" => data.campaigns.push(obj),
+            "campaign.round" => data.rounds.push(obj),
+            "campaign.convergence" if obj.get("strata").is_some() => {
+                let key = |o: &Json| {
+                    ["workload", "device", "structure", "fault_kind"].map(|k| {
+                        o.get(k)
+                            .and_then(Json::as_str)
+                            .unwrap_or_default()
+                            .to_string()
+                    })
+                };
+                let k = key(&obj);
+                match data.strata_finals.iter_mut().find(|o| key(o) == k) {
+                    Some(slot) => *slot = obj,
+                    None => data.strata_finals.push(obj),
+                }
+            }
             "study.point" => data.points.push(obj),
             "counter" => {
                 if let (Some(name), Some(value)) = (
@@ -599,6 +622,87 @@ fn render_body(data: &RunData, w: &mut impl Write) -> fmt::Result {
         writeln!(w)?;
     }
 
+    // -- Sampling ------------------------------------------------------
+    if !data.rounds.is_empty() {
+        writeln!(w, "## Sampling")?;
+        writeln!(w)?;
+        writeln!(
+            w,
+            "Adaptive stratified campaigns: each row is one campaign's \
+             final allocation round (round 0 is the pilot)."
+        )?;
+        writeln!(w)?;
+        writeln!(
+            w,
+            "| workload | device | structure | rounds | sampled | replayed | margin | target | converged |"
+        )?;
+        writeln!(w, "|---|---|---|---:|---:|---:|---:|---:|---|")?;
+        // The last round per campaign key carries the totals.
+        let key = |o: &Json| {
+            ["workload", "device", "structure", "fault_kind"].map(|k| {
+                o.get(k)
+                    .and_then(Json::as_str)
+                    .unwrap_or_default()
+                    .to_string()
+            })
+        };
+        let mut finals: Vec<&Json> = Vec::new();
+        for r in &data.rounds {
+            let k = key(r);
+            match finals.iter_mut().find(|o| key(o) == k) {
+                Some(slot) => *slot = r,
+                None => finals.push(r),
+            }
+        }
+        for r in finals {
+            let s = |k: &str| r.get(k).and_then(Json::as_str).unwrap_or("?").to_string();
+            let u = |k: &str| r.get(k).and_then(Json::as_u64).unwrap_or(0);
+            let f = |k: &str| r.get(k).and_then(Json::as_f64).unwrap_or(0.0);
+            writeln!(
+                w,
+                "| {} | {} | {} | {} | {} | {} | {:.2}% | {:.2}% | {} |",
+                s("workload"),
+                s("device"),
+                s("structure"),
+                u("round") + 1,
+                u("sampled"),
+                u("replayed"),
+                f("margin") * 100.0,
+                f("target_margin") * 100.0,
+                if matches!(r.get("converged"), Some(Json::Bool(true))) {
+                    "yes"
+                } else {
+                    "no"
+                },
+            )?;
+        }
+        writeln!(w)?;
+        for c in &data.strata_finals {
+            let s = |k: &str| c.get(k).and_then(Json::as_str).unwrap_or("?").to_string();
+            writeln!(
+                w,
+                "### Strata: {} / {} / {}",
+                s("workload"),
+                s("device"),
+                s("structure")
+            )?;
+            writeln!(w)?;
+            writeln!(w, "| stratum | seen | planned | progress |")?;
+            writeln!(w, "|---|---:|---:|---:|")?;
+            for st in c.get("strata").and_then(Json::as_arr).unwrap_or(&[]) {
+                let label = st.get("label").and_then(Json::as_str).unwrap_or("?");
+                let seen = st.get("seen").and_then(Json::as_u64).unwrap_or(0);
+                let planned = st.get("planned").and_then(Json::as_u64).unwrap_or(0);
+                writeln!(
+                    w,
+                    "| {label} | {seen} | {planned} | {:.0}% |",
+                    ratio(seen as f64, planned as f64) * 100.0
+                )?;
+            }
+            writeln!(w)?;
+        }
+    }
+
     // -- Checkpoint savings --------------------------------------------
     let replayed = counter_sum(data, "campaign_cycles_replayed_total");
     let saved = counter_sum(data, "campaign_cycles_saved_total");
@@ -942,6 +1046,44 @@ mod tests {
             r#"{"event":"counter","name":"provenance_taint_words_total","value":36}"#,
         ]
         .join("\n")
+    }
+
+    fn sampling_sample() -> String {
+        [
+            sample().as_str(),
+            r#"{"event":"campaign.round","t_ms":5,"workload":"vectoradd","device":"GTX 480","structure":"register file","fault_kind":"transient","round":0,"sampled":64,"replayed":64,"avf":0.05,"margin":0.031,"target_margin":0.0288,"converged":false}"#,
+            r#"{"event":"campaign.round","t_ms":6,"workload":"vectoradd","device":"GTX 480","structure":"register file","fault_kind":"transient","round":1,"sampled":92,"replayed":92,"avf":0.048,"margin":0.021,"target_margin":0.0288,"converged":true}"#,
+            r#"{"event":"campaign.convergence","t_ms":6,"workload":"vectoradd","device":"GTX 480","structure":"register file","fault_kind":"transient","seen":92,"planned":92,"masked":80,"sdc":8,"due":3,"hang":1,"avf":0.048,"margin99":0.021,"lo":0.027,"hi":0.069,"target_margin":0.0288,"projected_total":92,"projected_remaining":0,"converged":true,"strata":[{"label":"live/c0/b0","seen":12,"planned":12},{"label":"dead","seen":8,"planned":8}]}"#,
+        ]
+        .join("\n")
+    }
+
+    #[test]
+    fn renders_sampling_section() {
+        let md = render_run_report(&sampling_sample()).unwrap();
+        assert!(md.contains("## Sampling"), "{md}");
+        // The table row carries the *last* round's totals.
+        assert!(
+            md.contains(
+                "| vectoradd | GTX 480 | register file | 2 | 92 | 92 | 2.10% | 2.88% | yes |"
+            ),
+            "{md}"
+        );
+        assert!(
+            md.contains("### Strata: vectoradd / GTX 480 / register file"),
+            "{md}"
+        );
+        assert!(md.contains("| live/c0/b0 | 12 | 12 | 100% |"), "{md}");
+        assert!(md.contains("| dead | 8 | 8 | 100% |"), "{md}");
+    }
+
+    #[test]
+    fn sampling_section_absent_without_round_events() {
+        let md = render_run_report(&sample()).unwrap();
+        assert!(
+            !md.contains("## Sampling"),
+            "fixed-size campaigns emit no rounds, so no Sampling section:\n{md}"
+        );
     }
 
     #[test]

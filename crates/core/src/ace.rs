@@ -451,6 +451,112 @@ impl OracleTracker {
             .map(|&(lo, hi)| (hi - lo + 1) * 32)
             .sum()
     }
+
+    fn live_word_cycles_in(&self, word_lo: u32, word_hi: u32, cycle_lo: u64, cycle_hi: u64) -> u64 {
+        if cycle_hi <= cycle_lo {
+            return 0;
+        }
+        let words = self.words_per_sm as usize;
+        let mut total = 0u64;
+        for (i, list) in self.intervals.iter().enumerate() {
+            let word = (i % words) as u32;
+            if word < word_lo || word >= word_hi {
+                continue;
+            }
+            for &(lo, hi) in list {
+                // Intervals are stored inclusive; the query window is
+                // half-open, so clip its upper edge back by one.
+                let lo = lo.max(cycle_lo);
+                let hi = hi.min(cycle_hi - 1);
+                if lo <= hi {
+                    total += hi - lo + 1;
+                }
+            }
+        }
+        total
+    }
+
+    fn segments_in(
+        &self,
+        word_lo: u32,
+        word_hi: u32,
+        cycle_lo: u64,
+        cycle_hi: u64,
+        live: bool,
+    ) -> Vec<WordCycleSegment> {
+        let mut out = Vec::new();
+        if cycle_hi <= cycle_lo {
+            return out;
+        }
+        let words = self.words_per_sm as usize;
+        for (i, list) in self.intervals.iter().enumerate() {
+            let word = (i % words) as u32;
+            if word < word_lo || word >= word_hi {
+                continue;
+            }
+            let sm = (i / words) as u32;
+            if live {
+                for &(lo, hi) in list {
+                    let lo = lo.max(cycle_lo);
+                    let hi = hi.min(cycle_hi - 1);
+                    if lo <= hi {
+                        out.push(WordCycleSegment { sm, word, lo, hi });
+                    }
+                }
+            } else {
+                // The complement: gaps between the (sorted, disjoint)
+                // live intervals within the window.
+                let mut next = cycle_lo;
+                for &(lo, hi) in list {
+                    let lo = lo.max(cycle_lo);
+                    let hi = hi.min(cycle_hi - 1);
+                    if lo > hi {
+                        continue;
+                    }
+                    if lo > next {
+                        out.push(WordCycleSegment {
+                            sm,
+                            word,
+                            lo: next,
+                            hi: lo - 1,
+                        });
+                    }
+                    next = hi + 1;
+                }
+                if next < cycle_hi {
+                    out.push(WordCycleSegment {
+                        sm,
+                        word,
+                        lo: next,
+                        hi: cycle_hi - 1,
+                    });
+                }
+            }
+        }
+        out
+    }
+}
+
+/// A run of consecutive cycles (`lo..=hi`, inclusive) of one physical
+/// word that is uniformly live or uniformly dead — the unit the
+/// adaptive sampler's rank→site mapping bisects over.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) struct WordCycleSegment {
+    /// SM index.
+    pub(crate) sm: u32,
+    /// Word index within the SM.
+    pub(crate) word: u32,
+    /// First cycle of the run.
+    pub(crate) lo: u64,
+    /// Last cycle of the run (inclusive).
+    pub(crate) hi: u64,
+}
+
+impl WordCycleSegment {
+    /// Number of `(word, cycle)` sites in the run.
+    pub(crate) fn len(&self) -> u64 {
+        self.hi - self.lo + 1
+    }
 }
 
 /// A per-word live-interval map distilled from one instrumented golden
@@ -547,6 +653,46 @@ impl LifetimeOracle {
     /// independent implementations of the same lifetime rule.
     pub fn live_bit_cycles(&self, s: Structure) -> u64 {
         self.tracker(s).live_bit_cycles()
+    }
+
+    /// Live word-cycles of `s` restricted to words `[word_lo, word_hi)`
+    /// and cycles `[cycle_lo, cycle_hi)`, summed across every SM: the
+    /// exact count of `(sm, word, cycle)` triples inside the window
+    /// whose word is live at that cycle. This is the stratum-weight
+    /// primitive of the adaptive sampler (`crate::sampling`) — a
+    /// stratum's live population is this count times its bit width —
+    /// and a pure function of the captured intervals, so stratum
+    /// weights inherit the oracle's determinism.
+    pub fn live_word_cycles_in(
+        &self,
+        s: Structure,
+        word_lo: u32,
+        word_hi: u32,
+        cycle_lo: u64,
+        cycle_hi: u64,
+    ) -> u64 {
+        self.tracker(s)
+            .live_word_cycles_in(word_lo, word_hi, cycle_lo, cycle_hi)
+    }
+
+    /// Explicit segment list behind [`LifetimeOracle::live_word_cycles_in`]:
+    /// every maximal live (`live = true`) or dead (`live = false`) cycle
+    /// run of every word in the window, across all SMs. The adaptive
+    /// sampler bisects the cumulative lengths of this list to map a
+    /// stratum-local rank to a concrete `(sm, word, cycle)` — which is
+    /// what lets it draw from a rare stratum directly instead of
+    /// rejection-scanning the full site population.
+    pub(crate) fn segments_in(
+        &self,
+        s: Structure,
+        word_lo: u32,
+        word_hi: u32,
+        cycle_lo: u64,
+        cycle_hi: u64,
+        live: bool,
+    ) -> Vec<WordCycleSegment> {
+        self.tracker(s)
+            .segments_in(word_lo, word_hi, cycle_lo, cycle_hi, live)
     }
 }
 

@@ -494,10 +494,13 @@ pub(crate) fn campaign_margin(population: u64, trials: u64) -> f64 {
 /// Exposed for reproducibility tooling: the sites depend only on the
 /// arguments, never on threading.
 ///
+/// A request larger than the population saturates to the full
+/// population — the result is then a permutation of every site exactly
+/// once (an exhaustive campaign), never a panic and never a duplicate.
+///
 /// # Panics
 ///
-/// Panics if the device lacks the structure, if `cycles` is zero, or if
-/// `n` exceeds the population (no set of `n` distinct sites exists).
+/// Panics if the device lacks the structure or if `cycles` is zero.
 pub fn sample_sites(
     arch: &ArchConfig,
     structure: Structure,
@@ -505,43 +508,86 @@ pub fn sample_sites(
     n: u32,
     seed: u64,
 ) -> Vec<FaultSite> {
-    let words = match structure {
-        Structure::VectorRegisterFile => arch.rf_words_per_sm(),
-        Structure::LocalMemory => arch.lds_words_per_sm(),
-        Structure::ScalarRegisterFile => arch.srf_words_per_sm(),
-    };
+    let words = structure_words(arch, structure);
     assert!(words > 0, "device has no {structure}");
     assert!(cycles > 0, "cannot sample an empty execution");
     let population = arch.num_sms as u128 * words as u128 * 32 * cycles as u128;
-    assert!(
-        n as u128 <= population,
-        "cannot draw {n} distinct sites from a population of {population}"
-    );
     sample_flat(population, n, seed, |pick| {
         decode_site(structure, words, cycles, pick)
     })
 }
 
-/// Draws `n` distinct flat indices from `[0, population)` with a
-/// seed-stable partial Fisher–Yates shuffle and decodes each into a
-/// site. Only the displaced prefix entries are materialised in a map:
-/// the k-th draw swaps a uniform index from `[k, population)` into slot
-/// k, so the first `n` slots are a uniform n-permutation of distinct
-/// sites — exactly `n` draws, O(n) time and memory for any `n`.
+/// Storage word count of `structure` on one SM of `arch`.
+pub(crate) fn structure_words(arch: &ArchConfig, structure: Structure) -> u32 {
+    match structure {
+        Structure::VectorRegisterFile => arch.rf_words_per_sm(),
+        Structure::LocalMemory => arch.lds_words_per_sm(),
+        Structure::ScalarRegisterFile => arch.srf_words_per_sm(),
+    }
+}
+
+/// An incremental seed-stable partial Fisher–Yates shuffle over a flat
+/// index space: each [`FlatStream::next_index`] call extends the same
+/// uniform permutation [`sample_flat`] draws, one distinct index at a
+/// time, so a consumer can keep drawing until *its own* stopping rule
+/// fires (the adaptive sampler) while remaining bit-compatible with the
+/// fixed-`n` samplers (the first `n` indices of the stream are exactly
+/// the indices `sample_flat(population, n, seed, …)` decodes).
+///
+/// Only the displaced prefix entries are materialised in a map: the
+/// k-th draw swaps a uniform index from `[k, population)` into slot k,
+/// so the first k slots are a uniform k-permutation of distinct
+/// indices — O(1) amortised time and O(drawn) memory.
+pub(crate) struct FlatStream {
+    rng: StdRng,
+    displaced: std::collections::HashMap<u128, u128>,
+    population: u128,
+    drawn: u128,
+}
+
+impl FlatStream {
+    /// A fresh stream over `[0, population)`.
+    pub(crate) fn new(population: u128, seed: u64) -> Self {
+        FlatStream {
+            rng: StdRng::seed_from_u64(seed),
+            displaced: std::collections::HashMap::new(),
+            population,
+            drawn: 0,
+        }
+    }
+
+    /// The next distinct index of the permutation, or `None` once every
+    /// member of the population has been drawn.
+    pub(crate) fn next_index(&mut self) -> Option<u128> {
+        if self.drawn >= self.population {
+            return None;
+        }
+        let k = self.drawn;
+        let j = self.rng.gen_range(k..self.population);
+        let pick = self.displaced.get(&j).copied().unwrap_or(j);
+        let at_k = self.displaced.get(&k).copied().unwrap_or(k);
+        self.displaced.insert(j, at_k);
+        self.drawn += 1;
+        Some(pick)
+    }
+}
+
+/// Draws `min(n, population)` distinct flat indices from
+/// `[0, population)` via [`FlatStream`] and decodes each into a site.
+/// Saturates rather than panics when `n` exceeds the population: no set
+/// of more than `population` distinct sites exists, so the caller gets
+/// the exhaustive permutation instead.
 fn sample_flat(
     population: u128,
     n: u32,
     seed: u64,
     decode: impl Fn(u128) -> FaultSite,
 ) -> Vec<FaultSite> {
-    let mut rng = StdRng::seed_from_u64(seed);
-    let mut displaced = std::collections::HashMap::with_capacity(n as usize);
-    let mut sites = Vec::with_capacity(n as usize);
-    for k in 0..n as u128 {
-        let j = rng.gen_range(k..population);
-        let pick = displaced.get(&j).copied().unwrap_or(j);
-        let at_k = displaced.get(&k).copied().unwrap_or(k);
-        displaced.insert(j, at_k);
+    let n = (n as u128).min(population) as usize;
+    let mut stream = FlatStream::new(population, seed);
+    let mut sites = Vec::with_capacity(n);
+    while sites.len() < n {
+        let pick = stream.next_index().expect("n is clamped to the population");
         sites.push(decode(pick));
     }
     sites
@@ -565,6 +611,9 @@ fn sample_flat(
 ///   scheduler state, not storage); their `word` field is the warp/block
 ///   slot index.
 ///
+/// Oversampling saturates exactly like [`sample_sites`]: a request
+/// beyond the model's population returns the exhaustive permutation.
+///
 /// # Panics
 ///
 /// Same conditions as [`sample_sites`]; the control population
@@ -587,10 +636,6 @@ pub fn sample_model_sites(
             assert!(slots > 0, "device has no warp slots");
             assert!(cycles > 0, "cannot sample an empty execution");
             let population = arch.num_sms as u128 * slots as u128 * 4 * 32 * cycles as u128;
-            assert!(
-                n as u128 <= population,
-                "cannot draw {n} distinct sites from a population of {population}"
-            );
             sample_flat(population, n, seed, |pick| {
                 decode_control_site(structure, slots, cycles, pick)
             })
@@ -601,7 +646,12 @@ pub fn sample_model_sites(
 /// Maps a flat index in `[0, sms · words · 32 · cycles)` back to the
 /// fault site it names, inverting `((sm · words + word) · 32 + bit) ·
 /// cycles + cycle`.
-fn decode_site(structure: Structure, words: u32, cycles: u64, mut idx: u128) -> FaultSite {
+pub(crate) fn decode_site(
+    structure: Structure,
+    words: u32,
+    cycles: u64,
+    mut idx: u128,
+) -> FaultSite {
     let cycle = (idx % cycles as u128) as u64;
     idx /= cycles as u128;
     let bit = (idx % 32) as u8;
@@ -650,7 +700,12 @@ pub fn campaign_population(
 /// Maps a flat index in `[0, sms · slots · 4 · 32 · cycles)` back to the
 /// control-fault site it names, inverting
 /// `(((sm · slots + slot) · 4 + target) · 32 + bit) · cycles + cycle`.
-fn decode_control_site(structure: Structure, slots: u32, cycles: u64, mut idx: u128) -> FaultSite {
+pub(crate) fn decode_control_site(
+    structure: Structure,
+    slots: u32,
+    cycles: u64,
+    mut idx: u128,
+) -> FaultSite {
     let cycle = (idx % cycles as u128) as u64;
     idx /= cycles as u128;
     let bit = (idx % 32) as u8;
@@ -2170,11 +2225,18 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "distinct sites")]
-    fn sampling_more_than_the_population_panics() {
+    fn oversampling_saturates_to_the_full_population() {
         let mut arch = quadro_fx_5600();
         arch.num_sms = 1;
         arch.regfile_bytes_per_sm = 4; // one word: population = 32 * cycles
-        let _ = sample_sites(&arch, Structure::VectorRegisterFile, 1, 33, 0);
+        let sites = sample_sites(&arch, Structure::VectorRegisterFile, 2, 1000, 0);
+        assert_eq!(sites.len(), 64, "request above the population saturates");
+        let mut seen: Vec<_> = sites
+            .iter()
+            .map(|s| (s.sm, s.word, s.bit, s.cycle))
+            .collect();
+        seen.sort_unstable();
+        seen.dedup();
+        assert_eq!(seen.len(), 64, "saturated draw is exhaustive and distinct");
     }
 }

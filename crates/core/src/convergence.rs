@@ -25,7 +25,7 @@
 
 use crate::campaign::{structure_label, Outcome, Tally};
 use crate::stats::{required_sample_size, Proportion, Z_99};
-use grel_telemetry::{Event, TelemetryHook};
+use grel_telemetry::{Event, Json, TelemetryHook};
 use simt_sim::{FaultModelKind, Structure};
 
 /// The paper's target margin: ±2.88 % at 99 % confidence, the precision
@@ -62,6 +62,23 @@ pub struct ConvergenceSnapshot {
     pub projected_remaining: u64,
     /// Whether the current margin is already at or below the target.
     pub converged: bool,
+}
+
+/// One stratum's progress towards its allocation, carried in
+/// `campaign.convergence` events when the adaptive sampler drives the
+/// campaign (see [`crate::sampling`]). Uniform campaigns have no
+/// strata, and their event bodies stay byte-identical to the
+/// pre-stratification format — the `strata` field is only present when
+/// progress has been registered via
+/// [`ConvergenceMonitor::set_strata`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StratumProgress {
+    /// Stratum label (e.g. `live/c1/b0` or `dead`).
+    pub label: String,
+    /// Sites sampled from the stratum so far (pruned sites included).
+    pub seen: u64,
+    /// The allocation target the current round plans for the stratum.
+    pub planned: u64,
 }
 
 /// Folds merged injection outcomes into running per-outcome tallies and
@@ -106,6 +123,7 @@ pub struct ConvergenceMonitor {
     target: f64,
     tally: Tally,
     emitted_at: u64,
+    strata: Vec<StratumProgress>,
 }
 
 impl ConvergenceMonitor {
@@ -139,6 +157,7 @@ impl ConvergenceMonitor {
             target: DEFAULT_TARGET_MARGIN,
             tally: Tally::default(),
             emitted_at: 0,
+            strata: Vec::new(),
         }
     }
 
@@ -155,6 +174,33 @@ impl ConvergenceMonitor {
         );
         self.target = target;
         self
+    }
+
+    /// Replaces the planned-injection total. An adaptive campaign does
+    /// not know its final sample size up front — the allocation grows
+    /// round by round — so the engine updates the plan before each
+    /// emission instead of pinning it at construction.
+    pub fn set_planned(&mut self, planned: u64) {
+        self.planned = planned;
+    }
+
+    /// Registers per-stratum seen/planned progress to be carried in
+    /// every subsequent `campaign.convergence` event (as a `strata`
+    /// JSON array). An empty vector removes the field again; uniform
+    /// campaigns never call this, so their events keep the exact
+    /// pre-stratification byte layout.
+    pub fn set_strata(&mut self, strata: Vec<StratumProgress>) {
+        self.strata = strata;
+    }
+
+    /// Emits a `campaign.convergence` event immediately, regardless of
+    /// the cadence — the adaptive engine calls this at every round
+    /// boundary. A no-op before the first fold (no trials, no
+    /// estimate).
+    pub fn emit_now<H: TelemetryHook>(&mut self, hook: &H) {
+        if self.tally.total() > 0 {
+            self.emit(hook);
+        }
     }
 
     /// Folds one merged outcome; emits a `campaign.convergence` event
@@ -206,6 +252,20 @@ impl ConvergenceMonitor {
             .snapshot()
             .expect("emit is only reached after a fold, so a snapshot exists");
         self.emitted_at = snap.seen;
+        let strata = (!self.strata.is_empty()).then(|| {
+            Json::Arr(
+                self.strata
+                    .iter()
+                    .map(|s| {
+                        Json::Obj(vec![
+                            ("label".to_string(), Json::from(s.label.as_str())),
+                            ("seen".to_string(), Json::from(s.seen)),
+                            ("planned".to_string(), Json::from(s.planned)),
+                        ])
+                    })
+                    .collect(),
+            )
+        });
         hook.event(
             &Event::new("campaign.convergence")
                 .field("workload", self.workload.as_str())
@@ -225,7 +285,8 @@ impl ConvergenceMonitor {
                 .field("target_margin", snap.target_margin)
                 .field("projected_total", snap.projected_total)
                 .field("projected_remaining", snap.projected_remaining)
-                .field("converged", snap.converged),
+                .field("converged", snap.converged)
+                .field_opt("strata", strata),
         );
     }
 }
@@ -338,6 +399,55 @@ mod tests {
         let a = fold(&mut monitor(1 << 30, 5, 2), &outcomes);
         let b = fold(&mut monitor(1 << 30, 5, 2), &outcomes);
         assert_eq!(a, b, "identical streams must serialize identically");
+    }
+
+    #[test]
+    fn strata_field_absent_by_default_present_when_registered() {
+        let plain = fold(&mut monitor(1 << 40, 2, 2), &[Outcome::Masked; 2]);
+        assert_eq!(plain.len(), 1);
+        assert!(!plain[0].contains("strata"), "{}", plain[0]);
+
+        let mut mon = monitor(1 << 40, 2, 2);
+        mon.set_planned(9);
+        mon.set_strata(vec![
+            StratumProgress {
+                label: "live/c0/b0".into(),
+                seen: 1,
+                planned: 8,
+            },
+            StratumProgress {
+                label: "dead".into(),
+                seen: 1,
+                planned: 1,
+            },
+        ]);
+        let events = fold(&mut mon, &[Outcome::Masked; 2]);
+        assert_eq!(events.len(), 1);
+        let j = grel_telemetry::Json::parse(&events[0]).unwrap();
+        assert_eq!(j.get("planned").and_then(Json::as_u64), Some(9));
+        let strata = j.get("strata").and_then(Json::as_arr).expect("strata");
+        assert_eq!(strata.len(), 2);
+        assert_eq!(
+            strata[0].get("label").and_then(Json::as_str),
+            Some("live/c0/b0")
+        );
+        assert_eq!(strata[0].get("seen").and_then(Json::as_u64), Some(1));
+        assert_eq!(strata[0].get("planned").and_then(Json::as_u64), Some(8));
+        assert_eq!(strata[1].get("label").and_then(Json::as_str), Some("dead"));
+    }
+
+    #[test]
+    fn emit_now_forces_an_off_cadence_event() {
+        let mut mon = monitor(1 << 40, 10, 1000);
+        let reg = MetricsRegistry::new();
+        let sink = MemorySink::new();
+        let hook = RegistryHook::with_sink(&reg, &sink);
+        mon.emit_now(&hook);
+        assert!(sink.events().is_empty(), "nothing folded, nothing emitted");
+        mon.observe(Outcome::Sdc, &hook);
+        mon.emit_now(&hook);
+        assert_eq!(sink.events().len(), 1);
+        assert_eq!(sink.events()[0].get("seen").and_then(Json::as_u64), Some(1));
     }
 
     #[test]

@@ -25,7 +25,12 @@
 //! * [`convergence`] — **streaming convergence monitoring**: running
 //!   finite-population intervals and injections-to-target-margin
 //!   projections emitted as `campaign.convergence` events while a
-//!   campaign is still in flight.
+//!   campaign is still in flight;
+//! * [`sampling`] — **adaptive stratified sampling**: partition the
+//!   site space into oracle-liveness / cycle-quartile / bit-half
+//!   strata, pilot each, Neyman-allocate the rest in rounds, and stop
+//!   at a caller-chosen post-stratified margin instead of a fixed
+//!   injection count.
 //!
 //! ## Example: one campaign
 //!
@@ -60,6 +65,7 @@ pub mod perf;
 pub mod protection;
 pub mod provenance;
 pub mod runner;
+pub mod sampling;
 pub mod stats;
 pub mod study;
 
@@ -74,13 +80,19 @@ pub use campaign::{
     run_campaign_with_oracle_hooked, run_injections, run_injections_checkpointed, CampaignConfig,
     CampaignResult, CheckpointLadder, GoldenRun, Outcome, Tally,
 };
-pub use convergence::{ConvergenceMonitor, ConvergenceSnapshot, DEFAULT_TARGET_MARGIN};
+pub use convergence::{
+    ConvergenceMonitor, ConvergenceSnapshot, StratumProgress, DEFAULT_TARGET_MARGIN,
+};
 pub use epf::{eit, epf, structure_bits, structure_fit, FitBreakdown};
 pub use perf::{profile, PerfProfile};
 pub use protection::{project, protection_sweep, ProtectedPoint, Protection};
 pub use provenance::{
     golden_write_log, parse_site, run_campaign_with_provenance_hooked, trace_one, CellStat,
     MaskingReason, Provenance, ProvenanceAggregate, SingleTrace, RF_REGIONS,
+};
+pub use sampling::{
+    run_adaptive_campaign, run_adaptive_campaign_hooked, AdaptiveCampaign, RoundPlan, SamplingPlan,
+    StrataSpec, StratumSnapshot,
 };
 pub use study::{
     evaluate_point, evaluate_point_hooked, run_study, run_study_hooked, run_study_parallel,

@@ -177,6 +177,55 @@ impl Proportion {
             (self.value + self.margin_99).min(1.0),
         )
     }
+
+    /// The Wilson score interval at confidence `z`, with the same
+    /// finite-population correction as [`interval`](Self::interval).
+    ///
+    /// Unlike the normal approximation, the Wilson interval stays
+    /// honest at the extremes the adaptive sampler lives in — a stratum
+    /// with 0 failures out of 20 pilots gets a strictly positive upper
+    /// bound instead of a degenerate `[0, 0]` — which is what makes it
+    /// usable as a per-stratum standard-deviation floor for Neyman
+    /// allocation. Both bounds are inside `[0, 1]` by construction, the
+    /// interval is nested in `z` (a larger z only widens it), and it
+    /// converges to the normal-approximation interval as trials grow.
+    ///
+    /// The finite-population correction enters as an effective sample
+    /// size `n / fpc²` (`fpc² = (N - n)/(N - 1)`), which preserves the
+    /// exact-score nesting property; an exhaustive campaign
+    /// (`trials >= population`) degenerates to the point estimate.
+    ///
+    /// # Example
+    /// ```
+    /// use grel_core::stats::{Proportion, Z_99};
+    /// let p = Proportion::new(0, 20, u64::MAX);
+    /// let (lo, hi) = p.wilson(Z_99);
+    /// assert_eq!(lo, 0.0);
+    /// assert!(hi > 0.0, "zero failures still leave upside uncertainty");
+    /// ```
+    pub fn wilson(&self, z: f64) -> (f64, f64) {
+        if self.trials >= self.population {
+            return (self.value, self.value);
+        }
+        let n = self.trials as f64;
+        let pop = self.population as f64;
+        // fpc² = (N-n)/(N-1); dividing n by it inflates the effective
+        // sample size, shrinking the score interval the same way the
+        // fpc shrinks the normal margin.
+        let fpc2 = (pop - n) / (pop - 1.0);
+        let n_eff = n / fpc2;
+        let p = self.value;
+        let z2 = z * z;
+        let denom = 1.0 + z2 / n_eff;
+        let center = (p + z2 / (2.0 * n_eff)) / denom;
+        let halfwidth = z / denom * (p * (1.0 - p) / n_eff + z2 / (4.0 * n_eff * n_eff)).sqrt();
+        // The Wilson interval provably contains the point estimate;
+        // snap the bounds to it so floating-point rounding can never
+        // leave `p̂` a few ulps outside (0 failures must give lo == 0).
+        let lo = (center - halfwidth).max(0.0).min(self.value);
+        let hi = (center + halfwidth).min(1.0).max(self.value);
+        (lo, hi)
+    }
 }
 
 /// Pearson correlation coefficient of two equal-length samples (used for
@@ -283,6 +332,54 @@ mod tests {
         assert_eq!(p.margin(Z_99), 0.0);
         assert_eq!(p.interval(Z_90), (p.value, p.value));
         assert_eq!(p.interval(Z_99), (p.value, p.value));
+    }
+
+    #[test]
+    fn wilson_brackets_the_estimate_and_stays_in_unit_range() {
+        for &(hits, trials) in &[(0u64, 20u64), (1, 20), (10, 20), (20, 20), (140, 2000)] {
+            let p = Proportion::new(hits, trials, 1u64 << 40);
+            let (lo, hi) = p.wilson(Z_99);
+            assert!((0.0..=1.0).contains(&lo), "{hits}/{trials}: lo = {lo}");
+            assert!((0.0..=1.0).contains(&hi), "{hits}/{trials}: hi = {hi}");
+            assert!(lo <= p.value && p.value <= hi, "{hits}/{trials}");
+        }
+    }
+
+    #[test]
+    fn wilson_zero_failures_keep_positive_upper_bound() {
+        let p = Proportion::new(0, 32, 1u64 << 40);
+        let (lo, hi) = p.wilson(Z_99);
+        assert_eq!(lo, 0.0);
+        assert!(hi > 0.0 && hi < 0.25, "hi = {hi}");
+    }
+
+    #[test]
+    fn wilson_is_nested_in_z() {
+        let p = Proportion::new(7, 50, 1u64 << 40);
+        let (lo95, hi95) = p.wilson(Z_95);
+        let (lo99, hi99) = p.wilson(Z_99);
+        assert!(lo99 <= lo95 && hi95 <= hi99);
+    }
+
+    #[test]
+    fn wilson_converges_to_normal_interval() {
+        // Wald and Wilson differ by O(z²/n); at n = 200,000 the gap
+        // must be far inside the z²/n envelope.
+        let trials = 200_000;
+        let p = Proportion::new(trials / 10, trials, u64::MAX);
+        let (wlo, whi) = p.wilson(Z_99);
+        let m = Z_99 * (p.value * (1.0 - p.value) / trials as f64).sqrt();
+        let (nlo, nhi) = (p.value - m, p.value + m);
+        let tol = 1.5 * Z_99 * Z_99 / trials as f64;
+        assert!((wlo - nlo).abs() < tol, "lo gap {}", (wlo - nlo).abs());
+        assert!((whi - nhi).abs() < tol, "hi gap {}", (whi - nhi).abs());
+    }
+
+    #[test]
+    fn wilson_exhaustive_degenerates_to_point() {
+        let p = Proportion::new(3, 10, 10);
+        assert_eq!(p.wilson(Z_90), (p.value, p.value));
+        assert_eq!(p.wilson(Z_99), (p.value, p.value));
     }
 
     #[test]

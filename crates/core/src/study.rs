@@ -6,6 +6,7 @@ use crate::campaign::{
     run_campaign_with_oracle_hooked, CampaignConfig, CheckpointLadder, Tally, PHASE_GOLDEN,
 };
 use crate::epf::{eit, epf, FitBreakdown};
+use crate::sampling::{run_adaptive_with_context, SamplingPlan};
 use crate::stats::pearson;
 use gpu_workloads::Workload;
 use grel_telemetry::{Event, NoopHook, SpanRecord, TelemetryHook};
@@ -76,6 +77,14 @@ pub struct StudyConfig {
     /// conservative default).
     #[serde(skip)]
     pub ace_mode: AceMode,
+    /// Adaptive stratified sampling plan. Disabled by default
+    /// (`target_margin == 0`), in which case campaigns run the classic
+    /// fixed-`injections` uniform path byte-for-byte. When enabled, each
+    /// FI campaign stops at the plan's target margin instead of
+    /// `campaign.injections`. Ignored when `provenance` is on (the
+    /// flight recorder traces a fixed uniform sample).
+    #[serde(skip)]
+    pub sampling: SamplingPlan,
 }
 
 impl StudyConfig {
@@ -87,6 +96,7 @@ impl StudyConfig {
             fi_on_unused_lds: false,
             provenance: false,
             ace_mode: AceMode::default(),
+            sampling: SamplingPlan::default(),
         }
     }
 
@@ -98,23 +108,51 @@ impl StudyConfig {
             fi_on_unused_lds: false,
             provenance: false,
             ace_mode: AceMode::default(),
+            sampling: SamplingPlan::default(),
         }
     }
 }
 
-fn structure_eval(
-    fi: Option<&crate::campaign::CampaignResult>,
-    ace: &AceAnalyzer,
-    s: Structure,
-) -> StructureEval {
+/// The FI measurements [`structure_eval`] consumes, shared between the
+/// uniform campaign result and the adaptive engine's.
+struct FiMeasure {
+    avf: f64,
+    avf_sdc: f64,
+    margin: f64,
+    tally: Tally,
+}
+
+impl From<&crate::campaign::CampaignResult> for FiMeasure {
+    fn from(r: &crate::campaign::CampaignResult) -> Self {
+        FiMeasure {
+            avf: r.avf(),
+            avf_sdc: r.avf_sdc(),
+            margin: r.margin_99,
+            tally: r.tally,
+        }
+    }
+}
+
+impl From<&crate::sampling::AdaptiveCampaign> for FiMeasure {
+    fn from(r: &crate::sampling::AdaptiveCampaign) -> Self {
+        FiMeasure {
+            avf: r.avf,
+            avf_sdc: r.avf_sdc,
+            margin: r.margin,
+            tally: r.tally,
+        }
+    }
+}
+
+fn structure_eval(fi: Option<&FiMeasure>, ace: &AceAnalyzer, s: Structure) -> StructureEval {
     let rep = ace.report(s);
     match fi {
         Some(r) => StructureEval {
-            avf_fi: r.avf(),
-            avf_sdc: r.avf_sdc(),
+            avf_fi: r.avf,
+            avf_sdc: r.avf_sdc,
             avf_ace: rep.avf_ace,
             occupancy: rep.occupancy,
-            margin_99: r.margin_99,
+            margin_99: r.margin,
             tally: r.tally,
         },
         None => StructureEval {
@@ -166,7 +204,12 @@ pub fn evaluate_point_hooked<H: TelemetryHook>(
     // only sound for transient flips (a stuck-at fault survives the
     // overwrite the oracle reasons about), so other models skip the
     // capture entirely.
-    let mut oracle = (cfg.campaign.prune && cfg.campaign.fault_model == FaultModelKind::Transient)
+    // The adaptive engine also wants the oracle with pruning off — its
+    // liveness stratum is defined by the oracle regardless of whether
+    // dead sites are replayed — so the capture gate widens accordingly.
+    let adaptive = cfg.sampling.enabled() && !cfg.provenance;
+    let mut oracle = ((cfg.campaign.prune || adaptive)
+        && cfg.campaign.fault_model == FaultModelKind::Transient)
         .then(|| LifetimeOracle::new(arch));
     let outputs = match oracle.as_mut() {
         Some(oracle) => workload.run(&mut gpu, &mut (&mut ace, &mut *oracle))?,
@@ -214,28 +257,48 @@ pub fn evaluate_point_hooked<H: TelemetryHook>(
         .provenance
         .then(|| crate::provenance::golden_write_log(arch, workload))
         .transpose()?;
-    let run_structure = |structure: Structure| match &golden_writes {
-        Some(writes) => crate::provenance::run_campaign_with_provenance_hooked(
+    let run_structure = |structure: Structure| -> Result<FiMeasure, SimError> {
+        if let Some(writes) = &golden_writes {
+            return crate::provenance::run_campaign_with_provenance_hooked(
+                arch,
+                workload,
+                structure,
+                cfg.campaign,
+                &golden,
+                writes,
+                &ladder,
+                hook,
+            )
+            .map(|(result, _, _)| FiMeasure::from(&result));
+        }
+        if adaptive {
+            return run_adaptive_with_context(
+                arch,
+                workload,
+                structure,
+                cfg.campaign,
+                cfg.sampling,
+                &golden,
+                &ladder,
+                oracle.as_ref(),
+                hook,
+            )
+            .map(|r| FiMeasure::from(&r));
+        }
+        // With pruning off the captured oracle (if any) serves only the
+        // adaptive path; the uniform campaign replays every site.
+        let replay_oracle = cfg.campaign.prune.then_some(()).and(oracle.as_ref());
+        run_campaign_with_oracle_hooked(
             arch,
             workload,
             structure,
             cfg.campaign,
             &golden,
-            writes,
             &ladder,
+            replay_oracle,
             hook,
         )
-        .map(|(result, _, _)| result),
-        None => run_campaign_with_oracle_hooked(
-            arch,
-            workload,
-            structure,
-            cfg.campaign,
-            &golden,
-            &ladder,
-            oracle.as_ref(),
-            hook,
-        ),
+        .map(|r| FiMeasure::from(&r))
     };
     let rf_fi = run_structure(Structure::VectorRegisterFile)?;
     let lds_fi = (workload.uses_local_memory() || cfg.fi_on_unused_lds)
@@ -247,7 +310,7 @@ pub fn evaluate_point_hooked<H: TelemetryHook>(
         (arch.srf_words_per_sm() > 0).then(|| ace.report(Structure::ScalarRegisterFile).avf_ace);
     // FIT: FI AVF for the injected structures, ACE for the scalar file
     // (the paper's Fig. 3 folds the studied structures together).
-    let lds_avf_for_fit = lds_fi.as_ref().map(|r| r.avf()).unwrap_or(lds.avf_ace);
+    let lds_avf_for_fit = lds_fi.as_ref().map(|r| r.avf).unwrap_or(lds.avf_ace);
     let fit = FitBreakdown::from_avf(arch, rf.avf_fi, lds_avf_for_fit, srf_avf_ace.unwrap_or(0.0));
     let e = eit(arch, golden.cycles);
     let point = EvalPoint {
@@ -642,6 +705,7 @@ mod tests {
             fi_on_unused_lds: false,
             provenance: false,
             ace_mode: AceMode::default(),
+            sampling: SamplingPlan::default(),
         }
     }
 

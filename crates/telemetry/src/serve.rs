@@ -500,6 +500,33 @@ mod tests {
         assert_eq!(rf.get("seen").and_then(Json::as_u64), Some(30));
     }
 
+    /// The adaptive sampler's per-stratum `strata` array rides the
+    /// `campaign.convergence` event verbatim: the board must retain it
+    /// untouched so `/convergence` serves the final per-stratum state.
+    #[test]
+    fn board_passes_strata_arrays_through_verbatim() {
+        let board = StatusBoard::new();
+        let strata = Json::Arr(vec![Json::Obj(vec![
+            ("label".to_string(), Json::from("live/c0/b0")),
+            ("seen".to_string(), Json::from(12u64)),
+            ("planned".to_string(), Json::from(16u64)),
+        ])]);
+        board.emit(
+            &Event::new("campaign.convergence")
+                .field("workload", "vectoradd")
+                .field("device", "GeForce GTX 480")
+                .field("structure", "rf")
+                .field("fault_kind", "transient")
+                .field("seen", 12u64)
+                .field("strata", strata.clone()),
+        );
+        let events = board.convergence_events();
+        assert_eq!(events.len(), 1);
+        assert_eq!(events[0].get("strata"), Some(&strata));
+        let body = board.convergence_json().to_string();
+        assert!(body.contains("live/c0/b0"), "{body}");
+    }
+
     #[test]
     fn stop_terminates_the_server() {
         let server = serve("127.0.0.1:0", observatory(0)).expect("bind");

@@ -31,6 +31,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         fi_on_unused_lds: false,
         provenance: false,
         ace_mode: Default::default(),
+        sampling: Default::default(),
     };
 
     let workloads: Vec<Box<dyn Workload>> = vec![

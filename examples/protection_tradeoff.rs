@@ -34,6 +34,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         fi_on_unused_lds: false,
         provenance: false,
         ace_mode: Default::default(),
+        sampling: Default::default(),
     };
 
     let arch = quadro_fx_5800();

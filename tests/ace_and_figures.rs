@@ -19,6 +19,7 @@ fn smoke_cfg(injections: u32) -> StudyConfig {
         fi_on_unused_lds: false,
         provenance: false,
         ace_mode: AceMode::LiveUntilOverwrite,
+        sampling: Default::default(),
     }
 }
 

@@ -130,6 +130,7 @@ fn study_is_bit_identical_at_jobs_1_2_8() {
         fi_on_unused_lds: false,
         provenance: false,
         ace_mode: Default::default(),
+        sampling: Default::default(),
     };
 
     let sequential = run_study(&archs, &workloads, &cfg).unwrap();
@@ -164,6 +165,7 @@ fn study_with_live_hooks_is_bit_identical() {
         fi_on_unused_lds: false,
         provenance: false,
         ace_mode: Default::default(),
+        sampling: Default::default(),
     };
 
     let plain = run_study(&archs, &workloads, &cfg).unwrap();

@@ -17,6 +17,7 @@ fn cfg(threads: usize) -> StudyConfig {
         fi_on_unused_lds: false,
         provenance: false,
         ace_mode: Default::default(),
+        sampling: Default::default(),
     };
     cfg.campaign.injections = 24;
     cfg.campaign.threads = threads;

@@ -148,6 +148,56 @@ proptest! {
         prop_assert_eq!(p.margin(zt as f64 / 10.0), 0.0);
         prop_assert_eq!(p.interval(zt as f64 / 10.0), (p.value, p.value));
     }
+
+    /// `Proportion::wilson(z)` always yields a well-formed interval:
+    /// inside [0, 1], bracketing the point estimate, and nested in z —
+    /// a larger confidence level can only widen it.
+    #[test]
+    fn wilson_interval_contained_bracketing_and_nested_in_z(
+        trials in 1u64..400,
+        hits_sel in any::<u64>(),
+        za in 1u64..50,
+        zb in 1u64..50,
+    ) {
+        let hits = hits_sel % (trials + 1);
+        let population = trials * 1000 + 7;
+        let p = Proportion::new(hits, trials, population);
+        let (z_lo, z_hi) = (za.min(zb) as f64 / 10.0, za.max(zb) as f64 / 10.0);
+        let (lo1, hi1) = p.wilson(z_lo);
+        let (lo2, hi2) = p.wilson(z_hi);
+        for (lo, hi) in [(lo1, hi1), (lo2, hi2)] {
+            prop_assert!((0.0..=1.0).contains(&lo), "lower bound {lo} escaped [0,1]");
+            prop_assert!((0.0..=1.0).contains(&hi), "upper bound {hi} escaped [0,1]");
+            prop_assert!(lo <= p.value && p.value <= hi, "{lo}..{hi} must bracket {}", p.value);
+        }
+        prop_assert!(lo2 <= lo1 && hi1 <= hi2, "larger z must widen: {lo1}..{hi1} vs {lo2}..{hi2}");
+    }
+
+    /// As trials grow at a fixed proportion, the Wilson interval
+    /// converges to the symmetric normal (Wald) interval — the score
+    /// correction terms vanish at rate 1/n, so at n = 10,000 the two
+    /// agree to well under a margin's worth of slack.
+    #[test]
+    fn wilson_converges_to_the_normal_interval(
+        tenths in 0u64..=10,
+        zt in 10u64..30,
+    ) {
+        let z = zt as f64 / 10.0;
+        let trials = 10_000u64;
+        let hits = trials * tenths / 10;
+        // Effectively infinite population: FPC ~ 1.
+        let p = Proportion::new(hits, trials, u64::MAX);
+        let (wlo, whi) = p.wilson(z);
+        // The Wald interval proper, p̂ ± z·sqrt(p̂(1-p̂)/n), clamped —
+        // not `interval(z)`, which uses the conservative p = ½ variance.
+        let wald = z * (p.value * (1.0 - p.value) / trials as f64).sqrt();
+        let (nlo, nhi) = ((p.value - wald).max(0.0), (p.value + wald).min(1.0));
+        // The score correction shifts each bound by at most ~z²/n
+        // (center pull plus the +z²/4 under the root).
+        let slack = (z * z + 1.0) / trials as f64 + 1e-12;
+        prop_assert!((wlo - nlo).abs() <= slack, "lower: wilson {wlo} vs normal {nlo}");
+        prop_assert!((whi - nhi).abs() <= slack, "upper: wilson {whi} vs normal {nhi}");
+    }
 }
 
 proptest! {

@@ -95,6 +95,7 @@ fn study_tallies_are_prune_invariant_at_jobs_1_2_8() {
         fi_on_unused_lds: false,
         provenance: false,
         ace_mode: Default::default(),
+        sampling: Default::default(),
     };
     let full = run_study_parallel(&archs, &workloads, &study_cfg(false), 1).unwrap();
     for jobs in [1usize, 2, 8] {

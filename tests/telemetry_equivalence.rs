@@ -117,6 +117,7 @@ fn hooked_study_point_matches_noop_point() {
         fi_on_unused_lds: false,
         provenance: false,
         ace_mode: Default::default(),
+        sampling: Default::default(),
     };
 
     let plain = evaluate_point(&arch, &w, &cfg).unwrap();
